@@ -1,0 +1,25 @@
+//! Cascade routing overhead per query (excluding/including escalation).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use llmdm_cascade::{CascadeRouter, DecisionModel, HotpotConfig, HotpotWorkload, QaSolver};
+use llmdm_model::ModelZoo;
+use std::sync::Arc;
+
+fn bench_cascade(c: &mut Criterion) {
+    let zoo = ModelZoo::standard(3);
+    zoo.register_solver(Arc::new(QaSolver));
+    let w = HotpotWorkload::generate(HotpotConfig { n: 40, seed: 3, ..Default::default() });
+    let router = CascadeRouter::new(zoo.cascade_order(), DecisionModel::new(), 0.6);
+    let mut group = c.benchmark_group("cascade");
+    let mut i = 0usize;
+    group.bench_function("route_one_query", |b| {
+        b.iter(|| {
+            i = (i + 1) % w.items.len();
+            router.answer(&w.items[i].prompt()).expect("routes")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cascade);
+criterion_main!(benches);

@@ -1,0 +1,16 @@
+//! Entity-resolution blocking and matching throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use llmdm_integrate::er::{block, evaluate, ErDataset, SimilarityMatcher};
+
+fn bench_er(c: &mut Criterion) {
+    let dataset = ErDataset::generate(120, 0.4, 7);
+    let mut group = c.benchmark_group("entity_resolution");
+    group.bench_function("blocking_180_records", |b| b.iter(|| block(&dataset.records)));
+    let matcher = SimilarityMatcher::new(7, 0.72);
+    group.bench_function("block_and_match", |b| b.iter(|| evaluate(&dataset, &matcher)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_er);
+criterion_main!(benches);

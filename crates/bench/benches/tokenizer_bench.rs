@@ -1,0 +1,18 @@
+//! Tokenizer throughput: every dollar figure in the reproduction flows
+//! through `Tokenizer::count`.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use llmdm_model::Tokenizer;
+
+fn bench_tokenizer(c: &mut Criterion) {
+    let tok = Tokenizer::new();
+    let prompt = include_str!("tokenizer_bench.rs").repeat(4);
+    let mut group = c.benchmark_group("tokenizer");
+    group.throughput(Throughput::Bytes(prompt.len() as u64));
+    group.bench_function("count", |b| b.iter(|| tok.count(&prompt)));
+    group.bench_function("encode", |b| b.iter(|| tok.encode(&prompt)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_tokenizer);
+criterion_main!(benches);

@@ -1,0 +1,190 @@
+//! Reproduce **Figure 5** — the challenges-and-opportunities overview:
+//! one headline measurement per challenge area, produced by the actual
+//! mechanism each section envisions.
+//!
+//! Usage: `repro_fig5 [--seed N]`
+
+use llmdm_bench::{pct, render_table, seed_arg};
+
+fn main() {
+    let seed = seed_arg();
+    let mut rows = Vec::new();
+
+    // §III-A prompt optimization: performance-aware selection beats
+    // similarity-only on a store with a similar-but-bad prompt.
+    {
+        use llmdm_promptopt::{PerformanceAware, PromptSelector, PromptStore, SimilarityTopK};
+        let mut store = PromptStore::new(seed);
+        let bad = store
+            .insert("translate stadium concert questions into SQL queries quickly", "nl2sql")
+            .expect("insert");
+        let good =
+            store.insert("translate stadium concert questions into SQL", "nl2sql").expect("insert");
+        for _ in 0..10 {
+            store.record_reward(bad, 0.0);
+            store.record_reward(good, 1.0);
+        }
+        let q = "translate stadium concert questions into SQL queries quickly please";
+        let sim_pick = SimilarityTopK.select(&store, q, 1).expect("select")[0];
+        let perf_pick = PerformanceAware::default().select(&store, q, 1).expect("select")[0];
+        rows.push(vec![
+            "prompt optimization (§III-A)".into(),
+            format!(
+                "similarity-only picks the failing prompt ({}), performance-aware \
+                 recovers the useful one ({})",
+                sim_pick == bad,
+                perf_pick == good
+            ),
+        ]);
+    }
+
+    // §III-B query optimization: cascade + decomposition headline numbers.
+    {
+        let t1 = llmdm_cascade::run_table1(seed);
+        rows.push(vec![
+            "query optimization: cascade (§III-B1)".into(),
+            format!(
+                "cascade {} at {:.0}% of the large tier's cost",
+                pct(t1.cascade.accuracy),
+                100.0 * t1.cascade.cost / t1.tiers[2].cost
+            ),
+        ]);
+        // Mean of three seeds: the 20-query workload is small and
+        // sub-query reuse correlates errors, so single-seed accuracy is
+        // noisy.
+        let (mut o_acc, mut c_acc, mut o_cost, mut c_cost) = (0.0, 0.0, 0.0, 0.0);
+        for s in 0..3 {
+            let t2 = llmdm_nlq::run_table2(seed.wrapping_add(s));
+            o_acc += t2.origin.accuracy;
+            c_acc += t2.combination.accuracy;
+            o_cost += t2.origin.cost;
+            c_cost += t2.combination.cost;
+        }
+        rows.push(vec![
+            "query optimization: decompose+combine (§III-B1)".into(),
+            format!(
+                "accuracy {} → {}, cost {:.0}% of origin",
+                pct(o_acc / 3.0),
+                pct(c_acc / 3.0),
+                100.0 * c_cost / o_cost
+            ),
+        ]);
+    }
+
+    // §III-B2 multi-modal hybrid search: adaptive ordering.
+    {
+        use llmdm_vecdb::{AttrValue, Collection, Filter, HybridStrategy, Metric};
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut coll = Collection::new(16, Metric::Cosine);
+        for id in 0..2000u64 {
+            let v: Vec<f32> = (0..16).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let tag = if id % 50 == 0 { "rare" } else { "common" };
+            coll.insert(id, v, [("tag", AttrValue::from(tag))]).expect("insert");
+        }
+        let q: Vec<f32> = (0..16).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let (_, stats_rare) = coll
+            .search_filtered_with(&q, 10, &Filter::eq("tag", "rare"), HybridStrategy::default())
+            .expect("search");
+        let (_, stats_common) = coll
+            .search_filtered_with(&q, 10, &Filter::eq("tag", "common"), HybridStrategy::default())
+            .expect("search");
+        rows.push(vec![
+            "multi-modal hybrid search (§III-B2)".into(),
+            format!(
+                "adaptive ordering: 2% selectivity → prefilter={}, 98% → prefilter={}",
+                stats_rare.used_prefilter, stats_common.used_prefilter
+            ),
+        ]);
+    }
+
+    // §III-C cache: Table III headline.
+    {
+        let t3 = llmdm::run_table3(seed);
+        rows.push(vec![
+            "cache optimization (§III-C)".into(),
+            format!(
+                "w/o {} / Cache(O) {} / Cache(A) {} at {:.0}% of uncached cost",
+                pct(t3.without.accuracy),
+                pct(t3.cache_o.accuracy),
+                pct(t3.cache_a.accuracy),
+                100.0 * t3.cache_a.cost / t3.without.cost
+            ),
+        ]);
+    }
+
+    // §III-D privacy: DP vs membership inference.
+    {
+        use llmdm_privacy::dp::PrivacyAccountant;
+        use llmdm_privacy::logreg::synthetic;
+        use llmdm_privacy::{membership_attack, train_dpsgd, DpSgdConfig, LogisticRegression};
+        let data = synthetic(100, 30, 0.8, seed);
+        let (train, holdout) = data.split(0.5);
+        let mut overfit = LogisticRegression::new(30);
+        overfit.fit(&train, 4000, 1.0);
+        let leaky = membership_attack(&overfit, &train, &holdout);
+        let mut acct = PrivacyAccountant::new();
+        let private = train_dpsgd(
+            &train,
+            DpSgdConfig { noise_multiplier: 4.0, epochs: 20, ..Default::default() },
+            &mut acct,
+        );
+        let protected = membership_attack(&private, &train, &holdout);
+        rows.push(vec![
+            "security & privacy (§III-D)".into(),
+            format!(
+                "membership-inference advantage {:.2} → {:.2} under DP-SGD (ε≈{:.1} adv. comp.)",
+                leaky.advantage,
+                protected.advantage,
+                acct.advanced_composition(1e-5).0
+            ),
+        ]);
+    }
+
+    // §III-E validation: self-consistency + crowd review uplift.
+    {
+        use llmdm_model::{CompletionRequest, LanguageModel, ModelZoo, PromptEnvelope};
+        use llmdm_validate::{CrowdPool, ReviewLoop};
+        let zoo = ModelZoo::standard(seed);
+        let model = zoo.medium();
+        let crowd = CrowdPool::heterogeneous(7, 0.8, 0.95, seed);
+        let (mut raw_ok, mut reviewed_ok) = (0, 0);
+        let n = 60;
+        for tag in 0..n {
+            let prompt = PromptEnvelope::builder("oracle")
+                .header("gold", "gold")
+                .header("difficulty", 0.8)
+                .header("tag", tag)
+                .header("alt", format!("wrong-{tag}"))
+                .body("question")
+                .build();
+            if model.complete(&CompletionRequest::new(prompt.clone())).expect("completes").text
+                == "gold"
+            {
+                raw_ok += 1;
+            }
+            let rl = ReviewLoop::new(model.clone(), crowd.clone());
+            if rl.answer(&prompt, |a| a == "gold").expect("reviews").text == "gold" {
+                reviewed_ok += 1;
+            }
+        }
+        rows.push(vec![
+            "output validation (§III-E)".into(),
+            format!(
+                "raw model {} → human-in-the-loop {} on hard queries",
+                pct(raw_ok as f64 / n as f64),
+                pct(reviewed_ok as f64 / n as f64)
+            ),
+        ]);
+    }
+
+    println!(
+        "{}",
+        render_table(
+            &format!("Figure 5 — challenges & opportunities, one working headline each (seed {seed})"),
+            &["challenge", "measured outcome"],
+            &rows,
+        )
+    );
+}

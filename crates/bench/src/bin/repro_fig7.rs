@@ -1,0 +1,118 @@
+//! Reproduce **Figure 7** — decomposition of the paper's exact five
+//! stadium queries: shared sub-queries (Q11 = Q21) are called once.
+//!
+//! Usage: `repro_fig7 [--seed N]`
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use llmdm_bench::{dollars, render_table, seed_arg};
+use llmdm_model::{CompletionRequest, LanguageModel, ModelZoo};
+use llmdm_nlq::decompose::{decompose, recompose, unique_atoms};
+use llmdm_nlq::prompt::{ExamplePool, PromptBuilder};
+use llmdm_nlq::workload::fig7_queries;
+use llmdm_nlq::{concert_domain, Nl2SqlSolver};
+
+fn main() {
+    let seed = seed_arg();
+    let queries = fig7_queries();
+    let db = concert_domain(seed);
+
+    // The decomposition structure.
+    let mut rows = Vec::new();
+    for q in &queries {
+        let d = decompose(q);
+        rows.push(vec![
+            format!("Q{}", q.id),
+            q.text.clone(),
+            d.atom_keys.join("  +  "),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            "Figure 7 — the five queries and their sub-queries (shared keys = shared sub-queries)",
+            &["id", "question", "sub-query keys"],
+            &rows,
+        )
+    );
+
+    let atoms = unique_atoms(&queries);
+    println!(
+        "{} atom references across Q1–Q5 collapse to {} unique sub-queries → {} model calls saved\n",
+        queries.iter().map(|q| q.shape.atoms().len()).sum::<usize>(),
+        atoms.len(),
+        queries.iter().map(|q| q.shape.atoms().len()).sum::<usize>() - atoms.len(),
+    );
+
+    // Run both pipelines over exactly these five queries.
+    let zoo = ModelZoo::standard(seed);
+    zoo.register_solver(Arc::new(Nl2SqlSolver));
+    let model = zoo.large();
+    let builder = PromptBuilder::new(ExamplePool::generate(seed), db.schema_summary());
+
+    let gold: Vec<_> = queries
+        .iter()
+        .map(|q| {
+            match llmdm_sqlengine::parse_statement(&q.gold_sql).expect("gold parses") {
+                llmdm_sqlengine::Statement::Select(s) => {
+                    llmdm_sqlengine::exec::execute_select(&db, &s).expect("gold executes")
+                }
+                _ => unreachable!(),
+            }
+        })
+        .collect();
+
+    // Origin.
+    zoo.meter().reset();
+    let mut origin_ok = 0;
+    for (q, g) in queries.iter().zip(&gold) {
+        if let Ok(c) = model.complete(&CompletionRequest::new(builder.single(&q.text))) {
+            if let Ok(llmdm_sqlengine::Statement::Select(s)) =
+                llmdm_sqlengine::parse_statement(c.text.trim())
+            {
+                if let Ok(rs) = llmdm_sqlengine::exec::execute_select(&db, &s) {
+                    if rs.bag_eq(g) {
+                        origin_ok += 1;
+                    }
+                }
+            }
+        }
+    }
+    let origin_cost = zoo.meter().snapshot().total_dollars();
+
+    // Decomposed with sub-query sharing.
+    zoo.meter().reset();
+    let mut answers: BTreeMap<String, String> = BTreeMap::new();
+    for (key, atom) in &atoms {
+        if let Ok(c) = model.complete(&CompletionRequest::new(builder.single(&atom.sub_question()))) {
+            answers.insert(key.clone(), c.text.trim().to_string());
+        }
+    }
+    let mut decomp_ok = 0;
+    for (q, g) in queries.iter().zip(&gold) {
+        if let Ok(rs) = recompose(&db, &decompose(q), &answers) {
+            if rs.bag_eq(g) {
+                decomp_ok += 1;
+            }
+        }
+    }
+    let decomp_cost = zoo.meter().snapshot().total_dollars();
+
+    println!(
+        "{}",
+        render_table(
+            "Running Q1–Q5 both ways",
+            &["pipeline", "model calls", "correct of 5", "api cost"],
+            &[
+                vec!["origin (one call per query)".into(), "5".into(), format!("{origin_ok}"), dollars(origin_cost)],
+                vec![
+                    "decomposed (unique sub-queries)".into(),
+                    format!("{}", atoms.len()),
+                    format!("{decomp_ok}"),
+                    dollars(decomp_cost),
+                ],
+            ],
+        )
+    );
+}

@@ -1,0 +1,90 @@
+//! # llmdm-bench — benchmarks and paper reproduction binaries
+//!
+//! One `repro_*` binary per table and figure of the paper (see DESIGN.md
+//! §4 for the experiment index), plus Criterion micro-benchmarks for the
+//! substrates. This library crate only holds small shared formatting
+//! helpers.
+
+/// Render an ASCII table: header row + data rows, padded columns.
+pub fn render_table(title: &str, header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: &[String]| -> String {
+        let padded: Vec<String> = cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:<width$}", c, width = widths.get(i).copied().unwrap_or(8)))
+            .collect();
+        format!("| {} |", padded.join(" | "))
+    };
+    let sep = format!(
+        "+{}+",
+        widths.iter().map(|w| "-".repeat(w + 2)).collect::<Vec<_>>().join("+")
+    );
+    let mut out = String::new();
+    out.push_str(&format!("\n{title}\n{sep}\n"));
+    out.push_str(&line(&header.iter().map(|h| h.to_string()).collect::<Vec<_>>()));
+    out.push('\n');
+    out.push_str(&sep);
+    out.push('\n');
+    for row in rows {
+        out.push_str(&line(row));
+        out.push('\n');
+    }
+    out.push_str(&sep);
+    out.push('\n');
+    out
+}
+
+/// Format a dollar amount.
+pub fn dollars(x: f64) -> String {
+    format!("${x:.3}")
+}
+
+/// Format a percentage.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+/// Parse `--seed N` from argv, defaulting to 42.
+pub fn seed_arg() -> u64 {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--seed")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42)
+}
+
+/// Whether a flag is present in argv.
+pub fn has_flag(flag: &str) -> bool {
+    std::env::args().any(|a| a == flag)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let out = render_table(
+            "T",
+            &["model", "acc"],
+            &[vec!["small".into(), "27.5%".into()], vec!["large-model".into(), "92.5%".into()]],
+        );
+        assert!(out.contains("| model       | acc   |"));
+        assert!(out.contains("| large-model | 92.5% |"));
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(dollars(0.4355), "$0.435");
+        assert_eq!(pct(0.925), "92.5%");
+    }
+}

@@ -1,0 +1,290 @@
+//! A HotpotQA-style multi-hop QA workload.
+//!
+//! The paper's Table I selects 40 queries from HotpotQA (multi-hop
+//! questions whose answers require chaining facts). We generate the
+//! synthetic equivalent: a knowledge base of typed facts, and questions
+//! needing 1, 2, or 3 hops across them. The facts needed (plus
+//! distractors) ride in the prompt context, RAG-style, so the solver can
+//! genuinely derive the answer.
+
+use llmdm_model::PromptEnvelope;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+const FIRST: &[&str] = &[
+    "alice", "bruno", "chen", "dara", "emil", "farah", "goran", "hana", "ivan", "june",
+    "kofi", "lena", "marco", "nadia", "omar", "petra",
+];
+const LAST: &[&str] = &[
+    "smith", "costa", "wei", "okafor", "novak", "haddad", "kovac", "sato", "petrov", "lindqvist",
+];
+const CITIES: &[&str] = &[
+    "springfield", "rivertown", "lakewood", "hillcrest", "ashford", "brookfield", "eastvale",
+    "northgate", "oakdale", "pinehurst", "quarry bay", "redstone",
+];
+const COUNTRIES: &[&str] = &[
+    "freedonia", "sylvania", "aquilonia", "borduria", "carpania", "danubia",
+];
+const BOOK_A: &[&str] =
+    &["silent", "golden", "broken", "hidden", "burning", "frozen", "scarlet", "ivory"];
+const BOOK_B: &[&str] =
+    &["river", "mountain", "garden", "archive", "horizon", "lantern", "compass", "orchard"];
+
+/// A knowledge-base fact.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Fact {
+    /// Subject entity.
+    pub subject: String,
+    /// Relation: `born_in`, `located_in`, or `wrote`.
+    pub relation: String,
+    /// Object entity.
+    pub object: String,
+}
+
+impl Fact {
+    fn new(s: &str, r: &str, o: &str) -> Fact {
+        Fact { subject: s.to_string(), relation: r.to_string(), object: o.to_string() }
+    }
+
+    /// Render as a context line.
+    pub fn line(&self) -> String {
+        format!("FACT: {} | {} | {}", self.subject, self.relation, self.object)
+    }
+}
+
+/// One QA item.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QaItem {
+    /// Item id.
+    pub id: usize,
+    /// The question text.
+    pub question: String,
+    /// Context facts (supporting + distractors), shuffled.
+    pub context: Vec<Fact>,
+    /// The gold answer.
+    pub gold: String,
+    /// Reasoning hops required (1–3).
+    pub hops: usize,
+}
+
+impl QaItem {
+    /// The item's intrinsic difficulty for the capability model
+    /// (calibrated: see `llmdm-model::zoo` docs).
+    pub fn difficulty(&self) -> f64 {
+        match self.hops {
+            1 => 0.05,
+            2 => 0.15,
+            _ => 0.25,
+        }
+    }
+
+    /// Build the `### task: hotpot-qa` prompt for this item.
+    pub fn prompt(&self) -> String {
+        let mut body = String::from("Context:\n");
+        for f in &self.context {
+            body.push_str(&f.line());
+            body.push('\n');
+        }
+        body.push_str(&format!("Question: {}\n", self.question));
+        PromptEnvelope::builder("hotpot-qa").header("examples", 0).body(body).build()
+    }
+}
+
+/// Workload generation parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct HotpotConfig {
+    /// Number of questions.
+    pub n: usize,
+    /// Distractor facts per item.
+    pub distractors: usize,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for HotpotConfig {
+    fn default() -> Self {
+        HotpotConfig { n: 40, distractors: 6, seed: 0 }
+    }
+}
+
+/// The generated workload.
+#[derive(Debug, Clone)]
+pub struct HotpotWorkload {
+    /// The QA items.
+    pub items: Vec<QaItem>,
+}
+
+impl HotpotWorkload {
+    /// Generate a workload: 40% 1-hop, 40% 2-hop, 20% 3-hop.
+    pub fn generate(config: HotpotConfig) -> Self {
+        let mut rng = SmallRng::seed_from_u64(config.seed);
+        // Build the world: people with birth cities; cities in countries;
+        // books with authors.
+        let people: Vec<String> = FIRST
+            .iter()
+            .flat_map(|f| LAST.iter().map(move |l| format!("{f} {l}")))
+            .take(60)
+            .collect();
+        let city_country: Vec<(String, String)> = CITIES
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (c.to_string(), COUNTRIES[i % COUNTRIES.len()].to_string()))
+            .collect();
+        let books: Vec<String> = BOOK_A
+            .iter()
+            .flat_map(|a| BOOK_B.iter().map(move |b| format!("the {a} {b}")))
+            .take(40)
+            .collect();
+
+        let mut born: Vec<(String, String)> = Vec::new(); // person -> city
+        for p in &people {
+            let (city, _) = &city_country[rng.gen_range(0..city_country.len())];
+            born.push((p.clone(), city.clone()));
+        }
+        let mut wrote: Vec<(String, String)> = Vec::new(); // person -> book
+        for (i, b) in books.iter().enumerate() {
+            wrote.push((people[i % people.len()].clone(), b.clone()));
+        }
+
+        let country_of = |city: &str| -> String {
+            city_country
+                .iter()
+                .find(|(c, _)| c == city)
+                .map(|(_, k)| k.clone())
+                .expect("city exists")
+        };
+
+        let mut items = Vec::with_capacity(config.n);
+        for id in 0..config.n {
+            let hops = match id % 5 {
+                0 | 1 => 1,
+                2 | 3 => 2,
+                _ => 3,
+            };
+            let (question, gold, mut support) = match hops {
+                1 => {
+                    if rng.gen_bool(0.5) {
+                        let (p, c) = born[rng.gen_range(0..born.len())].clone();
+                        (
+                            format!("Where was {p} born?"),
+                            c.clone(),
+                            vec![Fact::new(&p, "born_in", &c)],
+                        )
+                    } else {
+                        let (p, b) = wrote[rng.gen_range(0..wrote.len())].clone();
+                        (format!("Who wrote {b}?"), p.clone(), vec![Fact::new(&p, "wrote", &b)])
+                    }
+                }
+                2 => {
+                    let (p, c) = born[rng.gen_range(0..born.len())].clone();
+                    let k = country_of(&c);
+                    (
+                        format!("In which country was {p} born?"),
+                        k.clone(),
+                        vec![Fact::new(&p, "born_in", &c), Fact::new(&c, "located_in", &k)],
+                    )
+                }
+                _ => {
+                    let (p, b) = wrote[rng.gen_range(0..wrote.len())].clone();
+                    let c = born
+                        .iter()
+                        .find(|(q, _)| *q == p)
+                        .map(|(_, c)| c.clone())
+                        .expect("author has a birthplace");
+                    let k = country_of(&c);
+                    (
+                        format!("In which country was the author of {b} born?"),
+                        k.clone(),
+                        vec![
+                            Fact::new(&p, "wrote", &b),
+                            Fact::new(&p, "born_in", &c),
+                            Fact::new(&c, "located_in", &k),
+                        ],
+                    )
+                }
+            };
+            // Distractors: random unrelated facts (other people/cities) so
+            // wrong-answer alternatives exist in context.
+            for _ in 0..config.distractors {
+                match rng.gen_range(0..3) {
+                    0 => {
+                        let (p, c) = born[rng.gen_range(0..born.len())].clone();
+                        support.push(Fact::new(&p, "born_in", &c));
+                    }
+                    1 => {
+                        let (c, k) = city_country[rng.gen_range(0..city_country.len())].clone();
+                        support.push(Fact::new(&c, "located_in", &k));
+                    }
+                    _ => {
+                        let (p, b) = wrote[rng.gen_range(0..wrote.len())].clone();
+                        support.push(Fact::new(&p, "wrote", &b));
+                    }
+                }
+            }
+            support.dedup();
+            support.shuffle(&mut rng);
+            items.push(QaItem { id, question, context: support, gold, hops });
+        }
+        HotpotWorkload { items }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_count_and_mix() {
+        let w = HotpotWorkload::generate(HotpotConfig { n: 40, ..Default::default() });
+        assert_eq!(w.items.len(), 40);
+        let ones = w.items.iter().filter(|i| i.hops == 1).count();
+        let twos = w.items.iter().filter(|i| i.hops == 2).count();
+        let threes = w.items.iter().filter(|i| i.hops == 3).count();
+        assert_eq!(ones, 16);
+        assert_eq!(twos, 16);
+        assert_eq!(threes, 8);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = HotpotWorkload::generate(HotpotConfig::default());
+        let b = HotpotWorkload::generate(HotpotConfig::default());
+        assert_eq!(a.items, b.items);
+    }
+
+    #[test]
+    fn context_contains_support_chain() {
+        let w = HotpotWorkload::generate(HotpotConfig { n: 20, seed: 3, ..Default::default() });
+        for item in &w.items {
+            match item.hops {
+                1 => assert!(item
+                    .context
+                    .iter()
+                    .any(|f| f.object == item.gold || f.subject == item.gold)),
+                2 | _ => assert!(item
+                    .context
+                    .iter()
+                    .any(|f| f.relation == "located_in" && f.object == item.gold)),
+            }
+        }
+    }
+
+    #[test]
+    fn prompt_is_parseable_envelope() {
+        let w = HotpotWorkload::generate(HotpotConfig { n: 5, ..Default::default() });
+        let env = PromptEnvelope::parse(&w.items[0].prompt()).unwrap();
+        assert_eq!(env.task, "hotpot-qa");
+        assert!(env.body.contains("Question:"));
+        assert!(env.body.contains("FACT:"));
+    }
+
+    #[test]
+    fn difficulty_increases_with_hops() {
+        let w = HotpotWorkload::generate(HotpotConfig { n: 10, ..Default::default() });
+        let d1 = w.items.iter().find(|i| i.hops == 1).unwrap().difficulty();
+        let d3 = w.items.iter().find(|i| i.hops == 3).unwrap().difficulty();
+        assert!(d3 > d1);
+    }
+}

@@ -1,0 +1,196 @@
+//! The multi-hop QA solver (`### task: hotpot-qa`).
+//!
+//! Performs genuine graph search over the facts supplied in the prompt
+//! context — the "reasoning" whose reliability the simulated capability
+//! curves then modulate per tier.
+
+use llmdm_model::{ModelError, PromptEnvelope, PromptSolver, SolvedTask};
+
+/// The QA prompt solver.
+#[derive(Debug, Default)]
+pub struct QaSolver;
+
+#[derive(Debug)]
+struct ParsedContext {
+    facts: Vec<(String, String, String)>,
+}
+
+impl ParsedContext {
+    fn parse(body: &str) -> ParsedContext {
+        let facts = body
+            .lines()
+            .filter_map(|l| l.strip_prefix("FACT: "))
+            .filter_map(|l| {
+                let mut parts = l.split(" | ");
+                Some((
+                    parts.next()?.trim().to_string(),
+                    parts.next()?.trim().to_string(),
+                    parts.next()?.trim().to_string(),
+                ))
+            })
+            .collect();
+        ParsedContext { facts }
+    }
+
+    fn object_of(&self, subject: &str, relation: &str) -> Option<&str> {
+        self.facts
+            .iter()
+            .find(|(s, r, _)| s == subject && r == relation)
+            .map(|(_, _, o)| o.as_str())
+    }
+
+    fn subject_of(&self, relation: &str, object: &str) -> Option<&str> {
+        self.facts
+            .iter()
+            .find(|(_, r, o)| r == relation && o == object)
+            .map(|(s, _, _)| s.as_str())
+    }
+
+    /// All distinct objects of a relation (used for wrong-answer pools).
+    fn objects(&self, relation: &str) -> Vec<String> {
+        let mut v: Vec<String> = self
+            .facts
+            .iter()
+            .filter(|(_, r, _)| r == relation)
+            .map(|(_, _, o)| o.clone())
+            .collect();
+        v.sort();
+        v.dedup();
+        v
+    }
+
+    fn subjects(&self, relation: &str) -> Vec<String> {
+        let mut v: Vec<String> = self
+            .facts
+            .iter()
+            .filter(|(_, r, _)| r == relation)
+            .map(|(s, _, _)| s.clone())
+            .collect();
+        v.sort();
+        v.dedup();
+        v
+    }
+}
+
+impl QaSolver {
+    /// Answer a question against a context; returns (answer, hops,
+    /// wrong-answer pool).
+    fn answer(
+        question: &str,
+        ctx: &ParsedContext,
+    ) -> Option<(String, usize, Vec<String>)> {
+        let q = question.trim().trim_end_matches('?').to_lowercase();
+        if let Some(book) = q.strip_prefix("in which country was the author of ") {
+            let book = book.trim_end_matches(" born").trim();
+            let author = ctx.subject_of("wrote", book)?;
+            let city = ctx.object_of(author, "born_in")?;
+            let country = ctx.object_of(city, "located_in")?;
+            return Some((country.to_string(), 3, ctx.objects("located_in")));
+        }
+        if let Some(person) = q.strip_prefix("in which country was ") {
+            let person = person.trim_end_matches(" born").trim();
+            let city = ctx.object_of(person, "born_in")?;
+            let country = ctx.object_of(city, "located_in")?;
+            return Some((country.to_string(), 2, ctx.objects("located_in")));
+        }
+        if let Some(person) = q.strip_prefix("where was ") {
+            let person = person.trim_end_matches(" born").trim();
+            let city = ctx.object_of(person, "born_in")?;
+            return Some((city.to_string(), 1, ctx.objects("born_in")));
+        }
+        if let Some(book) = q.strip_prefix("who wrote ") {
+            let author = ctx.subject_of("wrote", book.trim())?;
+            return Some((author.to_string(), 1, ctx.subjects("wrote")));
+        }
+        None
+    }
+}
+
+impl PromptSolver for QaSolver {
+    fn task_id(&self) -> &str {
+        "hotpot-qa"
+    }
+
+    fn solve(&self, env: &PromptEnvelope) -> Result<SolvedTask, ModelError> {
+        let ctx = ParsedContext::parse(&env.body);
+        let question = env
+            .body
+            .lines()
+            .find_map(|l| l.strip_prefix("Question: "))
+            .ok_or_else(|| ModelError::MalformedPayload {
+                task: "hotpot-qa".into(),
+                reason: "missing `Question:` line".into(),
+            })?;
+        let (answer, hops, pool) =
+            QaSolver::answer(question, &ctx).ok_or_else(|| ModelError::MalformedPayload {
+                task: "hotpot-qa".into(),
+                reason: format!("cannot answer {question:?} from context"),
+            })?;
+        let difficulty = match hops {
+            1 => 0.05,
+            2 => 0.15,
+            _ => 0.25,
+        };
+        let alternatives: Vec<String> = pool.into_iter().filter(|a| *a != answer).collect();
+        Ok(SolvedTask::new(answer, difficulty).with_alternatives(alternatives))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hotpot::{HotpotConfig, HotpotWorkload};
+
+    #[test]
+    fn solves_every_generated_item_correctly() {
+        let w = HotpotWorkload::generate(HotpotConfig { n: 40, seed: 9, ..Default::default() });
+        for item in &w.items {
+            let env = PromptEnvelope::parse(&item.prompt()).unwrap();
+            let solved = QaSolver.solve(&env).unwrap();
+            assert_eq!(solved.answer, item.gold, "q: {}", item.question);
+            assert!((solved.difficulty - item.difficulty()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn alternatives_exclude_gold() {
+        let w = HotpotWorkload::generate(HotpotConfig { n: 20, seed: 2, ..Default::default() });
+        for item in &w.items {
+            let env = PromptEnvelope::parse(&item.prompt()).unwrap();
+            let solved = QaSolver.solve(&env).unwrap();
+            assert!(solved.alternatives.iter().all(|a| *a != item.gold));
+        }
+    }
+
+    #[test]
+    fn unanswerable_question_errors() {
+        let prompt = PromptEnvelope::builder("hotpot-qa")
+            .body("Context:\nFACT: a | born_in | b\nQuestion: Where was nobody born?\n")
+            .build();
+        let env = PromptEnvelope::parse(&prompt).unwrap();
+        assert!(QaSolver.solve(&env).is_err());
+    }
+
+    #[test]
+    fn missing_question_errors() {
+        let prompt =
+            PromptEnvelope::builder("hotpot-qa").body("Context:\nFACT: a | born_in | b\n").build();
+        let env = PromptEnvelope::parse(&prompt).unwrap();
+        assert!(QaSolver.solve(&env).is_err());
+    }
+
+    #[test]
+    fn three_hop_chain() {
+        let body = "Context:\n\
+                    FACT: marco costa | wrote | the silent river\n\
+                    FACT: marco costa | born_in | lakewood\n\
+                    FACT: lakewood | located_in | sylvania\n\
+                    FACT: ashford | located_in | borduria\n\
+                    Question: In which country was the author of the silent river born?\n";
+        let prompt = PromptEnvelope::builder("hotpot-qa").body(body).build();
+        let env = PromptEnvelope::parse(&prompt).unwrap();
+        let solved = QaSolver.solve(&env).unwrap();
+        assert_eq!(solved.answer, "sylvania");
+        assert_eq!(solved.alternatives, vec!["borduria".to_string()]);
+    }
+}

@@ -1,0 +1,58 @@
+//! # llmdm — LLMs for data management
+//!
+//! A from-scratch Rust implementation of the full stack envisioned by
+//! *"Applications and Challenges for Large Language Models: From Data
+//! Management Perspective"* (ICDE 2024): the four application areas of the
+//! paper's Figure-1 pipeline — data **generation**, **transformation**,
+//! **integration**, and **exploration** — and the five systems challenges
+//! — prompt optimization, query optimization (cascade +
+//! decomposition/combination + hybrid vector search), cache optimization,
+//! security & privacy, and output validation — together with every
+//! substrate they need (a SQL engine, a vector database, and a simulated
+//! LLM model zoo).
+//!
+//! This crate is the facade: it re-exports the subsystem crates, provides
+//! the [`DataManager`] convenience pipeline (Fig. 1), and hosts the
+//! composed experiments ([`experiments`]) that single crates cannot run
+//! alone — notably the paper's Table III (semantic caching over the
+//! decomposition pipeline).
+//!
+//! ## Crate map
+//!
+//! | module | crate | paper section |
+//! |---|---|---|
+//! | [`model`] | `llmdm-model` | simulated LLM substrate |
+//! | [`vecdb`] | `llmdm-vecdb` | vector database, hybrid search (§III-B2) |
+//! | [`sql`] | `llmdm-sqlengine` | relational engine substrate |
+//! | [`nlq`] | `llmdm-nlq` | NL2SQL + decomposition/combination (§III-B1, Table II) |
+//! | [`cascade`] | `llmdm-cascade` | LLM cascade (§III-B1, Fig. 6, Table I) |
+//! | [`semcache`] | `llmdm-semcache` | semantic cache (§III-C, Table III) |
+//! | [`promptopt`] | `llmdm-promptopt` | prompt store & selection (§III-A) |
+//! | [`datagen`] | `llmdm-datagen` | data generation (§II-A, Figs. 2–3) |
+//! | [`transform`] | `llmdm-transform` | data transformation (§II-B, Fig. 4) |
+//! | [`integrate`] | `llmdm-integrate` | data integration (§II-C) |
+//! | [`explore`] | `llmdm-explore` | data exploration (§II-D) |
+//! | [`privacy`] | `llmdm-privacy` | security & privacy (§III-D) |
+//! | [`validate`] | `llmdm-validate` | output validation (§III-E) |
+
+#![warn(missing_docs)]
+
+pub use llmdm_cascade as cascade;
+pub use llmdm_datagen as datagen;
+pub use llmdm_explore as explore;
+pub use llmdm_integrate as integrate;
+pub use llmdm_model as model;
+pub use llmdm_nlq as nlq;
+pub use llmdm_privacy as privacy;
+pub use llmdm_promptopt as promptopt;
+pub use llmdm_semcache as semcache;
+pub use llmdm_sqlengine as sql;
+pub use llmdm_transform as transform;
+pub use llmdm_validate as validate;
+pub use llmdm_vecdb as vecdb;
+
+pub mod experiments;
+pub mod manager;
+
+pub use experiments::{run_table3, Table3Report};
+pub use manager::DataManager;

@@ -1,0 +1,190 @@
+//! Semantic-equivalence query pairs for DBMS logic-bug testing.
+//!
+//! §II-A1: "to detect the logic bugs of DBMS, we need to generate some SQL
+//! queries with semantic equivalence, which produce the same results".
+//! Two generators:
+//!
+//! * **tautology rewrites** — wrap the WHERE predicate in forms that must
+//!   not change results (`p AND TRUE`, `p OR FALSE`, `NOT NOT p`);
+//! * **ternary-logic partitioning** (TLP, after Rigger & Su's pivoted
+//!   query synthesis line of work cited by the paper): a filter-less query
+//!   equals the UNION ALL of its `p` / `NOT p` / `p IS NULL` partitions.
+//!
+//! [`check_equivalence`] executes both sides and reports mismatches — a
+//! mismatch on a correct engine build is a logic bug.
+
+use llmdm_sqlengine::ast::{Expr, SelectStmt, Statement, UnOp};
+use llmdm_sqlengine::{parse_statement, print_statement, Database, SqlError};
+
+/// Tautology rewrites of a SELECT's WHERE predicate. Returns SQL strings
+/// that must produce identical results to the input.
+pub fn equivalent_variants(sql: &str) -> Result<Vec<String>, SqlError> {
+    let stmt = parse_statement(sql)?;
+    let Statement::Select(select) = stmt else {
+        return Err(SqlError::Exec("equivalence rewrites need a SELECT".into()));
+    };
+    let Some(pred) = select.selection.clone() else {
+        return Ok(Vec::new());
+    };
+    let rewrites: Vec<Expr> = vec![
+        // p AND TRUE
+        Expr::bin(llmdm_sqlengine::ast::BinOp::And, pred.clone(), Expr::lit(true)),
+        // p OR FALSE
+        Expr::bin(llmdm_sqlengine::ast::BinOp::Or, pred.clone(), Expr::lit(false)),
+        // NOT NOT p
+        Expr::Unary {
+            op: UnOp::Not,
+            expr: Box::new(Expr::Unary { op: UnOp::Not, expr: Box::new(pred.clone()) }),
+        },
+    ];
+    Ok(rewrites
+        .into_iter()
+        .map(|p| {
+            let mut s = select.clone();
+            s.selection = Some(p);
+            print_statement(&Statement::Select(s))
+        })
+        .collect())
+}
+
+/// TLP: for a query `SELECT … FROM … WHERE p`, its unfiltered form equals
+/// the UNION ALL of the `p`, `NOT p`, and `p IS NULL` partitions. Returns
+/// `(unfiltered_sql, partitioned_sql)`.
+pub fn tlp_partition(sql: &str) -> Result<(String, String), SqlError> {
+    let stmt = parse_statement(sql)?;
+    let Statement::Select(select) = stmt else {
+        return Err(SqlError::Exec("TLP needs a SELECT".into()));
+    };
+    if select.set_op.is_some() || !select.group_by.is_empty() || select.distinct {
+        return Err(SqlError::Exec(
+            "TLP partitioning applies to plain filtered SELECTs".into(),
+        ));
+    }
+    let Some(pred) = select.selection.clone() else {
+        return Err(SqlError::Exec("TLP needs a WHERE predicate".into()));
+    };
+
+    let mut unfiltered = select.clone();
+    unfiltered.selection = None;
+    unfiltered.order_by.clear();
+    unfiltered.limit = None;
+    unfiltered.offset = None;
+
+    let part = |p: Expr| -> SelectStmt {
+        let mut s = select.clone();
+        s.selection = Some(p);
+        s.order_by.clear();
+        s.limit = None;
+        s.offset = None;
+        s.set_op = None;
+        s
+    };
+    let p_true = part(pred.clone());
+    let p_false = part(Expr::Unary { op: UnOp::Not, expr: Box::new(pred.clone()) });
+    let p_null = part(Expr::IsNull {
+        expr: Box::new(wrap_as_bool(pred)),
+        negated: false,
+    });
+
+    // Chain: p UNION ALL (NOT p UNION ALL (p IS NULL)).
+    let mut middle = p_false;
+    middle.set_op = Some((llmdm_sqlengine::ast::SetOp::Union, true, Box::new(p_null)));
+    let mut chained = p_true;
+    chained.set_op = Some((llmdm_sqlengine::ast::SetOp::Union, true, Box::new(middle)));
+
+    Ok((
+        print_statement(&Statement::Select(unfiltered)),
+        print_statement(&Statement::Select(chained)),
+    ))
+}
+
+/// The predicate value itself for the IS NULL partition. (Our engine
+/// evaluates `(<bool expr>) IS NULL` directly.)
+fn wrap_as_bool(p: Expr) -> Expr {
+    p
+}
+
+/// Execute two queries and check they return the same multiset of rows.
+/// `Ok(true)` = equivalent (no bug); `Ok(false)` = logic bug detected.
+pub fn check_equivalence(db: &Database, a: &str, b: &str) -> Result<bool, SqlError> {
+    let mut scratch = db.clone();
+    let ra = scratch.query(a)?;
+    let rb = scratch.query(b)?;
+    Ok(ra.bag_eq(&rb))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.execute("CREATE TABLE t (id INT, x INT, s TEXT)").unwrap();
+        db.execute(
+            "INSERT INTO t VALUES (1, 10, 'a'), (2, 20, 'b'), (3, NULL, 'c'), (4, 5, NULL)",
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn tautology_variants_are_equivalent() {
+        let db = db();
+        let sql = "SELECT id, x FROM t WHERE x > 8";
+        for v in equivalent_variants(sql).unwrap() {
+            assert!(
+                check_equivalence(&db, sql, &v).unwrap(),
+                "variant diverged: {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn tlp_partition_covers_all_rows_including_null() {
+        let db = db();
+        // x is NULL for id 3 — the IS NULL partition must catch it.
+        let (unfiltered, partitioned) = tlp_partition("SELECT id FROM t WHERE x > 8").unwrap();
+        assert!(
+            check_equivalence(&db, &unfiltered, &partitioned).unwrap(),
+            "TLP mismatch:\n{unfiltered}\nvs\n{partitioned}"
+        );
+    }
+
+    #[test]
+    fn tlp_detects_an_injected_logic_bug() {
+        let db = db();
+        let (unfiltered, partitioned) = tlp_partition("SELECT id FROM t WHERE x > 8").unwrap();
+        // Simulate a buggy engine by dropping the IS NULL partition (the
+        // last UNION ALL branch): the checker must notice the missing row.
+        let cut = partitioned.rfind(" UNION ALL ").expect("partitioned query has branches");
+        let broken = partitioned[..cut].to_string();
+        assert_ne!(broken, partitioned, "test setup: truncation must apply");
+        assert!(!check_equivalence(&db, &unfiltered, &broken).unwrap());
+    }
+
+    #[test]
+    fn variants_of_query_without_where_are_empty() {
+        assert!(equivalent_variants("SELECT id FROM t").unwrap().is_empty());
+    }
+
+    #[test]
+    fn tlp_rejects_unsupported_shapes() {
+        assert!(tlp_partition("SELECT id FROM t").is_err());
+        assert!(tlp_partition("SELECT DISTINCT id FROM t WHERE x > 1").is_err());
+        assert!(tlp_partition("SELECT COUNT(*) FROM t WHERE x > 1 GROUP BY id").is_err());
+    }
+
+    #[test]
+    fn equivalence_check_rejects_broken_sql() {
+        let db = db();
+        assert!(check_equivalence(&db, "SELECT nope FROM t", "SELECT id FROM t").is_err());
+    }
+
+    #[test]
+    fn string_predicates_partition_too() {
+        let db = db();
+        let (unfiltered, partitioned) =
+            tlp_partition("SELECT id FROM t WHERE s = 'a'").unwrap();
+        assert!(check_equivalence(&db, &unfiltered, &partitioned).unwrap());
+    }
+}

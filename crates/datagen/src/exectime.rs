@@ -1,0 +1,311 @@
+//! Execution-time training-data generation (Fig. 3).
+//!
+//! "We feed some labeled training data (e.g., the `<query,
+//! execution_time>` pairs) and database information into LLMs. For the
+//! coming query, LLMs can assist in predicting its execution time."
+//!
+//! The ground truth comes from a plan-feature **cost model** (scan volume,
+//! join fan-out, output size — the quantities a real executor's runtime
+//! tracks), with deterministic per-query noise standing in for system
+//! jitter. The [`ExecTimeLabeler`] then builds a few-shot prompt of
+//! labeled pairs and asks a simulated model to impute the time for new
+//! queries; difficulty scales with plan complexity, and the corruption
+//! alternatives are realistically wrong magnitudes.
+
+use std::sync::Arc;
+
+use llmdm_model::hash::{combine, fnv1a_str, unit_f64};
+use llmdm_model::{CompletionRequest, LanguageModel, PromptEnvelope, SimLlm};
+use llmdm_sqlengine::ast::{SelectItem, Statement};
+use llmdm_sqlengine::{parse_statement, Database, SqlError};
+use serde::{Deserialize, Serialize};
+
+/// Plan features driving the cost model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PlanFeatures {
+    /// Number of FROM tables.
+    pub tables: usize,
+    /// Sum of base-table rows scanned.
+    pub scanned_rows: usize,
+    /// Number of sub-queries.
+    pub subqueries: usize,
+    /// Whether the query aggregates.
+    pub aggregates: bool,
+    /// Result rows.
+    pub output_rows: usize,
+}
+
+impl PlanFeatures {
+    /// Extract features by parsing and executing the query.
+    pub fn extract(db: &Database, sql: &str) -> Result<PlanFeatures, SqlError> {
+        let stmt = parse_statement(sql)?;
+        let Statement::Select(select) = &stmt else {
+            return Err(SqlError::Exec("cost model expects SELECT".into()));
+        };
+        let tables = select.from.len();
+        let mut scanned = 0usize;
+        for f in &select.from {
+            scanned += db.table(&f.table)?.len();
+        }
+        let printed = llmdm_sqlengine::print_statement(&stmt);
+        let subqueries = printed.matches("(SELECT").count();
+        let aggregates = !select.group_by.is_empty()
+            || select.projections.iter().any(|p| match p {
+                SelectItem::Expr { expr, .. } => expr.contains_aggregate(),
+                _ => false,
+            });
+        let rs = llmdm_sqlengine::exec::execute_select(db, select)?;
+        Ok(PlanFeatures {
+            tables,
+            scanned_rows: scanned,
+            subqueries,
+            aggregates,
+            output_rows: rs.len(),
+        })
+    }
+}
+
+/// The ground-truth cost model.
+#[derive(Debug, Clone, Copy)]
+pub struct CostModel {
+    /// Milliseconds per scanned row.
+    pub per_row_ms: f64,
+    /// Multiplier per extra joined table.
+    pub join_factor: f64,
+    /// Milliseconds per sub-query execution.
+    pub subquery_ms: f64,
+    /// Fixed aggregate overhead.
+    pub agg_ms: f64,
+    /// Relative noise amplitude.
+    pub noise: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel { per_row_ms: 0.05, join_factor: 1.8, subquery_ms: 4.0, agg_ms: 2.0, noise: 0.05 }
+    }
+}
+
+impl CostModel {
+    /// The simulated execution time (ms) of a query, deterministic per
+    /// query text.
+    pub fn execution_time_ms(&self, features: &PlanFeatures, sql: &str) -> f64 {
+        let base = 1.0
+            + self.per_row_ms
+                * features.scanned_rows as f64
+                * self.join_factor.powi(features.tables.saturating_sub(1) as i32)
+            + self.subquery_ms * features.subqueries as f64
+            + if features.aggregates { self.agg_ms } else { 0.0 }
+            + 0.001 * features.output_rows as f64;
+        let jitter = 1.0 + self.noise * (2.0 * unit_f64(combine(fnv1a_str(sql), 0x7173)) - 1.0);
+        base * jitter
+    }
+
+    /// Produce `<query, time>` training pairs.
+    pub fn label_all(
+        &self,
+        db: &Database,
+        queries: &[String],
+    ) -> Result<Vec<(String, f64)>, SqlError> {
+        queries
+            .iter()
+            .map(|q| {
+                let f = PlanFeatures::extract(db, q)?;
+                Ok((q.clone(), self.execution_time_ms(&f, q)))
+            })
+            .collect()
+    }
+}
+
+/// Report for the LLM labeling run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LabelReport {
+    /// Mean absolute relative error of imputed times vs gold.
+    pub mean_rel_error: f64,
+    /// Fraction of labels within 30% of the gold time (the robust
+    /// usefulness metric: one 3x-off outlier cannot dominate it).
+    pub within_30pct: f64,
+    /// Queries labeled.
+    pub n: usize,
+}
+
+/// Uses a simulated model to impute execution times from few-shot pairs,
+/// via the harness oracle task (the gold time rides in a hidden header;
+/// the model's capability curve decides whether the imputation lands near
+/// it — see DESIGN.md §2 on the oracle convention).
+pub struct ExecTimeLabeler {
+    model: Arc<SimLlm>,
+    cost: CostModel,
+}
+
+impl std::fmt::Debug for ExecTimeLabeler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExecTimeLabeler").finish()
+    }
+}
+
+impl ExecTimeLabeler {
+    /// Create a labeler.
+    pub fn new(model: Arc<SimLlm>, cost: CostModel) -> Self {
+        ExecTimeLabeler { model, cost }
+    }
+
+    fn prompt(&self, examples: &[(String, f64)], query: &str, gold: f64, difficulty: f64) -> String {
+        let mut body = String::from("Predict the execution time (ms) of the target query.\n");
+        for (q, t) in examples {
+            body.push_str(&format!("Example: {q} => {t:.2} ms\n"));
+        }
+        body.push_str(&format!("Target: {query}\n"));
+        PromptEnvelope::builder("oracle")
+            .header("gold", format!("{gold:.2}"))
+            .header("difficulty", difficulty)
+            .header("examples", examples.len())
+            .header("alt", format!("{:.2}", gold * 3.0))
+            .header("alt", format!("{:.2}", gold * 0.3))
+            .header("alt", format!("{:.2}", gold + 25.0))
+            .body(body)
+            .build()
+    }
+
+    /// Impute times for `targets` given labeled `examples`; returns the
+    /// imputed values and an error report against the gold cost model.
+    pub fn impute(
+        &self,
+        db: &Database,
+        examples: &[(String, f64)],
+        targets: &[String],
+    ) -> Result<(Vec<f64>, LabelReport), SqlError> {
+        let mut imputed = Vec::with_capacity(targets.len());
+        let mut rel_err_sum = 0.0;
+        let mut close = 0usize;
+        for q in targets {
+            let f = PlanFeatures::extract(db, q)?;
+            let gold = self.cost.execution_time_ms(&f, q);
+            // More complex plans are harder to estimate.
+            let difficulty = (0.1
+                + 0.15 * f.tables.saturating_sub(1) as f64
+                + 0.15 * f.subqueries as f64)
+                .min(0.9);
+            let prompt = self.prompt(examples, q, gold, difficulty);
+            let text = self
+                .model
+                .complete(&CompletionRequest::new(prompt))
+                .map_err(|e| SqlError::Exec(format!("model error: {e}")))?
+                .text;
+            let value: f64 = text.trim().parse().unwrap_or(gold * 3.0);
+            let rel = ((value - gold) / gold).abs();
+            rel_err_sum += rel;
+            if rel <= 0.30 {
+                close += 1;
+            }
+            imputed.push(value);
+        }
+        let n = targets.len();
+        Ok((
+            imputed,
+            LabelReport {
+                mean_rel_error: rel_err_sum / n.max(1) as f64,
+                within_30pct: close as f64 / n.max(1) as f64,
+                n,
+            },
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llmdm_model::ModelZoo;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.execute("CREATE TABLE a (id INT, x INT)").unwrap();
+        db.execute("CREATE TABLE b (id INT, y INT)").unwrap();
+        for i in 0..50 {
+            db.execute(&format!("INSERT INTO a VALUES ({i}, {})", i * 2)).unwrap();
+            db.execute(&format!("INSERT INTO b VALUES ({i}, {})", i * 3)).unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn features_reflect_plan_shape() {
+        let db = db();
+        let simple = PlanFeatures::extract(&db, "SELECT x FROM a WHERE x > 10").unwrap();
+        assert_eq!(simple.tables, 1);
+        assert_eq!(simple.scanned_rows, 50);
+        assert!(!simple.aggregates);
+        let join =
+            PlanFeatures::extract(&db, "SELECT a.x FROM a JOIN b ON a.id = b.id").unwrap();
+        assert_eq!(join.tables, 2);
+        assert_eq!(join.scanned_rows, 100);
+        let agg = PlanFeatures::extract(&db, "SELECT COUNT(*) FROM a").unwrap();
+        assert!(agg.aggregates);
+        let sub = PlanFeatures::extract(
+            &db,
+            "SELECT x FROM a WHERE id IN (SELECT id FROM b WHERE y > 30)",
+        )
+        .unwrap();
+        assert_eq!(sub.subqueries, 1);
+    }
+
+    #[test]
+    fn cost_grows_with_complexity() {
+        let db = db();
+        let cm = CostModel::default();
+        let t_simple = {
+            let f = PlanFeatures::extract(&db, "SELECT x FROM a").unwrap();
+            cm.execution_time_ms(&f, "SELECT x FROM a")
+        };
+        let t_join = {
+            let sql = "SELECT a.x FROM a JOIN b ON a.id = b.id";
+            let f = PlanFeatures::extract(&db, sql).unwrap();
+            cm.execution_time_ms(&f, sql)
+        };
+        assert!(t_join > t_simple * 1.5, "join {t_join} vs simple {t_simple}");
+    }
+
+    #[test]
+    fn cost_is_deterministic() {
+        let db = db();
+        let cm = CostModel::default();
+        let f = PlanFeatures::extract(&db, "SELECT x FROM a").unwrap();
+        assert_eq!(
+            cm.execution_time_ms(&f, "SELECT x FROM a"),
+            cm.execution_time_ms(&f, "SELECT x FROM a")
+        );
+    }
+
+    #[test]
+    fn large_model_imputes_accurately_small_model_poorly() {
+        let db = db();
+        let cm = CostModel::default();
+        let examples = cm
+            .label_all(
+                &db,
+                &[
+                    "SELECT x FROM a WHERE x > 5".to_string(),
+                    "SELECT y FROM b WHERE y > 9".to_string(),
+                    "SELECT a.x FROM a JOIN b ON a.id = b.id".to_string(),
+                ],
+            )
+            .unwrap();
+        let targets: Vec<String> = (0..30)
+            .map(|i| format!("SELECT x FROM a WHERE x > {i}"))
+            .collect();
+        let zoo = ModelZoo::standard(5);
+        let (_, large) = ExecTimeLabeler::new(zoo.large(), cm)
+            .impute(&db, &examples, &targets)
+            .unwrap();
+        let (_, small) = ExecTimeLabeler::new(zoo.small(), cm)
+            .impute(&db, &examples, &targets)
+            .unwrap();
+        assert!(
+            large.within_30pct > small.within_30pct,
+            "large {} vs small {}",
+            large.within_30pct,
+            small.within_30pct
+        );
+        assert!(large.within_30pct > 0.8, "large within30 {}", large.within_30pct);
+    }
+}

@@ -1,0 +1,39 @@
+//! # llmdm-datagen — LLM for data generation (§II-A, Figs. 2–3)
+//!
+//! The paper's first application area: using LLMs to generate the data
+//! that data-management tasks themselves need.
+//!
+//! * [`sqlgen`] — **constraint-aware SQL generation** (Fig. 2): produce
+//!   diverse, *correctly executable* SQL over a live schema — simple
+//!   queries, multi-join queries, and sub-queries, exactly the three kinds
+//!   the figure shows — under user constraints (kinds, join budget,
+//!   executability, non-empty results);
+//! * [`equivalence`] — **semantic-equivalence pairs** for DBMS logic-bug
+//!   testing ("to detect the logic bugs of DBMS, we need to generate some
+//!   SQL queries with semantic equivalence, which produce the same
+//!   results"): ternary-logic partitioning (TLP-style) and tautology
+//!   rewrites, plus a checker that flags result mismatches;
+//! * [`exectime`] — **training-data generation** for learning-based query
+//!   optimization (Fig. 3): a plan-feature cost model producing gold
+//!   `<query, execution_time>` pairs, and an LLM labeler that imputes
+//!   times for new queries from few-shot examples;
+//! * [`impute`] — **missing-field annotation**: serialize table rows to
+//!   natural language, feed labeled rows as few-shot examples, infer the
+//!   missing fields with the simulated model's ICL;
+//! * [`synth`] — **synthetic tabular data**: per-column statistical
+//!   profiles and a sampler that mimics them, for privacy-safe training
+//!   sets.
+
+#![warn(missing_docs)]
+
+pub mod equivalence;
+pub mod exectime;
+pub mod impute;
+pub mod sqlgen;
+pub mod synth;
+
+pub use equivalence::{check_equivalence, equivalent_variants, tlp_partition};
+pub use exectime::{CostModel, ExecTimeLabeler, LabelReport, PlanFeatures};
+pub use impute::{ImputeReport, Imputer};
+pub use sqlgen::{GeneratedSql, QueryKind, SqlGenConstraints, SqlGenerator};
+pub use synth::{synthesize, ColumnProfile, TableProfile};

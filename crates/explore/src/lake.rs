@@ -1,0 +1,379 @@
+//! The multi-modal data lake: one embedding space over text, tables,
+//! images (captions + features), and logs, with hybrid attribute-filtered
+//! search.
+
+use llmdm_model::Embedder;
+use llmdm_sqlengine::Table;
+use llmdm_vecdb::{AttrValue, Collection, Filter, Metric, VecDbError};
+use serde::{Deserialize, Serialize};
+
+/// Data modalities a lake can hold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Modality {
+    /// Free text documents.
+    Text,
+    /// Relational tables.
+    Table,
+    /// Images (represented by caption + extracted feature text).
+    Image,
+    /// Log files.
+    Log,
+}
+
+impl Modality {
+    /// Stable label used in attribute filters.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Modality::Text => "text",
+            Modality::Table => "table",
+            Modality::Image => "image",
+            Modality::Log => "log",
+        }
+    }
+}
+
+/// An item stored in the lake.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LakeItem {
+    /// Lake-assigned id.
+    pub id: u64,
+    /// The item's modality.
+    pub modality: Modality,
+    /// Human-readable title.
+    pub title: String,
+    /// The text surface embedded into the unified space (document body,
+    /// serialized table, image caption, log excerpt).
+    pub surface: String,
+}
+
+/// A search result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LakeSearchHit {
+    /// The matching item.
+    pub item: LakeItem,
+    /// Similarity score.
+    pub score: f32,
+}
+
+/// The multi-modal data lake.
+#[derive(Debug)]
+pub struct DataLake {
+    embedder: Embedder,
+    coll: Collection,
+    items: Vec<LakeItem>,
+    next_id: u64,
+}
+
+impl DataLake {
+    /// Create a lake with the shared embedding space.
+    pub fn new(seed: u64) -> Self {
+        let embedder = Embedder::standard(seed);
+        let coll = Collection::new(embedder.dim(), Metric::Cosine);
+        DataLake { embedder, coll, items: Vec::new(), next_id: 0 }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the lake is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    fn add(
+        &mut self,
+        modality: Modality,
+        title: &str,
+        surface: String,
+        attrs: Vec<(String, AttrValue)>,
+    ) -> Result<u64, VecDbError> {
+        let v = self.embedder.embed(&surface).map_err(|_| VecDbError::Empty("surface"))?;
+        let id = self.next_id;
+        self.next_id += 1;
+        let mut metadata = attrs;
+        metadata.push(("modality".to_string(), AttrValue::from(modality.label())));
+        metadata.push(("title".to_string(), AttrValue::from(title)));
+        self.coll.insert(id, v, metadata)?;
+        self.items.push(LakeItem { id, modality, title: title.to_string(), surface });
+        Ok(id)
+    }
+
+    /// Add a text document with optional attributes (e.g. entity types the
+    /// paper's hybrid search filters on).
+    pub fn add_text(
+        &mut self,
+        title: &str,
+        body: &str,
+        attrs: Vec<(String, AttrValue)>,
+    ) -> Result<u64, VecDbError> {
+        self.add(Modality::Text, title, format!("{title}. {body}"), attrs)
+    }
+
+    /// Add a relational table; the embedded surface is a natural-language
+    /// serialization of its header and sample rows.
+    pub fn add_table(
+        &mut self,
+        table: &Table,
+        attrs: Vec<(String, AttrValue)>,
+    ) -> Result<u64, VecDbError> {
+        let cols: Vec<&str> =
+            table.schema.columns().iter().map(|c| c.name.as_str()).collect();
+        let mut surface = format!(
+            "table {} with columns {}",
+            table.name,
+            cols.join(", ")
+        );
+        for row in table.rows.iter().take(5) {
+            let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+            surface.push_str(&format!("; row {}", cells.join(" ")));
+        }
+        self.add(Modality::Table, &table.name.clone(), surface, attrs)
+    }
+
+    /// Add a table at **row granularity**: each row becomes its own lake
+    /// item (§III-B2: "for tables, an embedding can represent a table or
+    /// specific rows of the table. … Varied granularities can influence
+    /// query performance differently"). Row items share the table's
+    /// attributes plus a `row` index attribute. Returns the item ids.
+    pub fn add_table_rows(
+        &mut self,
+        table: &Table,
+        attrs: Vec<(String, AttrValue)>,
+    ) -> Result<Vec<u64>, VecDbError> {
+        let cols: Vec<&str> =
+            table.schema.columns().iter().map(|c| c.name.as_str()).collect();
+        let mut ids = Vec::with_capacity(table.rows.len());
+        for (r, row) in table.rows.iter().enumerate() {
+            let cells: Vec<String> = cols
+                .iter()
+                .zip(row)
+                .map(|(c, v)| format!("{c} {v}"))
+                .collect();
+            let surface = format!("row of table {}: {}", table.name, cells.join(", "));
+            let mut meta = attrs.clone();
+            meta.push(("row".to_string(), AttrValue::Int(r as i64)));
+            let id = self.add(
+                Modality::Table,
+                &format!("{} row {r}", table.name),
+                surface,
+                meta,
+            )?;
+            ids.push(id);
+        }
+        Ok(ids)
+    }
+
+    /// Add an image by caption + extracted feature phrases (the offline
+    /// stand-in for a vision encoder).
+    pub fn add_image(
+        &mut self,
+        title: &str,
+        caption: &str,
+        feature_phrases: &[&str],
+        attrs: Vec<(String, AttrValue)>,
+    ) -> Result<u64, VecDbError> {
+        let surface = format!("{title}. {caption}. {}", feature_phrases.join(", "));
+        self.add(Modality::Image, title, surface, attrs)
+    }
+
+    /// Add a log excerpt.
+    pub fn add_log(
+        &mut self,
+        title: &str,
+        excerpt: &str,
+        attrs: Vec<(String, AttrValue)>,
+    ) -> Result<u64, VecDbError> {
+        self.add(Modality::Log, title, format!("{title}. {excerpt}"), attrs)
+    }
+
+    fn to_hits(&self, hits: Vec<llmdm_vecdb::SearchHit>) -> Vec<LakeSearchHit> {
+        hits.into_iter()
+            .filter_map(|h| {
+                self.items
+                    .iter()
+                    .find(|i| i.id == h.id)
+                    .map(|item| LakeSearchHit { item: item.clone(), score: h.score })
+            })
+            .collect()
+    }
+
+    /// Pure semantic search across all modalities.
+    pub fn search(&self, query: &str, k: usize) -> Result<Vec<LakeSearchHit>, VecDbError> {
+        let v = self.embedder.embed(query).map_err(|_| VecDbError::Empty("query"))?;
+        Ok(self.to_hits(self.coll.search_exact(&v, k)?))
+    }
+
+    /// Hybrid search: semantic similarity + attribute filter (the paper's
+    /// fix for "similar vectors may not represent related information").
+    pub fn search_filtered(
+        &self,
+        query: &str,
+        k: usize,
+        filter: &Filter,
+    ) -> Result<Vec<LakeSearchHit>, VecDbError> {
+        let v = self.embedder.embed(query).map_err(|_| VecDbError::Empty("query"))?;
+        Ok(self.to_hits(self.coll.search_filtered(&v, k, filter)?))
+    }
+
+    /// Restrict search to one modality.
+    pub fn search_modality(
+        &self,
+        query: &str,
+        k: usize,
+        modality: Modality,
+    ) -> Result<Vec<LakeSearchHit>, VecDbError> {
+        self.search_filtered(query, k, &Filter::eq("modality", modality.label()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llmdm_sqlengine::{Column, DataType, Schema, Value};
+
+    /// The paper's §III-B2 scenario: a basketball-star text and a
+    /// professors table both mentioning "Michael Jordan".
+    fn jordan_lake() -> DataLake {
+        let mut lake = DataLake::new(7);
+        lake.add_text(
+            "sports legends",
+            "Michael Jordan, the greatest basketball player of all time, \
+             found the secret to success on the court",
+            vec![("entity_type".to_string(), AttrValue::from("athlete"))],
+        )
+        .unwrap();
+        let schema = Schema::new(vec![
+            Column::new("name", DataType::Text),
+            Column::new("department", DataType::Text),
+            Column::new("university", DataType::Text),
+        ]);
+        let mut professors = Table::new("professors", schema);
+        professors
+            .push_row(vec![
+                Value::Str("Michael Jordan".into()),
+                Value::Str("machine learning".into()),
+                Value::Str("berkeley".into()),
+            ])
+            .unwrap();
+        professors
+            .push_row(vec![
+                Value::Str("Ada Lovelace".into()),
+                Value::Str("mathematics".into()),
+                Value::Str("cambridge".into()),
+            ])
+            .unwrap();
+        lake.add_table(
+            &professors,
+            vec![("entity_type".to_string(), AttrValue::from("professor"))],
+        )
+        .unwrap();
+        lake.add_image(
+            "court photo",
+            "a basketball arena at night",
+            &["crowd", "hoop", "scoreboard"],
+            vec![("entity_type".to_string(), AttrValue::from("venue"))],
+        )
+        .unwrap();
+        lake.add_log(
+            "query log",
+            "SELECT * FROM games WHERE season = 1996",
+            vec![],
+        )
+        .unwrap();
+        lake
+    }
+
+    #[test]
+    fn vector_search_alone_surfaces_the_athlete() {
+        let lake = jordan_lake();
+        let hits = lake.search("Could Prof. Michael Jordan play basketball", 2).unwrap();
+        // Pure similarity: the basketball text dominates — the trap the
+        // paper describes.
+        assert_eq!(hits[0].item.modality, Modality::Text);
+        assert!(hits[0].item.surface.contains("basketball player"));
+    }
+
+    #[test]
+    fn attribute_filter_recovers_the_professor() {
+        let lake = jordan_lake();
+        let hits = lake
+            .search_filtered(
+                "Could Prof. Michael Jordan play basketball",
+                1,
+                &Filter::eq("entity_type", "professor"),
+            )
+            .unwrap();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].item.modality, Modality::Table);
+        assert!(hits[0].item.surface.contains("professors"));
+    }
+
+    #[test]
+    fn modality_restriction() {
+        let lake = jordan_lake();
+        let hits = lake.search_modality("basketball arena", 2, Modality::Image).unwrap();
+        assert!(!hits.is_empty());
+        assert!(hits.iter().all(|h| h.item.modality == Modality::Image));
+    }
+
+    #[test]
+    fn all_modalities_share_one_space() {
+        let lake = jordan_lake();
+        assert_eq!(lake.len(), 4);
+        let hits = lake.search("basketball", 4).unwrap();
+        let mods: Vec<Modality> = hits.iter().map(|h| h.item.modality).collect();
+        assert!(mods.contains(&Modality::Text));
+        assert!(mods.contains(&Modality::Image));
+    }
+
+    #[test]
+    fn log_search() {
+        let lake = jordan_lake();
+        let hits = lake.search_modality("SELECT games season", 1, Modality::Log).unwrap();
+        assert_eq!(hits[0].item.title, "query log");
+    }
+
+    #[test]
+    fn empty_query_errors() {
+        let lake = jordan_lake();
+        assert!(lake.search("", 3).is_err());
+    }
+
+    /// §III-B2 granularity: a row-level question ranks the matching *row*
+    /// item above the whole-table item whose surface is dominated by other
+    /// rows.
+    #[test]
+    fn row_granularity_wins_row_level_queries() {
+        let schema = Schema::new(vec![
+            Column::new("name", DataType::Text),
+            Column::new("department", DataType::Text),
+        ]);
+        let mut staff = Table::new("staff", schema);
+        for (n, d) in [
+            ("ada lovelace", "mathematics"),
+            ("grace hopper", "compilers"),
+            ("dara okafor", "databases"),
+            ("emil novak", "networking"),
+            ("farah haddad", "graphics"),
+        ] {
+            staff
+                .push_row(vec![Value::Str(n.into()), Value::Str(d.into())])
+                .unwrap();
+        }
+        let mut lake = DataLake::new(9);
+        lake.add_table(&staff, vec![("gran".to_string(), AttrValue::from("table"))]).unwrap();
+        let row_ids =
+            lake.add_table_rows(&staff, vec![("gran".to_string(), AttrValue::from("row"))]).unwrap();
+        assert_eq!(row_ids.len(), 5);
+
+        let hits = lake.search("which department is grace hopper in", 2).unwrap();
+        assert!(
+            hits[0].item.title.contains("row"),
+            "row-granularity item should rank first, got {:?}",
+            hits[0].item.title
+        );
+        assert!(hits[0].item.surface.contains("grace hopper"));
+    }
+}

@@ -1,0 +1,23 @@
+//! # llmdm-explore — LLM for data exploration (§II-D)
+//!
+//! * [`lake`] — **multi-modal data lake management** (§II-D1): text
+//!   documents, relational tables, image captions+features, and log files
+//!   "encoded in the same embedding space", searched semantically and —
+//!   because "similar vectors may not represent related information" —
+//!   *hybrid*-searched with attribute filters. Includes the paper's
+//!   "Could Prof. Michael Jordan play basketball" disambiguation case,
+//!   where pure vector search surfaces the basketball player and the
+//!   entity-type filter recovers the professor.
+//! * [`llm_as_db`] — **LLM as databases** (§II-D2, after Saeed et al.):
+//!   SQL over *virtual tables* whose rows live inside a language model.
+//!   A query is decomposed per referenced virtual table; each table is
+//!   materialized by prompting the model for its rows; the decomposed
+//!   SQL then executes over the materialized relations.
+
+#![warn(missing_docs)]
+
+pub mod lake;
+pub mod llm_as_db;
+
+pub use lake::{DataLake, LakeItem, LakeSearchHit, Modality};
+pub use llm_as_db::{LlmDatabase, VirtualTable};

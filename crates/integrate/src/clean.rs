@@ -1,0 +1,283 @@
+//! Data cleaning (§II-C1): NULLs, numeric outliers, duplicate rows, and
+//! functional-dependency violations, with majority repair. "An error will
+//! make the data less usable … even 10% error may make the data
+//! meaningless for real-world applications like healthcare analytics."
+
+use llmdm_sqlengine::{DataType, Table, Value};
+use serde::{Deserialize, Serialize};
+
+/// A functional-dependency violation: rows agreeing on the determinant but
+/// disagreeing on the dependent.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FdViolation {
+    /// Determinant value (rendered).
+    pub determinant: String,
+    /// The conflicting dependent values (rendered) with their counts.
+    pub dependents: Vec<(String, usize)>,
+}
+
+/// A cleaning report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CleanReport {
+    /// NULL cells per column (name, count).
+    pub nulls: Vec<(String, usize)>,
+    /// Outlier row indexes per numeric column (robust modified z-score
+    /// |0.6745·(v − median)/MAD| > 3.5).
+    pub outliers: Vec<(String, Vec<usize>)>,
+    /// Exact duplicate row index pairs.
+    pub duplicates: Vec<(usize, usize)>,
+    /// Violations of the checked FDs.
+    pub fd_violations: Vec<(String, String, Vec<FdViolation>)>,
+    /// Overall error-cell rate estimate.
+    pub error_rate: f64,
+}
+
+/// Analyze a table. `fds` lists `(determinant, dependent)` column pairs to
+/// check.
+pub fn clean_report(table: &Table, fds: &[(&str, &str)]) -> CleanReport {
+    let n = table.rows.len();
+    let mut nulls = Vec::new();
+    let mut outliers = Vec::new();
+    let mut error_cells = 0usize;
+
+    for (i, c) in table.schema.columns().iter().enumerate() {
+        let null_count = table.rows.iter().filter(|r| r[i].is_null()).count();
+        if null_count > 0 {
+            nulls.push((c.name.clone(), null_count));
+            error_cells += null_count;
+        }
+        if matches!(c.dtype, DataType::Int | DataType::Float) {
+            let vals: Vec<(usize, f64)> = table
+                .rows
+                .iter()
+                .enumerate()
+                .filter_map(|(r, row)| row[i].as_f64().map(|v| (r, v)))
+                .collect();
+            if vals.len() >= 4 {
+                // Median/MAD: robust to the outlier inflating the scale
+                // estimate (the masking problem of mean/sigma z-scores).
+                let mut sorted: Vec<f64> = vals.iter().map(|(_, v)| *v).collect();
+                sorted.sort_by(f64::total_cmp);
+                let median = sorted[sorted.len() / 2];
+                let mut dev: Vec<f64> = sorted.iter().map(|v| (v - median).abs()).collect();
+                dev.sort_by(f64::total_cmp);
+                let mad = dev[dev.len() / 2];
+                if mad > 0.0 {
+                    let out: Vec<usize> = vals
+                        .iter()
+                        .filter(|(_, v)| (0.6745 * (v - median) / mad).abs() > 3.5)
+                        .map(|(r, _)| *r)
+                        .collect();
+                    if !out.is_empty() {
+                        error_cells += out.len();
+                        outliers.push((c.name.clone(), out));
+                    }
+                }
+            }
+        }
+    }
+
+    // Exact duplicates.
+    let mut duplicates = Vec::new();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if table.rows[i] == table.rows[j] {
+                duplicates.push((i, j));
+            }
+        }
+    }
+    error_cells += duplicates.len();
+
+    // FD checks.
+    let mut fd_violations = Vec::new();
+    for (det, dep) in fds {
+        let (Some(di), Some(pi)) = (table.schema.index_of(det), table.schema.index_of(dep))
+        else {
+            continue;
+        };
+        let mut groups: Vec<(String, Vec<(String, usize)>)> = Vec::new();
+        for row in &table.rows {
+            if row[di].is_null() {
+                continue;
+            }
+            let d = row[di].to_string();
+            let p = row[pi].to_string();
+            let group = match groups.iter_mut().find(|(k, _)| *k == d) {
+                Some((_, g)) => g,
+                None => {
+                    groups.push((d.clone(), Vec::new()));
+                    &mut groups.last_mut().expect("just pushed").1
+                }
+            };
+            match group.iter_mut().find(|(v, _)| *v == p) {
+                Some((_, c)) => *c += 1,
+                None => group.push((p, 1)),
+            }
+        }
+        let violations: Vec<FdViolation> = groups
+            .into_iter()
+            .filter(|(_, deps)| deps.len() > 1)
+            .map(|(determinant, dependents)| {
+                error_cells += dependents.iter().map(|(_, c)| c).sum::<usize>()
+                    - dependents.iter().map(|(_, c)| c).max().copied().unwrap_or(0);
+                FdViolation { determinant, dependents }
+            })
+            .collect();
+        if !violations.is_empty() {
+            fd_violations.push((det.to_string(), dep.to_string(), violations));
+        }
+    }
+
+    let total_cells = (n * table.schema.len()).max(1);
+    CleanReport {
+        nulls,
+        outliers,
+        duplicates,
+        fd_violations,
+        error_rate: error_cells as f64 / total_cells as f64,
+    }
+}
+
+/// Repair FD violations by majority vote within each determinant group
+/// (the "LLM-assisted repair" would pick the semantically right value; the
+/// majority heuristic is its deterministic stand-in and what crowdsourced
+/// repair converges to).
+pub fn repair_fd_violations(table: &Table, det: &str, dep: &str) -> Table {
+    let mut out = table.clone();
+    let (Some(di), Some(pi)) = (table.schema.index_of(det), table.schema.index_of(dep)) else {
+        return out;
+    };
+    // Majority dependent per determinant.
+    let mut majority: Vec<(String, Value)> = Vec::new();
+    {
+        let mut groups: Vec<(String, Vec<(Value, usize)>)> = Vec::new();
+        for row in &table.rows {
+            if row[di].is_null() {
+                continue;
+            }
+            let d = row[di].to_string();
+            let group = match groups.iter_mut().find(|(k, _)| *k == d) {
+                Some((_, g)) => g,
+                None => {
+                    groups.push((d.clone(), Vec::new()));
+                    &mut groups.last_mut().expect("just pushed").1
+                }
+            };
+            match group.iter_mut().find(|(v, _)| *v == row[pi]) {
+                Some((_, c)) => *c += 1,
+                None => group.push((row[pi].clone(), 1)),
+            }
+        }
+        for (d, deps) in groups {
+            if let Some((v, _)) = deps.into_iter().max_by_key(|(_, c)| *c) {
+                majority.push((d, v));
+            }
+        }
+    }
+    for row in &mut out.rows {
+        if row[di].is_null() {
+            continue;
+        }
+        let d = row[di].to_string();
+        if let Some((_, v)) = majority.iter().find(|(k, _)| *k == d) {
+            row[pi] = v.clone();
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llmdm_sqlengine::{Column, Schema};
+
+    /// Retail inventory with injected issues: NULL price, outlier price,
+    /// duplicate row, and a zip→city FD violation.
+    fn dirty() -> Table {
+        let schema = Schema::new(vec![
+            Column::new("sku", DataType::Int),
+            Column::new("price", DataType::Float),
+            Column::new("zip", DataType::Text),
+            Column::new("city", DataType::Text),
+        ]);
+        let mut t = Table::new("inventory", schema);
+        let rows: Vec<(i64, Option<f64>, &str, &str)> = vec![
+            (1, Some(10.0), "100081", "beijing"),
+            (2, Some(12.0), "100081", "beijing"),
+            (3, None, "100081", "beijing"),
+            (4, Some(11.0), "100081", "peking"), // FD violation
+            (5, Some(9.5), "018989", "singapore"),
+            (6, Some(10.5), "018989", "singapore"),
+            (7, Some(9000.0), "018989", "singapore"), // outlier
+            (8, Some(10.0), "018989", "singapore"),
+            (9, Some(11.5), "018989", "singapore"),
+            (10, Some(10.2), "018989", "singapore"),
+        ];
+        for (sku, price, zip, city) in rows {
+            t.push_row(vec![
+                Value::Int(sku),
+                price.map(Value::Float).unwrap_or(Value::Null),
+                Value::Str(zip.into()),
+                Value::Str(city.into()),
+            ])
+            .unwrap();
+        }
+        // Duplicate of row 0.
+        t.push_row(vec![
+            Value::Int(1),
+            Value::Float(10.0),
+            Value::Str("100081".into()),
+            Value::Str("beijing".into()),
+        ])
+        .unwrap();
+        t
+    }
+
+    #[test]
+    fn detects_all_issue_kinds() {
+        let t = dirty();
+        let rep = clean_report(&t, &[("zip", "city")]);
+        assert_eq!(rep.nulls, vec![("price".to_string(), 1)]);
+        assert_eq!(rep.outliers.len(), 1);
+        assert_eq!(rep.outliers[0].0, "price");
+        assert!(rep.outliers[0].1.contains(&6));
+        assert_eq!(rep.duplicates, vec![(0, 10)]);
+        assert_eq!(rep.fd_violations.len(), 1);
+        let v = &rep.fd_violations[0].2[0];
+        assert_eq!(v.determinant, "'100081'");
+        assert_eq!(v.dependents.len(), 2);
+        assert!(rep.error_rate > 0.0);
+    }
+
+    #[test]
+    fn clean_table_reports_nothing() {
+        let schema = Schema::new(vec![Column::new("x", DataType::Int)]);
+        let mut t = Table::new("clean", schema);
+        for i in 0..10 {
+            t.push_row(vec![Value::Int(i)]).unwrap();
+        }
+        let rep = clean_report(&t, &[]);
+        assert!(rep.nulls.is_empty());
+        assert!(rep.outliers.is_empty());
+        assert!(rep.duplicates.is_empty());
+        assert_eq!(rep.error_rate, 0.0);
+    }
+
+    #[test]
+    fn fd_repair_applies_majority() {
+        let t = dirty();
+        let fixed = repair_fd_violations(&t, "zip", "city");
+        let rep = clean_report(&fixed, &[("zip", "city")]);
+        assert!(rep.fd_violations.is_empty());
+        // The minority value was overwritten with the majority.
+        let city_idx = fixed.schema.index_of("city").unwrap();
+        assert_eq!(fixed.rows[3][city_idx], Value::Str("beijing".into()));
+    }
+
+    #[test]
+    fn repair_on_missing_columns_is_noop() {
+        let t = dirty();
+        let same = repair_fd_violations(&t, "nope", "city");
+        assert_eq!(same.rows, t.rows);
+    }
+}

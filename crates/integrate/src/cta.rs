@@ -1,0 +1,236 @@
+//! Column type annotation (§II-C1) — the paper's worked few-shot example:
+//! "Given the following column types: country, person, date, movie,
+//! sports. You need to predict the column type according to the column
+//! values. (1) USA||UK||France, this column type is country. …
+//! Basketball||Badminton||Table Tennis, this column type is ___."
+
+use std::sync::Arc;
+
+use llmdm_model::{CompletionRequest, LanguageModel, PromptEnvelope, SimLlm};
+use serde::{Deserialize, Serialize};
+
+/// The semantic column types of the paper's example (plus common extras).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ColumnType {
+    /// Countries.
+    Country,
+    /// People's names.
+    Person,
+    /// Calendar dates.
+    Date,
+    /// Film titles.
+    Movie,
+    /// Sports.
+    Sports,
+    /// Cities.
+    City,
+    /// Calendar years.
+    Year,
+    /// Email addresses.
+    Email,
+    /// Phone numbers.
+    Phone,
+    /// No rule matched.
+    Unknown,
+}
+
+impl ColumnType {
+    /// The label text used in prompts.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ColumnType::Country => "country",
+            ColumnType::Person => "person",
+            ColumnType::Date => "date",
+            ColumnType::Movie => "movie",
+            ColumnType::Sports => "sports",
+            ColumnType::City => "city",
+            ColumnType::Year => "year",
+            ColumnType::Email => "email",
+            ColumnType::Phone => "phone",
+            ColumnType::Unknown => "unknown",
+        }
+    }
+
+    /// Parse a label.
+    pub fn from_label(s: &str) -> ColumnType {
+        match s.trim().to_lowercase().as_str() {
+            "country" => ColumnType::Country,
+            "person" => ColumnType::Person,
+            "date" => ColumnType::Date,
+            "movie" => ColumnType::Movie,
+            "sports" => ColumnType::Sports,
+            "city" => ColumnType::City,
+            "year" => ColumnType::Year,
+            "email" => ColumnType::Email,
+            "phone" => ColumnType::Phone,
+            _ => ColumnType::Unknown,
+        }
+    }
+
+    /// All concrete types (excludes Unknown).
+    pub const ALL: [ColumnType; 9] = [
+        ColumnType::Country,
+        ColumnType::Person,
+        ColumnType::Date,
+        ColumnType::Movie,
+        ColumnType::Sports,
+        ColumnType::City,
+        ColumnType::Year,
+        ColumnType::Email,
+        ColumnType::Phone,
+    ];
+}
+
+const COUNTRIES: &[&str] = &[
+    "usa", "uk", "france", "china", "singapore", "germany", "japan", "brazil", "india", "canada",
+];
+const SPORTS: &[&str] = &[
+    "basketball", "badminton", "table tennis", "football", "tennis", "swimming", "volleyball",
+];
+const CITIES: &[&str] =
+    &["beijing", "singapore", "london", "paris", "new york", "tokyo", "berlin"];
+
+/// Rule-based annotation: lexicons and shape patterns. The non-LLM
+/// baseline the paper's PLM-era methods correspond to.
+pub fn rule_annotate(values: &[&str]) -> ColumnType {
+    if values.is_empty() {
+        return ColumnType::Unknown;
+    }
+    let lower: Vec<String> = values.iter().map(|v| v.trim().to_lowercase()).collect();
+    let frac = |pred: &dyn Fn(&str) -> bool| -> f64 {
+        lower.iter().filter(|v| pred(v)).count() as f64 / lower.len() as f64
+    };
+    type Check<'a> = (ColumnType, &'a dyn Fn(&str) -> bool);
+    let checks: [Check<'_>; 7] = [
+        (ColumnType::Email, &|v: &str| v.contains('@') && v.contains('.')),
+        (ColumnType::Phone, &|v: &str| {
+            let digits = v.chars().filter(|c| c.is_ascii_digit()).count();
+            digits >= 7 && v.chars().all(|c| c.is_ascii_digit() || "-() +".contains(c))
+        }),
+        (ColumnType::Year, &|v: &str| {
+            v.len() == 4 && v.chars().all(|c| c.is_ascii_digit()) && v.starts_with(['1', '2'])
+        }),
+        (ColumnType::Date, &|v: &str| looks_like_date(v)),
+        (ColumnType::Country, &|v: &str| COUNTRIES.contains(&v)),
+        (ColumnType::Sports, &|v: &str| SPORTS.contains(&v)),
+        (ColumnType::City, &|v: &str| CITIES.contains(&v)),
+    ];
+    for (ty, pred) in checks {
+        if frac(pred) >= 0.6 {
+            return ty;
+        }
+    }
+    // Person heuristic: 2-3 capitalized alphabetic words.
+    let person = values
+        .iter()
+        .filter(|v| {
+            let words: Vec<&str> = v.split_whitespace().collect();
+            (2..=3).contains(&words.len())
+                && words.iter().all(|w| {
+                    w.chars().next().is_some_and(|c| c.is_uppercase())
+                        && w.chars().all(|c| c.is_alphabetic() || c == '.')
+                })
+        })
+        .count() as f64
+        / values.len() as f64;
+    if person >= 0.6 {
+        return ColumnType::Person;
+    }
+    ColumnType::Unknown
+}
+
+fn looks_like_date(v: &str) -> bool {
+    let parts: Vec<&str> = v.split(['/', '-']).collect();
+    parts.len() == 3 && parts.iter().all(|p| p.chars().all(|c| c.is_ascii_digit()))
+}
+
+/// Few-shot LLM annotation using the paper's prompt shape; the gold label
+/// rides in the harness header and the model's capability curve decides
+/// whether ICL lands it (DESIGN.md §2's oracle convention).
+pub fn annotate_with_llm(
+    model: &Arc<SimLlm>,
+    values: &[&str],
+    gold: ColumnType,
+) -> Result<ColumnType, llmdm_model::ModelError> {
+    let candidates: Vec<&str> = ColumnType::ALL.iter().map(|t| t.label()).collect();
+    let mut body = format!(
+        "Given the following column types: {}. You need to predict the column type \
+         according to the column values.\n",
+        candidates.join(", ")
+    );
+    body.push_str("Example: USA||UK||France, this column type is country.\n");
+    body.push_str("Example: Michael Jackson||Beckham||Michael Jordan, this column type is person.\n");
+    body.push_str(&format!("{}, this column type is __.\n", values.join("||")));
+    // Difficulty: ambiguous value sets (rule baseline unsure) are harder.
+    let difficulty = if rule_annotate(values) == gold { 0.08 } else { 0.35 };
+    let mut b = PromptEnvelope::builder("oracle")
+        .header("gold", gold.label())
+        .header("difficulty", difficulty)
+        .header("examples", 2);
+    for alt in ColumnType::ALL.iter().filter(|t| **t != gold).take(3) {
+        b = b.header("alt", alt.label());
+    }
+    let completion = model.complete(&CompletionRequest::new(b.body(body).build()))?;
+    Ok(ColumnType::from_label(&completion.text))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llmdm_model::ModelZoo;
+
+    #[test]
+    fn rule_annotation_on_paper_examples() {
+        assert_eq!(rule_annotate(&["USA", "UK", "France"]), ColumnType::Country);
+        assert_eq!(
+            rule_annotate(&["Basketball", "Badminton", "Table Tennis"]),
+            ColumnType::Sports
+        );
+        assert_eq!(
+            rule_annotate(&["Michael Jackson", "David Beckham", "Michael Jordan"]),
+            ColumnType::Person
+        );
+    }
+
+    #[test]
+    fn rule_annotation_shapes() {
+        assert_eq!(rule_annotate(&["2014", "2015", "1999"]), ColumnType::Year);
+        assert_eq!(rule_annotate(&["8/14/2023", "1-02-2022"]), ColumnType::Date);
+        assert_eq!(rule_annotate(&["a@b.com", "x@y.org"]), ColumnType::Email);
+        assert_eq!(rule_annotate(&["555-123-4567", "555 987 6543"]), ColumnType::Phone);
+        assert_eq!(rule_annotate(&["Beijing", "London", "Paris"]), ColumnType::City);
+    }
+
+    #[test]
+    fn mixed_column_is_unknown() {
+        assert_eq!(rule_annotate(&["USA", "Basketball", "2014"]), ColumnType::Unknown);
+        assert_eq!(rule_annotate(&[]), ColumnType::Unknown);
+    }
+
+    #[test]
+    fn llm_annotation_matches_gold_with_large_tier() {
+        let zoo = ModelZoo::standard(5);
+        let model = zoo.large();
+        let mut correct = 0;
+        let cases: [(&[&str], ColumnType); 4] = [
+            (&["USA", "UK", "France"], ColumnType::Country),
+            (&["Basketball", "Badminton"], ColumnType::Sports),
+            (&["2014", "2015"], ColumnType::Year),
+            (&["a@b.com", "c@d.org"], ColumnType::Email),
+        ];
+        for (values, gold) in cases {
+            if annotate_with_llm(&model, values, gold).unwrap() == gold {
+                correct += 1;
+            }
+        }
+        assert!(correct >= 3, "correct = {correct}");
+    }
+
+    #[test]
+    fn label_roundtrip() {
+        for t in ColumnType::ALL {
+            assert_eq!(ColumnType::from_label(t.label()), t);
+        }
+        assert_eq!(ColumnType::from_label("gibberish"), ColumnType::Unknown);
+    }
+}

@@ -1,0 +1,157 @@
+//! Schema matching: find corresponding columns across two tables whose
+//! schemas name things differently (§II-C1).
+
+use llmdm_model::embed::cosine;
+use llmdm_model::Embedder;
+use llmdm_sqlengine::{Table, Value};
+use serde::{Deserialize, Serialize};
+
+/// One proposed column correspondence.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ColumnMatch {
+    /// Column name in the left table.
+    pub left: String,
+    /// Column name in the right table.
+    pub right: String,
+    /// Blended confidence in `[0, 1]`.
+    pub score: f64,
+}
+
+/// Match columns of `left` to columns of `right`.
+///
+/// Score = 0.4·name-embedding similarity + 0.4·value overlap (Jaccard of
+/// rendered values) + 0.2·type agreement; greedy one-to-one assignment,
+/// matches below `threshold` dropped.
+pub fn match_schemas(left: &Table, right: &Table, seed: u64, threshold: f64) -> Vec<ColumnMatch> {
+    let embedder = Embedder::standard(seed);
+    let mut scored: Vec<(f64, usize, usize)> = Vec::new();
+    for (i, lc) in left.schema.columns().iter().enumerate() {
+        for (j, rc) in right.schema.columns().iter().enumerate() {
+            let name_sim = match (embedder.embed(&lc.name), embedder.embed(&rc.name)) {
+                (Ok(a), Ok(b)) => cosine(&a, &b) as f64,
+                _ => 0.0,
+            };
+            let overlap = value_overlap(left, i, right, j);
+            let type_ok = if lc.dtype == rc.dtype { 1.0 } else { 0.0 };
+            scored.push((0.4 * name_sim.max(0.0) + 0.4 * overlap + 0.2 * type_ok, i, j));
+        }
+    }
+    scored.sort_by(|a, b| b.0.total_cmp(&a.0));
+    let mut used_l = vec![false; left.schema.len()];
+    let mut used_r = vec![false; right.schema.len()];
+    let mut out = Vec::new();
+    for (score, i, j) in scored {
+        if score < threshold || used_l[i] || used_r[j] {
+            continue;
+        }
+        used_l[i] = true;
+        used_r[j] = true;
+        out.push(ColumnMatch {
+            left: left.schema.columns()[i].name.clone(),
+            right: right.schema.columns()[j].name.clone(),
+            score,
+        });
+    }
+    out
+}
+
+/// Jaccard overlap of the distinct rendered values of two columns.
+fn value_overlap(left: &Table, i: usize, right: &Table, j: usize) -> f64 {
+    let distinct = |t: &Table, c: usize| -> Vec<String> {
+        let mut v: Vec<String> = t
+            .rows
+            .iter()
+            .filter_map(|r| match &r[c] {
+                Value::Null => None,
+                v => Some(v.to_string().to_lowercase()),
+            })
+            .collect();
+        v.sort();
+        v.dedup();
+        v
+    };
+    let (a, b) = (distinct(left, i), distinct(right, j));
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let inter = a.iter().filter(|x| b.contains(x)).count();
+    inter as f64 / (a.len() + b.len() - inter).max(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llmdm_sqlengine::{Column, DataType, Schema};
+
+    fn crm() -> Table {
+        let schema = Schema::new(vec![
+            Column::new("customer_name", DataType::Text),
+            Column::new("customer_city", DataType::Text),
+            Column::new("total_spend", DataType::Int),
+        ]);
+        let mut t = Table::new("crm", schema);
+        for (n, c, s) in [("alice", "beijing", 100i64), ("bob", "singapore", 200), ("chen", "beijing", 50)] {
+            t.push_row(vec![Value::Str(n.into()), Value::Str(c.into()), Value::Int(s)]).unwrap();
+        }
+        t
+    }
+
+    fn billing() -> Table {
+        let schema = Schema::new(vec![
+            Column::new("spend_total", DataType::Int),
+            Column::new("name", DataType::Text),
+            Column::new("city", DataType::Text),
+        ]);
+        let mut t = Table::new("billing", schema);
+        for (s, n, c) in [(100i64, "alice", "beijing"), (200, "bob", "singapore")] {
+            t.push_row(vec![Value::Int(s), Value::Str(n.into()), Value::Str(c.into())]).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn matches_renamed_columns() {
+        let matches = match_schemas(&crm(), &billing(), 1, 0.3);
+        assert_eq!(matches.len(), 3);
+        let find = |l: &str| matches.iter().find(|m| m.left == l).map(|m| m.right.clone());
+        assert_eq!(find("customer_name").as_deref(), Some("name"));
+        assert_eq!(find("customer_city").as_deref(), Some("city"));
+        assert_eq!(find("total_spend").as_deref(), Some("spend_total"));
+    }
+
+    #[test]
+    fn one_to_one_assignment() {
+        let matches = match_schemas(&crm(), &billing(), 1, 0.0);
+        let mut rights: Vec<&str> = matches.iter().map(|m| m.right.as_str()).collect();
+        rights.sort_unstable();
+        rights.dedup();
+        assert_eq!(rights.len(), matches.len());
+    }
+
+    #[test]
+    fn threshold_filters_weak_matches() {
+        let schema = Schema::new(vec![Column::new("zzz", DataType::Bool)]);
+        let mut odd = Table::new("odd", schema);
+        odd.push_row(vec![Value::Bool(true)]).unwrap();
+        let matches = match_schemas(&crm(), &odd, 1, 0.5);
+        assert!(matches.is_empty(), "{matches:?}");
+    }
+
+    #[test]
+    fn value_overlap_drives_ambiguous_names() {
+        // Two candidate columns with equally generic names; values decide.
+        let schema_l = Schema::new(vec![Column::new("field_a", DataType::Text)]);
+        let mut l = Table::new("l", schema_l);
+        l.push_row(vec![Value::Str("beijing".into())]).unwrap();
+        l.push_row(vec![Value::Str("singapore".into())]).unwrap();
+        let schema_r = Schema::new(vec![
+            Column::new("col_one", DataType::Text),
+            Column::new("col_two", DataType::Text),
+        ]);
+        let mut r = Table::new("r", schema_r);
+        r.push_row(vec![Value::Str("beijing".into()), Value::Str("alice".into())]).unwrap();
+        r.push_row(vec![Value::Str("singapore".into()), Value::Str("bob".into())]).unwrap();
+        let matches = match_schemas(&l, &r, 1, 0.1);
+        assert_eq!(matches[0].right, "col_one");
+    }
+}

@@ -1,0 +1,332 @@
+//! Table understanding (§II-C2): serialization strategies, SQL→NL
+//! statistical descriptions, and the big-table splitting/compression
+//! advisor for PLM input budgets.
+
+use llmdm_model::Tokenizer;
+use llmdm_sqlengine::{Database, SqlError, Table, Value};
+use serde::{Deserialize, Serialize};
+
+/// Row linearization (the "simple serialization of prior works"):
+/// `col1: v1 | col2: v2 …` per row.
+pub fn linearize_rows(table: &Table, max_rows: usize) -> String {
+    let mut s = String::new();
+    for row in table.rows.iter().take(max_rows) {
+        let cells: Vec<String> = table
+            .schema
+            .columns()
+            .iter()
+            .zip(row)
+            .map(|(c, v)| format!("{}: {v}", c.name))
+            .collect();
+        s.push_str(&cells.join(" | "));
+        s.push('\n');
+    }
+    s
+}
+
+/// Column linearization: `col: v1, v2, v3 …` per column.
+pub fn linearize_columns(table: &Table, max_values: usize) -> String {
+    let mut s = String::new();
+    for (i, c) in table.schema.columns().iter().enumerate() {
+        let vals: Vec<String> =
+            table.rows.iter().take(max_values).map(|r| r[i].to_string()).collect();
+        s.push_str(&format!("{}: {}\n", c.name, vals.join(", ")));
+    }
+    s
+}
+
+/// Natural-language serialization — the LLM-enhanced path: each row
+/// becomes a sentence capturing the table's semantics ("transforming each
+/// row … into a natural language description").
+pub fn serialize_natural(table: &Table, max_rows: usize) -> String {
+    let mut s = String::new();
+    let cols = table.schema.columns();
+    for row in table.rows.iter().take(max_rows) {
+        let mut phrases = Vec::new();
+        for (c, v) in cols.iter().zip(row) {
+            if v.is_null() {
+                continue;
+            }
+            phrases.push(format!("its {} is {v}", c.name));
+        }
+        if let Some(first) = phrases.first().cloned() {
+            let head = first.replacen("its ", "", 1);
+            let rest = &phrases[1..];
+            if rest.is_empty() {
+                s.push_str(&format!("There is a {} record whose {head}.\n", table.name));
+            } else {
+                s.push_str(&format!(
+                    "There is a {} record whose {head}, and {}.\n",
+                    table.name,
+                    rest.join(", and ")
+                ));
+            }
+        }
+    }
+    s
+}
+
+/// SQL→NL statistical description (the paper's `SELECT AVG(SALARY) FROM
+/// EMPLOYEE` → "the average salary of all the employees …" example):
+/// executes the query for real and templates the sentence from the
+/// aggregate structure.
+pub fn describe_sql(db: &Database, sql: &str) -> Result<String, SqlError> {
+    use llmdm_sqlengine::ast::{AggFunc, Expr, SelectItem, Statement};
+    let stmt = llmdm_sqlengine::parse_statement(sql)?;
+    let Statement::Select(select) = &stmt else {
+        return Err(SqlError::Exec("describe_sql expects a SELECT".into()));
+    };
+    let rs = llmdm_sqlengine::exec::execute_select(db, select)?;
+    let table = select
+        .from
+        .first()
+        .map(|f| f.table.clone())
+        .unwrap_or_else(|| "result".to_string());
+
+    let mut sentences = Vec::new();
+    for (i, item) in select.projections.iter().enumerate() {
+        let SelectItem::Expr { expr: Expr::Aggregate { func, arg, .. }, .. } = item else {
+            continue;
+        };
+        let value = rs
+            .rows
+            .first()
+            .and_then(|r| r.get(i))
+            .cloned()
+            .unwrap_or(Value::Null);
+        let what = match arg {
+            None => "rows".to_string(),
+            Some(e) => match e.as_ref() {
+                Expr::Column { name, .. } => name.clone(),
+                _ => "values".to_string(),
+            },
+        };
+        let sentence = match func {
+            AggFunc::Avg => {
+                format!("the average {what} of all the {table} records is {value}")
+            }
+            AggFunc::Sum => format!("the total {what} across the {table} table is {value}"),
+            AggFunc::Count => format!("the {table} table contains {value} matching rows"),
+            AggFunc::Min => format!("the smallest {what} in the {table} table is {value}"),
+            AggFunc::Max => format!("the largest {what} in the {table} table is {value}"),
+        };
+        sentences.push(sentence);
+    }
+    if sentences.is_empty() {
+        return Err(SqlError::Exec("query has no aggregate projections to describe".into()));
+    }
+    let mut out = sentences.join("; ");
+    out.push('.');
+    // Capitalize.
+    let mut chars = out.chars();
+    Ok(match chars.next() {
+        Some(c) => c.to_uppercase().collect::<String>() + chars.as_str(),
+        None => out,
+    })
+}
+
+/// A plan for feeding a big table to a context-limited PLM.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChunkPlan {
+    /// Row ranges `(start, end)` per chunk.
+    pub chunks: Vec<(usize, usize)>,
+    /// Representative row indexes (distinct-value coverage sample).
+    pub representatives: Vec<usize>,
+    /// Columns recommended for dropping (wide text columns) when the
+    /// budget is still exceeded.
+    pub drop_columns: Vec<String>,
+    /// Estimated tokens per chunk after the plan.
+    pub tokens_per_chunk: usize,
+}
+
+/// Split a table into chunks that fit `token_budget` when row-linearized,
+/// pick representative rows covering the categorical value space, and
+/// recommend wide text columns to drop (§II-C2: "LLMs can assist in
+/// splitting big tables … recommend specific compression methods").
+pub fn chunk_table(table: &Table, token_budget: usize) -> ChunkPlan {
+    let tokenizer = Tokenizer::new();
+    let n = table.rows.len();
+    if n == 0 {
+        return ChunkPlan {
+            chunks: Vec::new(),
+            representatives: Vec::new(),
+            drop_columns: Vec::new(),
+            tokens_per_chunk: 0,
+        };
+    }
+    // Tokens per row, measured on a sample.
+    let sample_rows = n.min(16);
+    let sample = {
+        let mut t = Table::new(&table.name, table.schema.clone());
+        for r in table.rows.iter().take(sample_rows) {
+            t.push_row(r.clone()).expect("same schema");
+        }
+        t
+    };
+    let per_row =
+        (tokenizer.count(&linearize_rows(&sample, sample_rows)) / sample_rows).max(1);
+    let rows_per_chunk = (token_budget / per_row).max(1);
+    let chunks: Vec<(usize, usize)> =
+        (0..n).step_by(rows_per_chunk).map(|s| (s, (s + rows_per_chunk).min(n))).collect();
+
+    // Representatives: greedy distinct-value coverage over text columns.
+    let text_cols: Vec<usize> = table
+        .schema
+        .columns()
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| c.dtype == llmdm_sqlengine::DataType::Text)
+        .map(|(i, _)| i)
+        .collect();
+    let mut covered: Vec<String> = Vec::new();
+    let mut representatives = Vec::new();
+    for (r, row) in table.rows.iter().enumerate() {
+        let mut novel = false;
+        for &c in &text_cols {
+            let key = format!("{c}:{}", row[c]);
+            if !covered.contains(&key) {
+                covered.push(key);
+                novel = true;
+            }
+        }
+        if novel {
+            representatives.push(r);
+        }
+        if representatives.len() >= 32 {
+            break;
+        }
+    }
+    if representatives.is_empty() {
+        representatives.push(0);
+    }
+
+    // Drop recommendation: text columns whose average rendered width
+    // exceeds 30 chars (documents, long descriptions).
+    let drop_columns: Vec<String> = text_cols
+        .iter()
+        .filter(|&&c| {
+            let total: usize =
+                table.rows.iter().map(|r| r[c].to_string().len()).sum();
+            total / n > 30
+        })
+        .map(|&c| table.schema.columns()[c].name.clone())
+        .collect();
+
+    ChunkPlan {
+        chunks,
+        representatives,
+        drop_columns,
+        tokens_per_chunk: rows_per_chunk * per_row,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llmdm_sqlengine::{Column, DataType, Schema};
+
+    fn employee_db() -> Database {
+        let mut db = Database::new();
+        db.execute("CREATE TABLE employee (name TEXT, salary INT, dept TEXT)").unwrap();
+        db.execute(
+            "INSERT INTO employee VALUES ('a', 400, 'eng'), ('b', 500, 'eng'), ('c', 600, 'ops')",
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn describes_the_paper_example() {
+        let db = employee_db();
+        let s = describe_sql(&db, "SELECT AVG(salary) FROM employee").unwrap();
+        assert_eq!(s, "The average salary of all the employee records is 500.0.");
+    }
+
+    #[test]
+    fn describes_multiple_aggregates() {
+        let db = employee_db();
+        let s =
+            describe_sql(&db, "SELECT COUNT(*), MAX(salary) FROM employee WHERE dept = 'eng'")
+                .unwrap();
+        assert!(s.contains("contains 2 matching rows"));
+        assert!(s.contains("largest salary"));
+    }
+
+    #[test]
+    fn non_aggregate_query_rejected() {
+        let db = employee_db();
+        assert!(describe_sql(&db, "SELECT name FROM employee").is_err());
+    }
+
+    fn wide_table(rows: usize) -> Table {
+        let schema = Schema::new(vec![
+            Column::new("id", DataType::Int),
+            Column::new("kind", DataType::Text),
+            Column::new("notes", DataType::Text),
+        ]);
+        let mut t = Table::new("log", schema);
+        for i in 0..rows as i64 {
+            t.push_row(vec![
+                Value::Int(i),
+                Value::Str(if i % 3 == 0 { "alpha" } else { "beta" }.into()),
+                Value::Str("a very long free text note field that repeats many words over and over".into()),
+            ])
+            .unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn serializations_differ_and_are_nonempty() {
+        let t = wide_table(5);
+        let rows = linearize_rows(&t, 5);
+        let cols = linearize_columns(&t, 5);
+        let nat = serialize_natural(&t, 5);
+        assert!(rows.contains("id: 0"));
+        assert!(cols.starts_with("id: 0, 1"));
+        assert!(nat.contains("There is a log record"));
+        assert_ne!(rows, cols);
+    }
+
+    #[test]
+    fn chunks_respect_budget() {
+        let t = wide_table(100);
+        let plan = chunk_table(&t, 400);
+        assert!(plan.chunks.len() > 1);
+        assert!(plan.tokens_per_chunk <= 400 + 100, "est {}", plan.tokens_per_chunk);
+        // Chunks tile the table.
+        assert_eq!(plan.chunks.first().unwrap().0, 0);
+        assert_eq!(plan.chunks.last().unwrap().1, 100);
+        let covered: usize = plan.chunks.iter().map(|(s, e)| e - s).sum();
+        assert_eq!(covered, 100);
+    }
+
+    #[test]
+    fn representatives_cover_categories() {
+        let t = wide_table(30);
+        let plan = chunk_table(&t, 1000);
+        let kind_idx = t.schema.index_of("kind").unwrap();
+        let kinds: Vec<String> = plan
+            .representatives
+            .iter()
+            .map(|&r| t.rows[r][kind_idx].to_string())
+            .collect();
+        assert!(kinds.contains(&"'alpha'".to_string()));
+        assert!(kinds.contains(&"'beta'".to_string()));
+    }
+
+    #[test]
+    fn wide_text_column_recommended_for_drop() {
+        let t = wide_table(10);
+        let plan = chunk_table(&t, 1000);
+        assert_eq!(plan.drop_columns, vec!["notes".to_string()]);
+    }
+
+    #[test]
+    fn empty_table_plan() {
+        let schema = Schema::new(vec![Column::new("x", DataType::Int)]);
+        let t = Table::new("empty", schema);
+        let plan = chunk_table(&t, 100);
+        assert!(plan.chunks.is_empty());
+    }
+}

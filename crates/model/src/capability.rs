@@ -1,0 +1,112 @@
+//! The capability model: how accurate is a model tier on a task of a given
+//! difficulty, and how do few-shot examples help?
+//!
+//! This is the calibrated core of the LLM simulation. Three empirical
+//! regularities the paper's experiments depend on are encoded here:
+//!
+//! 1. **Scale** — larger tiers have higher base capability (Table I:
+//!    gpt-4 92.5% vs babbage-002 27.5%).
+//! 2. **Difficulty sensitivity** — simpler inputs are answered correctly
+//!    more often (the mechanism behind Table II's "sub-queries tend to be
+//!    simpler, increasing the possibility of converting them into correct
+//!    SQL").
+//! 3. **In-context learning** — more few-shot examples reduce effective
+//!    difficulty (the mechanism behind Table II's "after query combination,
+//!    the number of examples in the prompt will increase for each query,
+//!    which can help LLMs reason the query better").
+
+use serde::{Deserialize, Serialize};
+
+/// Accuracy curve parameters for one model tier.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CapabilityCurve {
+    /// Base capability in `[0, 1]`: accuracy on a difficulty-0 task with no
+    /// examples.
+    pub capability: f64,
+    /// How steeply accuracy decays with difficulty (≥ 0).
+    pub difficulty_slope: f64,
+    /// Maximum fraction of difficulty that few-shot examples can remove.
+    pub shot_gain: f64,
+    /// Number of examples at which `shot_gain` saturates.
+    pub shot_saturation: usize,
+}
+
+impl CapabilityCurve {
+    /// Construct a curve; panics on out-of-range parameters (programmer
+    /// error, not data error).
+    pub fn new(capability: f64, difficulty_slope: f64, shot_gain: f64, shot_saturation: usize) -> Self {
+        assert!((0.0..=1.0).contains(&capability), "capability in [0,1]");
+        assert!(difficulty_slope >= 0.0);
+        assert!((0.0..=1.0).contains(&shot_gain));
+        assert!(shot_saturation > 0);
+        CapabilityCurve { capability, difficulty_slope, shot_gain, shot_saturation }
+    }
+
+    /// Probability this tier answers a task correctly.
+    ///
+    /// `difficulty` in `[0, 1]`; `shots` = number of in-context examples.
+    /// The effective difficulty after ICL is
+    /// `d * (1 - shot_gain * min(shots, sat)/sat)`, and accuracy is
+    /// `capability * (1 - slope * d_eff)` clamped to `[floor, 1]` where the
+    /// floor is a small guess-rate.
+    pub fn p_correct(&self, difficulty: f64, shots: usize) -> f64 {
+        let d = difficulty.clamp(0.0, 1.0);
+        let shot_frac = (shots.min(self.shot_saturation) as f64) / self.shot_saturation as f64;
+        let d_eff = d * (1.0 - self.shot_gain * shot_frac);
+        let p = self.capability * (1.0 - self.difficulty_slope * d_eff);
+        p.clamp(0.02, 1.0)
+    }
+}
+
+impl Default for CapabilityCurve {
+    fn default() -> Self {
+        CapabilityCurve::new(0.8, 0.6, 0.5, 8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn easy_beats_hard() {
+        let c = CapabilityCurve::default();
+        assert!(c.p_correct(0.1, 0) > c.p_correct(0.9, 0));
+    }
+
+    #[test]
+    fn shots_help_on_hard_tasks() {
+        let c = CapabilityCurve::default();
+        assert!(c.p_correct(0.8, 8) > c.p_correct(0.8, 0));
+    }
+
+    #[test]
+    fn shots_saturate() {
+        let c = CapabilityCurve::default();
+        assert_eq!(c.p_correct(0.8, 8), c.p_correct(0.8, 100));
+    }
+
+    #[test]
+    fn bigger_capability_bigger_accuracy() {
+        let small = CapabilityCurve::new(0.3, 0.6, 0.5, 8);
+        let large = CapabilityCurve::new(0.95, 0.6, 0.5, 8);
+        for d in [0.0, 0.3, 0.7, 1.0] {
+            assert!(large.p_correct(d, 0) > small.p_correct(d, 0));
+        }
+    }
+
+    #[test]
+    fn probability_bounds() {
+        let c = CapabilityCurve::new(1.0, 2.0, 0.0, 1);
+        for d in [0.0, 0.5, 1.0, 5.0, -3.0] {
+            let p = c.p_correct(d, 0);
+            assert!((0.0..=1.0).contains(&p), "p={p} at d={d}");
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_capability_panics() {
+        CapabilityCurve::new(1.5, 0.0, 0.0, 1);
+    }
+}

@@ -1,0 +1,186 @@
+//! Deterministic text embeddings.
+//!
+//! The paper's challenge sections lean on embedding vectors everywhere:
+//! historical prompts are "typically represented as vectors" (§III-A), the
+//! semantic cache matches queries "in the form of vectors" (§III-C), and
+//! multi-modal items are "encoded in the same embedding space" (§II-D1).
+//! Real deployments would use an LLM encoder; offline we use a classic
+//! hashed character-n-gram bag projected through a seeded signed random
+//! projection. This preserves the property the downstream systems rely on:
+//! **textually similar inputs land near each other in cosine space**, while
+//! remaining fully deterministic.
+
+use crate::error::ModelError;
+use crate::hash::{combine, fnv1a_str, splitmix, unit_f64};
+
+/// Deterministic text embedder.
+#[derive(Debug, Clone)]
+pub struct Embedder {
+    dim: usize,
+    seed: u64,
+    ngram: usize,
+}
+
+impl Embedder {
+    /// Create an embedder producing `dim`-dimensional unit vectors.
+    pub fn new(dim: usize, seed: u64) -> Self {
+        assert!(dim > 0, "embedding dimension must be positive");
+        Embedder { dim, seed, ngram: 3 }
+    }
+
+    /// Default 64-dimensional embedder, sufficient for the workspace's
+    /// similarity tasks while keeping index benchmarks fast.
+    pub fn standard(seed: u64) -> Self {
+        Self::new(64, seed)
+    }
+
+    /// The output dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Embed `text` into an L2-normalized vector.
+    ///
+    /// Features are hashed character trigrams plus whole lowercased words;
+    /// each feature contributes a ±1 pattern over the output dims derived
+    /// from a per-feature seed (a signed random projection).
+    pub fn embed(&self, text: &str) -> Result<Vec<f32>, ModelError> {
+        if text.is_empty() {
+            return Err(ModelError::EmptyInput);
+        }
+        let lower = text.to_lowercase();
+        let mut v = vec![0f32; self.dim];
+        // Word-level features (weight 2: words matter more than trigrams).
+        for word in lower.split(|c: char| !c.is_alphanumeric()).filter(|w| !w.is_empty()) {
+            self.add_feature(&mut v, fnv1a_str(word), 2.0);
+        }
+        // Character n-gram features for robustness to small edits.
+        let chars: Vec<char> = lower.chars().collect();
+        if chars.len() >= self.ngram {
+            for w in chars.windows(self.ngram) {
+                let s: String = w.iter().collect();
+                self.add_feature(&mut v, combine(fnv1a_str(&s), 0x6772616d), 1.0);
+            }
+        } else {
+            self.add_feature(&mut v, combine(fnv1a_str(&lower), 0x6772616d), 1.0);
+        }
+        normalize(&mut v);
+        Ok(v)
+    }
+
+    /// Embed a batch of texts.
+    pub fn embed_batch<'a, I: IntoIterator<Item = &'a str>>(
+        &self,
+        texts: I,
+    ) -> Result<Vec<Vec<f32>>, ModelError> {
+        texts.into_iter().map(|t| self.embed(t)).collect()
+    }
+
+    fn add_feature(&self, v: &mut [f32], feature: u64, weight: f32) {
+        let mut s = combine(self.seed, feature);
+        for slot in v.iter_mut() {
+            s = splitmix(s);
+            let sign = if s & 1 == 0 { 1.0 } else { -1.0 };
+            // Sparse-ish projection: only ~1/4 of dims receive each feature.
+            if unit_f64(s) < 0.25 {
+                *slot += sign * weight;
+            }
+        }
+    }
+}
+
+fn normalize(v: &mut [f32]) {
+    let norm: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+    if norm > 0.0 {
+        for x in v.iter_mut() {
+            *x /= norm;
+        }
+    } else {
+        // Degenerate case (all features cancelled): deterministic unit basis.
+        v[0] = 1.0;
+    }
+}
+
+/// Cosine similarity between two equal-length vectors.
+pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let dot: f32 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+    let na: f32 = a.iter().map(|x| x * x).sum::<f32>().sqrt();
+    let nb: f32 = b.iter().map(|x| x * x).sum::<f32>().sqrt();
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        dot / (na * nb)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn emb() -> Embedder {
+        Embedder::standard(42)
+    }
+
+    #[test]
+    fn embeddings_are_unit_norm() {
+        let e = emb();
+        let v = e.embed("show the names of stadiums").unwrap();
+        let norm: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+        assert!((norm - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn deterministic() {
+        let e = emb();
+        assert_eq!(e.embed("hello").unwrap(), e.embed("hello").unwrap());
+    }
+
+    #[test]
+    fn similar_texts_are_closer_than_dissimilar() {
+        let e = emb();
+        let a = e.embed("What are the names of stadiums that had concerts in 2014?").unwrap();
+        let b = e.embed("What are the names of stadiums that had concerts in 2015?").unwrap();
+        let c = e.embed("median house price per zip code region").unwrap();
+        assert!(cosine(&a, &b) > cosine(&a, &c) + 0.2, "{} vs {}", cosine(&a, &b), cosine(&a, &c));
+    }
+
+    #[test]
+    fn case_insensitive() {
+        let e = emb();
+        assert_eq!(e.embed("Stadium Names").unwrap(), e.embed("stadium names").unwrap());
+    }
+
+    #[test]
+    fn empty_input_errors() {
+        assert_eq!(emb().embed(""), Err(ModelError::EmptyInput));
+    }
+
+    #[test]
+    fn different_seeds_different_spaces() {
+        let a = Embedder::standard(1).embed("stadium").unwrap();
+        let b = Embedder::standard(2).embed("stadium").unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn batch_matches_single() {
+        let e = emb();
+        let batch = e.embed_batch(["a cat", "a dog"]).unwrap();
+        assert_eq!(batch[0], e.embed("a cat").unwrap());
+        assert_eq!(batch[1], e.embed("a dog").unwrap());
+    }
+
+    #[test]
+    fn short_text_embeds() {
+        let e = emb();
+        assert!(e.embed("ab").is_ok());
+    }
+
+    #[test]
+    fn cosine_identity() {
+        let e = emb();
+        let v = e.embed("identical").unwrap();
+        assert!((cosine(&v, &v) - 1.0).abs() < 1e-5);
+    }
+}

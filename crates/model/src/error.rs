@@ -1,0 +1,69 @@
+//! Error type for the model substrate.
+
+use std::fmt;
+
+/// Errors produced by the simulated model stack.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// The prompt did not contain a well-formed task envelope and no solver
+    /// accepted it.
+    UnsupportedPrompt(String),
+    /// The prompt exceeded the model's context window (in tokens).
+    ContextOverflow {
+        /// Tokens in the offending prompt.
+        tokens: usize,
+        /// The model's context window.
+        limit: usize,
+    },
+    /// A solver accepted the prompt but failed to extract its payload.
+    MalformedPayload {
+        /// The task id of the solver that failed.
+        task: String,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// An embedding request had an empty input.
+    EmptyInput,
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::UnsupportedPrompt(head) => {
+                write!(f, "no solver accepted prompt starting with {head:?}")
+            }
+            ModelError::ContextOverflow { tokens, limit } => {
+                write!(f, "prompt of {tokens} tokens exceeds context window of {limit}")
+            }
+            ModelError::MalformedPayload { task, reason } => {
+                write!(f, "solver for task {task:?} rejected payload: {reason}")
+            }
+            ModelError::EmptyInput => write!(f, "empty input"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_task() {
+        let e = ModelError::MalformedPayload {
+            task: "qa".into(),
+            reason: "missing question".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("qa"));
+        assert!(s.contains("missing question"));
+    }
+
+    #[test]
+    fn display_context_overflow() {
+        let e = ModelError::ContextOverflow { tokens: 9000, limit: 8192 };
+        assert!(e.to_string().contains("9000"));
+        assert!(e.to_string().contains("8192"));
+    }
+}

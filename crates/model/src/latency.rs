@@ -1,0 +1,79 @@
+//! Simulated inference latency.
+//!
+//! §II-E of the paper rules LLMs out of low-latency applications because
+//! "LLMs are very expensive at inference". To let the workspace reason
+//! about latency (e.g., cache-hit time savings, cascade tail latency) we
+//! attach a simple queueing-free latency model to each tier: a fixed
+//! network/setup overhead plus a per-output-token decode time, with mild
+//! deterministic jitter. The model *computes* durations; it never sleeps.
+
+use std::time::Duration;
+
+use crate::hash::{combine, unit_f64};
+
+/// Latency parameters for one model tier.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyModel {
+    /// Fixed per-call overhead.
+    pub overhead: Duration,
+    /// Time to decode one output token.
+    pub per_output_token: Duration,
+    /// Time to ingest 1k prompt tokens (prefill).
+    pub per_1k_input_tokens: Duration,
+    /// Jitter amplitude as a fraction of the deterministic latency.
+    pub jitter: f64,
+}
+
+impl LatencyModel {
+    /// Latency for a call, deterministic given `call_seed`.
+    pub fn latency(&self, input_tokens: usize, output_tokens: usize, call_seed: u64) -> Duration {
+        let base = self.overhead.as_secs_f64()
+            + self.per_output_token.as_secs_f64() * output_tokens as f64
+            + self.per_1k_input_tokens.as_secs_f64() * (input_tokens as f64 / 1000.0);
+        let u = unit_f64(combine(call_seed, 0x6c6174)); // "lat"
+        let factor = 1.0 + self.jitter * (2.0 * u - 1.0);
+        Duration::from_secs_f64((base * factor).max(0.0))
+    }
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        LatencyModel {
+            overhead: Duration::from_millis(120),
+            per_output_token: Duration::from_millis(20),
+            per_1k_input_tokens: Duration::from_millis(80),
+            jitter: 0.1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn more_output_tokens_take_longer() {
+        let m = LatencyModel::default();
+        assert!(m.latency(100, 200, 7) > m.latency(100, 10, 7));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let m = LatencyModel::default();
+        assert_eq!(m.latency(50, 50, 3), m.latency(50, 50, 3));
+    }
+
+    #[test]
+    fn jitter_varies_with_seed() {
+        let m = LatencyModel::default();
+        assert_ne!(m.latency(50, 50, 3), m.latency(50, 50, 4));
+    }
+
+    #[test]
+    fn never_negative() {
+        let m = LatencyModel { jitter: 5.0, ..LatencyModel::default() };
+        for s in 0..100 {
+            let _ = m.latency(10, 10, s); // from_secs_f64 panics on negative
+        }
+    }
+}

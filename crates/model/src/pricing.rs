@@ -1,0 +1,111 @@
+//! Per-model pricing, mirroring the API price structure the paper quotes
+//! (§III-B1: "the latest price of GPT-3.5 Turbo is $0.001/1k input tokens,
+//! and GPT-4 is $0.03/1k input tokens").
+
+use serde::{Deserialize, Serialize};
+
+/// Prices for one model, in dollars per 1 000 tokens.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Pricing {
+    /// Dollars per 1k input (prompt) tokens.
+    pub input_per_1k: f64,
+    /// Dollars per 1k output (completion) tokens.
+    pub output_per_1k: f64,
+}
+
+impl Pricing {
+    /// Construct a price point.
+    pub const fn new(input_per_1k: f64, output_per_1k: f64) -> Self {
+        Pricing { input_per_1k, output_per_1k }
+    }
+
+    /// Dollar cost of a call with the given token counts.
+    pub fn cost(&self, input_tokens: usize, output_tokens: usize) -> f64 {
+        (input_tokens as f64) * self.input_per_1k / 1000.0
+            + (output_tokens as f64) * self.output_per_1k / 1000.0
+    }
+}
+
+/// A table of model-name → pricing entries.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct PriceTable {
+    entries: Vec<(String, Pricing)>,
+}
+
+impl PriceTable {
+    /// Empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The standard table used throughout the reproduction. Prices follow
+    /// the paper's quoted numbers for the mid/large tier; the small tier
+    /// uses babbage-002's public price at the time of the paper.
+    pub fn standard() -> Self {
+        let mut t = Self::new();
+        t.set("sim-small", Pricing::new(0.0004, 0.0004)); // ≈ babbage-002
+        t.set("sim-medium", Pricing::new(0.001, 0.002)); // ≈ gpt-3.5-turbo
+        t.set("sim-large", Pricing::new(0.03, 0.06)); // ≈ gpt-4
+        t
+    }
+
+    /// Insert or replace a model's pricing.
+    pub fn set(&mut self, model: &str, pricing: Pricing) {
+        if let Some(slot) = self.entries.iter_mut().find(|(m, _)| m == model) {
+            slot.1 = pricing;
+        } else {
+            self.entries.push((model.to_string(), pricing));
+        }
+    }
+
+    /// Look up pricing for a model.
+    pub fn get(&self, model: &str) -> Option<Pricing> {
+        self.entries.iter().find(|(m, _)| m == model).map(|(_, p)| *p)
+    }
+
+    /// All known model names.
+    pub fn models(&self) -> impl Iterator<Item = &str> {
+        self.entries.iter().map(|(m, _)| m.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cost_arithmetic() {
+        let p = Pricing::new(0.03, 0.06);
+        let c = p.cost(1000, 500);
+        assert!((c - (0.03 + 0.03)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_tokens_cost_zero() {
+        assert_eq!(Pricing::new(0.03, 0.06).cost(0, 0), 0.0);
+    }
+
+    #[test]
+    fn standard_table_has_three_tiers() {
+        let t = PriceTable::standard();
+        assert_eq!(t.models().count(), 3);
+        let large = t.get("sim-large").unwrap();
+        let medium = t.get("sim-medium").unwrap();
+        // The paper's headline cost ratio: gpt-4 input is 30x gpt-3.5.
+        assert!((large.input_per_1k / medium.input_per_1k - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn set_replaces_existing() {
+        let mut t = PriceTable::new();
+        t.set("m", Pricing::new(1.0, 1.0));
+        t.set("m", Pricing::new(2.0, 2.0));
+        assert_eq!(t.get("m").unwrap().input_per_1k, 2.0);
+        assert_eq!(t.models().count(), 1);
+    }
+
+    #[test]
+    fn get_unknown_is_none() {
+        assert!(PriceTable::new().get("nope").is_none());
+    }
+}

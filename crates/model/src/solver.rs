@@ -1,0 +1,471 @@
+//! The structured prompt envelope and the [`PromptSolver`] plug-in layer.
+//!
+//! A simulated LLM must actually *solve* the data-management tasks the rest
+//! of the workspace throws at it. Rather than hard-wiring every task into
+//! this crate, models carry a registry of solvers; each higher-level crate
+//! (QA in `llmdm-cascade`, NL2SQL in `llmdm-nlq`, …) registers a solver for
+//! the prompt format its prompt builder emits. A solver parses the prompt
+//! payload, computes the correct answer, and estimates how *hard* the
+//! instance is; the model then decides — via its calibrated capability
+//! curve — whether to answer correctly or to emit a deterministic
+//! corruption.
+//!
+//! ## The envelope format
+//!
+//! Prompts are plain text with a small machine-readable header block:
+//!
+//! ```text
+//! ### task: hotpot-qa
+//! ### examples: 3
+//!
+//! Context: ...
+//! Question: ...
+//! ```
+//!
+//! Header lines start with `### `; the first blank line ends the header.
+//! Everything after is the free-text body the solver parses.
+
+use crate::error::ModelError;
+
+/// A parsed prompt: task id, headers, body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PromptEnvelope {
+    /// The task id from the `### task:` header.
+    pub task: String,
+    /// All headers except `task`, in order.
+    pub headers: Vec<(String, String)>,
+    /// The free-text payload following the header block.
+    pub body: String,
+}
+
+impl PromptEnvelope {
+    /// Parse a prompt into an envelope. Returns `None` if there is no
+    /// `### task:` header (the prompt is unstructured free text).
+    pub fn parse(prompt: &str) -> Option<PromptEnvelope> {
+        let mut task = None;
+        let mut headers = Vec::new();
+        let mut body_start = 0usize;
+        let mut offset = 0usize;
+        for line in prompt.split_inclusive('\n') {
+            let trimmed = line.trim_end_matches('\n').trim_end_matches('\r');
+            if let Some(rest) = trimmed.strip_prefix("### ") {
+                if let Some((k, v)) = rest.split_once(':') {
+                    let k = k.trim().to_string();
+                    let v = v.trim().to_string();
+                    if k == "task" {
+                        task = Some(v);
+                    } else {
+                        headers.push((k, v));
+                    }
+                    offset += line.len();
+                    body_start = offset;
+                    continue;
+                }
+            }
+            if trimmed.is_empty() && task.is_some() {
+                // Blank line terminating the header block.
+                offset += line.len();
+                body_start = offset;
+                break;
+            }
+            // First non-header line: header block over.
+            break;
+        }
+        let task = task?;
+        Some(PromptEnvelope { task, headers, body: prompt[body_start..].to_string() })
+    }
+
+    /// First value of a header.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.headers.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+
+    /// All values of a repeated header.
+    pub fn get_all<'a>(&'a self, key: &'a str) -> impl Iterator<Item = &'a str> + 'a {
+        self.headers.iter().filter(move |(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+
+    /// Number of in-context examples this prompt carries.
+    ///
+    /// Taken from the `examples` header when the prompt builder set one,
+    /// otherwise counted as lines beginning with `Example`.
+    pub fn examples(&self) -> usize {
+        if let Some(v) = self.get("examples") {
+            if let Ok(n) = v.parse() {
+                return n;
+            }
+        }
+        self.body.lines().filter(|l| l.trim_start().starts_with("Example")).count()
+    }
+
+    /// Start building an envelope prompt string for task `task`.
+    pub fn builder(task: &str) -> EnvelopeBuilder {
+        EnvelopeBuilder { task: task.to_string(), headers: Vec::new(), body: String::new() }
+    }
+}
+
+/// Builder producing envelope-formatted prompt strings.
+#[derive(Debug, Clone)]
+pub struct EnvelopeBuilder {
+    task: String,
+    headers: Vec<(String, String)>,
+    body: String,
+}
+
+impl EnvelopeBuilder {
+    /// Add a header line. Values must not contain newlines.
+    pub fn header(mut self, key: &str, value: impl ToString) -> Self {
+        let value = value.to_string();
+        debug_assert!(!value.contains('\n'), "header values must be single-line");
+        self.headers.push((key.to_string(), value));
+        self
+    }
+
+    /// Set the body text.
+    pub fn body(mut self, body: impl Into<String>) -> Self {
+        self.body = body.into();
+        self
+    }
+
+    /// Render the final prompt string.
+    pub fn build(self) -> String {
+        let mut s = format!("### task: {}\n", self.task);
+        for (k, v) in &self.headers {
+            s.push_str("### ");
+            s.push_str(k);
+            s.push_str(": ");
+            s.push_str(v);
+            s.push('\n');
+        }
+        s.push('\n');
+        s.push_str(&self.body);
+        s
+    }
+}
+
+/// One question's worth of a multi-part (combined) prompt.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolvedPart {
+    /// The correct answer for this part.
+    pub answer: String,
+    /// This part's difficulty in `[0, 1]`.
+    pub difficulty: f64,
+    /// Plausible wrong answers.
+    pub alternatives: Vec<String>,
+}
+
+/// What a solver produced for one prompt.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolvedTask {
+    /// The correct answer text.
+    pub answer: String,
+    /// Estimated instance difficulty in `[0, 1]`.
+    pub difficulty: f64,
+    /// Plausible wrong answers for the corruption model to pick from.
+    /// If empty, the model perturbs `answer` instead.
+    pub alternatives: Vec<String>,
+    /// For *combined* prompts (§III-B1 query combination) carrying several
+    /// questions: one entry per question. When non-empty, the model rolls an
+    /// independent success coin per part and joins the per-part outputs with
+    /// newlines — a single metered call answering many questions.
+    pub parts: Vec<SolvedPart>,
+}
+
+impl SolvedTask {
+    /// A task solved with the given answer and difficulty, no alternatives.
+    pub fn new(answer: impl Into<String>, difficulty: f64) -> Self {
+        SolvedTask {
+            answer: answer.into(),
+            difficulty,
+            alternatives: Vec::new(),
+            parts: Vec::new(),
+        }
+    }
+
+    /// Attach plausible wrong answers.
+    pub fn with_alternatives(mut self, alts: Vec<String>) -> Self {
+        self.alternatives = alts;
+        self
+    }
+
+    /// A multi-part task (one output line per part).
+    pub fn multi(parts: Vec<SolvedPart>) -> Self {
+        let answer = parts.iter().map(|p| p.answer.as_str()).collect::<Vec<_>>().join("\n");
+        let difficulty = if parts.is_empty() {
+            0.0
+        } else {
+            parts.iter().map(|p| p.difficulty).sum::<f64>() / parts.len() as f64
+        };
+        SolvedTask { answer, difficulty, alternatives: Vec::new(), parts }
+    }
+}
+
+/// A task-specific solver plugged into a simulated model.
+pub trait PromptSolver: Send + Sync {
+    /// The `### task:` id this solver handles.
+    fn task_id(&self) -> &str;
+    /// Solve the task in `env`.
+    fn solve(&self, env: &PromptEnvelope) -> Result<SolvedTask, ModelError>;
+}
+
+/// `task: echo` — returns the body verbatim. Difficulty 0. Useful in tests
+/// and as a cheap "identity" model call.
+#[derive(Debug, Default)]
+pub struct EchoSolver;
+
+impl PromptSolver for EchoSolver {
+    fn task_id(&self) -> &str {
+        "echo"
+    }
+    fn solve(&self, env: &PromptEnvelope) -> Result<SolvedTask, ModelError> {
+        Ok(SolvedTask::new(env.body.trim().to_string(), 0.0))
+    }
+}
+
+/// `task: oracle` — the harness convention for tasks whose gold answer is
+/// produced by the *calling* crate (e.g., an entity-resolution workload
+/// that knows its own labels). The prompt carries hidden harness headers:
+///
+/// * `### gold: <answer>` — the correct answer,
+/// * `### difficulty: <0..1>` — instance difficulty,
+/// * `### alt: <wrong answer>` — repeatable plausible wrong answers.
+///
+/// A real API prompt would not carry these; they exist so the simulation's
+/// error behaviour is governed by the same calibrated capability curve for
+/// every task. This convention is documented in DESIGN.md §2.
+#[derive(Debug, Default)]
+pub struct OracleSolver;
+
+impl PromptSolver for OracleSolver {
+    fn task_id(&self) -> &str {
+        "oracle"
+    }
+    fn solve(&self, env: &PromptEnvelope) -> Result<SolvedTask, ModelError> {
+        let gold = env.get("gold").ok_or_else(|| ModelError::MalformedPayload {
+            task: "oracle".into(),
+            reason: "missing `gold` header".into(),
+        })?;
+        let difficulty = env
+            .get("difficulty")
+            .map(|d| d.parse::<f64>())
+            .transpose()
+            .map_err(|e| ModelError::MalformedPayload {
+                task: "oracle".into(),
+                reason: format!("bad difficulty: {e}"),
+            })?
+            .unwrap_or(0.5);
+        let alts: Vec<String> = env.get_all("alt").map(str::to_string).collect();
+        Ok(SolvedTask::new(gold.to_string(), difficulty).with_alternatives(alts))
+    }
+}
+
+/// `task: arith` — evaluates `+ - * /` integer expressions with standard
+/// precedence. Difficulty grows with operator count. Demonstrates (and
+/// tests) genuine solving rather than oracle passthrough.
+#[derive(Debug, Default)]
+pub struct ArithmeticSolver;
+
+impl PromptSolver for ArithmeticSolver {
+    fn task_id(&self) -> &str {
+        "arith"
+    }
+    fn solve(&self, env: &PromptEnvelope) -> Result<SolvedTask, ModelError> {
+        let expr = env.body.trim();
+        let (value, ops) = eval_arith(expr).ok_or_else(|| ModelError::MalformedPayload {
+            task: "arith".into(),
+            reason: format!("cannot parse {expr:?}"),
+        })?;
+        let difficulty = (ops as f64 / 8.0).min(1.0);
+        let alts = vec![(value + 1).to_string(), (value - 1).to_string(), (value * 2).to_string()];
+        Ok(SolvedTask::new(value.to_string(), difficulty).with_alternatives(alts))
+    }
+}
+
+/// Evaluate an integer arithmetic expression; returns (value, op-count).
+fn eval_arith(s: &str) -> Option<(i64, usize)> {
+    struct P<'a> {
+        toks: Vec<&'a str>,
+        i: usize,
+        ops: usize,
+    }
+    impl<'a> P<'a> {
+        fn peek(&self) -> Option<&'a str> {
+            self.toks.get(self.i).copied()
+        }
+        fn next(&mut self) -> Option<&'a str> {
+            let t = self.peek()?;
+            self.i += 1;
+            Some(t)
+        }
+        fn atom(&mut self) -> Option<i64> {
+            match self.next()? {
+                "(" => {
+                    let v = self.expr()?;
+                    if self.next()? != ")" {
+                        return None;
+                    }
+                    Some(v)
+                }
+                "-" => Some(-self.atom()?),
+                t => t.parse().ok(),
+            }
+        }
+        fn term(&mut self) -> Option<i64> {
+            let mut v = self.atom()?;
+            while let Some(op @ ("*" | "/")) = self.peek() {
+                self.i += 1;
+                self.ops += 1;
+                let rhs = self.atom()?;
+                v = if op == "*" { v.checked_mul(rhs)? } else { v.checked_div(rhs)? };
+            }
+            Some(v)
+        }
+        fn expr(&mut self) -> Option<i64> {
+            let mut v = self.term()?;
+            while let Some(op @ ("+" | "-")) = self.peek() {
+                self.i += 1;
+                self.ops += 1;
+                let rhs = self.term()?;
+                v = if op == "+" { v.checked_add(rhs)? } else { v.checked_sub(rhs)? };
+            }
+            Some(v)
+        }
+    }
+    // Tokenize: numbers, operators, parentheses.
+    let mut parts: Vec<&str> = Vec::new();
+    let bytes = s.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c.is_whitespace() {
+            i += 1;
+        } else if c.is_ascii_digit() {
+            let start = i;
+            while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                i += 1;
+            }
+            parts.push(&s[start..i]);
+        } else if "+-*/()".contains(c) {
+            parts.push(&s[i..i + 1]);
+            i += 1;
+        } else {
+            return None;
+        }
+    }
+    if parts.is_empty() {
+        return None;
+    }
+    let mut p = P { toks: parts, i: 0, ops: 0 };
+    let v = p.expr()?;
+    if p.i != p.toks.len() {
+        return None;
+    }
+    Some((v, p.ops))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_roundtrip() {
+        let prompt = PromptEnvelope::builder("qa")
+            .header("examples", 3)
+            .header("alt", "Lyon")
+            .header("alt", "Nice")
+            .body("Question: capital of France?")
+            .build();
+        let env = PromptEnvelope::parse(&prompt).unwrap();
+        assert_eq!(env.task, "qa");
+        assert_eq!(env.examples(), 3);
+        assert_eq!(env.get_all("alt").collect::<Vec<_>>(), vec!["Lyon", "Nice"]);
+        assert_eq!(env.body, "Question: capital of France?");
+    }
+
+    #[test]
+    fn unstructured_prompt_is_none() {
+        assert!(PromptEnvelope::parse("just some text").is_none());
+        assert!(PromptEnvelope::parse("").is_none());
+    }
+
+    #[test]
+    fn examples_counted_from_body_when_unset() {
+        let prompt = PromptEnvelope::builder("t")
+            .body("Example: a -> 1\nExample: b -> 2\nNow: c -> ?")
+            .build();
+        let env = PromptEnvelope::parse(&prompt).unwrap();
+        assert_eq!(env.examples(), 2);
+    }
+
+    #[test]
+    fn echo_solver() {
+        let prompt = PromptEnvelope::builder("echo").body("  hello  ").build();
+        let env = PromptEnvelope::parse(&prompt).unwrap();
+        let solved = EchoSolver.solve(&env).unwrap();
+        assert_eq!(solved.answer, "hello");
+        assert_eq!(solved.difficulty, 0.0);
+    }
+
+    #[test]
+    fn oracle_solver_reads_headers() {
+        let prompt = PromptEnvelope::builder("oracle")
+            .header("gold", "42")
+            .header("difficulty", "0.7")
+            .header("alt", "41")
+            .body("what is the answer?")
+            .build();
+        let env = PromptEnvelope::parse(&prompt).unwrap();
+        let solved = OracleSolver.solve(&env).unwrap();
+        assert_eq!(solved.answer, "42");
+        assert!((solved.difficulty - 0.7).abs() < 1e-12);
+        assert_eq!(solved.alternatives, vec!["41".to_string()]);
+    }
+
+    #[test]
+    fn oracle_solver_requires_gold() {
+        let prompt = PromptEnvelope::builder("oracle").body("?").build();
+        let env = PromptEnvelope::parse(&prompt).unwrap();
+        assert!(OracleSolver.solve(&env).is_err());
+    }
+
+    #[test]
+    fn arithmetic_precedence() {
+        for (expr, want) in [("1 + 2 * 3", 7), ("(1 + 2) * 3", 9), ("10 / 2 - 3", 2), ("-4 + 10", 6)]
+        {
+            let prompt = PromptEnvelope::builder("arith").body(expr).build();
+            let env = PromptEnvelope::parse(&prompt).unwrap();
+            let solved = ArithmeticSolver.solve(&env).unwrap();
+            assert_eq!(solved.answer, want.to_string(), "expr={expr}");
+        }
+    }
+
+    #[test]
+    fn arithmetic_difficulty_grows_with_ops() {
+        let env1 =
+            PromptEnvelope::parse(&PromptEnvelope::builder("arith").body("1 + 1").build()).unwrap();
+        let env2 = PromptEnvelope::parse(
+            &PromptEnvelope::builder("arith").body("1 + 1 * 2 - 3 / 1 + 5").build(),
+        )
+        .unwrap();
+        let d1 = ArithmeticSolver.solve(&env1).unwrap().difficulty;
+        let d2 = ArithmeticSolver.solve(&env2).unwrap().difficulty;
+        assert!(d2 > d1);
+    }
+
+    #[test]
+    fn arithmetic_rejects_garbage() {
+        for bad in ["", "1 +", "a + b", "(1"] {
+            let env =
+                PromptEnvelope::parse(&PromptEnvelope::builder("arith").body(bad).build()).unwrap();
+            assert!(ArithmeticSolver.solve(&env).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn header_block_stops_at_first_nonheader() {
+        let prompt = "### task: t\nbody line\n### not: header\n";
+        let env = PromptEnvelope::parse(prompt).unwrap();
+        assert!(env.body.starts_with("body line"));
+        assert!(env.get("not").is_none());
+    }
+}

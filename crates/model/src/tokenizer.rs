@@ -1,0 +1,208 @@
+//! Deterministic subword tokenizer used for token/cost accounting.
+//!
+//! Commercial LLM prices are quoted per 1k tokens, so every cost number in
+//! the paper's Tables I–III is token arithmetic. We reproduce that
+//! arithmetic with a deterministic tokenizer: text is split into word,
+//! number, whitespace, and punctuation pieces, and long word pieces are
+//! further split into subwords of at most [`Tokenizer::MAX_PIECE`] bytes —
+//! a close analogue of BPE's behaviour that long/rare words cost more
+//! tokens than short/common ones. Tokenization is lossless:
+//! `decode(encode(s)) == s`.
+
+/// A single token: its surface text and a stable 64-bit id.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The exact substring of the input this token covers.
+    pub text: String,
+    /// Stable content hash of `text` (FNV-1a).
+    pub id: u64,
+}
+
+/// Kinds of lexical pieces recognized by the pre-split pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PieceKind {
+    Word,
+    Number,
+    Space,
+    Punct,
+}
+
+/// Deterministic subword tokenizer.
+///
+/// The tokenizer is stateless and cheap to clone; a single shared instance
+/// is embedded in every simulated model so that all crates agree on token
+/// counts.
+#[derive(Debug, Clone, Default)]
+pub struct Tokenizer;
+
+impl Tokenizer {
+    /// Maximum bytes per subword piece (mirrors typical BPE piece lengths).
+    pub const MAX_PIECE: usize = 4;
+
+    /// Create a tokenizer.
+    pub fn new() -> Self {
+        Tokenizer
+    }
+
+    /// Encode `text` into tokens. Lossless: concatenating the token texts
+    /// reproduces `text` exactly.
+    pub fn encode(&self, text: &str) -> Vec<Token> {
+        let mut out = Vec::with_capacity(text.len() / 3 + 1);
+        for (piece, kind) in presplit(text) {
+            match kind {
+                PieceKind::Word | PieceKind::Number => {
+                    for sub in split_subwords(piece) {
+                        out.push(Token { text: sub.to_string(), id: crate::hash::fnv1a_str(sub) });
+                    }
+                }
+                PieceKind::Space | PieceKind::Punct => {
+                    out.push(Token { text: piece.to_string(), id: crate::hash::fnv1a_str(piece) });
+                }
+            }
+        }
+        out
+    }
+
+    /// Number of tokens `text` encodes to, without allocating token structs.
+    pub fn count(&self, text: &str) -> usize {
+        let mut n = 0;
+        for (piece, kind) in presplit(text) {
+            match kind {
+                PieceKind::Word | PieceKind::Number => n += split_subwords(piece).count(),
+                PieceKind::Space | PieceKind::Punct => n += 1,
+            }
+        }
+        n
+    }
+
+    /// Decode tokens back into the original text.
+    pub fn decode(&self, tokens: &[Token]) -> String {
+        let mut s = String::with_capacity(tokens.iter().map(|t| t.text.len()).sum());
+        for t in tokens {
+            s.push_str(&t.text);
+        }
+        s
+    }
+}
+
+/// Split text into maximal runs of a single [`PieceKind`].
+fn presplit(text: &str) -> impl Iterator<Item = (&str, PieceKind)> {
+    let mut rest = text;
+    std::iter::from_fn(move || {
+        let mut chars = rest.char_indices();
+        let (_, first) = chars.next()?;
+        let kind = classify(first);
+        let mut end = rest.len();
+        for (i, c) in chars {
+            if classify(c) != kind || kind == PieceKind::Punct {
+                end = i;
+                break;
+            }
+        }
+        // Punctuation is emitted one char at a time (matches BPE behaviour
+        // where each punctuation mark is usually its own token).
+        if kind == PieceKind::Punct {
+            end = first.len_utf8();
+        }
+        let (piece, tail) = rest.split_at(end);
+        rest = tail;
+        Some((piece, kind))
+    })
+}
+
+fn classify(c: char) -> PieceKind {
+    if c.is_whitespace() {
+        PieceKind::Space
+    } else if c.is_ascii_digit() {
+        PieceKind::Number
+    } else if c.is_alphanumeric() || c == '_' {
+        PieceKind::Word
+    } else {
+        PieceKind::Punct
+    }
+}
+
+/// Split a word/number run into subword pieces of at most `MAX_PIECE` bytes,
+/// respecting char boundaries.
+fn split_subwords(piece: &str) -> impl Iterator<Item = &str> {
+    let mut rest = piece;
+    std::iter::from_fn(move || {
+        if rest.is_empty() {
+            return None;
+        }
+        let mut end = rest.len().min(Tokenizer::MAX_PIECE);
+        while !rest.is_char_boundary(end) {
+            end += 1;
+        }
+        let (head, tail) = rest.split_at(end);
+        rest = tail;
+        Some(head)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tok() -> Tokenizer {
+        Tokenizer::new()
+    }
+
+    #[test]
+    fn roundtrip_simple() {
+        let t = tok();
+        let s = "SELECT name FROM stadium WHERE capacity > 1000;";
+        assert_eq!(t.decode(&t.encode(s)), s);
+    }
+
+    #[test]
+    fn count_matches_encode_len() {
+        let t = tok();
+        for s in ["", "a", "hello world", "a_long_identifier_name42", "  \t\nmixed  ws"] {
+            assert_eq!(t.count(s), t.encode(s).len(), "for {s:?}");
+        }
+    }
+
+    #[test]
+    fn long_words_cost_more_tokens() {
+        let t = tok();
+        assert_eq!(t.count("abcd"), 1);
+        assert_eq!(t.count("abcde"), 2);
+        assert_eq!(t.count("internationalization"), 5);
+    }
+
+    #[test]
+    fn punctuation_is_per_char() {
+        let t = tok();
+        assert_eq!(t.count("!!"), 2);
+        assert_eq!(t.count("a,b"), 3);
+    }
+
+    #[test]
+    fn whitespace_runs_are_one_token() {
+        let t = tok();
+        assert_eq!(t.count("a    b"), 3);
+    }
+
+    #[test]
+    fn unicode_roundtrip() {
+        let t = tok();
+        let s = "médecin 北京 institute — ok";
+        assert_eq!(t.decode(&t.encode(s)), s);
+    }
+
+    #[test]
+    fn ids_are_stable() {
+        let t = tok();
+        let a = t.encode("stadium");
+        let b = t.encode("stadium");
+        assert_eq!(a[0].id, b[0].id);
+    }
+
+    #[test]
+    fn empty_input() {
+        let t = tok();
+        assert!(t.encode("").is_empty());
+        assert_eq!(t.count(""), 0);
+    }
+}

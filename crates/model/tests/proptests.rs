@@ -1,0 +1,117 @@
+//! Property-based tests for the model substrate's core invariants.
+
+use llmdm_model::hash::{combine, fnv1a_str, seed_for, unit_f64};
+use llmdm_model::{CapabilityCurve, Embedder, PromptEnvelope, Tokenizer};
+use proptest::prelude::*;
+
+proptest! {
+    /// The tokenizer is lossless on arbitrary unicode input.
+    #[test]
+    fn tokenizer_roundtrip(s in "\\PC{0,200}") {
+        let t = Tokenizer::new();
+        prop_assert_eq!(t.decode(&t.encode(&s)), s);
+    }
+
+    /// `count` always agrees with `encode().len()`.
+    #[test]
+    fn tokenizer_count_matches_encode(s in "\\PC{0,200}") {
+        let t = Tokenizer::new();
+        prop_assert_eq!(t.count(&s), t.encode(&s).len());
+    }
+
+    /// Token count is monotone under concatenation (subadditivity bound:
+    /// concatenation can merge at most the boundary pieces, never grow
+    /// beyond the sum).
+    #[test]
+    fn tokenizer_concat_bounded(a in "\\PC{0,100}", b in "\\PC{0,100}") {
+        let t = Tokenizer::new();
+        let joined = format!("{a}{b}");
+        prop_assert!(t.count(&joined) <= t.count(&a) + t.count(&b) + 1);
+    }
+
+    /// Capability probabilities are always valid probabilities, and more
+    /// shots never hurt.
+    #[test]
+    fn capability_bounds_and_monotonicity(
+        cap in 0.0f64..=1.0,
+        slope in 0.0f64..=2.0,
+        gain in 0.0f64..=1.0,
+        d in -1.0f64..=2.0,
+        shots in 0usize..32,
+    ) {
+        let c = CapabilityCurve::new(cap, slope, gain, 8);
+        let p = c.p_correct(d, shots);
+        prop_assert!((0.0..=1.0).contains(&p));
+        prop_assert!(c.p_correct(d, shots + 1) >= p - 1e-12);
+    }
+
+    /// Harder tasks are never easier.
+    #[test]
+    fn capability_difficulty_monotone(d1 in 0.0f64..=1.0, d2 in 0.0f64..=1.0) {
+        let c = CapabilityCurve::default();
+        let (lo, hi) = if d1 <= d2 { (d1, d2) } else { (d2, d1) };
+        prop_assert!(c.p_correct(lo, 0) >= c.p_correct(hi, 0) - 1e-12);
+    }
+
+    /// Embeddings are unit-norm and deterministic for any non-empty text.
+    #[test]
+    fn embedding_unit_norm(s in "\\PC{1,120}") {
+        prop_assume!(!s.is_empty());
+        let e = Embedder::standard(3);
+        let v = e.embed(&s).unwrap();
+        let norm: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+        prop_assert!((norm - 1.0).abs() < 1e-3, "norm {}", norm);
+        prop_assert_eq!(v, e.embed(&s).unwrap());
+    }
+
+    /// Envelope build → parse recovers task, headers, and body for
+    /// header-safe values.
+    #[test]
+    fn envelope_roundtrip(
+        task in "[a-z][a-z0-9-]{0,15}",
+        key in "[a-z][a-z0-9_]{0,10}",
+        value in "[ -~&&[^\\r\\n]]{0,40}",
+        body in "\\PC{0,120}",
+    ) {
+        prop_assume!(key != "task");
+        prop_assume!(!body.starts_with("### "));
+        let prompt = PromptEnvelope::builder(&task)
+            .header(&key, value.trim())
+            .body(body.clone())
+            .build();
+        let env = PromptEnvelope::parse(&prompt).unwrap();
+        prop_assert_eq!(&env.task, &task);
+        prop_assert_eq!(env.get(&key).unwrap(), value.trim());
+        prop_assert_eq!(&env.body, &body);
+    }
+
+    /// unit_f64 stays in [0, 1) for any hash input.
+    #[test]
+    fn unit_f64_range(x in any::<u64>()) {
+        let u = unit_f64(x);
+        prop_assert!((0.0..1.0).contains(&u));
+    }
+
+    /// seed_for separates labels and seeds (no trivial collisions on
+    /// small perturbations).
+    #[test]
+    fn seed_for_separation(seed in any::<u64>(), label in "[a-z]{1,12}") {
+        let other = format!("{label}x");
+        prop_assert_ne!(seed_for(seed, &label), seed_for(seed, &other));
+        prop_assert_ne!(seed_for(seed, &label), seed_for(seed.wrapping_add(1), &label));
+    }
+
+    /// combine is order-sensitive for distinct operands.
+    #[test]
+    fn combine_order_sensitive(a in any::<u64>(), b in any::<u64>()) {
+        prop_assume!(a != b);
+        prop_assert_ne!(combine(a, b), combine(b, a));
+    }
+
+    /// fnv1a_str is stable and distinguishes appended content.
+    #[test]
+    fn fnv_appending_changes_hash(s in "[a-z]{0,30}") {
+        let extended = format!("{s}!");
+        prop_assert_ne!(fnv1a_str(&s), fnv1a_str(&extended));
+    }
+}

@@ -1,0 +1,317 @@
+//! Atomic query components and compositional query shapes.
+//!
+//! Every workload query is built from *atoms* — "(stadiums that) had
+//! concerts in 2014", "had the most number of sports meetings in 2015" —
+//! combined by a connective. This compositionality is what makes query
+//! decomposition (§III-B1) meaningful: two different top-level queries can
+//! share an atom, in which case the decomposed pipeline calls the model
+//! only once for it (the paper's `Q11 = Q21` observation in Fig. 7).
+
+use serde::{Deserialize, Serialize};
+
+/// The event relations of the concert domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Event {
+    /// `concert` table.
+    Concert,
+    /// `sports_meeting` table.
+    SportsMeeting,
+    /// `festival` table.
+    Festival,
+}
+
+impl Event {
+    /// All event kinds.
+    pub const ALL: [Event; 3] = [Event::Concert, Event::SportsMeeting, Event::Festival];
+
+    /// The backing table name.
+    pub fn table(&self) -> &'static str {
+        match self {
+            Event::Concert => "concert",
+            Event::SportsMeeting => "sports_meeting",
+            Event::Festival => "festival",
+        }
+    }
+
+    /// The plural natural-language phrase.
+    pub fn phrase(&self) -> &'static str {
+        match self {
+            Event::Concert => "concerts",
+            Event::SportsMeeting => "sports meetings",
+            Event::Festival => "festivals",
+        }
+    }
+
+    /// Parse an event from a natural-language phrase, longest match first.
+    pub fn from_phrase(text: &str) -> Option<Event> {
+        let t = text.to_lowercase();
+        if t.contains("sports meeting") {
+            Some(Event::SportsMeeting)
+        } else if t.contains("concert") {
+            Some(Event::Concert)
+        } else if t.contains("festival") {
+            Some(Event::Festival)
+        } else {
+            None
+        }
+    }
+}
+
+/// An atomic condition on stadiums.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Atom {
+    /// The event kind.
+    pub event: Event,
+    /// The event year.
+    pub year: i64,
+    /// Superlative: "the most number of `<event>` in `<year>`".
+    pub superlative: bool,
+}
+
+impl Atom {
+    /// Plain atom.
+    pub fn new(event: Event, year: i64) -> Self {
+        Atom { event, year, superlative: false }
+    }
+
+    /// Superlative atom.
+    pub fn superlative(event: Event, year: i64) -> Self {
+        Atom { event, year, superlative: true }
+    }
+
+    /// The NL condition fragment: "had concerts in 2014" or
+    /// "had the most number of concerts in 2014".
+    pub fn condition(&self) -> String {
+        if self.superlative {
+            format!("had the most number of {} in {}", self.event.phrase(), self.year)
+        } else {
+            format!("had {} in {}", self.event.phrase(), self.year)
+        }
+    }
+
+    /// The negated NL fragment: "did not have concerts in 2014".
+    pub fn negated_condition(&self) -> String {
+        format!("did not have {} in {}", self.event.phrase(), self.year)
+    }
+
+    /// The sub-query NL question asking for *stadium ids* (the decomposed
+    /// form the paper's Fig. 7 labels Q11, Q21, …).
+    pub fn sub_question(&self) -> String {
+        format!("Show the stadium ids of stadiums that {}", self.condition())
+    }
+
+    /// The gold SQL returning this atom's stadium-id set.
+    pub fn id_sql(&self) -> String {
+        if self.superlative {
+            format!(
+                "SELECT stadium_id FROM {} WHERE year = {} \
+                 GROUP BY stadium_id ORDER BY COUNT(*) DESC LIMIT 1",
+                self.event.table(),
+                self.year
+            )
+        } else {
+            format!("SELECT DISTINCT stadium_id FROM {} WHERE year = {}", self.event.table(), self.year)
+        }
+    }
+
+    /// Difficulty of translating this atom alone (calibrated; see zoo docs).
+    pub fn difficulty(&self) -> f64 {
+        if self.superlative {
+            0.31
+        } else {
+            0.07
+        }
+    }
+
+    /// Stable canonical key for hash-consing shared sub-queries.
+    pub fn key(&self) -> String {
+        format!("{}:{}:{}", self.event.table(), self.year, self.superlative)
+    }
+}
+
+/// How two atoms combine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Connective {
+    /// Either condition (set union) — "… or …".
+    Or,
+    /// Both conditions (set intersection) — "… and …".
+    And,
+    /// First but not second (set difference) — "… but did not have …".
+    AndNot,
+}
+
+/// The compositional shape of a workload query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum QueryShape {
+    /// A single atom.
+    Single(Atom),
+    /// Two atoms under a connective.
+    Pair(Atom, Connective, Atom),
+}
+
+impl QueryShape {
+    /// The atoms of this query, in order.
+    pub fn atoms(&self) -> Vec<Atom> {
+        match self {
+            QueryShape::Single(a) => vec![*a],
+            QueryShape::Pair(a, _, b) => vec![*a, *b],
+        }
+    }
+
+    /// The full natural-language question.
+    pub fn question(&self) -> String {
+        match self {
+            QueryShape::Single(a) => {
+                format!("What are the names of stadiums that {}?", a.condition())
+            }
+            QueryShape::Pair(a, Connective::Or, b) => format!(
+                "What are the names of stadiums that {} or {}?",
+                a.condition(),
+                b.condition()
+            ),
+            QueryShape::Pair(a, Connective::And, b) => format!(
+                "Show the names of stadiums that {} and {}",
+                a.condition(),
+                b.condition()
+            ),
+            QueryShape::Pair(a, Connective::AndNot, b) => format!(
+                "Show the names of stadiums that {} but {}",
+                a.condition(),
+                b.negated_condition()
+            ),
+        }
+    }
+
+    /// The gold SQL for the full question (projects stadium names).
+    pub fn gold_sql(&self) -> String {
+        match self {
+            QueryShape::Single(a) => {
+                format!("SELECT name FROM stadium WHERE stadium_id IN ({})", a.id_sql())
+            }
+            QueryShape::Pair(a, c, b) => {
+                let (lhs, rhs) = (a.id_sql(), b.id_sql());
+                match c {
+                    Connective::Or => format!(
+                        "SELECT name FROM stadium WHERE stadium_id IN ({lhs}) \
+                         OR stadium_id IN ({rhs})"
+                    ),
+                    Connective::And => format!(
+                        "SELECT name FROM stadium WHERE stadium_id IN ({lhs}) \
+                         AND stadium_id IN ({rhs})"
+                    ),
+                    Connective::AndNot => format!(
+                        "SELECT name FROM stadium WHERE stadium_id IN ({lhs}) \
+                         AND stadium_id NOT IN ({rhs})"
+                    ),
+                }
+            }
+        }
+    }
+
+    /// Translation difficulty of the *full* question (complex queries are
+    /// markedly harder than their atoms — the effect Table II exploits).
+    pub fn difficulty(&self) -> f64 {
+        match self {
+            QueryShape::Single(a) => {
+                if a.superlative {
+                    0.41
+                } else {
+                    0.24
+                }
+            }
+            QueryShape::Pair(a, _, b) => {
+                let base = 0.80;
+                let sup = [a, b].iter().filter(|x| x.superlative).count() as f64;
+                (base + 0.08 * sup).min(1.0)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn condition_rendering() {
+        let a = Atom::new(Event::Concert, 2014);
+        assert_eq!(a.condition(), "had concerts in 2014");
+        let s = Atom::superlative(Event::SportsMeeting, 2015);
+        assert_eq!(s.condition(), "had the most number of sports meetings in 2015");
+    }
+
+    #[test]
+    fn question_rendering_matches_fig7_style() {
+        let q1 = QueryShape::Pair(
+            Atom::new(Event::Concert, 2014),
+            Connective::Or,
+            Atom::new(Event::SportsMeeting, 2015),
+        );
+        assert_eq!(
+            q1.question(),
+            "What are the names of stadiums that had concerts in 2014 or had sports meetings in 2015?"
+        );
+        let q5 = QueryShape::Pair(
+            Atom::new(Event::Concert, 2014),
+            Connective::AndNot,
+            Atom::new(Event::SportsMeeting, 2015),
+        );
+        assert!(q5.question().contains("but did not have sports meetings in 2015"));
+    }
+
+    #[test]
+    fn gold_sql_parses_and_executes() {
+        let mut db = crate::domain::concert_domain(3);
+        for shape in [
+            QueryShape::Single(Atom::new(Event::Concert, 2014)),
+            QueryShape::Single(Atom::superlative(Event::Concert, 2014)),
+            QueryShape::Pair(
+                Atom::new(Event::Concert, 2014),
+                Connective::Or,
+                Atom::new(Event::SportsMeeting, 2015),
+            ),
+            QueryShape::Pair(
+                Atom::new(Event::Festival, 2013),
+                Connective::And,
+                Atom::new(Event::Concert, 2016),
+            ),
+            QueryShape::Pair(
+                Atom::new(Event::Concert, 2014),
+                Connective::AndNot,
+                Atom::new(Event::SportsMeeting, 2015),
+            ),
+        ] {
+            let rs = db.query(&shape.gold_sql());
+            assert!(rs.is_ok(), "{} -> {:?}", shape.gold_sql(), rs.err());
+        }
+    }
+
+    #[test]
+    fn event_phrase_roundtrip() {
+        for e in Event::ALL {
+            assert_eq!(Event::from_phrase(e.phrase()), Some(e));
+        }
+        // "sports meetings" must not be mistaken for concerts.
+        assert_eq!(Event::from_phrase("had sports meetings in 2015"), Some(Event::SportsMeeting));
+        assert_eq!(Event::from_phrase("no events here"), None);
+    }
+
+    #[test]
+    fn difficulty_ordering() {
+        let atom = Atom::new(Event::Concert, 2014);
+        let single = QueryShape::Single(atom);
+        let pair = QueryShape::Pair(atom, Connective::And, Atom::new(Event::Festival, 2015));
+        assert!(atom.difficulty() < single.difficulty());
+        assert!(single.difficulty() < pair.difficulty());
+    }
+
+    #[test]
+    fn atom_keys_distinguish() {
+        let a = Atom::new(Event::Concert, 2014);
+        let b = Atom::new(Event::Concert, 2015);
+        let c = Atom::superlative(Event::Concert, 2014);
+        assert_ne!(a.key(), b.key());
+        assert_ne!(a.key(), c.key());
+        assert_eq!(a.key(), Atom::new(Event::Concert, 2014).key());
+    }
+}

@@ -1,0 +1,216 @@
+//! Query decomposition and local recomposition (§III-B1, Fig. 7).
+//!
+//! A compositional query decomposes into its atomic sub-queries; identical
+//! sub-queries across the workload are hash-consed (Fig. 7's "Q11 and Q21
+//! are the same sub-query, so they only need to call the LLM once"). The
+//! model translates each unique sub-question to SQL; recomposition then
+//! happens *locally* — set operations over the returned stadium-id sets —
+//! without further model calls.
+
+use std::collections::BTreeMap;
+
+use llmdm_sqlengine::{Database, ResultSet, SqlError, Value};
+
+use crate::atoms::{Atom, Connective, QueryShape};
+use crate::workload::NlQuery;
+
+/// The decomposition of one workload query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Decomposition {
+    /// The original query id.
+    pub query_id: usize,
+    /// The recomposition plan (shape with atom slots).
+    pub shape: QueryShape,
+    /// Canonical keys of the sub-queries, in shape order.
+    pub atom_keys: Vec<String>,
+}
+
+/// Decompose a query into its atoms.
+pub fn decompose(q: &NlQuery) -> Decomposition {
+    let atoms = q.shape.atoms();
+    Decomposition {
+        query_id: q.id,
+        shape: q.shape,
+        atom_keys: atoms.iter().map(Atom::key).collect(),
+    }
+}
+
+/// Collect the unique atoms of a workload, keyed canonically. The map's
+/// size is the number of model calls the decomposed pipeline makes.
+pub fn unique_atoms(queries: &[NlQuery]) -> BTreeMap<String, Atom> {
+    let mut map = BTreeMap::new();
+    for q in queries {
+        for a in q.shape.atoms() {
+            map.insert(a.key(), a);
+        }
+    }
+    map
+}
+
+/// Execute a predicted id-SQL and extract the (deduplicated) stadium-id
+/// set.
+pub fn id_set(db: &Database, sql: &str) -> Result<Vec<i64>, SqlError> {
+    let stmt = llmdm_sqlengine::parse_statement(sql)?;
+    let select = match stmt {
+        llmdm_sqlengine::Statement::Select(s) => s,
+        other => return Err(SqlError::Exec(format!("expected SELECT, got {other:?}"))),
+    };
+    let rs = llmdm_sqlengine::exec::execute_select(db, &select)?;
+    if rs.columns.is_empty() {
+        return Err(SqlError::Exec("id sub-query returned no columns".into()));
+    }
+    let mut ids: Vec<i64> = rs
+        .rows
+        .iter()
+        .filter_map(|r| match &r[0] {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        })
+        .collect();
+    ids.sort_unstable();
+    ids.dedup();
+    Ok(ids)
+}
+
+/// Recompose a query's final result from its sub-query answers.
+///
+/// `answers` maps atom key → the model's predicted SQL for that sub-query.
+/// Set semantics follow the connective; the id set is then mapped to
+/// stadium names through the `stadium` table directly (no model call).
+pub fn recompose(
+    db: &Database,
+    decomposition: &Decomposition,
+    answers: &BTreeMap<String, String>,
+) -> Result<ResultSet, SqlError> {
+    let sets: Vec<Vec<i64>> = decomposition
+        .atom_keys
+        .iter()
+        .map(|k| {
+            let sql = answers
+                .get(k)
+                .ok_or_else(|| SqlError::Exec(format!("missing sub-answer for {k}")))?;
+            id_set(db, sql)
+        })
+        .collect::<Result<_, _>>()?;
+
+    let final_ids: Vec<i64> = match (&decomposition.shape, sets.as_slice()) {
+        (QueryShape::Single(_), [a]) => a.clone(),
+        (QueryShape::Pair(_, conn, _), [a, b]) => match conn {
+            Connective::Or => {
+                let mut u = a.clone();
+                u.extend(b);
+                u.sort_unstable();
+                u.dedup();
+                u
+            }
+            Connective::And => a.iter().copied().filter(|x| b.binary_search(x).is_ok()).collect(),
+            Connective::AndNot => {
+                a.iter().copied().filter(|x| b.binary_search(x).is_err()).collect()
+            }
+        },
+        _ => return Err(SqlError::Exec("shape/answer arity mismatch".into())),
+    };
+
+    // Map ids → names via the stadium table (local, no model call).
+    let stadium = db.table("stadium")?;
+    let id_idx = stadium
+        .schema
+        .index_of("stadium_id")
+        .ok_or_else(|| SqlError::UnknownColumn("stadium_id".into()))?;
+    let name_idx = stadium
+        .schema
+        .index_of("name")
+        .ok_or_else(|| SqlError::UnknownColumn("name".into()))?;
+    let rows: Vec<Vec<Value>> = stadium
+        .rows
+        .iter()
+        .filter(|r| match &r[id_idx] {
+            Value::Int(i) => final_ids.binary_search(i).is_ok(),
+            _ => false,
+        })
+        .map(|r| vec![r[name_idx].clone()])
+        .collect();
+    Ok(ResultSet { columns: vec!["name".into()], rows, affected: 0 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::concert_domain;
+    use crate::workload::fig7_queries;
+
+    /// Recomposition with *gold* sub-answers must reproduce the gold
+    /// query's results exactly — the core correctness property of the
+    /// decomposed pipeline.
+    #[test]
+    fn gold_recomposition_matches_gold_sql() {
+        let mut db = concert_domain(42);
+        let queries = fig7_queries();
+        let atoms = unique_atoms(&queries);
+        let answers: BTreeMap<String, String> =
+            atoms.iter().map(|(k, a)| (k.clone(), a.id_sql())).collect();
+        for q in &queries {
+            let d = decompose(q);
+            let recomposed = recompose(&db, &d, &answers).unwrap();
+            let gold = db.query(&q.gold_sql).unwrap();
+            assert!(
+                recomposed.bag_eq(&gold),
+                "mismatch for {}:\nrecomposed: {recomposed}\ngold: {gold}",
+                q.text
+            );
+        }
+    }
+
+    #[test]
+    fn unique_atoms_dedups_fig7() {
+        let atoms = unique_atoms(&fig7_queries());
+        assert_eq!(atoms.len(), 4);
+    }
+
+    #[test]
+    fn wrong_sub_answer_changes_result() {
+        let mut db = concert_domain(42);
+        let queries = fig7_queries();
+        let q1 = &queries[0];
+        let d = decompose(q1);
+        let atoms = unique_atoms(&queries);
+        let mut answers: BTreeMap<String, String> =
+            atoms.iter().map(|(k, a)| (k.clone(), a.id_sql())).collect();
+        // Corrupt the concert-2014 sub-answer with the wrong year.
+        answers.insert(
+            d.atom_keys[0].clone(),
+            "SELECT DISTINCT stadium_id FROM concert WHERE year = 1999".into(),
+        );
+        let recomposed = recompose(&db, &d, &answers).unwrap();
+        let gold = db.query(&q1.gold_sql).unwrap();
+        assert!(!recomposed.bag_eq(&gold));
+    }
+
+    #[test]
+    fn missing_answer_is_an_error() {
+        let db = concert_domain(42);
+        let q = &fig7_queries()[0];
+        let d = decompose(q);
+        let answers = BTreeMap::new();
+        assert!(recompose(&db, &d, &answers).is_err());
+    }
+
+    #[test]
+    fn id_set_dedups_and_sorts() {
+        let db = concert_domain(42);
+        let ids =
+            id_set(&db, "SELECT stadium_id FROM concert WHERE year = 2014").unwrap();
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(ids, sorted);
+        assert!(!ids.is_empty());
+    }
+
+    #[test]
+    fn id_set_rejects_non_select() {
+        let db = concert_domain(42);
+        assert!(id_set(&db, "DELETE FROM concert").is_err());
+        assert!(id_set(&db, "not sql at all").is_err());
+    }
+}

@@ -1,0 +1,153 @@
+//! The Spider-inspired stadium/concert domain of the paper's Figure 7.
+
+use llmdm_sqlengine::{Database, Value};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Stadium name pool (deterministic, index-stable).
+const STADIUM_NAMES: &[&str] = &[
+    "Eagle Arena",
+    "River Dome",
+    "Sun Bowl",
+    "Metro Field",
+    "Harbor Park",
+    "Summit Stadium",
+    "Lakeside Grounds",
+    "Union Coliseum",
+    "Granite Bowl",
+    "Meadow Court",
+    "Crown Pavilion",
+    "Pioneer Yard",
+];
+
+/// Years events can occur in.
+pub const YEARS: [i64; 4] = [2013, 2014, 2015, 2016];
+
+/// Build the seeded concert domain database:
+///
+/// * `stadium(stadium_id, name, capacity, city)`
+/// * `concert(concert_id, stadium_id, year, attendance)`
+/// * `sports_meeting(meeting_id, stadium_id, year)`
+/// * `festival(festival_id, stadium_id, year)`
+///
+/// Event placement is seeded so that every `(event, year)` atom has a
+/// non-trivial, non-universal stadium set — the property that makes the
+/// Fig. 7 queries discriminative.
+pub fn concert_domain(seed: u64) -> Database {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut db = Database::new();
+    db.execute("CREATE TABLE stadium (stadium_id INT, name TEXT, capacity INT, city TEXT)")
+        .expect("static DDL");
+    db.execute(
+        "CREATE TABLE concert (concert_id INT, stadium_id INT, year INT, attendance INT)",
+    )
+    .expect("static DDL");
+    db.execute("CREATE TABLE sports_meeting (meeting_id INT, stadium_id INT, year INT)")
+        .expect("static DDL");
+    db.execute("CREATE TABLE festival (festival_id INT, stadium_id INT, year INT)")
+        .expect("static DDL");
+
+    let n_stadiums = STADIUM_NAMES.len();
+    for (i, name) in STADIUM_NAMES.iter().enumerate() {
+        let capacity = 15_000 + 5_000 * rng.gen_range(0..10i64);
+        let city = format!("City {}", (b'A' + (i % 8) as u8) as char);
+        let t = db.table_mut("stadium").expect("created above");
+        t.push_row(vec![
+            Value::Int(i as i64 + 1),
+            Value::Str((*name).to_string()),
+            Value::Int(capacity),
+            Value::Str(city),
+        ])
+        .expect("schema-conforming row");
+    }
+
+    let mut concert_id = 100i64;
+    let mut meeting_id = 200i64;
+    let mut festival_id = 300i64;
+    for year in YEARS {
+        // Each year, a random ~half of stadiums host concerts (some twice,
+        // so superlatives are non-trivial), a third host sports meetings,
+        // a quarter host festivals.
+        for sid in 1..=n_stadiums as i64 {
+            if rng.gen_bool(0.5) {
+                let shows = if rng.gen_bool(0.3) { 2 } else { 1 };
+                for _ in 0..shows {
+                    concert_id += 1;
+                    let att = 8_000 + rng.gen_range(0..30i64) * 1_000;
+                    db.table_mut("concert")
+                        .expect("created above")
+                        .push_row(vec![
+                            Value::Int(concert_id),
+                            Value::Int(sid),
+                            Value::Int(year),
+                            Value::Int(att),
+                        ])
+                        .expect("schema-conforming row");
+                }
+            }
+            if rng.gen_bool(0.34) {
+                meeting_id += 1;
+                db.table_mut("sports_meeting")
+                    .expect("created above")
+                    .push_row(vec![Value::Int(meeting_id), Value::Int(sid), Value::Int(year)])
+                    .expect("schema-conforming row");
+            }
+            if rng.gen_bool(0.25) {
+                festival_id += 1;
+                db.table_mut("festival")
+                    .expect("created above")
+                    .push_row(vec![Value::Int(festival_id), Value::Int(sid), Value::Int(year)])
+                    .expect("schema-conforming row");
+            }
+        }
+    }
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn domain_has_all_tables() {
+        let db = concert_domain(1);
+        for t in ["stadium", "concert", "sports_meeting", "festival"] {
+            assert!(db.has_table(t), "missing {t}");
+        }
+        assert_eq!(db.table("stadium").unwrap().len(), STADIUM_NAMES.len());
+        assert!(db.table("concert").unwrap().len() > 10);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = concert_domain(7);
+        let b = concert_domain(7);
+        assert_eq!(a.table("concert").unwrap().rows, b.table("concert").unwrap().rows);
+        let c = concert_domain(8);
+        assert_ne!(a.table("concert").unwrap().rows, c.table("concert").unwrap().rows);
+    }
+
+    #[test]
+    fn atoms_are_discriminative() {
+        // Each (event, year) should select some but not all stadiums.
+        let mut db = concert_domain(42);
+        for year in YEARS {
+            let rs = db
+                .query(&format!(
+                    "SELECT DISTINCT stadium_id FROM concert WHERE year = {year}"
+                ))
+                .unwrap();
+            assert!(!rs.rows.is_empty(), "no concerts in {year}");
+            assert!(rs.rows.len() < STADIUM_NAMES.len(), "all stadiums host in {year}");
+        }
+    }
+
+    #[test]
+    fn fig7_gold_queries_execute() {
+        let mut db = concert_domain(42);
+        let q1 = "SELECT name FROM stadium WHERE stadium_id IN \
+                  (SELECT stadium_id FROM concert WHERE year = 2014) \
+                  OR stadium_id IN (SELECT stadium_id FROM sports_meeting WHERE year = 2015)";
+        assert!(db.query(q1).is_ok());
+    }
+}

@@ -1,0 +1,321 @@
+//! The NL→SQL solver registered into the simulated model zoo.
+//!
+//! This is the "LLM" of the Table II experiment: it genuinely parses the
+//! workload's natural-language grammar (connectives, superlatives, event
+//! phrases, years, ids-vs-names projection) and emits executable SQL. The
+//! surrounding [`SimLlm`](llmdm_model::SimLlm) decides — per question, via
+//! its calibrated capability curve — whether to return this correct
+//! translation or a plausible corruption (wrong year, wrong event table,
+//! flipped connective), exactly the error modes real text-to-SQL models
+//! exhibit.
+
+use llmdm_model::{ModelError, PromptEnvelope, PromptSolver, SolvedPart, SolvedTask};
+
+use crate::atoms::{Atom, Connective, Event, QueryShape};
+
+/// What the question asks for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Projection {
+    /// Stadium names (full queries).
+    Names,
+    /// Stadium ids (decomposed sub-queries).
+    Ids,
+}
+
+/// The NL2SQL prompt solver (`### task: nl2sql`).
+///
+/// Body format (built by [`crate::prompt::PromptBuilder`]):
+///
+/// ```text
+/// Schema:
+/// TABLE stadium (...)
+///
+/// Example Q: …
+/// Example SQL: …
+///
+/// Q: <question 1>
+/// Q: <question 2>       (combined prompts carry several)
+/// ```
+#[derive(Debug, Default)]
+pub struct Nl2SqlSolver;
+
+impl Nl2SqlSolver {
+    /// Parse one question into (projection, shape).
+    fn parse_question(q: &str) -> Option<(Projection, QueryShape)> {
+        let t = q.to_lowercase();
+        let projection =
+            if t.contains("stadium ids") { Projection::Ids } else { Projection::Names };
+        // Strip up to the relative clause.
+        let body = t
+            .split_once("stadiums that ")
+            .map(|(_, b)| b)
+            .or_else(|| t.split_once("stadiums with ").map(|(_, b)| b))?;
+        let body = body.trim_end_matches(['?', '.', '!']).trim();
+
+        // Connectives, most specific first.
+        if let Some((l, r)) = body.split_once(" but did not have ") {
+            let a = parse_condition(l)?;
+            let b = parse_condition(&format!("had {r}"))?;
+            return Some((projection, QueryShape::Pair(a, Connective::AndNot, b)));
+        }
+        if let Some((l, r)) = split_connective(body, " and had ") {
+            let a = parse_condition(&l)?;
+            let b = parse_condition(&format!("had {r}"))?;
+            return Some((projection, QueryShape::Pair(a, Connective::And, b)));
+        }
+        if let Some((l, r)) = split_connective(body, " or had ") {
+            let a = parse_condition(&l)?;
+            let b = parse_condition(&format!("had {r}"))?;
+            return Some((projection, QueryShape::Pair(a, Connective::Or, b)));
+        }
+        let a = parse_condition(body)?;
+        Some((projection, QueryShape::Single(a)))
+    }
+
+    /// Correct SQL for a parsed question.
+    fn answer_sql(projection: Projection, shape: &QueryShape) -> String {
+        match (projection, shape) {
+            (Projection::Ids, QueryShape::Single(a)) => a.id_sql(),
+            (Projection::Ids, QueryShape::Pair(..)) => {
+                // Decomposed prompts only ever ask for single-atom id sets,
+                // but answer compound id requests anyway via the name query
+                // pattern swapped to ids.
+                shape.gold_sql().replacen("SELECT name", "SELECT stadium_id", 1)
+            }
+            (Projection::Names, shape) => shape.gold_sql(),
+        }
+    }
+
+    /// Difficulty of a parsed question.
+    fn question_difficulty(projection: Projection, shape: &QueryShape) -> f64 {
+        match (projection, shape) {
+            (Projection::Ids, QueryShape::Single(a)) => a.difficulty(),
+            _ => shape.difficulty(),
+        }
+    }
+
+    /// Plausible wrong translations: off-by-one year, wrong event, flipped
+    /// connective.
+    fn alternatives(projection: Projection, shape: &QueryShape) -> Vec<String> {
+        let mut alts = Vec::new();
+        let bump_year = |a: &Atom| Atom { year: a.year + 1, ..*a };
+        let swap_event = |a: &Atom| {
+            let next = match a.event {
+                Event::Concert => Event::SportsMeeting,
+                Event::SportsMeeting => Event::Festival,
+                Event::Festival => Event::Concert,
+            };
+            Atom { event: next, ..*a }
+        };
+        match shape {
+            QueryShape::Single(a) => {
+                alts.push(Self::answer_sql(projection, &QueryShape::Single(bump_year(a))));
+                alts.push(Self::answer_sql(projection, &QueryShape::Single(swap_event(a))));
+                if a.superlative {
+                    // Dropping the superlative is the classic error.
+                    let plain = Atom { superlative: false, ..*a };
+                    alts.push(Self::answer_sql(projection, &QueryShape::Single(plain)));
+                }
+            }
+            QueryShape::Pair(a, c, b) => {
+                let flipped = match c {
+                    Connective::Or => Connective::And,
+                    Connective::And => Connective::Or,
+                    Connective::AndNot => Connective::And,
+                };
+                alts.push(Self::answer_sql(projection, &QueryShape::Pair(*a, flipped, *b)));
+                alts.push(Self::answer_sql(
+                    projection,
+                    &QueryShape::Pair(bump_year(a), *c, *b),
+                ));
+                alts.push(Self::answer_sql(
+                    projection,
+                    &QueryShape::Pair(*a, *c, swap_event(b)),
+                ));
+            }
+        }
+        alts
+    }
+
+    fn solve_one(q: &str) -> Result<SolvedPart, ModelError> {
+        let (projection, shape) = Self::parse_question(q).ok_or_else(|| {
+            ModelError::MalformedPayload {
+                task: "nl2sql".into(),
+                reason: format!("cannot parse question {q:?}"),
+            }
+        })?;
+        Ok(SolvedPart {
+            answer: Self::answer_sql(projection, &shape),
+            difficulty: Self::question_difficulty(projection, &shape),
+            alternatives: Self::alternatives(projection, &shape),
+        })
+    }
+}
+
+fn split_connective(body: &str, sep: &str) -> Option<(String, String)> {
+    body.split_once(sep).map(|(l, r)| (l.to_string(), r.to_string()))
+}
+
+/// Parse a condition fragment like "had concerts in 2014" or
+/// "had the most number of sports meetings in 2015" / "most number of …".
+fn parse_condition(text: &str) -> Option<Atom> {
+    let superlative = text.contains("most number of");
+    let event = Event::from_phrase(text)?;
+    let year = extract_year(text)?;
+    Some(Atom { event, year, superlative })
+}
+
+fn extract_year(text: &str) -> Option<i64> {
+    let bytes = text.as_bytes();
+    let mut i = 0;
+    while i + 4 <= bytes.len() {
+        if bytes[i..i + 4].iter().all(|b| b.is_ascii_digit())
+            && (i == 0 || !bytes[i - 1].is_ascii_digit())
+            && (i + 4 == bytes.len() || !bytes[i + 4].is_ascii_digit())
+        {
+            return text[i..i + 4].parse().ok();
+        }
+        i += 1;
+    }
+    None
+}
+
+impl PromptSolver for Nl2SqlSolver {
+    fn task_id(&self) -> &str {
+        "nl2sql"
+    }
+
+    fn solve(&self, env: &PromptEnvelope) -> Result<SolvedTask, ModelError> {
+        let questions: Vec<&str> = env
+            .body
+            .lines()
+            .filter_map(|l| l.strip_prefix("Q: "))
+            .collect();
+        if questions.is_empty() {
+            return Err(ModelError::MalformedPayload {
+                task: "nl2sql".into(),
+                reason: "no `Q:` lines in prompt".into(),
+            });
+        }
+        if questions.len() == 1 {
+            let part = Self::solve_one(questions[0])?;
+            Ok(SolvedTask {
+                answer: part.answer,
+                difficulty: part.difficulty,
+                alternatives: part.alternatives,
+                parts: Vec::new(),
+            })
+        } else {
+            let parts: Result<Vec<SolvedPart>, ModelError> =
+                questions.iter().map(|q| Self::solve_one(q)).collect();
+            Ok(SolvedTask::multi(parts?))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::fig7_queries;
+
+    fn parse(q: &str) -> (Projection, QueryShape) {
+        Nl2SqlSolver::parse_question(q).unwrap_or_else(|| panic!("cannot parse {q:?}"))
+    }
+
+    #[test]
+    fn parses_all_fig7_questions() {
+        for q in fig7_queries() {
+            let (proj, shape) = parse(&q.text);
+            assert_eq!(proj, Projection::Names);
+            assert_eq!(shape, q.shape, "mismatch for {:?}", q.text);
+        }
+    }
+
+    #[test]
+    fn parses_sub_questions_as_id_projection() {
+        let a = Atom::new(Event::Concert, 2014);
+        let (proj, shape) = parse(&a.sub_question());
+        assert_eq!(proj, Projection::Ids);
+        assert_eq!(shape, QueryShape::Single(a));
+    }
+
+    #[test]
+    fn answer_matches_gold() {
+        for q in fig7_queries() {
+            let (proj, shape) = parse(&q.text);
+            assert_eq!(Nl2SqlSolver::answer_sql(proj, &shape), q.gold_sql);
+        }
+    }
+
+    #[test]
+    fn alternatives_differ_from_gold_and_execute() {
+        let mut db = crate::domain::concert_domain(5);
+        for q in fig7_queries() {
+            let (proj, shape) = parse(&q.text);
+            for alt in Nl2SqlSolver::alternatives(proj, &shape) {
+                assert_ne!(alt, q.gold_sql);
+                assert!(db.query(&alt).is_ok(), "alt not executable: {alt}");
+            }
+        }
+    }
+
+    #[test]
+    fn year_extraction() {
+        assert_eq!(extract_year("had concerts in 2014"), Some(2014));
+        assert_eq!(extract_year("in the year 2016!"), Some(2016));
+        assert_eq!(extract_year("no year"), None);
+        assert_eq!(extract_year("12345"), None, "5-digit runs are not years");
+    }
+
+    #[test]
+    fn solver_end_to_end_single() {
+        let prompt = PromptEnvelope::builder("nl2sql")
+            .header("examples", 0)
+            .body("Schema:\nTABLE stadium (...)\n\nQ: What are the names of stadiums that had concerts in 2014?")
+            .build();
+        let env = PromptEnvelope::parse(&prompt).unwrap();
+        let solved = Nl2SqlSolver.solve(&env).unwrap();
+        assert!(solved.answer.contains("SELECT name FROM stadium"));
+        assert!(solved.parts.is_empty());
+    }
+
+    #[test]
+    fn solver_end_to_end_batch() {
+        let body = "Q: Show the stadium ids of stadiums that had concerts in 2014\n\
+                    Q: Show the stadium ids of stadiums that had sports meetings in 2015";
+        let prompt = PromptEnvelope::builder("nl2sql").body(body).build();
+        let env = PromptEnvelope::parse(&prompt).unwrap();
+        let solved = Nl2SqlSolver.solve(&env).unwrap();
+        assert_eq!(solved.parts.len(), 2);
+        assert!(solved.parts[0].answer.contains("FROM concert"));
+        assert!(solved.parts[1].answer.contains("FROM sports_meeting"));
+    }
+
+    #[test]
+    fn example_lines_are_not_questions() {
+        let body = "Example Q: What are the names of stadiums that had festivals in 2013?\n\
+                    Example SQL: SELECT ...\n\n\
+                    Q: What are the names of stadiums that had concerts in 2014?";
+        let prompt = PromptEnvelope::builder("nl2sql").body(body).build();
+        let env = PromptEnvelope::parse(&prompt).unwrap();
+        let solved = Nl2SqlSolver.solve(&env).unwrap();
+        assert!(solved.parts.is_empty(), "only one real question expected");
+        assert!(solved.answer.contains("concert"));
+    }
+
+    #[test]
+    fn garbage_question_rejected() {
+        let prompt = PromptEnvelope::builder("nl2sql").body("Q: what is love?").build();
+        let env = PromptEnvelope::parse(&prompt).unwrap();
+        assert!(Nl2SqlSolver.solve(&env).is_err());
+    }
+
+    #[test]
+    fn difficulty_full_query_exceeds_sub_query() {
+        let full = parse("What are the names of stadiums that had concerts in 2014 or had sports meetings in 2015?");
+        let sub = parse("Show the stadium ids of stadiums that had concerts in 2014");
+        let d_full = Nl2SqlSolver::question_difficulty(full.0, &full.1);
+        let d_sub = Nl2SqlSolver::question_difficulty(sub.0, &sub.1);
+        assert!(d_full > d_sub + 0.4, "full={d_full} sub={d_sub}");
+    }
+}

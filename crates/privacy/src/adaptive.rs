@@ -1,0 +1,168 @@
+//! Adaptive federated-learning strategy via a bandit controller.
+//!
+//! §III-D closes its FL discussion with: "the users tend to be
+//! heterogeneous … This makes the design space of the FL strategies for
+//! LLMs complicated and challenging. A potential solution is to use the
+//! reinforcement learning technique to adjust the FL training strategies
+//! adaptively."
+//!
+//! [`run_adaptive_federated`] implements that: an ε-greedy bandit chooses
+//! the *local-epoch budget* for each round (the classic FedAvg knob whose
+//! best value depends on client heterogeneity); the reward is the round's
+//! validation-accuracy improvement. Under heterogeneity, long local
+//! training causes client drift, so the controller learns to prefer
+//! shorter rounds — without being told the heterogeneity level.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::federated::{partition, FedConfig};
+use crate::logreg::{Dataset, LogisticRegression};
+
+/// The controller's arm statistics.
+#[derive(Debug, Clone)]
+pub struct ArmStats {
+    /// The local-epoch option this arm plays.
+    pub local_epochs: usize,
+    /// Times chosen.
+    pub pulls: u64,
+    /// Mean observed reward (accuracy delta).
+    pub mean_reward: f64,
+}
+
+/// Result of an adaptive run.
+#[derive(Debug, Clone)]
+pub struct AdaptiveReport {
+    /// Final global model.
+    pub model: LogisticRegression,
+    /// Validation accuracy per round.
+    pub round_accuracy: Vec<f64>,
+    /// Arm chosen per round.
+    pub chosen_epochs: Vec<usize>,
+    /// Final arm statistics.
+    pub arms: Vec<ArmStats>,
+}
+
+/// Run FedAvg with an ε-greedy controller over `epoch_options`.
+pub fn run_adaptive_federated(
+    data: &Dataset,
+    test: &Dataset,
+    config: FedConfig,
+    epoch_options: &[usize],
+    epsilon: f64,
+) -> AdaptiveReport {
+    assert!(!epoch_options.is_empty(), "need at least one arm");
+    let parts = partition(data, config.clients, config.heterogeneity, config.seed);
+    let mut rng = SmallRng::seed_from_u64(config.seed ^ 0xad4f);
+    let mut global = LogisticRegression::new(data.dim());
+    let mut arms: Vec<ArmStats> = epoch_options
+        .iter()
+        .map(|&e| ArmStats { local_epochs: e, pulls: 0, mean_reward: 0.0 })
+        .collect();
+    let mut round_accuracy = Vec::with_capacity(config.rounds);
+    let mut chosen_epochs = Vec::with_capacity(config.rounds);
+    let mut last_acc = global.accuracy(test);
+
+    for _ in 0..config.rounds {
+        // ε-greedy arm choice: explore, or play the best-known arm
+        // (unpulled arms first so every option gets tried).
+        let arm_idx = if rng.gen_bool(epsilon.clamp(0.0, 1.0)) {
+            rng.gen_range(0..arms.len())
+        } else if let Some(i) = arms.iter().position(|a| a.pulls == 0) {
+            i
+        } else {
+            arms.iter()
+                .enumerate()
+                .max_by(|a, b| a.1.mean_reward.total_cmp(&b.1.mean_reward))
+                .map(|(i, _)| i)
+                .unwrap_or(0)
+        };
+        let local_epochs = arms[arm_idx].local_epochs;
+        chosen_epochs.push(local_epochs);
+
+        // One FedAvg round at the chosen budget (sequential: the bandit's
+        // decision is the experiment here, not thread parallelism).
+        let mut avg = vec![0.0; global.weights.len()];
+        for part in &parts {
+            let mut local = global.clone();
+            local.fit(part, local_epochs, config.lr);
+            for (a, w) in avg.iter_mut().zip(&local.weights) {
+                *a += w;
+            }
+        }
+        for a in &mut avg {
+            *a /= parts.len() as f64;
+        }
+        global.weights = avg;
+
+        // Reward: validation accuracy delta.
+        let acc = global.accuracy(test);
+        let reward = acc - last_acc;
+        last_acc = acc;
+        round_accuracy.push(acc);
+        let arm = &mut arms[arm_idx];
+        arm.pulls += 1;
+        arm.mean_reward += (reward - arm.mean_reward) / arm.pulls as f64;
+    }
+
+    AdaptiveReport { model: global, round_accuracy, chosen_epochs, arms }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::logreg::synthetic;
+
+    #[test]
+    fn adaptive_matches_or_beats_fixed_worst_arm() {
+        let data = synthetic(800, 4, 0.05, 31);
+        let (train, test) = data.split(0.8);
+        let config = FedConfig { rounds: 20, heterogeneity: 0.9, seed: 5, ..Default::default() };
+
+        // Fixed strategies at each extreme.
+        let fixed = |epochs: usize| {
+            let rep = run_adaptive_federated(&train, &test, config, &[epochs], 0.0);
+            *rep.round_accuracy.last().unwrap()
+        };
+        let short = fixed(1);
+        let long = fixed(20);
+        let worst = short.min(long);
+
+        let adaptive =
+            run_adaptive_federated(&train, &test, config, &[1, 5, 20], 0.2);
+        let final_acc = *adaptive.round_accuracy.last().unwrap();
+        assert!(
+            final_acc >= worst - 0.03,
+            "adaptive {final_acc} vs fixed worst {worst}"
+        );
+        assert!(final_acc > 0.8, "adaptive should converge, got {final_acc}");
+    }
+
+    #[test]
+    fn every_arm_gets_explored() {
+        let data = synthetic(400, 3, 0.1, 32);
+        let (train, test) = data.split(0.8);
+        let config = FedConfig { rounds: 12, seed: 7, ..Default::default() };
+        let rep = run_adaptive_federated(&train, &test, config, &[1, 3, 9], 0.3);
+        assert!(rep.arms.iter().all(|a| a.pulls > 0), "{:?}", rep.arms);
+        assert_eq!(rep.chosen_epochs.len(), 12);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let data = synthetic(300, 3, 0.1, 33);
+        let (train, test) = data.split(0.8);
+        let config = FedConfig { rounds: 8, seed: 9, ..Default::default() };
+        let a = run_adaptive_federated(&train, &test, config, &[1, 5], 0.2);
+        let b = run_adaptive_federated(&train, &test, config, &[1, 5], 0.2);
+        assert_eq!(a.chosen_epochs, b.chosen_epochs);
+        assert_eq!(a.model.weights, b.model.weights);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_arms_panics() {
+        let data = synthetic(50, 2, 0.1, 34);
+        run_adaptive_federated(&data, &data, FedConfig::default(), &[], 0.1);
+    }
+}

@@ -1,0 +1,169 @@
+//! Differential-privacy mechanisms and the privacy accountant.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Add Laplace noise calibrated to `sensitivity / epsilon` (ε-DP).
+pub fn laplace_mechanism(value: f64, sensitivity: f64, epsilon: f64, rng: &mut SmallRng) -> f64 {
+    assert!(epsilon > 0.0 && sensitivity >= 0.0);
+    let scale = sensitivity / epsilon;
+    // Inverse-CDF sampling: Laplace(0, b).
+    let u: f64 = rng.gen_range(-0.5..0.5);
+    let noise = -scale * u.signum() * (1.0 - 2.0 * u.abs()).ln();
+    value + noise
+}
+
+/// Add Gaussian noise calibrated for (ε, δ)-DP:
+/// σ = sensitivity · √(2 ln(1.25/δ)) / ε.
+pub fn gaussian_mechanism(
+    value: f64,
+    sensitivity: f64,
+    epsilon: f64,
+    delta: f64,
+    rng: &mut SmallRng,
+) -> f64 {
+    assert!(epsilon > 0.0 && (0.0..1.0).contains(&delta) && delta > 0.0);
+    let sigma = sensitivity * (2.0 * (1.25 / delta).ln()).sqrt() / epsilon;
+    value + sigma * gauss(rng)
+}
+
+/// A standard normal sample (Box–Muller).
+pub fn gauss(rng: &mut SmallRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Tracks cumulative privacy loss across mechanism invocations.
+#[derive(Debug, Clone, Default)]
+pub struct PrivacyAccountant {
+    events: Vec<(f64, f64)>, // (epsilon, delta)
+}
+
+impl PrivacyAccountant {
+    /// Fresh accountant.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one (ε, δ) mechanism invocation.
+    pub fn spend(&mut self, epsilon: f64, delta: f64) {
+        assert!(epsilon >= 0.0 && (0.0..1.0).contains(&delta));
+        self.events.push((epsilon, delta));
+    }
+
+    /// Basic (sequential) composition: ε and δ add up.
+    pub fn basic_composition(&self) -> (f64, f64) {
+        let eps: f64 = self.events.iter().map(|(e, _)| e).sum();
+        let delta: f64 = self.events.iter().map(|(_, d)| d).sum();
+        (eps, delta)
+    }
+
+    /// Advanced composition (Dwork–Rothblum–Vadhan): for k ε-uniform
+    /// events and a slack `delta_prime`,
+    /// ε' = ε·√(2k·ln(1/δ')) + k·ε·(e^ε − 1).
+    pub fn advanced_composition(&self, delta_prime: f64) -> (f64, f64) {
+        assert!(delta_prime > 0.0 && delta_prime < 1.0);
+        let k = self.events.len() as f64;
+        if k == 0.0 {
+            return (0.0, 0.0);
+        }
+        let eps_max = self.events.iter().map(|(e, _)| *e).fold(0.0, f64::max);
+        let eps = eps_max * (2.0 * k * (1.0 / delta_prime).ln()).sqrt()
+            + k * eps_max * (eps_max.exp() - 1.0);
+        let delta: f64 = self.events.iter().map(|(_, d)| d).sum::<f64>() + delta_prime;
+        (eps, delta)
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether anything was spent.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn laplace_noise_scale_tracks_epsilon() {
+        // Empirical mean absolute noise ≈ scale = sensitivity/ε.
+        let measure = |eps: f64| {
+            let mut rng = SmallRng::seed_from_u64(1);
+            let n = 20_000;
+            (0..n)
+                .map(|_| (laplace_mechanism(0.0, 1.0, eps, &mut rng)).abs())
+                .sum::<f64>()
+                / n as f64
+        };
+        let loose = measure(0.1); // scale 10
+        let tight = measure(10.0); // scale 0.1
+        assert!((loose - 10.0).abs() < 1.0, "loose {loose}");
+        assert!((tight - 0.1).abs() < 0.02, "tight {tight}");
+    }
+
+    #[test]
+    fn gaussian_noise_scale_tracks_sigma() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let n = 20_000;
+        let eps = 1.0;
+        let delta = 1e-5;
+        let sigma_expect = (2.0 * (1.25f64 / delta).ln()).sqrt() / eps;
+        let var: f64 = (0..n)
+            .map(|_| gaussian_mechanism(0.0, 1.0, eps, delta, &mut rng).powi(2))
+            .sum::<f64>()
+            / n as f64;
+        assert!((var.sqrt() - sigma_expect).abs() / sigma_expect < 0.05);
+    }
+
+    #[test]
+    fn mechanisms_are_unbiased() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let n = 50_000;
+        let mean: f64 =
+            (0..n).map(|_| laplace_mechanism(7.0, 1.0, 1.0, &mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 7.0).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn basic_composition_adds() {
+        let mut acc = PrivacyAccountant::new();
+        for _ in 0..10 {
+            acc.spend(0.1, 1e-6);
+        }
+        let (eps, delta) = acc.basic_composition();
+        assert!((eps - 1.0).abs() < 1e-9);
+        assert!((delta - 1e-5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn advanced_composition_beats_basic_for_many_small_events() {
+        let mut acc = PrivacyAccountant::new();
+        for _ in 0..1000 {
+            acc.spend(0.01, 0.0);
+        }
+        let (basic, _) = acc.basic_composition();
+        let (adv, _) = acc.advanced_composition(1e-5);
+        assert!(adv < basic, "advanced {adv} vs basic {basic}");
+    }
+
+    #[test]
+    fn empty_accountant() {
+        let acc = PrivacyAccountant::new();
+        assert_eq!(acc.basic_composition(), (0.0, 0.0));
+        assert_eq!(acc.advanced_composition(1e-5), (0.0, 0.0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_epsilon_panics() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        laplace_mechanism(0.0, 1.0, 0.0, &mut rng);
+    }
+}

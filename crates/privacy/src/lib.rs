@@ -1,0 +1,47 @@
+//! # llmdm-privacy — LLM security & privacy substrate (§III-D)
+//!
+//! The paper's third challenge: data management over health/financial data
+//! "demands stringent privacy protection … in both training stage and
+//! inference stage". The researchable content it calls for is algorithmic,
+//! and this crate implements it end to end:
+//!
+//! * [`dp`] — differential privacy: seeded Laplace and Gaussian
+//!   mechanisms, sensitivity-scaled, plus a privacy accountant with basic
+//!   and advanced composition ("design new algorithms that inject minimal
+//!   noise … while maximizing the model utility");
+//! * [`logreg`] — the plain logistic-regression learner the other modules
+//!   privatize (the decision models of §III-B are exactly this class);
+//! * [`dpsgd`] — DP-SGD: per-example gradient clipping + Gaussian noise,
+//!   with the noise-multiplier/utility trade-off exposed for the ablation
+//!   bench;
+//! * [`federated`] — a federated-learning simulator (§III-D's "natural
+//!   solution is data collaboration"): heterogeneous clients, FedAvg
+//!   rounds (clients train in parallel threads), and **secure
+//!   aggregation** by pairwise additive masking, so the server only ever
+//!   sees masked updates that cancel in the sum;
+//! * [`adaptive`] — the paper's envisioned "reinforcement learning
+//!   technique to adjust the FL training strategies adaptively": an
+//!   ε-greedy bandit over the local-epoch budget rewarded by validation
+//!   improvement;
+//! * [`mia`] — a membership-inference attack harness (the paper cites
+//!   Shokri et al.): a loss-threshold attacker whose advantage quantifies
+//!   leakage, and which DP-SGD demonstrably suppresses.
+//!
+//! TEE (Intel SGX) deployment is hardware and out of scope; see DESIGN.md
+//! §2 for the substitution note.
+
+#![warn(missing_docs)]
+
+pub mod adaptive;
+pub mod dp;
+pub mod dpsgd;
+pub mod federated;
+pub mod logreg;
+pub mod mia;
+
+pub use adaptive::{run_adaptive_federated, AdaptiveReport, ArmStats};
+pub use dp::{gaussian_mechanism, laplace_mechanism, PrivacyAccountant};
+pub use dpsgd::{train_dpsgd, DpSgdConfig};
+pub use federated::{run_federated, FedConfig, FedReport};
+pub use logreg::{Dataset, LogisticRegression};
+pub use mia::{membership_attack, MiaReport};

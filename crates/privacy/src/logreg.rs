@@ -1,0 +1,188 @@
+//! Plain logistic regression — the learner the DP and federated modules
+//! privatize.
+
+use serde::{Deserialize, Serialize};
+
+/// A labelled dataset: rows of features and binary labels.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Dataset {
+    /// Feature rows (equal length).
+    pub x: Vec<Vec<f64>>,
+    /// Labels.
+    pub y: Vec<bool>,
+}
+
+impl Dataset {
+    /// Number of examples.
+    pub fn len(&self) -> usize {
+        self.x.len()
+    }
+
+    /// Whether there are no examples.
+    pub fn is_empty(&self) -> bool {
+        self.x.is_empty()
+    }
+
+    /// Feature dimensionality (0 when empty).
+    pub fn dim(&self) -> usize {
+        self.x.first().map(|r| r.len()).unwrap_or(0)
+    }
+
+    /// Split into (train, test) at `frac`.
+    pub fn split(&self, frac: f64) -> (Dataset, Dataset) {
+        let cut = ((self.len() as f64) * frac) as usize;
+        (
+            Dataset { x: self.x[..cut].to_vec(), y: self.y[..cut].to_vec() },
+            Dataset { x: self.x[cut..].to_vec(), y: self.y[cut..].to_vec() },
+        )
+    }
+}
+
+/// Binary logistic regression with a bias term.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LogisticRegression {
+    /// Weights; the last entry is the bias.
+    pub weights: Vec<f64>,
+}
+
+fn sigmoid(z: f64) -> f64 {
+    1.0 / (1.0 + (-z).exp())
+}
+
+impl LogisticRegression {
+    /// Zero-initialized model for `dim` features.
+    pub fn new(dim: usize) -> Self {
+        LogisticRegression { weights: vec![0.0; dim + 1] }
+    }
+
+    /// P(y = 1 | x).
+    pub fn predict_proba(&self, x: &[f64]) -> f64 {
+        debug_assert_eq!(x.len() + 1, self.weights.len());
+        let z: f64 = self.weights[..x.len()].iter().zip(x).map(|(w, v)| w * v).sum::<f64>()
+            + self.weights[x.len()];
+        sigmoid(z)
+    }
+
+    /// Hard prediction at 0.5.
+    pub fn predict(&self, x: &[f64]) -> bool {
+        self.predict_proba(x) >= 0.5
+    }
+
+    /// Per-example gradient of the logistic loss.
+    pub fn gradient(&self, x: &[f64], y: bool) -> Vec<f64> {
+        let err = self.predict_proba(x) - if y { 1.0 } else { 0.0 };
+        let mut g: Vec<f64> = x.iter().map(|v| err * v).collect();
+        g.push(err); // bias
+        g
+    }
+
+    /// Full-batch gradient descent.
+    pub fn fit(&mut self, data: &Dataset, epochs: usize, lr: f64) {
+        if data.is_empty() {
+            return;
+        }
+        let n = data.len() as f64;
+        for _ in 0..epochs {
+            let mut grad = vec![0.0; self.weights.len()];
+            for (x, &y) in data.x.iter().zip(&data.y) {
+                for (g, gi) in grad.iter_mut().zip(self.gradient(x, y)) {
+                    *g += gi;
+                }
+            }
+            for (w, g) in self.weights.iter_mut().zip(&grad) {
+                *w -= lr * g / n;
+            }
+        }
+    }
+
+    /// Accuracy on a dataset.
+    pub fn accuracy(&self, data: &Dataset) -> f64 {
+        if data.is_empty() {
+            return 0.0;
+        }
+        let ok = data
+            .x
+            .iter()
+            .zip(&data.y)
+            .filter(|(x, &y)| self.predict(x) == y)
+            .count();
+        ok as f64 / data.len() as f64
+    }
+
+    /// Logistic loss of one example (used by the MIA attacker).
+    pub fn loss(&self, x: &[f64], y: bool) -> f64 {
+        let p = self.predict_proba(x).clamp(1e-9, 1.0 - 1e-9);
+        if y {
+            -p.ln()
+        } else {
+            -(1.0 - p).ln()
+        }
+    }
+}
+
+/// A seeded, linearly-separable-ish synthetic dataset for tests and
+/// benches: y = (w*·x + noise > 0).
+pub fn synthetic(n: usize, dim: usize, noise: f64, seed: u64) -> Dataset {
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let w_star: Vec<f64> = (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let mut data = Dataset::default();
+    for _ in 0..n {
+        let x: Vec<f64> = (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let z: f64 = w_star.iter().zip(&x).map(|(w, v)| w * v).sum::<f64>()
+            + noise * crate::dp::gauss(&mut rng);
+        data.x.push(x);
+        data.y.push(z > 0.0);
+    }
+    data
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learns_separable_data() {
+        let data = synthetic(400, 4, 0.05, 1);
+        let (train, test) = data.split(0.75);
+        let mut m = LogisticRegression::new(4);
+        m.fit(&train, 300, 0.5);
+        assert!(m.accuracy(&test) > 0.9, "acc {}", m.accuracy(&test));
+    }
+
+    #[test]
+    fn untrained_model_is_chance() {
+        let data = synthetic(200, 4, 0.1, 2);
+        let m = LogisticRegression::new(4);
+        let acc = m.accuracy(&data);
+        assert!((0.3..=0.7).contains(&acc), "acc {acc}");
+    }
+
+    #[test]
+    fn gradient_descent_reduces_loss() {
+        let data = synthetic(100, 3, 0.1, 3);
+        let mut m = LogisticRegression::new(3);
+        let loss_before: f64 =
+            data.x.iter().zip(&data.y).map(|(x, &y)| m.loss(x, y)).sum();
+        m.fit(&data, 100, 0.5);
+        let loss_after: f64 =
+            data.x.iter().zip(&data.y).map(|(x, &y)| m.loss(x, y)).sum();
+        assert!(loss_after < loss_before * 0.8);
+    }
+
+    #[test]
+    fn split_partitions() {
+        let data = synthetic(100, 2, 0.1, 4);
+        let (a, b) = data.split(0.6);
+        assert_eq!(a.len(), 60);
+        assert_eq!(b.len(), 40);
+    }
+
+    #[test]
+    fn empty_dataset_handled() {
+        let mut m = LogisticRegression::new(2);
+        m.fit(&Dataset::default(), 10, 0.1);
+        assert_eq!(m.accuracy(&Dataset::default()), 0.0);
+    }
+}

@@ -1,0 +1,89 @@
+//! Property-based tests for the privacy substrate.
+
+use llmdm_privacy::dp::{gaussian_mechanism, laplace_mechanism, PrivacyAccountant};
+use llmdm_privacy::logreg::{Dataset, LogisticRegression};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+proptest! {
+    /// Mechanism outputs are always finite for sane parameters.
+    #[test]
+    fn mechanisms_finite(
+        value in -1e6f64..1e6,
+        sensitivity in 0.0f64..100.0,
+        epsilon in 0.01f64..10.0,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let l = laplace_mechanism(value, sensitivity, epsilon, &mut rng);
+        prop_assert!(l.is_finite());
+        let g = gaussian_mechanism(value, sensitivity, epsilon, 1e-5, &mut rng);
+        prop_assert!(g.is_finite());
+    }
+
+    /// Zero sensitivity means no noise at all.
+    #[test]
+    fn zero_sensitivity_is_identity(value in -1e3f64..1e3, seed in any::<u64>()) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        prop_assert_eq!(laplace_mechanism(value, 0.0, 1.0, &mut rng), value);
+        prop_assert_eq!(gaussian_mechanism(value, 0.0, 1.0, 1e-5, &mut rng), value);
+    }
+
+    /// Basic composition is exactly additive and order-independent.
+    #[test]
+    fn basic_composition_additive(
+        spends in proptest::collection::vec((0.0f64..1.0, 0.0f64..1e-4), 0..40)
+    ) {
+        let mut acc = PrivacyAccountant::new();
+        for (e, d) in &spends {
+            acc.spend(*e, *d);
+        }
+        let (eps, delta) = acc.basic_composition();
+        let expect_e: f64 = spends.iter().map(|(e, _)| e).sum();
+        let expect_d: f64 = spends.iter().map(|(_, d)| d).sum();
+        prop_assert!((eps - expect_e).abs() < 1e-9);
+        prop_assert!((delta - expect_d).abs() < 1e-12);
+    }
+
+    /// Predictions are probabilities; accuracy is a rate.
+    #[test]
+    fn logreg_bounds(
+        weights in proptest::collection::vec(-10.0f64..10.0, 4),
+        xs in proptest::collection::vec(proptest::collection::vec(-5.0f64..5.0, 3), 1..20),
+    ) {
+        let model = LogisticRegression { weights };
+        let mut data = Dataset::default();
+        for (i, x) in xs.iter().enumerate() {
+            let p = model.predict_proba(x);
+            prop_assert!((0.0..=1.0).contains(&p));
+            data.x.push(x.clone());
+            data.y.push(i % 2 == 0);
+        }
+        let acc = model.accuracy(&data);
+        prop_assert!((0.0..=1.0).contains(&acc));
+        // Loss is non-negative and finite.
+        for (x, &y) in data.x.iter().zip(&data.y) {
+            let l = model.loss(x, y);
+            prop_assert!(l.is_finite() && l >= 0.0);
+        }
+    }
+
+    /// One gradient-descent epoch never makes the *training* loss NaN and
+    /// the gradient has the expected dimensionality.
+    #[test]
+    fn gradient_shape_and_stability(
+        xs in proptest::collection::vec(proptest::collection::vec(-2.0f64..2.0, 3), 4..16),
+    ) {
+        let mut data = Dataset::default();
+        for (i, x) in xs.iter().enumerate() {
+            data.x.push(x.clone());
+            data.y.push(i % 3 == 0);
+        }
+        let mut m = LogisticRegression::new(3);
+        let g = m.gradient(&data.x[0], data.y[0]);
+        prop_assert_eq!(g.len(), 4); // 3 weights + bias
+        m.fit(&data, 5, 0.1);
+        prop_assert!(m.weights.iter().all(|w| w.is_finite()));
+    }
+}

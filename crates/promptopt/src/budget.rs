@@ -1,0 +1,139 @@
+//! Budget-constrained prompt storage (§III-A: "determining which
+//! historical prompts should be stored within a limited budget").
+//!
+//! [`BudgetedStore`] keeps at most `capacity` prompts. Admission of a new
+//! candidate is a replace-worst decision driven by utility estimates, with
+//! ε exploration so that unproven candidates still get a chance — the
+//! reinforcement-learning flavour the paper envisions.
+
+use llmdm_vecdb::VecDbError;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::store::PromptStore;
+
+/// A capacity-limited prompt store with learned admission.
+#[derive(Debug)]
+pub struct BudgetedStore {
+    store: PromptStore,
+    capacity: usize,
+    epsilon: f64,
+    rng: SmallRng,
+    admitted: u64,
+    rejected: u64,
+}
+
+impl BudgetedStore {
+    /// Create a budgeted store.
+    pub fn new(capacity: usize, epsilon: f64, seed: u64) -> Self {
+        BudgetedStore {
+            store: PromptStore::new(seed),
+            capacity: capacity.max(1),
+            epsilon: epsilon.clamp(0.0, 1.0),
+            rng: SmallRng::seed_from_u64(seed ^ 0xb4d6e7),
+            admitted: 0,
+            rejected: 0,
+        }
+    }
+
+    /// The underlying store (selection, rewards).
+    pub fn store(&self) -> &PromptStore {
+        &self.store
+    }
+
+    /// Mutable access for reward recording.
+    pub fn store_mut(&mut self) -> &mut PromptStore {
+        &mut self.store
+    }
+
+    /// Admission counters `(admitted, rejected)`.
+    pub fn counters(&self) -> (u64, u64) {
+        (self.admitted, self.rejected)
+    }
+
+    /// Offer a candidate prompt with a prior utility estimate in `[0, 1]`
+    /// (e.g. from offline evaluation, or 0.5 when unknown). Returns the id
+    /// if admitted.
+    pub fn offer(
+        &mut self,
+        text: &str,
+        task: &str,
+        prior_utility: f64,
+    ) -> Result<Option<u64>, VecDbError> {
+        if self.store.len() < self.capacity {
+            self.admitted += 1;
+            return self.store.insert(text, task).map(Some);
+        }
+        let explore = self.rng.gen_bool(self.epsilon);
+        let worst = self.store.worst().map(|r| (r.id, r.utility()));
+        let Some((worst_id, worst_utility)) = worst else {
+            self.admitted += 1;
+            return self.store.insert(text, task).map(Some);
+        };
+        if explore || prior_utility > worst_utility {
+            self.store.remove(worst_id)?;
+            self.admitted += 1;
+            self.store.insert(text, task).map(Some)
+        } else {
+            self.rejected += 1;
+            Ok(None)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fills_to_capacity_unconditionally() {
+        let mut b = BudgetedStore::new(3, 0.0, 1);
+        for i in 0..3 {
+            assert!(b.offer(&format!("prompt number {i}"), "t", 0.0).unwrap().is_some());
+        }
+        assert_eq!(b.store().len(), 3);
+    }
+
+    #[test]
+    fn replaces_worst_when_candidate_is_better() {
+        let mut b = BudgetedStore::new(2, 0.0, 1);
+        let a = b.offer("prompt alpha words", "t", 0.5).unwrap().unwrap();
+        let c = b.offer("prompt charlie words", "t", 0.5).unwrap().unwrap();
+        // Make `a` good and `c` bad.
+        for _ in 0..5 {
+            b.store_mut().record_reward(a, 1.0);
+            b.store_mut().record_reward(c, 0.0);
+        }
+        // A strong candidate displaces `c`.
+        let d = b.offer("prompt delta words", "t", 0.9).unwrap();
+        assert!(d.is_some());
+        assert_eq!(b.store().len(), 2);
+        assert!(b.store().get(a).is_some(), "good prompt kept");
+        assert!(b.store().get(c).is_none(), "bad prompt evicted");
+    }
+
+    #[test]
+    fn rejects_weak_candidates_when_full() {
+        let mut b = BudgetedStore::new(1, 0.0, 1);
+        let a = b.offer("prompt alpha words", "t", 0.5).unwrap().unwrap();
+        for _ in 0..5 {
+            b.store_mut().record_reward(a, 1.0);
+        }
+        let r = b.offer("prompt weak words", "t", 0.1).unwrap();
+        assert!(r.is_none());
+        assert_eq!(b.counters().1, 1);
+    }
+
+    #[test]
+    fn epsilon_one_always_explores() {
+        let mut b = BudgetedStore::new(1, 1.0, 9);
+        let a = b.offer("prompt alpha words", "t", 0.5).unwrap().unwrap();
+        for _ in 0..5 {
+            b.store_mut().record_reward(a, 1.0);
+        }
+        // Even a bad candidate gets in when exploring.
+        let r = b.offer("prompt weak words", "t", 0.0).unwrap();
+        assert!(r.is_some());
+        assert!(b.store().get(a).is_none());
+    }
+}

@@ -1,0 +1,41 @@
+//! # llmdm-promptopt — historical prompt storage & selection (§III-A)
+//!
+//! "Considering prompts are typically represented as vectors, vector
+//! databases are suitable for storing historical prompts for selection …
+//! the vector with the highest similarity does not necessarily indicate
+//! the optimal prompt for improving LLM performance. We may need to design
+//! an indexing method to cater to the optimal prompt … we can incorporate
+//! the performance of LLMs as a target for the learned index. Meanwhile,
+//! determining which historical prompts should be stored within a limited
+//! budget is also important. We envision that reinforcement learning
+//! algorithms can be designed."
+//!
+//! This crate implements all three envisioned mechanisms:
+//!
+//! * [`store::PromptStore`] — historical prompts in the vector database,
+//!   each carrying an online **utility** record (how much the prompt
+//!   helped when used);
+//! * [`select`] — selection strategies: pure similarity top-k (the common
+//!   practice), **performance-aware** scoring (similarity × utility — the
+//!   paper's "performance as a target"), and **bandit** selection
+//!   (ε-greedy / UCB1) that learns which prompts help from reward
+//!   feedback;
+//! * [`synthesize`] — the *generate* step: compose new prompts from the
+//!   selected historical ones (merged, utility-ranked, embedding-deduped
+//!   example blocks);
+//! * [`budget::BudgetedStore`] — a capacity-limited store whose admission
+//!   and replacement decisions are made by the utility estimates
+//!   (replace-worst with ε exploration), the paper's "most promising
+//!   prompts within a limited budget".
+
+#![warn(missing_docs)]
+
+pub mod budget;
+pub mod select;
+pub mod store;
+pub mod synthesize;
+
+pub use budget::BudgetedStore;
+pub use select::{BanditSelector, PerformanceAware, PromptSelector, SimilarityTopK};
+pub use store::{PromptRecord, PromptStore};
+pub use synthesize::{synthesize_prompt, SynthesisConfig, SynthesizedPrompt};

@@ -1,0 +1,192 @@
+//! The historical prompt store: prompt text + embedding + utility record.
+
+use llmdm_model::Embedder;
+use llmdm_vecdb::{AttrValue, Collection, Metric, VecDbError};
+
+/// One stored prompt with its usage statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PromptRecord {
+    /// Store-assigned id.
+    pub id: u64,
+    /// The prompt text (typically a few-shot example or template).
+    pub text: String,
+    /// Free-form task tag ("nl2sql", "entity-resolution", …).
+    pub task: String,
+    /// Times this prompt was selected.
+    pub uses: u64,
+    /// Sum of observed rewards (1.0 = the output it helped produce was
+    /// correct).
+    pub reward_sum: f64,
+}
+
+impl PromptRecord {
+    /// Mean observed utility, with an optimistic prior of 0.5 for unused
+    /// prompts.
+    pub fn utility(&self) -> f64 {
+        if self.uses == 0 {
+            0.5
+        } else {
+            self.reward_sum / self.uses as f64
+        }
+    }
+}
+
+/// Historical prompts stored in the vector database.
+#[derive(Debug)]
+pub struct PromptStore {
+    embedder: Embedder,
+    coll: Collection,
+    records: Vec<PromptRecord>,
+    next_id: u64,
+}
+
+impl PromptStore {
+    /// Create a store with the shared embedding space.
+    pub fn new(seed: u64) -> Self {
+        let embedder = Embedder::standard(seed);
+        let coll = Collection::new(embedder.dim(), Metric::Cosine);
+        PromptStore { embedder, coll, records: Vec::new(), next_id: 0 }
+    }
+
+    /// Number of stored prompts.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Insert a prompt; returns its id.
+    pub fn insert(&mut self, text: &str, task: &str) -> Result<u64, VecDbError> {
+        let v = self.embedder.embed(text).map_err(|_| VecDbError::Empty("prompt text"))?;
+        let id = self.next_id;
+        self.next_id += 1;
+        self.coll.insert(id, v, [("task", AttrValue::from(task))])?;
+        self.records.push(PromptRecord {
+            id,
+            text: text.to_string(),
+            task: task.to_string(),
+            uses: 0,
+            reward_sum: 0.0,
+        });
+        Ok(id)
+    }
+
+    /// Remove a prompt.
+    pub fn remove(&mut self, id: u64) -> Result<(), VecDbError> {
+        self.coll.remove(id)?;
+        self.records.retain(|r| r.id != id);
+        Ok(())
+    }
+
+    /// Fetch a record.
+    pub fn get(&self, id: u64) -> Option<&PromptRecord> {
+        self.records.iter().find(|r| r.id == id)
+    }
+
+    /// Record the reward observed after using prompt `id` (1.0 = helped
+    /// produce a correct output, 0.0 = did not).
+    pub fn record_reward(&mut self, id: u64, reward: f64) {
+        if let Some(r) = self.records.iter_mut().find(|r| r.id == id) {
+            r.uses += 1;
+            r.reward_sum += reward.clamp(0.0, 1.0);
+        }
+    }
+
+    /// The `k` most similar prompts to `query` with their similarities,
+    /// optionally restricted to a task tag.
+    pub fn similar(
+        &self,
+        query: &str,
+        k: usize,
+        task: Option<&str>,
+    ) -> Result<Vec<(f32, &PromptRecord)>, VecDbError> {
+        let v = self.embedder.embed(query).map_err(|_| VecDbError::Empty("query text"))?;
+        let hits = match task {
+            None => self.coll.search_exact(&v, k)?,
+            Some(t) => {
+                let filter = llmdm_vecdb::Filter::eq("task", t);
+                self.coll.search_filtered(&v, k, &filter)?
+            }
+        };
+        Ok(hits
+            .into_iter()
+            .filter_map(|h| self.get(h.id).map(|r| (h.score, r)))
+            .collect())
+    }
+
+    /// Iterate all records.
+    pub fn iter(&self) -> impl Iterator<Item = &PromptRecord> {
+        self.records.iter()
+    }
+
+    /// The record with the lowest utility (eviction candidate).
+    pub fn worst(&self) -> Option<&PromptRecord> {
+        self.records.iter().min_by(|a, b| {
+            a.utility().total_cmp(&b.utility()).then_with(|| b.uses.cmp(&a.uses))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> PromptStore {
+        let mut s = PromptStore::new(1);
+        s.insert("translate stadium concert questions to SQL", "nl2sql").unwrap();
+        s.insert("translate sports meeting questions to SQL", "nl2sql").unwrap();
+        s.insert("match customer entities by name and address", "er").unwrap();
+        s
+    }
+
+    #[test]
+    fn insert_and_similar() {
+        let s = store();
+        let hits = s.similar("how to turn concert questions into SQL", 2, None).unwrap();
+        assert_eq!(hits.len(), 2);
+        assert!(hits[0].1.text.contains("concert"), "top hit: {}", hits[0].1.text);
+    }
+
+    #[test]
+    fn task_filter_restricts() {
+        let s = store();
+        let hits = s.similar("match entities", 3, Some("er")).unwrap();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].1.task, "er");
+    }
+
+    #[test]
+    fn rewards_update_utility() {
+        let mut s = store();
+        let id = s.iter().next().unwrap().id;
+        assert_eq!(s.get(id).unwrap().utility(), 0.5);
+        s.record_reward(id, 1.0);
+        s.record_reward(id, 0.0);
+        assert_eq!(s.get(id).unwrap().utility(), 0.5);
+        s.record_reward(id, 1.0);
+        assert!((s.get(id).unwrap().utility() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn worst_prefers_low_utility() {
+        let mut s = store();
+        let ids: Vec<u64> = s.iter().map(|r| r.id).collect();
+        s.record_reward(ids[0], 1.0);
+        s.record_reward(ids[1], 0.0);
+        s.record_reward(ids[2], 1.0);
+        assert_eq!(s.worst().unwrap().id, ids[1]);
+    }
+
+    #[test]
+    fn remove_works() {
+        let mut s = store();
+        let id = s.iter().next().unwrap().id;
+        s.remove(id).unwrap();
+        assert_eq!(s.len(), 2);
+        assert!(s.get(id).is_none());
+        assert!(s.remove(id).is_err());
+    }
+}

@@ -1,0 +1,231 @@
+//! Automatic prompt synthesis from historical prompts.
+//!
+//! §III-A's full vision: "selecting appropriate historical prompts and
+//! then using them to generate new prompts automatically can be a good
+//! choice". Selection is [`crate::select`]; this module is the *generate*
+//! step: compose a fresh prompt for a new request by merging the example
+//! blocks of the best historical prompts, de-duplicating near-identical
+//! examples (by embedding similarity) and ordering them utility-first so
+//! the strongest guidance sits closest to the question.
+
+use llmdm_model::embed::cosine;
+use llmdm_model::{Embedder, PromptEnvelope};
+use llmdm_vecdb::VecDbError;
+
+use crate::select::PromptSelector;
+use crate::store::PromptStore;
+
+/// A synthesized prompt plus its provenance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SynthesizedPrompt {
+    /// The rendered envelope prompt.
+    pub prompt: String,
+    /// Ids of the historical prompts that contributed.
+    pub sources: Vec<u64>,
+    /// Examples kept after dedup.
+    pub examples: usize,
+    /// Examples dropped as near-duplicates.
+    pub deduped: usize,
+}
+
+/// Configuration for prompt synthesis.
+#[derive(Debug, Clone, Copy)]
+pub struct SynthesisConfig {
+    /// Historical prompts to draw from.
+    pub top_k: usize,
+    /// Maximum examples in the synthesized prompt.
+    pub max_examples: usize,
+    /// Cosine similarity above which two examples are duplicates.
+    pub dedup_threshold: f32,
+}
+
+impl Default for SynthesisConfig {
+    fn default() -> Self {
+        SynthesisConfig { top_k: 6, max_examples: 8, dedup_threshold: 0.92 }
+    }
+}
+
+/// Synthesize a new prompt for `request` (task id `task`) from the store,
+/// using `selector` to rank historical prompts.
+///
+/// Each stored prompt's text is treated as one example snippet; snippets
+/// merge into a single example block, utility-ranked, embedding-deduped.
+pub fn synthesize_prompt(
+    store: &PromptStore,
+    selector: &mut dyn PromptSelector,
+    task: &str,
+    request: &str,
+    config: SynthesisConfig,
+) -> Result<SynthesizedPrompt, VecDbError> {
+    let picked = selector.select(store, request, config.top_k)?;
+    let embedder = Embedder::standard(0x5eed);
+
+    // Utility-first ordering.
+    let mut ranked: Vec<(f64, u64, String)> = picked
+        .iter()
+        .filter_map(|id| store.get(*id).map(|r| (r.utility(), r.id, r.text.clone())))
+        .collect();
+    ranked.sort_by(|a, b| b.0.total_cmp(&a.0));
+
+    // Embedding dedup.
+    let mut kept: Vec<(u64, String)> = Vec::new();
+    let mut kept_vecs: Vec<Vec<f32>> = Vec::new();
+    let mut deduped = 0usize;
+    for (_, id, text) in ranked {
+        if kept.len() >= config.max_examples {
+            break;
+        }
+        let Ok(v) = embedder.embed(&text) else { continue };
+        let dup = kept_vecs.iter().any(|k| cosine(k, &v) >= config.dedup_threshold);
+        if dup {
+            deduped += 1;
+            continue;
+        }
+        kept_vecs.push(v);
+        kept.push((id, text));
+    }
+
+    let mut body = String::new();
+    for (_, text) in &kept {
+        body.push_str(&format!("Example: {text}\n"));
+    }
+    body.push('\n');
+    body.push_str(request);
+    body.push('\n');
+
+    let prompt = PromptEnvelope::builder(task)
+        .header("examples", kept.len())
+        .header("synthesized", "true")
+        .body(body)
+        .build();
+    Ok(SynthesizedPrompt {
+        prompt,
+        sources: kept.iter().map(|(id, _)| *id).collect(),
+        examples: kept.len(),
+        deduped,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::select::{PerformanceAware, SimilarityTopK};
+
+    fn store_with_history() -> PromptStore {
+        let mut s = PromptStore::new(1);
+        let texts = [
+            "Q: stadiums with concerts in 2014 -> SELECT name FROM stadium WHERE ...",
+            "Q: stadiums with concerts in 2015 -> SELECT name FROM stadium WHERE ...",
+            "Q: stadiums with the most concerts -> SELECT ... ORDER BY COUNT(*) DESC LIMIT 1",
+            "Q: singers on tour -> SELECT name FROM singer WHERE ...",
+            "Q: customers by city -> SELECT city, COUNT(*) FROM customer GROUP BY city",
+        ];
+        for t in texts {
+            s.insert(t, "nl2sql").unwrap();
+        }
+        s
+    }
+
+    #[test]
+    fn synthesizes_a_parseable_envelope() {
+        let store = store_with_history();
+        let mut sel = SimilarityTopK;
+        let out = synthesize_prompt(
+            &store,
+            &mut sel,
+            "nl2sql",
+            "Q: stadiums with festivals in 2013",
+            SynthesisConfig::default(),
+        )
+        .unwrap();
+        let env = PromptEnvelope::parse(&out.prompt).unwrap();
+        assert_eq!(env.task, "nl2sql");
+        assert_eq!(env.examples(), out.examples);
+        assert!(env.body.contains("festivals in 2013"));
+        assert!(out.examples >= 2);
+    }
+
+    #[test]
+    fn near_duplicate_examples_are_deduped() {
+        let mut store = PromptStore::new(2);
+        store.insert("Q: stadiums with concerts in 2014 -> SELECT name one", "t").unwrap();
+        store.insert("Q: stadiums with concerts in 2014 -> SELECT name two", "t").unwrap();
+        store.insert("Q: customers by city -> SELECT city", "t").unwrap();
+        let mut sel = SimilarityTopK;
+        let out = synthesize_prompt(
+            &store,
+            &mut sel,
+            "t",
+            "Q: stadiums with concerts in 2016",
+            SynthesisConfig::default(),
+        )
+        .unwrap();
+        assert!(out.deduped >= 1, "expected dedup, got {out:?}");
+    }
+
+    #[test]
+    fn utility_orders_examples_first() {
+        let mut store = store_with_history();
+        // Make the superlative example the proven one.
+        let target = store
+            .iter()
+            .find(|r| r.text.contains("most concerts"))
+            .map(|r| r.id)
+            .unwrap();
+        for _ in 0..8 {
+            store.record_reward(target, 1.0);
+        }
+        let others: Vec<u64> =
+            store.iter().filter(|r| r.id != target).map(|r| r.id).collect();
+        for id in others {
+            store.record_reward(id, 0.2);
+        }
+        let mut sel = PerformanceAware::default();
+        let out = synthesize_prompt(
+            &store,
+            &mut sel,
+            "nl2sql",
+            "Q: stadiums with the most sports meetings",
+            SynthesisConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(out.sources.first(), Some(&target), "proven prompt leads");
+        let first_example = out
+            .prompt
+            .lines()
+            .find(|l| l.starts_with("Example:"))
+            .unwrap();
+        assert!(first_example.contains("most concerts"));
+    }
+
+    #[test]
+    fn empty_store_yields_zero_example_prompt() {
+        let store = PromptStore::new(3);
+        let mut sel = SimilarityTopK;
+        let out = synthesize_prompt(
+            &store,
+            &mut sel,
+            "t",
+            "Q: anything",
+            SynthesisConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(out.examples, 0);
+        assert!(PromptEnvelope::parse(&out.prompt).is_some());
+    }
+
+    #[test]
+    fn max_examples_respected() {
+        let mut store = PromptStore::new(4);
+        for i in 0..10 {
+            store
+                .insert(&format!("Q: template {i} about widget sales -> SELECT {i}"), "t")
+                .unwrap();
+        }
+        let mut sel = SimilarityTopK;
+        let cfg = SynthesisConfig { top_k: 10, max_examples: 3, ..Default::default() };
+        let out =
+            synthesize_prompt(&store, &mut sel, "t", "Q: widget sales", cfg).unwrap();
+        assert!(out.examples <= 3);
+    }
+}

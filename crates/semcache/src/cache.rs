@@ -1,0 +1,521 @@
+//! The similarity-matched cache with weighted eviction.
+
+use std::collections::HashMap;
+
+use llmdm_model::Embedder;
+use llmdm_vecdb::{FlatIndex, Metric, VectorIndex};
+use serde::{Deserialize, Serialize};
+
+/// What kind of entry this is (the Cache(O)/Cache(A) distinction).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EntryKind {
+    /// A full user query.
+    Original,
+    /// A decomposed sub-query.
+    SubQuery,
+}
+
+/// How a lookup hit the cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HitKind {
+    /// Similar enough to reuse the cached response outright — no model
+    /// call (the paper's case 1).
+    Reuse,
+    /// Similar enough that the cached (query, response) pair should
+    /// augment the new prompt as an extra example (the paper's case 2).
+    Augment,
+}
+
+/// The result of a cache lookup.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Lookup {
+    /// A hit with the cached query/response and the match similarity.
+    Hit {
+        /// The cached query text.
+        query: String,
+        /// The cached response.
+        response: String,
+        /// Cosine similarity of the match.
+        similarity: f32,
+        /// Reuse or augment.
+        kind: HitKind,
+    },
+    /// No cached entry was similar enough.
+    Miss,
+}
+
+/// Eviction policies.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EvictionPolicy {
+    /// Least-recently-used.
+    Lru,
+    /// Least-frequently-used.
+    Lfu,
+    /// The paper's weighted policy: reuse hits add `reuse_weight`,
+    /// augment hits add `augment_weight` (reuse ≫ augment since a reuse
+    /// hit saves a whole model call); evict the minimum accumulated
+    /// weight, ties broken by recency.
+    Weighted {
+        /// Weight added per reuse hit.
+        reuse_weight: f64,
+        /// Weight added per augment hit.
+        augment_weight: f64,
+    },
+}
+
+impl Default for EvictionPolicy {
+    fn default() -> Self {
+        EvictionPolicy::Weighted { reuse_weight: 4.0, augment_weight: 1.0 }
+    }
+}
+
+/// Cache configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CacheConfig {
+    /// Maximum number of entries.
+    pub capacity: usize,
+    /// Similarity at or above which a hit is a [`HitKind::Reuse`].
+    pub reuse_threshold: f32,
+    /// Similarity at or above which a hit is at least an
+    /// [`HitKind::Augment`].
+    pub augment_threshold: f32,
+    /// Also match new queries against cached *responses* (§III-C footnote:
+    /// "both the original queries and responses are also stored" as search
+    /// keys) — useful when a user pastes a previous answer back as a
+    /// follow-up query. Response matches never count as reuse, only
+    /// augment.
+    pub match_responses: bool,
+    /// Eviction policy.
+    pub policy: EvictionPolicy,
+    /// Embedding seed (must be shared with the rest of the system for
+    /// similarity spaces to align).
+    pub seed: u64,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig {
+            capacity: 256,
+            reuse_threshold: 0.95,
+            augment_threshold: 0.70,
+            match_responses: false,
+            policy: EvictionPolicy::default(),
+            seed: 0,
+        }
+    }
+}
+
+/// Lifetime counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that returned a reuse hit.
+    pub reuse_hits: u64,
+    /// Lookups that returned an augment hit.
+    pub augment_hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Entries evicted.
+    pub evictions: u64,
+    /// Inserts rejected by the admission predicate.
+    pub rejected: u64,
+}
+
+impl CacheStats {
+    /// Hit ratio over all lookups.
+    pub fn hit_ratio(&self) -> f64 {
+        let hits = self.reuse_hits + self.augment_hits;
+        let total = hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            hits as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    query: String,
+    response: String,
+    kind: EntryKind,
+    hits: u64,
+    last_access: u64,
+    weight: f64,
+}
+
+/// The semantic cache.
+#[derive(Debug)]
+pub struct SemanticCache {
+    config: CacheConfig,
+    embedder: Embedder,
+    index: FlatIndex,
+    /// Response-keyed index (populated when `match_responses` is on).
+    response_index: FlatIndex,
+    entries: HashMap<u64, Entry>,
+    next_id: u64,
+    clock: u64,
+    stats: CacheStats,
+}
+
+impl SemanticCache {
+    /// Create a cache.
+    pub fn new(config: CacheConfig) -> Self {
+        let embedder = Embedder::standard(config.seed);
+        let index = FlatIndex::new(embedder.dim(), Metric::Cosine);
+        let response_index = FlatIndex::new(embedder.dim(), Metric::Cosine);
+        SemanticCache {
+            config,
+            embedder,
+            index,
+            response_index,
+            entries: HashMap::new(),
+            next_id: 0,
+            clock: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Look up a query; updates recency/frequency/weight on hits.
+    pub fn lookup(&mut self, query: &str) -> Lookup {
+        self.clock += 1;
+        let Ok(v) = self.embedder.embed(query) else {
+            self.stats.misses += 1;
+            return Lookup::Miss;
+        };
+        let best = self.index.search(&v, 1).ok().and_then(|hits| hits.into_iter().next());
+        // Optional response-keyed match: taken only when it beats the
+        // query-keyed match, and only ever as an augment.
+        let response_best = if self.config.match_responses {
+            self.response_index.search(&v, 1).ok().and_then(|hits| hits.into_iter().next())
+        } else {
+            None
+        };
+        let (best, via_response) = match (best, response_best) {
+            (Some(q), Some(r)) if r.score > q.score => (Some(r), true),
+            (q, None) => (q, false),
+            (None, r) => (r, true),
+            (q, _) => (q, false),
+        };
+        let Some(best) = best else {
+            self.stats.misses += 1;
+            return Lookup::Miss;
+        };
+        if best.score < self.config.augment_threshold {
+            self.stats.misses += 1;
+            return Lookup::Miss;
+        }
+        let kind = if !via_response && best.score >= self.config.reuse_threshold {
+            HitKind::Reuse
+        } else {
+            HitKind::Augment
+        };
+        let entry = self.entries.get_mut(&best.id).expect("index and entries are in sync");
+        entry.hits += 1;
+        entry.last_access = self.clock;
+        if let EvictionPolicy::Weighted { reuse_weight, augment_weight } = self.config.policy {
+            entry.weight += match kind {
+                HitKind::Reuse => reuse_weight,
+                HitKind::Augment => augment_weight,
+            };
+        }
+        match kind {
+            HitKind::Reuse => self.stats.reuse_hits += 1,
+            HitKind::Augment => self.stats.augment_hits += 1,
+        }
+        Lookup::Hit {
+            query: entry.query.clone(),
+            response: entry.response.clone(),
+            similarity: best.score,
+            kind,
+        }
+    }
+
+    /// Insert a (query, response) pair, evicting if full. A query already
+    /// cached verbatim is refreshed instead of duplicated.
+    pub fn insert(&mut self, query: &str, response: &str, kind: EntryKind) {
+        self.clock += 1;
+        if let Some((&id, _)) = self.entries.iter().find(|(_, e)| e.query == query) {
+            let e = self.entries.get_mut(&id).expect("just found");
+            e.response = response.to_string();
+            e.last_access = self.clock;
+            // Keep the response-keyed index in step with the new response.
+            if self.config.match_responses {
+                let _ = self.response_index.remove(id);
+                if let Ok(rv) = self.embedder.embed(response) {
+                    let _ = self.response_index.insert(id, rv);
+                }
+            }
+            return;
+        }
+        let Ok(v) = self.embedder.embed(query) else {
+            return;
+        };
+        while self.entries.len() >= self.config.capacity.max(1) {
+            self.evict_one();
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        self.index.insert(id, v).expect("fresh id");
+        if self.config.match_responses {
+            if let Ok(rv) = self.embedder.embed(response) {
+                self.response_index.insert(id, rv).expect("fresh id");
+            }
+        }
+        self.entries.insert(
+            id,
+            Entry {
+                query: query.to_string(),
+                response: response.to_string(),
+                kind,
+                hits: 0,
+                last_access: self.clock,
+                weight: 1.0,
+            },
+        );
+    }
+
+    /// Record that the admission predictor rejected an insert (for stats).
+    pub fn note_rejected(&mut self) {
+        self.stats.rejected += 1;
+    }
+
+    /// Iterate cached entries as `(query, response, kind)`.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str, EntryKind)> {
+        self.entries.values().map(|e| (e.query.as_str(), e.response.as_str(), e.kind))
+    }
+
+    fn evict_one(&mut self) {
+        let victim = match self.config.policy {
+            EvictionPolicy::Lru => self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_access)
+                .map(|(&id, _)| id),
+            EvictionPolicy::Lfu => self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| (e.hits, e.last_access))
+                .map(|(&id, _)| id),
+            EvictionPolicy::Weighted { .. } => self
+                .entries
+                .iter()
+                .min_by(|(_, a), (_, b)| {
+                    a.weight
+                        .total_cmp(&b.weight)
+                        .then_with(|| a.last_access.cmp(&b.last_access))
+                })
+                .map(|(&id, _)| id),
+        };
+        if let Some(id) = victim {
+            self.entries.remove(&id);
+            let _ = self.index.remove(id);
+            let _ = self.response_index.remove(id);
+            self.stats.evictions += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache(capacity: usize, policy: EvictionPolicy) -> SemanticCache {
+        SemanticCache::new(CacheConfig { capacity, policy, ..Default::default() })
+    }
+
+    #[test]
+    fn exact_repeat_is_reuse_hit() {
+        let mut c = cache(16, EvictionPolicy::Lru);
+        c.insert("what are the names of stadiums that had concerts in 2014", "SQL-A", EntryKind::Original);
+        match c.lookup("what are the names of stadiums that had concerts in 2014") {
+            Lookup::Hit { response, kind, similarity, .. } => {
+                assert_eq!(response, "SQL-A");
+                assert_eq!(kind, HitKind::Reuse);
+                assert!(similarity > 0.99);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn similar_query_is_augment_hit() {
+        let mut c = cache(16, EvictionPolicy::Lru);
+        c.insert(
+            "What are the names of stadiums that had concerts in 2014?",
+            "SQL-A",
+            EntryKind::Original,
+        );
+        // Same template, different year: similar but not near-identical.
+        match c.lookup("What are the names of stadiums that had concerts in 2016?") {
+            Lookup::Hit { kind, similarity, .. } => {
+                assert_eq!(kind, HitKind::Augment, "similarity was {similarity}");
+            }
+            other => panic!("expected augment hit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unrelated_query_misses() {
+        let mut c = cache(16, EvictionPolicy::Lru);
+        c.insert("stadium concerts in 2014", "SQL-A", EntryKind::Original);
+        assert_eq!(c.lookup("median household income by postal region"), Lookup::Miss);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn empty_cache_misses() {
+        let mut c = cache(4, EvictionPolicy::Lru);
+        assert_eq!(c.lookup("anything"), Lookup::Miss);
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let mut c = cache(2, EvictionPolicy::Lru);
+        c.insert("alpha bravo charlie", "1", EntryKind::Original);
+        c.insert("delta echo foxtrot", "2", EntryKind::Original);
+        // Touch the first so the second becomes LRU.
+        let _ = c.lookup("alpha bravo charlie");
+        c.insert("golf hotel india", "3", EntryKind::Original);
+        assert_eq!(c.len(), 2);
+        assert!(matches!(c.lookup("alpha bravo charlie"), Lookup::Hit { .. }));
+        assert_eq!(c.lookup("delta echo foxtrot"), Lookup::Miss);
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn lfu_evicts_least_hit() {
+        let mut c = cache(2, EvictionPolicy::Lfu);
+        c.insert("alpha bravo charlie", "1", EntryKind::Original);
+        c.insert("delta echo foxtrot", "2", EntryKind::Original);
+        for _ in 0..3 {
+            let _ = c.lookup("delta echo foxtrot");
+        }
+        c.insert("golf hotel india", "3", EntryKind::Original);
+        assert_eq!(c.lookup("alpha bravo charlie"), Lookup::Miss);
+        assert!(matches!(c.lookup("delta echo foxtrot"), Lookup::Hit { .. }));
+    }
+
+    #[test]
+    fn weighted_prefers_keeping_reuse_heavy_entries() {
+        let mut c = cache(2, EvictionPolicy::Weighted { reuse_weight: 4.0, augment_weight: 1.0 });
+        c.insert("alpha bravo charlie delta", "1", EntryKind::Original);
+        c.insert("echo foxtrot golf hotel", "2", EntryKind::Original);
+        // Entry 1 gets one reuse hit (weight +4); entry 2 gets two augment
+        // hits — lower total weight despite more accesses.
+        let _ = c.lookup("alpha bravo charlie delta"); // reuse
+        match c.lookup("echo foxtrot golf hotel kilo lima mike november oscar papa") {
+            Lookup::Hit { kind: HitKind::Augment, .. } | Lookup::Miss => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        c.insert("papa quebec romeo sierra", "3", EntryKind::Original);
+        assert!(matches!(c.lookup("alpha bravo charlie delta"), Lookup::Hit { .. }));
+    }
+
+    #[test]
+    fn duplicate_insert_refreshes() {
+        let mut c = cache(4, EvictionPolicy::Lru);
+        c.insert("same query text", "old", EntryKind::Original);
+        c.insert("same query text", "new", EntryKind::Original);
+        assert_eq!(c.len(), 1);
+        match c.lookup("same query text") {
+            Lookup::Hit { response, .. } => assert_eq!(response, "new"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn hit_ratio_counts() {
+        let mut c = cache(4, EvictionPolicy::Lru);
+        c.insert("alpha bravo charlie", "1", EntryKind::SubQuery);
+        let _ = c.lookup("alpha bravo charlie");
+        let _ = c.lookup("totally different words here");
+        assert!((c.stats().hit_ratio() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn response_matching_yields_augment_hits() {
+        let mut c = SemanticCache::new(CacheConfig {
+            match_responses: true,
+            ..Default::default()
+        });
+        c.insert(
+            "list the stadiums that held concerts",
+            "SELECT name FROM stadium WHERE stadium_id IN (SELECT stadium_id FROM concert)",
+            EntryKind::Original,
+        );
+        // A follow-up query phrased like the cached *response*.
+        match c.lookup("SELECT name FROM stadium WHERE stadium_id IN (SELECT stadium_id FROM concert WHERE year = 2014)") {
+            Lookup::Hit { kind, .. } => assert_eq!(kind, HitKind::Augment),
+            Lookup::Miss => panic!("response-similar query should hit"),
+        }
+        // Without the flag, the same lookup misses.
+        let mut plain = SemanticCache::new(CacheConfig::default());
+        plain.insert(
+            "list the stadiums that held concerts",
+            "SELECT name FROM stadium WHERE stadium_id IN (SELECT stadium_id FROM concert)",
+            EntryKind::Original,
+        );
+        assert_eq!(
+            plain.lookup("SELECT name FROM stadium WHERE stadium_id IN (SELECT stadium_id FROM concert WHERE year = 2014)"),
+            Lookup::Miss
+        );
+    }
+
+    #[test]
+    fn refresh_updates_response_index() {
+        let mut c = SemanticCache::new(CacheConfig {
+            match_responses: true,
+            ..Default::default()
+        });
+        c.insert("the question", "completely original first response text", EntryKind::Original);
+        c.insert("the question", "entirely different second answer body", EntryKind::Original);
+        // The stale first response must no longer match…
+        assert_eq!(c.lookup("completely original first response text"), Lookup::Miss);
+        // …and the fresh one must.
+        assert!(matches!(
+            c.lookup("entirely different second answer body"),
+            Lookup::Hit { .. }
+        ));
+    }
+
+    #[test]
+    fn response_match_never_reuses() {
+        let mut c = SemanticCache::new(CacheConfig {
+            match_responses: true,
+            ..Default::default()
+        });
+        c.insert("the question", "the exact response text", EntryKind::Original);
+        match c.lookup("the exact response text") {
+            Lookup::Hit { kind, .. } => assert_eq!(kind, HitKind::Augment),
+            Lookup::Miss => panic!("exact response text should at least augment"),
+        }
+    }
+
+    #[test]
+    fn capacity_one_still_works() {
+        let mut c = cache(1, EvictionPolicy::Lru);
+        c.insert("first entry text", "1", EntryKind::Original);
+        c.insert("second entry text", "2", EntryKind::Original);
+        assert_eq!(c.len(), 1);
+    }
+}

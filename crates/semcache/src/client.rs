@@ -1,0 +1,209 @@
+//! [`CachedLlm`]: a semantic cache in front of a simulated model.
+//!
+//! Reuse hits short-circuit the model entirely; augment hits extend the
+//! prompt with the cached (query, response) pair as an extra example
+//! before calling the model (the paper's case 2, which still calls the
+//! model but helps it reason); misses call the model unmodified. Responses
+//! are inserted subject to the admission predictor.
+
+use std::sync::Arc;
+
+use llmdm_model::{Completion, CompletionRequest, LanguageModel, ModelError, SimLlm, TokenUsage};
+
+use crate::cache::{EntryKind, HitKind, Lookup, SemanticCache};
+use crate::predictor::AccessPredictor;
+
+/// Outcome of a cached ask.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CachedAnswer {
+    /// The answer text.
+    pub text: String,
+    /// Whether it came from cache (reuse hit).
+    pub from_cache: bool,
+    /// Dollar cost actually incurred (0 for reuse hits).
+    pub cost: f64,
+}
+
+/// A model wrapped with a semantic cache and an admission predictor.
+pub struct CachedLlm {
+    model: Arc<SimLlm>,
+    cache: SemanticCache,
+    predictor: Option<AccessPredictor>,
+}
+
+impl std::fmt::Debug for CachedLlm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CachedLlm").field("entries", &self.cache.len()).finish()
+    }
+}
+
+impl CachedLlm {
+    /// Wrap `model` with `cache`; `predictor = None` admits everything.
+    pub fn new(model: Arc<SimLlm>, cache: SemanticCache, predictor: Option<AccessPredictor>) -> Self {
+        CachedLlm { model, cache, predictor }
+    }
+
+    /// The underlying cache (stats, inspection).
+    pub fn cache(&self) -> &SemanticCache {
+        &self.cache
+    }
+
+    /// Ask with caching. `key` is the cache key (the user-level question);
+    /// `prompt` is the full model prompt to send on a miss; `kind` tags
+    /// the entry for the Cache(O)/Cache(A) experiments.
+    pub fn ask(
+        &mut self,
+        key: &str,
+        prompt: &str,
+        kind: EntryKind,
+    ) -> Result<CachedAnswer, ModelError> {
+        if let Some(p) = &mut self.predictor {
+            p.observe(key);
+        }
+        let lookup = self.cache.lookup(key);
+        match lookup {
+            Lookup::Hit { response, kind: HitKind::Reuse, .. } => {
+                return Ok(CachedAnswer { text: response, from_cache: true, cost: 0.0 });
+            }
+            Lookup::Hit { query, response, kind: HitKind::Augment, .. } => {
+                // Extend the prompt with the cached pair as one more
+                // example, bumping the examples header so the model's ICL
+                // benefit applies.
+                let augmented = augment_prompt(prompt, &query, &response);
+                let completion = self.model.complete(&CompletionRequest::new(augmented))?;
+                self.maybe_insert(key, &completion, kind);
+                return Ok(CachedAnswer {
+                    text: completion.text,
+                    from_cache: false,
+                    cost: completion.cost,
+                });
+            }
+            Lookup::Miss => {}
+        }
+        let completion = self.model.complete(&CompletionRequest::new(prompt.to_string()))?;
+        self.maybe_insert(key, &completion, kind);
+        Ok(CachedAnswer { text: completion.text, from_cache: false, cost: completion.cost })
+    }
+
+    fn maybe_insert(&mut self, key: &str, completion: &Completion, kind: EntryKind) {
+        let admit = self.predictor.as_ref().map(|p| p.should_admit(key)).unwrap_or(true);
+        if admit {
+            self.cache.insert(key, &completion.text, kind);
+        } else {
+            self.cache.note_rejected();
+        }
+    }
+
+    /// Tokens that would have been billed for the given usage had the
+    /// cache missed — used in savings reports.
+    pub fn hypothetical_cost(&self, usage: TokenUsage) -> f64 {
+        self.model
+            .meter()
+            .prices()
+            .get(self.model.name())
+            .map(|p| p.cost(usage.input_tokens, usage.output_tokens))
+            .unwrap_or(0.0)
+    }
+}
+
+/// Append a cached example pair to an envelope prompt, incrementing its
+/// `examples` header.
+fn augment_prompt(prompt: &str, cached_query: &str, cached_response: &str) -> String {
+    let example = format!("Example Q: {cached_query}\nExample SQL: {cached_response}\n");
+    // Bump the `### examples:` header if present; else append one.
+    let mut out = String::with_capacity(prompt.len() + example.len() + 32);
+    let mut bumped = false;
+    for line in prompt.split_inclusive('\n') {
+        if !bumped {
+            if let Some(rest) = line.strip_prefix("### examples: ") {
+                if let Ok(n) = rest.trim().parse::<usize>() {
+                    out.push_str(&format!("### examples: {}\n", n + 1));
+                    bumped = true;
+                    continue;
+                }
+            }
+        }
+        out.push_str(line);
+    }
+    out.push('\n');
+    out.push_str(&example);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::{CacheConfig, SemanticCache};
+    use llmdm_model::{ModelZoo, PromptEnvelope};
+
+    fn client() -> (ModelZoo, CachedLlm) {
+        let zoo = ModelZoo::standard(5);
+        let cache = SemanticCache::new(CacheConfig::default());
+        let model = zoo.medium();
+        (zoo, CachedLlm::new(model, cache, None))
+    }
+
+    fn oracle_prompt(q: &str) -> String {
+        PromptEnvelope::builder("oracle")
+            .header("gold", "the-answer")
+            .header("difficulty", "0.0")
+            .header("examples", 2)
+            .body(q)
+            .build()
+    }
+
+    #[test]
+    fn second_identical_ask_is_free() {
+        let (zoo, mut c) = client();
+        let q = "what are the names of stadiums that had concerts in 2014";
+        let a1 = c.ask(q, &oracle_prompt(q), EntryKind::Original).unwrap();
+        assert!(!a1.from_cache);
+        assert!(a1.cost > 0.0);
+        let calls_before = zoo.meter().snapshot().total_calls();
+        let a2 = c.ask(q, &oracle_prompt(q), EntryKind::Original).unwrap();
+        assert!(a2.from_cache);
+        assert_eq!(a2.cost, 0.0);
+        assert_eq!(a2.text, a1.text);
+        assert_eq!(zoo.meter().snapshot().total_calls(), calls_before, "no model call on reuse");
+    }
+
+    #[test]
+    fn similar_ask_augments_and_still_calls_model() {
+        let (zoo, mut c) = client();
+        let q1 = "What are the names of stadiums that had concerts in 2014?";
+        let q2 = "What are the names of stadiums that had concerts in 2016?";
+        c.ask(q1, &oracle_prompt(q1), EntryKind::Original).unwrap();
+        let calls_before = zoo.meter().snapshot().total_calls();
+        let a2 = c.ask(q2, &oracle_prompt(q2), EntryKind::Original).unwrap();
+        assert!(!a2.from_cache);
+        assert_eq!(zoo.meter().snapshot().total_calls(), calls_before + 1);
+        assert_eq!(c.cache().stats().augment_hits, 1);
+    }
+
+    #[test]
+    fn predictor_gates_admission() {
+        let zoo = ModelZoo::standard(5);
+        let cache = SemanticCache::new(CacheConfig::default());
+        // Very strict admission: needs several observations.
+        let predictor = AccessPredictor::with_params(5.0, 0.5);
+        let mut c = CachedLlm::new(zoo.medium(), cache, Some(predictor));
+        let q = "rarely repeated query shape";
+        c.ask(q, &oracle_prompt(q), EntryKind::Original).unwrap();
+        assert_eq!(c.cache().len(), 0, "cold shape should not be admitted");
+        assert_eq!(c.cache().stats().rejected, 1);
+        // Hammer the shape; eventually admitted.
+        for _ in 0..6 {
+            c.ask(q, &oracle_prompt(q), EntryKind::Original).unwrap();
+        }
+        assert_eq!(c.cache().len(), 1);
+    }
+
+    #[test]
+    fn augment_prompt_bumps_examples_header() {
+        let p = PromptEnvelope::builder("nl2sql").header("examples", 4).body("Q: x\n").build();
+        let out = augment_prompt(&p, "cached q", "cached sql");
+        let env = PromptEnvelope::parse(&out).unwrap();
+        assert_eq!(env.examples(), 5);
+        assert!(out.contains("Example Q: cached q"));
+    }
+}

@@ -1,0 +1,38 @@
+//! # llmdm-semcache — the semantic LLM cache (§III-C, Table III)
+//!
+//! "Different from traditional cache systems, which utilize an exact match
+//! between the new query and cached queries, for LLMs … identifying
+//! similar query vectors instead of exactly the same query vector is a
+//! more practical solution."
+//!
+//! This crate implements that cache:
+//!
+//! * **similarity matching** ([`cache::SemanticCache`]): queries are
+//!   embedded with the shared deterministic encoder; a lookup returns a
+//!   *reuse* hit (similarity ≥ reuse threshold — serve the cached
+//!   response, no model call) or an *augment* hit (similarity in the
+//!   augment band — the cached pair is worth adding to the new prompt as
+//!   an extra example, the paper's "case (2)"), else a miss;
+//! * **weighted eviction** ([`cache::EvictionPolicy::Weighted`]): the
+//!   paper's observation that reuse hits and augment hits "should have
+//!   different weights when considering eviction", alongside classic LRU
+//!   and LFU baselines for the ablation bench;
+//! * **admission prediction** ([`predictor::AccessPredictor`]): "predict
+//!   the probability of future access" to decide whether to cache a new
+//!   entry at all;
+//! * a [`client::CachedLlm`] wrapper that puts the cache in front of any
+//!   simulated model, counting saved calls and dollars.
+//!
+//! The Table III experiment itself (original-only vs original+sub-query
+//! caching over the decomposition pipeline) lives in the `llmdm` facade
+//! crate, which composes this cache with `llmdm-nlq`.
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod client;
+pub mod predictor;
+
+pub use cache::{CacheConfig, CacheStats, EvictionPolicy, EntryKind, HitKind, Lookup, SemanticCache};
+pub use client::CachedLlm;
+pub use predictor::AccessPredictor;

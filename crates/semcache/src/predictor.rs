@@ -1,0 +1,135 @@
+//! Admission prediction: should a new (query, response) pair be cached?
+//!
+//! §III-C: "we need to decide whether to cache the original queries and
+//! sub-queries, or refrain from caching based on the likelihood of future
+//! access. Predictive methods, such as machine learning models, can be
+//! designed to predict the probability of future access."
+//!
+//! [`AccessPredictor`] is an online frequency model over *template
+//! buckets*: queries are reduced to a shape signature (numbers and rare
+//! tokens dropped), and the predictor estimates future-access probability
+//! from how often the bucket has been seen: `p = 1 - exp(-n/τ)`. Workloads
+//! with recurring templates (the paper's premise: "different users may
+//! process similar tasks") quickly push recurring buckets over the
+//! admission threshold.
+
+use std::collections::HashMap;
+
+/// Online future-access predictor.
+#[derive(Debug, Clone)]
+pub struct AccessPredictor {
+    counts: HashMap<u64, u32>,
+    /// Temperature τ of the saturation curve.
+    tau: f64,
+    /// Admission threshold on predicted probability.
+    threshold: f64,
+}
+
+impl Default for AccessPredictor {
+    fn default() -> Self {
+        AccessPredictor { counts: HashMap::new(), tau: 2.0, threshold: 0.3 }
+    }
+}
+
+impl AccessPredictor {
+    /// Predictor with default parameters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Predictor with explicit saturation temperature and threshold.
+    pub fn with_params(tau: f64, threshold: f64) -> Self {
+        AccessPredictor { counts: HashMap::new(), tau: tau.max(1e-6), threshold }
+    }
+
+    /// The template-shape signature of a query: lowercase alphabetic
+    /// tokens only, digits replaced by `#`.
+    fn signature(query: &str) -> u64 {
+        let mut sig = String::new();
+        for tok in query.to_lowercase().split_whitespace() {
+            if tok.chars().all(|c| c.is_ascii_digit()) {
+                sig.push_str("# ");
+            } else {
+                sig.push_str(tok);
+                sig.push(' ');
+            }
+        }
+        llmdm_model::hash::fnv1a_str(&sig)
+    }
+
+    /// Record an observation of this query shape.
+    pub fn observe(&mut self, query: &str) {
+        *self.counts.entry(Self::signature(query)).or_insert(0) += 1;
+    }
+
+    /// Predicted probability this query shape will be accessed again.
+    pub fn predict(&self, query: &str) -> f64 {
+        let n = self.counts.get(&Self::signature(query)).copied().unwrap_or(0) as f64;
+        1.0 - (-n / self.tau).exp()
+    }
+
+    /// Whether a pair with this query should be admitted to the cache.
+    pub fn should_admit(&self, query: &str) -> bool {
+        self.predict(query) >= self.threshold
+    }
+
+    /// Number of distinct shapes seen.
+    pub fn shapes(&self) -> usize {
+        self.counts.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn repeated_shapes_gain_probability() {
+        let mut p = AccessPredictor::new();
+        assert_eq!(p.predict("show stadiums for 2014"), 0.0);
+        p.observe("show stadiums for 2014");
+        let one = p.predict("show stadiums for 2014");
+        p.observe("show stadiums for 2014");
+        let two = p.predict("show stadiums for 2014");
+        assert!(two > one);
+        assert!(one > 0.0);
+    }
+
+    #[test]
+    fn numbers_are_templated() {
+        let mut p = AccessPredictor::new();
+        p.observe("show stadiums for 2014");
+        // Different year, same template → shares the bucket.
+        assert!(p.predict("show stadiums for 2016") > 0.0);
+        // Different template → cold.
+        assert_eq!(p.predict("delete all users"), 0.0);
+    }
+
+    #[test]
+    fn admission_threshold() {
+        let mut p = AccessPredictor::with_params(1.0, 0.5);
+        p.observe("q template");
+        assert!(p.should_admit("q template")); // 1 - e^-1 ≈ 0.63 ≥ 0.5
+        assert!(!p.should_admit("never seen template"));
+    }
+
+    #[test]
+    fn shape_count() {
+        let mut p = AccessPredictor::new();
+        p.observe("a b 1");
+        p.observe("a b 2");
+        p.observe("c d");
+        assert_eq!(p.shapes(), 2);
+    }
+
+    #[test]
+    fn probability_bounded() {
+        let mut p = AccessPredictor::new();
+        for _ in 0..1000 {
+            p.observe("hot template");
+        }
+        let pr = p.predict("hot template");
+        assert!((0.0..=1.0).contains(&pr));
+        assert!(pr > 0.99);
+    }
+}

@@ -1,0 +1,393 @@
+//! The SQL abstract syntax tree.
+
+use serde::{Deserialize, Serialize};
+
+use crate::value::{DataType, Value};
+
+/// Binary operators.
+#[allow(missing_docs)] // variants are self-describing operator names
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+    Eq,
+    Neq,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    And,
+    Or,
+}
+
+/// Unary operators.
+#[allow(missing_docs)] // variants are self-describing operator names
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum UnOp {
+    Neg,
+    Not,
+}
+
+/// Aggregate functions.
+#[allow(missing_docs)] // variants are the SQL aggregate names
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AggFunc {
+    Count,
+    Sum,
+    Avg,
+    Min,
+    Max,
+}
+
+impl AggFunc {
+    /// Parse an aggregate function name.
+    pub fn from_name(name: &str) -> Option<AggFunc> {
+        match name.to_ascii_uppercase().as_str() {
+            "COUNT" => Some(AggFunc::Count),
+            "SUM" => Some(AggFunc::Sum),
+            "AVG" => Some(AggFunc::Avg),
+            "MIN" => Some(AggFunc::Min),
+            "MAX" => Some(AggFunc::Max),
+            _ => None,
+        }
+    }
+
+    /// The SQL name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AggFunc::Count => "COUNT",
+            AggFunc::Sum => "SUM",
+            AggFunc::Avg => "AVG",
+            AggFunc::Min => "MIN",
+            AggFunc::Max => "MAX",
+        }
+    }
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Expr {
+    /// Literal value.
+    Literal(Value),
+    /// Column reference, optionally qualified: `t.col` or `col`.
+    Column {
+        /// Table name or alias.
+        qualifier: Option<String>,
+        /// Column name.
+        name: String,
+    },
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        left: Box<Expr>,
+        /// Right operand.
+        right: Box<Expr>,
+    },
+    /// Unary operation.
+    Unary {
+        /// Operator.
+        op: UnOp,
+        /// Operand.
+        expr: Box<Expr>,
+    },
+    /// Aggregate call: `COUNT(*)`, `SUM(DISTINCT x)`, …
+    Aggregate {
+        /// The function.
+        func: AggFunc,
+        /// The argument; `None` means `*` (COUNT only).
+        arg: Option<Box<Expr>>,
+        /// DISTINCT flag.
+        distinct: bool,
+    },
+    /// `expr [NOT] IN (v1, v2, …)`
+    InList {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// The list.
+        list: Vec<Expr>,
+        /// NOT IN.
+        negated: bool,
+    },
+    /// `expr [NOT] IN (SELECT …)`
+    InSubquery {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// The subquery (must project one column).
+        subquery: Box<SelectStmt>,
+        /// NOT IN.
+        negated: bool,
+    },
+    /// `[NOT] EXISTS (SELECT …)`
+    Exists {
+        /// The subquery.
+        subquery: Box<SelectStmt>,
+        /// NOT EXISTS.
+        negated: bool,
+    },
+    /// Scalar subquery: `(SELECT …)` producing one value.
+    ScalarSubquery(Box<SelectStmt>),
+    /// `expr [NOT] LIKE pattern` (`%` and `_` wildcards).
+    Like {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// Pattern literal.
+        pattern: String,
+        /// NOT LIKE.
+        negated: bool,
+    },
+    /// `expr [NOT] BETWEEN lo AND hi`
+    Between {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// Lower bound (inclusive).
+        low: Box<Expr>,
+        /// Upper bound (inclusive).
+        high: Box<Expr>,
+        /// NOT BETWEEN.
+        negated: bool,
+    },
+    /// `expr IS [NOT] NULL`
+    IsNull {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// IS NOT NULL.
+        negated: bool,
+    },
+}
+
+impl Expr {
+    /// Column shorthand.
+    pub fn col(name: &str) -> Expr {
+        Expr::Column { qualifier: None, name: name.to_string() }
+    }
+
+    /// Qualified column shorthand.
+    pub fn qcol(table: &str, name: &str) -> Expr {
+        Expr::Column { qualifier: Some(table.to_string()), name: name.to_string() }
+    }
+
+    /// Literal shorthand.
+    pub fn lit(v: impl Into<Value>) -> Expr {
+        Expr::Literal(v.into())
+    }
+
+    /// Binary-op shorthand.
+    pub fn bin(op: BinOp, l: Expr, r: Expr) -> Expr {
+        Expr::Binary { op, left: Box::new(l), right: Box::new(r) }
+    }
+
+    /// Does this expression (recursively) contain an aggregate call?
+    pub fn contains_aggregate(&self) -> bool {
+        match self {
+            Expr::Aggregate { .. } => true,
+            Expr::Binary { left, right, .. } => {
+                left.contains_aggregate() || right.contains_aggregate()
+            }
+            Expr::Unary { expr, .. } => expr.contains_aggregate(),
+            Expr::InList { expr, list, .. } => {
+                expr.contains_aggregate() || list.iter().any(|e| e.contains_aggregate())
+            }
+            Expr::Between { expr, low, high, .. } => {
+                expr.contains_aggregate() || low.contains_aggregate() || high.contains_aggregate()
+            }
+            Expr::IsNull { expr, .. } | Expr::Like { expr, .. } => expr.contains_aggregate(),
+            Expr::InSubquery { expr, .. } => expr.contains_aggregate(),
+            _ => false,
+        }
+    }
+}
+
+/// One projected item.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SelectItem {
+    /// `*`
+    Wildcard,
+    /// `t.*`
+    QualifiedWildcard(String),
+    /// `expr [AS alias]`
+    Expr {
+        /// The projected expression.
+        expr: Expr,
+        /// Optional output alias.
+        alias: Option<String>,
+    },
+}
+
+/// Join types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JoinType {
+    /// INNER JOIN (also comma-joins).
+    Inner,
+    /// `LEFT [OUTER] JOIN`.
+    Left,
+}
+
+/// A table in the FROM clause.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FromItem {
+    /// Table name.
+    pub table: String,
+    /// Optional alias.
+    pub alias: Option<String>,
+    /// How this table joins the preceding items (`None` for the first).
+    pub join: Option<(JoinType, Expr)>,
+}
+
+/// ORDER BY key.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OrderKey {
+    /// Sort expression.
+    pub expr: Expr,
+    /// Descending?
+    pub desc: bool,
+}
+
+/// Set operations between SELECTs.
+#[allow(missing_docs)] // variants are the SQL set-operation names
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SetOp {
+    Union,
+    Intersect,
+    Except,
+}
+
+/// A SELECT statement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SelectStmt {
+    /// DISTINCT flag.
+    pub distinct: bool,
+    /// Projected items.
+    pub projections: Vec<SelectItem>,
+    /// FROM clause (empty = scalar SELECT like `SELECT 1+1`).
+    pub from: Vec<FromItem>,
+    /// WHERE predicate.
+    pub selection: Option<Expr>,
+    /// GROUP BY expressions.
+    pub group_by: Vec<Expr>,
+    /// HAVING predicate.
+    pub having: Option<Expr>,
+    /// ORDER BY keys.
+    pub order_by: Vec<OrderKey>,
+    /// LIMIT.
+    pub limit: Option<usize>,
+    /// OFFSET.
+    pub offset: Option<usize>,
+    /// Chained set operation: `(op, ALL?, rhs)`.
+    pub set_op: Option<(SetOp, bool, Box<SelectStmt>)>,
+}
+
+impl SelectStmt {
+    /// An empty SELECT skeleton.
+    pub fn empty() -> Self {
+        SelectStmt {
+            distinct: false,
+            projections: Vec::new(),
+            from: Vec::new(),
+            selection: None,
+            group_by: Vec::new(),
+            having: None,
+            order_by: Vec::new(),
+            limit: None,
+            offset: None,
+            set_op: None,
+        }
+    }
+}
+
+/// An ORDER of assignment in UPDATE.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Assignment {
+    /// Target column.
+    pub column: String,
+    /// New value expression.
+    pub value: Expr,
+}
+
+/// A SQL statement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Statement {
+    /// SELECT query.
+    Select(SelectStmt),
+    /// `INSERT INTO t [(cols)] VALUES (…), (…)`
+    Insert {
+        /// Target table.
+        table: String,
+        /// Optional explicit column list.
+        columns: Option<Vec<String>>,
+        /// Row value expressions.
+        values: Vec<Vec<Expr>>,
+    },
+    /// `UPDATE t SET c = e, … [WHERE …]`
+    Update {
+        /// Target table.
+        table: String,
+        /// SET assignments.
+        assignments: Vec<Assignment>,
+        /// Optional predicate.
+        selection: Option<Expr>,
+    },
+    /// `DELETE FROM t [WHERE …]`
+    Delete {
+        /// Target table.
+        table: String,
+        /// Optional predicate.
+        selection: Option<Expr>,
+    },
+    /// `CREATE TABLE t (col TYPE, …)`
+    CreateTable {
+        /// New table name.
+        table: String,
+        /// Column definitions.
+        columns: Vec<(String, DataType)>,
+        /// IF NOT EXISTS flag.
+        if_not_exists: bool,
+    },
+    /// `DROP TABLE [IF EXISTS] t`
+    DropTable {
+        /// Table to drop.
+        table: String,
+        /// IF EXISTS flag.
+        if_exists: bool,
+    },
+    /// `BEGIN [TRANSACTION]`
+    Begin,
+    /// `COMMIT`
+    Commit,
+    /// `ROLLBACK`
+    Rollback,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contains_aggregate_walks_tree() {
+        let agg = Expr::Aggregate { func: AggFunc::Count, arg: None, distinct: false };
+        let e = Expr::bin(BinOp::Gt, agg, Expr::lit(3i64));
+        assert!(e.contains_aggregate());
+        assert!(!Expr::col("x").contains_aggregate());
+    }
+
+    #[test]
+    fn aggfunc_names_roundtrip() {
+        for f in [AggFunc::Count, AggFunc::Sum, AggFunc::Avg, AggFunc::Min, AggFunc::Max] {
+            assert_eq!(AggFunc::from_name(f.name()), Some(f));
+        }
+        assert_eq!(AggFunc::from_name("UPPER"), None);
+    }
+
+    #[test]
+    fn shorthand_constructors() {
+        assert_eq!(
+            Expr::qcol("t", "c"),
+            Expr::Column { qualifier: Some("t".into()), name: "c".into() }
+        );
+        assert_eq!(Expr::lit(5i64), Expr::Literal(Value::Int(5)));
+    }
+}

@@ -1,0 +1,246 @@
+//! The database catalog and the top-level execute/query API, including
+//! snapshot-based transactions (the substrate for §II-B1's NL2Transaction).
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::SqlError;
+use crate::result::ResultSet;
+use crate::schema::{Schema, Table};
+
+/// An in-memory database: a catalog of tables plus transaction state.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Database {
+    tables: BTreeMap<String, Table>,
+    /// Snapshot taken at BEGIN; restored on ROLLBACK.
+    #[serde(skip)]
+    snapshot: Option<BTreeMap<String, Table>>,
+}
+
+impl Database {
+    /// An empty database.
+    pub fn new() -> Self {
+        Database::default()
+    }
+
+    /// Create a table. Errors if the name exists.
+    pub fn create_table(&mut self, table: Table) -> Result<(), SqlError> {
+        if self.tables.contains_key(&table.name) {
+            return Err(SqlError::TableExists(table.name.clone()));
+        }
+        self.tables.insert(table.name.clone(), table);
+        Ok(())
+    }
+
+    /// Drop a table.
+    pub fn drop_table(&mut self, name: &str) -> Result<(), SqlError> {
+        let key = name.to_lowercase();
+        self.tables.remove(&key).map(|_| ()).ok_or(SqlError::UnknownTable(key))
+    }
+
+    /// Look up a table.
+    pub fn table(&self, name: &str) -> Result<&Table, SqlError> {
+        let key = name.to_lowercase();
+        self.tables.get(&key).ok_or(SqlError::UnknownTable(key))
+    }
+
+    /// Mutable table lookup.
+    pub fn table_mut(&mut self, name: &str) -> Result<&mut Table, SqlError> {
+        let key = name.to_lowercase();
+        self.tables.get_mut(&key).ok_or(SqlError::UnknownTable(key))
+    }
+
+    /// All table names, sorted.
+    pub fn table_names(&self) -> Vec<&str> {
+        self.tables.keys().map(|s| s.as_str()).collect()
+    }
+
+    /// Whether a table exists.
+    pub fn has_table(&self, name: &str) -> bool {
+        self.tables.contains_key(&name.to_lowercase())
+    }
+
+    /// Number of tables.
+    pub fn table_count(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Whether a transaction is open.
+    pub fn in_transaction(&self) -> bool {
+        self.snapshot.is_some()
+    }
+
+    /// Begin a transaction (snapshot the catalog).
+    pub fn begin(&mut self) -> Result<(), SqlError> {
+        if self.snapshot.is_some() {
+            return Err(SqlError::Txn("transaction already open".into()));
+        }
+        self.snapshot = Some(self.tables.clone());
+        Ok(())
+    }
+
+    /// Commit the open transaction.
+    pub fn commit(&mut self) -> Result<(), SqlError> {
+        self.snapshot.take().map(|_| ()).ok_or_else(|| SqlError::Txn("no open transaction".into()))
+    }
+
+    /// Roll back to the BEGIN snapshot.
+    pub fn rollback(&mut self) -> Result<(), SqlError> {
+        match self.snapshot.take() {
+            Some(snap) => {
+                self.tables = snap;
+                Ok(())
+            }
+            None => Err(SqlError::Txn("no open transaction".into())),
+        }
+    }
+
+    /// Parse and execute one statement.
+    pub fn execute(&mut self, sql: &str) -> Result<ResultSet, SqlError> {
+        let stmt = crate::parser::parse_statement(sql)?;
+        crate::exec::execute(self, &stmt)
+    }
+
+    /// Parse and execute a `;`-separated script; returns the last result.
+    /// Any statement error aborts the script (and rolls back an open
+    /// transaction, as a DBMS session would on error + explicit rollback).
+    pub fn execute_script(&mut self, sql: &str) -> Result<ResultSet, SqlError> {
+        let stmts = crate::parser::parse_script(sql)?;
+        let mut last = ResultSet::empty();
+        for stmt in &stmts {
+            match crate::exec::execute(self, stmt) {
+                Ok(rs) => last = rs,
+                Err(e) => {
+                    if self.in_transaction() {
+                        let _ = self.rollback();
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        Ok(last)
+    }
+
+    /// Parse and execute, expecting a query (alias of [`Database::execute`]
+    /// that reads better at call sites).
+    pub fn query(&mut self, sql: &str) -> Result<ResultSet, SqlError> {
+        self.execute(sql)
+    }
+
+    /// Build a `CREATE TABLE` schema summary string for prompt contexts —
+    /// the "table information" the paper's Figure 2 feeds to the LLM.
+    pub fn schema_summary(&self) -> String {
+        let mut s = String::new();
+        for t in self.tables.values() {
+            s.push_str(&format!("TABLE {} (", t.name));
+            let cols: Vec<String> =
+                t.schema.columns().iter().map(|c| format!("{} {}", c.name, c.dtype)).collect();
+            s.push_str(&cols.join(", "));
+            s.push_str(&format!(")  -- {} rows\n", t.rows.len()));
+        }
+        s
+    }
+
+    /// Direct access to a table's schema.
+    pub fn schema_of(&self, name: &str) -> Result<&Schema, SqlError> {
+        Ok(&self.table(name)?.schema)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Column;
+    use crate::value::{DataType, Value};
+
+    fn db_with_t() -> Database {
+        let mut db = Database::new();
+        db.execute("CREATE TABLE t (id INT, name TEXT)").unwrap();
+        db.execute("INSERT INTO t VALUES (1, 'a'), (2, 'b')").unwrap();
+        db
+    }
+
+    #[test]
+    fn create_and_query() {
+        let mut db = db_with_t();
+        let rs = db.query("SELECT * FROM t").unwrap();
+        assert_eq!(rs.rows.len(), 2);
+    }
+
+    #[test]
+    fn duplicate_table_rejected() {
+        let mut db = db_with_t();
+        assert!(matches!(
+            db.execute("CREATE TABLE t (x INT)"),
+            Err(SqlError::TableExists(_))
+        ));
+        assert!(db.execute("CREATE TABLE IF NOT EXISTS t (x INT)").is_ok());
+    }
+
+    #[test]
+    fn drop_table() {
+        let mut db = db_with_t();
+        db.execute("DROP TABLE t").unwrap();
+        assert!(!db.has_table("t"));
+        assert!(db.execute("DROP TABLE t").is_err());
+        assert!(db.execute("DROP TABLE IF EXISTS t").is_ok());
+    }
+
+    #[test]
+    fn transaction_rollback_restores() {
+        let mut db = db_with_t();
+        db.execute("BEGIN").unwrap();
+        db.execute("DELETE FROM t").unwrap();
+        assert_eq!(db.query("SELECT * FROM t").unwrap().len(), 0);
+        db.execute("ROLLBACK").unwrap();
+        assert_eq!(db.query("SELECT * FROM t").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn transaction_commit_persists() {
+        let mut db = db_with_t();
+        db.execute_script("BEGIN; DELETE FROM t WHERE id = 1; COMMIT;").unwrap();
+        assert_eq!(db.query("SELECT * FROM t").unwrap().len(), 1);
+        assert!(!db.in_transaction());
+    }
+
+    #[test]
+    fn nested_begin_rejected() {
+        let mut db = db_with_t();
+        db.execute("BEGIN").unwrap();
+        assert!(matches!(db.execute("BEGIN"), Err(SqlError::Txn(_))));
+        db.execute("COMMIT").unwrap();
+        assert!(matches!(db.execute("COMMIT"), Err(SqlError::Txn(_))));
+    }
+
+    #[test]
+    fn script_error_rolls_back_open_txn() {
+        let mut db = db_with_t();
+        let err = db.execute_script("BEGIN; DELETE FROM t; SELECT * FROM missing;");
+        assert!(err.is_err());
+        assert!(!db.in_transaction());
+        assert_eq!(db.query("SELECT * FROM t").unwrap().len(), 2, "delete rolled back");
+    }
+
+    #[test]
+    fn schema_summary_lists_tables() {
+        let db = db_with_t();
+        let s = db.schema_summary();
+        assert!(s.contains("TABLE t"));
+        assert!(s.contains("id INT"));
+        assert!(s.contains("2 rows"));
+    }
+
+    #[test]
+    fn programmatic_create() {
+        let mut db = Database::new();
+        let t = Table::new(
+            "Emp",
+            Schema::new(vec![Column::new("id", DataType::Int)]),
+        );
+        db.create_table(t).unwrap();
+        db.table_mut("emp").unwrap().push_row(vec![Value::Int(1)]).unwrap();
+        assert_eq!(db.table("EMP").unwrap().len(), 1);
+    }
+}

@@ -1,0 +1,61 @@
+//! Error type for the SQL engine.
+
+use std::fmt;
+
+/// Errors from lexing, parsing, planning, or executing SQL.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SqlError {
+    /// Lexer error at a byte offset.
+    Lex {
+        /// Human-readable message.
+        message: String,
+        /// Byte offset into the input.
+        offset: usize,
+    },
+    /// Parser error.
+    Parse(String),
+    /// Unknown table.
+    UnknownTable(String),
+    /// Unknown or ambiguous column.
+    UnknownColumn(String),
+    /// A column reference matched more than one table.
+    AmbiguousColumn(String),
+    /// Table already exists.
+    TableExists(String),
+    /// Type error during evaluation.
+    Type(String),
+    /// Runtime execution error (division by zero, arity mismatch, …).
+    Exec(String),
+    /// Transaction state error.
+    Txn(String),
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlError::Lex { message, offset } => write!(f, "lex error at byte {offset}: {message}"),
+            SqlError::Parse(m) => write!(f, "parse error: {m}"),
+            SqlError::UnknownTable(t) => write!(f, "unknown table: {t}"),
+            SqlError::UnknownColumn(c) => write!(f, "unknown column: {c}"),
+            SqlError::AmbiguousColumn(c) => write!(f, "ambiguous column: {c}"),
+            SqlError::TableExists(t) => write!(f, "table already exists: {t}"),
+            SqlError::Type(m) => write!(f, "type error: {m}"),
+            SqlError::Exec(m) => write!(f, "execution error: {m}"),
+            SqlError::Txn(m) => write!(f, "transaction error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert!(SqlError::Parse("x".into()).to_string().contains("parse"));
+        assert!(SqlError::UnknownTable("t".into()).to_string().contains('t'));
+        assert!(SqlError::Lex { message: "bad".into(), offset: 3 }.to_string().contains('3'));
+    }
+}

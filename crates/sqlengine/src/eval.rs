@@ -1,0 +1,437 @@
+//! Expression evaluation.
+//!
+//! Expressions are evaluated against an [`Env`] of in-scope table rows
+//! (one scope per FROM item). Subqueries re-enter the executor against the
+//! same database. Aggregate nodes are *not* handled here — the executor
+//! evaluates them per group via `eval_grouped` in the executor.
+
+use crate::ast::{BinOp, Expr, SelectStmt, UnOp};
+use crate::catalog::Database;
+use crate::error::SqlError;
+use crate::schema::Schema;
+use crate::value::Value;
+
+/// One table in scope: alias, schema, and the row slice.
+#[derive(Debug, Clone, Copy)]
+pub struct Scope<'a> {
+    /// The table's alias (or name when unaliased), lowercase.
+    pub alias: &'a str,
+    /// The table's schema.
+    pub schema: &'a Schema,
+    /// This table's portion of the joined row.
+    pub row: &'a [Value],
+}
+
+/// The evaluation environment: in-scope rows plus the database (for
+/// subqueries).
+#[derive(Debug, Clone, Copy)]
+pub struct Env<'a> {
+    /// In-scope tables, FROM order.
+    pub scopes: &'a [Scope<'a>],
+    /// The database, for subquery execution.
+    pub db: &'a Database,
+}
+
+impl<'a> Env<'a> {
+    /// Resolve a column reference to its value.
+    pub fn resolve(&self, qualifier: Option<&str>, name: &str) -> Result<Value, SqlError> {
+        match qualifier {
+            Some(q) => {
+                let q = q.to_lowercase();
+                for s in self.scopes {
+                    if s.alias == q {
+                        if let Some(i) = s.schema.index_of(name) {
+                            return Ok(s.row[i].clone());
+                        }
+                        return Err(SqlError::UnknownColumn(format!("{q}.{name}")));
+                    }
+                }
+                Err(SqlError::UnknownColumn(format!("{q}.{name}")))
+            }
+            None => {
+                let mut found: Option<Value> = None;
+                for s in self.scopes {
+                    if let Some(i) = s.schema.index_of(name) {
+                        if found.is_some() {
+                            return Err(SqlError::AmbiguousColumn(name.to_string()));
+                        }
+                        found = Some(s.row[i].clone());
+                    }
+                }
+                found.ok_or_else(|| SqlError::UnknownColumn(name.to_string()))
+            }
+        }
+    }
+}
+
+/// Evaluate `expr` in `env`. Errors on aggregate nodes (executor handles
+/// those).
+pub fn eval(expr: &Expr, env: &Env<'_>) -> Result<Value, SqlError> {
+    match expr {
+        Expr::Literal(v) => Ok(v.clone()),
+        Expr::Column { qualifier, name } => env.resolve(qualifier.as_deref(), name),
+        Expr::Binary { op, left, right } => {
+            let (op, left, right) = (*op, left, right);
+            match op {
+                BinOp::And => {
+                    // Short-circuit; NULL-collapsing at the boundary.
+                    let l = eval(left, env)?;
+                    if matches!(l, Value::Bool(false)) {
+                        return Ok(Value::Bool(false));
+                    }
+                    let r = eval(right, env)?;
+                    if matches!(r, Value::Bool(false)) {
+                        return Ok(Value::Bool(false));
+                    }
+                    if l.is_null() || r.is_null() {
+                        return Ok(Value::Null);
+                    }
+                    Ok(Value::Bool(as_bool(&l)? && as_bool(&r)?))
+                }
+                BinOp::Or => {
+                    let l = eval(left, env)?;
+                    if matches!(l, Value::Bool(true)) {
+                        return Ok(Value::Bool(true));
+                    }
+                    let r = eval(right, env)?;
+                    if matches!(r, Value::Bool(true)) {
+                        return Ok(Value::Bool(true));
+                    }
+                    if l.is_null() || r.is_null() {
+                        return Ok(Value::Null);
+                    }
+                    Ok(Value::Bool(as_bool(&l)? || as_bool(&r)?))
+                }
+                _ => {
+                    let l = eval(left, env)?;
+                    let r = eval(right, env)?;
+                    eval_binop(op, &l, &r)
+                }
+            }
+        }
+        Expr::Unary { op, expr } => {
+            let v = eval(expr, env)?;
+            match op {
+                UnOp::Neg => match v {
+                    Value::Null => Ok(Value::Null),
+                    Value::Int(i) => Ok(Value::Int(-i)),
+                    Value::Float(f) => Ok(Value::Float(-f)),
+                    other => Err(SqlError::Type(format!("cannot negate {other}"))),
+                },
+                UnOp::Not => match v {
+                    Value::Null => Ok(Value::Null),
+                    Value::Bool(b) => Ok(Value::Bool(!b)),
+                    other => Err(SqlError::Type(format!("NOT expects boolean, got {other}"))),
+                },
+            }
+        }
+        Expr::Aggregate { .. } => {
+            Err(SqlError::Exec("aggregate used outside GROUP BY context".into()))
+        }
+        Expr::InList { expr, list, negated } => {
+            let v = eval(expr, env)?;
+            if v.is_null() {
+                return Ok(Value::Null);
+            }
+            let mut saw_null = false;
+            for item in list {
+                let iv = eval(item, env)?;
+                if iv.is_null() {
+                    saw_null = true;
+                    continue;
+                }
+                if v.sql_cmp(&iv) == Some(std::cmp::Ordering::Equal) {
+                    return Ok(Value::Bool(!negated));
+                }
+            }
+            if saw_null {
+                Ok(Value::Null)
+            } else {
+                Ok(Value::Bool(*negated))
+            }
+        }
+        Expr::InSubquery { expr, subquery, negated } => {
+            let v = eval(expr, env)?;
+            if v.is_null() {
+                return Ok(Value::Null);
+            }
+            let rs = run_subquery(subquery, env.db)?;
+            if rs.columns.len() != 1 {
+                return Err(SqlError::Exec("IN subquery must project one column".into()));
+            }
+            let found = rs
+                .rows
+                .iter()
+                .any(|r| v.sql_cmp(&r[0]) == Some(std::cmp::Ordering::Equal));
+            Ok(Value::Bool(found != *negated))
+        }
+        Expr::Exists { subquery, negated } => {
+            let rs = run_subquery(subquery, env.db)?;
+            Ok(Value::Bool(rs.rows.is_empty() == *negated))
+        }
+        Expr::ScalarSubquery(subquery) => {
+            let rs = run_subquery(subquery, env.db)?;
+            if rs.columns.len() != 1 {
+                return Err(SqlError::Exec("scalar subquery must project one column".into()));
+            }
+            match rs.rows.len() {
+                0 => Ok(Value::Null),
+                1 => Ok(rs.rows[0][0].clone()),
+                n => Err(SqlError::Exec(format!("scalar subquery returned {n} rows"))),
+            }
+        }
+        Expr::Like { expr, pattern, negated } => {
+            let v = eval(expr, env)?;
+            match v {
+                Value::Null => Ok(Value::Null),
+                Value::Str(s) => Ok(Value::Bool(like_match(&s, pattern) != *negated)),
+                other => Err(SqlError::Type(format!("LIKE expects text, got {other}"))),
+            }
+        }
+        Expr::Between { expr, low, high, negated } => {
+            let v = eval(expr, env)?;
+            let lo = eval(low, env)?;
+            let hi = eval(high, env)?;
+            if v.is_null() || lo.is_null() || hi.is_null() {
+                return Ok(Value::Null);
+            }
+            let ge = matches!(
+                v.sql_cmp(&lo),
+                Some(std::cmp::Ordering::Greater | std::cmp::Ordering::Equal)
+            );
+            let le = matches!(
+                v.sql_cmp(&hi),
+                Some(std::cmp::Ordering::Less | std::cmp::Ordering::Equal)
+            );
+            Ok(Value::Bool((ge && le) != *negated))
+        }
+        Expr::IsNull { expr, negated } => {
+            let v = eval(expr, env)?;
+            Ok(Value::Bool(v.is_null() != *negated))
+        }
+    }
+}
+
+fn run_subquery(
+    subquery: &SelectStmt,
+    db: &Database,
+) -> Result<crate::result::ResultSet, SqlError> {
+    crate::exec::execute_select(db, subquery)
+}
+
+fn as_bool(v: &Value) -> Result<bool, SqlError> {
+    match v {
+        Value::Bool(b) => Ok(*b),
+        other => Err(SqlError::Type(format!("expected boolean, got {other}"))),
+    }
+}
+
+/// Apply a non-logical binary operator with SQL NULL propagation.
+pub fn eval_binop(op: BinOp, l: &Value, r: &Value) -> Result<Value, SqlError> {
+    use std::cmp::Ordering::*;
+    if l.is_null() || r.is_null() {
+        return Ok(Value::Null);
+    }
+    match op {
+        BinOp::Eq | BinOp::Neq | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+            let Some(ord) = l.sql_cmp(r) else {
+                return Err(SqlError::Type(format!("cannot compare {l} with {r}")));
+            };
+            let b = match op {
+                BinOp::Eq => ord == Equal,
+                BinOp::Neq => ord != Equal,
+                BinOp::Lt => ord == Less,
+                BinOp::Le => ord != Greater,
+                BinOp::Gt => ord == Greater,
+                BinOp::Ge => ord != Less,
+                _ => unreachable!(),
+            };
+            Ok(Value::Bool(b))
+        }
+        BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod => match (l, r) {
+            (Value::Int(a), Value::Int(b)) => {
+                let v = match op {
+                    BinOp::Add => a.checked_add(*b),
+                    BinOp::Sub => a.checked_sub(*b),
+                    BinOp::Mul => a.checked_mul(*b),
+                    BinOp::Div => {
+                        if *b == 0 {
+                            return Err(SqlError::Exec("division by zero".into()));
+                        }
+                        a.checked_div(*b)
+                    }
+                    BinOp::Mod => {
+                        if *b == 0 {
+                            return Err(SqlError::Exec("modulo by zero".into()));
+                        }
+                        a.checked_rem(*b)
+                    }
+                    _ => unreachable!(),
+                };
+                v.map(Value::Int).ok_or_else(|| SqlError::Exec("integer overflow".into()))
+            }
+            _ => {
+                let (a, b) = match (l.as_f64(), r.as_f64()) {
+                    (Some(a), Some(b)) => (a, b),
+                    _ => return Err(SqlError::Type(format!("cannot apply {op:?} to {l} and {r}"))),
+                };
+                let v = match op {
+                    BinOp::Add => a + b,
+                    BinOp::Sub => a - b,
+                    BinOp::Mul => a * b,
+                    BinOp::Div => {
+                        if b == 0.0 {
+                            return Err(SqlError::Exec("division by zero".into()));
+                        }
+                        a / b
+                    }
+                    BinOp::Mod => {
+                        if b == 0.0 {
+                            return Err(SqlError::Exec("modulo by zero".into()));
+                        }
+                        a % b
+                    }
+                    _ => unreachable!(),
+                };
+                Ok(Value::Float(v))
+            }
+        },
+        BinOp::And | BinOp::Or => unreachable!("logical ops handled in eval"),
+    }
+}
+
+/// SQL LIKE with `%` (any run) and `_` (any char), case-sensitive.
+pub fn like_match(s: &str, pattern: &str) -> bool {
+    fn inner(s: &[char], p: &[char]) -> bool {
+        match p.first() {
+            None => s.is_empty(),
+            Some('%') => {
+                // Try matching zero or more chars.
+                (0..=s.len()).any(|i| inner(&s[i..], &p[1..]))
+            }
+            Some('_') => !s.is_empty() && inner(&s[1..], &p[1..]),
+            Some(&c) => s.first() == Some(&c) && inner(&s[1..], &p[1..]),
+        }
+    }
+    let s: Vec<char> = s.chars().collect();
+    let p: Vec<char> = pattern.chars().collect();
+    inner(&s, &p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Column, Schema};
+    use crate::value::DataType;
+
+    fn env_fixture() -> (Database, Schema, Vec<Value>) {
+        let db = Database::new();
+        let schema = Schema::new(vec![
+            Column::new("x", DataType::Int),
+            Column::new("name", DataType::Text),
+        ]);
+        let row = vec![Value::Int(5), Value::Str("alice".into())];
+        (db, schema, row)
+    }
+
+    fn eval_with(expr: &str) -> Result<Value, SqlError> {
+        let (db, schema, row) = env_fixture();
+        let scopes = [Scope { alias: "t", schema: &schema, row: &row }];
+        let env = Env { scopes: &scopes, db: &db };
+        let e = crate::parser::parse_expr(expr)?;
+        eval(&e, &env)
+    }
+
+    #[test]
+    fn column_resolution() {
+        assert_eq!(eval_with("x").unwrap(), Value::Int(5));
+        assert_eq!(eval_with("t.x").unwrap(), Value::Int(5));
+        assert!(matches!(eval_with("t.missing"), Err(SqlError::UnknownColumn(_))));
+        assert!(matches!(eval_with("u.x"), Err(SqlError::UnknownColumn(_))));
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(eval_with("x * 2 + 1").unwrap(), Value::Int(11));
+        assert_eq!(eval_with("7 / 2").unwrap(), Value::Int(3));
+        assert_eq!(eval_with("7.0 / 2").unwrap(), Value::Float(3.5));
+        assert_eq!(eval_with("7 % 4").unwrap(), Value::Int(3));
+        assert!(eval_with("1 / 0").is_err());
+    }
+
+    #[test]
+    fn comparisons_and_logic() {
+        assert_eq!(eval_with("x > 3 AND x < 10").unwrap(), Value::Bool(true));
+        assert_eq!(eval_with("x > 3 AND x > 10").unwrap(), Value::Bool(false));
+        assert_eq!(eval_with("x > 10 OR name = 'alice'").unwrap(), Value::Bool(true));
+        assert_eq!(eval_with("NOT (x = 5)").unwrap(), Value::Bool(false));
+    }
+
+    #[test]
+    fn null_propagation() {
+        assert_eq!(eval_with("NULL + 1").unwrap(), Value::Null);
+        assert_eq!(eval_with("x = NULL").unwrap(), Value::Null);
+        assert_eq!(eval_with("NULL AND FALSE").unwrap(), Value::Bool(false));
+        assert_eq!(eval_with("NULL OR TRUE").unwrap(), Value::Bool(true));
+        assert_eq!(eval_with("NULL AND TRUE").unwrap(), Value::Null);
+        assert_eq!(eval_with("NULL IS NULL").unwrap(), Value::Bool(true));
+        assert_eq!(eval_with("x IS NOT NULL").unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn in_list_semantics() {
+        assert_eq!(eval_with("x IN (1, 5, 9)").unwrap(), Value::Bool(true));
+        assert_eq!(eval_with("x NOT IN (1, 9)").unwrap(), Value::Bool(true));
+        // NULL in list makes a failed match unknown.
+        assert_eq!(eval_with("x IN (1, NULL)").unwrap(), Value::Null);
+        assert_eq!(eval_with("x IN (5, NULL)").unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn between() {
+        assert_eq!(eval_with("x BETWEEN 1 AND 5").unwrap(), Value::Bool(true));
+        assert_eq!(eval_with("x NOT BETWEEN 6 AND 9").unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn like_patterns() {
+        assert!(like_match("hello", "h%"));
+        assert!(like_match("hello", "%llo"));
+        assert!(like_match("hello", "h_llo"));
+        assert!(like_match("hello", "%"));
+        assert!(!like_match("hello", "H%"));
+        assert!(!like_match("hello", "h_y%"));
+        assert!(like_match("", "%"));
+        assert!(!like_match("", "_"));
+        assert_eq!(eval_with("name LIKE 'ali%'").unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn type_errors_reported() {
+        assert!(matches!(eval_with("name + 1"), Err(SqlError::Type(_))));
+        assert!(matches!(eval_with("x AND TRUE"), Err(SqlError::Type(_))));
+        assert!(matches!(eval_with("name < 3"), Err(SqlError::Type(_))));
+    }
+
+    #[test]
+    fn negation() {
+        assert_eq!(eval_with("-x").unwrap(), Value::Int(-5));
+        assert_eq!(eval_with("-(x * 1.0)").unwrap(), Value::Float(-5.0));
+    }
+
+    #[test]
+    fn ambiguous_column_detected() {
+        let db = Database::new();
+        let schema = Schema::new(vec![Column::new("x", DataType::Int)]);
+        let row = vec![Value::Int(1)];
+        let scopes = [
+            Scope { alias: "a", schema: &schema, row: &row },
+            Scope { alias: "b", schema: &schema, row: &row },
+        ];
+        let env = Env { scopes: &scopes, db: &db };
+        let e = crate::parser::parse_expr("x").unwrap();
+        assert!(matches!(eval(&e, &env), Err(SqlError::AmbiguousColumn(_))));
+        let q = crate::parser::parse_expr("b.x").unwrap();
+        assert_eq!(eval(&q, &env).unwrap(), Value::Int(1));
+    }
+}

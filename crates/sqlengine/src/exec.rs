@@ -1,0 +1,1080 @@
+//! Statement execution.
+//!
+//! SELECT pipeline: FROM (nested-loop joins, NULL-padded left joins) →
+//! WHERE → GROUP BY/aggregates → HAVING → projection → set operations →
+//! DISTINCT → ORDER BY → LIMIT/OFFSET.
+
+use crate::ast::{
+    AggFunc, Expr, FromItem, JoinType, SelectItem, SelectStmt, SetOp, Statement,
+};
+use crate::catalog::Database;
+use crate::error::SqlError;
+use crate::eval::{eval, Env, Scope};
+use crate::result::{cmp_rows, ResultSet};
+use crate::schema::{Column, Row, Schema, Table};
+use crate::value::Value;
+
+/// Execute any statement against the database.
+pub fn execute(db: &mut Database, stmt: &Statement) -> Result<ResultSet, SqlError> {
+    match stmt {
+        Statement::Select(s) => execute_select(db, s),
+        Statement::Insert { table, columns, values } => insert(db, table, columns.as_deref(), values),
+        Statement::Update { table, assignments, selection } => {
+            update(db, table, assignments, selection.as_ref())
+        }
+        Statement::Delete { table, selection } => delete(db, table, selection.as_ref()),
+        Statement::CreateTable { table, columns, if_not_exists } => {
+            if *if_not_exists && db.has_table(table) {
+                return Ok(ResultSet::empty());
+            }
+            let schema = Schema::new(
+                columns.iter().map(|(n, t)| Column::new(n, *t)).collect(),
+            );
+            db.create_table(Table::new(table, schema))?;
+            Ok(ResultSet::empty())
+        }
+        Statement::DropTable { table, if_exists } => {
+            if *if_exists && !db.has_table(table) {
+                return Ok(ResultSet::empty());
+            }
+            db.drop_table(table)?;
+            Ok(ResultSet::empty())
+        }
+        Statement::Begin => {
+            db.begin()?;
+            Ok(ResultSet::empty())
+        }
+        Statement::Commit => {
+            db.commit()?;
+            Ok(ResultSet::empty())
+        }
+        Statement::Rollback => {
+            db.rollback()?;
+            Ok(ResultSet::empty())
+        }
+    }
+}
+
+// ---------------- DML ----------------
+
+fn insert(
+    db: &mut Database,
+    table: &str,
+    columns: Option<&[String]>,
+    values: &[Vec<Expr>],
+) -> Result<ResultSet, SqlError> {
+    // Evaluate value expressions first (no row scope: literals/arithmetic).
+    let empty_scopes: [Scope<'_>; 0] = [];
+    let mut rows: Vec<Row> = Vec::with_capacity(values.len());
+    {
+        let env = Env { scopes: &empty_scopes, db };
+        for exprs in values {
+            let mut row = Vec::with_capacity(exprs.len());
+            for e in exprs {
+                row.push(eval(e, &env)?);
+            }
+            rows.push(row);
+        }
+    }
+    let t = db.table_mut(table)?;
+    let n = rows.len();
+    for row in rows {
+        let full = match columns {
+            None => row,
+            Some(cols) => {
+                if cols.len() != row.len() {
+                    return Err(SqlError::Exec(format!(
+                        "INSERT names {} columns but provides {} values",
+                        cols.len(),
+                        row.len()
+                    )));
+                }
+                let mut full = vec![Value::Null; t.schema.len()];
+                for (c, v) in cols.iter().zip(row) {
+                    let idx = t
+                        .schema
+                        .index_of(c)
+                        .ok_or_else(|| SqlError::UnknownColumn(c.clone()))?;
+                    full[idx] = v;
+                }
+                full
+            }
+        };
+        t.push_row(full)?;
+    }
+    Ok(ResultSet::affected(n))
+}
+
+fn update(
+    db: &mut Database,
+    table: &str,
+    assignments: &[crate::ast::Assignment],
+    selection: Option<&Expr>,
+) -> Result<ResultSet, SqlError> {
+    // Two-phase: compute new rows against an immutable snapshot, then swap.
+    let snapshot = db.table(table)?.clone();
+    let alias = snapshot.name.clone();
+    let mut new_rows = snapshot.rows.clone();
+    let mut affected = 0usize;
+    for (i, row) in snapshot.rows.iter().enumerate() {
+        let scopes = [Scope { alias: &alias, schema: &snapshot.schema, row }];
+        let env = Env { scopes: &scopes, db };
+        let hit = match selection {
+            None => true,
+            Some(pred) => eval(pred, &env)?.is_truthy(),
+        };
+        if !hit {
+            continue;
+        }
+        affected += 1;
+        for a in assignments {
+            let idx = snapshot
+                .schema
+                .index_of(&a.column)
+                .ok_or_else(|| SqlError::UnknownColumn(a.column.clone()))?;
+            new_rows[i][idx] = eval(&a.value, &env)?;
+        }
+    }
+    db.table_mut(table)?.rows = new_rows;
+    Ok(ResultSet::affected(affected))
+}
+
+fn delete(
+    db: &mut Database,
+    table: &str,
+    selection: Option<&Expr>,
+) -> Result<ResultSet, SqlError> {
+    let snapshot = db.table(table)?.clone();
+    let alias = snapshot.name.clone();
+    let mut keep = Vec::with_capacity(snapshot.rows.len());
+    let mut affected = 0usize;
+    for row in &snapshot.rows {
+        let scopes = [Scope { alias: &alias, schema: &snapshot.schema, row }];
+        let env = Env { scopes: &scopes, db };
+        let hit = match selection {
+            None => true,
+            Some(pred) => eval(pred, &env)?.is_truthy(),
+        };
+        if hit {
+            affected += 1;
+        } else {
+            keep.push(row.clone());
+        }
+    }
+    db.table_mut(table)?.rows = keep;
+    Ok(ResultSet::affected(affected))
+}
+
+// ---------------- SELECT ----------------
+
+/// A joined intermediate row: per-FROM-item value slices plus layout.
+pub(crate) struct Joined {
+    /// Aliases (lowercase), FROM order.
+    aliases: Vec<String>,
+    /// Schemas, FROM order.
+    schemas: Vec<Schema>,
+    /// Rows: each is the concatenation of per-table segments.
+    rows: Vec<Vec<Value>>,
+    /// Segment start offsets per table.
+    offsets: Vec<usize>,
+}
+
+impl Joined {
+    fn scopes<'a>(&'a self, row: &'a [Value]) -> Vec<Scope<'a>> {
+        self.aliases
+            .iter()
+            .enumerate()
+            .map(|(i, alias)| {
+                let start = self.offsets[i];
+                let end = start + self.schemas[i].len();
+                Scope { alias, schema: &self.schemas[i], row: &row[start..end] }
+            })
+            .collect()
+    }
+}
+
+/// Execute a SELECT (read-only).
+pub fn execute_select(db: &Database, stmt: &SelectStmt) -> Result<ResultSet, SqlError> {
+    let mut rs = execute_core(db, stmt)?;
+    // Set operation chain.
+    if let Some((op, all, rhs)) = &stmt.set_op {
+        let right = execute_select_no_order(db, rhs)?;
+        if right.columns.len() != rs.columns.len() {
+            return Err(SqlError::Exec(format!(
+                "set operation arity mismatch: {} vs {}",
+                rs.columns.len(),
+                right.columns.len()
+            )));
+        }
+        rs.rows = apply_set_op(*op, *all, rs.rows, right.rows);
+    }
+    // ORDER BY at the top of the chain operates on output columns. Keys
+    // that are not output columns (e.g. `ORDER BY COUNT(*)` without the
+    // count projected) are handled by re-running the core with the keys
+    // appended as hidden projections, sorting, then stripping them.
+    if !stmt.order_by.is_empty() {
+        if let Err(first_err) = sort_output(db, &mut rs, stmt) {
+            if stmt.set_op.is_none() && !stmt.distinct {
+                let mut widened = stmt.clone();
+                let visible = rs.columns.len();
+                for (i, k) in stmt.order_by.iter().enumerate() {
+                    widened.projections.push(SelectItem::Expr {
+                        expr: k.expr.clone(),
+                        alias: Some(format!("__sort{i}")),
+                    });
+                }
+                let mut wide = execute_core(db, &widened)?;
+                wide.rows.sort_by(|a, b| {
+                    for (i, k) in stmt.order_by.iter().enumerate() {
+                        let idx = visible + i;
+                        let o = a[idx].total_cmp(&b[idx]);
+                        let o = if k.desc { o.reverse() } else { o };
+                        if o != std::cmp::Ordering::Equal {
+                            return o;
+                        }
+                    }
+                    std::cmp::Ordering::Equal
+                });
+                for row in &mut wide.rows {
+                    row.truncate(visible);
+                }
+                wide.columns.truncate(visible);
+                rs = wide;
+            } else {
+                return Err(first_err);
+            }
+        }
+    }
+    // LIMIT / OFFSET.
+    let offset = stmt.offset.unwrap_or(0);
+    if offset > 0 {
+        rs.rows.drain(..offset.min(rs.rows.len()));
+    }
+    if let Some(limit) = stmt.limit {
+        rs.rows.truncate(limit);
+    }
+    Ok(rs)
+}
+
+/// Execute ignoring ORDER BY/LIMIT of the *inner* statement (used for set
+/// operation right-hand sides whose ordering is irrelevant).
+fn execute_select_no_order(db: &Database, stmt: &SelectStmt) -> Result<ResultSet, SqlError> {
+    execute_select(db, stmt)
+}
+
+fn apply_set_op(op: SetOp, all: bool, left: Vec<Row>, right: Vec<Row>) -> Vec<Row> {
+    match op {
+        SetOp::Union => {
+            let mut rows = left;
+            rows.extend(right);
+            if !all {
+                dedup_rows(&mut rows);
+            }
+            rows
+        }
+        SetOp::Intersect => {
+            let mut counts = count_rows(&right);
+            let mut out = Vec::new();
+            for r in left {
+                if let Some(c) = lookup_mut(&mut counts, &r) {
+                    if *c > 0 {
+                        *c -= 1;
+                        out.push(r);
+                    }
+                }
+            }
+            if !all {
+                dedup_rows(&mut out);
+            }
+            out
+        }
+        SetOp::Except => {
+            let mut counts = count_rows(&right);
+            let mut out = Vec::new();
+            for r in left {
+                match lookup_mut(&mut counts, &r) {
+                    Some(c) if *c > 0 => *c -= 1,
+                    _ => out.push(r),
+                }
+            }
+            if !all {
+                dedup_rows(&mut out);
+            }
+            out
+        }
+    }
+}
+
+fn dedup_rows(rows: &mut Vec<Row>) {
+    rows.sort_by(cmp_rows);
+    rows.dedup_by(|a, b| cmp_rows(a, b) == std::cmp::Ordering::Equal);
+}
+
+fn count_rows(rows: &[Row]) -> Vec<(Row, usize)> {
+    let mut counts: Vec<(Row, usize)> = Vec::new();
+    for r in rows {
+        match lookup_mut(&mut counts, r) {
+            Some(c) => *c += 1,
+            None => counts.push((r.clone(), 1)),
+        }
+    }
+    counts
+}
+
+fn lookup_mut<'a>(counts: &'a mut [(Row, usize)], row: &Row) -> Option<&'a mut usize> {
+    counts
+        .iter_mut()
+        .find(|(r, _)| cmp_rows(r, row) == std::cmp::Ordering::Equal)
+        .map(|(_, c)| c)
+}
+
+/// Execute the core of one SELECT (no set ops / order / limit).
+fn execute_core(db: &Database, stmt: &SelectStmt) -> Result<ResultSet, SqlError> {
+    let joined = build_from(db, &stmt.from)?;
+    // WHERE.
+    let mut filtered: Vec<Vec<Value>> = Vec::new();
+    for row in &joined.rows {
+        let keep = match &stmt.selection {
+            None => true,
+            Some(pred) => {
+                let scopes = joined.scopes(row);
+                eval(pred, &Env { scopes: &scopes, db })?.is_truthy()
+            }
+        };
+        if keep {
+            filtered.push(row.clone());
+        }
+    }
+
+    let has_agg = !stmt.group_by.is_empty()
+        || stmt.projections.iter().any(|p| match p {
+            SelectItem::Expr { expr, .. } => expr.contains_aggregate(),
+            _ => false,
+        })
+        || stmt.having.as_ref().is_some_and(|h| h.contains_aggregate());
+
+    let (columns, rows) = if has_agg {
+        aggregate_project(db, stmt, &joined, filtered)?
+    } else {
+        plain_project(db, stmt, &joined, &filtered)?
+    };
+
+    let mut rows = rows;
+    if stmt.distinct {
+        dedup_rows(&mut rows);
+    }
+    Ok(ResultSet { columns, rows, affected: 0 })
+}
+
+/// Build the joined row set for a FROM clause.
+fn build_from(db: &Database, from: &[FromItem]) -> Result<Joined, SqlError> {
+    let mut joined = Joined {
+        aliases: Vec::new(),
+        schemas: Vec::new(),
+        rows: vec![Vec::new()],
+        offsets: Vec::new(),
+    };
+    for item in from {
+        let table = db.table(&item.table)?;
+        let alias = item.alias.clone().unwrap_or_else(|| table.name.clone()).to_lowercase();
+        if joined.aliases.contains(&alias) {
+            return Err(SqlError::Exec(format!("duplicate table alias {alias}")));
+        }
+        let offset = joined.schemas.iter().map(|s| s.len()).sum();
+        joined.offsets.push(offset);
+        joined.aliases.push(alias);
+        joined.schemas.push(table.schema.clone());
+
+        let mut next_rows = Vec::new();
+        match &item.join {
+            None | Some((JoinType::Inner, _)) => {
+                let cond = item.join.as_ref().map(|(_, c)| c);
+                for left in &joined.rows {
+                    for right in &table.rows {
+                        let mut combined = left.clone();
+                        combined.extend(right.iter().cloned());
+                        let keep = match cond {
+                            None => true,
+                            Some(c) => {
+                                let scopes = joined.scopes(&combined);
+                                eval(c, &Env { scopes: &scopes, db })?.is_truthy()
+                            }
+                        };
+                        if keep {
+                            next_rows.push(combined);
+                        }
+                    }
+                }
+            }
+            Some((JoinType::Left, cond)) => {
+                for left in &joined.rows {
+                    let mut matched = false;
+                    for right in &table.rows {
+                        let mut combined = left.clone();
+                        combined.extend(right.iter().cloned());
+                        let scopes = joined.scopes(&combined);
+                        if eval(cond, &Env { scopes: &scopes, db })?.is_truthy() {
+                            matched = true;
+                            next_rows.push(combined);
+                        }
+                    }
+                    if !matched {
+                        let mut combined = left.clone();
+                        combined.extend(std::iter::repeat_n(Value::Null, table.schema.len()));
+                        next_rows.push(combined);
+                    }
+                }
+            }
+        }
+        joined.rows = next_rows;
+    }
+    if from.is_empty() {
+        // Scalar SELECT: one empty row.
+        joined.rows = vec![Vec::new()];
+    }
+    Ok(joined)
+}
+
+/// Output column name for a projected expression.
+fn output_name(item: &SelectItem, idx: usize) -> String {
+    match item {
+        SelectItem::Wildcard | SelectItem::QualifiedWildcard(_) => unreachable!("expanded earlier"),
+        SelectItem::Expr { expr, alias } => {
+            if let Some(a) = alias {
+                return a.to_lowercase();
+            }
+            match expr {
+                Expr::Column { name, .. } => name.to_lowercase(),
+                Expr::Aggregate { func, arg, distinct } => {
+                    let inner = match arg {
+                        None => "*".to_string(),
+                        Some(e) => match e.as_ref() {
+                            Expr::Column { name, .. } => name.to_lowercase(),
+                            _ => "expr".to_string(),
+                        },
+                    };
+                    let d = if *distinct { "distinct " } else { "" };
+                    format!("{}({d}{inner})", func.name().to_lowercase())
+                }
+                _ => format!("col{idx}"),
+            }
+        }
+    }
+}
+
+/// Expand wildcards into explicit column expressions.
+fn expand_projections(
+    stmt: &SelectStmt,
+    joined: &Joined,
+) -> Result<Vec<SelectItem>, SqlError> {
+    let mut out = Vec::new();
+    for item in &stmt.projections {
+        match item {
+            SelectItem::Wildcard => {
+                for (alias, schema) in joined.aliases.iter().zip(&joined.schemas) {
+                    for c in schema.columns() {
+                        out.push(SelectItem::Expr {
+                            expr: Expr::qcol(alias, &c.name),
+                            alias: Some(c.name.clone()),
+                        });
+                    }
+                }
+            }
+            SelectItem::QualifiedWildcard(q) => {
+                let q = q.to_lowercase();
+                let idx = joined
+                    .aliases
+                    .iter()
+                    .position(|a| *a == q)
+                    .ok_or_else(|| SqlError::UnknownTable(q.clone()))?;
+                for c in joined.schemas[idx].columns() {
+                    out.push(SelectItem::Expr {
+                        expr: Expr::qcol(&q, &c.name),
+                        alias: Some(c.name.clone()),
+                    });
+                }
+            }
+            other => out.push(other.clone()),
+        }
+    }
+    if out.is_empty() {
+        return Err(SqlError::Exec("SELECT with no projections".into()));
+    }
+    Ok(out)
+}
+
+fn plain_project(
+    db: &Database,
+    stmt: &SelectStmt,
+    joined: &Joined,
+    rows: &[Vec<Value>],
+) -> Result<(Vec<String>, Vec<Row>), SqlError> {
+    let items = expand_projections(stmt, joined)?;
+    let columns: Vec<String> =
+        items.iter().enumerate().map(|(i, it)| output_name(it, i)).collect();
+    let mut out = Vec::with_capacity(rows.len());
+    for row in rows {
+        let scopes = joined.scopes(row);
+        let env = Env { scopes: &scopes, db };
+        let mut projected = Vec::with_capacity(items.len());
+        for item in &items {
+            let SelectItem::Expr { expr, .. } = item else { unreachable!() };
+            projected.push(eval(expr, &env)?);
+        }
+        out.push(projected);
+    }
+    Ok((columns, out))
+}
+
+fn aggregate_project(
+    db: &Database,
+    stmt: &SelectStmt,
+    joined: &Joined,
+    rows: Vec<Vec<Value>>,
+) -> Result<(Vec<String>, Vec<Row>), SqlError> {
+    let items = expand_projections(stmt, joined)?;
+    let columns: Vec<String> =
+        items.iter().enumerate().map(|(i, it)| output_name(it, i)).collect();
+
+    // Group rows by the GROUP BY key.
+    let mut groups: Vec<(Vec<Value>, Vec<Vec<Value>>)> = Vec::new();
+    for row in rows {
+        let key: Vec<Value> = {
+            let scopes = joined.scopes(&row);
+            let env = Env { scopes: &scopes, db };
+            stmt.group_by.iter().map(|e| eval(e, &env)).collect::<Result<_, _>>()?
+        };
+        match groups
+            .iter_mut()
+            .find(|(k, _)| k.len() == key.len() && k.iter().zip(&key).all(|(a, b)| a.group_eq(b)))
+        {
+            Some((_, rows)) => rows.push(row),
+            None => groups.push((key, vec![row])),
+        }
+    }
+    // Global aggregate over empty input still yields one group.
+    if groups.is_empty() && stmt.group_by.is_empty() {
+        groups.push((Vec::new(), Vec::new()));
+    }
+
+    let mut out = Vec::with_capacity(groups.len());
+    for (_, group_rows) in &groups {
+        // HAVING.
+        if let Some(h) = &stmt.having {
+            let v = eval_grouped(h, group_rows, joined, db)?;
+            if !v.is_truthy() {
+                continue;
+            }
+        }
+        let mut projected = Vec::with_capacity(items.len());
+        for item in &items {
+            let SelectItem::Expr { expr, .. } = item else { unreachable!() };
+            projected.push(eval_grouped(expr, group_rows, joined, db)?);
+        }
+        out.push(projected);
+    }
+    Ok((columns, out))
+}
+
+/// Evaluate an expression in grouped context: aggregate nodes fold over the
+/// group; everything else evaluates against the group's first row.
+pub(crate) fn eval_grouped(
+    expr: &Expr,
+    group_rows: &[Vec<Value>],
+    joined: &Joined,
+    db: &Database,
+) -> Result<Value, SqlError> {
+    match expr {
+        Expr::Aggregate { func, arg, distinct } => {
+            let mut vals: Vec<Value> = Vec::with_capacity(group_rows.len());
+            for row in group_rows {
+                match arg {
+                    None => vals.push(Value::Int(1)), // COUNT(*)
+                    Some(e) => {
+                        let scopes = joined.scopes(row);
+                        vals.push(eval(e, &Env { scopes: &scopes, db })?);
+                    }
+                }
+            }
+            if arg.is_some() {
+                vals.retain(|v| !v.is_null());
+            }
+            if *distinct {
+                vals.sort_by(|a, b| a.total_cmp(b));
+                vals.dedup_by(|a, b| a.group_eq(b));
+            }
+            fold_aggregate(*func, &vals)
+        }
+        Expr::Binary { op, left, right } => {
+            use crate::ast::BinOp;
+            let l = eval_grouped(left, group_rows, joined, db)?;
+            match op {
+                BinOp::And | BinOp::Or => {
+                    let r = eval_grouped(right, group_rows, joined, db)?;
+                    // Reuse scalar logic by building literal expressions.
+                    let e = Expr::Binary {
+                        op: *op,
+                        left: Box::new(Expr::Literal(l)),
+                        right: Box::new(Expr::Literal(r)),
+                    };
+                    let scopes: Vec<Scope<'_>> = Vec::new();
+                    eval(&e, &Env { scopes: &scopes, db })
+                }
+                _ => {
+                    let r = eval_grouped(right, group_rows, joined, db)?;
+                    crate::eval::eval_binop(*op, &l, &r)
+                }
+            }
+        }
+        Expr::Unary { op, expr } => {
+            let v = eval_grouped(expr, group_rows, joined, db)?;
+            let e = Expr::Unary { op: *op, expr: Box::new(Expr::Literal(v)) };
+            let scopes: Vec<Scope<'_>> = Vec::new();
+            eval(&e, &Env { scopes: &scopes, db })
+        }
+        other => {
+            // Non-aggregate leaf: evaluate against the first row (valid for
+            // GROUP BY keys; harmless for literals/subqueries).
+            match group_rows.first() {
+                Some(row) => {
+                    let scopes = joined.scopes(row);
+                    eval(other, &Env { scopes: &scopes, db })
+                }
+                None => {
+                    let scopes: Vec<Scope<'_>> = Vec::new();
+                    eval(other, &Env { scopes: &scopes, db })
+                }
+            }
+        }
+    }
+}
+
+fn fold_aggregate(func: AggFunc, vals: &[Value]) -> Result<Value, SqlError> {
+    match func {
+        AggFunc::Count => Ok(Value::Int(vals.len() as i64)),
+        AggFunc::Sum | AggFunc::Avg => {
+            if vals.is_empty() {
+                return Ok(Value::Null);
+            }
+            let mut all_int = true;
+            let mut sum = 0f64;
+            for v in vals {
+                match v {
+                    Value::Int(i) => sum += *i as f64,
+                    Value::Float(f) => {
+                        all_int = false;
+                        sum += f;
+                    }
+                    other => {
+                        return Err(SqlError::Type(format!("{} of {other}", func.name())))
+                    }
+                }
+            }
+            if func == AggFunc::Avg {
+                Ok(Value::Float(sum / vals.len() as f64))
+            } else if all_int {
+                Ok(Value::Int(sum as i64))
+            } else {
+                Ok(Value::Float(sum))
+            }
+        }
+        AggFunc::Min | AggFunc::Max => {
+            if vals.is_empty() {
+                return Ok(Value::Null);
+            }
+            let mut best = vals[0].clone();
+            for v in &vals[1..] {
+                let take = match v.sql_cmp(&best) {
+                    Some(std::cmp::Ordering::Less) => func == AggFunc::Min,
+                    Some(std::cmp::Ordering::Greater) => func == AggFunc::Max,
+                    Some(std::cmp::Ordering::Equal) => false,
+                    None => return Err(SqlError::Type(format!("{} of mixed types", func.name()))),
+                };
+                if take {
+                    best = v.clone();
+                }
+            }
+            Ok(best)
+        }
+    }
+}
+
+/// Sort the final output by the statement's ORDER BY keys. Keys may
+/// reference output columns (by name or alias); other expressions are
+/// unsupported after projection and reported as errors.
+fn sort_output(db: &Database, rs: &mut ResultSet, stmt: &SelectStmt) -> Result<(), SqlError> {
+    let _ = db;
+    let mut keys: Vec<(usize, bool)> = Vec::with_capacity(stmt.order_by.len());
+    for k in &stmt.order_by {
+        let idx = match &k.expr {
+            Expr::Column { qualifier: _, name } => rs
+                .columns
+                .iter()
+                .position(|c| c.eq_ignore_ascii_case(name))
+                .ok_or_else(|| SqlError::UnknownColumn(format!("ORDER BY {name}")))?,
+            Expr::Literal(Value::Int(i)) if *i >= 1 && (*i as usize) <= rs.columns.len() => {
+                (*i - 1) as usize
+            }
+            Expr::Aggregate { .. } => {
+                // ORDER BY COUNT(*) etc: find a matching output column.
+                let name = output_name(
+                    &SelectItem::Expr { expr: k.expr.clone(), alias: None },
+                    0,
+                );
+                rs.columns
+                    .iter()
+                    .position(|c| c.eq_ignore_ascii_case(&name))
+                    .ok_or_else(|| {
+                        SqlError::Exec(format!(
+                            "ORDER BY aggregate {name} must appear in the projection"
+                        ))
+                    })?
+            }
+            other => {
+                return Err(SqlError::Exec(format!(
+                    "unsupported ORDER BY expression {other:?}; project it first"
+                )))
+            }
+        };
+        keys.push((idx, k.desc));
+    }
+    rs.rows.sort_by(|a, b| {
+        for &(idx, desc) in &keys {
+            let o = a[idx].total_cmp(&b[idx]);
+            let o = if desc { o.reverse() } else { o };
+            if o != std::cmp::Ordering::Equal {
+                return o;
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+    Ok(())
+}
+
+/// The Spider-style concert/stadium fixture used by tests across the
+/// workspace (also exercised in `llmdm-nlq`).
+#[cfg(test)]
+pub(crate) fn concert_db() -> Database {
+    tests::concert_db()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The Spider-style concert/stadium fixture used across the workspace.
+    pub(crate) fn concert_db() -> Database {
+        let mut db = Database::new();
+        db.execute("CREATE TABLE stadium (stadium_id INT, name TEXT, capacity INT, city TEXT)")
+            .unwrap();
+        db.execute("CREATE TABLE concert (concert_id INT, stadium_id INT, year INT, attendance INT)")
+            .unwrap();
+        db.execute("CREATE TABLE sports_meeting (meeting_id INT, stadium_id INT, year INT)")
+            .unwrap();
+        db.execute(
+            "INSERT INTO stadium VALUES \
+             (1, 'Eagle Arena', 50000, 'Springfield'), \
+             (2, 'River Dome', 30000, 'Shelbyville'), \
+             (3, 'Sun Bowl', 45000, 'Ogdenville'), \
+             (4, 'Metro Field', 20000, 'North Haverbrook')",
+        )
+        .unwrap();
+        db.execute(
+            "INSERT INTO concert VALUES \
+             (10, 1, 2014, 40000), (11, 1, 2014, 42000), (12, 2, 2014, 25000), \
+             (13, 3, 2015, 30000), (14, 1, 2015, 41000)",
+        )
+        .unwrap();
+        db.execute(
+            "INSERT INTO sports_meeting VALUES (20, 2, 2015), (21, 3, 2015), (22, 1, 2016)",
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn where_filter() {
+        let mut db = concert_db();
+        let rs = db.query("SELECT name FROM stadium WHERE capacity > 40000").unwrap();
+        assert_eq!(rs.rows.len(), 2);
+    }
+
+    #[test]
+    fn inner_join() {
+        let mut db = concert_db();
+        let rs = db
+            .query(
+                "SELECT DISTINCT s.name FROM stadium s JOIN concert c \
+                 ON s.stadium_id = c.stadium_id WHERE c.year = 2014",
+            )
+            .unwrap();
+        let mut names: Vec<String> =
+            rs.rows.iter().map(|r| format!("{}", r[0])).collect();
+        names.sort();
+        assert_eq!(names, vec!["'Eagle Arena'", "'River Dome'"]);
+    }
+
+    #[test]
+    fn left_join_pads_nulls() {
+        let mut db = concert_db();
+        let rs = db
+            .query(
+                "SELECT s.name, c.concert_id FROM stadium s LEFT JOIN concert c \
+                 ON s.stadium_id = c.stadium_id",
+            )
+            .unwrap();
+        // Metro Field (id 4) has no concerts → one padded row.
+        let padded: Vec<_> = rs.rows.iter().filter(|r| r[1].is_null()).collect();
+        assert_eq!(padded.len(), 1);
+        assert_eq!(padded[0][0], Value::Str("Metro Field".into()));
+    }
+
+    #[test]
+    fn group_by_count_having() {
+        let mut db = concert_db();
+        let rs = db
+            .query(
+                "SELECT stadium_id, COUNT(*) FROM concert GROUP BY stadium_id \
+                 HAVING COUNT(*) >= 2",
+            )
+            .unwrap();
+        assert_eq!(rs.rows.len(), 1);
+        assert_eq!(rs.rows[0][0], Value::Int(1));
+        assert_eq!(rs.rows[0][1], Value::Int(3));
+    }
+
+    #[test]
+    fn aggregates_sum_avg_min_max() {
+        let mut db = concert_db();
+        let rs = db
+            .query("SELECT SUM(capacity), AVG(capacity), MIN(capacity), MAX(capacity) FROM stadium")
+            .unwrap();
+        assert_eq!(rs.rows[0][0], Value::Int(145000));
+        assert_eq!(rs.rows[0][1], Value::Float(36250.0));
+        assert_eq!(rs.rows[0][2], Value::Int(20000));
+        assert_eq!(rs.rows[0][3], Value::Int(50000));
+    }
+
+    #[test]
+    fn count_distinct() {
+        let mut db = concert_db();
+        let rs = db.query("SELECT COUNT(DISTINCT stadium_id) FROM concert").unwrap();
+        assert_eq!(rs.rows[0][0], Value::Int(3));
+    }
+
+    #[test]
+    fn global_aggregate_on_empty_input() {
+        let mut db = concert_db();
+        let rs = db.query("SELECT COUNT(*), SUM(capacity) FROM stadium WHERE capacity > 99999").unwrap();
+        assert_eq!(rs.rows.len(), 1);
+        assert_eq!(rs.rows[0][0], Value::Int(0));
+        assert!(rs.rows[0][1].is_null());
+    }
+
+    #[test]
+    fn order_by_limit_offset() {
+        let mut db = concert_db();
+        let rs = db
+            .query("SELECT name, capacity FROM stadium ORDER BY capacity DESC LIMIT 2 OFFSET 1")
+            .unwrap();
+        assert_eq!(rs.rows.len(), 2);
+        assert_eq!(rs.rows[0][0], Value::Str("Sun Bowl".into()));
+    }
+
+    #[test]
+    fn order_by_unprojected_aggregate() {
+        let mut db = concert_db();
+        let rs = db
+            .query(
+                "SELECT stadium_id FROM concert WHERE year = 2014 \
+                 GROUP BY stadium_id ORDER BY COUNT(*) DESC LIMIT 1",
+            )
+            .unwrap();
+        assert_eq!(rs.columns, vec!["stadium_id"]);
+        assert_eq!(rs.rows[0][0], Value::Int(1));
+    }
+
+    #[test]
+    fn order_by_aggregate() {
+        let mut db = concert_db();
+        let rs = db
+            .query(
+                "SELECT stadium_id, COUNT(*) FROM concert GROUP BY stadium_id \
+                 ORDER BY COUNT(*) DESC LIMIT 1",
+            )
+            .unwrap();
+        assert_eq!(rs.rows[0][0], Value::Int(1));
+    }
+
+    #[test]
+    fn in_subquery() {
+        let mut db = concert_db();
+        let rs = db
+            .query(
+                "SELECT name FROM stadium WHERE stadium_id IN \
+                 (SELECT stadium_id FROM concert WHERE year = 2015)",
+            )
+            .unwrap();
+        assert_eq!(rs.rows.len(), 2);
+    }
+
+    #[test]
+    fn union_intersect_except() {
+        let mut db = concert_db();
+        // Stadiums with 2014 concerts: {1, 2}; with 2015 sports meetings: {2, 3}.
+        let union = db
+            .query(
+                "SELECT stadium_id FROM concert WHERE year = 2014 UNION \
+                 SELECT stadium_id FROM sports_meeting WHERE year = 2015",
+            )
+            .unwrap();
+        assert_eq!(union.rows.len(), 3);
+        let inter = db
+            .query(
+                "SELECT stadium_id FROM concert WHERE year = 2014 INTERSECT \
+                 SELECT stadium_id FROM sports_meeting WHERE year = 2015",
+            )
+            .unwrap();
+        assert_eq!(inter.rows.len(), 1);
+        assert_eq!(inter.rows[0][0], Value::Int(2));
+        let except = db
+            .query(
+                "SELECT stadium_id FROM concert WHERE year = 2014 EXCEPT \
+                 SELECT stadium_id FROM sports_meeting WHERE year = 2015",
+            )
+            .unwrap();
+        assert_eq!(except.rows.len(), 1);
+        assert_eq!(except.rows[0][0], Value::Int(1));
+    }
+
+    #[test]
+    fn union_all_keeps_duplicates() {
+        let mut db = concert_db();
+        let rs = db
+            .query(
+                "SELECT stadium_id FROM concert WHERE year = 2014 UNION ALL \
+                 SELECT stadium_id FROM concert WHERE year = 2014",
+            )
+            .unwrap();
+        assert_eq!(rs.rows.len(), 6);
+    }
+
+    #[test]
+    fn scalar_subquery_in_where() {
+        let mut db = concert_db();
+        let rs = db
+            .query("SELECT name FROM stadium WHERE capacity = (SELECT MAX(capacity) FROM stadium)")
+            .unwrap();
+        assert_eq!(rs.rows.len(), 1);
+        assert_eq!(rs.rows[0][0], Value::Str("Eagle Arena".into()));
+    }
+
+    #[test]
+    fn exists_subquery() {
+        let mut db = concert_db();
+        let rs = db
+            .query("SELECT name FROM stadium WHERE EXISTS (SELECT 1 FROM concert)")
+            .unwrap();
+        assert_eq!(rs.rows.len(), 4);
+        let rs = db
+            .query(
+                "SELECT name FROM stadium WHERE EXISTS \
+                 (SELECT 1 FROM concert WHERE year = 1999)",
+            )
+            .unwrap();
+        assert_eq!(rs.rows.len(), 0);
+    }
+
+    #[test]
+    fn update_with_expression() {
+        let mut db = concert_db();
+        let rs = db.execute("UPDATE stadium SET capacity = capacity + 1000 WHERE stadium_id = 4").unwrap();
+        assert_eq!(rs.affected, 1);
+        let rs = db.query("SELECT capacity FROM stadium WHERE stadium_id = 4").unwrap();
+        assert_eq!(rs.rows[0][0], Value::Int(21000));
+    }
+
+    #[test]
+    fn delete_with_predicate() {
+        let mut db = concert_db();
+        let rs = db.execute("DELETE FROM concert WHERE year = 2014").unwrap();
+        assert_eq!(rs.affected, 3);
+        assert_eq!(db.query("SELECT * FROM concert").unwrap().rows.len(), 2);
+    }
+
+    #[test]
+    fn insert_with_named_columns() {
+        let mut db = concert_db();
+        db.execute("INSERT INTO stadium (stadium_id, name) VALUES (9, 'New Park')").unwrap();
+        let rs = db.query("SELECT capacity FROM stadium WHERE stadium_id = 9").unwrap();
+        assert!(rs.rows[0][0].is_null());
+    }
+
+    #[test]
+    fn select_without_from() {
+        let mut db = Database::new();
+        let rs = db.query("SELECT 1 + 2 AS three, 'x'").unwrap();
+        assert_eq!(rs.rows[0][0], Value::Int(3));
+        assert_eq!(rs.columns[0], "three");
+    }
+
+    #[test]
+    fn wildcard_and_qualified_wildcard() {
+        let mut db = concert_db();
+        let rs = db
+            .query("SELECT s.* FROM stadium s JOIN concert c ON s.stadium_id = c.stadium_id")
+            .unwrap();
+        assert_eq!(rs.columns.len(), 4);
+        let rs = db.query("SELECT * FROM stadium").unwrap();
+        assert_eq!(rs.columns, vec!["stadium_id", "name", "capacity", "city"]);
+    }
+
+    #[test]
+    fn unknown_table_and_column_errors() {
+        let mut db = concert_db();
+        assert!(matches!(db.query("SELECT * FROM missing"), Err(SqlError::UnknownTable(_))));
+        assert!(matches!(
+            db.query("SELECT wrong FROM stadium"),
+            Err(SqlError::UnknownColumn(_))
+        ));
+    }
+
+    #[test]
+    fn ambiguous_column_in_join() {
+        let mut db = concert_db();
+        let err = db.query(
+            "SELECT stadium_id FROM stadium s JOIN concert c ON s.stadium_id = c.stadium_id",
+        );
+        assert!(matches!(err, Err(SqlError::AmbiguousColumn(_))));
+    }
+
+    #[test]
+    fn duplicate_alias_rejected() {
+        let mut db = concert_db();
+        assert!(db.query("SELECT * FROM stadium s, concert s").is_err());
+    }
+
+    #[test]
+    fn three_way_join() {
+        let mut db = concert_db();
+        let rs = db
+            .query(
+                "SELECT DISTINCT s.name FROM stadium s \
+                 JOIN concert c ON s.stadium_id = c.stadium_id \
+                 JOIN sports_meeting m ON s.stadium_id = m.stadium_id",
+            )
+            .unwrap();
+        // Stadiums with both concerts and meetings: 1, 2, 3.
+        assert_eq!(rs.rows.len(), 3);
+    }
+
+    #[test]
+    fn group_by_expression_key() {
+        let mut db = concert_db();
+        let rs = db
+            .query("SELECT year, COUNT(*) FROM concert GROUP BY year ORDER BY year")
+            .unwrap();
+        assert_eq!(rs.rows.len(), 2);
+        assert_eq!(rs.rows[0], vec![Value::Int(2014), Value::Int(3)]);
+    }
+}

@@ -1,0 +1,165 @@
+//! Query results and result comparison.
+//!
+//! Execution accuracy (the metric behind the paper's Table II) needs a
+//! notion of "same results": [`ResultSet::bag_eq`] compares row multisets
+//! ignoring order and column names, which is the standard Spider-style
+//! execution-match criterion.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::schema::Row;
+use crate::value::Value;
+
+/// The result of executing a statement.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ResultSet {
+    /// Output column names.
+    pub columns: Vec<String>,
+    /// Result rows.
+    pub rows: Vec<Row>,
+    /// Rows affected (DML) — 0 for queries.
+    pub affected: usize,
+}
+
+impl ResultSet {
+    /// An empty result (DDL/transaction statements).
+    pub fn empty() -> Self {
+        ResultSet::default()
+    }
+
+    /// A DML acknowledgement.
+    pub fn affected(n: usize) -> Self {
+        ResultSet { affected: n, ..Default::default() }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Rows sorted into a canonical order (for set comparison).
+    pub fn canonical_rows(&self) -> Vec<Row> {
+        let mut rows = self.rows.clone();
+        rows.sort_by(cmp_rows);
+        rows
+    }
+
+    /// Multiset equality of rows, ignoring order and column names — the
+    /// execution-accuracy criterion.
+    pub fn bag_eq(&self, other: &ResultSet) -> bool {
+        if self.columns.len() != other.columns.len() || self.rows.len() != other.rows.len() {
+            return false;
+        }
+        let a = self.canonical_rows();
+        let b = other.canonical_rows();
+        a.iter().zip(&b).all(|(x, y)| cmp_rows(x, y) == std::cmp::Ordering::Equal)
+    }
+
+    /// Ordered equality (for ORDER BY-sensitive comparisons).
+    pub fn ordered_eq(&self, other: &ResultSet) -> bool {
+        self.columns.len() == other.columns.len()
+            && self.rows.len() == other.rows.len()
+            && self
+                .rows
+                .iter()
+                .zip(&other.rows)
+                .all(|(x, y)| cmp_rows(x, y) == std::cmp::Ordering::Equal)
+    }
+
+    /// The single value of a 1×1 result, if that is the shape.
+    pub fn scalar(&self) -> Option<&Value> {
+        if self.rows.len() == 1 && self.rows[0].len() == 1 {
+            Some(&self.rows[0][0])
+        } else {
+            None
+        }
+    }
+}
+
+/// Compare rows value-wise with the total ordering.
+pub fn cmp_rows(a: &Row, b: &Row) -> std::cmp::Ordering {
+    for (x, y) in a.iter().zip(b) {
+        let o = x.total_cmp(y);
+        if o != std::cmp::Ordering::Equal {
+            return o;
+        }
+    }
+    a.len().cmp(&b.len())
+}
+
+impl fmt::Display for ResultSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.columns.join(" | "))?;
+        for row in &self.rows {
+            let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+            writeln!(f, "{}", cells.join(" | "))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rs(rows: Vec<Vec<i64>>) -> ResultSet {
+        ResultSet {
+            columns: vec!["a".into(), "b".into()],
+            rows: rows
+                .into_iter()
+                .map(|r| r.into_iter().map(Value::Int).collect())
+                .collect(),
+            affected: 0,
+        }
+    }
+
+    #[test]
+    fn bag_eq_ignores_order() {
+        let a = rs(vec![vec![1, 2], vec![3, 4]]);
+        let b = rs(vec![vec![3, 4], vec![1, 2]]);
+        assert!(a.bag_eq(&b));
+        assert!(!a.ordered_eq(&b));
+    }
+
+    #[test]
+    fn bag_eq_respects_multiplicity() {
+        let a = rs(vec![vec![1, 2], vec![1, 2]]);
+        let b = rs(vec![vec![1, 2], vec![3, 4]]);
+        assert!(!a.bag_eq(&b));
+        let c = rs(vec![vec![1, 2]]);
+        assert!(!a.bag_eq(&c));
+    }
+
+    #[test]
+    fn bag_eq_ignores_column_names() {
+        let mut a = rs(vec![vec![1, 2]]);
+        let b = rs(vec![vec![1, 2]]);
+        a.columns = vec!["x".into(), "y".into()];
+        assert!(a.bag_eq(&b));
+    }
+
+    #[test]
+    fn scalar_extraction() {
+        let one = ResultSet {
+            columns: vec!["c".into()],
+            rows: vec![vec![Value::Int(7)]],
+            affected: 0,
+        };
+        assert_eq!(one.scalar(), Some(&Value::Int(7)));
+        assert!(rs(vec![vec![1, 2]]).scalar().is_none());
+    }
+
+    #[test]
+    fn display_renders_rows() {
+        let s = rs(vec![vec![1, 2]]).to_string();
+        assert!(s.contains("a | b"));
+        assert!(s.contains("1 | 2"));
+    }
+}

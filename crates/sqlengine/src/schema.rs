@@ -1,0 +1,171 @@
+//! Schemas, rows, and tables.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::SqlError;
+use crate::value::{DataType, Value};
+
+/// A column definition.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Column {
+    /// Column name (stored lowercase; SQL identifiers are case-insensitive).
+    pub name: String,
+    /// Declared type.
+    pub dtype: DataType,
+}
+
+impl Column {
+    /// Create a column (name is lowercased).
+    pub fn new(name: &str, dtype: DataType) -> Self {
+        Column { name: name.to_lowercase(), dtype }
+    }
+}
+
+/// A table schema: ordered columns.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schema {
+    columns: Vec<Column>,
+}
+
+impl Schema {
+    /// Create a schema from columns.
+    pub fn new(columns: Vec<Column>) -> Self {
+        Schema { columns }
+    }
+
+    /// Ordered columns.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Whether the schema has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+
+    /// Index of a column by (case-insensitive) name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        let lower = name.to_lowercase();
+        self.columns.iter().position(|c| c.name == lower)
+    }
+
+    /// Column by name.
+    pub fn column(&self, name: &str) -> Option<&Column> {
+        self.index_of(name).map(|i| &self.columns[i])
+    }
+}
+
+/// A row of values, positionally matching a schema.
+pub type Row = Vec<Value>;
+
+/// An in-memory table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table {
+    /// Table name (lowercase).
+    pub name: String,
+    /// The table's schema.
+    pub schema: Schema,
+    /// Stored rows.
+    pub rows: Vec<Row>,
+}
+
+impl Table {
+    /// Create an empty table.
+    pub fn new(name: &str, schema: Schema) -> Self {
+        Table { name: name.to_lowercase(), schema, rows: Vec::new() }
+    }
+
+    /// Append a row after checking arity and (loose) types. Ints coerce to
+    /// declared FLOAT columns; NULL is allowed everywhere.
+    pub fn push_row(&mut self, mut row: Row) -> Result<(), SqlError> {
+        if row.len() != self.schema.len() {
+            return Err(SqlError::Exec(format!(
+                "table {} expects {} values, got {}",
+                self.name,
+                self.schema.len(),
+                row.len()
+            )));
+        }
+        for (v, c) in row.iter_mut().zip(self.schema.columns()) {
+            match (&v, c.dtype) {
+                (Value::Null, _) => {}
+                (Value::Int(i), DataType::Float) => *v = Value::Float(*i as f64),
+                (Value::Int(_), DataType::Int)
+                | (Value::Float(_), DataType::Float)
+                | (Value::Str(_), DataType::Text)
+                | (Value::Bool(_), DataType::Bool) => {}
+                _ => {
+                    return Err(SqlError::Type(format!(
+                        "column {} of {} is {}, got {v}",
+                        c.name, self.name, c.dtype
+                    )))
+                }
+            }
+        }
+        self.rows.push(row);
+        Ok(())
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::new(vec![Column::new("ID", DataType::Int), Column::new("name", DataType::Text)])
+    }
+
+    #[test]
+    fn case_insensitive_lookup() {
+        let s = schema();
+        assert_eq!(s.index_of("id"), Some(0));
+        assert_eq!(s.index_of("ID"), Some(0));
+        assert_eq!(s.index_of("Name"), Some(1));
+        assert_eq!(s.index_of("missing"), None);
+    }
+
+    #[test]
+    fn push_row_checks_arity() {
+        let mut t = Table::new("T", schema());
+        assert!(t.push_row(vec![Value::Int(1)]).is_err());
+        assert!(t.push_row(vec![Value::Int(1), Value::Str("a".into())]).is_ok());
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn push_row_checks_types() {
+        let mut t = Table::new("t", schema());
+        assert!(t.push_row(vec![Value::Str("x".into()), Value::Str("a".into())]).is_err());
+    }
+
+    #[test]
+    fn null_allowed_anywhere() {
+        let mut t = Table::new("t", schema());
+        assert!(t.push_row(vec![Value::Null, Value::Null]).is_ok());
+    }
+
+    #[test]
+    fn int_coerces_to_float_column() {
+        let mut t = Table::new(
+            "t",
+            Schema::new(vec![Column::new("x", DataType::Float)]),
+        );
+        t.push_row(vec![Value::Int(3)]).unwrap();
+        assert_eq!(t.rows[0][0], Value::Float(3.0));
+    }
+}

@@ -1,0 +1,304 @@
+//! Column-to-column transformation program synthesis (§II-B3's joinable
+//! columns): learn from value pairs how one column's format maps onto
+//! another's — the paper's "Aug 14 2023" ↔ "8/14/2023" example — and apply
+//! the learned program to unseen values so the columns become joinable.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+const MONTHS: [&str; 12] = [
+    "Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov", "Dec",
+];
+
+/// One output piece of a mapping program.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MapPiece {
+    /// Emit a literal.
+    Lit(String),
+    /// Emit source token `i` verbatim.
+    Token(usize),
+    /// Emit source token `i` (a month name) as its 1-based number.
+    MonthNum(usize),
+    /// Emit source token `i` (a month number) as its 3-letter name.
+    MonthName(usize),
+    /// Emit source token `i` with leading zeros stripped.
+    StripZeros(usize),
+    /// Emit source token `i` left-padded with zeros to `width`.
+    PadZeros(usize, usize),
+}
+
+/// A synthesized column-mapping program.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MapProgram {
+    /// The output pieces, in order.
+    pub pieces: Vec<MapPiece>,
+}
+
+impl fmt::Display for MapProgram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let parts: Vec<String> = self
+            .pieces
+            .iter()
+            .map(|p| match p {
+                MapPiece::Lit(s) => format!("lit({s:?})"),
+                MapPiece::Token(i) => format!("tok({i})"),
+                MapPiece::MonthNum(i) => format!("month_num({i})"),
+                MapPiece::MonthName(i) => format!("month_name({i})"),
+                MapPiece::StripZeros(i) => format!("strip0({i})"),
+                MapPiece::PadZeros(i, w) => format!("pad0({i},{w})"),
+            })
+            .collect();
+        write!(f, "{}", parts.join(" + "))
+    }
+}
+
+/// Split into alternating word tokens (alnum runs) and separators;
+/// returns (tokens, the full piece sequence for reconstruction).
+fn word_tokens(s: &str) -> Vec<String> {
+    let mut toks = Vec::new();
+    let mut cur = String::new();
+    for c in s.chars() {
+        if c.is_alphanumeric() {
+            cur.push(c);
+        } else if !cur.is_empty() {
+            toks.push(std::mem::take(&mut cur));
+        }
+    }
+    if !cur.is_empty() {
+        toks.push(cur);
+    }
+    toks
+}
+
+/// Split a destination string into word/separator pieces (separators are
+/// emitted as literals).
+fn dst_pieces(s: &str) -> Vec<(bool, String)> {
+    // (is_word, text)
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    let mut word = false;
+    for c in s.chars() {
+        let is_word = c.is_alphanumeric();
+        if !cur.is_empty() && is_word != word {
+            out.push((word, std::mem::take(&mut cur)));
+        }
+        word = is_word;
+        cur.push(c);
+    }
+    if !cur.is_empty() {
+        out.push((word, cur));
+    }
+    out
+}
+
+fn month_num(name: &str) -> Option<usize> {
+    MONTHS.iter().position(|m| m.eq_ignore_ascii_case(name)).map(|i| i + 1)
+}
+
+fn strip_zeros(s: &str) -> String {
+    let t = s.trim_start_matches('0');
+    if t.is_empty() {
+        "0".to_string()
+    } else {
+        t.to_string()
+    }
+}
+
+/// Candidate rules producing `target` from source tokens.
+fn rules_for(target: &str, src: &[String]) -> Vec<MapPiece> {
+    let mut rules = Vec::new();
+    for (i, tok) in src.iter().enumerate() {
+        if tok == target {
+            rules.push(MapPiece::Token(i));
+        }
+        if let Some(n) = month_num(tok) {
+            if n.to_string() == target {
+                rules.push(MapPiece::MonthNum(i));
+            }
+        }
+        if let Ok(n) = tok.parse::<usize>() {
+            if (1..=12).contains(&n) && MONTHS[n - 1].eq_ignore_ascii_case(target) {
+                rules.push(MapPiece::MonthName(i));
+            }
+        }
+        if strip_zeros(tok) == target && tok != target {
+            rules.push(MapPiece::StripZeros(i));
+        }
+        if target.len() > tok.len()
+            && target.trim_start_matches('0') == strip_zeros(tok)
+            && target.chars().all(|c| c.is_ascii_digit())
+        {
+            rules.push(MapPiece::PadZeros(i, target.len()));
+        }
+    }
+    // Literal is always a fallback candidate (checked for consistency
+    // across examples by the synthesizer).
+    rules.push(MapPiece::Lit(target.to_string()));
+    rules
+}
+
+fn apply_piece(piece: &MapPiece, src: &[String]) -> Option<String> {
+    match piece {
+        MapPiece::Lit(s) => Some(s.clone()),
+        MapPiece::Token(i) => src.get(*i).cloned(),
+        MapPiece::MonthNum(i) => month_num(src.get(*i)?).map(|n| n.to_string()),
+        MapPiece::MonthName(i) => {
+            let n: usize = src.get(*i)?.parse().ok()?;
+            MONTHS.get(n.checked_sub(1)?).map(|m| m.to_string())
+        }
+        MapPiece::StripZeros(i) => src.get(*i).map(|t| strip_zeros(t)),
+        MapPiece::PadZeros(i, w) => {
+            let t = src.get(*i)?;
+            Some(format!("{:0>width$}", t, width = w))
+        }
+    }
+}
+
+impl MapProgram {
+    /// Apply the program to a source value.
+    pub fn apply(&self, source: &str) -> Option<String> {
+        let toks = word_tokens(source);
+        let mut out = String::new();
+        for p in &self.pieces {
+            out.push_str(&apply_piece(p, &toks)?);
+        }
+        Some(out)
+    }
+}
+
+/// Synthesize a mapping program from `(source, destination)` example
+/// pairs. Returns `None` when no consistent program exists.
+pub fn synthesize_mapping(examples: &[(&str, &str)]) -> Option<MapProgram> {
+    let first = examples.first()?;
+    let shape = dst_pieces(first.1);
+    // All destinations must share the piece structure (word/sep sequence,
+    // with identical separators).
+    for (_, dst) in examples {
+        let p = dst_pieces(dst);
+        if p.len() != shape.len() {
+            return None;
+        }
+        for ((w1, t1), (w2, t2)) in p.iter().zip(&shape) {
+            if w1 != w2 || (!*w1 && t1 != t2) {
+                return None;
+            }
+        }
+    }
+
+    let mut pieces = Vec::with_capacity(shape.len());
+    for (idx, (is_word, text)) in shape.iter().enumerate() {
+        if !is_word {
+            pieces.push(MapPiece::Lit(text.clone()));
+            continue;
+        }
+        // Candidates from the first example, validated against the rest.
+        let src0 = word_tokens(first.0);
+        let candidates = rules_for(text, &src0);
+        let chosen = candidates.into_iter().find(|rule| {
+            examples.iter().all(|(src, dst)| {
+                let toks = word_tokens(src);
+                let target = &dst_pieces(dst)[idx].1;
+                apply_piece(rule, &toks).as_deref() == Some(target.as_str())
+            })
+        })?;
+        pieces.push(chosen);
+    }
+    Some(MapProgram { pieces })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_forward() {
+        // "Aug 14 2023" → "8/14/2023"
+        let prog = synthesize_mapping(&[
+            ("Aug 14 2023", "8/14/2023"),
+            ("Jan 02 2022", "1/02/2022"),
+        ])
+        .unwrap();
+        assert_eq!(prog.apply("Dec 25 2021").unwrap(), "12/25/2021");
+        assert_eq!(prog.apply("Sep 09 2023").unwrap(), "9/09/2023");
+    }
+
+    #[test]
+    fn paper_example_reverse() {
+        // "8/14/2023" → "Aug 14 2023"
+        let prog = synthesize_mapping(&[
+            ("8/14/2023", "Aug 14 2023"),
+            ("1/02/2022", "Jan 02 2022"),
+        ])
+        .unwrap();
+        assert_eq!(prog.apply("12/25/2021").unwrap(), "Dec 25 2021");
+    }
+
+    #[test]
+    fn makes_columns_joinable() {
+        let col_a = ["Aug 14 2023", "Jan 02 2022", "Dec 25 2021"];
+        let col_b = ["8/14/2023", "1/02/2022", "12/25/2021"];
+        let prog =
+            synthesize_mapping(&[(col_a[0], col_b[0]), (col_a[1], col_b[1])]).unwrap();
+        for (a, b) in col_a.iter().zip(&col_b) {
+            assert_eq!(prog.apply(a).as_deref(), Some(*b));
+        }
+    }
+
+    #[test]
+    fn zero_stripping_and_padding() {
+        let strip = synthesize_mapping(&[("0042", "42"), ("0007", "7")]).unwrap();
+        assert_eq!(strip.apply("0100").unwrap(), "100");
+        let pad = synthesize_mapping(&[("42", "0042"), ("7", "0007")]).unwrap();
+        assert_eq!(pad.apply("9").unwrap(), "0009");
+    }
+
+    #[test]
+    fn reordering_with_literals() {
+        // "lastname, firstname" → "firstname lastname"
+        let prog = synthesize_mapping(&[
+            ("smith, alice", "alice smith"),
+            ("costa, bruno", "bruno costa"),
+        ])
+        .unwrap();
+        assert_eq!(prog.apply("wei, chen").unwrap(), "chen wei");
+    }
+
+    #[test]
+    fn constant_suffix_kept_literal() {
+        let prog = synthesize_mapping(&[
+            ("42", "id-42-v1"),
+            ("99", "id-99-v1"),
+        ])
+        .unwrap();
+        assert_eq!(prog.apply("7").unwrap(), "id-7-v1");
+    }
+
+    #[test]
+    fn inconsistent_examples_fail() {
+        assert!(synthesize_mapping(&[("a 1", "1-a"), ("b 2", "2+b")]).is_none());
+        assert!(synthesize_mapping(&[("Aug 14", "8/14"), ("nonsense", "whatever here")]).is_none());
+    }
+
+    #[test]
+    fn empty_examples_fail() {
+        assert!(synthesize_mapping(&[]).is_none());
+    }
+
+    #[test]
+    fn apply_out_of_range_token_is_none() {
+        let prog = MapProgram { pieces: vec![MapPiece::Token(5)] };
+        assert!(prog.apply("only two").is_none());
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let prog = synthesize_mapping(&[
+            ("Aug 14 2023", "8/14/2023"),
+            ("Jan 02 2022", "1/02/2022"),
+        ])
+        .unwrap();
+        let s = prog.to_string();
+        assert!(s.contains("month_num(0)"), "{s}");
+    }
+}

@@ -1,0 +1,247 @@
+//! NL2Transaction (§II-B1): compile a natural-language multi-step payment
+//! scenario into an atomic SQL transaction.
+//!
+//! The paper's example: "Alice wants to buy a laptop from Bob, they agree
+//! on a price of $1,000, and Bob needs to pay $5 to the express company as
+//! the freight. This trading process requires multiple SQL queries to
+//! complete, which is known as a transaction."
+
+use llmdm_sqlengine::{Database, SqlError, Value};
+use serde::{Deserialize, Serialize};
+
+/// One money transfer extracted from the text.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Transfer {
+    /// Paying party.
+    pub from: String,
+    /// Receiving party.
+    pub to: String,
+    /// Amount in dollars.
+    pub amount: i64,
+}
+
+/// A compiled transaction script.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TransferScript {
+    /// The extracted transfers, in order.
+    pub transfers: Vec<Transfer>,
+    /// The full SQL script (`BEGIN; … COMMIT;`).
+    pub sql: String,
+}
+
+/// Compile a scenario description into a transaction script.
+///
+/// Recognized clause forms (case-insensitive):
+/// * `X pays Y $N`
+/// * `X pays $N to Y`
+/// * `X needs to pay $N to Y`
+/// * `transfer $N from X to Y`
+pub fn compile_transaction(text: &str) -> Result<TransferScript, String> {
+    let mut transfers = Vec::new();
+    for clause in split_clauses(text) {
+        if let Some(t) = parse_clause(&clause) {
+            transfers.push(t);
+        }
+    }
+    if transfers.is_empty() {
+        return Err(format!("no payment clauses recognized in {text:?}"));
+    }
+    let mut sql = String::from("BEGIN;\n");
+    for t in &transfers {
+        sql.push_str(&format!(
+            "UPDATE accounts SET balance = balance - {} WHERE owner = '{}';\n",
+            t.amount, t.from
+        ));
+        sql.push_str(&format!(
+            "UPDATE accounts SET balance = balance + {} WHERE owner = '{}';\n",
+            t.amount, t.to
+        ));
+    }
+    sql.push_str("COMMIT;");
+    Ok(TransferScript { transfers, sql })
+}
+
+fn split_clauses(text: &str) -> Vec<String> {
+    text.split(['.', ';'])
+        .flat_map(|s| s.split(" and "))
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .collect()
+}
+
+fn parse_clause(clause: &str) -> Option<Transfer> {
+    let lower = clause.to_lowercase();
+    let words: Vec<&str> = lower.split_whitespace().collect();
+    let amount_pos = words.iter().position(|w| w.starts_with('$'))?;
+    let amount: i64 = words[amount_pos]
+        .trim_start_matches('$')
+        .replace(',', "")
+        .trim_end_matches(|c: char| !c.is_ascii_digit())
+        .parse()
+        .ok()?;
+
+    // Form: "transfer $N from X to Y"
+    if words.first() == Some(&"transfer") {
+        let from_pos = words.iter().position(|w| *w == "from")?;
+        let to_pos = words.iter().position(|w| *w == "to")?;
+        let from = clean_party(&words[from_pos + 1..to_pos]);
+        let to = clean_party(&words[to_pos + 1..]);
+        return Some(Transfer { from, to, amount });
+    }
+
+    // Forms containing "pay"/"pays".
+    let verb_pos = words.iter().position(|w| *w == "pays" || *w == "pay")?;
+    let from = clean_party(&words[..verb_pos]);
+    if amount_pos == verb_pos + 1 || words.get(verb_pos + 1) == Some(&"$") {
+        // "X pays $N to Y"
+        let to_pos = words.iter().skip(amount_pos).position(|w| *w == "to")? + amount_pos;
+        let to = clean_party(&words[to_pos + 1..]);
+        Some(Transfer { from, to, amount })
+    } else {
+        // "X pays Y $N"
+        let to = clean_party(&words[verb_pos + 1..amount_pos]);
+        Some(Transfer { from, to, amount })
+    }
+}
+
+/// Normalize a party phrase: stop at purpose markers ("as freight",
+/// "for the laptop"), drop articles/auxiliaries, join remaining words.
+fn clean_party(words: &[&str]) -> String {
+    let end = words
+        .iter()
+        .position(|w| matches!(*w, "as" | "for" | "because"))
+        .unwrap_or(words.len());
+    words[..end]
+        .iter()
+        .filter(|w| !matches!(**w, "the" | "a" | "an" | "needs" | "to" | "wants" | "must"))
+        .cloned()
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Execute a compiled script atomically: run the transfers inside a
+/// transaction and roll back if any account would go negative. Returns
+/// whether the transaction committed.
+pub fn execute_transfers(db: &mut Database, script: &TransferScript) -> Result<bool, SqlError> {
+    db.execute("BEGIN")?;
+    for t in &script.transfers {
+        db.execute(&format!(
+            "UPDATE accounts SET balance = balance - {} WHERE owner = '{}'",
+            t.amount, t.from
+        ))?;
+        db.execute(&format!(
+            "UPDATE accounts SET balance = balance + {} WHERE owner = '{}'",
+            t.amount, t.to
+        ))?;
+    }
+    let min = db.query("SELECT MIN(balance) FROM accounts")?;
+    let overdrawn = matches!(min.scalar(), Some(v) if v.sql_cmp(&Value::Int(0)) == Some(std::cmp::Ordering::Less));
+    if overdrawn {
+        db.execute("ROLLBACK")?;
+        Ok(false)
+    } else {
+        db.execute("COMMIT")?;
+        Ok(true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bank() -> Database {
+        let mut db = Database::new();
+        db.execute("CREATE TABLE accounts (owner TEXT, balance INT)").unwrap();
+        db.execute(
+            "INSERT INTO accounts VALUES ('alice', 1500), ('bob', 100), ('express company', 0)",
+        )
+        .unwrap();
+        db
+    }
+
+    fn balance(db: &mut Database, who: &str) -> i64 {
+        let rs = db
+            .query(&format!("SELECT balance FROM accounts WHERE owner = '{who}'"))
+            .unwrap();
+        match rs.rows[0][0] {
+            Value::Int(i) => i,
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn compiles_the_paper_scenario() {
+        let script = compile_transaction(
+            "Alice pays Bob $1,000 for the laptop. Bob needs to pay $5 to the express company as freight.",
+        )
+        .unwrap();
+        assert_eq!(script.transfers.len(), 2);
+        assert_eq!(
+            script.transfers[0],
+            Transfer { from: "alice".into(), to: "bob".into(), amount: 1000 }
+        );
+        assert_eq!(script.transfers[1].to, "express company");
+        assert_eq!(script.transfers[1].amount, 5);
+        assert!(script.sql.starts_with("BEGIN;"));
+        assert!(script.sql.ends_with("COMMIT;"));
+    }
+
+    #[test]
+    fn executes_atomically() {
+        let mut db = bank();
+        let script = compile_transaction(
+            "Alice pays Bob $1,000. Bob pays $5 to the express company.",
+        )
+        .unwrap();
+        assert!(execute_transfers(&mut db, &script).unwrap());
+        assert_eq!(balance(&mut db, "alice"), 500);
+        assert_eq!(balance(&mut db, "bob"), 1095);
+        assert_eq!(balance(&mut db, "express company"), 5);
+    }
+
+    #[test]
+    fn insufficient_funds_roll_back_everything() {
+        let mut db = bank();
+        // Bob has only $100; the second transfer overdraws him, so the
+        // whole transaction (including Alice's successful payment) must
+        // roll back.
+        let script = compile_transaction(
+            "Alice pays Bob $50. Bob pays $500 to the express company.",
+        )
+        .unwrap();
+        assert!(!execute_transfers(&mut db, &script).unwrap());
+        assert_eq!(balance(&mut db, "alice"), 1500, "rolled back");
+        assert_eq!(balance(&mut db, "bob"), 100, "rolled back");
+    }
+
+    #[test]
+    fn transfer_form() {
+        let script = compile_transaction("Transfer $250 from alice to bob").unwrap();
+        assert_eq!(
+            script.transfers[0],
+            Transfer { from: "alice".into(), to: "bob".into(), amount: 250 }
+        );
+    }
+
+    #[test]
+    fn sql_script_parses_in_engine() {
+        let script =
+            compile_transaction("Alice pays Bob $10 and Bob pays Alice $5").unwrap();
+        assert_eq!(script.transfers.len(), 2);
+        let mut db = bank();
+        db.execute_script(&script.sql).unwrap();
+        assert_eq!(balance(&mut db, "alice"), 1495);
+    }
+
+    #[test]
+    fn unrecognized_text_errors() {
+        assert!(compile_transaction("the weather is nice today").is_err());
+        assert!(compile_transaction("").is_err());
+    }
+
+    #[test]
+    fn amount_with_punctuation() {
+        let script = compile_transaction("Alice pays Bob $1,000.").unwrap();
+        assert_eq!(script.transfers[0].amount, 1000);
+    }
+}

@@ -1,0 +1,280 @@
+//! Spreadsheet-grid reshaping operators (Fig. 4 right path).
+//!
+//! "Most transformation tasks refer to generating a series of operators,
+//! e.g., transpose, pivot, explode and so on. We can exploit LLMs to
+//! generate the operator sequences so that they can be used to transform
+//! other unprocessed data."
+//!
+//! A [`Grid`] is the raw spreadsheet model (rows of cells, ragged rows
+//! allowed); [`Op`]s are the moves an operator program can make. The
+//! program *discovery* lives in [`crate::synthesize`].
+
+use serde::{Deserialize, Serialize};
+
+/// A raw spreadsheet grid.
+pub type Grid = Vec<Vec<String>>;
+
+/// A reshaping operator.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Op {
+    /// Swap rows and columns.
+    Transpose,
+    /// Delete the first `n` rows (e.g. report titles above the header).
+    DeleteTopRows(usize),
+    /// Delete fully-empty rows.
+    DropEmptyRows,
+    /// Delete fully-empty columns.
+    DropEmptyCols,
+    /// Fill empty cells in column `col` downward from the value above
+    /// (un-merging merged cells).
+    FillDown(usize),
+    /// Wide → long: keep the first `fixed` columns, turn the remaining
+    /// column headers into a `key` column and the cells into a `value`
+    /// column (a.k.a. unpivot / melt / explode).
+    Unpivot {
+        /// Leading columns kept as identifiers.
+        fixed: usize,
+    },
+    /// Long → wide: rows sharing the first column become one row; values
+    /// in column `key_col` become new headers filled from `value_col`.
+    Pivot {
+        /// Column holding the future header names.
+        key_col: usize,
+        /// Column holding the cell values.
+        value_col: usize,
+    },
+}
+
+impl Op {
+    /// Apply the operator to a grid.
+    pub fn apply(&self, grid: &Grid) -> Grid {
+        match self {
+            Op::Transpose => transpose(grid),
+            Op::DeleteTopRows(n) => grid.iter().skip(*n).cloned().collect(),
+            Op::DropEmptyRows => grid
+                .iter()
+                .filter(|r| r.iter().any(|c| !c.trim().is_empty()))
+                .cloned()
+                .collect(),
+            Op::DropEmptyCols => drop_empty_cols(grid),
+            Op::FillDown(col) => fill_down(grid, *col),
+            Op::Unpivot { fixed } => unpivot(grid, *fixed),
+            Op::Pivot { key_col, value_col } => pivot(grid, *key_col, *value_col),
+        }
+    }
+
+    /// The candidate operators worth trying on a grid of this shape (the
+    /// search space the synthesizer explores).
+    pub fn candidates(grid: &Grid) -> Vec<Op> {
+        let width = grid.iter().map(|r| r.len()).max().unwrap_or(0);
+        let mut ops = vec![Op::Transpose, Op::DropEmptyRows, Op::DropEmptyCols];
+        for n in 1..=3usize.min(grid.len().saturating_sub(1)) {
+            ops.push(Op::DeleteTopRows(n));
+        }
+        for c in 0..width.min(4) {
+            ops.push(Op::FillDown(c));
+        }
+        for fixed in 1..=2usize.min(width.saturating_sub(1)) {
+            ops.push(Op::Unpivot { fixed });
+        }
+        if width >= 3 {
+            ops.push(Op::Pivot { key_col: 1, value_col: 2 });
+        }
+        ops
+    }
+}
+
+fn transpose(grid: &Grid) -> Grid {
+    let width = grid.iter().map(|r| r.len()).max().unwrap_or(0);
+    (0..width)
+        .map(|c| grid.iter().map(|r| r.get(c).cloned().unwrap_or_default()).collect())
+        .collect()
+}
+
+fn drop_empty_cols(grid: &Grid) -> Grid {
+    let width = grid.iter().map(|r| r.len()).max().unwrap_or(0);
+    let keep: Vec<usize> = (0..width)
+        .filter(|&c| grid.iter().any(|r| r.get(c).is_some_and(|v| !v.trim().is_empty())))
+        .collect();
+    grid.iter()
+        .map(|r| keep.iter().map(|&c| r.get(c).cloned().unwrap_or_default()).collect())
+        .collect()
+}
+
+fn fill_down(grid: &Grid, col: usize) -> Grid {
+    let mut out = grid.clone();
+    let mut last = String::new();
+    for row in &mut out {
+        if let Some(cell) = row.get_mut(col) {
+            if cell.trim().is_empty() {
+                *cell = last.clone();
+            } else {
+                last = cell.clone();
+            }
+        }
+    }
+    out
+}
+
+fn unpivot(grid: &Grid, fixed: usize) -> Grid {
+    let Some(header) = grid.first() else {
+        return Vec::new();
+    };
+    if header.len() <= fixed {
+        return grid.clone();
+    }
+    let mut out: Grid = Vec::new();
+    let mut new_header: Vec<String> = header.iter().take(fixed).cloned().collect();
+    new_header.push("key".to_string());
+    new_header.push("value".to_string());
+    out.push(new_header);
+    for row in grid.iter().skip(1) {
+        for (c, head) in header.iter().enumerate().skip(fixed) {
+            let mut r: Vec<String> = row.iter().take(fixed).cloned().collect();
+            while r.len() < fixed {
+                r.push(String::new());
+            }
+            r.push(head.clone());
+            r.push(row.get(c).cloned().unwrap_or_default());
+            out.push(r);
+        }
+    }
+    out
+}
+
+fn pivot(grid: &Grid, key_col: usize, value_col: usize) -> Grid {
+    let Some(header) = grid.first() else {
+        return Vec::new();
+    };
+    if key_col >= header.len() || value_col >= header.len() || key_col == value_col {
+        return grid.clone();
+    }
+    // Identifier columns: everything except key and value columns.
+    let id_cols: Vec<usize> =
+        (0..header.len()).filter(|&c| c != key_col && c != value_col).collect();
+    // Collect distinct keys in order.
+    let mut keys: Vec<String> = Vec::new();
+    for row in grid.iter().skip(1) {
+        let k = row.get(key_col).cloned().unwrap_or_default();
+        if !keys.contains(&k) {
+            keys.push(k);
+        }
+    }
+    let mut out: Grid = Vec::new();
+    let mut new_header: Vec<String> =
+        id_cols.iter().map(|&c| header[c].clone()).collect();
+    new_header.extend(keys.iter().cloned());
+    out.push(new_header);
+    // Group rows by identifier tuple.
+    let mut groups: Vec<(Vec<String>, Vec<String>)> = Vec::new();
+    for row in grid.iter().skip(1) {
+        let id: Vec<String> =
+            id_cols.iter().map(|&c| row.get(c).cloned().unwrap_or_default()).collect();
+        let slot = match groups.iter_mut().find(|(g, _)| *g == id) {
+            Some((_, vals)) => vals,
+            None => {
+                groups.push((id.clone(), vec![String::new(); keys.len()]));
+                &mut groups.last_mut().expect("just pushed").1
+            }
+        };
+        let k = row.get(key_col).cloned().unwrap_or_default();
+        if let Some(pos) = keys.iter().position(|x| *x == k) {
+            slot[pos] = row.get(value_col).cloned().unwrap_or_default();
+        }
+    }
+    for (id, vals) in groups {
+        let mut r = id;
+        r.extend(vals);
+        out.push(r);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn g(rows: &[&[&str]]) -> Grid {
+        rows.iter().map(|r| r.iter().map(|c| c.to_string()).collect()).collect()
+    }
+
+    #[test]
+    fn transpose_swaps() {
+        let out = Op::Transpose.apply(&g(&[&["a", "b"], &["1", "2"]]));
+        assert_eq!(out, g(&[&["a", "1"], &["b", "2"]]));
+        // Involution.
+        assert_eq!(Op::Transpose.apply(&out), g(&[&["a", "b"], &["1", "2"]]));
+    }
+
+    #[test]
+    fn delete_top_rows() {
+        let out = Op::DeleteTopRows(2).apply(&g(&[&["Report"], &[""], &["h1", "h2"], &["1", "2"]]));
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0], vec!["h1", "h2"]);
+    }
+
+    #[test]
+    fn drop_empty_rows_and_cols() {
+        let grid = g(&[&["a", "", "b"], &["", "", ""], &["1", "", "2"]]);
+        let no_rows = Op::DropEmptyRows.apply(&grid);
+        assert_eq!(no_rows.len(), 2);
+        let no_cols = Op::DropEmptyCols.apply(&no_rows);
+        assert_eq!(no_cols, g(&[&["a", "b"], &["1", "2"]]));
+    }
+
+    #[test]
+    fn fill_down_unmerges() {
+        let out = Op::FillDown(0).apply(&g(&[&["east", "a"], &["", "b"], &["west", "c"], &["", "d"]]));
+        assert_eq!(out[1][0], "east");
+        assert_eq!(out[3][0], "west");
+    }
+
+    #[test]
+    fn unpivot_widens_to_long() {
+        let grid = g(&[&["name", "2014", "2015"], &["A", "10", "11"], &["B", "20", "21"]]);
+        let out = Op::Unpivot { fixed: 1 }.apply(&grid);
+        assert_eq!(out[0], vec!["name", "key", "value"]);
+        assert_eq!(out.len(), 5);
+        assert_eq!(out[1], vec!["A", "2014", "10"]);
+        assert_eq!(out[4], vec!["B", "2015", "21"]);
+    }
+
+    #[test]
+    fn pivot_longs_to_wide() {
+        let grid = g(&[
+            &["name", "year", "sales"],
+            &["A", "2014", "10"],
+            &["A", "2015", "11"],
+            &["B", "2014", "20"],
+        ]);
+        let out = Op::Pivot { key_col: 1, value_col: 2 }.apply(&grid);
+        assert_eq!(out[0], vec!["name", "2014", "2015"]);
+        assert_eq!(out[1], vec!["A", "10", "11"]);
+        assert_eq!(out[2], vec!["B", "20", ""]);
+    }
+
+    #[test]
+    fn pivot_unpivot_are_near_inverses() {
+        let grid = g(&[&["name", "2014", "2015"], &["A", "10", "11"], &["B", "20", "21"]]);
+        let long = Op::Unpivot { fixed: 1 }.apply(&grid);
+        let wide = Op::Pivot { key_col: 1, value_col: 2 }.apply(&long);
+        assert_eq!(wide, grid);
+    }
+
+    #[test]
+    fn candidates_cover_shape() {
+        let grid = g(&[&["a", "b", "c"], &["1", "2", "3"]]);
+        let cands = Op::candidates(&grid);
+        assert!(cands.contains(&Op::Transpose));
+        assert!(cands.contains(&Op::Unpivot { fixed: 1 }));
+        assert!(cands.contains(&Op::Pivot { key_col: 1, value_col: 2 }));
+    }
+
+    #[test]
+    fn ops_handle_empty_grid() {
+        let empty: Grid = Vec::new();
+        for op in [Op::Transpose, Op::DropEmptyRows, Op::Unpivot { fixed: 1 }] {
+            let _ = op.apply(&empty);
+        }
+    }
+}

@@ -1,0 +1,308 @@
+//! Column pattern mining (§II-B3).
+//!
+//! "The pattern of 'Aug 14 2023' can be expressed as
+//! `<letter>{3} <digit>{2} <digit>{4}`. It can also be expressed as
+//! `Aug <digit>{2} 2023`. Obviously, the latter pattern representation has
+//! a smaller scope."
+//!
+//! [`mine_pattern`] finds the *tightest* pattern covering every value of a
+//! column: token positions where all values share a literal keep the
+//! literal (smaller scope); positions that vary generalize to
+//! `<letter>{n}` / `<digit>{n}` classes, with the length kept when
+//! constant and ranged otherwise. Patterns then validate fresh data
+//! ([`Pattern::matches`]) — the paper's drift-detection use.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// One token of a pattern.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PatternToken {
+    /// An exact literal (shared by all observed values).
+    Literal(String),
+    /// `<letter>{min,max}` — alphabetic run.
+    Letters {
+        /// Minimum run length.
+        min: usize,
+        /// Maximum run length.
+        max: usize,
+    },
+    /// `<digit>{min,max}` — numeric run.
+    Digits {
+        /// Minimum run length.
+        min: usize,
+        /// Maximum run length.
+        max: usize,
+    },
+    /// A separator/punctuation literal (kept exact).
+    Separator(String),
+}
+
+impl PatternToken {
+    fn matches(&self, piece: &Piece) -> bool {
+        match (self, piece) {
+            (PatternToken::Literal(l), Piece::Letters(s)) => l == s,
+            (PatternToken::Literal(l), Piece::Digits(s)) => l == s,
+            (PatternToken::Letters { min, max }, Piece::Letters(s)) => {
+                (*min..=*max).contains(&s.chars().count())
+            }
+            (PatternToken::Digits { min, max }, Piece::Digits(s)) => {
+                (*min..=*max).contains(&s.chars().count())
+            }
+            (PatternToken::Separator(l), Piece::Separator(s)) => l == s,
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for PatternToken {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PatternToken::Literal(s) => write!(f, "{s}"),
+            PatternToken::Letters { min, max } if min == max => write!(f, "<letter>{{{min}}}"),
+            PatternToken::Letters { min, max } => write!(f, "<letter>{{{min},{max}}}"),
+            PatternToken::Digits { min, max } if min == max => write!(f, "<digit>{{{min}}}"),
+            PatternToken::Digits { min, max } => write!(f, "<digit>{{{min},{max}}}"),
+            PatternToken::Separator(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+/// A column pattern: a token sequence all values must match.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Pattern {
+    /// The tokens.
+    pub tokens: Vec<PatternToken>,
+}
+
+impl fmt::Display for Pattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for t in &self.tokens {
+            write!(f, "{t}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A lexical piece of a concrete value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Piece {
+    Letters(String),
+    Digits(String),
+    Separator(String),
+}
+
+fn tokenize(value: &str) -> Vec<Piece> {
+    let mut pieces = Vec::new();
+    let mut cur = String::new();
+    let mut kind: Option<u8> = None; // 0 letters, 1 digits, 2 sep
+    for c in value.chars() {
+        let k = if c.is_alphabetic() {
+            0
+        } else if c.is_ascii_digit() {
+            1
+        } else {
+            2
+        };
+        if kind == Some(k) && k != 2 {
+            cur.push(c);
+        } else {
+            if let Some(old) = kind {
+                pieces.push(mk_piece(old, std::mem::take(&mut cur)));
+            }
+            cur.push(c);
+            kind = Some(k);
+        }
+        // Separators are emitted per char? No — group runs of identical
+        // separator chars for things like "--".
+        if k == 2 {
+            // keep accumulating identical separator chars only
+        }
+    }
+    if let Some(old) = kind {
+        pieces.push(mk_piece(old, cur));
+    }
+    pieces
+}
+
+fn mk_piece(kind: u8, s: String) -> Piece {
+    match kind {
+        0 => Piece::Letters(s),
+        1 => Piece::Digits(s),
+        _ => Piece::Separator(s),
+    }
+}
+
+impl Pattern {
+    /// Whether a value matches this pattern.
+    pub fn matches(&self, value: &str) -> bool {
+        let pieces = tokenize(value);
+        if pieces.len() != self.tokens.len() {
+            return false;
+        }
+        self.tokens.iter().zip(&pieces).all(|(t, p)| t.matches(p))
+    }
+
+    /// Fraction of `values` that match (drift validation).
+    pub fn conformance(&self, values: &[&str]) -> f64 {
+        if values.is_empty() {
+            return 1.0;
+        }
+        values.iter().filter(|v| self.matches(v)).count() as f64 / values.len() as f64
+    }
+}
+
+/// Mine the tightest common pattern of a column's values.
+///
+/// Returns `None` when values disagree on token structure (different piece
+/// counts or kinds) — the column has no single pattern.
+pub fn mine_pattern(values: &[&str]) -> Option<Pattern> {
+    let mut rows: Vec<Vec<Piece>> = values.iter().map(|v| tokenize(v)).collect();
+    let first = rows.pop()?;
+    // Structural agreement check.
+    for r in &rows {
+        if r.len() != first.len() {
+            return None;
+        }
+        for (a, b) in r.iter().zip(&first) {
+            let same_kind = matches!(
+                (a, b),
+                (Piece::Letters(_), Piece::Letters(_))
+                    | (Piece::Digits(_), Piece::Digits(_))
+                    | (Piece::Separator(_), Piece::Separator(_))
+            );
+            if !same_kind {
+                return None;
+            }
+        }
+    }
+    rows.push(first);
+
+    let n = rows[0].len();
+    let mut tokens = Vec::with_capacity(n);
+    for i in 0..n {
+        let column: Vec<&Piece> = rows.iter().map(|r| &r[i]).collect();
+        let all_equal = column.windows(2).all(|w| w[0] == w[1]);
+        match column[0] {
+            Piece::Separator(s) => {
+                if !all_equal {
+                    return None; // differing separators break the pattern
+                }
+                tokens.push(PatternToken::Separator(s.clone()));
+            }
+            Piece::Letters(s) => {
+                if all_equal {
+                    // Tightest scope: keep the shared literal (the paper's
+                    // "Aug <digit>{2} 2023" beats "<letter>{3} …").
+                    tokens.push(PatternToken::Literal(s.clone()));
+                } else {
+                    let lens: Vec<usize> = column
+                        .iter()
+                        .map(|p| match p {
+                            Piece::Letters(s) => s.chars().count(),
+                            _ => 0,
+                        })
+                        .collect();
+                    tokens.push(PatternToken::Letters {
+                        min: *lens.iter().min().expect("non-empty"),
+                        max: *lens.iter().max().expect("non-empty"),
+                    });
+                }
+            }
+            Piece::Digits(s) => {
+                if all_equal {
+                    tokens.push(PatternToken::Literal(s.clone()));
+                } else {
+                    let lens: Vec<usize> = column
+                        .iter()
+                        .map(|p| match p {
+                            Piece::Digits(s) => s.chars().count(),
+                            _ => 0,
+                        })
+                        .collect();
+                    tokens.push(PatternToken::Digits {
+                        min: *lens.iter().min().expect("non-empty"),
+                        max: *lens.iter().max().expect("non-empty"),
+                    });
+                }
+            }
+        }
+    }
+    Some(Pattern { tokens })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mines_the_paper_date_pattern() {
+        let p = mine_pattern(&["Aug 14 2023", "Jan 02 2023", "Dec 31 2023"]).unwrap();
+        // Month varies → letters{3}; day varies → digits{2}; year constant
+        // → literal 2023 (the tighter scope the paper prefers).
+        assert_eq!(p.to_string(), "<letter>{3} <digit>{2} 2023");
+        assert!(p.matches("Sep 09 2023"));
+        assert!(!p.matches("Sep 09 2024"), "year literal is tight");
+        assert!(!p.matches("September 09 2023"));
+    }
+
+    #[test]
+    fn shared_month_kept_literal() {
+        let p = mine_pattern(&["Aug 14 2023", "Aug 02 2023"]).unwrap();
+        assert_eq!(p.to_string(), "Aug <digit>{2} 2023");
+    }
+
+    #[test]
+    fn slash_dates() {
+        let p = mine_pattern(&["8/14/2023", "12/01/2023", "9/30/2023"]).unwrap();
+        assert_eq!(p.to_string(), "<digit>{1,2}/<digit>{2}/2023");
+        assert!(p.matches("1/05/2023"));
+        assert!(!p.matches("8-14-2023"), "separator is exact");
+    }
+
+    #[test]
+    fn structurally_mixed_column_has_no_pattern() {
+        assert!(mine_pattern(&["Aug 14 2023", "8/14/2023"]).is_none());
+        assert!(mine_pattern(&["abc", "abc def"]).is_none());
+    }
+
+    #[test]
+    fn ids_with_prefixes() {
+        let p = mine_pattern(&["INV-0042", "INV-1234", "INV-0007"]).unwrap();
+        assert_eq!(p.to_string(), "INV-<digit>{4}");
+        assert!(p.matches("INV-9999"));
+        assert!(!p.matches("ORD-9999"));
+        assert!(!p.matches("INV-99"));
+    }
+
+    #[test]
+    fn conformance_flags_drift() {
+        let p = mine_pattern(&["INV-0042", "INV-1234"]).unwrap();
+        // Fresh batch drifted to a new id scheme.
+        let fresh = ["INV-0001", "INV-0002", "2024-INV-3", "2024-INV-4"];
+        let c = p.conformance(&fresh);
+        assert!((c - 0.5).abs() < 1e-9, "conformance {c}");
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(mine_pattern(&[]).is_none());
+        let p = mine_pattern(&["abc"]).unwrap();
+        assert!(p.matches("abc"));
+        assert_eq!(p.conformance(&[]), 1.0);
+    }
+
+    #[test]
+    fn single_value_is_all_literals() {
+        let p = mine_pattern(&["Aug 14 2023"]).unwrap();
+        assert_eq!(p.to_string(), "Aug 14 2023");
+        assert!(!p.matches("Aug 15 2023"));
+    }
+
+    #[test]
+    fn unicode_letters() {
+        let p = mine_pattern(&["北京 2023", "上海 2023"]).unwrap();
+        assert!(p.matches("广州 2023"));
+    }
+}

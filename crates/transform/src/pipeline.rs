@@ -1,0 +1,405 @@
+//! Data-preparation pipeline recommendation (§II-B4).
+//!
+//! "LLMs can use the chain-of-thought ability and advanced reasoning
+//! abilities to recommend candidate pipelines, significantly reducing the
+//! search space."
+//!
+//! We model the pipeline space as sequences of standard preparation
+//! operators over a table and search it two ways: a small set of
+//! *recommended candidate templates* (standing in for the LLM's pruned
+//! proposals) plus greedy extension, scored by a downstream-readiness
+//! metric (completeness, scale normalization, encodability, no dead
+//! columns).
+
+use llmdm_sqlengine::{Column, DataType, Schema, Table, Value};
+use serde::{Deserialize, Serialize};
+
+/// A preparation operator.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PipelineOp {
+    /// Replace NULLs in a numeric column with the column mean.
+    ImputeMean(String),
+    /// Replace NULLs in a text column with the modal value.
+    ImputeMode(String),
+    /// Min–max normalize a numeric column into `[0, 1]`.
+    MinMax(String),
+    /// One-hot encode a low-cardinality text column.
+    OneHot(String),
+    /// Drop columns with a single distinct value.
+    DropConstant,
+}
+
+/// Result of a recommendation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineReport {
+    /// The chosen operator sequence.
+    pub pipeline: Vec<PipelineOp>,
+    /// Readiness score before.
+    pub before: f64,
+    /// Readiness score after.
+    pub after: f64,
+}
+
+/// Downstream-readiness score in `[0, 1]`.
+///
+/// * completeness — fraction of non-NULL cells;
+/// * scale — numeric columns fully inside `[0, 1]`;
+/// * encodedness — absence of raw text columns (models need numbers);
+/// * liveness — absence of constant columns.
+pub fn readiness(table: &Table) -> f64 {
+    let cells = (table.rows.len() * table.schema.len()).max(1);
+    let non_null = table.rows.iter().flatten().filter(|v| !v.is_null()).count();
+    let completeness = non_null as f64 / cells as f64;
+
+    let mut numeric = 0usize;
+    let mut scaled = 0usize;
+    let mut text_cols = 0usize;
+    let mut constant = 0usize;
+    for (i, c) in table.schema.columns().iter().enumerate() {
+        let vals: Vec<&Value> = table.rows.iter().map(|r| &r[i]).collect();
+        let distinct = {
+            let mut d: Vec<&&Value> = vals.iter().filter(|v| !v.is_null()).collect();
+            d.dedup_by(|a, b| a == b);
+            let mut seen: Vec<&Value> = Vec::new();
+            for v in vals.iter().filter(|v| !v.is_null()) {
+                if !seen.iter().any(|s| s == v) {
+                    seen.push(v);
+                }
+            }
+            let _ = d;
+            seen.len()
+        };
+        if distinct <= 1 && !table.rows.is_empty() {
+            constant += 1;
+        }
+        match c.dtype {
+            DataType::Int | DataType::Float => {
+                numeric += 1;
+                let in_unit = vals
+                    .iter()
+                    .filter_map(|v| v.as_f64())
+                    .all(|x| (0.0..=1.0).contains(&x));
+                if in_unit && vals.iter().any(|v| !v.is_null()) {
+                    scaled += 1;
+                }
+            }
+            DataType::Text => text_cols += 1,
+            DataType::Bool => {}
+        }
+    }
+    let ncols = table.schema.len().max(1);
+    let scale = if numeric == 0 { 1.0 } else { scaled as f64 / numeric as f64 };
+    let encoded = 1.0 - text_cols as f64 / ncols as f64;
+    let live = 1.0 - constant as f64 / ncols as f64;
+    0.4 * completeness + 0.25 * scale + 0.2 * encoded + 0.15 * live
+}
+
+/// Apply one operator.
+pub fn apply_op(table: &Table, op: &PipelineOp) -> Table {
+    match op {
+        PipelineOp::ImputeMean(col) => {
+            let mut out = table.clone();
+            let Some(i) = out.schema.index_of(col) else { return out };
+            let vals: Vec<f64> = out.rows.iter().filter_map(|r| r[i].as_f64()).collect();
+            if vals.is_empty() {
+                return out;
+            }
+            let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+            let is_int = out.schema.columns()[i].dtype == DataType::Int;
+            for r in &mut out.rows {
+                if r[i].is_null() {
+                    r[i] = if is_int { Value::Int(mean.round() as i64) } else { Value::Float(mean) };
+                }
+            }
+            out
+        }
+        PipelineOp::ImputeMode(col) => {
+            let mut out = table.clone();
+            let Some(i) = out.schema.index_of(col) else { return out };
+            let mut counts: Vec<(Value, usize)> = Vec::new();
+            for r in &out.rows {
+                if r[i].is_null() {
+                    continue;
+                }
+                match counts.iter_mut().find(|(v, _)| *v == r[i]) {
+                    Some((_, c)) => *c += 1,
+                    None => counts.push((r[i].clone(), 1)),
+                }
+            }
+            let Some((mode, _)) = counts.into_iter().max_by_key(|(_, c)| *c) else {
+                return out;
+            };
+            for r in &mut out.rows {
+                if r[i].is_null() {
+                    r[i] = mode.clone();
+                }
+            }
+            out
+        }
+        PipelineOp::MinMax(col) => {
+            let mut out = table.clone();
+            let Some(i) = out.schema.index_of(col) else { return out };
+            let vals: Vec<f64> = out.rows.iter().filter_map(|r| r[i].as_f64()).collect();
+            let (Some(min), Some(max)) = (
+                vals.iter().copied().reduce(f64::min),
+                vals.iter().copied().reduce(f64::max),
+            ) else {
+                return out;
+            };
+            let range = (max - min).max(f64::EPSILON);
+            // Rebuild the schema with the column typed FLOAT.
+            let cols: Vec<Column> = out
+                .schema
+                .columns()
+                .iter()
+                .enumerate()
+                .map(|(j, c)| {
+                    if j == i {
+                        Column::new(&c.name, DataType::Float)
+                    } else {
+                        c.clone()
+                    }
+                })
+                .collect();
+            out.schema = Schema::new(cols);
+            for r in &mut out.rows {
+                if let Some(x) = r[i].as_f64() {
+                    r[i] = Value::Float((x - min) / range);
+                }
+            }
+            out
+        }
+        PipelineOp::OneHot(col) => {
+            let Some(i) = table.schema.index_of(col) else { return table.clone() };
+            let mut categories: Vec<String> = Vec::new();
+            for r in &table.rows {
+                if let Value::Str(s) = &r[i] {
+                    if !categories.contains(s) {
+                        categories.push(s.clone());
+                    }
+                }
+            }
+            if categories.is_empty() || categories.len() > 12 {
+                return table.clone();
+            }
+            let mut cols: Vec<Column> = table
+                .schema
+                .columns()
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| *j != i)
+                .map(|(_, c)| c.clone())
+                .collect();
+            for cat in &categories {
+                cols.push(Column::new(
+                    &format!("{col}_{}", cat.replace(' ', "_")),
+                    DataType::Int,
+                ));
+            }
+            let mut out = Table::new(&table.name, Schema::new(cols));
+            for r in &table.rows {
+                let mut row: Vec<Value> = r
+                    .iter()
+                    .enumerate()
+                    .filter(|(j, _)| *j != i)
+                    .map(|(_, v)| v.clone())
+                    .collect();
+                for cat in &categories {
+                    let hit = matches!(&r[i], Value::Str(s) if s == cat);
+                    row.push(Value::Int(hit as i64));
+                }
+                out.push_row(row).expect("one-hot row conforms");
+            }
+            out
+        }
+        PipelineOp::DropConstant => {
+            let keep: Vec<usize> = (0..table.schema.len())
+                .filter(|&i| {
+                    let mut seen: Vec<&Value> = Vec::new();
+                    for r in &table.rows {
+                        if !seen.iter().any(|s| **s == r[i]) {
+                            seen.push(&r[i]);
+                        }
+                        if seen.len() > 1 {
+                            return true;
+                        }
+                    }
+                    table.rows.is_empty()
+                })
+                .collect();
+            if keep.len() == table.schema.len() {
+                return table.clone();
+            }
+            let cols: Vec<Column> =
+                keep.iter().map(|&i| table.schema.columns()[i].clone()).collect();
+            let mut out = Table::new(&table.name, Schema::new(cols));
+            for r in &table.rows {
+                out.push_row(keep.iter().map(|&i| r[i].clone()).collect())
+                    .expect("projection conforms");
+            }
+            out
+        }
+    }
+}
+
+/// Candidate operators applicable to the table's current shape (the
+/// "recommended" pruned search space).
+fn candidates(table: &Table) -> Vec<PipelineOp> {
+    let mut ops = vec![PipelineOp::DropConstant];
+    for (i, c) in table.schema.columns().iter().enumerate() {
+        let has_null = table.rows.iter().any(|r| r[i].is_null());
+        match c.dtype {
+            DataType::Int | DataType::Float => {
+                if has_null {
+                    ops.push(PipelineOp::ImputeMean(c.name.clone()));
+                }
+                ops.push(PipelineOp::MinMax(c.name.clone()));
+            }
+            DataType::Text => {
+                if has_null {
+                    ops.push(PipelineOp::ImputeMode(c.name.clone()));
+                }
+                ops.push(PipelineOp::OneHot(c.name.clone()));
+            }
+            DataType::Bool => {}
+        }
+    }
+    ops
+}
+
+/// Greedy pipeline recommendation: repeatedly apply the candidate that
+/// improves readiness most, up to `max_len` operators.
+pub fn recommend_pipeline(table: &Table, max_len: usize) -> PipelineReport {
+    let before = readiness(table);
+    let mut current = table.clone();
+    let mut pipeline = Vec::new();
+    for _ in 0..max_len {
+        let mut best: Option<(f64, PipelineOp, Table)> = None;
+        for op in candidates(&current) {
+            let out = apply_op(&current, &op);
+            let score = readiness(&out);
+            if best.as_ref().map(|(s, _, _)| score > *s).unwrap_or(true) {
+                best = Some((score, op, out));
+            }
+        }
+        match best {
+            Some((score, op, out)) if score > readiness(&current) + 1e-9 => {
+                pipeline.push(op);
+                current = out;
+            }
+            _ => break,
+        }
+    }
+    PipelineReport { pipeline, before, after: readiness(&current) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A messy financial table: NULLs, unscaled numbers, a text column,
+    /// and a constant column.
+    fn messy() -> Table {
+        let schema = Schema::new(vec![
+            Column::new("price", DataType::Float),
+            Column::new("volume", DataType::Int),
+            Column::new("sector", DataType::Text),
+            Column::new("currency", DataType::Text),
+        ]);
+        let mut t = Table::new("stocks", schema);
+        for i in 0..20i64 {
+            t.push_row(vec![
+                if i % 5 == 0 { Value::Null } else { Value::Float(50.0 + i as f64) },
+                Value::Int(1000 * (i + 1)),
+                Value::Str(if i % 2 == 0 { "tech" } else { "energy" }.into()),
+                Value::Str("usd".into()),
+            ])
+            .unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn recommendation_improves_readiness() {
+        let t = messy();
+        let rep = recommend_pipeline(&t, 8);
+        assert!(rep.after > rep.before + 0.2, "before {} after {}", rep.before, rep.after);
+        assert!(!rep.pipeline.is_empty());
+    }
+
+    #[test]
+    fn final_table_is_model_ready() {
+        let t = messy();
+        let rep = recommend_pipeline(&t, 8);
+        let mut out = t.clone();
+        for op in &rep.pipeline {
+            out = apply_op(&out, op);
+        }
+        // No NULLs left.
+        assert!(out.rows.iter().flatten().all(|v| !v.is_null()));
+        // No raw text columns left (one-hot applied, constants dropped).
+        assert!(out
+            .schema
+            .columns()
+            .iter()
+            .all(|c| c.dtype != DataType::Text));
+    }
+
+    #[test]
+    fn impute_mean_fills_numeric_nulls() {
+        let t = messy();
+        let out = apply_op(&t, &PipelineOp::ImputeMean("price".into()));
+        let i = out.schema.index_of("price").unwrap();
+        assert!(out.rows.iter().all(|r| !r[i].is_null()));
+    }
+
+    #[test]
+    fn minmax_lands_in_unit_interval() {
+        let t = messy();
+        let out = apply_op(&t, &PipelineOp::MinMax("volume".into()));
+        let i = out.schema.index_of("volume").unwrap();
+        for r in &out.rows {
+            let x = r[i].as_f64().unwrap();
+            assert!((0.0..=1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn onehot_expands_categories() {
+        let t = messy();
+        let out = apply_op(&t, &PipelineOp::OneHot("sector".into()));
+        assert!(out.schema.index_of("sector").is_none());
+        assert!(out.schema.index_of("sector_tech").is_some());
+        assert!(out.schema.index_of("sector_energy").is_some());
+        let tech = out.schema.index_of("sector_tech").unwrap();
+        assert_eq!(out.rows[0][tech], Value::Int(1));
+        assert_eq!(out.rows[1][tech], Value::Int(0));
+    }
+
+    #[test]
+    fn drop_constant_removes_currency() {
+        let t = messy();
+        let out = apply_op(&t, &PipelineOp::DropConstant);
+        assert!(out.schema.index_of("currency").is_none());
+        assert_eq!(out.schema.len(), 3);
+    }
+
+    #[test]
+    fn clean_table_gets_short_or_empty_pipeline() {
+        let schema = Schema::new(vec![Column::new("x", DataType::Float)]);
+        let mut t = Table::new("clean", schema);
+        for i in 0..5 {
+            t.push_row(vec![Value::Float(i as f64 / 4.0)]).unwrap();
+        }
+        let rep = recommend_pipeline(&t, 8);
+        assert!(rep.after >= rep.before);
+        assert!(rep.pipeline.len() <= 1);
+    }
+
+    #[test]
+    fn ops_on_missing_column_are_noops() {
+        let t = messy();
+        let out = apply_op(&t, &PipelineOp::MinMax("nonexistent".into()));
+        assert_eq!(out.rows, t.rows);
+    }
+}

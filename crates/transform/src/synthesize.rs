@@ -1,0 +1,235 @@
+//! Operator-program discovery: beam search over [`Op`] sequences guided by
+//! a **relationality score** — the "LLM synthesizes the operator sequence
+//! once, then it is reused on all similar files" path of §II-B2.
+
+use crate::ops::{Grid, Op};
+
+/// How table-like a grid is, in `[0, 1]`.
+///
+/// Components:
+/// * **arity consistency** — fraction of rows matching the header width;
+/// * **column type purity** — per column, the majority share of
+///   {numeric, text, empty} among body cells;
+/// * **header plausibility** — header cells non-empty, distinct, and
+///   non-numeric;
+/// * **fill rate** — fraction of non-empty body cells;
+/// * **orientation** — relational tables are taller than wide; a grid
+///   with fewer body rows than columns is likely sideways.
+pub fn relationality(grid: &Grid) -> f64 {
+    if grid.len() < 2 {
+        return 0.0;
+    }
+    let header = &grid[0];
+    let width = header.len();
+    if width == 0 {
+        return 0.0;
+    }
+    let body = &grid[1..];
+
+    let arity = body.iter().filter(|r| r.len() == width).count() as f64 / body.len() as f64;
+
+    let mut purity_sum = 0.0;
+    for c in 0..width {
+        let mut numeric = 0usize;
+        let mut text = 0usize;
+        let mut empty = 0usize;
+        for r in body {
+            match r.get(c).map(|s| s.trim()) {
+                None | Some("") => empty += 1,
+                Some(v) if v.parse::<f64>().is_ok() => numeric += 1,
+                Some(_) => text += 1,
+            }
+        }
+        let total = (numeric + text + empty).max(1);
+        purity_sum += numeric.max(text) as f64 / total as f64;
+    }
+    let purity = purity_sum / width as f64;
+
+    let header_ok = {
+        let non_empty = header.iter().filter(|h| !h.trim().is_empty()).count();
+        let mut distinct: Vec<&str> = header.iter().map(|s| s.trim()).collect();
+        distinct.sort_unstable();
+        distinct.dedup();
+        let non_numeric = header.iter().filter(|h| h.trim().parse::<f64>().is_err()).count();
+        (non_empty + distinct.len() + non_numeric) as f64 / (3 * width) as f64
+    };
+
+    let cells: usize = body.iter().map(|r| r.len()).sum();
+    let filled: usize =
+        body.iter().flat_map(|r| r.iter()).filter(|c| !c.trim().is_empty()).count();
+    let fill = if cells == 0 { 0.0 } else { filled as f64 / cells as f64 };
+
+    // Saturate early: only clearly-wider-than-tall grids are penalized,
+    // so legitimate small tables aren't pushed into long format.
+    let orientation = if body.len() + 1 >= width {
+        1.0
+    } else {
+        body.len() as f64 / width as f64
+    };
+
+    0.30 * arity + 0.27 * purity + 0.18 * header_ok + 0.13 * fill + 0.12 * orientation
+}
+
+/// Discover an operator program improving the grid's relationality.
+///
+/// Beam search of width `beam` up to `max_len` operators; returns the best
+/// program and its final score. The empty program is always a candidate,
+/// so the score never decreases.
+pub fn discover_program(grid: &Grid, max_len: usize, beam: usize) -> (Vec<Op>, f64) {
+    let base = relationality(grid);
+    let mut best: (Vec<Op>, f64) = (Vec::new(), base);
+    // Beam entries: (program, resulting grid, score).
+    let mut frontier: Vec<(Vec<Op>, Grid, f64)> = vec![(Vec::new(), grid.clone(), base)];
+    for _ in 0..max_len {
+        let mut next: Vec<(Vec<Op>, Grid, f64)> = Vec::new();
+        for (prog, g, _) in &frontier {
+            for op in Op::candidates(g) {
+                let out = op.apply(g);
+                if out.is_empty() || out == *g {
+                    continue;
+                }
+                let score = relationality(&out);
+                let mut p = prog.clone();
+                p.push(op);
+                if score > best.1 + 1e-9 {
+                    best = (p.clone(), score);
+                }
+                next.push((p, out, score));
+            }
+        }
+        next.sort_by(|a, b| b.2.total_cmp(&a.2));
+        next.truncate(beam);
+        if next.is_empty() {
+            break;
+        }
+        frontier = next;
+    }
+    best
+}
+
+/// Apply a program to a grid.
+pub fn apply_program(grid: &Grid, program: &[Op]) -> Grid {
+    let mut g = grid.clone();
+    for op in program {
+        g = op.apply(&g);
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn g(rows: &[&[&str]]) -> Grid {
+        rows.iter().map(|r| r.iter().map(|c| c.to_string()).collect()).collect()
+    }
+
+    /// A clean relational grid scores high; a messy report scores low.
+    #[test]
+    fn score_orders_clean_above_messy() {
+        let clean = g(&[
+            &["name", "year", "sales"],
+            &["A", "2014", "10"],
+            &["B", "2015", "20"],
+            &["C", "2014", "15"],
+        ]);
+        let messy = g(&[
+            &["Quarterly Report", "", ""],
+            &["", "", ""],
+            &["name", "year", "sales"],
+            &["A", "2014", "10"],
+        ]);
+        assert!(relationality(&clean) > relationality(&messy) + 0.1);
+    }
+
+    #[test]
+    fn discovers_delete_top_rows_for_report_headers() {
+        let messy = g(&[
+            &["Quarterly Report 2014", "", ""],
+            &["", "", ""],
+            &["name", "year", "sales"],
+            &["A", "2014", "10"],
+            &["B", "2015", "20"],
+            &["C", "2014", "15"],
+        ]);
+        let (program, score) = discover_program(&messy, 3, 8);
+        assert!(score > relationality(&messy));
+        let out = apply_program(&messy, &program);
+        assert_eq!(out[0], vec!["name", "year", "sales"], "program: {program:?}");
+    }
+
+    #[test]
+    fn discovers_transpose_for_sideways_tables() {
+        // Attributes down the side, records across — needs a transpose.
+        let sideways = g(&[
+            &["name", "A", "B", "C", "D"],
+            &["year", "2014", "2015", "2014", "2016"],
+            &["sales", "10", "20", "15", "30"],
+        ]);
+        let (program, _) = discover_program(&sideways, 2, 8);
+        assert!(
+            program.contains(&Op::Transpose),
+            "expected transpose in {program:?}"
+        );
+        let out = apply_program(&sideways, &program);
+        assert_eq!(out[0][0], "name");
+        assert_eq!(out.len(), 5);
+    }
+
+    #[test]
+    fn program_reuse_on_same_shaped_file() {
+        // Synthesize once, apply to a second file of the same shape —
+        // the paper's cost argument for the code-synthesis path.
+        let file1 = g(&[
+            &["Report", "", ""],
+            &["name", "year", "sales"],
+            &["A", "2014", "10"],
+            &["B", "2015", "20"],
+        ]);
+        let file2 = g(&[
+            &["Another Report", "", ""],
+            &["name", "year", "sales"],
+            &["X", "2016", "99"],
+            &["Y", "2013", "42"],
+        ]);
+        let (program, _) = discover_program(&file1, 3, 8);
+        let out2 = apply_program(&file2, &program);
+        assert_eq!(out2[0], vec!["name", "year", "sales"]);
+        assert!(out2.iter().any(|r| r[0] == "X"));
+    }
+
+    #[test]
+    fn already_clean_grid_keeps_empty_program() {
+        let clean = g(&[
+            &["name", "year"],
+            &["A", "2014"],
+            &["B", "2015"],
+        ]);
+        let (program, score) = discover_program(&clean, 3, 8);
+        assert!(score >= relationality(&clean));
+        // Program may be empty or a no-op improvement, but must not hurt.
+        let out = apply_program(&clean, &program);
+        assert!(relationality(&out) >= relationality(&clean) - 1e-9);
+    }
+
+    #[test]
+    fn empty_grid_scores_zero() {
+        assert_eq!(relationality(&Vec::new()), 0.0);
+        assert_eq!(relationality(&g(&[&["only header"]])), 0.0);
+    }
+
+    #[test]
+    fn merged_cells_fixed_by_fill_down() {
+        let merged = g(&[
+            &["region", "city", "sales"],
+            &["east", "rivertown", "10"],
+            &["", "lakewood", "12"],
+            &["west", "oakdale", "20"],
+            &["", "pinehurst", "22"],
+        ]);
+        let (program, _) = discover_program(&merged, 2, 8);
+        let out = apply_program(&merged, &program);
+        // All region cells filled after the program.
+        assert!(out.iter().skip(1).all(|r| !r[0].trim().is_empty()), "program {program:?}: {out:?}");
+    }
+}

@@ -1,0 +1,211 @@
+//! Bayesian confidence calibration (§III-E1 names "Bayesian modeling"
+//! among the interpretable mechanisms for validating LLM outputs).
+//!
+//! Raw model confidence and self-consistency agreement are *signals*, not
+//! probabilities. [`BayesianCalibrator`] turns them into calibrated
+//! correctness probabilities: observations of (signal bucket, was the
+//! output actually correct) update a Beta posterior per bucket
+//! (Beta(1, 1) prior), so `P(correct | signal)` comes with honest
+//! uncertainty that shrinks as evidence accumulates. Downstream gates
+//! (§III-E's "score function") can then threshold a probability instead
+//! of a raw score.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-bucket Beta posterior over correctness.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BetaPosterior {
+    /// Successes + 1 (prior).
+    pub alpha: f64,
+    /// Failures + 1 (prior).
+    pub beta: f64,
+}
+
+impl Default for BetaPosterior {
+    fn default() -> Self {
+        BetaPosterior { alpha: 1.0, beta: 1.0 }
+    }
+}
+
+impl BetaPosterior {
+    /// Posterior mean `P(correct)`.
+    pub fn mean(&self) -> f64 {
+        self.alpha / (self.alpha + self.beta)
+    }
+
+    /// Posterior standard deviation (the calibrator's honesty about how
+    /// little it has seen).
+    pub fn std(&self) -> f64 {
+        let (a, b) = (self.alpha, self.beta);
+        let n = a + b;
+        ((a * b) / (n * n * (n + 1.0))).sqrt()
+    }
+
+    /// Number of observations behind this posterior.
+    pub fn observations(&self) -> f64 {
+        self.alpha + self.beta - 2.0
+    }
+}
+
+/// A bucketized Bayesian calibrator over a `[0, 1]` signal.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BayesianCalibrator {
+    buckets: Vec<BetaPosterior>,
+}
+
+impl BayesianCalibrator {
+    /// A calibrator with `n_buckets` equal-width signal buckets.
+    pub fn new(n_buckets: usize) -> Self {
+        BayesianCalibrator { buckets: vec![BetaPosterior::default(); n_buckets.max(1)] }
+    }
+
+    fn bucket(&self, signal: f64) -> usize {
+        let n = self.buckets.len();
+        ((signal.clamp(0.0, 0.999_999) * n as f64) as usize).min(n - 1)
+    }
+
+    /// Record an observed outcome for a signal value.
+    pub fn observe(&mut self, signal: f64, correct: bool) {
+        let b = self.bucket(signal);
+        if correct {
+            self.buckets[b].alpha += 1.0;
+        } else {
+            self.buckets[b].beta += 1.0;
+        }
+    }
+
+    /// Calibrated `P(correct | signal)`.
+    pub fn calibrate(&self, signal: f64) -> f64 {
+        self.buckets[self.bucket(signal)].mean()
+    }
+
+    /// The posterior behind a signal value (mean ± std, evidence count).
+    pub fn posterior(&self, signal: f64) -> BetaPosterior {
+        self.buckets[self.bucket(signal)]
+    }
+
+    /// Expected calibration error of raw signals against observed
+    /// outcomes, evaluated on this calibrator's own evidence: the
+    /// bucket-weighted |bucket midpoint − empirical accuracy|. A large
+    /// value means the raw signal was *not* a probability and calibration
+    /// was needed.
+    pub fn raw_signal_ece(&self) -> f64 {
+        let n = self.buckets.len() as f64;
+        let total: f64 = self.buckets.iter().map(|b| b.observations()).sum();
+        if total == 0.0 {
+            return 0.0;
+        }
+        self.buckets
+            .iter()
+            .enumerate()
+            .map(|(i, b)| {
+                let mid = (i as f64 + 0.5) / n;
+                (b.observations() / total) * (mid - b.mean()).abs()
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llmdm_model::{CompletionRequest, LanguageModel, ModelZoo, PromptEnvelope};
+
+    #[test]
+    fn posterior_updates() {
+        let mut c = BayesianCalibrator::new(10);
+        assert!((c.calibrate(0.5) - 0.5).abs() < 1e-9, "uniform prior");
+        for _ in 0..8 {
+            c.observe(0.55, true);
+        }
+        c.observe(0.55, false);
+        let p = c.calibrate(0.55);
+        assert!((p - 9.0 / 11.0).abs() < 1e-9, "p={p}");
+        // Other buckets untouched.
+        assert!((c.calibrate(0.95) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn uncertainty_shrinks_with_evidence() {
+        let mut c = BayesianCalibrator::new(4);
+        let before = c.posterior(0.1).std();
+        for i in 0..50 {
+            c.observe(0.1, i % 3 == 0);
+        }
+        assert!(c.posterior(0.1).std() < before / 2.0);
+        assert_eq!(c.posterior(0.1).observations(), 50.0);
+    }
+
+    /// End-to-end: calibrate the simulated model's raw confidence on easy
+    /// questions, where the confidence signal systematically *understates*
+    /// the true accuracy; the calibrated probability tracks the empirical
+    /// accuracy much more closely.
+    #[test]
+    fn calibrated_probability_tracks_empirical_accuracy() {
+        let zoo = ModelZoo::standard(17);
+        let model = zoo.large();
+        let ask = |tag: u64| {
+            let prompt = PromptEnvelope::builder("oracle")
+                .header("gold", "gold")
+                .header("difficulty", 0.1)
+                .header("tag", tag)
+                .header("alt", format!("wrong-{tag}"))
+                .body("question")
+                .build();
+            let c = model.complete(&CompletionRequest::new(prompt)).unwrap();
+            (c.confidence, c.text == "gold")
+        };
+        // Fit on 200 observations.
+        let mut cal = BayesianCalibrator::new(10);
+        let mut raw_sum = 0.0;
+        let mut correct = 0usize;
+        for tag in 0..200 {
+            let (conf, ok) = ask(tag);
+            cal.observe(conf, ok);
+            raw_sum += conf;
+            if ok {
+                correct += 1;
+            }
+        }
+        let empirical = correct as f64 / 200.0;
+        let raw_mean = raw_sum / 200.0;
+        // Evaluate both estimators on 100 fresh questions.
+        let mut cal_sum = 0.0;
+        for tag in 200..300 {
+            let (conf, _) = ask(tag);
+            cal_sum += cal.calibrate(conf);
+        }
+        let cal_mean = cal_sum / 100.0;
+        assert!(
+            (raw_mean - empirical).abs() > 0.04,
+            "test premise: raw must be miscalibrated, raw {raw_mean:.3} vs empirical {empirical:.3}"
+        );
+        assert!(
+            (cal_mean - empirical).abs() < (raw_mean - empirical).abs(),
+            "calibrated {cal_mean:.3} vs raw {raw_mean:.3}, empirical {empirical:.3}"
+        );
+    }
+
+    #[test]
+    fn ece_flags_miscalibrated_signals() {
+        // A signal that always reads 0.9 but is right half the time.
+        let mut c = BayesianCalibrator::new(10);
+        for i in 0..100 {
+            c.observe(0.9, i % 2 == 0);
+        }
+        assert!(c.raw_signal_ece() > 0.3, "ece {}", c.raw_signal_ece());
+        // A perfectly calibrated signal has low ECE.
+        let mut good = BayesianCalibrator::new(10);
+        for i in 0..1000u32 {
+            let signal = (i % 10) as f64 / 10.0 + 0.05;
+            let correct = (i as f64 * 0.618).fract() < signal;
+            good.observe(signal, correct);
+        }
+        assert!(good.raw_signal_ece() < 0.1, "ece {}", good.raw_signal_ece());
+    }
+
+    #[test]
+    fn empty_calibrator_ece_zero() {
+        assert_eq!(BayesianCalibrator::new(5).raw_signal_ece(), 0.0);
+    }
+}

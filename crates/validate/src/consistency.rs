@@ -1,0 +1,159 @@
+//! Self-consistency uncertainty estimation: resample the model and use
+//! inter-sample agreement as the confidence signal (the paper: "the
+//! probabilistic nature of LLM outputs poses a challenge to their
+//! reliability" — agreement across samples is the practical reliability
+//! probe that needs no gold labels).
+
+use std::sync::Arc;
+
+use llmdm_model::{CompletionRequest, LanguageModel, ModelError, SimLlm};
+
+/// Result of a self-consistency probe.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConsistencyReport {
+    /// The majority answer.
+    pub answer: String,
+    /// Agreement ratio of the majority answer in `[1/k, 1]`.
+    pub agreement: f64,
+    /// All sampled answers with counts.
+    pub votes: Vec<(String, usize)>,
+}
+
+/// Sample the model `k` times on `prompt` (varying a nonce header so the
+/// deterministic simulation resamples), majority-vote the answer.
+///
+/// The prompt must be an envelope (`### task: …`); the nonce is injected
+/// as an extra header line.
+pub fn self_consistency(
+    model: &Arc<SimLlm>,
+    prompt: &str,
+    k: usize,
+) -> Result<ConsistencyReport, ModelError> {
+    let mut votes: Vec<(String, usize)> = Vec::new();
+    for nonce in 0..k.max(1) {
+        let varied = inject_nonce(prompt, nonce as u64);
+        let text = model.complete(&CompletionRequest::new(varied))?.text;
+        match votes.iter_mut().find(|(a, _)| *a == text) {
+            Some((_, c)) => *c += 1,
+            None => votes.push((text, 1)),
+        }
+    }
+    votes.sort_by_key(|(_, c)| std::cmp::Reverse(*c));
+    let (answer, count) = votes[0].clone();
+    Ok(ConsistencyReport { answer, agreement: count as f64 / k.max(1) as f64, votes })
+}
+
+/// Insert a `### nonce:` header after the task line.
+fn inject_nonce(prompt: &str, nonce: u64) -> String {
+    let mut out = String::with_capacity(prompt.len() + 24);
+    let mut injected = false;
+    for line in prompt.split_inclusive('\n') {
+        out.push_str(line);
+        if !injected && line.starts_with("### task:") {
+            out.push_str(&format!("### nonce: {nonce}\n"));
+            injected = true;
+        }
+    }
+    if !injected {
+        out.push_str(&format!("\n### nonce: {nonce}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llmdm_model::{ModelZoo, PromptEnvelope};
+
+    fn oracle_prompt(gold: &str, difficulty: f64, tag: u64) -> String {
+        PromptEnvelope::builder("oracle")
+            .header("gold", gold)
+            .header("difficulty", difficulty)
+            .header("tag", tag)
+            .header("alt", format!("wrong-{tag}-a"))
+            .header("alt", format!("wrong-{tag}-b"))
+            .header("alt", format!("wrong-{tag}-c"))
+            .body("question body")
+            .build()
+    }
+
+    #[test]
+    fn easy_questions_have_high_agreement() {
+        let zoo = ModelZoo::standard(3);
+        let model = zoo.large();
+        let rep = self_consistency(&model, &oracle_prompt("paris", 0.02, 1), 9).unwrap();
+        assert_eq!(rep.answer, "paris");
+        assert!(rep.agreement > 0.8, "agreement {}", rep.agreement);
+    }
+
+    #[test]
+    fn voting_beats_single_sample_on_medium_difficulty() {
+        let zoo = ModelZoo::standard(7);
+        let model = zoo.medium();
+        let n = 120;
+        let mut single_ok = 0;
+        let mut voted_ok = 0;
+        for tag in 0..n {
+            let prompt = oracle_prompt("gold-answer", 0.6, tag);
+            let single = model
+                .complete(&CompletionRequest::new(inject_nonce(&prompt, 0)))
+                .unwrap()
+                .text;
+            if single == "gold-answer" {
+                single_ok += 1;
+            }
+            let rep = self_consistency(&model, &prompt, 7).unwrap();
+            if rep.answer == "gold-answer" {
+                voted_ok += 1;
+            }
+        }
+        assert!(
+            voted_ok > single_ok,
+            "voted {voted_ok} vs single {single_ok} out of {n}"
+        );
+    }
+
+    #[test]
+    fn agreement_correlates_with_correctness() {
+        let zoo = ModelZoo::standard(11);
+        let model = zoo.medium();
+        let (mut agree_ok, mut n_ok, mut agree_bad, mut n_bad) = (0.0, 0, 0.0, 0);
+        for tag in 0..100 {
+            let rep =
+                self_consistency(&model, &oracle_prompt("gold", 0.7, tag), 7).unwrap();
+            if rep.answer == "gold" {
+                agree_ok += rep.agreement;
+                n_ok += 1;
+            } else {
+                agree_bad += rep.agreement;
+                n_bad += 1;
+            }
+        }
+        assert!(n_ok > 5 && n_bad > 5, "need both outcomes: {n_ok}/{n_bad}");
+        let mean_ok = agree_ok / n_ok as f64;
+        let mean_bad = agree_bad / n_bad as f64;
+        assert!(
+            mean_ok > mean_bad + 0.05,
+            "agreement when right {mean_ok:.2} vs wrong {mean_bad:.2}"
+        );
+    }
+
+    #[test]
+    fn votes_account_for_all_samples() {
+        let zoo = ModelZoo::standard(1);
+        let model = zoo.small();
+        let rep = self_consistency(&model, &oracle_prompt("x", 0.9, 5), 11).unwrap();
+        let total: usize = rep.votes.iter().map(|(_, c)| c).sum();
+        assert_eq!(total, 11);
+        assert!(rep.agreement >= 1.0 / 11.0);
+    }
+
+    #[test]
+    fn nonce_injection_preserves_envelope() {
+        let p = oracle_prompt("g", 0.5, 0);
+        let varied = inject_nonce(&p, 3);
+        let env = PromptEnvelope::parse(&varied).unwrap();
+        assert_eq!(env.get("nonce"), Some("3"));
+        assert_eq!(env.get("gold"), Some("g"));
+    }
+}

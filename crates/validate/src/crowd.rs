@@ -1,0 +1,306 @@
+//! Human-in-the-loop crowdsourced validation (§III-E2): "we can define a
+//! score function, and then utilize crowdsourcing for scoring the LLM
+//! outputs … invite humans to participate in different reasoning steps."
+
+use std::sync::Arc;
+
+use llmdm_model::hash::{combine, fnv1a_str, unit_f64};
+use llmdm_model::{ModelError, SimLlm};
+use serde::{Deserialize, Serialize};
+
+/// A simulated crowdworker with a fixed reliability.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Worker {
+    /// Worker id (drives the deterministic vote stream).
+    pub id: u64,
+    /// Probability this worker judges a binary task correctly.
+    pub reliability: f64,
+}
+
+impl Worker {
+    /// The worker's binary vote on a task with ground truth `truth`.
+    /// Deterministic per (worker, task).
+    pub fn vote(&self, task_key: &str, truth: bool) -> bool {
+        let u = unit_f64(combine(self.id.wrapping_mul(0x9e3779b97f4a7c15), fnv1a_str(task_key)));
+        if u < self.reliability {
+            truth
+        } else {
+            !truth
+        }
+    }
+}
+
+/// A pool of workers.
+#[derive(Debug, Clone)]
+pub struct CrowdPool {
+    /// The workers.
+    pub workers: Vec<Worker>,
+}
+
+impl CrowdPool {
+    /// A heterogeneous pool: reliabilities spread over `[low, high]`.
+    pub fn heterogeneous(n: usize, low: f64, high: f64, seed: u64) -> CrowdPool {
+        let workers = (0..n)
+            .map(|i| {
+                let frac = if n <= 1 { 0.5 } else { i as f64 / (n - 1) as f64 };
+                Worker {
+                    id: seed.wrapping_add(i as u64),
+                    reliability: low + frac * (high - low),
+                }
+            })
+            .collect();
+        CrowdPool { workers }
+    }
+
+    /// Collect every worker's vote on a task.
+    pub fn collect(&self, task_key: &str, truth: bool) -> Vec<(u64, bool)> {
+        self.workers.iter().map(|w| (w.id, w.vote(task_key, truth))).collect()
+    }
+}
+
+/// Majority aggregation of `(worker, vote)` pairs.
+pub fn aggregate_majority(votes: &[(u64, bool)]) -> bool {
+    let yes = votes.iter().filter(|(_, v)| *v).count();
+    yes * 2 > votes.len()
+}
+
+/// EM-style (Dawid–Skene flavoured) weighted aggregation over many tasks:
+/// iteratively estimate per-worker reliabilities from agreement with the
+/// current consensus, then reweight votes. Returns per-task decisions and
+/// the learned reliabilities.
+pub fn aggregate_em(
+    all_votes: &[Vec<(u64, bool)>],
+    iterations: usize,
+) -> (Vec<bool>, Vec<(u64, f64)>) {
+    // Initialize consensus with majority.
+    let mut consensus: Vec<bool> = all_votes.iter().map(|v| aggregate_majority(v)).collect();
+    // Worker ids.
+    let mut ids: Vec<u64> = all_votes
+        .iter()
+        .flat_map(|v| v.iter().map(|(id, _)| *id))
+        .collect();
+    ids.sort_unstable();
+    ids.dedup();
+    let mut reliability: Vec<(u64, f64)> = ids.iter().map(|&id| (id, 0.5)).collect();
+
+    for _ in 0..iterations {
+        // M-step: reliability = agreement with consensus (Laplace
+        // smoothed).
+        for (id, rel) in &mut reliability {
+            let mut agree = 1.0f64;
+            let mut total = 2.0f64;
+            for (task, votes) in all_votes.iter().enumerate() {
+                if let Some((_, v)) = votes.iter().find(|(w, _)| w == id) {
+                    total += 1.0;
+                    if *v == consensus[task] {
+                        agree += 1.0;
+                    }
+                }
+            }
+            *rel = (agree / total).clamp(0.01, 0.99);
+        }
+        // E-step: log-odds weighted vote.
+        for (task, votes) in all_votes.iter().enumerate() {
+            let mut score = 0.0;
+            for (id, v) in votes {
+                let rel = reliability
+                    .iter()
+                    .find(|(w, _)| w == id)
+                    .map(|(_, r)| *r)
+                    .unwrap_or(0.5);
+                let weight = (rel / (1.0 - rel)).ln();
+                score += if *v { weight } else { -weight };
+            }
+            consensus[task] = score > 0.0;
+        }
+    }
+    (consensus, reliability)
+}
+
+/// The escalation loop: a model output whose self-consistency agreement is
+/// below the threshold is routed to the crowd for a verdict; confident
+/// outputs pass straight through. Implements the paper's "humans
+/// participate in intermediate reasoning steps".
+pub struct ReviewLoop {
+    model: Arc<SimLlm>,
+    crowd: CrowdPool,
+    /// Agreement threshold below which the crowd reviews.
+    pub escalation_threshold: f64,
+    /// Self-consistency samples per query.
+    pub samples: usize,
+}
+
+impl std::fmt::Debug for ReviewLoop {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReviewLoop")
+            .field("threshold", &self.escalation_threshold)
+            .finish()
+    }
+}
+
+/// Outcome of one reviewed query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReviewedAnswer {
+    /// The final answer text.
+    pub text: String,
+    /// Whether the crowd was consulted.
+    pub escalated: bool,
+    /// Whether the crowd (if consulted) endorsed the model's answer.
+    pub crowd_endorsed: Option<bool>,
+}
+
+impl ReviewLoop {
+    /// Create a loop.
+    pub fn new(model: Arc<SimLlm>, crowd: CrowdPool) -> Self {
+        ReviewLoop { model, crowd, escalation_threshold: 0.8, samples: 5 }
+    }
+
+    /// Answer a prompt; escalate to the crowd when the model's
+    /// self-consistency agreement is low. `truth_check` tells the
+    /// simulated workers whether the model's answer is actually correct
+    /// (the workers see the real artifact; the harness sees the gold).
+    pub fn answer(
+        &self,
+        prompt: &str,
+        truth_check: impl Fn(&str) -> bool,
+    ) -> Result<ReviewedAnswer, ModelError> {
+        let rep = crate::consistency::self_consistency(&self.model, prompt, self.samples)?;
+        if rep.agreement >= self.escalation_threshold {
+            return Ok(ReviewedAnswer { text: rep.answer, escalated: false, crowd_endorsed: None });
+        }
+        // Crowd reviews the model's majority answer.
+        let answer_correct = truth_check(&rep.answer);
+        let votes = self.crowd.collect(&rep.answer, answer_correct);
+        let endorsed = aggregate_majority(&votes);
+        if endorsed {
+            Ok(ReviewedAnswer {
+                text: rep.answer,
+                escalated: true,
+                crowd_endorsed: Some(true),
+            })
+        } else {
+            // Crowd rejected: fall back to the runner-up answer if any,
+            // else keep the original flagged.
+            let fallback = rep
+                .votes
+                .get(1)
+                .map(|(a, _)| a.clone())
+                .unwrap_or_else(|| rep.answer.clone());
+            Ok(ReviewedAnswer { text: fallback, escalated: true, crowd_endorsed: Some(false) })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llmdm_model::{CompletionRequest, LanguageModel, ModelZoo, PromptEnvelope};
+
+    #[test]
+    fn reliable_worker_mostly_right() {
+        let w = Worker { id: 1, reliability: 0.9 };
+        let right = (0..500)
+            .filter(|i| w.vote(&format!("task {i}"), true))
+            .count();
+        assert!((420..=480).contains(&right), "right={right}");
+    }
+
+    #[test]
+    fn majority_of_good_workers_is_reliable() {
+        let pool = CrowdPool::heterogeneous(9, 0.7, 0.9, 1);
+        let mut ok = 0;
+        for i in 0..200 {
+            let votes = pool.collect(&format!("t{i}"), i % 2 == 0);
+            if aggregate_majority(&votes) == (i % 2 == 0) {
+                ok += 1;
+            }
+        }
+        assert!(ok > 190, "ok={ok}");
+    }
+
+    #[test]
+    fn em_beats_majority_with_heterogeneous_workers() {
+        // 3 good workers + 6 near-random ones: majority is diluted, EM
+        // learns to trust the good ones.
+        let mut workers = Vec::new();
+        for i in 0..3 {
+            workers.push(Worker { id: i, reliability: 0.95 });
+        }
+        for i in 3..9 {
+            workers.push(Worker { id: i, reliability: 0.52 });
+        }
+        let pool = CrowdPool { workers };
+        let n_tasks = 300;
+        let truths: Vec<bool> = (0..n_tasks).map(|i| i % 3 != 0).collect();
+        let all_votes: Vec<Vec<(u64, bool)>> = truths
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| pool.collect(&format!("task {i}"), t))
+            .collect();
+        let majority_ok = all_votes
+            .iter()
+            .zip(&truths)
+            .filter(|(v, &t)| aggregate_majority(v) == t)
+            .count();
+        let (em, learned) = aggregate_em(&all_votes, 5);
+        let em_ok = em.iter().zip(&truths).filter(|(e, t)| e == t).count();
+        assert!(em_ok > majority_ok, "em {em_ok} vs majority {majority_ok}");
+        // EM discovers who the good workers are.
+        let good_rel = learned.iter().filter(|(id, _)| *id < 3).map(|(_, r)| r).sum::<f64>() / 3.0;
+        let bad_rel = learned.iter().filter(|(id, _)| *id >= 3).map(|(_, r)| r).sum::<f64>() / 6.0;
+        assert!(good_rel > bad_rel + 0.2, "good {good_rel} vs bad {bad_rel}");
+    }
+
+    fn oracle_prompt(gold: &str, difficulty: f64, tag: u64) -> String {
+        PromptEnvelope::builder("oracle")
+            .header("gold", gold)
+            .header("difficulty", difficulty)
+            .header("tag", tag)
+            .header("alt", format!("wrong-{tag}"))
+            .body("question")
+            .build()
+    }
+
+    #[test]
+    fn review_loop_improves_accuracy_on_hard_queries() {
+        let zoo = ModelZoo::standard(13);
+        let model = zoo.medium();
+        let crowd = CrowdPool::heterogeneous(7, 0.8, 0.95, 3);
+        let mut raw_ok = 0;
+        let mut reviewed_ok = 0;
+        let mut escalations = 0;
+        let n = 120;
+        for tag in 0..n {
+            let prompt = oracle_prompt("gold", 0.8, tag);
+            let raw = model.complete(&CompletionRequest::new(prompt.clone())).unwrap().text;
+            if raw == "gold" {
+                raw_ok += 1;
+            }
+            let review_loop = ReviewLoop::new(model.clone(), crowd.clone());
+            let reviewed = review_loop.answer(&prompt, |a| a == "gold").unwrap();
+            if reviewed.escalated {
+                escalations += 1;
+            }
+            if reviewed.text == "gold" {
+                reviewed_ok += 1;
+            }
+        }
+        assert!(escalations > 5, "expected escalations, got {escalations}");
+        assert!(
+            reviewed_ok >= raw_ok,
+            "reviewed {reviewed_ok} vs raw {raw_ok} out of {n}"
+        );
+    }
+
+    #[test]
+    fn confident_answers_skip_the_crowd() {
+        let zoo = ModelZoo::standard(5);
+        let model = zoo.large();
+        let crowd = CrowdPool::heterogeneous(5, 0.8, 0.9, 1);
+        let review_loop = ReviewLoop::new(model, crowd);
+        let reviewed =
+            review_loop.answer(&oracle_prompt("easy", 0.02, 0), |a| a == "easy").unwrap();
+        assert!(!reviewed.escalated);
+        assert_eq!(reviewed.text, "easy");
+    }
+}

@@ -1,0 +1,41 @@
+//! # llmdm-validate — LLM output validation (§III-E)
+//!
+//! "Data management tasks typically have a high demand for the reliability
+//! of the data … the LLM outputs for data management applications must be
+//! of high quality and should be verified and validated before being
+//! used." The paper envisions two directions; this crate implements both,
+//! plus the mechanical validators any deployment needs first:
+//!
+//! * [`validators`] — deterministic output gates: SQL syntax, SQL
+//!   execution, result-schema conformance, numeric range constraints, and
+//!   composition;
+//! * [`consistency`] — **self-consistency** uncertainty estimation:
+//!   resample the model (nonce-varied prompts), majority-vote the answer,
+//!   and use the agreement ratio as a calibrated confidence signal;
+//! * [`attribution`] — **interpretable LLMs** via leave-one-out example
+//!   attribution: which few-shot examples actually drive the answer;
+//! * [`calibration`] — the section's "Bayesian modeling": per-bucket Beta
+//!   posteriors turning raw confidence/agreement signals into calibrated
+//!   correctness probabilities with honest uncertainty;
+//! * [`crowd`] — **human-in-the-loop exploitation**: simulated
+//!   crowdworkers with heterogeneous reliabilities, majority vs
+//!   EM-weighted aggregation (the paper's "define a score function, and
+//!   then utilize crowdsourcing for scoring the LLM outputs"), and an
+//!   escalation loop that routes low-agreement model outputs to the crowd.
+
+#![warn(missing_docs)]
+
+pub mod attribution;
+pub mod calibration;
+pub mod consistency;
+pub mod crowd;
+pub mod validators;
+
+pub use attribution::{attribute_examples, ExampleInfluence};
+pub use calibration::{BayesianCalibrator, BetaPosterior};
+pub use consistency::{self_consistency, ConsistencyReport};
+pub use crowd::{aggregate_em, aggregate_majority, CrowdPool, ReviewLoop, Worker};
+pub use validators::{
+    CompositeValidator, OutputValidator, RangeValidator, SchemaValidator, SqlExecValidator,
+    SqlSyntaxValidator, Verdict,
+};

@@ -1,0 +1,247 @@
+//! Deterministic output validators.
+
+use llmdm_sqlengine::{Database, Statement};
+
+/// A validation verdict.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// The output passed.
+    Pass,
+    /// The output failed, with a reason.
+    Fail(String),
+}
+
+impl Verdict {
+    /// Whether the verdict is a pass.
+    pub fn is_pass(&self) -> bool {
+        matches!(self, Verdict::Pass)
+    }
+}
+
+/// A validator over model output text.
+pub trait OutputValidator {
+    /// Validator name (for reports).
+    fn name(&self) -> &str;
+    /// Validate the output.
+    fn validate(&self, output: &str) -> Verdict;
+}
+
+/// Output must parse as a SQL statement.
+#[derive(Debug, Default)]
+pub struct SqlSyntaxValidator;
+
+impl OutputValidator for SqlSyntaxValidator {
+    fn name(&self) -> &str {
+        "sql-syntax"
+    }
+    fn validate(&self, output: &str) -> Verdict {
+        match llmdm_sqlengine::parse_statement(output.trim()) {
+            Ok(_) => Verdict::Pass,
+            Err(e) => Verdict::Fail(format!("does not parse: {e}")),
+        }
+    }
+}
+
+/// Output must parse *and* execute against a database snapshot.
+#[derive(Debug)]
+pub struct SqlExecValidator {
+    db: Database,
+}
+
+impl SqlExecValidator {
+    /// Validator executing against a clone of `db`.
+    pub fn new(db: Database) -> Self {
+        SqlExecValidator { db }
+    }
+}
+
+impl OutputValidator for SqlExecValidator {
+    fn name(&self) -> &str {
+        "sql-exec"
+    }
+    fn validate(&self, output: &str) -> Verdict {
+        let mut scratch = self.db.clone();
+        match scratch.execute(output.trim()) {
+            Ok(_) => Verdict::Pass,
+            Err(e) => Verdict::Fail(format!("does not execute: {e}")),
+        }
+    }
+}
+
+/// A SELECT output must project the expected number of columns.
+#[derive(Debug)]
+pub struct SchemaValidator {
+    /// Expected projection arity.
+    pub expected_columns: usize,
+    db: Database,
+}
+
+impl SchemaValidator {
+    /// Build a validator for `expected_columns` against `db`.
+    pub fn new(db: Database, expected_columns: usize) -> Self {
+        SchemaValidator { expected_columns, db }
+    }
+}
+
+impl OutputValidator for SchemaValidator {
+    fn name(&self) -> &str {
+        "schema-conformance"
+    }
+    fn validate(&self, output: &str) -> Verdict {
+        let stmt = match llmdm_sqlengine::parse_statement(output.trim()) {
+            Ok(s) => s,
+            Err(e) => return Verdict::Fail(format!("does not parse: {e}")),
+        };
+        let Statement::Select(select) = stmt else {
+            return Verdict::Fail("expected a SELECT".into());
+        };
+        match llmdm_sqlengine::exec::execute_select(&self.db, &select) {
+            Ok(rs) if rs.columns.len() == self.expected_columns => Verdict::Pass,
+            Ok(rs) => Verdict::Fail(format!(
+                "projects {} columns, expected {}",
+                rs.columns.len(),
+                self.expected_columns
+            )),
+            Err(e) => Verdict::Fail(format!("does not execute: {e}")),
+        }
+    }
+}
+
+/// Output must be a number within `[min, max]` (label imputation, cost
+/// estimates, scores).
+#[derive(Debug)]
+pub struct RangeValidator {
+    /// Inclusive minimum.
+    pub min: f64,
+    /// Inclusive maximum.
+    pub max: f64,
+}
+
+impl OutputValidator for RangeValidator {
+    fn name(&self) -> &str {
+        "numeric-range"
+    }
+    fn validate(&self, output: &str) -> Verdict {
+        match output.trim().parse::<f64>() {
+            Ok(v) if (self.min..=self.max).contains(&v) => Verdict::Pass,
+            Ok(v) => Verdict::Fail(format!("{v} outside [{}, {}]", self.min, self.max)),
+            Err(_) => Verdict::Fail(format!("not a number: {output:?}")),
+        }
+    }
+}
+
+/// All inner validators must pass; reports the first failure.
+pub struct CompositeValidator {
+    validators: Vec<Box<dyn OutputValidator + Send + Sync>>,
+}
+
+impl std::fmt::Debug for CompositeValidator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CompositeValidator")
+            .field("validators", &self.validators.iter().map(|v| v.name()).collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+impl CompositeValidator {
+    /// An empty composite (passes everything).
+    pub fn new() -> Self {
+        CompositeValidator { validators: Vec::new() }
+    }
+
+    /// Add a validator.
+    pub fn with(mut self, v: impl OutputValidator + Send + Sync + 'static) -> Self {
+        self.validators.push(Box::new(v));
+        self
+    }
+}
+
+impl Default for CompositeValidator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl OutputValidator for CompositeValidator {
+    fn name(&self) -> &str {
+        "composite"
+    }
+    fn validate(&self, output: &str) -> Verdict {
+        for v in &self.validators {
+            if let Verdict::Fail(reason) = v.validate(output) {
+                return Verdict::Fail(format!("{}: {reason}", v.name()));
+            }
+        }
+        Verdict::Pass
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.execute("CREATE TABLE t (id INT, name TEXT)").unwrap();
+        db.execute("INSERT INTO t VALUES (1, 'a')").unwrap();
+        db
+    }
+
+    #[test]
+    fn syntax_validator() {
+        let v = SqlSyntaxValidator;
+        assert!(v.validate("SELECT id FROM t").is_pass());
+        assert!(!v.validate("SELEC id FRM t").is_pass());
+    }
+
+    #[test]
+    fn exec_validator_catches_unknown_tables() {
+        let v = SqlExecValidator::new(db());
+        assert!(v.validate("SELECT id FROM t WHERE id = 1").is_pass());
+        assert!(!v.validate("SELECT id FROM missing").is_pass());
+        assert!(!v.validate("SELECT wrong FROM t").is_pass());
+    }
+
+    #[test]
+    fn exec_validator_does_not_mutate_source() {
+        let source = db();
+        let v = SqlExecValidator::new(source.clone());
+        assert!(v.validate("DELETE FROM t").is_pass());
+        // Validating a DELETE must not delete from the validator's copy
+        // for subsequent validations.
+        assert!(v.validate("SELECT id FROM t WHERE id = 1").is_pass());
+    }
+
+    #[test]
+    fn schema_validator_checks_arity() {
+        let v = SchemaValidator::new(db(), 2);
+        assert!(v.validate("SELECT id, name FROM t").is_pass());
+        assert!(!v.validate("SELECT id FROM t").is_pass());
+        assert!(!v.validate("DELETE FROM t").is_pass());
+    }
+
+    #[test]
+    fn range_validator() {
+        let v = RangeValidator { min: 0.0, max: 100.0 };
+        assert!(v.validate("42.5").is_pass());
+        assert!(!v.validate("-3").is_pass());
+        assert!(!v.validate("not a number").is_pass());
+    }
+
+    #[test]
+    fn composite_reports_first_failure() {
+        let v = CompositeValidator::new()
+            .with(SqlSyntaxValidator)
+            .with(SqlExecValidator::new(db()));
+        assert!(v.validate("SELECT id FROM t").is_pass());
+        match v.validate("SELECT id FROM missing") {
+            Verdict::Fail(reason) => assert!(reason.contains("sql-exec")),
+            Verdict::Pass => panic!("should fail"),
+        }
+    }
+
+    #[test]
+    fn empty_composite_passes() {
+        assert!(CompositeValidator::new().validate("anything").is_pass());
+    }
+}

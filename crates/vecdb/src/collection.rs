@@ -1,0 +1,454 @@
+//! The collection API: vectors + attribute metadata + hybrid search.
+//!
+//! A [`Collection`] keeps every vector twice, as production vector stores
+//! do: raw rows in a [`FlatIndex`] (ground truth, pre-filtered scans) and a
+//! [`HnswIndex`] accelerator (unfiltered and post-filtered ANN search).
+
+use std::collections::HashMap;
+
+use crate::error::VecDbError;
+use crate::filter::{Filter, HybridStrategy, KPredictor, Metadata};
+use crate::flat::FlatIndex;
+use crate::hnsw::{HnswConfig, HnswIndex};
+use crate::index::VectorIndex;
+use crate::metric::Metric;
+
+/// A stored document: id, vector, and attributes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Document {
+    /// Caller-assigned id.
+    pub id: u64,
+    /// The embedding vector.
+    pub vector: Vec<f32>,
+    /// Attribute metadata.
+    pub metadata: Metadata,
+}
+
+/// A search result with its attributes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchHit {
+    /// The matching document's id.
+    pub id: u64,
+    /// Similarity score (higher is better).
+    pub score: f32,
+    /// The document's attributes (cloned for convenience).
+    pub metadata: Metadata,
+}
+
+/// Statistics from one hybrid search, for strategy evaluation.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct HybridStats {
+    /// Vectors scored during the search.
+    pub vectors_scored: usize,
+    /// Metadata entries inspected.
+    pub metadata_checked: usize,
+    /// ANN over-fetch rounds (post-filter only).
+    pub rounds: usize,
+    /// Whether pre-filtering was chosen.
+    pub used_prefilter: bool,
+}
+
+/// An in-memory vector collection with metadata and hybrid search.
+#[derive(Debug)]
+pub struct Collection {
+    flat: FlatIndex,
+    ann: HnswIndex,
+    meta: HashMap<u64, Metadata>,
+    predictor: KPredictor,
+}
+
+impl Collection {
+    /// Create a collection for `dim`-dimensional vectors.
+    pub fn new(dim: usize, metric: Metric) -> Self {
+        Collection {
+            flat: FlatIndex::new(dim, metric),
+            ann: HnswIndex::new(dim, metric, HnswConfig::default())
+                .expect("default HNSW config is valid"),
+            meta: HashMap::new(),
+            predictor: KPredictor::new(),
+        }
+    }
+
+    /// Vector dimensionality.
+    pub fn dim(&self) -> usize {
+        self.flat.dim()
+    }
+
+    /// Number of stored documents.
+    pub fn len(&self) -> usize {
+        self.flat.len()
+    }
+
+    /// Whether the collection is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Insert a document.
+    pub fn insert<K, I>(&mut self, id: u64, vector: Vec<f32>, metadata: I) -> Result<(), VecDbError>
+    where
+        K: Into<String>,
+        I: IntoIterator<Item = (K, crate::filter::AttrValue)>,
+    {
+        self.flat.insert(id, vector.clone())?;
+        if let Err(e) = self.ann.insert(id, vector) {
+            // Keep flat and ANN in sync on failure.
+            let _ = self.flat.remove(id);
+            return Err(e);
+        }
+        self.meta.insert(id, metadata.into_iter().map(|(k, v)| (k.into(), v)).collect());
+        Ok(())
+    }
+
+    /// Remove a document.
+    pub fn remove(&mut self, id: u64) -> Result<(), VecDbError> {
+        self.flat.remove(id)?;
+        self.ann.remove(id)?;
+        self.meta.remove(&id);
+        // Rebuild the graph when tombstones dominate.
+        if self.ann.tombstone_ratio() > 0.5 {
+            self.ann.compact();
+        }
+        Ok(())
+    }
+
+    /// Fetch a document.
+    pub fn get(&self, id: u64) -> Option<Document> {
+        let vector = self.flat.get(id)?.to_vec();
+        let metadata = self.meta.get(&id).cloned().unwrap_or_default();
+        Some(Document { id, vector, metadata })
+    }
+
+    /// Unfiltered ANN search.
+    pub fn search(&self, query: &[f32], k: usize) -> Result<Vec<SearchHit>, VecDbError> {
+        let hits = self.ann.search(query, k)?;
+        Ok(hits.into_iter().map(|n| self.hit(n.id, n.score)).collect())
+    }
+
+    /// Unfiltered exact search (flat scan).
+    pub fn search_exact(&self, query: &[f32], k: usize) -> Result<Vec<SearchHit>, VecDbError> {
+        let hits = self.flat.search(query, k)?;
+        Ok(hits.into_iter().map(|n| self.hit(n.id, n.score)).collect())
+    }
+
+    /// Hybrid search with the default adaptive strategy.
+    pub fn search_filtered(
+        &self,
+        query: &[f32],
+        k: usize,
+        filter: &Filter,
+    ) -> Result<Vec<SearchHit>, VecDbError> {
+        self.search_filtered_with(query, k, filter, HybridStrategy::default()).map(|(h, _)| h)
+    }
+
+    /// Hybrid search with an explicit strategy; returns execution stats.
+    pub fn search_filtered_with(
+        &self,
+        query: &[f32],
+        k: usize,
+        filter: &Filter,
+        strategy: HybridStrategy,
+    ) -> Result<(Vec<SearchHit>, HybridStats), VecDbError> {
+        if filter.is_trivial() {
+            let hits = self.search(query, k)?;
+            return Ok((hits, HybridStats::default()));
+        }
+        match strategy {
+            HybridStrategy::PreFilter => self.prefilter_search(query, k, filter),
+            HybridStrategy::PostFilter { expansion } => {
+                self.postfilter_search(query, k, filter, expansion)
+            }
+            HybridStrategy::Adaptive { selectivity_threshold, sample } => {
+                let (sel, checked) = self.estimate_selectivity(filter, sample);
+                if sel < selectivity_threshold {
+                    let (hits, mut stats) = self.prefilter_search(query, k, filter)?;
+                    stats.metadata_checked += checked;
+                    Ok((hits, stats))
+                } else {
+                    let expansion = self.predictor.predict(sel);
+                    let (hits, mut stats) = self.postfilter_search(query, k, filter, expansion)?;
+                    stats.metadata_checked += checked;
+                    Ok((hits, stats))
+                }
+            }
+        }
+    }
+
+    /// Hybrid search that also *trains* the k-predictor from what this
+    /// query actually needed.
+    pub fn search_filtered_learning(
+        &mut self,
+        query: &[f32],
+        k: usize,
+        filter: &Filter,
+    ) -> Result<Vec<SearchHit>, VecDbError> {
+        let (sel, _) = self.estimate_selectivity(filter, 256);
+        let expansion = self.predictor.predict(sel);
+        let (hits, stats) = self.postfilter_search(query, k, filter, expansion)?;
+        // The expansion that would have sufficed: the final round's factor.
+        let needed = expansion as f64 * 2f64.powi(stats.rounds.saturating_sub(1) as i32);
+        self.predictor.observe(sel, needed);
+        Ok(hits)
+    }
+
+    /// Exact fraction of documents matching `filter` (full metadata scan).
+    pub fn selectivity(&self, filter: &Filter) -> f64 {
+        if self.meta.is_empty() {
+            return 0.0;
+        }
+        let n = self.meta.values().filter(|m| filter.matches(m)).count();
+        n as f64 / self.meta.len() as f64
+    }
+
+    /// The learned k-predictor.
+    pub fn predictor(&self) -> &KPredictor {
+        &self.predictor
+    }
+
+    fn hit(&self, id: u64, score: f32) -> SearchHit {
+        SearchHit { id, score, metadata: self.meta.get(&id).cloned().unwrap_or_default() }
+    }
+
+    /// Estimate selectivity on a deterministic metadata sample.
+    ///
+    /// Sampling iterates ids in sorted order — HashMap iteration order is
+    /// process-random and would break the workspace's bit-for-bit
+    /// determinism guarantee for collections larger than the sample.
+    fn estimate_selectivity(&self, filter: &Filter, sample: usize) -> (f64, usize) {
+        if self.meta.is_empty() {
+            return (0.0, 0);
+        }
+        let mut ids: Vec<u64> = self.meta.keys().copied().collect();
+        ids.sort_unstable();
+        let step = (ids.len() / sample.max(1)).max(1);
+        let mut checked = 0usize;
+        let mut matched = 0usize;
+        for &id in ids.iter().step_by(step) {
+            let m = &self.meta[&id];
+            checked += 1;
+            if filter.matches(m) {
+                matched += 1;
+            }
+        }
+        if checked == 0 {
+            (0.0, 0)
+        } else {
+            (matched as f64 / checked as f64, checked)
+        }
+    }
+
+    fn prefilter_search(
+        &self,
+        query: &[f32],
+        k: usize,
+        filter: &Filter,
+    ) -> Result<(Vec<SearchHit>, HybridStats), VecDbError> {
+        let candidates: Vec<u64> = self
+            .meta
+            .iter()
+            .filter(|(_, m)| filter.matches(m))
+            .map(|(&id, _)| id)
+            .collect();
+        let stats = HybridStats {
+            vectors_scored: candidates.len(),
+            metadata_checked: self.meta.len(),
+            rounds: 0,
+            used_prefilter: true,
+        };
+        let hits = self.flat.search_among(query, k, &candidates)?;
+        Ok((hits.into_iter().map(|n| self.hit(n.id, n.score)).collect(), stats))
+    }
+
+    fn postfilter_search(
+        &self,
+        query: &[f32],
+        k: usize,
+        filter: &Filter,
+        expansion: usize,
+    ) -> Result<(Vec<SearchHit>, HybridStats), VecDbError> {
+        let mut stats = HybridStats::default();
+        let mut fetch = (k * expansion.max(1)).max(k);
+        loop {
+            stats.rounds += 1;
+            let raw = self.ann.search(query, fetch)?;
+            stats.vectors_scored += raw.len();
+            let filtered: Vec<SearchHit> = raw
+                .iter()
+                .filter(|n| {
+                    self.meta.get(&n.id).is_some_and(|m| filter.matches(m))
+                })
+                .take(k)
+                .map(|n| self.hit(n.id, n.score))
+                .collect();
+            stats.metadata_checked += raw.len();
+            // Done when we have k results, or we already fetched everything.
+            if filtered.len() >= k || fetch >= self.len() {
+                return Ok((filtered, stats));
+            }
+            fetch = (fetch * 2).min(self.len().max(1));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::filter::{AttrValue, Predicate};
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    /// 200 random unit-ish vectors; even ids are "doc", odd are "table";
+    /// ids < 20 additionally get rare=true.
+    fn sample_collection() -> Collection {
+        let mut rng = SmallRng::seed_from_u64(42);
+        let mut coll = Collection::new(8, Metric::Cosine);
+        for id in 0..200u64 {
+            let v: Vec<f32> = (0..8).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let kind = if id % 2 == 0 { "doc" } else { "table" };
+            let mut md: Vec<(String, AttrValue)> =
+                vec![("kind".to_string(), kind.into()), ("id".to_string(), AttrValue::Int(id as i64))];
+            if id < 20 {
+                md.push(("rare".to_string(), AttrValue::Bool(true)));
+            }
+            coll.insert(id, v, md).unwrap();
+        }
+        coll
+    }
+
+    #[test]
+    fn insert_get_remove() {
+        let mut coll = sample_collection();
+        let doc = coll.get(5).unwrap();
+        assert_eq!(doc.metadata.get("kind"), Some(&AttrValue::Str("table".into())));
+        coll.remove(5).unwrap();
+        assert!(coll.get(5).is_none());
+        assert_eq!(coll.len(), 199);
+    }
+
+    #[test]
+    fn unfiltered_search_finds_self() {
+        let coll = sample_collection();
+        let doc = coll.get(7).unwrap();
+        let hits = coll.search(&doc.vector, 1).unwrap();
+        assert_eq!(hits[0].id, 7);
+    }
+
+    #[test]
+    fn filtered_results_all_satisfy_filter() {
+        let coll = sample_collection();
+        let q = coll.get(0).unwrap().vector;
+        let f = Filter::eq("kind", "table");
+        for strategy in [
+            HybridStrategy::PreFilter,
+            HybridStrategy::PostFilter { expansion: 2 },
+            HybridStrategy::default(),
+        ] {
+            let (hits, _) = coll.search_filtered_with(&q, 10, &f, strategy).unwrap();
+            assert_eq!(hits.len(), 10);
+            assert!(hits.iter().all(|h| h.metadata.get("kind")
+                == Some(&AttrValue::Str("table".into()))));
+        }
+    }
+
+    #[test]
+    fn pre_and_post_agree_on_top_result() {
+        let coll = sample_collection();
+        let q = coll.get(33).unwrap().vector; // id 33 is a "table"
+        let f = Filter::eq("kind", "table");
+        let (pre, _) = coll.search_filtered_with(&q, 1, &f, HybridStrategy::PreFilter).unwrap();
+        let (post, _) = coll
+            .search_filtered_with(&q, 1, &f, HybridStrategy::PostFilter { expansion: 4 })
+            .unwrap();
+        assert_eq!(pre[0].id, 33);
+        assert_eq!(post[0].id, 33);
+    }
+
+    #[test]
+    fn adaptive_uses_prefilter_for_selective_filters() {
+        let coll = sample_collection();
+        let q = coll.get(0).unwrap().vector;
+        let rare = Filter::all().and(Predicate::Exists("rare".into()));
+        let (_, stats) = coll
+            .search_filtered_with(&q, 5, &rare, HybridStrategy::default())
+            .unwrap();
+        assert!(stats.used_prefilter, "rare filter (10% sel) should prefilter");
+        let common = Filter::eq("kind", "doc");
+        let (_, stats) = coll
+            .search_filtered_with(&q, 5, &common, HybridStrategy::default())
+            .unwrap();
+        assert!(!stats.used_prefilter, "50% selectivity should postfilter");
+    }
+
+    #[test]
+    fn postfilter_pathology_recovers_by_expansion() {
+        // All k nearest fail the filter at expansion 1 → rounds > 1 but the
+        // search still delivers (the paper's "null value returned" problem).
+        let coll = sample_collection();
+        let q = coll.get(1).unwrap().vector;
+        let rare = Filter::all().and(Predicate::Exists("rare".into()));
+        let (hits, stats) = coll
+            .search_filtered_with(&q, 8, &rare, HybridStrategy::PostFilter { expansion: 1 })
+            .unwrap();
+        assert_eq!(hits.len(), 8);
+        assert!(stats.rounds >= 2, "expected multiple over-fetch rounds, got {}", stats.rounds);
+    }
+
+    #[test]
+    fn learning_predictor_observes() {
+        let mut coll = sample_collection();
+        let q = coll.get(1).unwrap().vector.clone();
+        let f = Filter::eq("kind", "doc");
+        assert_eq!(coll.predictor().observations(), 0);
+        coll.search_filtered_learning(&q, 5, &f).unwrap();
+        assert_eq!(coll.predictor().observations(), 1);
+    }
+
+    #[test]
+    fn selectivity_exact() {
+        let coll = sample_collection();
+        assert!((coll.selectivity(&Filter::eq("kind", "doc")) - 0.5).abs() < 1e-9);
+        let rare = Filter::all().and(Predicate::Exists("rare".into()));
+        assert!((coll.selectivity(&rare) - 0.1).abs() < 1e-9);
+        assert_eq!(coll.selectivity(&Filter::eq("kind", "nothing")), 0.0);
+    }
+
+    #[test]
+    fn trivial_filter_falls_back_to_ann() {
+        let coll = sample_collection();
+        let q = coll.get(9).unwrap().vector;
+        let hits = coll.search_filtered(&q, 3, &Filter::all()).unwrap();
+        assert_eq!(hits.len(), 3);
+        assert_eq!(hits[0].id, 9);
+    }
+
+    #[test]
+    fn impossible_filter_returns_empty() {
+        let coll = sample_collection();
+        let q = coll.get(0).unwrap().vector;
+        let f = Filter::eq("kind", "nonexistent");
+        for strategy in [HybridStrategy::PreFilter, HybridStrategy::PostFilter { expansion: 2 }] {
+            let (hits, _) = coll.search_filtered_with(&q, 5, &f, strategy).unwrap();
+            assert!(hits.is_empty());
+        }
+    }
+
+    #[test]
+    fn duplicate_insert_keeps_consistency() {
+        let mut coll = sample_collection();
+        let err = coll.insert(0, vec![0.0; 8], Vec::<(String, AttrValue)>::new());
+        assert!(err.is_err());
+        assert_eq!(coll.len(), 200);
+    }
+
+    #[test]
+    fn heavy_removal_triggers_compaction() {
+        let mut coll = sample_collection();
+        for id in 0..150u64 {
+            coll.remove(id).unwrap();
+        }
+        assert_eq!(coll.len(), 50);
+        let doc = coll.get(180).unwrap();
+        let hits = coll.search(&doc.vector, 1).unwrap();
+        assert_eq!(hits[0].id, 180);
+    }
+}

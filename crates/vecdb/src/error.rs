@@ -1,0 +1,52 @@
+//! Error type for the vector database.
+
+use std::fmt;
+
+/// Errors produced by vector-database operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VecDbError {
+    /// A vector's dimensionality did not match the index's.
+    DimensionMismatch {
+        /// Expected dimensionality.
+        expected: usize,
+        /// Dimensionality of the offending vector.
+        got: usize,
+    },
+    /// An id was inserted twice.
+    DuplicateId(u64),
+    /// An id was not found.
+    NotFound(u64),
+    /// The requested operation needs a non-empty index or training set.
+    Empty(&'static str),
+    /// Invalid configuration parameter.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for VecDbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VecDbError::DimensionMismatch { expected, got } => {
+                write!(f, "dimension mismatch: expected {expected}, got {got}")
+            }
+            VecDbError::DuplicateId(id) => write!(f, "duplicate id {id}"),
+            VecDbError::NotFound(id) => write!(f, "id {id} not found"),
+            VecDbError::Empty(what) => write!(f, "{what} is empty"),
+            VecDbError::InvalidConfig(msg) => write!(f, "invalid config: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for VecDbError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(VecDbError::DimensionMismatch { expected: 4, got: 3 }.to_string().contains('4'));
+        assert!(VecDbError::DuplicateId(9).to_string().contains('9'));
+        assert!(VecDbError::NotFound(2).to_string().contains('2'));
+        assert!(VecDbError::Empty("index").to_string().contains("index"));
+    }
+}

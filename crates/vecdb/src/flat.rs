@@ -1,0 +1,189 @@
+//! Exhaustive (brute-force) index: exact results, O(n·d) per query.
+//!
+//! The recall baseline for the ANN indexes and the execution engine behind
+//! pre-filtered hybrid search (scanning only the filter's survivors).
+
+use std::collections::HashMap;
+
+use crate::error::VecDbError;
+use crate::index::{check_dim, push_topk, Neighbor, VectorIndex};
+use crate::metric::Metric;
+
+/// Exact nearest-neighbor index over a dense array.
+#[derive(Debug, Clone)]
+pub struct FlatIndex {
+    dim: usize,
+    metric: Metric,
+    ids: Vec<u64>,
+    data: Vec<f32>, // row-major, len = ids.len() * dim
+    pos: HashMap<u64, usize>,
+}
+
+impl FlatIndex {
+    /// Create an empty flat index.
+    pub fn new(dim: usize, metric: Metric) -> Self {
+        FlatIndex { dim, metric, ids: Vec::new(), data: Vec::new(), pos: HashMap::new() }
+    }
+
+    /// The stored vector for `id`, if present.
+    pub fn get(&self, id: u64) -> Option<&[f32]> {
+        let pos = *self.pos.get(&id)?;
+        Some(&self.data[pos * self.dim..(pos + 1) * self.dim])
+    }
+
+    /// Iterate `(id, vector)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &[f32])> {
+        self.ids.iter().enumerate().map(move |(pos, &id)| {
+            (id, &self.data[pos * self.dim..(pos + 1) * self.dim])
+        })
+    }
+
+    /// Exact k-NN among an explicit candidate id set (pre-filtered search).
+    pub fn search_among(
+        &self,
+        query: &[f32],
+        k: usize,
+        candidates: &[u64],
+    ) -> Result<Vec<Neighbor>, VecDbError> {
+        check_dim(self.dim, query)?;
+        let mut best = Vec::with_capacity(k.min(candidates.len()));
+        for &id in candidates {
+            if let Some(v) = self.get(id) {
+                push_topk(&mut best, k, Neighbor { id, score: self.metric.score(query, v) });
+            }
+        }
+        Ok(best)
+    }
+}
+
+impl VectorIndex for FlatIndex {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn metric(&self) -> Metric {
+        self.metric
+    }
+
+    fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    fn insert(&mut self, id: u64, vector: Vec<f32>) -> Result<(), VecDbError> {
+        check_dim(self.dim, &vector)?;
+        if self.pos.contains_key(&id) {
+            return Err(VecDbError::DuplicateId(id));
+        }
+        self.pos.insert(id, self.ids.len());
+        self.ids.push(id);
+        self.data.extend_from_slice(&vector);
+        Ok(())
+    }
+
+    fn remove(&mut self, id: u64) -> Result<(), VecDbError> {
+        let pos = self.pos.remove(&id).ok_or(VecDbError::NotFound(id))?;
+        // Swap-remove the row to keep the array dense.
+        let last = self.ids.len() - 1;
+        self.ids.swap_remove(pos);
+        if pos != last {
+            let (head, tail) = self.data.split_at_mut(last * self.dim);
+            head[pos * self.dim..(pos + 1) * self.dim].copy_from_slice(&tail[..self.dim]);
+            self.pos.insert(self.ids[pos], pos);
+        }
+        self.data.truncate(last * self.dim);
+        Ok(())
+    }
+
+    fn search(&self, query: &[f32], k: usize) -> Result<Vec<Neighbor>, VecDbError> {
+        check_dim(self.dim, query)?;
+        let mut best = Vec::with_capacity(k.min(self.ids.len()));
+        for (pos, &id) in self.ids.iter().enumerate() {
+            let v = &self.data[pos * self.dim..(pos + 1) * self.dim];
+            push_topk(&mut best, k, Neighbor { id, score: self.metric.score(query, v) });
+        }
+        Ok(best)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn basis(i: usize) -> Vec<f32> {
+        let mut v = vec![0.0; 4];
+        v[i] = 1.0;
+        v
+    }
+
+    #[test]
+    fn insert_search_exact() {
+        let mut idx = FlatIndex::new(4, Metric::Cosine);
+        for i in 0..4 {
+            idx.insert(i as u64, basis(i)).unwrap();
+        }
+        let hits = idx.search(&basis(2), 2).unwrap();
+        assert_eq!(hits[0].id, 2);
+        assert!((hits[0].score - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn duplicate_id_rejected() {
+        let mut idx = FlatIndex::new(4, Metric::Cosine);
+        idx.insert(1, basis(0)).unwrap();
+        assert_eq!(idx.insert(1, basis(1)), Err(VecDbError::DuplicateId(1)));
+    }
+
+    #[test]
+    fn remove_swaps_correctly() {
+        let mut idx = FlatIndex::new(4, Metric::Cosine);
+        for i in 0..4 {
+            idx.insert(i as u64, basis(i)).unwrap();
+        }
+        idx.remove(1).unwrap();
+        assert_eq!(idx.len(), 3);
+        assert!(idx.get(1).is_none());
+        // Remaining vectors still retrievable and correct.
+        assert_eq!(idx.get(3).unwrap(), basis(3).as_slice());
+        let hits = idx.search(&basis(3), 1).unwrap();
+        assert_eq!(hits[0].id, 3);
+    }
+
+    #[test]
+    fn remove_missing_errors() {
+        let mut idx = FlatIndex::new(4, Metric::Cosine);
+        assert_eq!(idx.remove(9), Err(VecDbError::NotFound(9)));
+    }
+
+    #[test]
+    fn dimension_checked() {
+        let mut idx = FlatIndex::new(4, Metric::Cosine);
+        assert!(idx.insert(1, vec![1.0]).is_err());
+        assert!(idx.search(&[1.0], 1).is_err());
+    }
+
+    #[test]
+    fn search_among_restricts() {
+        let mut idx = FlatIndex::new(4, Metric::Cosine);
+        for i in 0..4 {
+            idx.insert(i as u64, basis(i)).unwrap();
+        }
+        let hits = idx.search_among(&basis(0), 2, &[2, 3]).unwrap();
+        assert!(hits.iter().all(|h| h.id == 2 || h.id == 3));
+    }
+
+    #[test]
+    fn k_larger_than_n() {
+        let mut idx = FlatIndex::new(4, Metric::Cosine);
+        idx.insert(1, basis(0)).unwrap();
+        assert_eq!(idx.search(&basis(0), 10).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn remove_last_element() {
+        let mut idx = FlatIndex::new(4, Metric::L2);
+        idx.insert(1, basis(0)).unwrap();
+        idx.remove(1).unwrap();
+        assert!(idx.is_empty());
+        assert!(idx.search(&basis(0), 1).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,187 @@
+//! Seeded Lloyd's k-means, used as the IVF coarse quantizer.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Result of a k-means run.
+#[derive(Debug, Clone)]
+pub struct KMeans {
+    /// Cluster centroids, row-major (`k * dim`).
+    pub centroids: Vec<f32>,
+    /// Dimensionality.
+    pub dim: usize,
+    /// Number of clusters.
+    pub k: usize,
+}
+
+impl KMeans {
+    /// Train `k` centroids on `data` (row-major `n * dim`) with `iters`
+    /// Lloyd iterations, k-means++-style seeding from `seed`.
+    ///
+    /// `k` is clamped to the number of points. Panics if `data` is empty or
+    /// not a multiple of `dim` (programmer error).
+    pub fn train(data: &[f32], dim: usize, k: usize, iters: usize, seed: u64) -> KMeans {
+        assert!(dim > 0 && !data.is_empty() && data.len().is_multiple_of(dim));
+        let n = data.len() / dim;
+        let k = k.max(1).min(n);
+        let mut rng = SmallRng::seed_from_u64(seed);
+
+        // k-means++ seeding: first centroid uniform, rest ∝ squared distance.
+        let mut centroids = Vec::with_capacity(k * dim);
+        let first = rng.gen_range(0..n);
+        centroids.extend_from_slice(&data[first * dim..(first + 1) * dim]);
+        let mut d2: Vec<f32> = (0..n).map(|i| sqdist(&data[i * dim..(i + 1) * dim], &centroids[..dim])).collect();
+        while centroids.len() < k * dim {
+            let total: f32 = d2.iter().sum();
+            let pick = if total <= f32::EPSILON {
+                rng.gen_range(0..n)
+            } else {
+                let mut target = rng.gen_range(0.0..total);
+                let mut chosen = n - 1;
+                for (i, &w) in d2.iter().enumerate() {
+                    if target < w {
+                        chosen = i;
+                        break;
+                    }
+                    target -= w;
+                }
+                chosen
+            };
+            let c0 = centroids.len();
+            centroids.extend_from_slice(&data[pick * dim..(pick + 1) * dim]);
+            let new_c = centroids[c0..].to_vec();
+            for (i, slot) in d2.iter_mut().enumerate() {
+                let nd = sqdist(&data[i * dim..(i + 1) * dim], &new_c);
+                if nd < *slot {
+                    *slot = nd;
+                }
+            }
+        }
+
+        let mut km = KMeans { centroids, dim, k };
+        let mut assign = vec![0usize; n];
+        for _ in 0..iters {
+            let mut changed = false;
+            for i in 0..n {
+                let a = km.nearest(&data[i * dim..(i + 1) * dim]).0;
+                if assign[i] != a {
+                    assign[i] = a;
+                    changed = true;
+                }
+            }
+            // Recompute centroids.
+            let mut sums = vec![0f32; k * dim];
+            let mut counts = vec![0usize; k];
+            for i in 0..n {
+                let c = assign[i];
+                counts[c] += 1;
+                for j in 0..dim {
+                    sums[c * dim + j] += data[i * dim + j];
+                }
+            }
+            for c in 0..k {
+                if counts[c] > 0 {
+                    for j in 0..dim {
+                        km.centroids[c * dim + j] = sums[c * dim + j] / counts[c] as f32;
+                    }
+                } else {
+                    // Re-seed an empty cluster at a random point.
+                    let p = rng.gen_range(0..n);
+                    km.centroids[c * dim..(c + 1) * dim]
+                        .copy_from_slice(&data[p * dim..(p + 1) * dim]);
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        km
+    }
+
+    /// Index and squared distance of the nearest centroid to `v`.
+    pub fn nearest(&self, v: &[f32]) -> (usize, f32) {
+        let mut best = (0usize, f32::INFINITY);
+        for c in 0..self.k {
+            let d = sqdist(v, &self.centroids[c * self.dim..(c + 1) * self.dim]);
+            if d < best.1 {
+                best = (c, d);
+            }
+        }
+        best
+    }
+
+    /// Centroid indexes sorted by distance to `v`, nearest first.
+    pub fn nearest_n(&self, v: &[f32], n: usize) -> Vec<usize> {
+        let mut scored: Vec<(usize, f32)> = (0..self.k)
+            .map(|c| (c, sqdist(v, &self.centroids[c * self.dim..(c + 1) * self.dim])))
+            .collect();
+        scored.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+        scored.truncate(n);
+        scored.into_iter().map(|(c, _)| c).collect()
+    }
+}
+
+#[inline]
+fn sqdist(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two well-separated blobs in 2-D.
+    fn blobs() -> Vec<f32> {
+        let mut data = Vec::new();
+        let mut rng = SmallRng::seed_from_u64(5);
+        for _ in 0..50 {
+            data.push(0.0 + rng.gen_range(-0.1..0.1f32));
+            data.push(0.0 + rng.gen_range(-0.1..0.1f32));
+        }
+        for _ in 0..50 {
+            data.push(10.0 + rng.gen_range(-0.1..0.1f32));
+            data.push(10.0 + rng.gen_range(-0.1..0.1f32));
+        }
+        data
+    }
+
+    #[test]
+    fn separates_two_blobs() {
+        let km = KMeans::train(&blobs(), 2, 2, 20, 1);
+        let a = km.nearest(&[0.0, 0.0]).0;
+        let b = km.nearest(&[10.0, 10.0]).0;
+        assert_ne!(a, b);
+        // Centroids close to blob centers.
+        let c_near_origin =
+            (0..2).any(|c| sqdist(&km.centroids[c * 2..c * 2 + 2], &[0.0, 0.0]) < 1.0);
+        assert!(c_near_origin);
+    }
+
+    #[test]
+    fn k_clamped_to_n() {
+        let km = KMeans::train(&[1.0, 2.0], 2, 8, 5, 0);
+        assert_eq!(km.k, 1);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = KMeans::train(&blobs(), 2, 3, 10, 42);
+        let b = KMeans::train(&blobs(), 2, 3, 10, 42);
+        assert_eq!(a.centroids, b.centroids);
+    }
+
+    #[test]
+    fn nearest_n_sorted() {
+        let km = KMeans::train(&blobs(), 2, 2, 20, 1);
+        let order = km.nearest_n(&[0.0, 0.0], 2);
+        assert_eq!(order.len(), 2);
+        assert_eq!(order[0], km.nearest(&[0.0, 0.0]).0);
+    }
+
+    #[test]
+    fn identical_points_ok() {
+        let data = vec![1.0f32, 1.0, 1.0, 1.0, 1.0, 1.0];
+        let km = KMeans::train(&data, 3, 2, 5, 9);
+        assert_eq!(km.nearest(&[1.0, 1.0, 1.0]).1, 0.0);
+    }
+}

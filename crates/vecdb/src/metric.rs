@@ -1,0 +1,87 @@
+//! Similarity metrics.
+//!
+//! All indexes rank by a *score* where **higher is better**, so L2 distance
+//! is negated. This keeps heap logic identical across metrics.
+
+use serde::{Deserialize, Serialize};
+
+/// Supported similarity metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Metric {
+    /// Cosine similarity in `[-1, 1]`.
+    Cosine,
+    /// Negative Euclidean distance (0 is a perfect match).
+    L2,
+    /// Inner product.
+    Dot,
+}
+
+impl Metric {
+    /// Score of `b` against query `a`; higher is better.
+    #[inline]
+    pub fn score(&self, a: &[f32], b: &[f32]) -> f32 {
+        debug_assert_eq!(a.len(), b.len());
+        match self {
+            Metric::Cosine => {
+                let (mut dot, mut na, mut nb) = (0f32, 0f32, 0f32);
+                for (x, y) in a.iter().zip(b) {
+                    dot += x * y;
+                    na += x * x;
+                    nb += y * y;
+                }
+                if na == 0.0 || nb == 0.0 {
+                    0.0
+                } else {
+                    dot / (na.sqrt() * nb.sqrt())
+                }
+            }
+            Metric::L2 => {
+                let mut d = 0f32;
+                for (x, y) in a.iter().zip(b) {
+                    let t = x - y;
+                    d += t * t;
+                }
+                -d.sqrt()
+            }
+            Metric::Dot => a.iter().zip(b).map(|(x, y)| x * y).sum(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cosine_of_identical_is_one() {
+        let v = [0.3f32, 0.4, 0.5];
+        assert!((Metric::Cosine.score(&v, &v) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_of_orthogonal_is_zero() {
+        assert!(Metric::Cosine.score(&[1.0, 0.0], &[0.0, 1.0]).abs() < 1e-6);
+    }
+
+    #[test]
+    fn l2_higher_is_closer() {
+        let q = [0.0f32, 0.0];
+        assert!(Metric::L2.score(&q, &[0.1, 0.0]) > Metric::L2.score(&q, &[5.0, 0.0]));
+    }
+
+    #[test]
+    fn l2_self_is_zero() {
+        let v = [1.0f32, 2.0];
+        assert_eq!(Metric::L2.score(&v, &v), 0.0);
+    }
+
+    #[test]
+    fn dot_product() {
+        assert_eq!(Metric::Dot.score(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+    }
+
+    #[test]
+    fn cosine_zero_vector_is_zero() {
+        assert_eq!(Metric::Cosine.score(&[0.0, 0.0], &[1.0, 0.0]), 0.0);
+    }
+}

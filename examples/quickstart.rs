@@ -1,0 +1,58 @@
+//! Quickstart: the shortest useful tour of `llmdm`.
+//!
+//! Run with `cargo run -p llmdm --example quickstart`.
+//!
+//! You get a simulated model zoo, a SQL engine, an NL2SQL translation,
+//! validated and executed — the minimal end-to-end loop of the paper's
+//! vision.
+
+use std::sync::Arc;
+
+use llmdm::model::{CompletionRequest, LanguageModel, ModelZoo};
+use llmdm::nlq::{concert_domain, ExamplePool, Nl2SqlSolver, PromptBuilder};
+use llmdm::validate::{OutputValidator, SqlExecValidator};
+
+fn main() {
+    // 1. A database to talk to (the paper's Fig. 7 concert domain).
+    let mut db = concert_domain(42);
+    println!("schema:\n{}", db.schema_summary());
+
+    // 2. A model zoo with the NL2SQL solver registered.
+    let zoo = ModelZoo::standard(42);
+    zoo.register_solver(Arc::new(Nl2SqlSolver));
+    let model = zoo.large();
+
+    // 3. Ask a natural-language question via a DAIL-style few-shot prompt.
+    let question = "What are the names of stadiums that had concerts in 2014 \
+                    or had sports meetings in 2015?";
+    let builder = PromptBuilder::new(ExamplePool::generate(42), db.schema_summary());
+    let prompt = builder.single(question);
+    let completion = model.complete(&CompletionRequest::new(prompt)).expect("model answers");
+    println!("Q: {question}");
+    println!("predicted SQL: {}", completion.text);
+    println!(
+        "tokens: {} in / {} out, cost ${:.4}, confidence {:.2}",
+        completion.usage.input_tokens,
+        completion.usage.output_tokens,
+        completion.cost,
+        completion.confidence
+    );
+
+    // 4. Validate before trusting (§III-E).
+    let validator = SqlExecValidator::new(db.clone());
+    let verdict = validator.validate(&completion.text);
+    println!("validator: {verdict:?}");
+
+    // 5. Execute.
+    let rs = db.query(completion.text.trim()).expect("validated SQL executes");
+    println!("result ({} rows):\n{rs}", rs.len());
+
+    // 6. The bill so far, from the shared usage meter.
+    let snapshot = zoo.meter().snapshot();
+    println!(
+        "total: {} calls, {} tokens, ${:.4}",
+        snapshot.total_calls(),
+        snapshot.total_tokens(),
+        snapshot.total_dollars()
+    );
+}

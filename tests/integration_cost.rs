@@ -1,0 +1,64 @@
+//! Cross-crate integration: the three cost-optimization mechanisms
+//! (cascade, decomposition/combination, semantic cache) agree on one
+//! shared accounting substrate and reproduce the paper's Tables I–III
+//! shapes together.
+
+use llmdm::cascade::eval::run_table1;
+use llmdm::nlq::pipeline::run_table2;
+use llmdm::run_table3;
+
+#[test]
+fn table1_table2_table3_shapes_from_one_build() {
+    let t1 = run_table1(42);
+    let t2 = run_table2(42);
+    let t3 = run_table3(42);
+
+    // Table I shape: monotone tiers; cascade ≈ large at lower cost.
+    assert!(t1.tiers[0].accuracy < t1.tiers[2].accuracy);
+    assert!(t1.cascade.accuracy >= t1.tiers[2].accuracy - 0.1);
+    assert!(t1.cascade.cost < t1.tiers[2].cost);
+
+    // Table II shape: decomposition improves accuracy and cuts cost;
+    // combination cuts cost further.
+    assert!(t2.decomposition.accuracy >= t2.origin.accuracy);
+    assert!(t2.decomposition.cost < t2.origin.cost);
+    assert!(t2.combination.cost < t2.decomposition.cost);
+
+    // Table III shape: caching cuts cost; sub-query caching helps accuracy
+    // (averaged property is asserted in the crate tests; here we only
+    // require the cost ordering, which holds per-seed).
+    assert!(t3.cache_o.cost < t3.without.cost);
+    assert!(t3.cache_a.cost < t3.without.cost);
+}
+
+#[test]
+fn all_costs_flow_through_the_same_price_table() {
+    use llmdm::model::{PriceTable, Pricing};
+    let table = PriceTable::standard();
+    let large = table.get("sim-large").expect("priced");
+    let medium = table.get("sim-medium").expect("priced");
+    // The paper's quoted 30x input-price gap between gpt-4 and gpt-3.5.
+    assert!((large.input_per_1k / medium.input_per_1k - 30.0).abs() < 1e-9);
+    // And a sanity anchor against hand arithmetic.
+    assert!((Pricing::new(0.03, 0.06).cost(1000, 1000) - 0.09).abs() < 1e-12);
+}
+
+#[test]
+fn experiments_are_reproducible_bit_for_bit() {
+    assert_eq!(run_table1(7), run_table1(7));
+    assert_eq!(run_table2(7), run_table2(7));
+    assert_eq!(run_table3(7), run_table3(7));
+}
+
+#[test]
+fn seeds_change_workloads_but_not_shapes() {
+    for seed in [11u64, 23] {
+        let t2 = run_table2(seed);
+        assert!(
+            t2.combination.cost < t2.origin.cost,
+            "seed {seed}: combination {} vs origin {}",
+            t2.combination.cost,
+            t2.origin.cost
+        );
+    }
+}
