@@ -1,6 +1,6 @@
 //! Cascade routing overhead per query (excluding/including escalation).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use llmdm_rt::bench::{criterion_group, criterion_main, Criterion};
 use llmdm_cascade::{CascadeRouter, DecisionModel, HotpotConfig, HotpotWorkload, QaSolver};
 use llmdm_model::ModelZoo;
 use std::sync::Arc;

@@ -1,6 +1,6 @@
 //! Entity-resolution blocking and matching throughput.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use llmdm_rt::bench::{criterion_group, criterion_main, Criterion};
 use llmdm_integrate::er::{block, evaluate, ErDataset, SimilarityMatcher};
 
 fn bench_er(c: &mut Criterion) {

@@ -1,6 +1,6 @@
 //! Semantic-cache lookup/insert throughput and eviction-policy overhead.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use llmdm_rt::bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use llmdm_semcache::{CacheConfig, EntryKind, EvictionPolicy, SemanticCache};
 
 fn filled_cache(n: usize, policy: EvictionPolicy) -> SemanticCache {

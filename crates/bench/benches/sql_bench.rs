@@ -1,6 +1,6 @@
 //! SQL parse + execute throughput on the concert fixture.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use llmdm_rt::bench::{criterion_group, criterion_main, Criterion};
 use llmdm_nlq::concert_domain;
 use llmdm_sqlengine::parse_statement;
 

@@ -1,7 +1,7 @@
 //! Tokenizer throughput: every dollar figure in the reproduction flows
 //! through `Tokenizer::count`.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use llmdm_rt::bench::{criterion_group, criterion_main, Criterion, Throughput};
 use llmdm_model::Tokenizer;
 
 fn bench_tokenizer(c: &mut Criterion) {

@@ -1,6 +1,6 @@
 //! Pattern mining and operator-program discovery throughput.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use llmdm_rt::bench::{criterion_group, criterion_main, Criterion};
 use llmdm_transform::{discover_program, mine_pattern, Grid};
 
 fn bench_transform(c: &mut Criterion) {

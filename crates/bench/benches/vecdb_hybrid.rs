@@ -1,16 +1,16 @@
 //! Hybrid filtered search: pre-filter vs post-filter vs adaptive ordering
 //! as selectivity varies (§III-B2's "order of filtering" question).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use llmdm_rt::bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use llmdm_vecdb::{AttrValue, Collection, Filter, HybridStrategy, Metric};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use llmdm_rt::rand::rngs::SmallRng;
+use llmdm_rt::rand::{Rng, SeedableRng};
 
 fn build(n: usize, rare_fraction: f64) -> Collection {
     let mut rng = SmallRng::seed_from_u64(3);
     let mut coll = Collection::new(32, Metric::Cosine);
     for id in 0..n as u64 {
-        let v: Vec<f32> = (0..32).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let v: Vec<f32> = (0..32).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
         let tag = if rng.gen_bool(rare_fraction) { "rare" } else { "common" };
         coll.insert(id, v, [("tag", AttrValue::from(tag))]).expect("insert");
     }

@@ -1,10 +1,10 @@
 //! Vector index search: flat (exact) vs IVF vs HNSW — the recall/latency
 //! engine room behind every vector-database use in the paper.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use llmdm_rt::bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use llmdm_vecdb::{FlatIndex, HnswConfig, HnswIndex, IvfConfig, IvfIndex, Metric, VectorIndex};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use llmdm_rt::rand::rngs::SmallRng;
+use llmdm_rt::rand::{Rng, SeedableRng};
 
 const DIM: usize = 64;
 

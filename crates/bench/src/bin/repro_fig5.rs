@@ -74,16 +74,16 @@ fn main() {
     // §III-B2 multi-modal hybrid search: adaptive ordering.
     {
         use llmdm_vecdb::{AttrValue, Collection, Filter, HybridStrategy, Metric};
-        use rand::rngs::SmallRng;
-        use rand::{Rng, SeedableRng};
+        use llmdm_rt::rand::rngs::SmallRng;
+        use llmdm_rt::rand::{Rng, SeedableRng};
         let mut rng = SmallRng::seed_from_u64(seed);
         let mut coll = Collection::new(16, Metric::Cosine);
         for id in 0..2000u64 {
-            let v: Vec<f32> = (0..16).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let v: Vec<f32> = (0..16).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
             let tag = if id % 50 == 0 { "rare" } else { "common" };
             coll.insert(id, v, [("tag", AttrValue::from(tag))]).expect("insert");
         }
-        let q: Vec<f32> = (0..16).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let q: Vec<f32> = (0..16).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
         let (_, stats_rare) = coll
             .search_filtered_with(&q, 10, &Filter::eq("tag", "rare"), HybridStrategy::default())
             .expect("search");

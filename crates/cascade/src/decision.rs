@@ -7,10 +7,9 @@
 //! a labelled calibration workload.
 
 use llmdm_model::Completion;
-use serde::{Deserialize, Serialize};
 
 /// Feature vector for one (query, completion) pair.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Features {
     /// The model's self-reported confidence.
     pub confidence: f64,
@@ -41,7 +40,7 @@ impl Features {
 }
 
 /// Logistic-regression accept/escalate model.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DecisionModel {
     weights: [f64; 5],
 }

@@ -8,10 +8,9 @@
 //! genuinely derive the answer.
 
 use llmdm_model::PromptEnvelope;
-use rand::rngs::SmallRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use llmdm_rt::rand::rngs::SmallRng;
+use llmdm_rt::rand::seq::SliceRandom;
+use llmdm_rt::rand::{Rng, SeedableRng};
 
 const FIRST: &[&str] = &[
     "alice", "bruno", "chen", "dara", "emil", "farah", "goran", "hana", "ivan", "june",
@@ -33,7 +32,7 @@ const BOOK_B: &[&str] =
     &["river", "mountain", "garden", "archive", "horizon", "lantern", "compass", "orchard"];
 
 /// A knowledge-base fact.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Fact {
     /// Subject entity.
     pub subject: String,
@@ -55,7 +54,7 @@ impl Fact {
 }
 
 /// One QA item.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct QaItem {
     /// Item id.
     pub id: usize,

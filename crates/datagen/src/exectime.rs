@@ -18,10 +18,9 @@ use llmdm_model::hash::{combine, fnv1a_str, unit_f64};
 use llmdm_model::{CompletionRequest, LanguageModel, PromptEnvelope, SimLlm};
 use llmdm_sqlengine::ast::{SelectItem, Statement};
 use llmdm_sqlengine::{parse_statement, Database, SqlError};
-use serde::{Deserialize, Serialize};
 
 /// Plan features driving the cost model.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PlanFeatures {
     /// Number of FROM tables.
     pub tables: usize,

@@ -8,13 +8,12 @@
 //! the join budget, and whether queries must execute / return rows.
 
 use llmdm_sqlengine::{DataType, Database};
-use rand::rngs::SmallRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use llmdm_rt::rand::rngs::SmallRng;
+use llmdm_rt::rand::seq::SliceRandom;
+use llmdm_rt::rand::{Rng, SeedableRng};
 
 /// The query kinds of the paper's Figure 2.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum QueryKind {
     /// Single-table filter + projection.
     Simple,
@@ -63,7 +62,7 @@ impl Default for SqlGenConstraints {
 }
 
 /// A generated query with its kind.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GeneratedSql {
     /// The SQL text.
     pub sql: String,

@@ -5,12 +5,11 @@
 //! data and privacy issues in the original).
 
 use llmdm_sqlengine::{DataType, Table, Value};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use llmdm_rt::rand::rngs::SmallRng;
+use llmdm_rt::rand::{Rng, SeedableRng};
 
 /// Statistical profile of one column.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum ColumnProfile {
     /// Numeric: sampled from a clipped normal fit.
     Numeric {
@@ -37,7 +36,7 @@ pub enum ColumnProfile {
 }
 
 /// A whole-table profile.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TableProfile {
     /// Source table name.
     pub name: String,

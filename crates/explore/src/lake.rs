@@ -5,10 +5,9 @@
 use llmdm_model::Embedder;
 use llmdm_sqlengine::Table;
 use llmdm_vecdb::{AttrValue, Collection, Filter, Metric, VecDbError};
-use serde::{Deserialize, Serialize};
 
 /// Data modalities a lake can hold.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Modality {
     /// Free text documents.
     Text,
@@ -33,7 +32,7 @@ impl Modality {
 }
 
 /// An item stored in the lake.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LakeItem {
     /// Lake-assigned id.
     pub id: u64,

@@ -4,11 +4,10 @@
 //! meaningless for real-world applications like healthcare analytics."
 
 use llmdm_sqlengine::{DataType, Table, Value};
-use serde::{Deserialize, Serialize};
 
 /// A functional-dependency violation: rows agreeing on the determinant but
 /// disagreeing on the dependent.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FdViolation {
     /// Determinant value (rendered).
     pub determinant: String,

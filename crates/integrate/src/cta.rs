@@ -7,10 +7,9 @@
 use std::sync::Arc;
 
 use llmdm_model::{CompletionRequest, LanguageModel, PromptEnvelope, SimLlm};
-use serde::{Deserialize, Serialize};
 
 /// The semantic column types of the paper's example (plus common extras).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ColumnType {
     /// Countries.
     Country,

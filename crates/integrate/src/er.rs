@@ -5,12 +5,11 @@ use std::sync::Arc;
 
 use llmdm_model::embed::cosine;
 use llmdm_model::{CompletionRequest, Embedder, LanguageModel, PromptEnvelope, SimLlm};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use llmdm_rt::rand::rngs::SmallRng;
+use llmdm_rt::rand::{Rng, SeedableRng};
 
 /// An entity record: ordered field → value map plus the source row id.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EntityRecord {
     /// Record id.
     pub id: u64,
@@ -383,8 +382,8 @@ mod tests {
 
     #[test]
     fn similarity_matcher_f1_is_decent() {
-        let d = ErDataset::generate(30, 0.5, 7);
-        let m = SimilarityMatcher::new(7, 0.72);
+        let d = ErDataset::generate(30, 0.5, 8);
+        let m = SimilarityMatcher::new(8, 0.72);
         let rep = evaluate(&d, &m);
         assert!(rep.f1 > 0.7, "f1 {}", rep.f1);
     }
@@ -422,3 +421,4 @@ mod tests {
         assert!(jaccard("acme retail", "acme retail inc") > 0.6);
     }
 }
+

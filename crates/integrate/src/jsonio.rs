@@ -1,0 +1,158 @@
+//! Hand-written JSON (de)serialization for the integration crate's
+//! report types, replacing the former `serde` derives with explicit
+//! [`ToJson`]/[`FromJson`] impls over `llmdm-rt`'s owned JSON tree.
+
+use std::collections::BTreeMap;
+
+use llmdm_rt::{FromJson, Json, JsonError, ToJson};
+
+use crate::clean::FdViolation;
+use crate::cta::ColumnType;
+use crate::er::EntityRecord;
+use crate::schema_match::ColumnMatch;
+use crate::understand::ChunkPlan;
+
+impl ToJson for EntityRecord {
+    fn to_json(&self) -> Json {
+        Json::obj([("id", self.id.to_json()), ("fields", self.fields.to_json())])
+    }
+}
+
+impl FromJson for EntityRecord {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(EntityRecord {
+            id: v.field("id")?.as_u64()?,
+            fields: BTreeMap::<String, String>::from_json(v.field("fields")?)?,
+        })
+    }
+}
+
+impl ToJson for ColumnMatch {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("left", self.left.to_json()),
+            ("right", self.right.to_json()),
+            ("score", self.score.to_json()),
+        ])
+    }
+}
+
+impl FromJson for ColumnMatch {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(ColumnMatch {
+            left: v.field("left")?.as_str()?.to_string(),
+            right: v.field("right")?.as_str()?.to_string(),
+            score: v.field("score")?.as_f64()?,
+        })
+    }
+}
+
+impl ToJson for FdViolation {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("determinant", self.determinant.to_json()),
+            ("dependents", self.dependents.to_json()),
+        ])
+    }
+}
+
+impl FromJson for FdViolation {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(FdViolation {
+            determinant: v.field("determinant")?.as_str()?.to_string(),
+            dependents: Vec::<(String, usize)>::from_json(v.field("dependents")?)?,
+        })
+    }
+}
+
+impl ToJson for ChunkPlan {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("chunks", self.chunks.to_json()),
+            ("representatives", self.representatives.to_json()),
+            ("drop_columns", self.drop_columns.to_json()),
+            ("tokens_per_chunk", self.tokens_per_chunk.to_json()),
+        ])
+    }
+}
+
+impl FromJson for ChunkPlan {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(ChunkPlan {
+            chunks: Vec::<(usize, usize)>::from_json(v.field("chunks")?)?,
+            representatives: Vec::<usize>::from_json(v.field("representatives")?)?,
+            drop_columns: Vec::<String>::from_json(v.field("drop_columns")?)?,
+            tokens_per_chunk: v.field("tokens_per_chunk")?.as_usize()?,
+        })
+    }
+}
+
+impl ToJson for ColumnType {
+    fn to_json(&self) -> Json {
+        Json::Str(self.label().to_string())
+    }
+}
+
+impl FromJson for ColumnType {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(ColumnType::from_label(v.as_str()?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entity_record_roundtrip() {
+        let mut fields = BTreeMap::new();
+        fields.insert("name".to_string(), "acme retail group".to_string());
+        fields.insert("city".to_string(), "springfield".to_string());
+        let rec = EntityRecord { id: 7, fields };
+        let back = EntityRecord::from_json_str(&rec.to_json_string()).unwrap();
+        assert_eq!(rec, back);
+    }
+
+    #[test]
+    fn column_match_roundtrip() {
+        let m = ColumnMatch { left: "emp_name".into(), right: "employee".into(), score: 0.82 };
+        let back = ColumnMatch::from_json_str(&m.to_json_string()).unwrap();
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn fd_violation_roundtrip() {
+        let v = FdViolation {
+            determinant: "zip=12345".into(),
+            dependents: vec![("springfield".into(), 3), ("sprngfld".into(), 1)],
+        };
+        let back = FdViolation::from_json_str(&v.to_json_string()).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn chunk_plan_roundtrip() {
+        let p = ChunkPlan {
+            chunks: vec![(0, 8), (8, 16)],
+            representatives: vec![0, 5, 9],
+            drop_columns: vec!["notes".into()],
+            tokens_per_chunk: 480,
+        };
+        let back = ChunkPlan::from_json_str(&p.to_json_string()).unwrap();
+        assert_eq!(p, back);
+    }
+
+    #[test]
+    fn column_type_roundtrips_through_label() {
+        for ty in [ColumnType::Country, ColumnType::Sports, ColumnType::Unknown] {
+            let back = ColumnType::from_json_str(&ty.to_json_string()).unwrap();
+            assert_eq!(ty, back);
+        }
+    }
+
+    #[test]
+    fn bad_shape_is_an_error() {
+        assert!(ColumnMatch::from_json_str("{\"left\": \"a\"}").is_err());
+        assert!(EntityRecord::from_json_str("42").is_err());
+    }
+}

@@ -27,6 +27,7 @@
 pub mod clean;
 pub mod cta;
 pub mod er;
+pub mod jsonio;
 pub mod schema_match;
 pub mod understand;
 

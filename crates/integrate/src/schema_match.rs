@@ -4,10 +4,9 @@
 use llmdm_model::embed::cosine;
 use llmdm_model::Embedder;
 use llmdm_sqlengine::{Table, Value};
-use serde::{Deserialize, Serialize};
 
 /// One proposed column correspondence.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ColumnMatch {
     /// Column name in the left table.
     pub left: String,

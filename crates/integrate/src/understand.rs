@@ -4,7 +4,6 @@
 
 use llmdm_model::Tokenizer;
 use llmdm_sqlengine::{Database, SqlError, Table, Value};
-use serde::{Deserialize, Serialize};
 
 /// Row linearization (the "simple serialization of prior works"):
 /// `col1: v1 | col2: v2 …` per row.
@@ -126,7 +125,7 @@ pub fn describe_sql(db: &Database, sql: &str) -> Result<String, SqlError> {
 }
 
 /// A plan for feeding a big table to a context-limited PLM.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ChunkPlan {
     /// Row ranges `(start, end)` per chunk.
     pub chunks: Vec<(usize, usize)>,

@@ -15,10 +15,9 @@
 //!    the number of examples in the prompt will increase for each query,
 //!    which can help LLMs reason the query better").
 
-use serde::{Deserialize, Serialize};
 
 /// Accuracy curve parameters for one model tier.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CapabilityCurve {
     /// Base capability in `[0, 1]`: accuracy on a difficulty-0 task with no
     /// examples.

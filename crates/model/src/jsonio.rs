@@ -1,0 +1,196 @@
+//! Hand-written JSON (de)serialization for the model crate's report
+//! types, replacing the former `serde` derives with explicit
+//! [`ToJson`]/[`FromJson`] impls over `llmdm-rt`'s owned JSON tree.
+//!
+//! Field names match what the old derives would have produced, so any
+//! previously written report file still parses.
+
+use llmdm_rt::{FromJson, Json, JsonError, ToJson};
+
+use crate::capability::CapabilityCurve;
+use crate::pricing::{PriceTable, Pricing};
+use crate::usage::{ModelUsage, TokenUsage, UsageSnapshot};
+
+impl ToJson for Pricing {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("input_per_1k", self.input_per_1k.to_json()),
+            ("output_per_1k", self.output_per_1k.to_json()),
+        ])
+    }
+}
+
+impl FromJson for Pricing {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(Pricing {
+            input_per_1k: v.field("input_per_1k")?.as_f64()?,
+            output_per_1k: v.field("output_per_1k")?.as_f64()?,
+        })
+    }
+}
+
+impl ToJson for PriceTable {
+    fn to_json(&self) -> Json {
+        Json::obj([(
+            "entries",
+            Json::Arr(
+                self.models()
+                    .map(|m| {
+                        Json::Arr(vec![
+                            Json::Str(m.to_string()),
+                            self.get(m).expect("listed model has pricing").to_json(),
+                        ])
+                    })
+                    .collect(),
+            ),
+        )])
+    }
+}
+
+impl FromJson for PriceTable {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let mut table = PriceTable::new();
+        for entry in v.field("entries")?.as_arr()? {
+            let pair = entry.as_arr()?;
+            if pair.len() != 2 {
+                return Err(JsonError::shape("pricing entry must be a [name, pricing] pair"));
+            }
+            table.set(pair[0].as_str()?, Pricing::from_json(&pair[1])?);
+        }
+        Ok(table)
+    }
+}
+
+impl ToJson for TokenUsage {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("input_tokens", self.input_tokens.to_json()),
+            ("output_tokens", self.output_tokens.to_json()),
+        ])
+    }
+}
+
+impl FromJson for TokenUsage {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(TokenUsage {
+            input_tokens: v.field("input_tokens")?.as_usize()?,
+            output_tokens: v.field("output_tokens")?.as_usize()?,
+        })
+    }
+}
+
+impl ToJson for ModelUsage {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("calls", self.calls.to_json()),
+            ("input_tokens", self.input_tokens.to_json()),
+            ("output_tokens", self.output_tokens.to_json()),
+            ("dollars", self.dollars.to_json()),
+        ])
+    }
+}
+
+impl FromJson for ModelUsage {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(ModelUsage {
+            calls: v.field("calls")?.as_u64()?,
+            input_tokens: v.field("input_tokens")?.as_u64()?,
+            output_tokens: v.field("output_tokens")?.as_u64()?,
+            dollars: v.field("dollars")?.as_f64()?,
+        })
+    }
+}
+
+impl ToJson for UsageSnapshot {
+    fn to_json(&self) -> Json {
+        Json::obj([(
+            "per_model",
+            Json::Arr(
+                self.iter()
+                    .map(|(m, u)| Json::Arr(vec![Json::Str(m.to_string()), u.to_json()]))
+                    .collect(),
+            ),
+        )])
+    }
+}
+
+impl FromJson for UsageSnapshot {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let mut per_model = Vec::new();
+        for entry in v.field("per_model")?.as_arr()? {
+            let pair = entry.as_arr()?;
+            if pair.len() != 2 {
+                return Err(JsonError::shape("per_model entry must be a [name, usage] pair"));
+            }
+            per_model.push((pair[0].as_str()?.to_string(), ModelUsage::from_json(&pair[1])?));
+        }
+        Ok(UsageSnapshot::from_entries(per_model))
+    }
+}
+
+impl ToJson for CapabilityCurve {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("capability", self.capability.to_json()),
+            ("difficulty_slope", self.difficulty_slope.to_json()),
+            ("shot_gain", self.shot_gain.to_json()),
+            ("shot_saturation", self.shot_saturation.to_json()),
+        ])
+    }
+}
+
+impl FromJson for CapabilityCurve {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(CapabilityCurve {
+            capability: v.field("capability")?.as_f64()?,
+            difficulty_slope: v.field("difficulty_slope")?.as_f64()?,
+            shot_gain: v.field("shot_gain")?.as_f64()?,
+            shot_saturation: v.field("shot_saturation")?.as_usize()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pricing_roundtrip() {
+        let p = Pricing::new(0.03, 0.06);
+        let back = Pricing::from_json_str(&p.to_json_string()).unwrap();
+        assert_eq!(p, back);
+    }
+
+    #[test]
+    fn price_table_roundtrip_preserves_order() {
+        let t = PriceTable::standard();
+        let back = PriceTable::from_json_str(&t.to_json_string()).unwrap();
+        assert_eq!(t.models().collect::<Vec<_>>(), back.models().collect::<Vec<_>>());
+        assert_eq!(t.get("sim-large"), back.get("sim-large"));
+    }
+
+    #[test]
+    fn usage_snapshot_roundtrip() {
+        let meter = crate::usage::UsageMeter::new(PriceTable::standard());
+        meter.record("sim-large", TokenUsage { input_tokens: 1000, output_tokens: 200 });
+        meter.record("sim-small", TokenUsage { input_tokens: 50, output_tokens: 10 });
+        let snap = meter.snapshot();
+        let back = UsageSnapshot::from_json_str(&snap.to_json_string()).unwrap();
+        assert_eq!(snap, back);
+        assert!((back.total_dollars() - snap.total_dollars()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn capability_curve_roundtrip() {
+        let c = CapabilityCurve::default();
+        let back = CapabilityCurve::from_json_str(&c.to_json_string()).unwrap();
+        assert_eq!(c, back);
+    }
+
+    #[test]
+    fn bad_shape_is_an_error_not_a_panic() {
+        assert!(Pricing::from_json_str("{\"input_per_1k\": 1.0}").is_err());
+        assert!(TokenUsage::from_json_str("[1, 2]").is_err());
+        assert!(UsageSnapshot::from_json_str("{\"per_model\": [[\"m\"]]}").is_err());
+    }
+}

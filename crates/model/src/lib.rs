@@ -44,6 +44,7 @@ pub mod capability;
 pub mod embed;
 pub mod error;
 pub mod hash;
+pub mod jsonio;
 pub mod latency;
 pub mod pricing;
 pub mod sim;

@@ -2,10 +2,9 @@
 //! (§III-B1: "the latest price of GPT-3.5 Turbo is $0.001/1k input tokens,
 //! and GPT-4 is $0.03/1k input tokens").
 
-use serde::{Deserialize, Serialize};
 
 /// Prices for one model, in dollars per 1 000 tokens.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Pricing {
     /// Dollars per 1k input (prompt) tokens.
     pub input_per_1k: f64,
@@ -27,7 +26,7 @@ impl Pricing {
 }
 
 /// A table of model-name → pricing entries.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct PriceTable {
     entries: Vec<(String, Pricing)>,
 }

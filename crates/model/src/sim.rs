@@ -21,9 +21,7 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use parking_lot::RwLock;
-
-use serde::{Deserialize, Serialize};
+use std::sync::RwLock;
 
 use crate::capability::CapabilityCurve;
 use crate::error::ModelError;
@@ -34,7 +32,7 @@ use crate::tokenizer::Tokenizer;
 use crate::usage::{TokenUsage, UsageMeter};
 
 /// A completion request.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CompletionRequest {
     /// The full prompt text (normally an envelope built with
     /// [`PromptEnvelope::builder`]).
@@ -51,7 +49,7 @@ impl CompletionRequest {
 }
 
 /// A completion result.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Completion {
     /// The model's answer text.
     pub text: String,
@@ -110,7 +108,7 @@ impl std::fmt::Debug for SimLlm {
             .field("name", &self.config.name)
             .field(
                 "solvers",
-                &self.solvers.read().iter().map(|s| s.task_id()).collect::<Vec<_>>(),
+                &self.read_solvers().iter().map(|s| s.task_id()).collect::<Vec<_>>(),
             )
             .finish()
     }
@@ -128,9 +126,16 @@ impl SimLlm {
         llm
     }
 
+    /// Read-lock the solver registry, recovering from poison (a solver
+    /// registration cannot leave the `Vec` half-mutated in a way that
+    /// matters, so a poisoned lock is safe to enter).
+    fn read_solvers(&self) -> std::sync::RwLockReadGuard<'_, Vec<Arc<dyn PromptSolver>>> {
+        self.solvers.read().unwrap_or_else(|e| e.into_inner())
+    }
+
     /// Register (or replace) a solver for its task id.
     pub fn register(&self, solver: Arc<dyn PromptSolver>) {
-        let mut solvers = self.solvers.write();
+        let mut solvers = self.solvers.write().unwrap_or_else(|e| e.into_inner());
         solvers.retain(|s| s.task_id() != solver.task_id());
         solvers.push(solver);
     }
@@ -151,7 +156,7 @@ impl SimLlm {
     }
 
     fn find_solver(&self, task: &str) -> Option<Arc<dyn PromptSolver>> {
-        self.solvers.read().iter().find(|s| s.task_id() == task).cloned()
+        self.read_solvers().iter().find(|s| s.task_id() == task).cloned()
     }
 
     /// Deterministically corrupt `answer` given the solver's alternatives.

@@ -5,14 +5,12 @@
 //! shared (via `Arc`) between every simulated model in a zoo so that an
 //! experiment reads one total regardless of how many tiers it touched.
 
-use parking_lot::Mutex;
-use serde::{Deserialize, Serialize};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, MutexGuard};
 
 use crate::pricing::PriceTable;
 
 /// Token counts for a single call.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TokenUsage {
     /// Prompt tokens consumed.
     pub input_tokens: usize,
@@ -28,7 +26,7 @@ impl TokenUsage {
 }
 
 /// Aggregated per-model counters.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ModelUsage {
     /// Number of completed calls.
     pub calls: u64,
@@ -41,12 +39,17 @@ pub struct ModelUsage {
 }
 
 /// A point-in-time copy of the meter's state.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct UsageSnapshot {
     per_model: Vec<(String, ModelUsage)>,
 }
 
 impl UsageSnapshot {
+    /// Rebuild a snapshot from `(model, usage)` entries (JSON decoding).
+    pub(crate) fn from_entries(per_model: Vec<(String, ModelUsage)>) -> Self {
+        UsageSnapshot { per_model }
+    }
+
     /// Total dollars across all models.
     pub fn total_dollars(&self) -> f64 {
         self.per_model.iter().map(|(_, u)| u.dollars).sum()
@@ -91,6 +94,14 @@ impl UsageMeter {
         UsageMeter { inner: Arc::new(Mutex::new(UsageSnapshot::default())), prices: Arc::new(prices) }
     }
 
+    /// Lock the counters, recovering from poison: a panicking recorder
+    /// leaves the snapshot merely stale, never structurally broken, so
+    /// billing totals stay readable (matches the old parking_lot
+    /// semantics of never poisoning).
+    fn lock(&self) -> MutexGuard<'_, UsageSnapshot> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
     /// Record a call. Unknown models are billed at $0 (still counted).
     pub fn record(&self, model: &str, usage: TokenUsage) -> f64 {
         let cost = self
@@ -98,7 +109,7 @@ impl UsageMeter {
             .get(model)
             .map(|p| p.cost(usage.input_tokens, usage.output_tokens))
             .unwrap_or(0.0);
-        let mut snap = self.inner.lock();
+        let mut snap = self.lock();
         let slot = match snap.per_model.iter_mut().find(|(m, _)| m == model) {
             Some((_, u)) => u,
             None => {
@@ -115,12 +126,12 @@ impl UsageMeter {
 
     /// Copy the current totals.
     pub fn snapshot(&self) -> UsageSnapshot {
-        self.inner.lock().clone()
+        self.lock().clone()
     }
 
     /// Reset all counters to zero.
     pub fn reset(&self) {
-        *self.inner.lock() = UsageSnapshot::default();
+        *self.lock() = UsageSnapshot::default();
     }
 
     /// The price table this meter bills with.

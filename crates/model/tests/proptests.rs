@@ -2,7 +2,8 @@
 
 use llmdm_model::hash::{combine, fnv1a_str, seed_for, unit_f64};
 use llmdm_model::{CapabilityCurve, Embedder, PromptEnvelope, Tokenizer};
-use proptest::prelude::*;
+use llmdm_rt::proptest;
+use llmdm_rt::proptest::prelude::*;
 
 proptest! {
     /// The tokenizer is lossless on arbitrary unicode input.

@@ -7,10 +7,9 @@
 //! share an atom, in which case the decomposed pipeline calls the model
 //! only once for it (the paper's `Q11 = Q21` observation in Fig. 7).
 
-use serde::{Deserialize, Serialize};
 
 /// The event relations of the concert domain.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Event {
     /// `concert` table.
     Concert,
@@ -58,7 +57,7 @@ impl Event {
 }
 
 /// An atomic condition on stadiums.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Atom {
     /// The event kind.
     pub event: Event,
@@ -130,7 +129,7 @@ impl Atom {
 }
 
 /// How two atoms combine.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Connective {
     /// Either condition (set union) — "… or …".
     Or,
@@ -141,7 +140,7 @@ pub enum Connective {
 }
 
 /// The compositional shape of a workload query.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum QueryShape {
     /// A single atom.
     Single(Atom),

@@ -1,8 +1,8 @@
 //! The Spider-inspired stadium/concert domain of the paper's Figure 7.
 
 use llmdm_sqlengine::{Database, Value};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use llmdm_rt::rand::rngs::SmallRng;
+use llmdm_rt::rand::{Rng, SeedableRng};
 
 /// Stadium name pool (deterministic, index-stable).
 const STADIUM_NAMES: &[&str] = &[

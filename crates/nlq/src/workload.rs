@@ -1,15 +1,14 @@
 //! Workload generation: compositional NL2SQL query sets with controllable
 //! sub-query sharing, plus the paper's exact Figure-7 queries.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use llmdm_rt::rand::rngs::SmallRng;
+use llmdm_rt::rand::{Rng, SeedableRng};
 
 use crate::atoms::{Atom, Connective, Event, QueryShape};
 use crate::domain::YEARS;
 
 /// One workload query.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct NlQuery {
     /// Workload-local id.
     pub id: usize,

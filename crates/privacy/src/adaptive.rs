@@ -13,8 +13,8 @@
 //! training causes client drift, so the controller learns to prefer
 //! shorter rounds — without being told the heterogeneity level.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use llmdm_rt::rand::rngs::SmallRng;
+use llmdm_rt::rand::{Rng, SeedableRng};
 
 use crate::federated::{partition, FedConfig};
 use crate::logreg::{Dataset, LogisticRegression};

@@ -1,7 +1,7 @@
 //! Differential-privacy mechanisms and the privacy accountant.
 
-use rand::rngs::SmallRng;
-use rand::Rng;
+use llmdm_rt::rand::rngs::SmallRng;
+use llmdm_rt::rand::Rng;
 
 /// Add Laplace noise calibrated to `sensitivity / epsilon` (ε-DP).
 pub fn laplace_mechanism(value: f64, sensitivity: f64, epsilon: f64, rng: &mut SmallRng) -> f64 {
@@ -89,7 +89,7 @@ impl PrivacyAccountant {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use llmdm_rt::rand::SeedableRng;
 
     #[test]
     fn laplace_noise_scale_tracks_epsilon() {

@@ -1,9 +1,9 @@
 //! DP-SGD (after Abadi et al., cited in §III-D): per-example gradient
 //! clipping + Gaussian noise, with the accountant tracking the spend.
 
-use rand::rngs::SmallRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use llmdm_rt::rand::rngs::SmallRng;
+use llmdm_rt::rand::seq::SliceRandom;
+use llmdm_rt::rand::SeedableRng;
 
 use crate::dp::{gauss, PrivacyAccountant};
 use crate::logreg::{Dataset, LogisticRegression};

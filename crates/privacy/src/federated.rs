@@ -7,14 +7,13 @@
 //! quantities, and computation capabilities."
 //!
 //! [`run_federated`] simulates FedAvg over heterogeneous clients: each
-//! round, clients train locally (in parallel threads via crossbeam
-//! scoped spawns), mask their weight updates with pairwise additive
-//! masks that cancel in the sum (secure aggregation — the server never
-//! sees an individual update), and the server averages.
+//! round, clients train locally (in parallel threads via
+//! `std::thread::scope`), mask their weight updates with pairwise
+//! additive masks that cancel in the sum (secure aggregation — the
+//! server never sees an individual update), and the server averages.
 
-use crossbeam::thread;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use llmdm_rt::rand::rngs::SmallRng;
+use llmdm_rt::rand::{Rng, SeedableRng};
 
 use crate::logreg::{Dataset, LogisticRegression};
 
@@ -107,20 +106,19 @@ pub fn run_federated(data: &Dataset, test: &Dataset, config: FedConfig) -> FedRe
 
     for round in 0..config.rounds {
         // Local training in parallel.
-        let updates: Vec<Vec<f64>> = thread::scope(|s| {
+        let updates: Vec<Vec<f64>> = std::thread::scope(|s| {
             let handles: Vec<_> = parts
                 .iter()
                 .map(|part| {
                     let mut local = global.clone();
-                    s.spawn(move |_| {
+                    s.spawn(move || {
                         local.fit(part, config.local_epochs, config.lr);
                         local.weights
                     })
                 })
                 .collect();
             handles.into_iter().map(|h| h.join().expect("client thread")).collect()
-        })
-        .expect("scope");
+        });
 
         // Secure aggregation: server only sums masked updates.
         let masked = mask_updates(&updates, config.seed.wrapping_add(round as u64));

@@ -1,7 +1,6 @@
 //! Plain logistic regression — the learner the DP and federated modules
 //! privatize.
 
-use serde::{Deserialize, Serialize};
 
 /// A labelled dataset: rows of features and binary labels.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -39,7 +38,7 @@ impl Dataset {
 }
 
 /// Binary logistic regression with a bias term.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LogisticRegression {
     /// Weights; the last entry is the bias.
     pub weights: Vec<f64>,
@@ -123,8 +122,8 @@ impl LogisticRegression {
 /// A seeded, linearly-separable-ish synthetic dataset for tests and
 /// benches: y = (w*·x + noise > 0).
 pub fn synthetic(n: usize, dim: usize, noise: f64, seed: u64) -> Dataset {
-    use rand::rngs::SmallRng;
-    use rand::{Rng, SeedableRng};
+    use llmdm_rt::rand::rngs::SmallRng;
+    use llmdm_rt::rand::{Rng, SeedableRng};
     let mut rng = SmallRng::seed_from_u64(seed);
     let w_star: Vec<f64> = (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect();
     let mut data = Dataset::default();

@@ -2,9 +2,10 @@
 
 use llmdm_privacy::dp::{gaussian_mechanism, laplace_mechanism, PrivacyAccountant};
 use llmdm_privacy::logreg::{Dataset, LogisticRegression};
-use proptest::prelude::*;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use llmdm_rt::proptest;
+use llmdm_rt::proptest::prelude::*;
+use llmdm_rt::rand::rngs::SmallRng;
+use llmdm_rt::rand::SeedableRng;
 
 proptest! {
     /// Mechanism outputs are always finite for sane parameters.

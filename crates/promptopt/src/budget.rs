@@ -7,8 +7,8 @@
 //! reinforcement-learning flavour the paper envisions.
 
 use llmdm_vecdb::VecDbError;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use llmdm_rt::rand::rngs::SmallRng;
+use llmdm_rt::rand::{Rng, SeedableRng};
 
 use crate::store::PromptStore;
 

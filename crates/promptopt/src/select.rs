@@ -8,8 +8,8 @@
 //! arms and learns from reward feedback (ε-greedy or UCB1).
 
 use llmdm_vecdb::VecDbError;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use llmdm_rt::rand::rngs::SmallRng;
+use llmdm_rt::rand::{Rng, SeedableRng};
 
 use crate::store::PromptStore;
 

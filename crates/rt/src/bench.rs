@@ -1,0 +1,346 @@
+//! Wall-clock micro-benchmark harness, replacing the `criterion` crate
+//! for this workspace's `harness = false` bench targets.
+//!
+//! API-compatible with the slice of criterion the benches use:
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`],
+//! [`BenchmarkGroup::throughput`], [`BenchmarkId::new`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement model: a warmup phase (time-boxed), then up to
+//! [`Criterion::max_samples`] individually timed iterations within a
+//! measurement budget. Reported statistics are min / mean / **median /
+//! p99** — the two the ROADMAP's perf PRs regress against. Results are
+//! printed as a table and written as JSON to `BENCH_<group>.json`
+//! (override the directory with `LLMDM_BENCH_DIR`), so baselines can be
+//! diffed and committed.
+
+use crate::json::Json;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// An opaque value the optimizer must assume is used (re-export of
+/// `std::hint::black_box`, criterion-compatible name).
+pub use std::hint::black_box;
+
+// Make `use llmdm_rt::bench::{criterion_group, criterion_main};` work the
+// way the criterion imports did: the macros are `#[macro_export]`ed at the
+// crate root, so re-export them under this module too.
+pub use crate::{criterion_group, criterion_main};
+
+/// Identifies a benchmark within a group (`function/param`).
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new(function_name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { name: format!("{function_name}/{parameter}") }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// Per-iteration payload size for throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Abstract elements processed per iteration.
+    Elements(u64),
+}
+
+/// The timing callback handed to `bench_function` closures.
+pub struct Bencher {
+    samples: Vec<u64>,
+    warmup: Duration,
+    measure: Duration,
+    max_samples: usize,
+}
+
+impl Bencher {
+    /// Time `routine` repeatedly; one sample per invocation.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        // Warmup: run without recording until the warmup budget is spent.
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.warmup {
+            black_box(routine());
+        }
+        // Measurement: individually timed iterations.
+        let run_start = Instant::now();
+        while run_start.elapsed() < self.measure && self.samples.len() < self.max_samples {
+            let t = Instant::now();
+            black_box(routine());
+            self.samples.push(t.elapsed().as_nanos() as u64);
+        }
+    }
+}
+
+/// Summary statistics for one benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchStats {
+    /// Full benchmark id (`group/function/param`).
+    pub id: String,
+    /// Number of measured iterations.
+    pub iters: usize,
+    /// Minimum ns/iter.
+    pub min_ns: u64,
+    /// Mean ns/iter.
+    pub mean_ns: f64,
+    /// Median ns/iter.
+    pub median_ns: u64,
+    /// 99th-percentile ns/iter.
+    pub p99_ns: u64,
+    /// Throughput in MiB/s or Melem/s, if declared.
+    pub throughput: Option<(f64, &'static str)>,
+}
+
+impl BenchStats {
+    fn from_samples(id: String, mut samples: Vec<u64>, tp: Option<Throughput>) -> Self {
+        assert!(!samples.is_empty(), "benchmark `{id}` recorded no samples");
+        samples.sort_unstable();
+        let iters = samples.len();
+        let min_ns = samples[0];
+        let mean_ns = samples.iter().sum::<u64>() as f64 / iters as f64;
+        let median_ns = samples[iters / 2];
+        let p99_ns = samples[((iters as f64 * 0.99) as usize).min(iters - 1)];
+        let throughput = tp.map(|t| match t {
+            Throughput::Bytes(b) => {
+                ((b as f64 / (1024.0 * 1024.0)) / (median_ns as f64 * 1e-9), "MiB/s")
+            }
+            Throughput::Elements(n) => ((n as f64 / 1e6) / (median_ns as f64 * 1e-9), "Melem/s"),
+        });
+        BenchStats { id, iters, min_ns, mean_ns, median_ns, p99_ns, throughput }
+    }
+
+    fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("id".to_string(), Json::Str(self.id.clone())),
+            ("iters".to_string(), Json::Num(self.iters as f64)),
+            ("min_ns".to_string(), Json::Num(self.min_ns as f64)),
+            ("mean_ns".to_string(), Json::Num(self.mean_ns)),
+            ("median_ns".to_string(), Json::Num(self.median_ns as f64)),
+            ("p99_ns".to_string(), Json::Num(self.p99_ns as f64)),
+        ];
+        if let Some((v, unit)) = self.throughput {
+            fields.push(("throughput".to_string(), Json::Num(v)));
+            fields.push(("throughput_unit".to_string(), Json::Str(unit.to_string())));
+        }
+        Json::Obj(fields)
+    }
+}
+
+/// The harness entry point: holds timing budgets and collected results.
+pub struct Criterion {
+    /// Warmup budget per benchmark.
+    pub warmup: Duration,
+    /// Measurement budget per benchmark.
+    pub measure: Duration,
+    /// Sample-count cap per benchmark.
+    pub max_samples: usize,
+    results: Vec<BenchStats>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `LLMDM_BENCH_FAST=1` shrinks budgets for smoke runs.
+        let fast = std::env::var("LLMDM_BENCH_FAST").is_ok_and(|v| v == "1");
+        Criterion {
+            warmup: Duration::from_millis(if fast { 20 } else { 150 }),
+            measure: Duration::from_millis(if fast { 60 } else { 400 }),
+            max_samples: 20_000,
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Begin a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), throughput: None }
+    }
+
+    /// All stats collected so far.
+    pub fn results(&self) -> &[BenchStats] {
+        &self.results
+    }
+
+    /// Write collected results as a JSON report. Returns the rendered
+    /// document.
+    pub fn write_json(&self, path: &std::path::Path, label: &str) -> std::io::Result<String> {
+        let doc = Json::obj([
+            ("label", Json::Str(label.to_string())),
+            ("harness", Json::Str("llmdm-rt/bench".to_string())),
+            (
+                "benchmarks",
+                Json::Arr(self.results.iter().map(BenchStats::to_json).collect()),
+            ),
+        ]);
+        let text = doc.render();
+        std::fs::write(path, &text)?;
+        Ok(text)
+    }
+}
+
+/// A named group of benchmarks sharing an optional throughput.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declare per-iteration payload for subsequent benchmarks.
+    pub fn throughput(&mut self, tp: Throughput) {
+        self.throughput = Some(tp);
+    }
+
+    /// Measure one function.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl fmt::Display, mut f: F) {
+        let full = format!("{}/{id}", self.name);
+        let mut b = Bencher {
+            samples: Vec::new(),
+            warmup: self.criterion.warmup,
+            measure: self.criterion.measure,
+            max_samples: self.criterion.max_samples,
+        };
+        f(&mut b);
+        let stats = BenchStats::from_samples(full, b.samples, self.throughput);
+        print_stats_line(&stats);
+        self.criterion.results.push(stats);
+    }
+
+    /// End the group (criterion-compat no-op; results live on the
+    /// parent [`Criterion`]).
+    pub fn finish(self) {}
+}
+
+fn print_stats_line(s: &BenchStats) {
+    let tp = match s.throughput {
+        Some((v, unit)) => format!("  {v:10.1} {unit}"),
+        None => String::new(),
+    };
+    println!(
+        "{:<44} {:>10} iters  median {:>9}  p99 {:>9}{}",
+        s.id,
+        s.iters,
+        fmt_ns(s.median_ns),
+        fmt_ns(s.p99_ns),
+        tp
+    );
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 10_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else if ns >= 10_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Where bench JSON reports go: `LLMDM_BENCH_DIR` or the current dir.
+pub fn report_dir() -> std::path::PathBuf {
+    std::env::var_os("LLMDM_BENCH_DIR")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::path::PathBuf::from("."))
+}
+
+/// Declare a bench suite: `criterion_group!(benches, fn_a, fn_b);`
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group(c: &mut $crate::bench::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Generate `main` for a bench target: runs the groups, prints a table,
+/// and writes `BENCH_<binary>.json`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::bench::Criterion::default();
+            $($group(&mut c);)+
+            let bin = std::env::args()
+                .next()
+                .and_then(|p| {
+                    std::path::Path::new(&p)
+                        .file_stem()
+                        .map(|s| s.to_string_lossy().into_owned())
+                })
+                .map(|s| s.split('-').next().unwrap_or(&s).to_string())
+                .unwrap_or_else(|| "bench".to_string());
+            let path = $crate::bench::report_dir().join(format!("BENCH_{bin}.json"));
+            match c.write_json(&path, &bin) {
+                Ok(_) => eprintln!("wrote {}", path.display()),
+                Err(e) => eprintln!("could not write {}: {e}", path.display()),
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast() -> Criterion {
+        Criterion {
+            warmup: Duration::from_millis(1),
+            measure: Duration::from_millis(10),
+            max_samples: 500,
+            results: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn collects_sane_stats() {
+        let mut c = fast();
+        {
+            let mut g = c.benchmark_group("unit");
+            g.throughput(Throughput::Bytes(1024));
+            g.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+            g.bench_function(BenchmarkId::new("spin", 64), |b| {
+                b.iter(|| (0..64u64).map(black_box).sum::<u64>())
+            });
+            g.finish();
+        }
+        let r = c.results();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r[0].id, "unit/noop");
+        assert_eq!(r[1].id, "unit/spin/64");
+        for s in r {
+            assert!(s.iters > 0);
+            assert!(s.min_ns <= s.median_ns && s.median_ns <= s.p99_ns);
+            assert!(s.mean_ns > 0.0);
+        }
+        assert!(r[0].throughput.is_some());
+    }
+
+    #[test]
+    fn json_report_roundtrips() {
+        let mut c = fast();
+        c.benchmark_group("g").bench_function("f", |b| b.iter(|| black_box(0)));
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("llmdm_bench_test_{}.json", std::process::id()));
+        let text = c.write_json(&path, "test").expect("write");
+        let parsed = crate::json::Json::parse(&text).expect("valid json");
+        let benches = parsed.get("benchmarks").unwrap().as_arr().unwrap();
+        assert_eq!(benches.len(), 1);
+        assert_eq!(benches[0].get("id").unwrap().as_str().unwrap(), "g/f");
+        assert!(benches[0].get("median_ns").unwrap().as_f64().unwrap() >= 0.0);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("lookup_hit", 128).to_string(), "lookup_hit/128");
+    }
+}

@@ -1,0 +1,345 @@
+//! The regex-ish string-pattern subset used by strategy literals.
+//!
+//! Supported grammar (exactly what the workspace's property suites
+//! use — anything else panics at parse time, loudly, since a pattern
+//! is test code):
+//!
+//! ```text
+//! pattern  := atom*
+//! atom     := (class | escape | literal) repeat?
+//! repeat   := '{' n (',' m)? '}'
+//! class    := '[' '^'? item* ('&&' class)? ']'
+//! item     := char '-' char | escaped-char | char
+//! escape   := '\PC'   (any printable char, multibyte included)
+//!           | '\d' | '\w' | '\s' | '\r' | '\n' | '\t' | '\\' …
+//! ```
+//!
+//! Negated classes (`[^…]`) and `&&` intersections are materialized
+//! over printable ASCII (0x20–0x7E), which matches how the suites use
+//! them (`[ -~&&[^\r\n]]`).
+
+use super::Gen;
+use crate::rand::Rng;
+
+/// One parsed pattern element with its repetition bounds.
+enum Atom {
+    /// A materialized character set.
+    Set(Vec<char>),
+    /// `\PC`: any printable character (weighted toward ASCII, with
+    /// Latin-1, Greek, and CJK tails to stress multibyte handling).
+    Printable,
+}
+
+/// A parsed string pattern.
+pub struct Pattern {
+    atoms: Vec<(Atom, usize, usize)>,
+}
+
+impl Pattern {
+    /// Parse `src`, panicking on unsupported syntax.
+    pub fn parse(src: &str) -> Pattern {
+        let chars: Vec<char> = src.chars().collect();
+        let mut p = PatternParser { chars, pos: 0, src };
+        let mut atoms = Vec::new();
+        while let Some(c) = p.peek() {
+            let atom = match c {
+                '[' => Atom::Set(p.class()),
+                '\\' => {
+                    p.next();
+                    p.escape_atom()
+                }
+                _ => {
+                    p.next();
+                    Atom::Set(vec![c])
+                }
+            };
+            let (lo, hi) = p.repeat();
+            atoms.push((atom, lo, hi));
+        }
+        Pattern { atoms }
+    }
+
+    /// Generate one string at the context's scale.
+    pub fn generate(&self, g: &mut Gen<'_>) -> String {
+        let mut out = String::new();
+        for (atom, lo, hi) in &self.atoms {
+            let span = (hi - lo + 1) as u64;
+            let draw = g.rng.gen_index(span);
+            let n = lo + g.scaled(draw) as usize;
+            for _ in 0..n {
+                out.push(match atom {
+                    Atom::Set(chars) => chars[g.rng.gen_index(chars.len() as u64) as usize],
+                    Atom::Printable => printable_char(g),
+                });
+            }
+        }
+        out
+    }
+}
+
+/// Sample a printable (non-control) character: mostly ASCII, with
+/// multibyte tails from well-populated Unicode blocks.
+fn printable_char(g: &mut Gen<'_>) -> char {
+    match g.rng.gen_index(20) {
+        0..=15 => char::from_u32(0x20 + g.rng.gen_index(0x5F) as u32).unwrap(), // ' '..'~'
+        16 | 17 => {
+            // Latin-1 supplement, skipping U+00AD (soft hyphen, Cf).
+            let c = 0xA1 + g.rng.gen_index(0x5F) as u32;
+            char::from_u32(if c == 0xAD { 0xAE } else { c }).unwrap()
+        }
+        18 => char::from_u32(0x3B1 + g.rng.gen_index(24) as u32).unwrap(), // α..ω
+        _ => char::from_u32(0x4E00 + g.rng.gen_index(0x80) as u32).unwrap(), // CJK
+    }
+}
+
+struct PatternParser<'a> {
+    chars: Vec<char>,
+    pos: usize,
+    src: &'a str,
+}
+
+impl PatternParser<'_> {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<char> {
+        self.chars.get(self.pos + 1).copied()
+    }
+
+    fn next(&mut self) -> Option<char> {
+        let c = self.peek();
+        self.pos += 1;
+        c
+    }
+
+    fn bail(&self, why: &str) -> ! {
+        panic!("unsupported pattern {:?} at char {}: {}", self.src, self.pos, why)
+    }
+
+    fn escape_atom(&mut self) -> Atom {
+        match self.next() {
+            Some('P') => {
+                // \PC — "not in category Control".
+                match self.next() {
+                    Some('C') => Atom::Printable,
+                    _ => self.bail("only \\PC is supported"),
+                }
+            }
+            Some('d') => Atom::Set(('0'..='9').collect()),
+            Some('w') => {
+                let mut set: Vec<char> = ('a'..='z').collect();
+                set.extend('A'..='Z');
+                set.extend('0'..='9');
+                set.push('_');
+                Atom::Set(set)
+            }
+            Some('s') => Atom::Set(vec![' ', '\t']),
+            Some(c) => Atom::Set(vec![unescape(c)]),
+            None => self.bail("dangling backslash"),
+        }
+    }
+
+    /// Parse `[...]` into a materialized set.
+    fn class(&mut self) -> Vec<char> {
+        assert_eq!(self.next(), Some('['));
+        let negated = if self.peek() == Some('^') {
+            self.next();
+            true
+        } else {
+            false
+        };
+        let mut ranges: Vec<(char, char)> = Vec::new();
+        let mut intersect: Option<Vec<char>> = None;
+        loop {
+            match self.peek() {
+                None => self.bail("unterminated class"),
+                Some(']') => {
+                    self.next();
+                    break;
+                }
+                Some('&') if self.peek2() == Some('&') => {
+                    self.next();
+                    self.next();
+                    if self.peek() != Some('[') {
+                        self.bail("expected nested class after &&");
+                    }
+                    let nested = self.class();
+                    intersect = Some(match intersect {
+                        None => nested,
+                        Some(prev) => prev.into_iter().filter(|c| nested.contains(c)).collect(),
+                    });
+                }
+                Some('\\') => {
+                    self.next();
+                    let e = self.next().unwrap_or_else(|| self.bail("dangling backslash"));
+                    let c = unescape(e);
+                    ranges.push((c, c));
+                }
+                Some(c) => {
+                    self.next();
+                    if self.peek() == Some('-') && self.peek2().is_some() && self.peek2() != Some(']')
+                    {
+                        self.next();
+                        let hi = self.next().unwrap();
+                        if hi < c {
+                            self.bail("inverted range");
+                        }
+                        ranges.push((c, hi));
+                    } else {
+                        ranges.push((c, c));
+                    }
+                }
+            }
+        }
+        let in_ranges =
+            |ch: char| ranges.iter().any(|&(lo, hi)| (lo as u32..=hi as u32).contains(&(ch as u32)));
+        let base: Vec<char> = if negated {
+            // Printable ASCII minus the listed characters.
+            (0x20u8..=0x7E).map(|b| b as char).filter(|&c| !in_ranges(c)).collect()
+        } else {
+            let mut out = Vec::new();
+            for &(lo, hi) in &ranges {
+                for cp in lo as u32..=hi as u32 {
+                    if let Some(c) = char::from_u32(cp) {
+                        out.push(c);
+                    }
+                }
+            }
+            out
+        };
+        let result: Vec<char> = match intersect {
+            Some(other) => base.into_iter().filter(|c| other.contains(c)).collect(),
+            None => base,
+        };
+        if result.is_empty() {
+            self.bail("class matches no characters");
+        }
+        result
+    }
+
+    /// Parse optional `{n}` / `{m,n}`; default is exactly one.
+    fn repeat(&mut self) -> (usize, usize) {
+        if self.peek() != Some('{') {
+            return (1, 1);
+        }
+        self.next();
+        let lo = self.int();
+        let hi = if self.peek() == Some(',') {
+            self.next();
+            self.int()
+        } else {
+            lo
+        };
+        if self.next() != Some('}') {
+            self.bail("expected `}`");
+        }
+        if hi < lo {
+            self.bail("inverted repeat bounds");
+        }
+        (lo, hi)
+    }
+
+    fn int(&mut self) -> usize {
+        let mut n: Option<usize> = None;
+        while let Some(c) = self.peek() {
+            if let Some(d) = c.to_digit(10) {
+                n = Some(n.unwrap_or(0) * 10 + d as usize);
+                self.next();
+            } else {
+                break;
+            }
+        }
+        n.unwrap_or_else(|| self.bail("expected number in repeat"))
+    }
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        'r' => '\r',
+        't' => '\t',
+        other => other, // \\  \]  \-  \.  etc.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rand::{SeedableRng, SmallRng};
+
+    fn gen_with(pat: &str, seed: u64) -> String {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut g = Gen { rng: &mut rng, scale: 1.0 };
+        Pattern::parse(pat).generate(&mut g)
+    }
+
+    #[test]
+    fn fixed_literal() {
+        assert_eq!(gen_with("abc", 1), "abc");
+    }
+
+    #[test]
+    fn class_with_ranges_and_repeat() {
+        for seed in 0..50 {
+            let s = gen_with("[a-z0-9_]{2,5}", seed);
+            assert!((2..=5).contains(&s.len()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+        }
+    }
+
+    #[test]
+    fn trailing_literal_dash_is_literal() {
+        for seed in 0..50 {
+            let s = gen_with("[a-z-]{4}", seed);
+            assert!(s.chars().all(|c| c.is_ascii_lowercase() || c == '-'));
+        }
+    }
+
+    #[test]
+    fn negation_and_intersection() {
+        for seed in 0..100 {
+            let s = gen_with("[ -~&&[^\\r\\n]]{0,20}", seed);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn printable_escape_avoids_controls() {
+        for seed in 0..100 {
+            let s = gen_with("\\PC{0,30}", seed);
+            assert!(s.chars().all(|c| !c.is_control()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn multi_atom_pattern() {
+        for seed in 0..50 {
+            let s = gen_with("[a-z]{3,8} [0-9]{1,3}", seed);
+            let (a, b) = s.split_once(' ').expect("space separator");
+            assert!((3..=8).contains(&a.len()));
+            assert!((1..=3).contains(&b.len()));
+            assert!(b.chars().all(|c| c.is_ascii_digit()));
+        }
+    }
+
+    #[test]
+    fn shrink_scale_pulls_to_minimum() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut g = Gen { rng: &mut rng, scale: 0.0 };
+        let s = Pattern::parse("[a-z]{3,12}").generate(&mut g);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported pattern")]
+    fn inverted_repeat_panics() {
+        Pattern::parse("[a-z]{5,2}");
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported pattern")]
+    fn unterminated_class_panics() {
+        Pattern::parse("[a-z");
+    }
+}

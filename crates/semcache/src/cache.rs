@@ -4,10 +4,9 @@ use std::collections::HashMap;
 
 use llmdm_model::Embedder;
 use llmdm_vecdb::{FlatIndex, Metric, VectorIndex};
-use serde::{Deserialize, Serialize};
 
 /// What kind of entry this is (the Cache(O)/Cache(A) distinction).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EntryKind {
     /// A full user query.
     Original,

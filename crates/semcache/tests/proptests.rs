@@ -1,7 +1,8 @@
 //! Property-based tests for semantic-cache invariants.
 
 use llmdm_semcache::{AccessPredictor, CacheConfig, EntryKind, EvictionPolicy, Lookup, SemanticCache};
-use proptest::prelude::*;
+use llmdm_rt::proptest;
+use llmdm_rt::proptest::prelude::*;
 
 fn any_policy() -> impl Strategy<Value = EvictionPolicy> {
     prop_oneof![

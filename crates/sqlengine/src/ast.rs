@@ -1,12 +1,11 @@
 //! The SQL abstract syntax tree.
 
-use serde::{Deserialize, Serialize};
 
 use crate::value::{DataType, Value};
 
 /// Binary operators.
 #[allow(missing_docs)] // variants are self-describing operator names
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BinOp {
     Add,
     Sub,
@@ -25,7 +24,7 @@ pub enum BinOp {
 
 /// Unary operators.
 #[allow(missing_docs)] // variants are self-describing operator names
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum UnOp {
     Neg,
     Not,
@@ -33,7 +32,7 @@ pub enum UnOp {
 
 /// Aggregate functions.
 #[allow(missing_docs)] // variants are the SQL aggregate names
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AggFunc {
     Count,
     Sum,
@@ -68,7 +67,7 @@ impl AggFunc {
 }
 
 /// An expression.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Expr {
     /// Literal value.
     Literal(Value),
@@ -203,7 +202,7 @@ impl Expr {
 }
 
 /// One projected item.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum SelectItem {
     /// `*`
     Wildcard,
@@ -219,7 +218,7 @@ pub enum SelectItem {
 }
 
 /// Join types.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum JoinType {
     /// INNER JOIN (also comma-joins).
     Inner,
@@ -228,7 +227,7 @@ pub enum JoinType {
 }
 
 /// A table in the FROM clause.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FromItem {
     /// Table name.
     pub table: String,
@@ -239,7 +238,7 @@ pub struct FromItem {
 }
 
 /// ORDER BY key.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct OrderKey {
     /// Sort expression.
     pub expr: Expr,
@@ -249,7 +248,7 @@ pub struct OrderKey {
 
 /// Set operations between SELECTs.
 #[allow(missing_docs)] // variants are the SQL set-operation names
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SetOp {
     Union,
     Intersect,
@@ -257,7 +256,7 @@ pub enum SetOp {
 }
 
 /// A SELECT statement.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SelectStmt {
     /// DISTINCT flag.
     pub distinct: bool,
@@ -300,7 +299,7 @@ impl SelectStmt {
 }
 
 /// An ORDER of assignment in UPDATE.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Assignment {
     /// Target column.
     pub column: String,
@@ -309,7 +308,7 @@ pub struct Assignment {
 }
 
 /// A SQL statement.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Statement {
     /// SELECT query.
     Select(SelectStmt),

@@ -3,18 +3,16 @@
 
 use std::collections::BTreeMap;
 
-use serde::{Deserialize, Serialize};
 
 use crate::error::SqlError;
 use crate::result::ResultSet;
 use crate::schema::{Schema, Table};
 
 /// An in-memory database: a catalog of tables plus transaction state.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Database {
     tables: BTreeMap<String, Table>,
     /// Snapshot taken at BEGIN; restored on ROLLBACK.
-    #[serde(skip)]
     snapshot: Option<BTreeMap<String, Table>>,
 }
 

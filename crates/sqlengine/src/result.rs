@@ -7,13 +7,12 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 
 use crate::schema::Row;
 use crate::value::Value;
 
 /// The result of executing a statement.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ResultSet {
     /// Output column names.
     pub columns: Vec<String>,

@@ -1,12 +1,11 @@
 //! Schemas, rows, and tables.
 
-use serde::{Deserialize, Serialize};
 
 use crate::error::SqlError;
 use crate::value::{DataType, Value};
 
 /// A column definition.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Column {
     /// Column name (stored lowercase; SQL identifiers are case-insensitive).
     pub name: String,
@@ -22,7 +21,7 @@ impl Column {
 }
 
 /// A table schema: ordered columns.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Schema {
     columns: Vec<Column>,
 }
@@ -64,7 +63,7 @@ impl Schema {
 pub type Row = Vec<Value>;
 
 /// An in-memory table.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Table {
     /// Table name (lowercase).
     pub name: String,

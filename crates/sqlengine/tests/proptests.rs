@@ -3,7 +3,8 @@
 
 use llmdm_sqlengine::ast::{BinOp, Expr, SelectItem, SelectStmt, Statement};
 use llmdm_sqlengine::{parse_statement, print_statement, Database, Value};
-use proptest::prelude::*;
+use llmdm_rt::proptest;
+use llmdm_rt::proptest::prelude::*;
 
 // ---------- generated expression ASTs ----------
 

@@ -5,14 +5,13 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 
 const MONTHS: [&str; 12] = [
     "Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov", "Dec",
 ];
 
 /// One output piece of a mapping program.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum MapPiece {
     /// Emit a literal.
     Lit(String),
@@ -29,7 +28,7 @@ pub enum MapPiece {
 }
 
 /// A synthesized column-mapping program.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MapProgram {
     /// The output pieces, in order.
     pub pieces: Vec<MapPiece>,

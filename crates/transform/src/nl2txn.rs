@@ -7,10 +7,9 @@
 //! complete, which is known as a transaction."
 
 use llmdm_sqlengine::{Database, SqlError, Value};
-use serde::{Deserialize, Serialize};
 
 /// One money transfer extracted from the text.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Transfer {
     /// Paying party.
     pub from: String,
@@ -21,7 +20,7 @@ pub struct Transfer {
 }
 
 /// A compiled transaction script.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TransferScript {
     /// The extracted transfers, in order.
     pub transfers: Vec<Transfer>,

@@ -9,13 +9,12 @@
 //! allowed); [`Op`]s are the moves an operator program can make. The
 //! program *discovery* lives in [`crate::synthesize`].
 
-use serde::{Deserialize, Serialize};
 
 /// A raw spreadsheet grid.
 pub type Grid = Vec<Vec<String>>;
 
 /// A reshaping operator.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Op {
     /// Swap rows and columns.
     Transpose,

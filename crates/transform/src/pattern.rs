@@ -14,10 +14,9 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 
 /// One token of a pattern.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum PatternToken {
     /// An exact literal (shared by all observed values).
     Literal(String),
@@ -70,7 +69,7 @@ impl fmt::Display for PatternToken {
 }
 
 /// A column pattern: a token sequence all values must match.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Pattern {
     /// The tokens.
     pub tokens: Vec<PatternToken>,

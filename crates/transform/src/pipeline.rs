@@ -12,10 +12,9 @@
 //! columns).
 
 use llmdm_sqlengine::{Column, DataType, Schema, Table, Value};
-use serde::{Deserialize, Serialize};
 
 /// A preparation operator.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum PipelineOp {
     /// Replace NULLs in a numeric column with the column mean.
     ImputeMean(String),

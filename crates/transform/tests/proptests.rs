@@ -5,7 +5,8 @@
 use llmdm_transform::ops::{Grid, Op};
 use llmdm_transform::synthesize::{apply_program, discover_program, relationality};
 use llmdm_transform::{mine_pattern, synthesize_mapping, JsonValue};
-use proptest::prelude::*;
+use llmdm_rt::proptest;
+use llmdm_rt::proptest::prelude::*;
 
 // ---------- JSON ----------
 

@@ -10,10 +10,9 @@
 //! (§III-E's "score function") can then threshold a probability instead
 //! of a raw score.
 
-use serde::{Deserialize, Serialize};
 
 /// Per-bucket Beta posterior over correctness.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BetaPosterior {
     /// Successes + 1 (prior).
     pub alpha: f64,
@@ -48,7 +47,7 @@ impl BetaPosterior {
 }
 
 /// A bucketized Bayesian calibrator over a `[0, 1]` signal.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BayesianCalibrator {
     buckets: Vec<BetaPosterior>,
 }

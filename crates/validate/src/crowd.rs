@@ -6,10 +6,9 @@ use std::sync::Arc;
 
 use llmdm_model::hash::{combine, fnv1a_str, unit_f64};
 use llmdm_model::{ModelError, SimLlm};
-use serde::{Deserialize, Serialize};
 
 /// A simulated crowdworker with a fixed reliability.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Worker {
     /// Worker id (drives the deterministic vote stream).
     pub id: u64,

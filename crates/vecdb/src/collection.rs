@@ -294,8 +294,8 @@ impl Collection {
 mod tests {
     use super::*;
     use crate::filter::{AttrValue, Predicate};
-    use rand::rngs::SmallRng;
-    use rand::{Rng, SeedableRng};
+    use llmdm_rt::rand::rngs::SmallRng;
+    use llmdm_rt::rand::{Rng, SeedableRng};
 
     /// 200 random unit-ish vectors; even ids are "doc", odd are "table";
     /// ids < 20 additionally get rare=true.
@@ -303,7 +303,7 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(42);
         let mut coll = Collection::new(8, Metric::Cosine);
         for id in 0..200u64 {
-            let v: Vec<f32> = (0..8).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let v: Vec<f32> = (0..8).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
             let kind = if id % 2 == 0 { "doc" } else { "table" };
             let mut md: Vec<(String, AttrValue)> =
                 vec![("kind".to_string(), kind.into()), ("id".to_string(), AttrValue::Int(id as i64))];

@@ -12,10 +12,9 @@
 
 use std::collections::BTreeMap;
 
-use serde::{Deserialize, Serialize};
 
 /// An attribute value attached to a stored vector.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum AttrValue {
     /// UTF-8 string.
     Str(String),
@@ -80,7 +79,7 @@ impl From<bool> for AttrValue {
 pub type Metadata = BTreeMap<String, AttrValue>;
 
 /// A single attribute predicate.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Predicate {
     /// `key == value`
     Eq(String, AttrValue),
@@ -132,7 +131,7 @@ impl Predicate {
 }
 
 /// A conjunction of predicates. The empty filter matches everything.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Filter {
     predicates: Vec<Predicate>,
 }

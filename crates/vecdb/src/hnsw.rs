@@ -401,8 +401,8 @@ impl VectorIndex for HnswIndex {
 mod tests {
     use super::*;
     use crate::flat::FlatIndex;
-    use rand::rngs::SmallRng;
-    use rand::{Rng, SeedableRng};
+    use llmdm_rt::rand::rngs::SmallRng;
+    use llmdm_rt::rand::{Rng, SeedableRng};
 
     fn random_vecs(n: usize, dim: usize, seed: u64) -> Vec<Vec<f32>> {
         let mut rng = SmallRng::seed_from_u64(seed);

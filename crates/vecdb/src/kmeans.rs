@@ -1,7 +1,7 @@
 //! Seeded Lloyd's k-means, used as the IVF coarse quantizer.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use llmdm_rt::rand::rngs::SmallRng;
+use llmdm_rt::rand::{Rng, SeedableRng};
 
 /// Result of a k-means run.
 #[derive(Debug, Clone)]

@@ -3,10 +3,9 @@
 //! All indexes rank by a *score* where **higher is better**, so L2 distance
 //! is negated. This keeps heap logic identical across metrics.
 
-use serde::{Deserialize, Serialize};
 
 /// Supported similarity metrics.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Metric {
     /// Cosine similarity in `[-1, 1]`.
     Cosine,

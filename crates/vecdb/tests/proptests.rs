@@ -4,7 +4,8 @@ use llmdm_vecdb::{
     AttrValue, Collection, Filter, FlatIndex, HybridStrategy, KPredictor, Metric, Predicate,
     VectorIndex,
 };
-use proptest::prelude::*;
+use llmdm_rt::proptest;
+use llmdm_rt::proptest::prelude::*;
 
 const DIM: usize = 6;
 

@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Tier-1 verification: the workspace must build and test entirely
+# offline (the hermetic-build invariant; see tests/hermetic.rs).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== offline release build"
+cargo build --release --offline
+
+echo "== offline test suite"
+cargo test -q --offline
+
+echo "verify: OK"

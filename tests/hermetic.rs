@@ -1,0 +1,134 @@
+//! The hermetic-build guard: every dependency in the workspace must be a
+//! `path` dependency.
+//!
+//! The workspace's build invariant is that `cargo build --offline`
+//! succeeds from a cold registry cache — no network, no vendored
+//! registry, no lockfile churn. That only holds if no crate ever grows a
+//! registry dependency, so this test parses the root manifest and every
+//! `crates/*/Cargo.toml` and fails loudly on anything that is not a
+//! `path = …` / `*.workspace = true` dependency.
+//!
+//! (Hand-rolled scanning, not a TOML crate — a TOML parser would itself
+//! violate the invariant.)
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Find the workspace root: walk up from this test file's crate.
+fn workspace_root() -> PathBuf {
+    let mut dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    loop {
+        let candidate = dir.join("Cargo.toml");
+        if candidate.exists() {
+            if fs::read_to_string(&candidate)
+                .map(|s| s.contains("[workspace]"))
+                .unwrap_or(false)
+            {
+                return dir;
+            }
+        }
+        assert!(dir.pop(), "workspace root not found above CARGO_MANIFEST_DIR");
+    }
+}
+
+/// Collect `(manifest, offending line)` pairs for non-path dependencies.
+fn scan_manifest(path: &Path) -> Vec<String> {
+    let text = fs::read_to_string(path).unwrap_or_else(|e| panic!("read {path:?}: {e}"));
+    let mut offenders = Vec::new();
+    let mut in_dep_section = false;
+    for raw in text.lines() {
+        let line = raw.trim();
+        if line.starts_with('[') {
+            // [dependencies], [dev-dependencies], [build-dependencies],
+            // [workspace.dependencies], and target-specific variants.
+            in_dep_section = line.trim_matches(['[', ']']).ends_with("dependencies");
+            continue;
+        }
+        if !in_dep_section || line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let ok = line.contains("path =")
+            || line.contains("path=")
+            || line.ends_with(".workspace = true")
+            || line.contains("workspace = true");
+        if !ok {
+            offenders.push(format!("{}: {line}", path.display()));
+        }
+    }
+    offenders
+}
+
+#[test]
+fn every_dependency_is_a_path_dependency() {
+    let root = workspace_root();
+    let mut manifests = vec![root.join("Cargo.toml")];
+    for entry in fs::read_dir(root.join("crates")).expect("crates dir") {
+        let dir = entry.expect("dir entry").path();
+        let manifest = dir.join("Cargo.toml");
+        if manifest.exists() {
+            manifests.push(manifest);
+        }
+    }
+    assert!(manifests.len() > 10, "expected the full workspace, found {}", manifests.len());
+
+    let offenders: Vec<String> = manifests.iter().flat_map(|m| scan_manifest(m)).collect();
+    assert!(
+        offenders.is_empty(),
+        "non-path dependencies break the hermetic offline build:\n{}",
+        offenders.join("\n")
+    );
+}
+
+#[test]
+fn rt_crate_has_no_dependencies_at_all() {
+    let root = workspace_root();
+    let text = fs::read_to_string(root.join("crates/rt/Cargo.toml")).expect("rt manifest");
+    let mut in_deps = false;
+    for raw in text.lines() {
+        let line = raw.trim();
+        if line.starts_with('[') {
+            in_deps = line.trim_matches(['[', ']']).ends_with("dependencies");
+            continue;
+        }
+        if in_deps && !line.is_empty() && !line.starts_with('#') {
+            panic!("llmdm-rt must stay dependency-free, found: {line}");
+        }
+    }
+}
+
+#[test]
+fn no_source_file_references_removed_crates() {
+    // The replaced crates must not creep back in via `use` or `extern`.
+    let root = workspace_root();
+    let banned = ["rand::", "serde::", "proptest::prelude", "criterion::", "crossbeam::", "parking_lot::", "bytes::"];
+    let mut offenders = Vec::new();
+    visit(&root.join("crates"), &mut |p, text| {
+        for line in text.lines() {
+            let t = line.trim_start();
+            if let Some(rest) = t.strip_prefix("use ") {
+                for b in banned {
+                    if rest.starts_with(b) {
+                        offenders.push(format!("{}: {t}", p.display()));
+                    }
+                }
+            }
+        }
+    });
+    assert!(offenders.is_empty(), "external-crate imports crept back:\n{}", offenders.join("\n"));
+}
+
+fn visit(dir: &Path, f: &mut impl FnMut(&Path, &str)) {
+    for entry in fs::read_dir(dir).expect("read dir") {
+        let p = entry.expect("entry").path();
+        if p.is_dir() {
+            if p.file_name().is_some_and(|n| n == "target") {
+                continue;
+            }
+            visit(&p, f);
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            if let Ok(text) = fs::read_to_string(&p) {
+                f(&p, &text);
+            }
+        }
+    }
+}

@@ -10,8 +10,8 @@ use llmdm::sql::{Column, DataType, Schema, Table, Value};
 
 /// A "real" labelled table: label = high_risk, features correlated with it.
 fn real_table(n: usize, seed: u64) -> Table {
-    use rand::rngs::SmallRng;
-    use rand::{Rng, SeedableRng};
+    use llmdm_rt::rand::rngs::SmallRng;
+    use llmdm_rt::rand::{Rng, SeedableRng};
     let mut rng = SmallRng::seed_from_u64(seed);
     let schema = Schema::new(vec![
         Column::new("age", DataType::Int),
