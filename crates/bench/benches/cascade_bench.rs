@@ -1,6 +1,6 @@
 //! Cascade routing overhead per query (excluding/including escalation).
 
-use llmdm_rt::bench::{criterion_group, criterion_main, Criterion};
+use llmdm_rt::bench::{criterion_group, Criterion};
 use llmdm_cascade::{CascadeRouter, DecisionModel, HotpotConfig, HotpotWorkload, QaSolver};
 use llmdm_model::ModelZoo;
 use std::sync::Arc;
@@ -22,4 +22,4 @@ fn bench_cascade(c: &mut Criterion) {
 }
 
 criterion_group!(benches, bench_cascade);
-criterion_main!(benches);
+llmdm_obs::bench_main!(benches);

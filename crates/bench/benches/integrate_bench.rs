@@ -1,6 +1,6 @@
 //! Entity-resolution blocking and matching throughput.
 
-use llmdm_rt::bench::{criterion_group, criterion_main, Criterion};
+use llmdm_rt::bench::{criterion_group, Criterion};
 use llmdm_integrate::er::{block, evaluate, ErDataset, SimilarityMatcher};
 
 fn bench_er(c: &mut Criterion) {
@@ -13,4 +13,4 @@ fn bench_er(c: &mut Criterion) {
 }
 
 criterion_group!(benches, bench_er);
-criterion_main!(benches);
+llmdm_obs::bench_main!(benches);

@@ -1,0 +1,150 @@
+//! The cost of instrumentation, pinned.
+//!
+//! Two claims from DESIGN.md §8 are enforced here, not just stated:
+//!
+//! 1. A *disabled* recorder's entry points cost roughly one relaxed
+//!    atomic load. Measured as 100-call batches (amortizing the timer
+//!    overhead that would otherwise swamp a nanosecond-scale call) and
+//!    asserted against `LLMDM_OBS_DISABLED_NS_MAX` ns/call (default 50).
+//! 2. Wrapping the tokenizer hot loop with disabled instrumentation adds
+//!    less than 5% (asserted on `min_ns`, the least noisy statistic,
+//!    with `LLMDM_OBS_TOKENIZER_SLACK` percent slack, default 5).
+//!
+//! Enabled-recorder costs are measured for the report but not asserted —
+//! they are allowed to cost what real recording costs.
+//!
+//! `scripts/verify.sh` runs this with `LLMDM_BENCH_FAST=1`; a regression
+//! that makes the disabled path allocate or take a lock fails the build.
+
+use llmdm_model::Tokenizer;
+use llmdm_rt::bench::{black_box, Criterion};
+
+const BATCH: usize = 100;
+
+fn bench_disabled(c: &mut Criterion) {
+    llmdm_obs::disable();
+    let mut group = c.benchmark_group("obs_disabled");
+    group.bench_function("counter_add_x100", |b| {
+        b.iter(|| {
+            for _ in 0..BATCH {
+                llmdm_obs::counter_add(black_box("bench.noop"), 1.0);
+            }
+        })
+    });
+    group.bench_function("span_x100", |b| {
+        b.iter(|| {
+            for _ in 0..BATCH {
+                let _guard = llmdm_obs::span(black_box("bench.noop"));
+            }
+        })
+    });
+    group.bench_function("observe_x100", |b| {
+        b.iter(|| {
+            for _ in 0..BATCH {
+                llmdm_obs::observe(black_box("bench.noop"), 1.0);
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_enabled(c: &mut Criterion) {
+    llmdm_obs::enable();
+    llmdm_obs::reset();
+    let mut group = c.benchmark_group("obs_enabled");
+    group.bench_function("counter_add_x100", |b| {
+        b.iter(|| {
+            for _ in 0..BATCH {
+                llmdm_obs::counter_add(black_box("bench.enabled_counter"), 1.0);
+            }
+        })
+    });
+    group.bench_function("span_x100", |b| {
+        b.iter(|| {
+            for _ in 0..BATCH {
+                let _guard = llmdm_obs::span(black_box("bench.enabled_span"));
+            }
+        })
+    });
+    group.finish();
+    llmdm_obs::disable();
+    llmdm_obs::reset();
+}
+
+fn bench_tokenizer_overhead(c: &mut Criterion) {
+    llmdm_obs::disable();
+    let tok = Tokenizer::new();
+    let prompt = include_str!("obs_overhead.rs").repeat(4);
+    let mut group = c.benchmark_group("tokenizer_obs");
+    group.bench_function("plain", |b| b.iter(|| tok.count(black_box(&prompt))));
+    group.bench_function("with_disabled_obs", |b| {
+        b.iter(|| {
+            // The exact instrumentation shape used on hot paths: a span
+            // guard plus a counter bump, recorder disabled.
+            let _span = llmdm_obs::span("bench.tokenize");
+            let n = tok.count(black_box(&prompt));
+            llmdm_obs::counter_add("bench.tokens", n as f64);
+            n
+        })
+    });
+    group.finish();
+}
+
+fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn stat<'a>(c: &'a Criterion, id: &str) -> &'a llmdm_rt::bench::BenchStats {
+    c.results()
+        .iter()
+        .find(|s| s.id == id)
+        .unwrap_or_else(|| panic!("no stats for `{id}`"))
+}
+
+fn main() {
+    let mut c = Criterion::default();
+    bench_disabled(&mut c);
+    bench_enabled(&mut c);
+    bench_tokenizer_overhead(&mut c);
+
+    // Pin claim 1: disabled entry points stay ~an atomic load per call.
+    let max_per_call_ns = env_f64("LLMDM_OBS_DISABLED_NS_MAX", 50.0);
+    for id in
+        ["obs_disabled/counter_add_x100", "obs_disabled/span_x100", "obs_disabled/observe_x100"]
+    {
+        let s = stat(&c, id);
+        let per_call = s.median_ns as f64 / BATCH as f64;
+        assert!(
+            per_call <= max_per_call_ns,
+            "{id}: {per_call:.1} ns/call exceeds the disabled-path budget of {max_per_call_ns} ns \
+             (median {} ns per {BATCH}-call batch)",
+            s.median_ns
+        );
+        println!("{id}: {per_call:.2} ns/call (budget {max_per_call_ns})");
+    }
+
+    // Pin claim 2: <5% overhead on the tokenizer hot loop.
+    let slack = 1.0 + env_f64("LLMDM_OBS_TOKENIZER_SLACK", 5.0) / 100.0;
+    let plain = stat(&c, "tokenizer_obs/plain").min_ns as f64;
+    let with_obs = stat(&c, "tokenizer_obs/with_disabled_obs").min_ns as f64;
+    assert!(
+        with_obs <= plain * slack,
+        "disabled obs adds {:.1}% to the tokenizer loop (plain {plain} ns, with obs {with_obs} ns, \
+         budget {:.0}%)",
+        (with_obs / plain - 1.0) * 100.0,
+        (slack - 1.0) * 100.0
+    );
+    println!(
+        "tokenizer overhead: {:+.2}% (plain {plain} ns, with disabled obs {with_obs} ns)",
+        (with_obs / plain - 1.0) * 100.0
+    );
+
+    // Report, stamped like every other bench.
+    let seed = std::env::var("LLMDM_BENCH_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(42);
+    let meta = llmdm_obs::run_meta(Some(seed));
+    let path = llmdm_rt::bench::report_dir().join("BENCH_obs_overhead.json");
+    match c.write_json_with_meta(&path, "obs_overhead", &meta) {
+        Ok(_) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+}

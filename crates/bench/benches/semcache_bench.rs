@@ -1,6 +1,6 @@
 //! Semantic-cache lookup/insert throughput and eviction-policy overhead.
 
-use llmdm_rt::bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use llmdm_rt::bench::{criterion_group, BenchmarkId, Criterion};
 use llmdm_semcache::{CacheConfig, EntryKind, EvictionPolicy, SemanticCache};
 
 fn filled_cache(n: usize, policy: EvictionPolicy) -> SemanticCache {
@@ -53,4 +53,4 @@ fn bench_cache(c: &mut Criterion) {
 }
 
 criterion_group!(benches, bench_cache);
-criterion_main!(benches);
+llmdm_obs::bench_main!(benches);

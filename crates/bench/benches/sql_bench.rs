@@ -1,6 +1,6 @@
 //! SQL parse + execute throughput on the concert fixture.
 
-use llmdm_rt::bench::{criterion_group, criterion_main, Criterion};
+use llmdm_rt::bench::{criterion_group, Criterion};
 use llmdm_nlq::concert_domain;
 use llmdm_sqlengine::parse_statement;
 
@@ -31,4 +31,4 @@ fn bench_sql(c: &mut Criterion) {
 }
 
 criterion_group!(benches, bench_sql);
-criterion_main!(benches);
+llmdm_obs::bench_main!(benches);

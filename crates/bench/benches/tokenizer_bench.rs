@@ -1,7 +1,7 @@
 //! Tokenizer throughput: every dollar figure in the reproduction flows
 //! through `Tokenizer::count`.
 
-use llmdm_rt::bench::{criterion_group, criterion_main, Criterion, Throughput};
+use llmdm_rt::bench::{criterion_group, Criterion, Throughput};
 use llmdm_model::Tokenizer;
 
 fn bench_tokenizer(c: &mut Criterion) {
@@ -15,4 +15,4 @@ fn bench_tokenizer(c: &mut Criterion) {
 }
 
 criterion_group!(benches, bench_tokenizer);
-criterion_main!(benches);
+llmdm_obs::bench_main!(benches);

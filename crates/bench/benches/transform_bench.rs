@@ -1,6 +1,6 @@
 //! Pattern mining and operator-program discovery throughput.
 
-use llmdm_rt::bench::{criterion_group, criterion_main, Criterion};
+use llmdm_rt::bench::{criterion_group, Criterion};
 use llmdm_transform::{discover_program, mine_pattern, Grid};
 
 fn bench_transform(c: &mut Criterion) {
@@ -24,4 +24,4 @@ fn bench_transform(c: &mut Criterion) {
 }
 
 criterion_group!(benches, bench_transform);
-criterion_main!(benches);
+llmdm_obs::bench_main!(benches);

@@ -1,7 +1,7 @@
 //! Hybrid filtered search: pre-filter vs post-filter vs adaptive ordering
 //! as selectivity varies (§III-B2's "order of filtering" question).
 
-use llmdm_rt::bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use llmdm_rt::bench::{criterion_group, BenchmarkId, Criterion};
 use llmdm_vecdb::{AttrValue, Collection, Filter, HybridStrategy, Metric};
 use llmdm_rt::rand::rngs::SmallRng;
 use llmdm_rt::rand::{Rng, SeedableRng};
@@ -45,4 +45,4 @@ fn bench_hybrid(c: &mut Criterion) {
 }
 
 criterion_group!(benches, bench_hybrid);
-criterion_main!(benches);
+llmdm_obs::bench_main!(benches);

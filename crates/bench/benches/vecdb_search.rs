@@ -1,7 +1,7 @@
 //! Vector index search: flat (exact) vs IVF vs HNSW — the recall/latency
 //! engine room behind every vector-database use in the paper.
 
-use llmdm_rt::bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use llmdm_rt::bench::{criterion_group, BenchmarkId, Criterion};
 use llmdm_vecdb::{FlatIndex, HnswConfig, HnswIndex, IvfConfig, IvfIndex, Metric, VectorIndex};
 use llmdm_rt::rand::rngs::SmallRng;
 use llmdm_rt::rand::{Rng, SeedableRng};
@@ -77,4 +77,4 @@ fn bench_search(c: &mut Criterion) {
 }
 
 criterion_group!(benches, bench_search);
-criterion_main!(benches);
+llmdm_obs::bench_main!(benches);

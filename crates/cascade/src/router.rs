@@ -84,18 +84,35 @@ impl CascadeRouter {
     }
 
     /// Answer a prompt through the cascade.
+    ///
+    /// Observability: each call opens a `cascade.answer` span (fields
+    /// `tier_used`, `tiers_tried`, `total_cost_usd`) with one
+    /// `cascade.tier` child per attempted tier (fields `model`,
+    /// `decision_score`, `accepted`), and bumps `cascade.queries`,
+    /// `cascade.escalations` and `cascade.accept.<model>` counters plus
+    /// the `cascade.tier_used` histogram.
     pub fn answer(&self, prompt: &str) -> Result<CascadeAnswer, llmdm_model::ModelError> {
+        let mut span = llmdm_obs::span("cascade.answer");
+        llmdm_obs::counter_add("cascade.queries", 1.0);
         let n = self.models.len();
         let mut trace = Vec::with_capacity(n);
         let mut total_cost = 0.0;
         let mut total_latency = std::time::Duration::ZERO;
         for (i, model) in self.models.iter().enumerate() {
+            let mut tier_span = llmdm_obs::span("cascade.tier");
             let completion = model.complete(&CompletionRequest::new(prompt))?;
             total_cost += completion.cost;
             total_latency += completion.latency;
             let score = self.decision.predict(&Features::extract(&completion, i, n));
             let last = i + 1 == n;
             let accepted = last || score >= self.threshold;
+            if tier_span.is_recording() {
+                tier_span.field("model", model.name());
+                tier_span.field("tier", i);
+                tier_span.field("decision_score", score);
+                tier_span.field("accepted", accepted);
+            }
+            drop(tier_span);
             trace.push(TierAttempt {
                 model: model.name().to_string(),
                 answer: completion.text.clone(),
@@ -104,6 +121,14 @@ impl CascadeRouter {
                 cost: completion.cost,
             });
             if accepted {
+                if span.is_recording() {
+                    span.field("tier_used", i);
+                    span.field("tiers_tried", i + 1);
+                    span.field("total_cost_usd", total_cost);
+                    llmdm_obs::counter_add("cascade.escalations", i as f64);
+                    llmdm_obs::counter_add(&format!("cascade.accept.{}", model.name()), 1.0);
+                    llmdm_obs::observe("cascade.tier_used", i as f64);
+                }
                 return Ok(CascadeAnswer {
                     text: completion.text,
                     tier_used: i,

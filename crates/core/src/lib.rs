@@ -43,6 +43,8 @@ pub use llmdm_explore as explore;
 pub use llmdm_integrate as integrate;
 pub use llmdm_model as model;
 pub use llmdm_nlq as nlq;
+pub use llmdm_obs as obs;
+pub use llmdm_rt as rt;
 pub use llmdm_privacy as privacy;
 pub use llmdm_promptopt as promptopt;
 pub use llmdm_semcache as semcache;

@@ -72,6 +72,8 @@ impl DataManager {
     /// relationalize it and register every produced table. Returns the
     /// table names.
     pub fn ingest_json(&mut self, name: &str, json: &str) -> Result<Vec<String>, String> {
+        let mut span = llmdm_obs::span("core.stage.transformation");
+        span.field("op", "ingest_json");
         let doc = JsonValue::parse(json)?;
         let tables = llmdm_transform::json_to_tables(name, &doc)?;
         let mut names = Vec::with_capacity(tables.len());
@@ -79,6 +81,7 @@ impl DataManager {
             names.push(t.name.clone());
             self.db.create_table(t).map_err(|e| e.to_string())?;
         }
+        span.field("tables", names.len());
         Ok(names)
     }
 
@@ -90,7 +93,10 @@ impl DataManager {
         name: &str,
         grid: &Grid,
     ) -> Result<(Vec<Op>, String), String> {
+        let mut span = llmdm_obs::span("core.stage.transformation");
+        span.field("op", "ingest_spreadsheet");
         let (program, _) = discover_program(grid, 3, 8);
+        span.field("program_ops", program.len());
         let reshaped = llmdm_transform::synthesize::apply_program(grid, &program);
         let table = grid_to_table(name, &reshaped)?;
         self.db.create_table(table).map_err(|e| e.to_string())?;
@@ -103,6 +109,9 @@ impl DataManager {
         name: &str,
         fds: &[(&str, &str)],
     ) -> Result<CleanReport, String> {
+        let mut span = llmdm_obs::span("core.stage.integration");
+        span.field("op", "clean_table");
+        span.field("fds", fds.len());
         let table = self.db.table(name).map_err(|e| e.to_string())?.clone();
         let report = clean_report(&table, fds);
         let mut repaired = table;
@@ -118,6 +127,9 @@ impl DataManager {
     /// again after ingesting new sources indexes only the new tables
     /// (documents are always added).
     pub fn build_lake(&mut self, documents: &[(&str, &str)]) -> Result<usize, String> {
+        let mut span = llmdm_obs::span("core.stage.exploration");
+        span.field("op", "build_lake");
+        span.field("documents", documents.len());
         let names: Vec<String> = self.db.table_names().iter().map(|s| s.to_string()).collect();
         for name in names {
             if self.indexed_tables.contains(&name) {
@@ -140,6 +152,9 @@ impl DataManager {
     /// **Generation**: produce executable SQL over the managed database
     /// (Fig. 2) for DBMS testing or training-data purposes.
     pub fn generate_sql(&mut self, n: usize) -> Vec<llmdm_datagen::GeneratedSql> {
+        let mut span = llmdm_obs::span("core.stage.generation");
+        span.field("op", "generate_sql");
+        span.field("n", n);
         let mut generator = llmdm_datagen::SqlGenerator::new(self.seed);
         generator.generate(
             &self.db,

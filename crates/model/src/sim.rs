@@ -200,6 +200,8 @@ impl LanguageModel for SimLlm {
     }
 
     fn complete(&self, req: &CompletionRequest) -> Result<Completion, ModelError> {
+        let mut span = llmdm_obs::span("model.complete");
+        span.field("model", self.config.name.as_str());
         let input_tokens = self.tokenizer.count(&req.prompt);
         if input_tokens > self.config.context_window {
             return Err(ModelError::ContextOverflow {
@@ -266,6 +268,15 @@ impl LanguageModel for SimLlm {
         let usage = TokenUsage { input_tokens, output_tokens };
         let cost = self.meter.record(&self.config.name, usage);
         let latency = self.config.latency.latency(input_tokens, output_tokens, call_seed);
+
+        if span.is_recording() {
+            span.field("tokens_in", input_tokens);
+            span.field("tokens_out", output_tokens);
+            span.field("cost_usd", cost);
+            span.field("latency_ms", latency.as_secs_f64() * 1e3);
+            span.field("confidence", confidence);
+            llmdm_obs::observe("model.latency_ms", latency.as_secs_f64() * 1e3);
+        }
 
         Ok(Completion { text, model: self.config.name.clone(), usage, cost, latency, confidence })
     }

@@ -103,12 +103,28 @@ impl UsageMeter {
     }
 
     /// Record a call. Unknown models are billed at $0 (still counted).
+    ///
+    /// The meter stays the dollar **source of truth**; it additionally
+    /// mirrors every record into the `llmdm-obs` counters
+    /// (`model.calls`, `model.tokens`, `model.cost_usd`) so traces and
+    /// the Table I–III cost rows can never disagree (asserted by
+    /// `crates/cascade/tests/obs_reconcile.rs`).
     pub fn record(&self, model: &str, usage: TokenUsage) -> f64 {
         let cost = self
             .prices
             .get(model)
             .map(|p| p.cost(usage.input_tokens, usage.output_tokens))
             .unwrap_or(0.0);
+        if llmdm_obs::is_enabled() {
+            llmdm_obs::counter_add("model.calls", 1.0);
+            llmdm_obs::counter_add("model.tokens", usage.total() as f64);
+            llmdm_obs::counter_add("model.tokens_in", usage.input_tokens as f64);
+            llmdm_obs::counter_add("model.tokens_out", usage.output_tokens as f64);
+            llmdm_obs::counter_add("model.cost_usd", cost);
+            llmdm_obs::counter_add(&format!("model.calls.{model}"), 1.0);
+            llmdm_obs::counter_add(&format!("model.cost_usd.{model}"), cost);
+            llmdm_obs::observe("model.tokens_per_call", usage.total() as f64);
+        }
         let mut snap = self.lock();
         let slot = match snap.per_model.iter_mut().find(|(m, _)| m == model) {
             Some((_, u)) => u,

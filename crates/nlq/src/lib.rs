@@ -37,7 +37,7 @@ pub mod workload;
 pub use atoms::{Atom, Connective, Event, QueryShape};
 pub use decompose::{decompose, recompose, Decomposition};
 pub use domain::concert_domain;
-pub use pipeline::{run_table2, PipelineReport, Table2Report};
+pub use pipeline::{run_combination, run_decomposition, run_origin, run_table2, run_table2_with, PipelineReport, Table2Report};
 pub use prompt::{ExamplePool, PromptBuilder};
 pub use solver::Nl2SqlSolver;
 pub use workload::{fig7_queries, NlQuery, Workload, WorkloadConfig};

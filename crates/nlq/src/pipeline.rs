@@ -80,6 +80,8 @@ pub fn run_origin(
     zoo: &ModelZoo,
     builder: &PromptBuilder,
 ) -> PipelineReport {
+    let mut span = llmdm_obs::span("nlq.origin");
+    span.field("queries", queries.len());
     let model = zoo.large();
     let before = zoo.meter().snapshot();
     let gold = gold_results(db, queries);
@@ -106,11 +108,21 @@ pub fn run_decomposition(
     zoo: &ModelZoo,
     builder: &PromptBuilder,
 ) -> PipelineReport {
+    let mut span = llmdm_obs::span("nlq.decompose");
     let model = zoo.large();
     let before = zoo.meter().snapshot();
     let gold = gold_results(db, queries);
 
     let atoms = unique_atoms(queries);
+    if span.is_recording() {
+        // The decomposition fan-out: N queries collapse to M unique atoms,
+        // each translated exactly once (M model calls instead of N).
+        span.field("queries", queries.len());
+        span.field("unique_atoms", atoms.len());
+        llmdm_obs::counter_add("nlq.decompose.queries", queries.len() as f64);
+        llmdm_obs::counter_add("nlq.decompose.unique_atoms", atoms.len() as f64);
+        llmdm_obs::observe("nlq.decompose.fanout", atoms.len() as f64);
+    }
     let mut answers: BTreeMap<String, String> = BTreeMap::new();
     for (key, atom) in &atoms {
         let prompt = builder.single(&atom.sub_question());
@@ -140,6 +152,7 @@ pub fn run_combination(
     builder: &PromptBuilder,
     batch_size: usize,
 ) -> PipelineReport {
+    let mut span = llmdm_obs::span("nlq.combine");
     let model = zoo.large();
     let before = zoo.meter().snapshot();
     let gold = gold_results(db, queries);
@@ -147,6 +160,14 @@ pub fn run_combination(
     let atoms = unique_atoms(queries);
     let entries: Vec<(String, String)> =
         atoms.iter().map(|(k, a)| (k.clone(), a.sub_question())).collect();
+    if span.is_recording() {
+        let batches = entries.len().div_ceil(batch_size.max(1));
+        span.field("queries", queries.len());
+        span.field("unique_atoms", atoms.len());
+        span.field("batch_size", batch_size);
+        span.field("batches", batches);
+        llmdm_obs::counter_add("nlq.combine.batches", batches as f64);
+    }
     let mut answers: BTreeMap<String, String> = BTreeMap::new();
     for chunk in entries.chunks(batch_size.max(1)) {
         let questions: Vec<&str> = chunk.iter().map(|(_, q)| q.as_str()).collect();

@@ -1,0 +1,338 @@
+//! Exporters: machine-readable JSON (`TRACE_*.json`) and a
+//! human-readable flame-style text tree.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use llmdm_rt::json::Json;
+
+use crate::hist::HistogramSummary;
+use crate::recorder::{FieldValue, SpanRecord};
+
+/// A point-in-time copy of everything a recorder collected.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Finished spans, in completion order.
+    pub spans: Vec<SpanRecord>,
+    /// Monotonic counters.
+    pub counters: BTreeMap<String, f64>,
+    /// Last-write-wins gauges.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histogram summaries (count/mean/p50/p95/p99/min/max).
+    pub histograms: BTreeMap<String, HistogramSummary>,
+}
+
+/// Alias for the metric part of a [`Report`] (everything but spans).
+pub type MetricsSummary = BTreeMap<String, HistogramSummary>;
+
+fn field_json(v: &FieldValue) -> Json {
+    match v {
+        FieldValue::Str(s) => Json::Str(s.clone()),
+        FieldValue::U64(n) => Json::Num(*n as f64),
+        FieldValue::I64(n) => Json::Num(*n as f64),
+        FieldValue::F64(n) => Json::Num(*n),
+        FieldValue::Bool(b) => Json::Bool(*b),
+    }
+}
+
+fn span_json(s: &SpanRecord) -> Json {
+    Json::obj([
+        ("id", Json::Num(s.id as f64)),
+        (
+            "parent",
+            match s.parent {
+                Some(p) => Json::Num(p as f64),
+                None => Json::Null,
+            },
+        ),
+        ("thread", Json::Num(s.thread as f64)),
+        ("name", Json::Str(s.name.clone())),
+        ("start_ns", Json::Num(s.start_ns as f64)),
+        ("dur_ns", Json::Num(s.dur_ns as f64)),
+        (
+            "fields",
+            Json::Obj(s.fields.iter().map(|(k, v)| (k.clone(), field_json(v))).collect()),
+        ),
+    ])
+}
+
+fn hist_json(h: &HistogramSummary) -> Json {
+    Json::obj([
+        ("count", Json::Num(h.count as f64)),
+        ("mean", Json::Num(h.mean)),
+        ("p50", Json::Num(h.p50)),
+        ("p95", Json::Num(h.p95)),
+        ("p99", Json::Num(h.p99)),
+        ("min", Json::Num(h.min)),
+        ("max", Json::Num(h.max)),
+    ])
+}
+
+impl Report {
+    /// Distinct crate prefixes (`crate` in `crate.subsystem.op`) across
+    /// all recorded span names.
+    pub fn span_crates(&self) -> BTreeSet<String> {
+        self.spans
+            .iter()
+            .map(|s| s.name.split('.').next().unwrap_or(&s.name).to_string())
+            .collect()
+    }
+
+    /// Render the full trace document, stamped with run metadata
+    /// (git rev + timestamp; see [`crate::run_meta`]) and any `extra`
+    /// top-level sections (e.g. an embedded `CacheStats`).
+    pub fn to_json_with(&self, seed: Option<u64>, extra: &[(String, Json)]) -> Json {
+        let mut fields: Vec<(String, Json)> = vec![
+            ("kind".into(), Json::Str("llmdm-trace".into())),
+            ("meta".into(), Json::Obj(crate::run_meta(seed))),
+            ("spans".into(), Json::Arr(self.spans.iter().map(span_json).collect())),
+            (
+                "counters".into(),
+                Json::Obj(self.counters.iter().map(|(k, v)| (k.clone(), Json::Num(*v))).collect()),
+            ),
+            (
+                "gauges".into(),
+                Json::Obj(self.gauges.iter().map(|(k, v)| (k.clone(), Json::Num(*v))).collect()),
+            ),
+            (
+                "histograms".into(),
+                Json::Obj(self.histograms.iter().map(|(k, h)| (k.clone(), hist_json(h))).collect()),
+            ),
+        ];
+        fields.extend(extra.iter().cloned());
+        Json::Obj(fields)
+    }
+
+    /// Render the trace document with default metadata.
+    pub fn to_json(&self) -> Json {
+        self.to_json_with(None, &[])
+    }
+
+    /// Write `TRACE_<label>.json` into `dir`; returns the path.
+    pub fn write_trace(
+        &self,
+        dir: &std::path::Path,
+        label: &str,
+        seed: Option<u64>,
+        extra: &[(String, Json)],
+    ) -> std::io::Result<std::path::PathBuf> {
+        let path = dir.join(format!("TRACE_{label}.json"));
+        std::fs::write(&path, self.to_json_with(seed, extra).render())?;
+        Ok(path)
+    }
+
+    /// Build the span forest (roots = spans with no recorded parent),
+    /// children sorted by start time.
+    pub fn span_tree(&self) -> Vec<SpanNode<'_>> {
+        let ids: BTreeSet<u64> = self.spans.iter().map(|s| s.id).collect();
+        let mut children: BTreeMap<u64, Vec<&SpanRecord>> = BTreeMap::new();
+        let mut roots: Vec<&SpanRecord> = Vec::new();
+        for s in &self.spans {
+            match s.parent {
+                // A parent id we never saw finish (e.g. recorder reset
+                // mid-span) degrades to a root rather than vanishing.
+                Some(p) if ids.contains(&p) => children.entry(p).or_default().push(s),
+                _ => roots.push(s),
+            }
+        }
+        fn build<'a>(
+            s: &'a SpanRecord,
+            children: &BTreeMap<u64, Vec<&'a SpanRecord>>,
+        ) -> SpanNode<'a> {
+            let mut kids: Vec<SpanNode<'a>> = children
+                .get(&s.id)
+                .map(|v| v.iter().map(|c| build(c, children)).collect())
+                .unwrap_or_default();
+            kids.sort_by_key(|n| n.span.start_ns);
+            SpanNode { span: s, children: kids }
+        }
+        let mut out: Vec<SpanNode<'_>> = roots.iter().map(|r| build(r, &children)).collect();
+        out.sort_by_key(|n| n.span.start_ns);
+        out
+    }
+
+    /// Render the human-readable flame-style tree plus metric tables.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let threads: BTreeSet<u64> = self.spans.iter().map(|s| s.thread).collect();
+        out.push_str(&format!(
+            "TRACE — {} spans across {} thread(s)\n",
+            self.spans.len(),
+            threads.len().max(1)
+        ));
+        let tree = self.span_tree();
+        for (i, node) in tree.iter().enumerate() {
+            render_node(node, "", i + 1 == tree.len(), &mut out);
+        }
+        if !self.counters.is_empty() {
+            out.push_str("\ncounters\n");
+            for (k, v) in &self.counters {
+                out.push_str(&format!("  {k:<44} {}\n", FieldValue::F64(*v)));
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("\ngauges\n");
+            for (k, v) in &self.gauges {
+                out.push_str(&format!("  {k:<44} {}\n", FieldValue::F64(*v)));
+            }
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("\nhistograms                                      count      p50      p95      p99      max\n");
+            for (k, h) in &self.histograms {
+                out.push_str(&format!(
+                    "  {k:<44} {:>7} {:>8.1} {:>8.1} {:>8.1} {:>8.1}\n",
+                    h.count, h.p50, h.p95, h.p99, h.max
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// One node of the rendered span forest.
+#[derive(Debug)]
+pub struct SpanNode<'a> {
+    /// The span at this node.
+    pub span: &'a SpanRecord,
+    /// Child spans, sorted by start time.
+    pub children: Vec<SpanNode<'a>>,
+}
+
+fn fmt_dur(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+fn render_node(node: &SpanNode<'_>, prefix: &str, last: bool, out: &mut String) {
+    let connector = if last { "└─ " } else { "├─ " };
+    let fields = if node.span.fields.is_empty() {
+        String::new()
+    } else {
+        let kv: Vec<String> =
+            node.span.fields.iter().map(|(k, v)| format!("{k}={v}")).collect();
+        format!("  [{}]", kv.join(" "))
+    };
+    out.push_str(&format!(
+        "{prefix}{connector}{:<40} {:>9}{fields}\n",
+        node.span.name,
+        fmt_dur(node.span.dur_ns)
+    ));
+    let child_prefix = format!("{prefix}{}", if last { "   " } else { "│  " });
+    for (i, c) in node.children.iter().enumerate() {
+        render_node(c, &child_prefix, i + 1 == node.children.len(), out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::Recorder;
+
+    fn sample() -> Report {
+        let r = Recorder::new();
+        r.enable();
+        {
+            let mut root = r.span("core.pipeline.run");
+            root.field("seed", 42u64);
+            {
+                let mut child = r.span("model.complete");
+                child.field("model", "sim-large");
+                child.field("tokens_in", 120u64);
+                child.field("cost_usd", 0.0042f64);
+            }
+            {
+                let _child2 = r.span("semcache.lookup");
+            }
+        }
+        r.counter_add("model.calls", 1.0);
+        r.observe("model.latency_ms", 12.5);
+        r.gauge_set("semcache.entries", 3.0);
+        r.snapshot()
+    }
+
+    #[test]
+    fn json_parses_and_has_sections() {
+        let rep = sample();
+        let text = rep.to_json().render();
+        let parsed = Json::parse(&text).expect("trace JSON parses");
+        assert_eq!(parsed.get("kind").unwrap().as_str().unwrap(), "llmdm-trace");
+        assert!(parsed.get("meta").unwrap().get("timestamp_unix").is_some());
+        let spans = parsed.get("spans").unwrap().as_arr().unwrap();
+        assert_eq!(spans.len(), 3);
+        // Child spans carry their parent id and fields.
+        let child = spans.iter().find(|s| {
+            s.get("name").map(|n| n == &Json::Str("model.complete".into())).unwrap_or(false)
+        });
+        let child = child.expect("model.complete span present");
+        assert!(child.get("parent").unwrap().as_u64().is_ok());
+        assert!(child.get("fields").unwrap().get("cost_usd").is_some());
+        let hists = parsed.get("histograms").unwrap();
+        let lat = hists.get("model.latency_ms").unwrap();
+        assert_eq!(lat.get("count").unwrap().as_u64().unwrap(), 1);
+        assert!(lat.get("p50").is_some() && lat.get("p99").is_some());
+    }
+
+    #[test]
+    fn extra_sections_are_appended() {
+        let rep = sample();
+        let doc = rep.to_json_with(Some(7), &[("custom".into(), Json::Bool(true))]);
+        assert_eq!(doc.get("custom").unwrap(), &Json::Bool(true));
+        assert_eq!(doc.get("meta").unwrap().get("seed").unwrap().as_u64().unwrap(), 7);
+    }
+
+    #[test]
+    fn tree_structure_matches_parentage() {
+        let rep = sample();
+        let tree = rep.span_tree();
+        assert_eq!(tree.len(), 1);
+        assert_eq!(tree[0].span.name, "core.pipeline.run");
+        assert_eq!(tree[0].children.len(), 2);
+        assert_eq!(tree[0].children[0].span.name, "model.complete");
+    }
+
+    #[test]
+    fn text_render_contains_tree_and_metrics() {
+        let rep = sample();
+        let text = rep.render_text();
+        assert!(text.contains("core.pipeline.run"));
+        assert!(text.contains("└─"), "tree connectors present:\n{text}");
+        assert!(text.contains("model=sim-large"));
+        assert!(text.contains("counters"));
+        assert!(text.contains("model.calls"));
+        assert!(text.contains("histograms"));
+    }
+
+    #[test]
+    fn span_crates_extracts_prefixes() {
+        let rep = sample();
+        let crates = rep.span_crates();
+        assert!(crates.contains("core"));
+        assert!(crates.contains("model"));
+        assert!(crates.contains("semcache"));
+    }
+
+    #[test]
+    fn orphan_parent_degrades_to_root() {
+        let rep = Report {
+            spans: vec![SpanRecord {
+                id: 5,
+                parent: Some(99),
+                thread: 0,
+                name: "x.y".into(),
+                start_ns: 0,
+                dur_ns: 1,
+                fields: vec![],
+            }],
+            counters: BTreeMap::new(),
+            gauges: BTreeMap::new(),
+            histograms: BTreeMap::new(),
+        };
+        assert_eq!(rep.span_tree().len(), 1);
+    }
+}

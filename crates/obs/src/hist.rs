@@ -1,0 +1,219 @@
+//! Fixed-bucket log-scale histograms.
+//!
+//! 256 buckets, four per power of two (bucket `i` covers
+//! `[2^(i/4), 2^((i+1)/4))`; values below 1 land in bucket 0), so the
+//! range spans `[0, 2^64)` — nanosecond durations through token counts —
+//! with a worst-case quantile error of one quarter-octave (~19%), which
+//! is plenty for p50/p95/p99 reporting. Recording is O(1): one float
+//! log2, one increment.
+
+/// Quarter-octave buckets per power of two.
+const SUB: f64 = 4.0;
+/// Total bucket count (covers up to 2^64).
+const NBUCKETS: usize = 256;
+
+/// A fixed-memory log-scale histogram.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: vec![0; NBUCKETS],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+}
+
+fn bucket_of(value: f64) -> usize {
+    if !(value >= 1.0) {
+        // NaN, negatives and sub-1 values all land in bucket 0.
+        return 0;
+    }
+    ((value.log2() * SUB) as usize).min(NBUCKETS - 1)
+}
+
+/// Geometric representative of bucket `i` (its midpoint in log space).
+fn bucket_rep(i: usize) -> f64 {
+    if i == 0 {
+        0.5
+    } else {
+        2f64.powf((i as f64 + 0.5) / SUB)
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, value: f64) {
+        if value.is_nan() {
+            return;
+        }
+        self.buckets[bucket_of(value)] += 1;
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Approximate `q`-quantile (`q` in `[0, 1]`), clamped to the exact
+    /// observed `[min, max]`. Returns 0.0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut cum = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            cum += c;
+            if cum >= target {
+                return bucket_rep(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Summarize as count / mean / p50 / p95 / p99 / max.
+    pub fn summary(&self) -> HistogramSummary {
+        HistogramSummary {
+            count: self.count,
+            mean: if self.count == 0 { 0.0 } else { self.sum / self.count as f64 },
+            p50: self.quantile(0.50),
+            p95: self.quantile(0.95),
+            p99: self.quantile(0.99),
+            min: if self.count == 0 { 0.0 } else { self.min },
+            max: if self.count == 0 { 0.0 } else { self.max },
+        }
+    }
+
+    /// Merge another histogram into this one (same bucket layout).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Point-in-time summary statistics of a [`Histogram`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistogramSummary {
+    /// Observations recorded.
+    pub count: u64,
+    /// Exact arithmetic mean.
+    pub mean: f64,
+    /// Approximate median.
+    pub p50: f64,
+    /// Approximate 95th percentile.
+    pub p95: f64,
+    /// Approximate 99th percentile.
+    pub p99: f64,
+    /// Exact minimum.
+    pub min: f64,
+    /// Exact maximum.
+    pub max: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_zeroed() {
+        let h = Histogram::new();
+        let s = h.summary();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.p50, 0.0);
+        assert_eq!(s.p99, 0.0);
+        assert_eq!(s.max, 0.0);
+    }
+
+    #[test]
+    fn single_value_everywhere() {
+        let mut h = Histogram::new();
+        h.record(1000.0);
+        let s = h.summary();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.min, 1000.0);
+        assert_eq!(s.max, 1000.0);
+        // Quantiles clamp to observed range.
+        assert_eq!(s.p50, 1000.0);
+        assert_eq!(s.p99, 1000.0);
+    }
+
+    #[test]
+    fn quantiles_within_quarter_octave() {
+        let mut h = Histogram::new();
+        for i in 1..=10_000u64 {
+            h.record(i as f64);
+        }
+        let s = h.summary();
+        // Exact p50 = 5000, p99 = 9900; log-bucket error ≤ ~19%.
+        assert!((s.p50 / 5000.0 - 1.0).abs() < 0.20, "p50={}", s.p50);
+        assert!((s.p99 / 9900.0 - 1.0).abs() < 0.20, "p99={}", s.p99);
+        assert!(s.p50 <= s.p95 && s.p95 <= s.p99 && s.p99 <= s.max);
+        assert_eq!(s.max, 10_000.0);
+        assert!((s.mean - 5000.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sub_one_and_negative_values_bucket_zero() {
+        let mut h = Histogram::new();
+        h.record(0.0);
+        h.record(0.3);
+        h.record(-5.0);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.summary().min, -5.0);
+        assert!(h.summary().p50 <= 0.3);
+    }
+
+    #[test]
+    fn nan_is_dropped() {
+        let mut h = Histogram::new();
+        h.record(f64::NAN);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn huge_values_clamp_to_last_bucket() {
+        let mut h = Histogram::new();
+        h.record(1e300);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.summary().max, 1e300);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for i in 0..100 {
+            a.record(i as f64);
+            b.record((i + 100) as f64);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 200);
+        assert_eq!(a.summary().max, 199.0);
+        assert_eq!(a.summary().min, 0.0);
+    }
+}

@@ -1,0 +1,475 @@
+//! The thread-safe recorder: span collection + metric registry.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard};
+use std::time::Instant;
+
+use crate::export::Report;
+use crate::hist::Histogram;
+
+/// A typed span field value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// A string field (e.g. `model=sim-large`, `cache=hit`).
+    Str(String),
+    /// An unsigned integer field (e.g. `tokens_in=214`).
+    U64(u64),
+    /// A signed integer field.
+    I64(i64),
+    /// A float field (e.g. `cost_usd=0.0123`).
+    F64(f64),
+    /// A boolean field (e.g. `accepted=true`).
+    Bool(bool),
+}
+
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::Str(v.to_string())
+    }
+}
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        FieldValue::Str(v)
+    }
+}
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> Self {
+        FieldValue::U64(v)
+    }
+}
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+impl From<u32> for FieldValue {
+    fn from(v: u32) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+impl From<i64> for FieldValue {
+    fn from(v: i64) -> Self {
+        FieldValue::I64(v)
+    }
+}
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> Self {
+        FieldValue::F64(v)
+    }
+}
+impl From<f32> for FieldValue {
+    fn from(v: f32) -> Self {
+        FieldValue::F64(v as f64)
+    }
+}
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> Self {
+        FieldValue::Bool(v)
+    }
+}
+
+impl std::fmt::Display for FieldValue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FieldValue::Str(s) => f.write_str(s),
+            FieldValue::U64(v) => write!(f, "{v}"),
+            FieldValue::I64(v) => write!(f, "{v}"),
+            FieldValue::F64(v) => {
+                if v.abs() < 0.01 && *v != 0.0 {
+                    write!(f, "{v:.5}")
+                } else {
+                    write!(f, "{v:.3}")
+                }
+            }
+            FieldValue::Bool(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// One finished span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    /// Unique id (monotone per recorder, starts at 1).
+    pub id: u64,
+    /// Parent span id, if this span was opened while another span was
+    /// open *on the same thread*.
+    pub parent: Option<u64>,
+    /// Ordinal of the opening thread (stable within a process).
+    pub thread: u64,
+    /// Span name (`crate.subsystem.op`).
+    pub name: String,
+    /// Start offset from the recorder's epoch, in nanoseconds.
+    pub start_ns: u64,
+    /// Wall-clock duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Key/value fields in insertion order.
+    pub fields: Vec<(String, FieldValue)>,
+}
+
+struct State {
+    spans: Vec<SpanRecord>,
+    counters: BTreeMap<String, f64>,
+    gauges: BTreeMap<String, f64>,
+    hists: BTreeMap<String, Histogram>,
+}
+
+/// A thread-safe span + metric recorder.
+///
+/// Prefer the crate-level free functions (which use the process-wide
+/// [`crate::global`] recorder); construct your own instance only for
+/// isolation (tests, nested tooling).
+pub struct Recorder {
+    enabled: AtomicBool,
+    next_id: AtomicU64,
+    epoch: Instant,
+    state: Mutex<State>,
+}
+
+impl std::fmt::Debug for Recorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Recorder").field("enabled", &self.is_enabled()).finish()
+    }
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+thread_local! {
+    /// Innermost open span id on this thread (0 = none). Shared across
+    /// recorder instances: interleaving spans of *different* recorders on
+    /// one thread is unsupported (parentage would cross recorders).
+    static CURRENT_SPAN: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+    static THREAD_ORD: u64 = {
+        static NEXT_THREAD: AtomicU64 = AtomicU64::new(0);
+        NEXT_THREAD.fetch_add(1, Ordering::Relaxed)
+    };
+}
+
+fn thread_ord() -> u64 {
+    THREAD_ORD.with(|t| *t)
+}
+
+impl Recorder {
+    /// A fresh, **disabled** recorder.
+    pub fn new() -> Self {
+        Recorder {
+            enabled: AtomicBool::new(false),
+            next_id: AtomicU64::new(1),
+            epoch: Instant::now(),
+            state: Mutex::new(State {
+                spans: Vec::new(),
+                counters: BTreeMap::new(),
+                gauges: BTreeMap::new(),
+                hists: BTreeMap::new(),
+            }),
+        }
+    }
+
+    /// Start recording.
+    pub fn enable(&self) {
+        self.enabled.store(true, Ordering::Relaxed);
+    }
+
+    /// Stop recording (already-open spans still record on drop).
+    pub fn disable(&self) {
+        self.enabled.store(false, Ordering::Relaxed);
+    }
+
+    /// Whether the recorder is currently recording. This is the one
+    /// atomic load every disabled-path entry point pays.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Lock the state, recovering from poison (a panicking span drop
+    /// leaves the collections merely stale, never structurally broken).
+    fn lock(&self) -> MutexGuard<'_, State> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Clear all recorded data; keeps the enabled/disabled state.
+    pub fn reset(&self) {
+        let mut s = self.lock();
+        s.spans.clear();
+        s.counters.clear();
+        s.gauges.clear();
+        s.hists.clear();
+    }
+
+    /// Open a span. No-op (one atomic load) when disabled.
+    #[must_use = "a span records when its guard drops; binding to `_` drops immediately"]
+    pub fn span<'r>(&'r self, name: &str) -> Span<'r> {
+        if !self.is_enabled() {
+            return Span { recorder: self, inner: None };
+        }
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let parent = CURRENT_SPAN.with(|c| {
+            let p = c.get();
+            c.set(id);
+            p
+        });
+        Span {
+            recorder: self,
+            inner: Some(OpenSpan {
+                id,
+                parent: if parent == 0 { None } else { Some(parent) },
+                name: name.to_string(),
+                start: Instant::now(),
+                fields: Vec::new(),
+            }),
+        }
+    }
+
+    /// Add `delta` to the monotonic counter `name`.
+    #[inline]
+    pub fn counter_add(&self, name: &str, delta: f64) {
+        if !self.is_enabled() {
+            return;
+        }
+        let mut s = self.lock();
+        match s.counters.get_mut(name) {
+            Some(v) => *v += delta,
+            None => {
+                s.counters.insert(name.to_string(), delta);
+            }
+        }
+    }
+
+    /// Current counter value (0.0 if never bumped).
+    pub fn counter_value(&self, name: &str) -> f64 {
+        self.lock().counters.get(name).copied().unwrap_or(0.0)
+    }
+
+    /// Set gauge `name` to `value`.
+    #[inline]
+    pub fn gauge_set(&self, name: &str, value: f64) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.lock().gauges.insert(name.to_string(), value);
+    }
+
+    /// Record one observation into log-scale histogram `name`.
+    #[inline]
+    pub fn observe(&self, name: &str, value: f64) {
+        if !self.is_enabled() {
+            return;
+        }
+        let mut s = self.lock();
+        match s.hists.get_mut(name) {
+            Some(h) => h.record(value),
+            None => {
+                let mut h = Histogram::new();
+                h.record(value);
+                s.hists.insert(name.to_string(), h);
+            }
+        }
+    }
+
+    /// Number of finished spans recorded so far.
+    pub fn span_count(&self) -> usize {
+        self.lock().spans.len()
+    }
+
+    /// Snapshot everything recorded so far into a [`Report`].
+    pub fn snapshot(&self) -> Report {
+        let s = self.lock();
+        Report {
+            spans: s.spans.clone(),
+            counters: s.counters.clone(),
+            gauges: s.gauges.clone(),
+            histograms: s.hists.iter().map(|(k, h)| (k.clone(), h.summary())).collect(),
+        }
+    }
+
+    fn finish_span(&self, open: OpenSpan) {
+        // Restore this thread's parent pointer *before* taking the lock,
+        // so nested spans on this thread re-parent correctly even if the
+        // lock blocks.
+        CURRENT_SPAN.with(|c| c.set(open.parent.unwrap_or(0)));
+        let record = SpanRecord {
+            id: open.id,
+            parent: open.parent,
+            thread: thread_ord(),
+            name: open.name,
+            start_ns: open.start.duration_since(self.epoch).as_nanos() as u64,
+            dur_ns: open.start.elapsed().as_nanos() as u64,
+            fields: open.fields,
+        };
+        self.lock().spans.push(record);
+    }
+}
+
+struct OpenSpan {
+    id: u64,
+    parent: Option<u64>,
+    name: String,
+    start: Instant,
+    fields: Vec<(String, FieldValue)>,
+}
+
+/// RAII guard for an open span. Records on drop; inert (and free apart
+/// from one atomic load at creation) when the recorder was disabled.
+pub struct Span<'r> {
+    recorder: &'r Recorder,
+    inner: Option<OpenSpan>,
+}
+
+impl Span<'_> {
+    /// Attach a key/value field. No-op on an inert span.
+    pub fn field(&mut self, key: &str, value: impl Into<FieldValue>) {
+        if let Some(open) = &mut self.inner {
+            open.fields.push((key.to_string(), value.into()));
+        }
+    }
+
+    /// Whether this guard will record on drop.
+    pub fn is_recording(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// The span's id (None when inert).
+    pub fn id(&self) -> Option<u64> {
+        self.inner.as_ref().map(|o| o.id)
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        if let Some(open) = self.inner.take() {
+            self.recorder.finish_span(open);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_recorder_records_nothing() {
+        let r = Recorder::new();
+        {
+            let mut s = r.span("a.b");
+            s.field("k", 1u64);
+            assert!(!s.is_recording());
+        }
+        r.counter_add("a.c", 1.0);
+        r.observe("a.h", 5.0);
+        r.gauge_set("a.g", 2.0);
+        let rep = r.snapshot();
+        assert!(rep.spans.is_empty());
+        assert!(rep.counters.is_empty());
+        assert!(rep.histograms.is_empty());
+        assert!(rep.gauges.is_empty());
+    }
+
+    #[test]
+    fn span_nesting_sets_parentage() {
+        let r = Recorder::new();
+        r.enable();
+        {
+            let mut outer = r.span("outer");
+            outer.field("stage", "x");
+            {
+                let _inner = r.span("inner");
+            }
+            {
+                let _inner2 = r.span("inner2");
+            }
+        }
+        let rep = r.snapshot();
+        assert_eq!(rep.spans.len(), 3);
+        // Spans record in completion order: inner, inner2, outer.
+        let outer = rep.spans.iter().find(|s| s.name == "outer").unwrap();
+        let inner = rep.spans.iter().find(|s| s.name == "inner").unwrap();
+        let inner2 = rep.spans.iter().find(|s| s.name == "inner2").unwrap();
+        assert_eq!(outer.parent, None);
+        assert_eq!(inner.parent, Some(outer.id));
+        assert_eq!(inner2.parent, Some(outer.id));
+        assert_eq!(outer.fields, vec![("stage".to_string(), FieldValue::Str("x".into()))]);
+        assert!(outer.dur_ns >= inner.dur_ns);
+    }
+
+    #[test]
+    fn sibling_spans_after_close_are_roots() {
+        let r = Recorder::new();
+        r.enable();
+        {
+            let _a = r.span("a");
+        }
+        {
+            let _b = r.span("b");
+        }
+        let rep = r.snapshot();
+        assert!(rep.spans.iter().all(|s| s.parent.is_none()));
+    }
+
+    #[test]
+    fn counters_gauges_histograms_accumulate() {
+        let r = Recorder::new();
+        r.enable();
+        r.counter_add("m.calls", 1.0);
+        r.counter_add("m.calls", 2.0);
+        r.gauge_set("m.g", 1.0);
+        r.gauge_set("m.g", 7.0);
+        for i in 0..10 {
+            r.observe("m.lat", 100.0 * (i + 1) as f64);
+        }
+        let rep = r.snapshot();
+        assert_eq!(r.counter_value("m.calls"), 3.0);
+        assert_eq!(rep.gauges["m.g"], 7.0);
+        let h = &rep.histograms["m.lat"];
+        assert_eq!(h.count, 10);
+        assert_eq!(h.max, 1000.0);
+        assert!(h.p50 > 0.0 && h.p50 <= h.p99);
+    }
+
+    #[test]
+    fn reset_clears_but_keeps_enabled() {
+        let r = Recorder::new();
+        r.enable();
+        r.counter_add("c", 1.0);
+        {
+            let _s = r.span("s");
+        }
+        r.reset();
+        assert!(r.is_enabled());
+        assert_eq!(r.span_count(), 0);
+        assert_eq!(r.counter_value("c"), 0.0);
+    }
+
+    #[test]
+    fn disable_midway_still_records_open_span() {
+        let r = Recorder::new();
+        r.enable();
+        let s = r.span("open");
+        r.disable();
+        drop(s);
+        assert_eq!(r.span_count(), 1);
+        // But new spans are inert.
+        assert!(!r.span("later").is_recording());
+    }
+
+    #[test]
+    fn field_value_conversions() {
+        let cases: Vec<FieldValue> = vec![
+            "s".into(),
+            String::from("t").into(),
+            3u64.into(),
+            4usize.into(),
+            (-5i64).into(),
+            1.5f64.into(),
+            true.into(),
+        ];
+        assert_eq!(cases[0], FieldValue::Str("s".into()));
+        assert_eq!(cases[3], FieldValue::U64(4));
+        assert_eq!(cases[6], FieldValue::Bool(true));
+        assert_eq!(format!("{}", cases[5]), "1.500");
+    }
+}

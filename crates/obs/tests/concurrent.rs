@@ -1,0 +1,117 @@
+//! Concurrent-recording stress test: N threads open nested spans and
+//! bump counters/histograms simultaneously. Asserts no poisoned locks,
+//! stable aggregate counts, and that span parentage stays thread-local
+//! (a span's parent is always a span from the same thread).
+
+use std::collections::BTreeMap;
+
+use llmdm_obs::Recorder;
+
+const THREADS: usize = 8;
+const ITERS: usize = 200;
+
+#[test]
+fn concurrent_spans_and_metrics_stay_consistent() {
+    let r = Recorder::new();
+    r.enable();
+
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let r = &r;
+            s.spawn(move || {
+                for i in 0..ITERS {
+                    let mut outer = r.span("stress.outer");
+                    outer.field("thread", t as u64);
+                    {
+                        let mut inner = r.span("stress.inner");
+                        inner.field("i", i as u64);
+                        {
+                            let _leaf = r.span("stress.leaf");
+                        }
+                    }
+                    r.counter_add("stress.iterations", 1.0);
+                    r.observe("stress.value", (i + 1) as f64);
+                }
+            });
+        }
+    });
+
+    let rep = r.snapshot();
+
+    // Aggregate counts are exact: no lost updates, no poison.
+    let expected = (THREADS * ITERS) as u64;
+    assert_eq!(r.counter_value("stress.iterations"), expected as f64);
+    assert_eq!(rep.histograms["stress.value"].count, expected);
+    assert_eq!(rep.spans.len(), 3 * expected as usize, "3 spans per iteration");
+    for name in ["stress.outer", "stress.inner", "stress.leaf"] {
+        assert_eq!(
+            rep.spans.iter().filter(|s| s.name == name).count(),
+            expected as usize,
+            "{name} count"
+        );
+    }
+
+    // Parentage stays thread-local: every child's parent lives on the
+    // same thread ordinal, and nesting depth matches the span name.
+    let by_id: BTreeMap<u64, &llmdm_obs::SpanRecord> =
+        rep.spans.iter().map(|s| (s.id, s)).collect();
+    for s in &rep.spans {
+        match s.name.as_str() {
+            "stress.outer" => assert_eq!(s.parent, None, "outer spans are roots"),
+            "stress.inner" | "stress.leaf" => {
+                let parent_id = s.parent.unwrap_or_else(|| panic!("{} must have a parent", s.name));
+                let parent = by_id[&parent_id];
+                assert_eq!(
+                    parent.thread, s.thread,
+                    "parent of a {} span must be on the same thread",
+                    s.name
+                );
+                let expected_parent =
+                    if s.name == "stress.inner" { "stress.outer" } else { "stress.inner" };
+                assert_eq!(parent.name, expected_parent);
+            }
+            other => panic!("unexpected span {other}"),
+        }
+    }
+
+    // Span ids are unique.
+    assert_eq!(by_id.len(), rep.spans.len());
+
+    // The recorder survives a panicking thread without poisoning: a
+    // panic while a span guard is live must not wedge later recording.
+    let result = std::thread::scope(|s| {
+        s.spawn(|| {
+            let _open = r.span("stress.panicking");
+            panic!("deliberate panic with open span");
+        })
+        .join()
+    });
+    assert!(result.is_err(), "thread panicked as intended");
+    r.counter_add("stress.after_panic", 1.0);
+    assert_eq!(r.counter_value("stress.after_panic"), 1.0, "no poisoned lock");
+    let _post = r.span("stress.post_panic");
+    assert!(r.snapshot().spans.iter().any(|s| s.name == "stress.panicking"));
+}
+
+#[test]
+fn quantiles_are_stable_under_concurrency() {
+    let r = Recorder::new();
+    r.enable();
+    std::thread::scope(|s| {
+        for _ in 0..4 {
+            let r = &r;
+            s.spawn(move || {
+                for i in 1..=1000u64 {
+                    r.observe("stress.latency", i as f64);
+                }
+            });
+        }
+    });
+    let h = &r.snapshot().histograms["stress.latency"];
+    assert_eq!(h.count, 4000);
+    assert_eq!(h.min, 1.0);
+    assert_eq!(h.max, 1000.0);
+    // Identical distribution per thread → p50 near 500 (±20% bucket error).
+    assert!((h.p50 / 500.0 - 1.0).abs() < 0.25, "p50={}", h.p50);
+    assert!(h.p50 <= h.p95 && h.p95 <= h.p99 && h.p99 <= h.max);
+}

@@ -172,14 +172,31 @@ impl Criterion {
     /// Write collected results as a JSON report. Returns the rendered
     /// document.
     pub fn write_json(&self, path: &std::path::Path, label: &str) -> std::io::Result<String> {
-        let doc = Json::obj([
-            ("label", Json::Str(label.to_string())),
-            ("harness", Json::Str("llmdm-rt/bench".to_string())),
-            (
-                "benchmarks",
-                Json::Arr(self.results.iter().map(BenchStats::to_json).collect()),
-            ),
-        ]);
+        self.write_json_with_meta(path, label, &[])
+    }
+
+    /// Write collected results as a JSON report with extra top-level
+    /// `meta` fields (git rev / seed / timestamp — supplied by
+    /// `llmdm-obs::run_meta`, which this dependency-floor crate cannot
+    /// itself compute). Returns the rendered document.
+    pub fn write_json_with_meta(
+        &self,
+        path: &std::path::Path,
+        label: &str,
+        meta: &[(String, Json)],
+    ) -> std::io::Result<String> {
+        let mut fields: Vec<(String, Json)> = vec![
+            ("label".to_string(), Json::Str(label.to_string())),
+            ("harness".to_string(), Json::Str("llmdm-rt/bench".to_string())),
+        ];
+        if !meta.is_empty() {
+            fields.push(("meta".to_string(), Json::Obj(meta.to_vec())));
+        }
+        fields.push((
+            "benchmarks".to_string(),
+            Json::Arr(self.results.iter().map(BenchStats::to_json).collect()),
+        ));
+        let doc = Json::Obj(fields);
         let text = doc.render();
         std::fs::write(path, &text)?;
         Ok(text)

@@ -120,7 +120,9 @@ pub struct CacheStats {
 }
 
 impl CacheStats {
-    /// Hit ratio over all lookups.
+    /// Hit ratio over all lookups. An empty (never-looked-up) cache has a
+    /// hit ratio of exactly `0.0`, not NaN — callers embed this straight
+    /// into reports.
     pub fn hit_ratio(&self) -> f64 {
         let hits = self.reuse_hits + self.augment_hits;
         let total = hits + self.misses;
@@ -129,6 +131,22 @@ impl CacheStats {
         } else {
             hits as f64 / total as f64
         }
+    }
+}
+
+impl llmdm_rt::json::ToJson for CacheStats {
+    /// Serialize the counters (plus the derived `hit_ratio`) so trace
+    /// reports can embed a cache section next to the span tree.
+    fn to_json(&self) -> llmdm_rt::json::Json {
+        use llmdm_rt::json::Json;
+        Json::Obj(vec![
+            ("reuse_hits".to_string(), Json::Num(self.reuse_hits as f64)),
+            ("augment_hits".to_string(), Json::Num(self.augment_hits as f64)),
+            ("misses".to_string(), Json::Num(self.misses as f64)),
+            ("evictions".to_string(), Json::Num(self.evictions as f64)),
+            ("rejected".to_string(), Json::Num(self.rejected as f64)),
+            ("hit_ratio".to_string(), Json::Num(self.hit_ratio())),
+        ])
     }
 }
 
@@ -195,11 +213,23 @@ impl SemanticCache {
     }
 
     /// Look up a query; updates recency/frequency/weight on hits.
+    ///
+    /// Observability: every call opens a `semcache.lookup` span with a
+    /// `cache=hit|miss` field (hits add `kind` and `similarity`) and bumps
+    /// one of the `semcache.lookup.{reuse,augment,miss}` counters.
     pub fn lookup(&mut self, query: &str) -> Lookup {
+        let mut span = llmdm_obs::span("semcache.lookup");
+        let miss = |span: &mut llmdm_obs::Span<'_>| {
+            if span.is_recording() {
+                span.field("cache", "miss");
+                llmdm_obs::counter_add("semcache.lookup.miss", 1.0);
+            }
+            Lookup::Miss
+        };
         self.clock += 1;
         let Ok(v) = self.embedder.embed(query) else {
             self.stats.misses += 1;
-            return Lookup::Miss;
+            return miss(&mut span);
         };
         let best = self.index.search(&v, 1).ok().and_then(|hits| hits.into_iter().next());
         // Optional response-keyed match: taken only when it beats the
@@ -217,11 +247,11 @@ impl SemanticCache {
         };
         let Some(best) = best else {
             self.stats.misses += 1;
-            return Lookup::Miss;
+            return miss(&mut span);
         };
         if best.score < self.config.augment_threshold {
             self.stats.misses += 1;
-            return Lookup::Miss;
+            return miss(&mut span);
         }
         let kind = if !via_response && best.score >= self.config.reuse_threshold {
             HitKind::Reuse
@@ -241,6 +271,21 @@ impl SemanticCache {
             HitKind::Reuse => self.stats.reuse_hits += 1,
             HitKind::Augment => self.stats.augment_hits += 1,
         }
+        if span.is_recording() {
+            span.field("cache", "hit");
+            span.field(
+                "kind",
+                match kind {
+                    HitKind::Reuse => "reuse",
+                    HitKind::Augment => "augment",
+                },
+            );
+            span.field("similarity", best.score as f64);
+            match kind {
+                HitKind::Reuse => llmdm_obs::counter_add("semcache.lookup.reuse", 1.0),
+                HitKind::Augment => llmdm_obs::counter_add("semcache.lookup.augment", 1.0),
+            }
+        }
         Lookup::Hit {
             query: entry.query.clone(),
             response: entry.response.clone(),
@@ -252,6 +297,8 @@ impl SemanticCache {
     /// Insert a (query, response) pair, evicting if full. A query already
     /// cached verbatim is refreshed instead of duplicated.
     pub fn insert(&mut self, query: &str, response: &str, kind: EntryKind) {
+        let _span = llmdm_obs::span("semcache.insert");
+        llmdm_obs::counter_add("semcache.insert", 1.0);
         self.clock += 1;
         if let Some((&id, _)) = self.entries.iter().find(|(_, e)| e.query == query) {
             let e = self.entries.get_mut(&id).expect("just found");
@@ -296,6 +343,7 @@ impl SemanticCache {
     /// Record that the admission predictor rejected an insert (for stats).
     pub fn note_rejected(&mut self) {
         self.stats.rejected += 1;
+        llmdm_obs::counter_add("semcache.rejected", 1.0);
     }
 
     /// Iterate cached entries as `(query, response, kind)`.
@@ -330,6 +378,7 @@ impl SemanticCache {
             let _ = self.index.remove(id);
             let _ = self.response_index.remove(id);
             self.stats.evictions += 1;
+            llmdm_obs::counter_add("semcache.evictions", 1.0);
         }
     }
 }
@@ -440,6 +489,34 @@ mod tests {
             Lookup::Hit { response, .. } => assert_eq!(response, "new"),
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn hit_ratio_on_empty_cache_is_zero() {
+        // No lookups ever: the ratio must be exactly 0.0, never NaN.
+        let c = cache(4, EvictionPolicy::Lru);
+        let r = c.stats().hit_ratio();
+        assert_eq!(r, 0.0);
+        assert!(!r.is_nan());
+        // Default-constructed stats behave identically.
+        assert_eq!(CacheStats::default().hit_ratio(), 0.0);
+    }
+
+    #[test]
+    fn cache_stats_serialize_to_json() {
+        use llmdm_rt::json::{Json, ToJson};
+        let mut c = cache(4, EvictionPolicy::Lru);
+        c.insert("alpha bravo charlie", "1", EntryKind::Original);
+        let _ = c.lookup("alpha bravo charlie"); // reuse hit
+        let _ = c.lookup("completely unrelated words"); // miss
+        c.note_rejected();
+        let j = c.stats().to_json();
+        let parsed = Json::parse(&j.render()).expect("round-trips");
+        assert_eq!(parsed.get("reuse_hits").unwrap().as_u64().unwrap(), 1);
+        assert_eq!(parsed.get("misses").unwrap().as_u64().unwrap(), 1);
+        assert_eq!(parsed.get("rejected").unwrap().as_u64().unwrap(), 1);
+        let ratio = parsed.get("hit_ratio").unwrap().as_f64().unwrap();
+        assert!((ratio - 0.5).abs() < 1e-9, "ratio {ratio}");
     }
 
     #[test]

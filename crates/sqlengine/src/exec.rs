@@ -15,7 +15,47 @@ use crate::schema::{Column, Row, Schema, Table};
 use crate::value::Value;
 
 /// Execute any statement against the database.
+///
+/// Observability: each statement opens a `sqlengine.exec` span (fields
+/// `kind`, `rows_out`, `affected`) and bumps the
+/// `sqlengine.exec.statements` / `sqlengine.exec.rows_out` counters; the
+/// SELECT core additionally records per-operator row counts (see
+/// [`execute_core`]).
 pub fn execute(db: &mut Database, stmt: &Statement) -> Result<ResultSet, SqlError> {
+    let mut span = llmdm_obs::span("sqlengine.exec");
+    let result = execute_inner(db, stmt);
+    if span.is_recording() {
+        span.field(
+            "kind",
+            match stmt {
+                Statement::Select(_) => "select",
+                Statement::Insert { .. } => "insert",
+                Statement::Update { .. } => "update",
+                Statement::Delete { .. } => "delete",
+                Statement::CreateTable { .. } => "create_table",
+                Statement::DropTable { .. } => "drop_table",
+                Statement::Begin => "begin",
+                Statement::Commit => "commit",
+                Statement::Rollback => "rollback",
+            },
+        );
+        llmdm_obs::counter_add("sqlengine.exec.statements", 1.0);
+        match &result {
+            Ok(rs) => {
+                span.field("rows_out", rs.rows.len());
+                span.field("affected", rs.affected);
+                llmdm_obs::counter_add("sqlengine.exec.rows_out", rs.rows.len() as f64);
+            }
+            Err(_) => {
+                span.field("error", true);
+                llmdm_obs::counter_add("sqlengine.exec.errors", 1.0);
+            }
+        }
+    }
+    result
+}
+
+fn execute_inner(db: &mut Database, stmt: &Statement) -> Result<ResultSet, SqlError> {
     match stmt {
         Statement::Select(s) => execute_select(db, s),
         Statement::Insert { table, columns, values } => insert(db, table, columns.as_deref(), values),
@@ -329,7 +369,13 @@ fn lookup_mut<'a>(counts: &'a mut [(Row, usize)], row: &Row) -> Option<&'a mut u
 }
 
 /// Execute the core of one SELECT (no set ops / order / limit).
+///
+/// Records a `sqlengine.exec.select_core` span whose fields are the
+/// per-operator row counts of the pipeline: `rows_joined` (after FROM),
+/// `rows_after_where`, `aggregated`, and `rows_out` (after projection and
+/// DISTINCT).
 fn execute_core(db: &Database, stmt: &SelectStmt) -> Result<ResultSet, SqlError> {
+    let mut span = llmdm_obs::span("sqlengine.exec.select_core");
     let joined = build_from(db, &stmt.from)?;
     // WHERE.
     let mut filtered: Vec<Vec<Value>> = Vec::new();
@@ -353,6 +399,13 @@ fn execute_core(db: &Database, stmt: &SelectStmt) -> Result<ResultSet, SqlError>
         })
         || stmt.having.as_ref().is_some_and(|h| h.contains_aggregate());
 
+    if span.is_recording() {
+        span.field("rows_joined", joined.rows.len());
+        span.field("rows_after_where", filtered.len());
+        span.field("aggregated", has_agg);
+        llmdm_obs::counter_add("sqlengine.exec.rows_scanned", joined.rows.len() as f64);
+    }
+
     let (columns, rows) = if has_agg {
         aggregate_project(db, stmt, &joined, filtered)?
     } else {
@@ -362,6 +415,9 @@ fn execute_core(db: &Database, stmt: &SelectStmt) -> Result<ResultSet, SqlError>
     let mut rows = rows;
     if stmt.distinct {
         dedup_rows(&mut rows);
+    }
+    if span.is_recording() {
+        span.field("rows_out", rows.len());
     }
     Ok(ResultSet { columns, rows, affected: 0 })
 }

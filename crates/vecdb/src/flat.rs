@@ -45,12 +45,23 @@ impl FlatIndex {
         k: usize,
         candidates: &[u64],
     ) -> Result<Vec<Neighbor>, VecDbError> {
+        let mut span = llmdm_obs::span("vecdb.flat.search_among");
         check_dim(self.dim, query)?;
         let mut best = Vec::with_capacity(k.min(candidates.len()));
+        let mut comps = 0usize;
         for &id in candidates {
             if let Some(v) = self.get(id) {
+                comps += 1;
                 push_topk(&mut best, k, Neighbor { id, score: self.metric.score(query, v) });
             }
+        }
+        if span.is_recording() {
+            span.field("k", k);
+            span.field("candidates", candidates.len());
+            span.field("distance_comps", comps);
+            llmdm_obs::counter_add("vecdb.search.queries", 1.0);
+            llmdm_obs::counter_add("vecdb.search.candidates", candidates.len() as f64);
+            llmdm_obs::counter_add("vecdb.search.distance_comps", comps as f64);
         }
         Ok(best)
     }
@@ -95,11 +106,21 @@ impl VectorIndex for FlatIndex {
     }
 
     fn search(&self, query: &[f32], k: usize) -> Result<Vec<Neighbor>, VecDbError> {
+        let mut span = llmdm_obs::span("vecdb.flat.search");
         check_dim(self.dim, query)?;
         let mut best = Vec::with_capacity(k.min(self.ids.len()));
         for (pos, &id) in self.ids.iter().enumerate() {
             let v = &self.data[pos * self.dim..(pos + 1) * self.dim];
             push_topk(&mut best, k, Neighbor { id, score: self.metric.score(query, v) });
+        }
+        if span.is_recording() {
+            // Brute force scans everything: candidates == distance comps.
+            span.field("k", k);
+            span.field("candidates", self.ids.len());
+            span.field("distance_comps", self.ids.len());
+            llmdm_obs::counter_add("vecdb.search.queries", 1.0);
+            llmdm_obs::counter_add("vecdb.search.candidates", self.ids.len() as f64);
+            llmdm_obs::counter_add("vecdb.search.distance_comps", self.ids.len() as f64);
         }
         Ok(best)
     }

@@ -379,6 +379,7 @@ impl VectorIndex for HnswIndex {
     }
 
     fn search(&self, query: &[f32], k: usize) -> Result<Vec<Neighbor>, VecDbError> {
+        let mut span = llmdm_obs::span("vecdb.hnsw.search");
         check_dim(self.dim, query)?;
         let Some(mut entry) = self.entry else {
             return Ok(Vec::new());
@@ -388,6 +389,15 @@ impl VectorIndex for HnswIndex {
         }
         let ef = self.config.ef_search.max(k);
         let found = self.search_layer(query, entry, ef, 0);
+        if span.is_recording() {
+            // `found` is the beam the base layer actually scored — the
+            // candidates-scanned figure that separates ANN from brute force.
+            span.field("k", k);
+            span.field("ef", ef);
+            span.field("candidates", found.len());
+            llmdm_obs::counter_add("vecdb.search.queries", 1.0);
+            llmdm_obs::counter_add("vecdb.search.candidates", found.len() as f64);
+        }
         Ok(found
             .into_iter()
             .filter(|&(_, n)| !self.nodes[n as usize].deleted)

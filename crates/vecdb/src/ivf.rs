@@ -161,11 +161,14 @@ impl VectorIndex for IvfIndex {
     }
 
     fn search(&self, query: &[f32], k: usize) -> Result<Vec<Neighbor>, VecDbError> {
+        let mut span = llmdm_obs::span("vecdb.ivf.search");
         check_dim(self.dim, query)?;
         let mut best = Vec::with_capacity(k);
+        let mut scanned = 0usize;
         match &self.quantizer {
             Some(km) => {
                 for c in km.nearest_n(query, self.config.nprobe) {
+                    scanned += self.lists[c].len();
                     for (id, v) in &self.lists[c] {
                         push_topk(
                             &mut best,
@@ -177,6 +180,7 @@ impl VectorIndex for IvfIndex {
             }
             None => {
                 for list in &self.lists {
+                    scanned += list.len();
                     for (id, v) in list {
                         push_topk(
                             &mut best,
@@ -186,6 +190,15 @@ impl VectorIndex for IvfIndex {
                     }
                 }
             }
+        }
+        if span.is_recording() {
+            span.field("k", k);
+            span.field("nprobe", self.config.nprobe);
+            span.field("candidates", scanned);
+            span.field("distance_comps", scanned);
+            llmdm_obs::counter_add("vecdb.search.queries", 1.0);
+            llmdm_obs::counter_add("vecdb.search.candidates", scanned as f64);
+            llmdm_obs::counter_add("vecdb.search.distance_comps", scanned as f64);
         }
         Ok(best)
     }

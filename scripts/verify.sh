@@ -10,4 +10,15 @@ cargo build --release --offline
 echo "== offline test suite"
 cargo test -q --offline
 
+echo "== trace example (self-validating: spans from >=6 crates, JSON re-parses)"
+TRACE_DIR="$(mktemp -d)"
+LLMDM_BENCH_DIR="$TRACE_DIR" cargo run -q --release --offline -p llmdm --example trace_pipeline >/dev/null
+test -s "$TRACE_DIR/TRACE_pipeline.json" || { echo "trace_pipeline emitted no TRACE_pipeline.json"; exit 1; }
+rm -rf "$TRACE_DIR"
+
+echo "== obs overhead bench (pins the disabled-recorder cost + <5% tokenizer overhead)"
+BENCH_DIR="$(mktemp -d)"
+LLMDM_BENCH_FAST=1 LLMDM_BENCH_DIR="$BENCH_DIR" cargo bench --offline -p llmdm-bench --bench obs_overhead
+rm -rf "$BENCH_DIR"
+
 echo "verify: OK"

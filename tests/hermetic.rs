@@ -97,6 +97,29 @@ fn rt_crate_has_no_dependencies_at_all() {
 }
 
 #[test]
+fn obs_crate_depends_only_on_rt() {
+    // llmdm-obs is the cross-cutting layer every crate may depend on; to
+    // keep the dependency graph acyclic and the crate as hermetic as the
+    // runtime itself, its only dependency is llmdm-rt.
+    let root = workspace_root();
+    let text = fs::read_to_string(root.join("crates/obs/Cargo.toml")).expect("obs manifest");
+    let mut in_deps = false;
+    for raw in text.lines() {
+        let line = raw.trim();
+        if line.starts_with('[') {
+            in_deps = line.trim_matches(['[', ']']).ends_with("dependencies");
+            continue;
+        }
+        if in_deps && !line.is_empty() && !line.starts_with('#') {
+            assert!(
+                line.starts_with("llmdm-rt"),
+                "llmdm-obs may only depend on llmdm-rt, found: {line}"
+            );
+        }
+    }
+}
+
+#[test]
 fn no_source_file_references_removed_crates() {
     // The replaced crates must not creep back in via `use` or `extern`.
     let root = workspace_root();
