@@ -28,11 +28,15 @@
 pub mod decision;
 pub mod eval;
 pub mod hotpot;
+pub mod resilient;
 pub mod router;
 pub mod solver;
 
 pub use decision::{DecisionModel, Features};
 pub use eval::{run_table1, Table1Report, TierReport};
 pub use hotpot::{HotpotConfig, HotpotWorkload, QaItem};
+pub use resilient::{
+    CascadeExhausted, ResilientAnswer, ResilientCascade, ResilientTier, TierOutcome,
+};
 pub use router::{CascadeAnswer, CascadeRouter, TierAttempt};
 pub use solver::QaSolver;

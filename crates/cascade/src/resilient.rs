@@ -1,0 +1,397 @@
+//! [`ResilientCascade`] — the Figure-6 cascade hardened for a faulty
+//! world.
+//!
+//! Where [`crate::router::CascadeRouter`] assumes every tier answers,
+//! this router assumes tiers *fail*: each tier is wrapped in a
+//! `ResilientClient` (retries + breaker + deadline), the overall call
+//! carries a latency budget that is **sliced** across tiers
+//! (`Deadline::slice`, so a cheap-tier retry storm cannot starve the
+//! expensive tier), and tier failure triggers **fallback** to the next
+//! tier instead of failing the query. If every remaining tier fails
+//! after some tier already produced a below-threshold answer, that
+//! answer is served as a *degraded* best-effort result — the §III-B
+//! graceful-degradation behaviour the chaos pipeline exercises.
+//!
+//! Metrics: `resil.fallback_tier` counts tier fallbacks,
+//! `resil.degraded_answers` counts best-effort serves; the
+//! `cascade.resilient` span carries `tier_used`, `fallbacks`,
+//! `degraded`.
+
+use std::sync::Arc;
+
+use llmdm_model::resilient::ResilientClient;
+use llmdm_model::{CompletionRequest, LanguageModel};
+use llmdm_resil::{Deadline, SimClock};
+
+use crate::decision::{DecisionModel, Features};
+
+/// What happened at one tier during a resilient walk.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TierOutcome {
+    /// The tier answered; `accepted` is the decision-model verdict.
+    Answered {
+        /// Decision-model score for the answer.
+        score: f64,
+        /// Whether the answer was accepted at this tier.
+        accepted: bool,
+        /// Dollar cost the router observed for this attempt.
+        cost: f64,
+    },
+    /// The tier failed past its retry budget / breaker / deadline.
+    Failed {
+        /// Render of the terminal error.
+        error: String,
+    },
+}
+
+/// One tier's record in the resilient trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResilientTier {
+    /// Model name of the tier.
+    pub model: String,
+    /// What happened there.
+    pub outcome: TierOutcome,
+}
+
+/// A resilient cascade's answer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResilientAnswer {
+    /// The served answer text.
+    pub text: String,
+    /// Index of the tier that produced the served answer.
+    pub tier_used: usize,
+    /// Total observed dollar cost across successful tier attempts.
+    pub total_cost: f64,
+    /// Tiers that failed and were skipped.
+    pub fallbacks: u32,
+    /// True when the served answer is best-effort: some tier failed on
+    /// the way here, or the answer never met the acceptance threshold
+    /// but nothing better was available.
+    pub degraded: bool,
+    /// Per-tier trace.
+    pub trace: Vec<ResilientTier>,
+}
+
+/// Every tier failed and no best-effort answer existed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CascadeExhausted {
+    /// `(model, error)` for every failed tier.
+    pub failures: Vec<(String, String)>,
+}
+
+impl std::fmt::Display for CascadeExhausted {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "all {} cascade tiers failed:", self.failures.len())?;
+        for (model, err) in &self.failures {
+            write!(f, " [{model}: {err}]")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for CascadeExhausted {}
+
+/// The fault-tolerant cascade router.
+pub struct ResilientCascade {
+    tiers: Vec<Arc<ResilientClient>>,
+    decision: DecisionModel,
+    threshold: f64,
+    clock: SimClock,
+}
+
+impl std::fmt::Debug for ResilientCascade {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResilientCascade")
+            .field("tiers", &self.tiers.iter().map(|t| t.name().to_string()).collect::<Vec<_>>())
+            .field("threshold", &self.threshold)
+            .finish()
+    }
+}
+
+impl ResilientCascade {
+    /// Build from pre-configured per-tier clients (cheapest first).
+    pub fn new(
+        tiers: Vec<Arc<ResilientClient>>,
+        decision: DecisionModel,
+        threshold: f64,
+        clock: SimClock,
+    ) -> Self {
+        assert!(!tiers.is_empty(), "cascade needs at least one tier");
+        ResilientCascade { tiers, decision, threshold, clock }
+    }
+
+    /// Build by wrapping each model in a default `ResilientClient` on
+    /// the shared `clock`.
+    pub fn from_models(
+        models: Vec<Arc<dyn LanguageModel>>,
+        decision: DecisionModel,
+        threshold: f64,
+        clock: SimClock,
+    ) -> Self {
+        let tiers = models
+            .into_iter()
+            .map(|m| Arc::new(ResilientClient::with_defaults(m, clock.clone())))
+            .collect();
+        Self::new(tiers, decision, threshold, clock)
+    }
+
+    /// The per-tier clients.
+    pub fn tiers(&self) -> &[Arc<ResilientClient>] {
+        &self.tiers
+    }
+
+    /// The shared simulated clock.
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    /// The acceptance threshold.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// Answer under a total latency budget of `budget_ms` simulated
+    /// milliseconds.
+    ///
+    /// Tier `i` of `n` receives a sub-deadline of
+    /// `remaining / (n - i)` (`Deadline::slice`): unconsumed budget
+    /// rolls forward, but no tier may starve its successors.
+    pub fn answer_within(
+        &self,
+        prompt: &str,
+        budget_ms: u64,
+    ) -> Result<ResilientAnswer, CascadeExhausted> {
+        self.answer_with_deadline(prompt, Deadline::after(&self.clock, budget_ms))
+    }
+
+    /// Answer with an explicit absolute deadline.
+    pub fn answer_with_deadline(
+        &self,
+        prompt: &str,
+        deadline: Deadline,
+    ) -> Result<ResilientAnswer, CascadeExhausted> {
+        let mut span = llmdm_obs::span("cascade.resilient");
+        let req = CompletionRequest::new(prompt);
+        let n = self.tiers.len();
+        let mut trace = Vec::with_capacity(n);
+        let mut total_cost = 0.0;
+        let mut fallbacks = 0u32;
+        // Best below-threshold answer so far: (text, tier, score, cost).
+        let mut best: Option<(String, usize, f64)> = None;
+
+        for (i, tier) in self.tiers.iter().enumerate() {
+            let sub = deadline.slice(&self.clock, i, n);
+            let (res, _stats) = tier.complete_within(&req, sub);
+            match res {
+                Ok(c) => {
+                    total_cost += c.cost;
+                    let score = self.decision.predict(&Features::extract(&c, i, n));
+                    let last = i + 1 == n;
+                    let accepted = last || score >= self.threshold;
+                    trace.push(ResilientTier {
+                        model: tier.name().to_string(),
+                        outcome: TierOutcome::Answered { score, accepted, cost: c.cost },
+                    });
+                    if accepted {
+                        let degraded = fallbacks > 0;
+                        if degraded {
+                            llmdm_obs::counter_add("resil.degraded_answers", 1.0);
+                        }
+                        if span.is_recording() {
+                            span.field("tier_used", i);
+                            span.field("fallbacks", fallbacks);
+                            span.field("degraded", if degraded { "yes" } else { "no" });
+                        }
+                        return Ok(ResilientAnswer {
+                            text: c.text,
+                            tier_used: i,
+                            total_cost,
+                            fallbacks,
+                            degraded,
+                            trace,
+                        });
+                    }
+                    // Keep the best-scoring rejected answer for
+                    // best-effort serving if everything above fails.
+                    if best.as_ref().map(|(_, _, s)| score > *s).unwrap_or(true) {
+                        best = Some((c.text, i, score));
+                    }
+                }
+                Err(e) => {
+                    fallbacks += 1;
+                    llmdm_obs::counter_add("resil.fallback_tier", 1.0);
+                    trace.push(ResilientTier {
+                        model: tier.name().to_string(),
+                        outcome: TierOutcome::Failed { error: e.to_string() },
+                    });
+                }
+            }
+        }
+
+        // No tier accepted. Serve the best rejected answer, degraded.
+        if let Some((text, tier_used, _score)) = best {
+            llmdm_obs::counter_add("resil.degraded_answers", 1.0);
+            if span.is_recording() {
+                span.field("tier_used", tier_used);
+                span.field("fallbacks", fallbacks);
+                span.field("degraded", "best_effort");
+            }
+            return Ok(ResilientAnswer {
+                text,
+                tier_used,
+                total_cost,
+                fallbacks,
+                degraded: true,
+                trace,
+            });
+        }
+
+        Err(CascadeExhausted {
+            failures: trace
+                .into_iter()
+                .filter_map(|t| match t.outcome {
+                    TierOutcome::Failed { error } => Some((t.model, error)),
+                    TierOutcome::Answered { .. } => None,
+                })
+                .collect(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llmdm_model::faulty::FaultyModel;
+    use llmdm_model::ModelZoo;
+    use llmdm_resil::{FaultPlan, TierPlan, Window};
+
+    fn prompt(gold: &str, nonce: u64) -> String {
+        llmdm_model::PromptEnvelope::builder("oracle")
+            .header("gold", gold)
+            .header("difficulty", 0.1)
+            .header("nonce", nonce)
+            .body("q")
+            .build()
+    }
+
+    fn faulty_tiers(
+        plan: FaultPlan,
+        clock: &SimClock,
+        seed: u64,
+    ) -> (ModelZoo, Vec<Arc<dyn LanguageModel>>) {
+        let zoo = ModelZoo::standard(seed);
+        let plan = Arc::new(plan);
+        let models: Vec<Arc<dyn LanguageModel>> = zoo
+            .cascade_order()
+            .into_iter()
+            .map(|m| {
+                Arc::new(FaultyModel::new(m, Arc::clone(&plan), clock.clone()))
+                    as Arc<dyn LanguageModel>
+            })
+            .collect();
+        (zoo, models)
+    }
+
+    #[test]
+    fn quiet_plan_behaves_like_a_plain_cascade() {
+        let clock = SimClock::new();
+        let (_zoo, models) = faulty_tiers(FaultPlan::none(), &clock, 3);
+        let casc = ResilientCascade::from_models(models, DecisionModel::new(), 0.0, clock);
+        let a = casc.answer_within(&prompt("paris", 0), 60_000).unwrap();
+        assert_eq!(a.tier_used, 0);
+        assert_eq!(a.fallbacks, 0);
+        assert!(!a.degraded);
+        assert!(!a.text.is_empty());
+    }
+
+    #[test]
+    fn tier_zero_outage_falls_back_and_degrades() {
+        let clock = SimClock::new();
+        let (zoo, _) = faulty_tiers(FaultPlan::none(), &clock, 3);
+        let small_name = zoo.cascade_order()[0].name().to_string();
+        let plan = FaultPlan::new(
+            "t0-outage",
+            1,
+            vec![TierPlan::quiet(&small_name).outage(Window::new(0, u64::MAX))],
+        );
+        let (_zoo2, models) = faulty_tiers(plan, &clock, 3);
+        let casc = ResilientCascade::from_models(models, DecisionModel::new(), 0.0, clock);
+        let a = casc.answer_within(&prompt("paris", 0), 600_000).unwrap();
+        assert_eq!(a.tier_used, 1, "must fall back to the next tier");
+        assert_eq!(a.fallbacks, 1);
+        assert!(a.degraded);
+        assert!(matches!(a.trace[0].outcome, TierOutcome::Failed { .. }));
+    }
+
+    #[test]
+    fn total_outage_exhausts_the_cascade() {
+        let clock = SimClock::new();
+        let (zoo, _) = faulty_tiers(FaultPlan::none(), &clock, 3);
+        let tiers: Vec<TierPlan> = zoo
+            .cascade_order()
+            .iter()
+            .map(|m| TierPlan::quiet(m.name()).outage(Window::new(0, u64::MAX)))
+            .collect();
+        let (_zoo2, models) = faulty_tiers(FaultPlan::new("all-out", 2, tiers), &clock, 3);
+        let casc = ResilientCascade::from_models(models, DecisionModel::new(), 0.0, clock);
+        let err = casc.answer_within(&prompt("paris", 0), 600_000).unwrap_err();
+        assert_eq!(err.failures.len(), 3);
+        assert!(err.to_string().contains("all 3 cascade tiers failed"));
+    }
+
+    #[test]
+    fn rejected_answer_is_served_best_effort_when_upper_tiers_die() {
+        let clock = SimClock::new();
+        let (zoo, _) = faulty_tiers(FaultPlan::none(), &clock, 3);
+        let order = zoo.cascade_order();
+        // Tiers 1 and 2 are down; tier 0 answers but the threshold is
+        // unreachable, so its rejected answer must be served degraded.
+        let plan = FaultPlan::new(
+            "top-out",
+            4,
+            vec![
+                TierPlan::quiet(order[1].name()).outage(Window::new(0, u64::MAX)),
+                TierPlan::quiet(order[2].name()).outage(Window::new(0, u64::MAX)),
+            ],
+        );
+        let (_zoo2, models) = faulty_tiers(plan, &clock, 3);
+        let casc = ResilientCascade::from_models(models, DecisionModel::new(), 1.1, clock);
+        let a = casc.answer_within(&prompt("paris", 0), 600_000).unwrap();
+        assert!(a.degraded);
+        assert_eq!(a.tier_used, 0);
+        assert_eq!(a.fallbacks, 2);
+        assert!(!a.text.is_empty(), "a best-effort answer must still carry text");
+    }
+
+    #[test]
+    fn budget_is_sliced_so_early_storms_leave_budget_for_later_tiers() {
+        let clock = SimClock::new();
+        let (zoo, _) = faulty_tiers(FaultPlan::none(), &clock, 3);
+        let small_name = zoo.cascade_order()[0].name().to_string();
+        // Tier 0 rate-limits every call with a huge retry-after hint,
+        // so its retries would love to eat the entire budget.
+        let plan = FaultPlan::new(
+            "storm",
+            5,
+            vec![TierPlan::with_rates(
+                &small_name,
+                llmdm_resil::FaultRates { rate_limited: 1.0, ..Default::default() },
+            )
+            .retry_hint(50_000)],
+        );
+        let (_zoo2, models) = faulty_tiers(plan, &clock, 3);
+        let casc =
+            ResilientCascade::from_models(models, DecisionModel::new(), 0.0, clock.clone());
+        let budget = 90_000u64;
+        let a = casc.answer_within(&prompt("paris", 0), budget).unwrap();
+        // Tier 0's slice is budget/3; its 50s retry hint cannot fit, so
+        // it fails fast and tier 1 still has budget to answer.
+        assert_eq!(a.tier_used, 1);
+        assert!(a.degraded);
+        assert!(
+            clock.now_ms() <= budget,
+            "walk must respect the total budget: {}ms",
+            clock.now_ms()
+        );
+    }
+}

@@ -7,7 +7,7 @@
 
 use std::sync::Arc;
 
-use llmdm_model::{CompletionRequest, LanguageModel, SimLlm};
+use llmdm_model::{CompletionRequest, LanguageModel};
 
 use crate::decision::{DecisionModel, Features};
 
@@ -44,8 +44,13 @@ pub struct CascadeAnswer {
 }
 
 /// A cascade over an ordered model sequence.
+///
+/// The router is generic at construction but stores trait objects, so
+/// any [`LanguageModel`] — a bare `SimLlm`, a fault-injecting
+/// `FaultyModel`, or a retry-wrapped `ResilientClient` — can fill a
+/// tier.
 pub struct CascadeRouter {
-    models: Vec<Arc<SimLlm>>,
+    models: Vec<Arc<dyn LanguageModel>>,
     decision: DecisionModel,
     threshold: f64,
 }
@@ -61,10 +66,34 @@ impl std::fmt::Debug for CascadeRouter {
 
 impl CascadeRouter {
     /// Build a router over `models` (cheapest first) with an acceptance
-    /// `threshold` on the decision model's score.
-    pub fn new(models: Vec<Arc<SimLlm>>, decision: DecisionModel, threshold: f64) -> Self {
+    /// `threshold` on the decision model's score. Accepts any concrete
+    /// model type and coerces to trait objects internally.
+    pub fn new<M: LanguageModel + 'static>(
+        models: Vec<Arc<M>>,
+        decision: DecisionModel,
+        threshold: f64,
+    ) -> Self {
+        Self::new_dyn(
+            models.into_iter().map(|m| m as Arc<dyn LanguageModel>).collect(),
+            decision,
+            threshold,
+        )
+    }
+
+    /// Build a router over already-erased trait objects (used when
+    /// tiers mix concrete types, e.g. the resilient cascade).
+    pub fn new_dyn(
+        models: Vec<Arc<dyn LanguageModel>>,
+        decision: DecisionModel,
+        threshold: f64,
+    ) -> Self {
         assert!(!models.is_empty(), "cascade needs at least one model");
         CascadeRouter { models, decision, threshold }
+    }
+
+    /// The tier models, cheapest first.
+    pub fn models(&self) -> &[Arc<dyn LanguageModel>] {
+        &self.models
     }
 
     /// The acceptance threshold.
@@ -143,8 +172,8 @@ impl CascadeRouter {
 
     /// Collect labelled decision-model training data by running every tier
     /// on a calibration set with known gold answers.
-    pub fn collect_training_data(
-        models: &[Arc<SimLlm>],
+    pub fn collect_training_data<M: LanguageModel>(
+        models: &[Arc<M>],
         calibration: &[(String, String)], // (prompt, gold)
     ) -> Vec<(Features, bool)> {
         let n = models.len();

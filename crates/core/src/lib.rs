@@ -47,6 +47,7 @@ pub use llmdm_obs as obs;
 pub use llmdm_rt as rt;
 pub use llmdm_privacy as privacy;
 pub use llmdm_promptopt as promptopt;
+pub use llmdm_resil as resil;
 pub use llmdm_semcache as semcache;
 pub use llmdm_sqlengine as sql;
 pub use llmdm_transform as transform;
@@ -57,4 +58,4 @@ pub mod experiments;
 pub mod manager;
 
 pub use experiments::{run_table3, Table3Report};
-pub use manager::DataManager;
+pub use manager::{DataManager, StageReport, StageStatus};

@@ -11,6 +11,75 @@ use llmdm_transform::relational::parse_scalar;
 use llmdm_transform::{discover_program, Grid, JsonValue, Op};
 use llmdm_vecdb::AttrValue;
 
+/// How a pipeline stage finished (graceful-degradation contract).
+///
+/// A stage that processes a batch of items no longer has to be
+/// all-or-nothing: under partial failure it reports `Degraded` with the
+/// completed subset rather than aborting the whole pipeline — the §II-E
+/// availability-over-completeness trade-off the resilience layer makes
+/// throughout the stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StageStatus {
+    /// Every item succeeded.
+    Complete,
+    /// Some items failed; the completed subset is usable.
+    Degraded,
+    /// Nothing succeeded.
+    Failed,
+}
+
+impl StageStatus {
+    /// Short label (`"complete"` / `"degraded"` / `"failed"`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            StageStatus::Complete => "complete",
+            StageStatus::Degraded => "degraded",
+            StageStatus::Failed => "failed",
+        }
+    }
+}
+
+/// Per-stage outcome of a degradable batch operation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageReport {
+    /// Stage name (`transformation`, `exploration`, …).
+    pub stage: &'static str,
+    /// The aggregate status.
+    pub status: StageStatus,
+    /// Items that completed.
+    pub completed: usize,
+    /// Items attempted.
+    pub attempted: usize,
+    /// One error string per failed item, `(item, error)`.
+    pub errors: Vec<(String, String)>,
+}
+
+impl StageReport {
+    fn from_outcomes(
+        stage: &'static str,
+        attempted: usize,
+        errors: Vec<(String, String)>,
+    ) -> Self {
+        let completed = attempted - errors.len();
+        let status = if errors.is_empty() {
+            StageStatus::Complete
+        } else if completed > 0 {
+            StageStatus::Degraded
+        } else {
+            StageStatus::Failed
+        };
+        if status == StageStatus::Degraded {
+            llmdm_obs::counter_add("core.stage.degraded", 1.0);
+        }
+        StageReport { stage, status, completed, attempted, errors }
+    }
+
+    /// Whether any usable output was produced.
+    pub fn usable(&self) -> bool {
+        self.completed > 0 || self.attempted == 0
+    }
+}
+
 /// The end-to-end data-management pipeline of the paper's Figure 1.
 pub struct DataManager {
     zoo: ModelZoo,
@@ -147,6 +216,68 @@ impl DataManager {
                 .map_err(|e| e.to_string())?;
         }
         Ok(self.lake.len())
+    }
+
+    /// **Transformation, degradable**: ingest a batch of JSON documents,
+    /// continuing past per-document failures. A malformed document no
+    /// longer aborts the batch — the valid ones are registered and the
+    /// report says [`StageStatus::Degraded`] with one error per failure.
+    pub fn ingest_json_batch(&mut self, docs: &[(&str, &str)]) -> StageReport {
+        let mut span = llmdm_obs::span("core.stage.transformation");
+        span.field("op", "ingest_json_batch");
+        span.field("docs", docs.len());
+        let mut errors = Vec::new();
+        for (name, json) in docs {
+            if let Err(e) = self.ingest_json(name, json) {
+                errors.push((name.to_string(), e));
+            }
+        }
+        let report = StageReport::from_outcomes("transformation", docs.len(), errors);
+        span.field("status", report.status.label());
+        report
+    }
+
+    /// **Exploration, degradable**: like [`DataManager::build_lake`] but
+    /// continues past per-item indexing failures, returning the lake size
+    /// alongside the stage report instead of aborting on the first error.
+    pub fn build_lake_partial(&mut self, documents: &[(&str, &str)]) -> (usize, StageReport) {
+        let mut span = llmdm_obs::span("core.stage.exploration");
+        span.field("op", "build_lake_partial");
+        let names: Vec<String> = self.db.table_names().iter().map(|s| s.to_string()).collect();
+        let mut attempted = 0usize;
+        let mut errors = Vec::new();
+        for name in names {
+            if self.indexed_tables.contains(&name) {
+                continue;
+            }
+            attempted += 1;
+            let table = match self.db.table(&name) {
+                Ok(t) => t.clone(),
+                Err(e) => {
+                    errors.push((name.clone(), e.to_string()));
+                    continue;
+                }
+            };
+            match self
+                .lake
+                .add_table(&table, vec![("source".to_string(), AttrValue::from("database"))])
+            {
+                Ok(_) => self.indexed_tables.push(name),
+                Err(e) => errors.push((name.clone(), e.to_string())),
+            }
+        }
+        for (title, body) in documents {
+            attempted += 1;
+            if let Err(e) = self
+                .lake
+                .add_text(title, body, vec![("source".to_string(), AttrValue::from("document"))])
+            {
+                errors.push((title.to_string(), e.to_string()));
+            }
+        }
+        let report = StageReport::from_outcomes("exploration", attempted, errors);
+        span.field("status", report.status.label());
+        (self.lake.len(), report)
     }
 
     /// **Generation**: produce executable SQL over the managed database
@@ -302,6 +433,45 @@ mod tests {
         let mut dm = DataManager::new(1);
         dm.ingest_json("t", r#"[{"a": 1}]"#).unwrap();
         assert!(dm.ingest_json("t", r#"[{"a": 2}]"#).is_err());
+    }
+
+    #[test]
+    fn batch_ingest_degrades_instead_of_aborting() {
+        let mut dm = DataManager::new(11);
+        let report = dm.ingest_json_batch(&[
+            ("good_a", r#"[{"x": 1}]"#),
+            ("broken", "{not json"),
+            ("good_b", r#"[{"y": 2}]"#),
+        ]);
+        assert_eq!(report.status, StageStatus::Degraded);
+        assert_eq!(report.completed, 2);
+        assert_eq!(report.attempted, 3);
+        assert_eq!(report.errors.len(), 1);
+        assert_eq!(report.errors[0].0, "broken");
+        assert!(report.usable());
+        // The good tables really landed.
+        assert!(dm.database().has_table("good_a"));
+        assert!(dm.database().has_table("good_b"));
+        // And downstream stages keep working on the partial result.
+        let (n, lake_report) = dm.build_lake_partial(&[("notes", "partial but useful")]);
+        assert_eq!(lake_report.status, StageStatus::Complete);
+        assert_eq!(n, 3); // 2 tables + 1 document
+    }
+
+    #[test]
+    fn batch_ingest_all_good_is_complete_all_bad_is_failed() {
+        let mut dm = DataManager::new(12);
+        let ok = dm.ingest_json_batch(&[("a", r#"[{"x": 1}]"#)]);
+        assert_eq!(ok.status, StageStatus::Complete);
+        assert!(ok.usable());
+        let bad = dm.ingest_json_batch(&[("b", "nope"), ("c", "{")]);
+        assert_eq!(bad.status, StageStatus::Failed);
+        assert_eq!(bad.completed, 0);
+        assert!(!bad.usable());
+        // Empty batch: trivially complete and usable.
+        let empty = dm.ingest_json_batch(&[]);
+        assert_eq!(empty.status, StageStatus::Complete);
+        assert!(empty.usable());
     }
 
     #[test]

@@ -8,8 +8,66 @@
 use llmdm_rt::{FromJson, Json, JsonError, ToJson};
 
 use crate::capability::CapabilityCurve;
+use crate::error::{ModelError, TransientKind};
 use crate::pricing::{PriceTable, Pricing};
 use crate::usage::{ModelUsage, TokenUsage, UsageSnapshot};
+
+impl ToJson for ModelError {
+    /// Tagged-object encoding: `{"error": "<variant>", ...fields}`, so
+    /// resilience reports and chaos traces can persist failure causes.
+    fn to_json(&self) -> Json {
+        match self {
+            ModelError::UnsupportedPrompt(head) => Json::obj([
+                ("error", Json::Str("unsupported_prompt".into())),
+                ("head", Json::Str(head.clone())),
+            ]),
+            ModelError::ContextOverflow { tokens, limit } => Json::obj([
+                ("error", Json::Str("context_overflow".into())),
+                ("tokens", tokens.to_json()),
+                ("limit", limit.to_json()),
+            ]),
+            ModelError::MalformedPayload { task, reason } => Json::obj([
+                ("error", Json::Str("malformed_payload".into())),
+                ("task", Json::Str(task.clone())),
+                ("reason", Json::Str(reason.clone())),
+            ]),
+            ModelError::EmptyInput => Json::obj([("error", Json::Str("empty_input".into()))]),
+            ModelError::Transient { kind, retry_after_ms } => Json::obj([
+                ("error", Json::Str("transient".into())),
+                ("kind", Json::Str(kind.label().into())),
+                ("retry_after_ms", retry_after_ms.to_json()),
+            ]),
+        }
+    }
+}
+
+impl FromJson for ModelError {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let tag = v.field("error")?.as_str()?;
+        match tag {
+            "unsupported_prompt" => {
+                Ok(ModelError::UnsupportedPrompt(v.field("head")?.as_str()?.to_string()))
+            }
+            "context_overflow" => Ok(ModelError::ContextOverflow {
+                tokens: v.field("tokens")?.as_usize()?,
+                limit: v.field("limit")?.as_usize()?,
+            }),
+            "malformed_payload" => Ok(ModelError::MalformedPayload {
+                task: v.field("task")?.as_str()?.to_string(),
+                reason: v.field("reason")?.as_str()?.to_string(),
+            }),
+            "empty_input" => Ok(ModelError::EmptyInput),
+            "transient" => {
+                let label = v.field("kind")?.as_str()?;
+                let kind = TransientKind::from_label(label).ok_or_else(|| {
+                    JsonError::shape("unknown transient kind label")
+                })?;
+                Ok(ModelError::Transient { kind, retry_after_ms: v.field("retry_after_ms")?.as_u64()? })
+            }
+            _ => Err(JsonError::shape("unknown ModelError tag")),
+        }
+    }
+}
 
 impl ToJson for Pricing {
     fn to_json(&self) -> Json {
@@ -192,5 +250,32 @@ mod tests {
         assert!(Pricing::from_json_str("{\"input_per_1k\": 1.0}").is_err());
         assert!(TokenUsage::from_json_str("[1, 2]").is_err());
         assert!(UsageSnapshot::from_json_str("{\"per_model\": [[\"m\"]]}").is_err());
+    }
+
+    #[test]
+    fn model_error_roundtrips_every_variant() {
+        use crate::error::{ModelError, TransientKind};
+        let variants = vec![
+            ModelError::UnsupportedPrompt("### task: bogus".into()),
+            ModelError::ContextOverflow { tokens: 9000, limit: 8192 },
+            ModelError::MalformedPayload { task: "qa".into(), reason: "no question".into() },
+            ModelError::EmptyInput,
+            ModelError::Transient { kind: TransientKind::RateLimited, retry_after_ms: 250 },
+            ModelError::Transient { kind: TransientKind::Timeout, retry_after_ms: 0 },
+            ModelError::Transient { kind: TransientKind::Unavailable, retry_after_ms: 1000 },
+        ];
+        for e in variants {
+            let back = ModelError::from_json_str(&e.to_json_string())
+                .unwrap_or_else(|err| panic!("{e:?} did not roundtrip: {err:?}"));
+            assert_eq!(e, back);
+        }
+    }
+
+    #[test]
+    fn model_error_bad_tags_are_errors() {
+        use crate::error::ModelError;
+        assert!(ModelError::from_json_str("{\"error\": \"who_knows\"}").is_err());
+        assert!(ModelError::from_json_str("{\"error\": \"transient\", \"kind\": \"zap\", \"retry_after_ms\": 0}").is_err());
+        assert!(ModelError::from_json_str("{}").is_err());
     }
 }

@@ -43,10 +43,12 @@
 pub mod capability;
 pub mod embed;
 pub mod error;
+pub mod faulty;
 pub mod hash;
 pub mod jsonio;
 pub mod latency;
 pub mod pricing;
+pub mod resilient;
 pub mod sim;
 pub mod solver;
 pub mod tokenizer;
@@ -55,7 +57,9 @@ pub mod zoo;
 
 pub use capability::CapabilityCurve;
 pub use embed::Embedder;
-pub use error::ModelError;
+pub use error::{ModelError, TransientKind};
+pub use faulty::FaultyModel;
+pub use resilient::{ClientStats, ResilientClient};
 pub use latency::LatencyModel;
 pub use pricing::{PriceTable, Pricing};
 pub use sim::{Completion, CompletionRequest, LanguageModel, SimLlm};

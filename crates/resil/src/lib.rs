@@ -1,0 +1,90 @@
+//! # llmdm-resil — deterministic fault injection + resilience machinery
+//!
+//! The paper's challenge sections (§III-B query optimization, §III-C
+//! cache optimization, §III-D output validation) all presume LLM calls
+//! that *fail*: they rate-limit, time out, truncate, and return
+//! malformed payloads. This crate supplies both sides of that coin for
+//! the whole workspace, with the same determinism guarantees as the
+//! rest of the stack (seeded xoshiro streams from `llmdm-rt`, metrics
+//! through `llmdm-obs`):
+//!
+//! * **Fault injection** ([`plan`]): a declarative [`FaultPlan`] —
+//!   per-tier rates for rate-limit / timeout / truncation / malformed
+//!   payloads, plus burst multipliers and hard outage windows on a
+//!   simulated clock ([`SimClock`]) — and a pure, seeded decision
+//!   function: identical `(seed, plan, call sequence)` ⇒ byte-identical
+//!   fault sequence.
+//! * **Resilience** ([`backoff`], [`deadline`], [`breaker`], [`retry`]):
+//!   capped exponential backoff with deterministic full jitter,
+//!   deadline budgets measured on the simulated clock, a
+//!   closed→open→half-open circuit breaker, and a generic retry
+//!   executor ([`retry::execute`]) that composes all three around any
+//!   fallible operation.
+//!
+//! ## Layering
+//!
+//! This crate deliberately depends **only** on `llmdm-rt` and
+//! `llmdm-obs` (enforced by `tests/hermetic.rs::
+//! resil_crate_depends_only_on_rt_and_obs`), so every other crate can
+//! use it without cycles. The `LanguageModel`-shaped adapters —
+//! `FaultyModel` (injects faults from a [`FaultPlan`]) and
+//! `ResilientClient` (wraps a model with [`retry::execute`]) — live in
+//! `llmdm-model::{faulty, resilient}`, and the tier-aware fallback
+//! router lives in `llmdm-cascade::resilient`. The error taxonomy this
+//! crate classifies against is abstracted behind the [`Retryable`]
+//! trait, which `llmdm_model::ModelError` implements.
+//!
+//! ## Metric names
+//!
+//! `resil.retries`, `resil.breaker_open` (trips),
+//! `resil.breaker_rejected` (calls refused while open),
+//! `resil.breaker_transition`, `resil.fallback_tier`,
+//! `resil.stale_serves` (bumped by semcache), `resil.faults.<kind>`
+//! (bumped by the injector), and the `resil.backoff_ms` histogram.
+//! See DESIGN.md §9.
+
+#![warn(missing_docs)]
+
+pub mod backoff;
+pub mod breaker;
+pub mod clock;
+pub mod deadline;
+pub mod plan;
+pub mod retry;
+
+pub use backoff::Backoff;
+pub use breaker::{Admission, BreakerConfig, BreakerState, CircuitBreaker, Transition};
+pub use clock::SimClock;
+pub use deadline::Deadline;
+pub use plan::{FaultKind, FaultPlan, FaultRates, TierPlan, Window};
+pub use retry::{execute, CallStats, ResilError, Retryable, RetryPolicy};
+
+/// Stable, seed-friendly FNV-1a hash (local copy so this crate stays
+/// free of non-rt/obs dependencies; the constants match
+/// `llmdm_model::hash`).
+#[inline]
+pub(crate) fn fnv1a_str(s: &str) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for &b in s.as_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// SplitMix64 finalizer for decorrelating derived seeds.
+#[inline]
+pub(crate) fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Order-sensitive combination of two hashes.
+#[inline]
+pub(crate) fn combine(a: u64, b: u64) -> u64 {
+    splitmix(a ^ b.rotate_left(17).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+}

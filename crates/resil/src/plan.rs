@@ -1,0 +1,361 @@
+//! Declarative fault plans and the pure, seeded fault-decision
+//! function.
+//!
+//! A [`FaultPlan`] describes *what goes wrong*: per-tier rates for each
+//! [`FaultKind`], burst windows that multiply those rates, and hard
+//! outage windows during which a tier is simply down. The decision
+//! function [`FaultPlan::decide`] is pure in `(plan, tier, call_index,
+//! now_ms)` — every bit of randomness is hashed from the plan seed, the
+//! tier name, and the per-tier call index — so an identical plan and
+//! call sequence reproduces a byte-identical fault sequence. That
+//! purity is what lets `examples/chaos_pipeline.rs` assert run-to-run
+//! determinism.
+
+use llmdm_rt::rand::{Rng, SeedableRng, SmallRng};
+
+use crate::{combine, fnv1a_str};
+
+/// The kinds of fault the injector can produce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// The provider rejected the call up front (HTTP 429). Not billed.
+    RateLimited,
+    /// The call ran past its wall-clock budget. The request *executed*
+    /// (and is billed) but the caller never sees the completion.
+    Timeout,
+    /// The response came back truncated: billed in full, returned as a
+    /// "successful" completion with the tail cut off.
+    TruncatedOutput,
+    /// The response decoded to garbage (malformed payload). Injected
+    /// before execution in simulation, so not billed.
+    MalformedPayload,
+    /// The tier is inside a hard outage window: every call fails as
+    /// `Unavailable`. Not billed.
+    Outage,
+}
+
+impl FaultKind {
+    /// Stable lowercase label (metric suffix: `resil.faults.<label>`).
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultKind::RateLimited => "rate_limited",
+            FaultKind::Timeout => "timeout",
+            FaultKind::TruncatedOutput => "truncated",
+            FaultKind::MalformedPayload => "malformed",
+            FaultKind::Outage => "outage",
+        }
+    }
+
+    /// All kinds, in the order the decision function draws them.
+    pub fn all() -> [FaultKind; 5] {
+        [
+            FaultKind::RateLimited,
+            FaultKind::Timeout,
+            FaultKind::TruncatedOutput,
+            FaultKind::MalformedPayload,
+            FaultKind::Outage,
+        ]
+    }
+}
+
+/// Per-call fault probabilities for one tier (each in `[0, 1]`; their
+/// sum is clamped during the draw so they stay mutually exclusive).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FaultRates {
+    /// P(rate-limit rejection).
+    pub rate_limited: f64,
+    /// P(timeout after execution).
+    pub timeout: f64,
+    /// P(truncated output).
+    pub truncated: f64,
+    /// P(malformed payload).
+    pub malformed: f64,
+}
+
+impl FaultRates {
+    /// All-zero rates (no faults).
+    pub fn none() -> Self {
+        FaultRates::default()
+    }
+
+    /// Sum of all rates (pre-clamp).
+    pub fn total(&self) -> f64 {
+        self.rate_limited + self.timeout + self.truncated + self.malformed
+    }
+}
+
+/// A half-open window `[start_ms, end_ms)` on the simulated timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Window {
+    /// Inclusive start (simulated ms).
+    pub start_ms: u64,
+    /// Exclusive end (simulated ms).
+    pub end_ms: u64,
+}
+
+impl Window {
+    /// A window covering `[start_ms, end_ms)`.
+    pub fn new(start_ms: u64, end_ms: u64) -> Self {
+        Window { start_ms, end_ms }
+    }
+
+    /// Whether `t` falls inside the window.
+    pub fn contains(&self, t: u64) -> bool {
+        t >= self.start_ms && t < self.end_ms
+    }
+}
+
+/// The fault configuration for one model tier.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TierPlan {
+    /// The tier (model) name this plan applies to.
+    pub tier: String,
+    /// Baseline per-call fault rates.
+    pub rates: FaultRates,
+    /// Hard outage windows (every call inside fails as `Outage`).
+    pub outages: Vec<Window>,
+    /// `retry_after_ms` hint attached to rate-limit faults (0 = none).
+    pub retry_after_ms: u64,
+    /// Simulated latency a timed-out call burns before failing.
+    pub timeout_ms: u64,
+}
+
+impl TierPlan {
+    /// A fault-free tier plan.
+    pub fn quiet(tier: &str) -> Self {
+        TierPlan {
+            tier: tier.to_string(),
+            rates: FaultRates::none(),
+            outages: Vec::new(),
+            retry_after_ms: 0,
+            timeout_ms: 0,
+        }
+    }
+
+    /// A tier plan with the given rates and defaults elsewhere.
+    pub fn with_rates(tier: &str, rates: FaultRates) -> Self {
+        TierPlan { rates, ..TierPlan::quiet(tier) }
+    }
+
+    /// Add an outage window.
+    pub fn outage(mut self, w: Window) -> Self {
+        self.outages.push(w);
+        self
+    }
+
+    /// Set the rate-limit retry hint.
+    pub fn retry_hint(mut self, ms: u64) -> Self {
+        self.retry_after_ms = ms;
+        self
+    }
+
+    /// Set the simulated latency of a timed-out call.
+    pub fn timeout_latency(mut self, ms: u64) -> Self {
+        self.timeout_ms = ms;
+        self
+    }
+}
+
+/// Ceiling on the effective per-call fault probability after burst
+/// multipliers, so some traffic always gets through.
+const MAX_EFFECTIVE_RATE: f64 = 0.95;
+
+/// A complete, named fault schedule for a run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Human-readable schedule name (`quiet`, `lossy`, `outage`, ...).
+    pub name: String,
+    /// Master seed for every fault draw.
+    pub seed: u64,
+    /// Per-tier configurations. Tiers not listed never fault.
+    pub tiers: Vec<TierPlan>,
+    /// Burst windows: while `now_ms` is inside the window, all rates
+    /// are multiplied by the factor (then clamped).
+    pub bursts: Vec<(Window, f64)>,
+}
+
+impl FaultPlan {
+    /// The fault-free plan (fast path: [`FaultPlan::decide`] returns
+    /// `None` without hashing anything).
+    pub fn none() -> Self {
+        FaultPlan { name: "none".into(), seed: 0, tiers: Vec::new(), bursts: Vec::new() }
+    }
+
+    /// A named plan with the given seed and tier configs.
+    pub fn new(name: &str, seed: u64, tiers: Vec<TierPlan>) -> Self {
+        FaultPlan { name: name.to_string(), seed, tiers, bursts: Vec::new() }
+    }
+
+    /// Add a burst window multiplying all rates by `factor`.
+    pub fn burst(mut self, w: Window, factor: f64) -> Self {
+        self.bursts.push((w, factor));
+        self
+    }
+
+    /// Whether this plan can never produce a fault (the no-op fast
+    /// path the `resil_overhead` bench pins below 5%).
+    pub fn is_noop(&self) -> bool {
+        self.tiers.iter().all(|t| t.rates.total() == 0.0 && t.outages.is_empty())
+    }
+
+    /// The tier plan for `tier`, if configured.
+    pub fn tier(&self, tier: &str) -> Option<&TierPlan> {
+        self.tiers.iter().find(|t| t.tier == tier)
+    }
+
+    /// The burst multiplier in effect at `now_ms` (1.0 outside bursts;
+    /// overlapping bursts multiply).
+    pub fn burst_factor(&self, now_ms: u64) -> f64 {
+        let mut f = 1.0;
+        for (w, factor) in &self.bursts {
+            if w.contains(now_ms) {
+                f *= factor;
+            }
+        }
+        f
+    }
+
+    /// The pure fault decision for the `call_index`-th call to `tier`
+    /// at simulated time `now_ms`.
+    ///
+    /// Deterministic: the draw is seeded from
+    /// `combine(seed ^ fnv1a(tier), call_index)`, so identical
+    /// `(plan, tier, call_index, now_ms)` always yields the same
+    /// decision, independent of interleaving with other tiers.
+    ///
+    /// Precedence: outage windows are absolute (probability 1 inside);
+    /// otherwise one cumulative-threshold draw picks among the rate
+    /// faults or none.
+    pub fn decide(&self, tier: &str, call_index: u64, now_ms: u64) -> Option<FaultKind> {
+        let tp = self.tier(tier)?;
+        if tp.outages.iter().any(|w| w.contains(now_ms)) {
+            return Some(FaultKind::Outage);
+        }
+        let base = tp.rates;
+        if base.total() == 0.0 {
+            return None;
+        }
+        let factor = self.burst_factor(now_ms);
+        // Bursts cannot push a plan past the effective-rate ceiling,
+        // but an *explicitly* configured rate (e.g. 1.0 in a test plan)
+        // is honored as written.
+        let cap = MAX_EFFECTIVE_RATE.max(base.total().min(1.0));
+        let total = (base.total() * factor).min(cap);
+        let scale = if base.total() > 0.0 { total / base.total() } else { 0.0 };
+
+        let mut rng = SmallRng::seed_from_u64(combine(self.seed ^ fnv1a_str(tier), call_index));
+        let u = rng.gen_f64();
+        let mut acc = 0.0;
+        for (rate, kind) in [
+            (base.rate_limited, FaultKind::RateLimited),
+            (base.timeout, FaultKind::Timeout),
+            (base.truncated, FaultKind::TruncatedOutput),
+            (base.malformed, FaultKind::MalformedPayload),
+        ] {
+            acc += rate * scale;
+            if u < acc {
+                return Some(kind);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lossy_plan(seed: u64) -> FaultPlan {
+        FaultPlan::new(
+            "lossy",
+            seed,
+            vec![TierPlan::with_rates(
+                "sim-small",
+                FaultRates { rate_limited: 0.2, timeout: 0.1, truncated: 0.1, malformed: 0.1 },
+            )],
+        )
+    }
+
+    #[test]
+    fn noop_plan_never_faults() {
+        let p = FaultPlan::none();
+        assert!(p.is_noop());
+        for i in 0..100 {
+            assert_eq!(p.decide("sim-small", i, i * 10), None);
+        }
+    }
+
+    #[test]
+    fn unlisted_tier_never_faults() {
+        let p = lossy_plan(1);
+        for i in 0..100 {
+            assert_eq!(p.decide("sim-large", i, 0), None);
+        }
+    }
+
+    #[test]
+    fn decisions_are_deterministic_in_plan_and_index() {
+        let a = lossy_plan(42);
+        let b = lossy_plan(42);
+        let seq_a: Vec<_> = (0..200).map(|i| a.decide("sim-small", i, 0)).collect();
+        let seq_b: Vec<_> = (0..200).map(|i| b.decide("sim-small", i, 0)).collect();
+        assert_eq!(seq_a, seq_b);
+        let c = lossy_plan(43);
+        let seq_c: Vec<_> = (0..200).map(|i| c.decide("sim-small", i, 0)).collect();
+        assert_ne!(seq_a, seq_c, "different seeds should differ");
+    }
+
+    #[test]
+    fn rates_roughly_match_draws() {
+        let p = lossy_plan(7);
+        let n = 4_000u64;
+        let faults = (0..n).filter(|&i| p.decide("sim-small", i, 0).is_some()).count();
+        let frac = faults as f64 / n as f64;
+        assert!((0.4..0.6).contains(&frac), "expected ~0.5 fault rate, got {frac}");
+    }
+
+    #[test]
+    fn outage_window_is_absolute() {
+        let p = FaultPlan::new(
+            "outage",
+            3,
+            vec![TierPlan::quiet("sim-small").outage(Window::new(100, 200))],
+        );
+        assert!(!p.is_noop());
+        assert_eq!(p.decide("sim-small", 0, 99), None);
+        assert_eq!(p.decide("sim-small", 0, 100), Some(FaultKind::Outage));
+        assert_eq!(p.decide("sim-small", 0, 199), Some(FaultKind::Outage));
+        assert_eq!(p.decide("sim-small", 0, 200), None);
+    }
+
+    #[test]
+    fn bursts_multiply_rates_with_cap() {
+        let base = FaultPlan::new(
+            "b",
+            5,
+            vec![TierPlan::with_rates(
+                "m",
+                FaultRates { rate_limited: 0.1, ..FaultRates::default() },
+            )],
+        );
+        let bursty = base.clone().burst(Window::new(0, 1_000), 5.0);
+        assert_eq!(bursty.burst_factor(500), 5.0);
+        assert_eq!(bursty.burst_factor(1_000), 1.0);
+        let n = 4_000u64;
+        let count = |p: &FaultPlan| (0..n).filter(|&i| p.decide("m", i, 500).is_some()).count();
+        let f_base = count(&base) as f64 / n as f64;
+        let f_burst = count(&bursty) as f64 / n as f64;
+        assert!(f_burst > f_base * 3.0, "burst {f_burst} vs base {f_base}");
+        // Cap: a 100x burst on 10% still leaves some traffic through.
+        let insane = base.burst(Window::new(0, 1_000), 100.0);
+        let f_insane = count(&insane) as f64 / n as f64;
+        assert!(f_insane <= MAX_EFFECTIVE_RATE + 0.02, "cap violated: {f_insane}");
+        assert!(f_insane > 0.85);
+    }
+
+    #[test]
+    fn fault_kind_labels_are_stable() {
+        let labels: Vec<_> = FaultKind::all().iter().map(|k| k.label()).collect();
+        assert_eq!(labels, vec!["rate_limited", "timeout", "truncated", "malformed", "outage"]);
+    }
+}

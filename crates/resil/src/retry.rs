@@ -1,0 +1,387 @@
+//! The generic retry executor: backoff + deadline + breaker composed
+//! around any fallible operation.
+//!
+//! [`execute`] is deliberately generic over the error type via the
+//! [`Retryable`] trait so this crate stays free of `llmdm-model`
+//! (the layering test `resil_crate_depends_only_on_rt_and_obs`
+//! enforces that). `llmdm_model::ModelError` implements [`Retryable`]
+//! and `llmdm_model::resilient::ResilientClient` wires this executor
+//! around a `LanguageModel`.
+
+use crate::backoff::Backoff;
+use crate::breaker::{Admission, CircuitBreaker};
+use crate::clock::SimClock;
+use crate::deadline::Deadline;
+
+/// Error classification the executor needs from the wrapped operation.
+pub trait Retryable {
+    /// Whether retrying the *same* request can plausibly succeed.
+    fn is_retryable(&self) -> bool;
+
+    /// A provider-suggested minimum delay before the next attempt.
+    fn retry_after_ms(&self) -> Option<u64> {
+        None
+    }
+}
+
+/// Retry policy: how many *re*tries (attempts = retries + 1) and the
+/// backoff schedule between them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum retries after the first attempt.
+    pub max_retries: u32,
+    /// Backoff schedule for the gaps between attempts.
+    pub backoff: Backoff,
+}
+
+impl RetryPolicy {
+    /// A policy with `max_retries` and the given backoff.
+    pub fn new(max_retries: u32, backoff: Backoff) -> Self {
+        RetryPolicy { max_retries, backoff }
+    }
+
+    /// No retries at all (single attempt).
+    pub fn none() -> Self {
+        RetryPolicy { max_retries: 0, backoff: Backoff::new(0, 0, 0) }
+    }
+}
+
+impl Default for RetryPolicy {
+    /// 3 retries over the default backoff.
+    fn default() -> Self {
+        RetryPolicy { max_retries: 3, backoff: Backoff::default() }
+    }
+}
+
+/// Why [`execute`] gave up.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ResilError<E> {
+    /// The circuit breaker rejected the call before any attempt.
+    BreakerOpen {
+        /// Milliseconds until the breaker will admit a probe.
+        retry_after_ms: u64,
+    },
+    /// The deadline expired (either before an attempt or before a
+    /// backoff sleep could complete). Carries the last error if at
+    /// least one attempt ran.
+    DeadlineExceeded {
+        /// Attempts that ran before the budget ran out.
+        attempts: u32,
+        /// The error from the final attempt, if any ran.
+        last_error: Option<E>,
+    },
+    /// All attempts failed; retries exhausted (or the error was not
+    /// retryable).
+    Exhausted {
+        /// Total attempts made.
+        attempts: u32,
+        /// The error from the final attempt.
+        last_error: E,
+    },
+}
+
+impl<E: std::fmt::Display> std::fmt::Display for ResilError<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ResilError::BreakerOpen { retry_after_ms } => {
+                write!(f, "circuit breaker open, retry after {retry_after_ms}ms")
+            }
+            ResilError::DeadlineExceeded { attempts, last_error } => {
+                write!(f, "deadline exceeded after {attempts} attempts")?;
+                if let Some(e) = last_error {
+                    write!(f, " (last error: {e})")?;
+                }
+                Ok(())
+            }
+            ResilError::Exhausted { attempts, last_error } => {
+                write!(f, "retries exhausted after {attempts} attempts: {last_error}")
+            }
+        }
+    }
+}
+
+impl<E: std::fmt::Display + std::fmt::Debug> std::error::Error for ResilError<E> {}
+
+/// Accounting for one [`execute`] run (drives the chaos invariants:
+/// `retries <= policy.max_retries` always).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CallStats {
+    /// Attempts actually made (0 if the breaker rejected up front).
+    pub attempts: u32,
+    /// Retries (attempts beyond the first).
+    pub retries: u32,
+    /// Total simulated backoff delay consumed.
+    pub backoff_ms_total: u64,
+}
+
+/// Run `op` under the composed resilience machinery.
+///
+/// Sequence per call:
+/// 1. **Breaker gate** — a rejected admission returns
+///    [`ResilError::BreakerOpen`] without invoking `op` (and bumps the
+///    `resil.breaker_rejected` counter).
+/// 2. **Deadline gate** — an already-expired deadline returns
+///    [`ResilError::DeadlineExceeded`].
+/// 3. **Attempt loop** — `op(attempt)` runs; success is recorded on
+///    the breaker and returned. A failure is recorded on the breaker,
+///    then the executor decides: not retryable → `Exhausted`; retries
+///    spent → `Exhausted`; breaker tripped open mid-loop →
+///    `BreakerOpen`; otherwise it computes the backoff delay
+///    (`max(backoff.delay_ms(attempt), provider retry-after hint)`),
+///    refuses to sleep past the deadline (`DeadlineExceeded`), advances
+///    the simulated clock by the delay, and loops.
+///
+/// Metrics: `resil.retries` counts every retry, `resil.backoff_ms`
+/// observes each delay, `resil.breaker_rejected` counts breaker
+/// rejections.
+pub fn execute<T, E, F>(
+    policy: &RetryPolicy,
+    breaker: &mut CircuitBreaker,
+    clock: &SimClock,
+    deadline: Deadline,
+    mut op: F,
+) -> (Result<T, ResilError<E>>, CallStats)
+where
+    E: Retryable,
+    F: FnMut(u32) -> Result<T, E>,
+{
+    let mut stats = CallStats::default();
+
+    match breaker.poll(clock.now_ms()) {
+        Admission::Rejected { retry_after_ms } => {
+            llmdm_obs::counter_add("resil.breaker_rejected", 1.0);
+            return (Err(ResilError::BreakerOpen { retry_after_ms }), stats);
+        }
+        Admission::Allowed | Admission::Probe => {}
+    }
+
+    if deadline.expired(clock) {
+        return (Err(ResilError::DeadlineExceeded { attempts: 0, last_error: None }), stats);
+    }
+
+    let mut attempt: u32 = 0;
+    loop {
+        stats.attempts = attempt + 1;
+        stats.retries = attempt;
+        match op(attempt) {
+            Ok(value) => {
+                breaker.record_success(clock.now_ms());
+                return (Ok(value), stats);
+            }
+            Err(err) => {
+                breaker.record_failure(clock.now_ms());
+                if !err.is_retryable() || attempt >= policy.max_retries {
+                    return (Err(ResilError::Exhausted { attempts: attempt + 1, last_error: err }), stats);
+                }
+                // The breaker may have tripped on this very failure;
+                // if it now rejects, stop the storm immediately.
+                if let Admission::Rejected { retry_after_ms } = breaker.poll(clock.now_ms()) {
+                    llmdm_obs::counter_add("resil.breaker_rejected", 1.0);
+                    return (Err(ResilError::BreakerOpen { retry_after_ms }), stats);
+                }
+                let mut delay = policy.backoff.delay_ms(attempt);
+                if let Some(hint) = err.retry_after_ms() {
+                    delay = delay.max(hint);
+                }
+                if delay > deadline.remaining(clock) {
+                    return (
+                        Err(ResilError::DeadlineExceeded {
+                            attempts: attempt + 1,
+                            last_error: Some(err),
+                        }),
+                        stats,
+                    );
+                }
+                clock.advance(delay);
+                stats.backoff_ms_total += delay;
+                llmdm_obs::counter_add("resil.retries", 1.0);
+                llmdm_obs::observe("resil.backoff_ms", delay as f64);
+                attempt += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::breaker::BreakerConfig;
+
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    struct TestErr {
+        retryable: bool,
+        hint: u64,
+    }
+
+    impl std::fmt::Display for TestErr {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "test error (retryable={})", self.retryable)
+        }
+    }
+
+    impl Retryable for TestErr {
+        fn is_retryable(&self) -> bool {
+            self.retryable
+        }
+        fn retry_after_ms(&self) -> Option<u64> {
+            (self.hint > 0).then_some(self.hint)
+        }
+    }
+
+    fn harness() -> (RetryPolicy, CircuitBreaker, SimClock) {
+        (
+            RetryPolicy::new(3, Backoff::new(10, 100, 7)),
+            CircuitBreaker::new(BreakerConfig {
+                failure_threshold: 10,
+                cooldown_ms: 1_000,
+                jitter: 0.0,
+                seed: 0,
+            }),
+            SimClock::new(),
+        )
+    }
+
+    #[test]
+    fn success_on_first_attempt_makes_no_retries() {
+        let (policy, mut breaker, clock) = harness();
+        let (res, stats) = execute(&policy, &mut breaker, &clock, Deadline::unbounded(), |_| {
+            Ok::<_, TestErr>(42)
+        });
+        assert_eq!(res.unwrap(), 42);
+        assert_eq!(stats, CallStats { attempts: 1, retries: 0, backoff_ms_total: 0 });
+        assert_eq!(clock.now_ms(), 0, "no backoff time should pass");
+    }
+
+    #[test]
+    fn retries_until_success_and_advances_clock() {
+        let (policy, mut breaker, clock) = harness();
+        let (res, stats) =
+            execute(&policy, &mut breaker, &clock, Deadline::unbounded(), |attempt| {
+                if attempt < 2 {
+                    Err(TestErr { retryable: true, hint: 0 })
+                } else {
+                    Ok(attempt)
+                }
+            });
+        assert_eq!(res.unwrap(), 2);
+        assert_eq!(stats.attempts, 3);
+        assert_eq!(stats.retries, 2);
+        assert_eq!(clock.now_ms(), stats.backoff_ms_total);
+    }
+
+    #[test]
+    fn non_retryable_error_fails_fast() {
+        let (policy, mut breaker, clock) = harness();
+        let mut calls = 0;
+        let (res, stats) = execute(&policy, &mut breaker, &clock, Deadline::unbounded(), |_| {
+            calls += 1;
+            Err::<(), _>(TestErr { retryable: false, hint: 0 })
+        });
+        assert_eq!(calls, 1);
+        assert_eq!(stats.retries, 0);
+        match res {
+            Err(ResilError::Exhausted { attempts: 1, .. }) => {}
+            other => panic!("expected exhausted after 1 attempt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn retries_are_bounded_by_the_cap() {
+        let (policy, mut breaker, clock) = harness();
+        let mut calls = 0;
+        let (res, stats) = execute(&policy, &mut breaker, &clock, Deadline::unbounded(), |_| {
+            calls += 1;
+            Err::<(), _>(TestErr { retryable: true, hint: 0 })
+        });
+        assert_eq!(calls, policy.max_retries + 1);
+        assert_eq!(stats.retries, policy.max_retries);
+        assert!(matches!(res, Err(ResilError::Exhausted { attempts: 4, .. })));
+    }
+
+    #[test]
+    fn provider_hint_floors_the_backoff_delay() {
+        let (policy, mut breaker, clock) = harness();
+        let (_, stats) = execute(&policy, &mut breaker, &clock, Deadline::unbounded(), |attempt| {
+            if attempt == 0 {
+                Err(TestErr { retryable: true, hint: 5_000 })
+            } else {
+                Ok(())
+            }
+        });
+        assert!(stats.backoff_ms_total >= 5_000, "hint must floor delay: {stats:?}");
+    }
+
+    #[test]
+    fn deadline_stops_the_backoff_sleep() {
+        let (policy, mut breaker, clock) = harness();
+        let deadline = Deadline::after(&clock, 3); // tighter than any backoff
+        let (res, _) = execute(&policy, &mut breaker, &clock, deadline, |_| {
+            Err::<(), _>(TestErr { retryable: true, hint: 50 })
+        });
+        match res {
+            Err(ResilError::DeadlineExceeded { attempts: 1, last_error: Some(_) }) => {}
+            other => panic!("expected deadline exceeded, got {other:?}"),
+        }
+        assert!(clock.now_ms() <= 3, "must not sleep past the deadline");
+    }
+
+    #[test]
+    fn expired_deadline_prevents_any_attempt() {
+        let (policy, mut breaker, clock) = harness();
+        let deadline = Deadline::after(&clock, 10);
+        clock.advance(20);
+        let mut calls = 0;
+        let (res, stats) = execute(&policy, &mut breaker, &clock, deadline, |_| {
+            calls += 1;
+            Ok::<_, TestErr>(())
+        });
+        assert_eq!(calls, 0);
+        assert_eq!(stats.attempts, 0);
+        assert!(matches!(res, Err(ResilError::DeadlineExceeded { attempts: 0, last_error: None })));
+    }
+
+    #[test]
+    fn open_breaker_rejects_without_calling() {
+        let (policy, mut breaker, clock) = harness();
+        for _ in 0..10 {
+            breaker.record_failure(clock.now_ms());
+        }
+        let mut calls = 0;
+        let (res, stats) = execute(&policy, &mut breaker, &clock, Deadline::unbounded(), |_| {
+            calls += 1;
+            Ok::<_, TestErr>(())
+        });
+        assert_eq!(calls, 0);
+        assert_eq!(stats.attempts, 0);
+        assert!(matches!(res, Err(ResilError::BreakerOpen { .. })));
+    }
+
+    #[test]
+    fn breaker_tripping_mid_loop_stops_the_storm() {
+        let (policy, mut breaker, clock) = harness();
+        // Threshold 10; pre-load 8 failures so the 2nd in-loop failure trips.
+        for _ in 0..8 {
+            breaker.record_failure(clock.now_ms());
+        }
+        let mut calls = 0;
+        let (res, _) = execute(&policy, &mut breaker, &clock, Deadline::unbounded(), |_| {
+            calls += 1;
+            Err::<(), _>(TestErr { retryable: true, hint: 0 })
+        });
+        assert_eq!(calls, 2, "loop must stop when the breaker trips");
+        assert!(matches!(res, Err(ResilError::BreakerOpen { .. })));
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let e: ResilError<TestErr> = ResilError::BreakerOpen { retry_after_ms: 120 };
+        assert!(e.to_string().contains("120ms"));
+        let d: ResilError<String> =
+            ResilError::DeadlineExceeded { attempts: 2, last_error: Some("boom".into()) };
+        assert!(d.to_string().contains("2 attempts"));
+        assert!(d.to_string().contains("boom"));
+        let x: ResilError<String> = ResilError::Exhausted { attempts: 4, last_error: "zap".into() };
+        assert!(x.to_string().contains("4 attempts"));
+        assert!(x.to_string().contains("zap"));
+    }
+}

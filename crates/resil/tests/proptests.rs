@@ -1,0 +1,137 @@
+//! Property-based tests for the resilience primitives: the jittered
+//! backoff schedule and the circuit-breaker state machine.
+
+use llmdm_resil::{Backoff, BreakerConfig, BreakerState, CircuitBreaker};
+use llmdm_rt::proptest;
+use llmdm_rt::proptest::prelude::*;
+
+proptest! {
+    /// A jittered delay never exceeds the exponential ceiling, which
+    /// itself never exceeds the cap.
+    #[test]
+    fn backoff_delay_within_ceiling_and_cap(
+        base in 1u64..10_000,
+        cap in 1u64..1_000_000,
+        seed in 0u64..u64::MAX,
+        attempt in 0u32..80,
+    ) {
+        let b = Backoff::new(base, cap, seed);
+        let ceiling = b.ceiling_ms(attempt);
+        prop_assert!(ceiling <= cap);
+        let d = b.delay_ms(attempt);
+        prop_assert!(d <= ceiling, "delay {} above ceiling {}", d, ceiling);
+    }
+
+    /// Raising the cap never *lowers* the deterministic ceiling: the
+    /// schedule is monotone in the cap.
+    #[test]
+    fn backoff_ceiling_monotone_in_cap(
+        base in 1u64..10_000,
+        cap_lo in 1u64..500_000,
+        extra in 0u64..500_000,
+        attempt in 0u32..80,
+    ) {
+        let lo = Backoff::new(base, cap_lo, 0);
+        let hi = Backoff::new(base, cap_lo + extra, 0);
+        prop_assert!(hi.ceiling_ms(attempt) >= lo.ceiling_ms(attempt));
+    }
+
+    /// The ceiling is non-decreasing in the attempt number (exponential
+    /// growth until the cap, then flat).
+    #[test]
+    fn backoff_ceiling_monotone_in_attempt(
+        base in 1u64..10_000,
+        cap in 1u64..1_000_000,
+        attempt in 0u32..100,
+    ) {
+        let b = Backoff::new(base, cap, 9);
+        prop_assert!(b.ceiling_ms(attempt + 1) >= b.ceiling_ms(attempt));
+    }
+
+    /// Identical seeds reproduce the whole delay schedule; the schedule
+    /// is a pure function of (base, cap, seed, attempt).
+    #[test]
+    fn backoff_schedule_is_seed_reproducible(
+        base in 1u64..10_000,
+        cap in 1u64..1_000_000,
+        seed in 0u64..u64::MAX,
+    ) {
+        let a = Backoff::new(base, cap, seed);
+        let b = Backoff::new(base, cap, seed);
+        let sched_a: Vec<u64> = (0..32).map(|i| a.delay_ms(i)).collect();
+        let sched_b: Vec<u64> = (0..32).map(|i| b.delay_ms(i)).collect();
+        prop_assert_eq!(sched_a, sched_b);
+    }
+
+    /// Driving the breaker with an arbitrary event sequence, it never
+    /// transitions Open → Closed directly: recovery always goes through
+    /// a HalfOpen probe first.
+    #[test]
+    fn breaker_never_open_to_closed_without_probe(
+        threshold in 1u32..6,
+        cooldown in 1u64..5_000,
+        seed in 0u64..u64::MAX,
+        // 0 = poll, 1 = success, 2 = failure; paired with a time step.
+        events in proptest::collection::vec((0u8..3, 0u64..2_000), 1..120),
+    ) {
+        let mut b = CircuitBreaker::new(BreakerConfig {
+            failure_threshold: threshold,
+            cooldown_ms: cooldown,
+            jitter: 0.25,
+            seed,
+        });
+        let mut now = 0u64;
+        for (ev, dt) in events {
+            now += dt;
+            match ev {
+                0 => { let _ = b.poll(now); }
+                1 => b.record_success(now),
+                _ => b.record_failure(now),
+            }
+        }
+        for t in b.transitions() {
+            prop_assert!(
+                !(t.from == BreakerState::Open && t.to == BreakerState::Closed),
+                "illegal Open→Closed transition at {}ms", t.at_ms
+            );
+        }
+        // And adjacent transitions chain: each `from` equals the
+        // previous `to` (no teleporting states).
+        for pair in b.transitions().windows(2) {
+            prop_assert_eq!(pair[0].to, pair[1].from);
+        }
+    }
+
+    /// However many failures arrive, the breaker only ever *admits*
+    /// calls when Closed or probing HalfOpen — once Open, everything is
+    /// rejected until the cooldown elapses.
+    #[test]
+    fn breaker_rejects_while_open(
+        cooldown in 100u64..5_000,
+        seed in 0u64..u64::MAX,
+    ) {
+        let mut b = CircuitBreaker::new(BreakerConfig {
+            failure_threshold: 2,
+            cooldown_ms: cooldown,
+            jitter: 0.25,
+            seed,
+        });
+        b.record_failure(10);
+        b.record_failure(20);
+        prop_assert_eq!(b.state(), BreakerState::Open);
+        // Immediately after tripping, calls are rejected.
+        match b.poll(21) {
+            llmdm_resil::Admission::Rejected { retry_after_ms } => {
+                // The hint never exceeds the jittered cooldown bound.
+                let bound = cooldown + (cooldown as f64 * 0.25).ceil() as u64;
+                prop_assert!(retry_after_ms <= bound,
+                    "hint {} above bound {}", retry_after_ms, bound);
+            }
+            other => prop_assert!(false, "expected rejection, got {:?}", other),
+        }
+        // Far past any jittered cooldown, the next poll is a probe.
+        let later = 21 + cooldown * 2 + 10;
+        prop_assert_eq!(b.poll(later), llmdm_resil::Admission::Probe);
+        prop_assert_eq!(b.state(), BreakerState::HalfOpen);
+    }
+}

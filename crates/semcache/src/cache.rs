@@ -78,6 +78,11 @@ pub struct CacheConfig {
     /// Similarity at or above which a hit is at least an
     /// [`HitKind::Augment`].
     pub augment_threshold: f32,
+    /// Similarity at or above which [`SemanticCache::serve_stale`] will
+    /// serve an entry during an upstream outage. Deliberately *below*
+    /// the augment threshold: when the model is down, a vaguely-related
+    /// cached answer beats no answer (§III-C availability trade-off).
+    pub stale_threshold: f32,
     /// Also match new queries against cached *responses* (§III-C footnote:
     /// "both the original queries and responses are also stored" as search
     /// keys) — useful when a user pastes a previous answer back as a
@@ -97,6 +102,7 @@ impl Default for CacheConfig {
             capacity: 256,
             reuse_threshold: 0.95,
             augment_threshold: 0.70,
+            stale_threshold: 0.55,
             match_responses: false,
             policy: EvictionPolicy::default(),
             seed: 0,
@@ -105,12 +111,30 @@ impl Default for CacheConfig {
 }
 
 /// Lifetime counters.
+///
+/// Invariant (checked by `reconciliation_invariant_holds` and the chaos
+/// pipeline): every [`SemanticCache::lookup`] or
+/// [`SemanticCache::serve_stale`] call increments `lookups` and exactly
+/// one of `reuse_hits` / `augment_hits` / `stale_serves` / `misses`, so
+///
+/// ```text
+/// reuse_hits + augment_hits + stale_serves + misses == lookups
+/// ```
+///
+/// always holds. (The previous accounting derived the denominator as
+/// `hits + misses`, which silently *under*-counted lookups that errored
+/// mid-probe — e.g. an embedder failure — and would have ignored stale
+/// serves entirely, inflating the hit ratio.)
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
+    /// Total lookup probes (regular + stale).
+    pub lookups: u64,
     /// Lookups that returned a reuse hit.
     pub reuse_hits: u64,
     /// Lookups that returned an augment hit.
     pub augment_hits: u64,
+    /// Stale entries served during upstream outages.
+    pub stale_serves: u64,
     /// Lookups that missed.
     pub misses: u64,
     /// Entries evicted.
@@ -120,17 +144,22 @@ pub struct CacheStats {
 }
 
 impl CacheStats {
-    /// Hit ratio over all lookups. An empty (never-looked-up) cache has a
-    /// hit ratio of exactly `0.0`, not NaN — callers embed this straight
+    /// Hit ratio over all lookups (stale serves count as hits — they
+    /// did serve an answer). An empty (never-looked-up) cache has a hit
+    /// ratio of exactly `0.0`, not NaN — callers embed this straight
     /// into reports.
     pub fn hit_ratio(&self) -> f64 {
-        let hits = self.reuse_hits + self.augment_hits;
-        let total = hits + self.misses;
-        if total == 0 {
+        let hits = self.reuse_hits + self.augment_hits + self.stale_serves;
+        if self.lookups == 0 {
             0.0
         } else {
-            hits as f64 / total as f64
+            hits as f64 / self.lookups as f64
         }
+    }
+
+    /// The accounting invariant: every lookup has exactly one outcome.
+    pub fn reconciles(&self) -> bool {
+        self.reuse_hits + self.augment_hits + self.stale_serves + self.misses == self.lookups
     }
 }
 
@@ -140,8 +169,10 @@ impl llmdm_rt::json::ToJson for CacheStats {
     fn to_json(&self) -> llmdm_rt::json::Json {
         use llmdm_rt::json::Json;
         Json::Obj(vec![
+            ("lookups".to_string(), Json::Num(self.lookups as f64)),
             ("reuse_hits".to_string(), Json::Num(self.reuse_hits as f64)),
             ("augment_hits".to_string(), Json::Num(self.augment_hits as f64)),
+            ("stale_serves".to_string(), Json::Num(self.stale_serves as f64)),
             ("misses".to_string(), Json::Num(self.misses as f64)),
             ("evictions".to_string(), Json::Num(self.evictions as f64)),
             ("rejected".to_string(), Json::Num(self.rejected as f64)),
@@ -227,6 +258,7 @@ impl SemanticCache {
             Lookup::Miss
         };
         self.clock += 1;
+        self.stats.lookups += 1;
         let Ok(v) = self.embedder.embed(query) else {
             self.stats.misses += 1;
             return miss(&mut span);
@@ -292,6 +324,48 @@ impl SemanticCache {
             similarity: best.score,
             kind,
         }
+    }
+
+    /// Serve the best *stale-but-similar* entry for `query` during an
+    /// upstream outage (§III-C availability trade-off: when the model is
+    /// down, a vaguely-related cached answer beats no answer).
+    ///
+    /// Uses the relaxed [`CacheConfig::stale_threshold`] instead of the
+    /// augment threshold, so entries that would normally miss can still
+    /// be served. Counts as its own lookup event — `lookups` plus exactly
+    /// one of `stale_serves` / `misses` — so the [`CacheStats`]
+    /// reconciliation invariant keeps holding even when a caller does a
+    /// regular `lookup` (miss) followed by a `serve_stale` for the same
+    /// query. Bumps the `resil.stale_serves` counter on success.
+    ///
+    /// Returns `(cached_query, cached_response, similarity)`.
+    pub fn serve_stale(&mut self, query: &str) -> Option<(String, String, f32)> {
+        let mut span = llmdm_obs::span("semcache.serve_stale");
+        self.clock += 1;
+        self.stats.lookups += 1;
+        let found = self
+            .embedder
+            .embed(query)
+            .ok()
+            .and_then(|v| self.index.search(&v, 1).ok().and_then(|hits| hits.into_iter().next()))
+            .filter(|best| best.score >= self.config.stale_threshold);
+        let Some(best) = found else {
+            self.stats.misses += 1;
+            if span.is_recording() {
+                span.field("cache", "miss");
+            }
+            return None;
+        };
+        let entry = self.entries.get_mut(&best.id).expect("index and entries are in sync");
+        entry.hits += 1;
+        entry.last_access = self.clock;
+        self.stats.stale_serves += 1;
+        if span.is_recording() {
+            span.field("cache", "stale");
+            span.field("similarity", best.score as f64);
+        }
+        llmdm_obs::counter_add("resil.stale_serves", 1.0);
+        Some((entry.query.clone(), entry.response.clone(), best.score))
     }
 
     /// Insert a (query, response) pair, evicting if full. A query already
@@ -585,6 +659,53 @@ mod tests {
             Lookup::Hit { kind, .. } => assert_eq!(kind, HitKind::Augment),
             Lookup::Miss => panic!("exact response text should at least augment"),
         }
+    }
+
+    #[test]
+    fn reconciliation_invariant_holds() {
+        let mut c = cache(8, EvictionPolicy::Lru);
+        c.insert("What are the names of stadiums that had concerts in 2014?", "A", EntryKind::Original);
+        c.insert("median household income by postal region", "B", EntryKind::Original);
+        // Reuse hit, augment hit, miss, stale-serve, stale-miss.
+        let _ = c.lookup("What are the names of stadiums that had concerts in 2014?");
+        let _ = c.lookup("What are the names of stadiums that had concerts in 2016?");
+        let _ = c.lookup("zzz qqq unrelated garble xyzzy");
+        let _ = c.serve_stale("What are the names of stadiums that had concerts in 2015?");
+        let _ = c.serve_stale("zzz qqq unrelated garble xyzzy");
+        let s = c.stats();
+        assert_eq!(s.lookups, 5);
+        assert!(
+            s.reconciles(),
+            "reuse {} + augment {} + stale {} + miss {} != lookups {}",
+            s.reuse_hits,
+            s.augment_hits,
+            s.stale_serves,
+            s.misses,
+            s.lookups
+        );
+        assert!(s.stale_serves >= 1, "similar query should stale-serve: {s:?}");
+        assert!(s.hit_ratio() > 0.0 && s.hit_ratio() < 1.0);
+    }
+
+    #[test]
+    fn stale_serve_uses_relaxed_threshold() {
+        // A query similar enough for stale service but (possibly) not for
+        // augment: serve_stale must succeed whenever similarity clears the
+        // lower stale threshold.
+        let mut c = SemanticCache::new(CacheConfig {
+            stale_threshold: 0.2,
+            ..Default::default()
+        });
+        c.insert("list stadium concert attendance figures", "A", EntryKind::Original);
+        let got = c.serve_stale("stadium concert attendance");
+        assert!(got.is_some(), "relaxed threshold should serve");
+        let (_, resp, sim) = got.unwrap();
+        assert_eq!(resp, "A");
+        assert!(sim >= 0.2);
+        // An empty cache can never stale-serve.
+        let mut empty = SemanticCache::new(CacheConfig::default());
+        assert!(empty.serve_stale("anything").is_none());
+        assert!(empty.stats().reconciles());
     }
 
     #[test]

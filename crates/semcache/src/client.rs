@@ -8,7 +8,9 @@
 
 use std::sync::Arc;
 
-use llmdm_model::{Completion, CompletionRequest, LanguageModel, ModelError, SimLlm, TokenUsage};
+use llmdm_model::{
+    Completion, CompletionRequest, LanguageModel, ModelError, PriceTable, TokenUsage,
+};
 
 use crate::cache::{EntryKind, HitKind, Lookup, SemanticCache};
 use crate::predictor::AccessPredictor;
@@ -18,17 +20,29 @@ use crate::predictor::AccessPredictor;
 pub struct CachedAnswer {
     /// The answer text.
     pub text: String,
-    /// Whether it came from cache (reuse hit).
+    /// Whether it came from cache (reuse hit or stale serve).
     pub from_cache: bool,
-    /// Dollar cost actually incurred (0 for reuse hits).
+    /// Dollar cost actually incurred (0 for reuse hits and stale serves).
     pub cost: f64,
+    /// Whether this was a *stale* serve: the model was unreachable and a
+    /// below-augment-threshold cached answer was returned instead of an
+    /// error (degraded availability, §III-C).
+    pub stale: bool,
 }
 
 /// A model wrapped with a semantic cache and an admission predictor.
+///
+/// The model is held as a trait object, so any [`LanguageModel`] — a bare
+/// `SimLlm`, a fault-injecting `FaultyModel`, or a retry-wrapped
+/// `ResilientClient` — can sit behind the cache. When the model fails
+/// with a *retryable* error (rate limit, timeout, outage), the cache
+/// falls back to [`SemanticCache::serve_stale`] before surfacing the
+/// error.
 pub struct CachedLlm {
-    model: Arc<SimLlm>,
+    model: Arc<dyn LanguageModel>,
     cache: SemanticCache,
     predictor: Option<AccessPredictor>,
+    prices: Option<PriceTable>,
 }
 
 impl std::fmt::Debug for CachedLlm {
@@ -39,13 +53,39 @@ impl std::fmt::Debug for CachedLlm {
 
 impl CachedLlm {
     /// Wrap `model` with `cache`; `predictor = None` admits everything.
-    pub fn new(model: Arc<SimLlm>, cache: SemanticCache, predictor: Option<AccessPredictor>) -> Self {
-        CachedLlm { model, cache, predictor }
+    /// Accepts any concrete model type and erases it internally.
+    pub fn new<M: LanguageModel + 'static>(
+        model: Arc<M>,
+        cache: SemanticCache,
+        predictor: Option<AccessPredictor>,
+    ) -> Self {
+        Self::new_dyn(model, cache, predictor)
+    }
+
+    /// Wrap an already-erased trait object.
+    pub fn new_dyn(
+        model: Arc<dyn LanguageModel>,
+        cache: SemanticCache,
+        predictor: Option<AccessPredictor>,
+    ) -> Self {
+        CachedLlm { model, cache, predictor, prices: None }
+    }
+
+    /// Supply a price table for [`CachedLlm::hypothetical_cost`] savings
+    /// reports (the erased model no longer exposes its meter).
+    pub fn with_prices(mut self, prices: PriceTable) -> Self {
+        self.prices = Some(prices);
+        self
     }
 
     /// The underlying cache (stats, inspection).
     pub fn cache(&self) -> &SemanticCache {
         &self.cache
+    }
+
+    /// The wrapped model.
+    pub fn model(&self) -> &Arc<dyn LanguageModel> {
+        &self.model
     }
 
     /// Ask with caching. `key` is the cache key (the user-level question);
@@ -63,26 +103,55 @@ impl CachedLlm {
         let lookup = self.cache.lookup(key);
         match lookup {
             Lookup::Hit { response, kind: HitKind::Reuse, .. } => {
-                return Ok(CachedAnswer { text: response, from_cache: true, cost: 0.0 });
+                return Ok(CachedAnswer {
+                    text: response,
+                    from_cache: true,
+                    cost: 0.0,
+                    stale: false,
+                });
             }
             Lookup::Hit { query, response, kind: HitKind::Augment, .. } => {
                 // Extend the prompt with the cached pair as one more
                 // example, bumping the examples header so the model's ICL
                 // benefit applies.
                 let augmented = augment_prompt(prompt, &query, &response);
-                let completion = self.model.complete(&CompletionRequest::new(augmented))?;
+                let completion = match self.model.complete(&CompletionRequest::new(augmented)) {
+                    Ok(c) => c,
+                    Err(e) => return self.stale_fallback(key, e),
+                };
                 self.maybe_insert(key, &completion, kind);
                 return Ok(CachedAnswer {
                     text: completion.text,
                     from_cache: false,
                     cost: completion.cost,
+                    stale: false,
                 });
             }
             Lookup::Miss => {}
         }
-        let completion = self.model.complete(&CompletionRequest::new(prompt.to_string()))?;
+        let completion = match self.model.complete(&CompletionRequest::new(prompt.to_string())) {
+            Ok(c) => c,
+            Err(e) => return self.stale_fallback(key, e),
+        };
         self.maybe_insert(key, &completion, kind);
-        Ok(CachedAnswer { text: completion.text, from_cache: false, cost: completion.cost })
+        Ok(CachedAnswer { text: completion.text, from_cache: false, cost: completion.cost, stale: false })
+    }
+
+    /// On a *retryable* model failure (rate limit, timeout, outage), try
+    /// to serve a stale-but-similar cached answer instead of erroring —
+    /// graceful degradation under upstream outage. Non-retryable errors
+    /// (bad request, malformed payload) surface unchanged: stale data
+    /// can't fix a broken request.
+    fn stale_fallback(&mut self, key: &str, err: ModelError) -> Result<CachedAnswer, ModelError> {
+        if !err.is_retryable() {
+            return Err(err);
+        }
+        match self.cache.serve_stale(key) {
+            Some((_, response, _)) => {
+                Ok(CachedAnswer { text: response, from_cache: true, cost: 0.0, stale: true })
+            }
+            None => Err(err),
+        }
     }
 
     fn maybe_insert(&mut self, key: &str, completion: &Completion, kind: EntryKind) {
@@ -95,12 +164,12 @@ impl CachedLlm {
     }
 
     /// Tokens that would have been billed for the given usage had the
-    /// cache missed — used in savings reports.
+    /// cache missed — used in savings reports. Requires a price table
+    /// supplied via [`CachedLlm::with_prices`]; returns `0.0` otherwise.
     pub fn hypothetical_cost(&self, usage: TokenUsage) -> f64 {
-        self.model
-            .meter()
-            .prices()
-            .get(self.model.name())
+        self.prices
+            .as_ref()
+            .and_then(|t| t.get(self.model.name()))
             .map(|p| p.cost(usage.input_tokens, usage.output_tokens))
             .unwrap_or(0.0)
     }
@@ -196,6 +265,92 @@ mod tests {
             c.ask(q, &oracle_prompt(q), EntryKind::Original).unwrap();
         }
         assert_eq!(c.cache().len(), 1);
+    }
+
+    #[test]
+    fn outage_serves_stale_answer_for_free() {
+        use llmdm_model::FaultyModel;
+        use llmdm_resil::{FaultPlan, FaultRates, SimClock, TierPlan};
+
+        let zoo = ModelZoo::standard(5);
+        let q = "What are the names of stadiums that had concerts in 2014?";
+
+        // Warm the cache through a healthy model.
+        let mut healthy = CachedLlm::new(
+            zoo.medium(),
+            SemanticCache::new(CacheConfig::default()),
+            None,
+        );
+        let warm = healthy.ask(q, &oracle_prompt(q), EntryKind::Original).unwrap();
+        assert!(!warm.stale);
+
+        // Rebuild the client around a 100%-rate-limited model, carrying
+        // the warmed cache over (simulates the upstream going down
+        // mid-session).
+        let plan = Arc::new(FaultPlan::new(
+            "total-outage",
+            7,
+            vec![TierPlan::with_rates(
+                "sim-medium",
+                FaultRates { rate_limited: 1.0, ..FaultRates::none() },
+            )],
+        ));
+        let faulty = Arc::new(FaultyModel::new(zoo.medium(), plan, SimClock::new()));
+        let CachedLlm { cache, predictor, .. } = healthy;
+        let mut down = CachedLlm::new(faulty, cache, predictor);
+
+        // A *similar* (not identical) query: regular lookup augments →
+        // model call fails → stale serve kicks in.
+        let q2 = "What are the names of stadiums that had concerts in 2016?";
+        let a = down.ask(q2, &oracle_prompt(q2), EntryKind::Original).unwrap();
+        assert!(a.stale, "outage should degrade to a stale serve");
+        assert!(a.from_cache);
+        assert_eq!(a.cost, 0.0);
+        assert_eq!(a.text, warm.text);
+        assert_eq!(down.cache().stats().stale_serves, 1);
+        assert!(down.cache().stats().reconciles());
+
+        // A totally unrelated query has nothing stale to serve: the
+        // retryable error surfaces.
+        let e = down.ask("zzz qqq unrelated", &oracle_prompt("zzz"), EntryKind::Original);
+        assert!(e.is_err());
+        assert!(e.unwrap_err().is_retryable());
+        assert!(down.cache().stats().reconciles());
+    }
+
+    #[test]
+    fn non_retryable_errors_do_not_stale_serve() {
+        use llmdm_model::FaultyModel;
+        use llmdm_resil::{FaultPlan, FaultRates, SimClock, TierPlan};
+
+        let zoo = ModelZoo::standard(5);
+        let plan = Arc::new(FaultPlan::new(
+            "malformed",
+            3,
+            vec![TierPlan::with_rates(
+                "sim-medium",
+                FaultRates { malformed: 1.0, ..FaultRates::none() },
+            )],
+        ));
+        let faulty = Arc::new(FaultyModel::new(zoo.medium(), plan, SimClock::new()));
+        let mut c = CachedLlm::new(faulty, SemanticCache::new(CacheConfig::default()), None);
+        // Even with a perfectly-matching entry available, a non-retryable
+        // error must surface rather than mask a broken request.
+        c.cache.insert("the query", "cached answer", EntryKind::Original);
+        let got = c.ask("the query different year", &oracle_prompt("q"), EntryKind::Original);
+        assert!(got.is_err());
+        assert_eq!(c.cache().stats().stale_serves, 0);
+    }
+
+    #[test]
+    fn hypothetical_cost_needs_price_table() {
+        let zoo = ModelZoo::standard(5);
+        let usage = TokenUsage { input_tokens: 1000, output_tokens: 100 };
+        let bare = CachedLlm::new(zoo.medium(), SemanticCache::new(CacheConfig::default()), None);
+        assert_eq!(bare.hypothetical_cost(usage), 0.0);
+        let priced = CachedLlm::new(zoo.medium(), SemanticCache::new(CacheConfig::default()), None)
+            .with_prices(zoo.meter().prices().clone());
+        assert!(priced.hypothetical_cost(usage) > 0.0);
     }
 
     #[test]

@@ -21,4 +21,12 @@ BENCH_DIR="$(mktemp -d)"
 LLMDM_BENCH_FAST=1 LLMDM_BENCH_DIR="$BENCH_DIR" cargo bench --offline -p llmdm-bench --bench obs_overhead
 rm -rf "$BENCH_DIR"
 
+echo "== chaos pipeline (self-validating: quiet/lossy/outage schedules, retry caps, dollar reconciliation, determinism)"
+cargo run -q --release --offline -p llmdm --example chaos_pipeline >/dev/null
+
+echo "== resil overhead bench (pins the no-fault fast path <5% over a bare completion)"
+BENCH_DIR="$(mktemp -d)"
+LLMDM_BENCH_FAST=1 LLMDM_BENCH_DIR="$BENCH_DIR" cargo bench --offline -p llmdm-bench --bench resil_overhead
+rm -rf "$BENCH_DIR"
+
 echo "verify: OK"

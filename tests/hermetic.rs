@@ -120,6 +120,32 @@ fn obs_crate_depends_only_on_rt() {
 }
 
 #[test]
+fn resil_crate_depends_only_on_rt_and_obs() {
+    // llmdm-resil is generic resilience machinery (fault plans, backoff,
+    // breakers, deadlines, the retry executor). It must stay free of
+    // domain crates so any layer — model, cascade, semcache, core — can
+    // depend on it without cycles: its only dependencies are llmdm-rt
+    // and llmdm-obs. (Dev-dependencies are covered too: the scan below
+    // walks every `*dependencies` section.)
+    let root = workspace_root();
+    let text = fs::read_to_string(root.join("crates/resil/Cargo.toml")).expect("resil manifest");
+    let mut in_deps = false;
+    for raw in text.lines() {
+        let line = raw.trim();
+        if line.starts_with('[') {
+            in_deps = line.trim_matches(['[', ']']).ends_with("dependencies");
+            continue;
+        }
+        if in_deps && !line.is_empty() && !line.starts_with('#') {
+            assert!(
+                line.starts_with("llmdm-rt") || line.starts_with("llmdm-obs"),
+                "llmdm-resil may only depend on llmdm-rt and llmdm-obs, found: {line}"
+            );
+        }
+    }
+}
+
+#[test]
 fn no_source_file_references_removed_crates() {
     // The replaced crates must not creep back in via `use` or `extern`.
     let root = workspace_root();
