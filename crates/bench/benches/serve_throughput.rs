@@ -1,0 +1,174 @@
+//! Serving-layer throughput scaling, pinned.
+//!
+//! DESIGN.md §10 claims the scheduler's worker pool overlaps I/O-bound
+//! request latency: since a serving deployment spends its time waiting on
+//! model APIs, N workers should approach N× the single-worker ops/sec.
+//! This bench drives the same mixed HotpotQA + NL2SQL workload through
+//! [`llmdm_serve::serve`] at 1/2/4/8 workers with a handler that *enacts*
+//! each completion's simulated latency as a real (scaled-down) sleep —
+//! the deterministic stand-in for network wait, so the measured scaling
+//! reflects wait-overlap rather than core count (this repo's CI box has
+//! one core).
+//!
+//! Asserted invariants, before any timing:
+//! * 1-worker serving is byte-identical (text + cost bits) to a direct
+//!   sequential loop over the same jobs;
+//! * after all runs, the fault injector's executed cost reconciles with
+//!   the shared usage meter to 1e-9 even though workers billed it
+//!   concurrently.
+//!
+//! Then: 8-worker ops/sec must be ≥ `LLMDM_SERVE_MIN_SPEEDUP` (default 3)
+//! times the 1-worker figure, on median ns. `scripts/verify.sh` runs
+//! this with `LLMDM_BENCH_FAST=1`; results land in `BENCH_serve.json`.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use llmdm_cascade::{HotpotConfig, HotpotWorkload, QaSolver};
+use llmdm_model::prelude::*;
+use llmdm_nlq::{concert_domain, ExamplePool, Nl2SqlSolver, PromptBuilder, Workload, WorkloadConfig};
+use llmdm_resil::FaultPlan;
+use llmdm_rt::bench::{Criterion, Throughput};
+use llmdm_serve::{serve, Disposition, ServeConfig};
+
+const SEED: u64 = 42;
+/// Real sleep = simulated latency / this. A ~300 ms simulated call
+/// becomes ~1.2 ms of actual wait — long enough to dominate the CPU
+/// cost of a simulated completion, short enough to keep the bench quick.
+const LATENCY_SCALE: u32 = 256;
+
+#[derive(Clone)]
+struct Req {
+    prompt: String,
+}
+
+fn mixed_jobs() -> (ModelZoo, Vec<(String, Req)>) {
+    let zoo = ModelZoo::standard(SEED);
+    zoo.register_solver(Arc::new(QaSolver));
+    zoo.register_solver(Arc::new(Nl2SqlSolver));
+    let hotpot = HotpotWorkload::generate(HotpotConfig { n: 24, seed: SEED, ..Default::default() });
+    let nlq_db = concert_domain(SEED);
+    let builder = PromptBuilder::new(ExamplePool::generate(SEED), nlq_db.schema_summary());
+    let nlq = Workload::generate(WorkloadConfig { n: 16, seed: SEED, ..Default::default() });
+    let mut jobs: Vec<(String, Req)> = Vec::new();
+    let mut h = hotpot.items.iter();
+    let mut n = nlq.queries.iter();
+    loop {
+        let mut pushed = false;
+        for item in h.by_ref().take(3) {
+            jobs.push(("hotpot".to_string(), Req { prompt: item.prompt() }));
+            pushed = true;
+        }
+        for q in n.by_ref().take(2) {
+            jobs.push(("nl2sql".to_string(), Req { prompt: builder.single(&q.text) }));
+            pushed = true;
+        }
+        if !pushed {
+            break;
+        }
+    }
+    (zoo, jobs)
+}
+
+fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn stat<'a>(c: &'a Criterion, id: &str) -> &'a llmdm_rt::bench::BenchStats {
+    c.results().iter().find(|s| s.id == id).unwrap_or_else(|| panic!("no stats for `{id}`"))
+}
+
+fn main() {
+    llmdm_obs::disable();
+    let (zoo, jobs) = mixed_jobs();
+    let total = jobs.len() as u64;
+
+    // The serving stack: zoo large tier behind a no-op fault injector,
+    // kept so executed-cost reconciliation can be asserted at the end.
+    let stack = ModelStack::new(&zoo).with_faults(Arc::new(FaultPlan::none()));
+    let faulty = stack.faulty().expect("with_faults applied").clone();
+    let model = stack.build_arc();
+
+    // The I/O-bound handler: complete, then actually wait the (scaled)
+    // simulated latency, as a network-bound deployment would.
+    let handler = |_class: &str, batch: &[Req]| -> Vec<Result<Completion, ModelError>> {
+        batch
+            .iter()
+            .map(|r| {
+                let c = model.complete(&CompletionRequest::new(r.prompt.clone()))?;
+                std::thread::sleep(c.latency / LATENCY_SCALE);
+                Ok(c)
+            })
+            .collect()
+    };
+
+    // ---- Correctness gate 1: 1-worker ≡ direct loop. ----------------
+    let direct: Vec<(String, u64)> = jobs
+        .iter()
+        .map(|(_, r)| {
+            let c = model.complete(&CompletionRequest::new(r.prompt.clone())).expect("ok");
+            (c.text, c.cost.to_bits())
+        })
+        .collect();
+    let one = serve(&ServeConfig { workers: 1, seed: SEED, ..Default::default() }, jobs.clone(), handler);
+    for (i, d) in one.results.iter().enumerate() {
+        let Disposition::Done(Ok(c)) = d else { panic!("job {i} did not complete") };
+        assert_eq!(
+            (c.text.clone(), c.cost.to_bits()),
+            direct[i],
+            "job {i}: 1-worker serve differs from the direct call path"
+        );
+    }
+
+    // ---- Timing: the same run at 1/2/4/8 workers. -------------------
+    let mut c = Criterion::default();
+    // Each sample is a whole serve run (tens of ms): stretch the budget
+    // so every worker count gets a handful of samples even in fast mode.
+    c.measure = c.measure.max(Duration::from_millis(250));
+    {
+        let mut group = c.benchmark_group("serve_throughput");
+        group.throughput(Throughput::Elements(total));
+        for workers in [1usize, 2, 4, 8] {
+            let cfg = ServeConfig { workers, max_batch: 4, seed: SEED, ..Default::default() };
+            group.bench_function(format!("workers/{workers}"), |b| {
+                b.iter(|| {
+                    let run = serve(&cfg, jobs.clone(), handler);
+                    assert_eq!(run.stats.admitted, total);
+                    run
+                })
+            });
+        }
+        group.finish();
+    }
+
+    // ---- Correctness gate 2: concurrent dollars reconcile. ----------
+    let executed = faulty.executed_cost();
+    let metered = zoo.meter().snapshot().total_dollars();
+    let diff = (executed - metered).abs();
+    assert!(diff < 1e-9, "executed ${executed:.9} != metered ${metered:.9} (diff {diff:e})");
+    println!("dollar reconciliation: executed ${executed:.4} == metered ${metered:.4}");
+
+    // ---- The scaling pin. -------------------------------------------
+    let m1 = stat(&c, "serve_throughput/workers/1").median_ns as f64;
+    for workers in [2usize, 4, 8] {
+        let mw = stat(&c, &format!("serve_throughput/workers/{workers}")).median_ns as f64;
+        println!("speedup at {workers} workers: {:.2}x", m1 / mw);
+    }
+    let m8 = stat(&c, "serve_throughput/workers/8").median_ns as f64;
+    let min_speedup = env_f64("LLMDM_SERVE_MIN_SPEEDUP", 3.0);
+    assert!(
+        m1 / m8 >= min_speedup,
+        "8-worker speedup {:.2}x below the {min_speedup:.1}x floor \
+         (1w median {m1} ns, 8w median {m8} ns)",
+        m1 / m8
+    );
+
+    // Report, stamped like every other bench.
+    let seed = std::env::var("LLMDM_BENCH_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(SEED);
+    let meta = llmdm_obs::run_meta(Some(seed));
+    let path = llmdm_rt::bench::report_dir().join("BENCH_serve.json");
+    match c.write_json_with_meta(&path, "serve", &meta) {
+        Ok(_) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+}

@@ -47,9 +47,11 @@ pub mod faulty;
 pub mod hash;
 pub mod jsonio;
 pub mod latency;
+pub mod prelude;
 pub mod pricing;
 pub mod resilient;
 pub mod sim;
+pub mod stack;
 pub mod solver;
 pub mod tokenizer;
 pub mod usage;
@@ -62,7 +64,8 @@ pub use faulty::FaultyModel;
 pub use resilient::{ClientStats, ResilientClient};
 pub use latency::LatencyModel;
 pub use pricing::{PriceTable, Pricing};
-pub use sim::{Completion, CompletionRequest, LanguageModel, SimLlm};
+pub use sim::{Completion, CompletionRequest, CompletionRequestBuilder, LanguageModel, SimLlm};
+pub use stack::ModelStack;
 pub use solver::{PromptEnvelope, PromptSolver, SolvedPart, SolvedTask};
 pub use tokenizer::Tokenizer;
 pub use usage::{TokenUsage, UsageMeter, UsageSnapshot};

@@ -1,0 +1,24 @@
+//! The model-substrate prelude: the ~10 types every downstream crate
+//! imports, re-exported in one place.
+//!
+//! ```
+//! use llmdm_model::prelude::*;
+//!
+//! let zoo = ModelZoo::standard(42);
+//! let req = CompletionRequest::new("### task: echo\nhi");
+//! assert!(zoo.small().complete(&req).is_ok());
+//! ```
+//!
+//! Downstream `use` blocks that previously enumerated half this module
+//! one type at a time (`use llmdm_model::{Completion, CompletionRequest,
+//! LanguageModel, ModelError, …}`) now import the prelude; anything
+//! rarer (solvers, pricing internals, hash helpers) stays an explicit
+//! path so greps keep working.
+
+pub use crate::error::{ModelError, TransientKind};
+pub use crate::faulty::FaultyModel;
+pub use crate::resilient::ResilientClient;
+pub use crate::sim::{Completion, CompletionRequest, LanguageModel, SimLlm};
+pub use crate::stack::ModelStack;
+pub use crate::usage::{TokenUsage, UsageMeter, UsageSnapshot};
+pub use crate::zoo::{ModelTier, ModelZoo};

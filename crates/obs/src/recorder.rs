@@ -109,9 +109,27 @@ pub struct SpanRecord {
 
 struct State {
     spans: Vec<SpanRecord>,
-    counters: BTreeMap<String, f64>,
     gauges: BTreeMap<String, f64>,
     hists: BTreeMap<String, Histogram>,
+}
+
+/// Number of independent counter locks. Counters are the hottest metric
+/// under the concurrent serving layer (every worker bumps
+/// `model.calls`/`serve.*` per request), so they live outside the main
+/// state mutex in hash-striped shards: two workers bumping different
+/// counters never contend, and bumping the *same* counter contends only
+/// on its own stripe, not on span collection.
+const COUNTER_STRIPES: usize = 8;
+
+fn counter_stripe(name: &str) -> usize {
+    // FNV-1a over the name; stable across runs so tests can reason
+    // about striping.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (h % COUNTER_STRIPES as u64) as usize
 }
 
 /// A thread-safe span + metric recorder.
@@ -124,6 +142,7 @@ pub struct Recorder {
     next_id: AtomicU64,
     epoch: Instant,
     state: Mutex<State>,
+    counters: [Mutex<BTreeMap<String, f64>>; COUNTER_STRIPES],
 }
 
 impl std::fmt::Debug for Recorder {
@@ -162,10 +181,10 @@ impl Recorder {
             epoch: Instant::now(),
             state: Mutex::new(State {
                 spans: Vec::new(),
-                counters: BTreeMap::new(),
                 gauges: BTreeMap::new(),
                 hists: BTreeMap::new(),
             }),
+            counters: std::array::from_fn(|_| Mutex::new(BTreeMap::new())),
         }
     }
 
@@ -196,9 +215,12 @@ impl Recorder {
     pub fn reset(&self) {
         let mut s = self.lock();
         s.spans.clear();
-        s.counters.clear();
         s.gauges.clear();
         s.hists.clear();
+        drop(s);
+        for stripe in &self.counters {
+            stripe.lock().unwrap_or_else(|e| e.into_inner()).clear();
+        }
     }
 
     /// Open a span. No-op (one atomic load) when disabled.
@@ -225,24 +247,44 @@ impl Recorder {
         }
     }
 
-    /// Add `delta` to the monotonic counter `name`.
+    /// Add `delta` to the monotonic counter `name`. Safe (and cheap)
+    /// under concurrent increment: only the counter's own stripe is
+    /// locked, never the span/gauge/histogram state.
     #[inline]
     pub fn counter_add(&self, name: &str, delta: f64) {
         if !self.is_enabled() {
             return;
         }
-        let mut s = self.lock();
-        match s.counters.get_mut(name) {
+        let mut stripe =
+            self.counters[counter_stripe(name)].lock().unwrap_or_else(|e| e.into_inner());
+        match stripe.get_mut(name) {
             Some(v) => *v += delta,
             None => {
-                s.counters.insert(name.to_string(), delta);
+                stripe.insert(name.to_string(), delta);
             }
         }
     }
 
     /// Current counter value (0.0 if never bumped).
     pub fn counter_value(&self, name: &str) -> f64 {
-        self.lock().counters.get(name).copied().unwrap_or(0.0)
+        self.counters[counter_stripe(name)]
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(name)
+            .copied()
+            .unwrap_or(0.0)
+    }
+
+    /// Merge every stripe into one sorted map (snapshot order is
+    /// identical to the pre-striping single-map layout).
+    fn merged_counters(&self) -> BTreeMap<String, f64> {
+        let mut merged = BTreeMap::new();
+        for stripe in &self.counters {
+            for (k, v) in stripe.lock().unwrap_or_else(|e| e.into_inner()).iter() {
+                merged.insert(k.clone(), *v);
+            }
+        }
+        merged
     }
 
     /// Set gauge `name` to `value`.
@@ -281,7 +323,7 @@ impl Recorder {
         let s = self.lock();
         Report {
             spans: s.spans.clone(),
-            counters: s.counters.clone(),
+            counters: self.merged_counters(),
             gauges: s.gauges.clone(),
             histograms: s.hists.iter().map(|(k, h)| (k.clone(), h.summary())).collect(),
         }
@@ -454,6 +496,33 @@ mod tests {
         assert_eq!(r.span_count(), 1);
         // But new spans are inert.
         assert!(!r.span("later").is_recording());
+    }
+
+    #[test]
+    fn concurrent_counter_increments_lose_nothing() {
+        let r = std::sync::Arc::new(Recorder::new());
+        r.enable();
+        // 8 threads hammer 4 counter names (some sharing a stripe, some
+        // not) — every increment must land.
+        std::thread::scope(|scope| {
+            for t in 0..8 {
+                let r = r.clone();
+                scope.spawn(move || {
+                    for i in 0..1000u64 {
+                        let name = ["serve.a", "serve.b", "serve.c", "serve.d"]
+                            [((t + i) % 4) as usize];
+                        r.counter_add(name, 1.0);
+                    }
+                });
+            }
+        });
+        let report = r.snapshot();
+        let total: f64 = ["serve.a", "serve.b", "serve.c", "serve.d"]
+            .iter()
+            .map(|n| report.counters.get(*n).copied().unwrap_or(0.0))
+            .sum();
+        assert_eq!(total, 8_000.0);
+        assert_eq!(r.counter_value("serve.a"), report.counters["serve.a"]);
     }
 
     #[test]

@@ -8,9 +8,8 @@
 
 use std::sync::Arc;
 
-use llmdm_model::{
-    Completion, CompletionRequest, LanguageModel, ModelError, PriceTable, TokenUsage,
-};
+use llmdm_model::prelude::*;
+use llmdm_model::PriceTable;
 
 use crate::cache::{EntryKind, HitKind, Lookup, SemanticCache};
 use crate::predictor::AccessPredictor;
@@ -176,8 +175,9 @@ impl CachedLlm {
 }
 
 /// Append a cached example pair to an envelope prompt, incrementing its
-/// `examples` header.
-fn augment_prompt(prompt: &str, cached_query: &str, cached_response: &str) -> String {
+/// `examples` header. Shared with the sharded concurrent client so both
+/// paths produce byte-identical augmented prompts.
+pub(crate) fn augment_prompt(prompt: &str, cached_query: &str, cached_response: &str) -> String {
     let example = format!("Example Q: {cached_query}\nExample SQL: {cached_response}\n");
     // Bump the `### examples:` header if present; else append one.
     let mut out = String::with_capacity(prompt.len() + example.len() + 32);

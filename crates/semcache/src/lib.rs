@@ -32,7 +32,11 @@
 pub mod cache;
 pub mod client;
 pub mod predictor;
+pub mod sharded;
+pub mod stack;
 
 pub use cache::{CacheConfig, CacheStats, EvictionPolicy, EntryKind, HitKind, Lookup, SemanticCache};
 pub use client::CachedLlm;
 pub use predictor::AccessPredictor;
+pub use sharded::{ConcurrentCachedLlm, ShardedCache};
+pub use stack::{shared_cache, CacheStackExt, CachedModel, SharedCache};

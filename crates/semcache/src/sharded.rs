@@ -1,0 +1,399 @@
+//! [`ShardedCache`] — a lock-striped [`SemanticCache`] for concurrent
+//! serving, plus [`ConcurrentCachedLlm`], the `&self` counterpart of
+//! [`crate::CachedLlm`].
+//!
+//! The single-threaded cache takes `&mut self` on every probe, which
+//! would serialize an entire worker pool behind one lock. Instead the
+//! serving layer shards the cache into `N` independent
+//! `RwLock<SemanticCache>` stripes and routes each query to exactly one
+//! shard by locality-sensitive hashing: the **sign bits of the leading
+//! embedding dimensions** form the shard key, so
+//!
+//! * an exact repeat always routes to the same shard and therefore still
+//!   gets its reuse hit, and
+//! * near-duplicate queries (which differ in a few characters and hence
+//!   barely move the embedding) usually share leading signs and
+//!   co-locate, preserving most augment hits.
+//!
+//! Cross-shard similarity is sacrificed by design — that is the standard
+//! price of sharding a similarity index, and the paper's reuse case
+//! (§III-C case 1) is exact-repeat dominated.
+//!
+//! **Accounting invariant.** Each shard is a full [`SemanticCache`], so
+//! `reuse + augment + stale + misses == lookups` holds *per shard* by
+//! construction; [`ShardedCache::stats`] sums the per-shard counters, and
+//! a sum of reconciling stats reconciles, so the invariant also holds
+//! globally under arbitrary interleavings (stress-tested in
+//! `tests/concurrent_stress.rs`).
+
+use std::sync::{Arc, Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+use llmdm_model::prelude::*;
+use llmdm_model::Embedder;
+
+use crate::cache::{CacheConfig, CacheStats, EntryKind, HitKind, Lookup, SemanticCache};
+use crate::client::{augment_prompt, CachedAnswer};
+use crate::predictor::AccessPredictor;
+
+/// How many leading embedding dimensions contribute a sign bit to the
+/// shard key (2^8 = 256 raw buckets, folded mod `shards`).
+const ROUTE_BITS: usize = 8;
+
+/// A semantic cache split into independently-locked shards.
+pub struct ShardedCache {
+    shards: Vec<RwLock<SemanticCache>>,
+    /// Routing embedder — a clone of the per-shard embedder (same seed),
+    /// so routing and in-shard similarity live in the same space.
+    router: Embedder,
+}
+
+impl std::fmt::Debug for ShardedCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedCache").field("shards", &self.shards.len()).finish()
+    }
+}
+
+impl ShardedCache {
+    /// Create a cache with `shards` stripes. The configured capacity is
+    /// the *global* budget: each shard gets `capacity / shards` slots
+    /// (at least one). `shards` is clamped to ≥ 1.
+    pub fn new(config: CacheConfig, shards: usize) -> Self {
+        let n = shards.max(1);
+        let per_shard =
+            CacheConfig { capacity: (config.capacity / n).max(1), ..config };
+        ShardedCache {
+            shards: (0..n).map(|_| RwLock::new(SemanticCache::new(per_shard))).collect(),
+            router: Embedder::standard(config.seed),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Deterministic shard index for `query`: the sign bits of the first
+    /// [`ROUTE_BITS`] embedding dimensions, folded mod the shard count.
+    /// Falls back to FNV-1a of the raw bytes if embedding fails, so every
+    /// query routes somewhere and repeats stay sticky.
+    pub fn route(&self, query: &str) -> usize {
+        match self.router.embed(query) {
+            Ok(v) => {
+                let mut key = 0usize;
+                for x in v.iter().take(ROUTE_BITS) {
+                    key = (key << 1) | usize::from(*x >= 0.0);
+                }
+                key % self.shards.len()
+            }
+            Err(_) => {
+                let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+                for b in query.as_bytes() {
+                    h ^= u64::from(*b);
+                    h = h.wrapping_mul(0x0000_0100_0000_01b3);
+                }
+                (h as usize) % self.shards.len()
+            }
+        }
+    }
+
+    fn write(&self, shard: usize) -> RwLockWriteGuard<'_, SemanticCache> {
+        self.shards[shard].write().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn read(&self, shard: usize) -> RwLockReadGuard<'_, SemanticCache> {
+        self.shards[shard].read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Look up a query on its home shard. Exactly one shard is locked.
+    pub fn lookup(&self, query: &str) -> Lookup {
+        self.write(self.route(query)).lookup(query)
+    }
+
+    /// Stale-serve from the query's home shard (outage degradation).
+    pub fn serve_stale(&self, query: &str) -> Option<(String, String, f32)> {
+        self.write(self.route(query)).serve_stale(query)
+    }
+
+    /// Insert on the query's home shard.
+    pub fn insert(&self, query: &str, response: &str, kind: EntryKind) {
+        self.write(self.route(query)).insert(query, response, kind);
+    }
+
+    /// Record an admission rejection against the query's home shard (the
+    /// shard that *would* have stored it).
+    pub fn note_rejected(&self, query: &str) {
+        self.write(self.route(query)).note_rejected();
+    }
+
+    /// Total entries across shards.
+    pub fn len(&self) -> usize {
+        (0..self.shards.len()).map(|i| self.read(i).len()).sum()
+    }
+
+    /// Whether every shard is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Per-shard lifetime counters (each reconciles independently).
+    pub fn stats_per_shard(&self) -> Vec<CacheStats> {
+        (0..self.shards.len()).map(|i| self.read(i).stats()).collect()
+    }
+
+    /// Global counters: the field-wise sum over shards. Because each
+    /// shard reconciles, the sum reconciles too.
+    pub fn stats(&self) -> CacheStats {
+        let mut total = CacheStats::default();
+        for s in self.stats_per_shard() {
+            total.lookups += s.lookups;
+            total.reuse_hits += s.reuse_hits;
+            total.augment_hits += s.augment_hits;
+            total.stale_serves += s.stale_serves;
+            total.misses += s.misses;
+            total.evictions += s.evictions;
+            total.rejected += s.rejected;
+        }
+        total
+    }
+}
+
+/// The `&self` (shareable) counterpart of [`crate::CachedLlm`]: a sharded
+/// semantic cache in front of a thread-safe model, usable directly from a
+/// serving worker pool without an outer lock.
+///
+/// Semantics mirror [`crate::CachedLlm::ask`] exactly — reuse hits are
+/// free, augment hits extend the prompt via the same
+/// `augment_prompt` helper, retryable model failures degrade to stale
+/// serves — the only difference is which shard's lock each cache
+/// operation takes.
+pub struct ConcurrentCachedLlm {
+    model: Arc<dyn LanguageModel>,
+    cache: ShardedCache,
+    predictor: Option<Mutex<AccessPredictor>>,
+}
+
+impl std::fmt::Debug for ConcurrentCachedLlm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ConcurrentCachedLlm").field("entries", &self.cache.len()).finish()
+    }
+}
+
+impl ConcurrentCachedLlm {
+    /// Wrap `model` with a sharded cache; `predictor = None` admits all.
+    pub fn new(
+        model: Arc<dyn LanguageModel>,
+        cache: ShardedCache,
+        predictor: Option<AccessPredictor>,
+    ) -> Self {
+        ConcurrentCachedLlm { model, cache, predictor: predictor.map(Mutex::new) }
+    }
+
+    /// The underlying sharded cache (stats, inspection).
+    pub fn cache(&self) -> &ShardedCache {
+        &self.cache
+    }
+
+    /// The wrapped model.
+    pub fn model(&self) -> &Arc<dyn LanguageModel> {
+        &self.model
+    }
+
+    /// Ask with caching; see [`crate::CachedLlm::ask`] for the contract.
+    /// Takes `&self`, so any number of workers may call it concurrently.
+    pub fn ask(
+        &self,
+        key: &str,
+        prompt: &str,
+        kind: EntryKind,
+    ) -> Result<CachedAnswer, ModelError> {
+        if let Some(p) = &self.predictor {
+            p.lock().unwrap_or_else(|e| e.into_inner()).observe(key);
+        }
+        match self.cache.lookup(key) {
+            Lookup::Hit { response, kind: HitKind::Reuse, .. } => {
+                return Ok(CachedAnswer {
+                    text: response,
+                    from_cache: true,
+                    cost: 0.0,
+                    stale: false,
+                });
+            }
+            Lookup::Hit { query, response, kind: HitKind::Augment, .. } => {
+                let augmented = augment_prompt(prompt, &query, &response);
+                let completion = match self.model.complete(&CompletionRequest::new(augmented)) {
+                    Ok(c) => c,
+                    Err(e) => return self.stale_fallback(key, e),
+                };
+                self.maybe_insert(key, &completion, kind);
+                return Ok(CachedAnswer {
+                    text: completion.text,
+                    from_cache: false,
+                    cost: completion.cost,
+                    stale: false,
+                });
+            }
+            Lookup::Miss => {}
+        }
+        let completion = match self.model.complete(&CompletionRequest::new(prompt.to_string())) {
+            Ok(c) => c,
+            Err(e) => return self.stale_fallback(key, e),
+        };
+        self.maybe_insert(key, &completion, kind);
+        Ok(CachedAnswer {
+            text: completion.text,
+            from_cache: false,
+            cost: completion.cost,
+            stale: false,
+        })
+    }
+
+    fn stale_fallback(&self, key: &str, err: ModelError) -> Result<CachedAnswer, ModelError> {
+        if !err.is_retryable() {
+            return Err(err);
+        }
+        match self.cache.serve_stale(key) {
+            Some((_, response, _)) => {
+                Ok(CachedAnswer { text: response, from_cache: true, cost: 0.0, stale: true })
+            }
+            None => Err(err),
+        }
+    }
+
+    fn maybe_insert(&self, key: &str, completion: &Completion, kind: EntryKind) {
+        let admit = self
+            .predictor
+            .as_ref()
+            .map(|p| p.lock().unwrap_or_else(|e| e.into_inner()).should_admit(key))
+            .unwrap_or(true);
+        if admit {
+            self.cache.insert(key, &completion.text, kind);
+        } else {
+            self.cache.note_rejected(key);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llmdm_model::PromptEnvelope;
+
+    fn sharded(n: usize) -> ShardedCache {
+        ShardedCache::new(CacheConfig::default(), n)
+    }
+
+    fn oracle_prompt(q: &str) -> String {
+        PromptEnvelope::builder("oracle")
+            .header("gold", "the-answer")
+            .header("difficulty", "0.0")
+            .header("examples", 2)
+            .body(q)
+            .build()
+    }
+
+    #[test]
+    fn routing_is_deterministic_and_in_range() {
+        let c = sharded(4);
+        for q in ["alpha bravo", "charlie delta", "echo foxtrot", ""] {
+            let s = c.route(q);
+            assert!(s < 4);
+            assert_eq!(s, c.route(q), "same query must route to the same shard");
+        }
+    }
+
+    #[test]
+    fn exact_repeat_reuses_across_any_shard_count() {
+        for n in [1, 2, 4, 8] {
+            let c = sharded(n);
+            c.insert("what stadiums had concerts in 2014", "SQL-A", EntryKind::Original);
+            match c.lookup("what stadiums had concerts in 2014") {
+                Lookup::Hit { kind: HitKind::Reuse, response, .. } => {
+                    assert_eq!(response, "SQL-A");
+                }
+                other => panic!("n={n}: expected reuse, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn similar_queries_colocate_and_augment() {
+        let c = sharded(4);
+        let q1 = "What are the names of stadiums that had concerts in 2014?";
+        let q2 = "What are the names of stadiums that had concerts in 2016?";
+        // The LSH routing must send the near-duplicate to the same shard…
+        assert_eq!(c.route(q1), c.route(q2), "near-duplicates must co-locate");
+        c.insert(q1, "SQL-A", EntryKind::Original);
+        // …so it still gets its augment hit.
+        match c.lookup(q2) {
+            Lookup::Hit { kind: HitKind::Augment, .. } => {}
+            other => panic!("expected augment, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn per_shard_and_global_stats_reconcile() {
+        let c = sharded(4);
+        let queries = [
+            "What are the names of stadiums that had concerts in 2014?",
+            "median household income by postal region",
+            "list all singers ordered by age",
+            "total concert attendance per year",
+        ];
+        for q in queries {
+            c.insert(q, "A", EntryKind::Original);
+        }
+        for q in queries {
+            let _ = c.lookup(q); // reuse
+        }
+        let _ = c.lookup("zzz qqq unrelated garble xyzzy");
+        let _ = c.serve_stale("list all the singers ordered by their age");
+        for (i, s) in c.stats_per_shard().into_iter().enumerate() {
+            assert!(s.reconciles(), "shard {i} does not reconcile: {s:?}");
+        }
+        let g = c.stats();
+        assert!(g.reconciles(), "global stats do not reconcile: {g:?}");
+        assert_eq!(g.lookups, 6);
+        assert_eq!(g.reuse_hits, 4);
+    }
+
+    #[test]
+    fn concurrent_asks_stay_consistent() {
+        let zoo = ModelZoo::standard(11);
+        let llm = ConcurrentCachedLlm::new(
+            zoo.medium(),
+            ShardedCache::new(CacheConfig { capacity: 512, ..Default::default() }, 4),
+            None,
+        );
+        std::thread::scope(|scope| {
+            for t in 0..4usize {
+                let llm = &llm;
+                scope.spawn(move || {
+                    for i in 0..50usize {
+                        let q = format!("query template number {} for worker", (t * 50 + i) % 20);
+                        llm.ask(&q, &oracle_prompt(&q), EntryKind::Original).unwrap();
+                    }
+                });
+            }
+        });
+        let g = llm.cache().stats();
+        assert_eq!(g.lookups, 200);
+        assert!(g.reconciles(), "{g:?}");
+        assert!(g.reuse_hits > 0, "repeated templates must produce reuse hits");
+        // Every dollar the cache paid is on the zoo's meter (reuse hits
+        // are free, model calls are billed) — the cache can't have spent
+        // money the meter didn't see.
+        assert!(zoo.meter().snapshot().total_dollars() > 0.0);
+    }
+
+    #[test]
+    fn capacity_splits_across_shards() {
+        let c = ShardedCache::new(CacheConfig { capacity: 8, ..Default::default() }, 4);
+        // 30 distinct inserts through 4 shards of capacity 2 each: never
+        // more than 8 entries survive.
+        for i in 0..30 {
+            c.insert(&format!("wholly distinct query text number {i}"), "r", EntryKind::Original);
+        }
+        assert!(c.len() <= 8, "len {} exceeds global budget", c.len());
+        assert!(c.stats().evictions > 0);
+    }
+}

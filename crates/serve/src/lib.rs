@@ -1,0 +1,48 @@
+//! # llmdm-serve — the concurrent serving layer (§III "heavy traffic")
+//!
+//! The paper's systems gap between LLM demos and DB-grade serving is
+//! request scheduling: real deployments face "heavy traffic from millions
+//! of users", yet every naive call path is one synchronous call per
+//! query. This crate supplies the serving substrate the rest of the
+//! workspace plugs into:
+//!
+//! * a bounded MPMC [`queue::BoundedQueue`] with **admission control**:
+//!   past the high-water mark new work is *rejected with backpressure*
+//!   (a typed [`ServeError::Rejected`] carrying a retry hint) rather than
+//!   queued unboundedly — the DB-style answer to overload;
+//! * a fixed worker pool ([`scheduler::serve`]) over
+//!   [`std::thread::scope`] — no detached threads, no lifetime escape;
+//! * **micro-batching**: workers coalesce up to `max_batch` queued
+//!   requests of the same *class* (e.g. one model tier / one task family)
+//!   into a single handler dispatch, amortizing per-call overhead exactly
+//!   like continuous batching in a real inference server.
+//!
+//! ## Determinism contract
+//!
+//! Scheduling is the one place concurrency could leak into results, so
+//! the contract is explicit (asserted by `examples/serving_pipeline.rs`
+//! and `tests/integration_serve.rs`):
+//!
+//! 1. every job gets a **seeded stream id** derived from
+//!    `(config.seed, submission index)` — never from wall-clock or thread
+//!    identity;
+//! 2. jobs are admitted in submission order before workers start
+//!    draining, so the *set* of admitted vs rejected jobs is a pure
+//!    function of `(jobs, queue_capacity)`;
+//! 3. results are reported **indexed by submission order**, so a
+//!    single-worker run is byte-identical to a plain sequential loop,
+//!    and an N-worker run produces the same set of results (handlers are
+//!    pure per payload) with only batch composition varying.
+//!
+//! The crate is deliberately generic (payload in, result out) and depends
+//! only on `llmdm-rt`, `llmdm-obs`, and `llmdm-resil` — enforced by
+//! `tests/hermetic.rs` — so model-layer crates adapt *to* it rather than
+//! it growing model knowledge.
+
+#![warn(missing_docs)]
+
+pub mod queue;
+pub mod scheduler;
+
+pub use queue::{BoundedQueue, ServeError};
+pub use scheduler::{serve, Disposition, Job, ServeConfig, ServeRun, ServeStats};

@@ -1,0 +1,349 @@
+//! The request scheduler: admission → bounded queue → worker pool →
+//! micro-batched dispatch.
+//!
+//! [`serve`] is deliberately *phase-structured* (admit everything, then
+//! drain with a fixed pool over [`std::thread::scope`]) so that the
+//! admission outcome is a pure function of `(jobs, queue_capacity)` and
+//! never of worker timing — the determinism contract in the crate docs.
+//! Continuous-admission serving is the same machinery with producers and
+//! consumers running concurrently against the same [`BoundedQueue`]; the
+//! phased form is what the reproducible experiments and benches need.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::queue::{BoundedQueue, ServeError};
+
+/// Scheduler configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Fixed worker-pool size (clamped to ≥ 1).
+    pub workers: usize,
+    /// Queue capacity == admission high-water mark: submissions past
+    /// this depth are rejected with backpressure.
+    pub queue_capacity: usize,
+    /// Micro-batch ceiling: a worker coalesces up to this many
+    /// same-class jobs per dispatch.
+    pub max_batch: usize,
+    /// Base seed for per-request stream ids.
+    pub seed: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig { workers: 1, queue_capacity: 1024, max_batch: 8, seed: 0 }
+    }
+}
+
+/// One scheduled request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Job<P> {
+    /// Submission index (0-based): results are reported under this id.
+    pub id: u64,
+    /// Seeded per-request stream id — the deterministic substitute for
+    /// "whatever randomness the serving layer needs" (tie-breaking,
+    /// sampling, downstream nonces). Depends only on `(seed, id)`.
+    pub stream_id: u64,
+    /// Batching class: only jobs of equal class coalesce into one
+    /// dispatch (e.g. one model tier, one task family).
+    pub class: String,
+    /// The request payload handed to the handler.
+    pub payload: P,
+}
+
+/// What happened to one submitted job.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Disposition<T, E> {
+    /// Dispatched to a worker; carries the handler's result.
+    Done(Result<T, E>),
+    /// Refused at admission (queue past its high-water mark).
+    Rejected(ServeError),
+}
+
+impl<T, E> Disposition<T, E> {
+    /// The successful result, if any.
+    pub fn ok(&self) -> Option<&T> {
+        match self {
+            Disposition::Done(Ok(v)) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Whether admission refused this job.
+    pub fn is_rejected(&self) -> bool {
+        matches!(self, Disposition::Rejected(_))
+    }
+}
+
+/// Aggregate accounting for one [`serve`] run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Jobs submitted.
+    pub submitted: u64,
+    /// Jobs admitted to the queue.
+    pub admitted: u64,
+    /// Jobs rejected by admission control.
+    pub rejected: u64,
+    /// Handler dispatches (each covers ≥ 1 job).
+    pub batches: u64,
+    /// Largest coalesced batch observed.
+    pub largest_batch: usize,
+    /// Jobs processed per worker (index = worker ordinal). Under one
+    /// worker this is the whole admitted load; under N workers the split
+    /// is timing-dependent but always sums to `admitted`.
+    pub per_worker_jobs: Vec<u64>,
+}
+
+/// Everything one [`serve`] run produced.
+#[derive(Debug)]
+pub struct ServeRun<T, E> {
+    /// Per-job outcome, indexed by submission order.
+    pub results: Vec<Disposition<T, E>>,
+    /// Aggregate counters.
+    pub stats: ServeStats,
+}
+
+impl<T, E> ServeRun<T, E> {
+    /// Successful results in submission order.
+    pub fn successes(&self) -> impl Iterator<Item = (usize, &T)> {
+        self.results.iter().enumerate().filter_map(|(i, d)| d.ok().map(|v| (i, v)))
+    }
+}
+
+/// SplitMix64: the seeded stream-id generator (no process entropy).
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The deterministic per-request stream id for submission index `id`
+/// under `seed`.
+pub fn stream_id(seed: u64, id: u64) -> u64 {
+    mix64(seed ^ mix64(id))
+}
+
+/// Run `jobs` (as `(class, payload)` pairs, in submission order) through
+/// a pool of `config.workers` threads, micro-batching same-class jobs up
+/// to `config.max_batch` per handler dispatch.
+///
+/// The handler receives `(class, payloads)` for one coalesced batch and
+/// must return exactly one result per payload, in order. It must be a
+/// pure function of each payload for the N-worker determinism contract
+/// to hold (shared substrates — caches, meters — may be bumped; they
+/// reconcile by construction).
+///
+/// Admission happens up front in submission order: once the queue hits
+/// `queue_capacity`, the remaining jobs are `Rejected` deterministically.
+pub fn serve<P, T, E, F>(config: &ServeConfig, jobs: Vec<(String, P)>, handler: F) -> ServeRun<T, E>
+where
+    P: Send,
+    T: Send,
+    E: Send,
+    F: Fn(&str, &[P]) -> Vec<Result<T, E>> + Sync,
+{
+    let mut span = llmdm_obs::span("serve.run");
+    let workers = config.workers.max(1);
+    let queue: BoundedQueue<Job<P>> = BoundedQueue::new(config.queue_capacity);
+
+    let submitted = jobs.len() as u64;
+    let mut results: Vec<Option<Disposition<T, E>>> = Vec::with_capacity(jobs.len());
+    let mut admitted = 0u64;
+    let mut rejected = 0u64;
+
+    // ---- Phase 1: admission, in submission order. --------------------
+    for (i, (class, payload)) in jobs.into_iter().enumerate() {
+        let job =
+            Job { id: i as u64, stream_id: stream_id(config.seed, i as u64), class, payload };
+        match queue.try_push(job) {
+            Ok(()) => {
+                admitted += 1;
+                results.push(None);
+            }
+            Err(e) => {
+                rejected += 1;
+                results.push(Some(Disposition::Rejected(e)));
+            }
+        }
+    }
+    queue.close();
+    llmdm_obs::counter_add("serve.jobs.admitted", admitted as f64);
+    llmdm_obs::counter_add("serve.jobs.rejected", rejected as f64);
+
+    // ---- Phase 2: drain with the fixed pool. -------------------------
+    let slots = Mutex::new(&mut results);
+    let batches = AtomicU64::new(0);
+    let largest = AtomicUsize::new(0);
+    let per_worker: Vec<u64> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let queue = &queue;
+                let handler = &handler;
+                let slots = &slots;
+                let batches = &batches;
+                let largest = &largest;
+                s.spawn(move || {
+                    let mut processed = 0u64;
+                    while let Some(batch) =
+                        queue.pop_batch(config.max_batch, |a, b| a.class == b.class)
+                    {
+                        let mut bspan = llmdm_obs::span("serve.batch");
+                        let class = batch[0].class.clone();
+                        let ids: Vec<u64> = batch.iter().map(|j| j.id).collect();
+                        let payloads: Vec<P> = batch.into_iter().map(|j| j.payload).collect();
+                        if bspan.is_recording() {
+                            bspan.field("class", class.as_str());
+                            bspan.field("size", payloads.len());
+                            bspan.field("worker", w);
+                        }
+                        let outs = handler(&class, &payloads);
+                        assert_eq!(
+                            outs.len(),
+                            payloads.len(),
+                            "handler must return one result per payload"
+                        );
+                        batches.fetch_add(1, Ordering::Relaxed);
+                        largest.fetch_max(payloads.len(), Ordering::Relaxed);
+                        processed += ids.len() as u64;
+                        let mut guard = slots.lock().unwrap_or_else(|e| e.into_inner());
+                        for (id, out) in ids.into_iter().zip(outs) {
+                            guard[id as usize] = Some(Disposition::Done(out));
+                        }
+                    }
+                    processed
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+    });
+
+    let stats = ServeStats {
+        submitted,
+        admitted,
+        rejected,
+        batches: batches.into_inner(),
+        largest_batch: largest.into_inner(),
+        per_worker_jobs: per_worker,
+    };
+    llmdm_obs::counter_add("serve.batches", stats.batches as f64);
+    if span.is_recording() {
+        span.field("workers", workers);
+        span.field("submitted", stats.submitted);
+        span.field("admitted", stats.admitted);
+        span.field("rejected", stats.rejected);
+        span.field("batches", stats.batches);
+    }
+
+    let results = results
+        .into_iter()
+        .map(|slot| slot.expect("every admitted job is processed before scope exit"))
+        .collect();
+    ServeRun { results, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn echo_jobs(n: usize) -> Vec<(String, u64)> {
+        (0..n as u64).map(|i| (if i % 2 == 0 { "even" } else { "odd" }.to_string(), i)).collect()
+    }
+
+    fn echo_handler(class: &str, batch: &[u64]) -> Vec<Result<String, ServeError>> {
+        batch.iter().map(|v| Ok(format!("{class}:{v}"))).collect()
+    }
+
+    #[test]
+    fn single_worker_matches_direct_loop() {
+        let cfg = ServeConfig { workers: 1, ..Default::default() };
+        let run = serve(&cfg, echo_jobs(20), echo_handler);
+        assert_eq!(run.stats.admitted, 20);
+        assert_eq!(run.stats.rejected, 0);
+        for (i, d) in run.results.iter().enumerate() {
+            let class = if i % 2 == 0 { "even" } else { "odd" };
+            assert_eq!(d.ok().unwrap(), &format!("{class}:{i}"));
+        }
+        assert_eq!(run.stats.per_worker_jobs, vec![20]);
+    }
+
+    #[test]
+    fn n_workers_same_result_set() {
+        let base = serve(&ServeConfig::default(), echo_jobs(64), echo_handler);
+        for workers in [2, 4, 8] {
+            let cfg = ServeConfig { workers, ..Default::default() };
+            let run = serve(&cfg, echo_jobs(64), echo_handler);
+            assert_eq!(run.results, base.results, "workers={workers}");
+            assert_eq!(run.stats.per_worker_jobs.len(), workers);
+            assert_eq!(run.stats.per_worker_jobs.iter().sum::<u64>(), 64);
+        }
+    }
+
+    #[test]
+    fn admission_rejects_deterministically() {
+        let cfg = ServeConfig { workers: 2, queue_capacity: 10, ..Default::default() };
+        let run = serve(&cfg, echo_jobs(25), echo_handler);
+        assert_eq!(run.stats.admitted, 10);
+        assert_eq!(run.stats.rejected, 15);
+        // Exactly the first `capacity` submissions are admitted.
+        for (i, d) in run.results.iter().enumerate() {
+            assert_eq!(d.is_rejected(), i >= 10, "job {i}");
+        }
+        // Rejections carry a usable retry hint.
+        match &run.results[10] {
+            Disposition::Rejected(e @ ServeError::Rejected { retry_after_ms, .. }) => {
+                assert!(e.is_retryable());
+                assert!(*retry_after_ms > 0);
+            }
+            other => panic!("expected rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn batches_coalesce_only_same_class() {
+        let seen = Mutex::new(Vec::new());
+        let cfg = ServeConfig { workers: 1, max_batch: 8, ..Default::default() };
+        let run = serve(&cfg, echo_jobs(16), |class: &str, batch: &[u64]| {
+            seen.lock().unwrap().push((class.to_string(), batch.to_vec()));
+            batch.iter().map(|v| Ok::<u64, ServeError>(*v)).collect()
+        });
+        assert_eq!(run.stats.admitted, 16);
+        let seen = seen.into_inner().unwrap();
+        assert_eq!(run.stats.batches as usize, seen.len());
+        assert!(run.stats.largest_batch > 1, "coalescing must happen: {seen:?}");
+        for (class, batch) in &seen {
+            assert!(batch.len() <= 8);
+            let want = if class == "even" { 0 } else { 1 };
+            assert!(batch.iter().all(|v| v % 2 == want), "mixed batch {class}: {batch:?}");
+        }
+    }
+
+    #[test]
+    fn stream_ids_are_seeded_and_stable() {
+        assert_eq!(stream_id(42, 0), stream_id(42, 0));
+        assert_ne!(stream_id(42, 0), stream_id(42, 1));
+        assert_ne!(stream_id(42, 0), stream_id(43, 0));
+    }
+
+    #[test]
+    fn handler_errors_surface_per_job() {
+        let cfg = ServeConfig { workers: 2, ..Default::default() };
+        let run: ServeRun<u64, String> =
+            serve(&cfg, echo_jobs(10), |_class, batch: &[u64]| {
+                batch
+                    .iter()
+                    .map(|v| if *v == 3 { Err("boom".to_string()) } else { Ok(*v) })
+                    .collect()
+            });
+        for (i, d) in run.results.iter().enumerate() {
+            match d {
+                Disposition::Done(Ok(v)) => assert_eq!(*v, i as u64),
+                Disposition::Done(Err(e)) => {
+                    assert_eq!(i, 3);
+                    assert_eq!(e, "boom");
+                }
+                Disposition::Rejected(_) => panic!("nothing should be rejected"),
+            }
+        }
+    }
+}

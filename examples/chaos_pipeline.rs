@@ -23,7 +23,7 @@ use std::sync::Arc;
 use llmdm::cascade::{
     CascadeRouter, DecisionModel, HotpotConfig, HotpotWorkload, QaSolver, ResilientCascade,
 };
-use llmdm::model::{FaultyModel, LanguageModel, ModelZoo};
+use llmdm::model::prelude::*;
 use llmdm::resil::{FaultKind, FaultPlan, FaultRates, SimClock, TierPlan, Window};
 
 const SEED: u64 = 17;
@@ -115,16 +115,23 @@ fn run_schedule(plan: &FaultPlan) -> RunReport {
     let mut decision = DecisionModel::new();
     decision.train(&data, 400, 0.8);
 
-    // Wrap every tier in the fault injector on one shared clock…
+    // Wrap every tier in the fault injector on one shared clock via the
+    // ModelStack builder, keeping the typed injector handles for the
+    // executed-cost reconciliation below…
     let clock = SimClock::new();
     let plan = Arc::new(plan.clone());
-    let faulty: Vec<Arc<FaultyModel>> = clean
+    let stacks: Vec<ModelStack> = clean
         .iter()
-        .map(|m| Arc::new(FaultyModel::new(m.clone() as Arc<dyn LanguageModel>, plan.clone(), clock.clone())))
+        .map(|m| {
+            ModelStack::over(m.clone() as Arc<dyn LanguageModel>)
+                .on_clock(clock.clone())
+                .with_faults(plan.clone())
+        })
         .collect();
+    let faulty: Vec<Arc<FaultyModel>> =
+        stacks.iter().map(|s| s.faulty().expect("with_faults applied").clone()).collect();
     // …and build the resilient cascade over them.
-    let erased: Vec<Arc<dyn LanguageModel>> =
-        faulty.iter().map(|f| f.clone() as Arc<dyn LanguageModel>).collect();
+    let erased: Vec<Arc<dyn LanguageModel>> = stacks.into_iter().map(ModelStack::build_arc).collect();
     let cascade = ResilientCascade::from_models(erased, decision, 0.6, clock.clone());
 
     let mut answered = 0usize;

@@ -19,6 +19,7 @@
 
 
 use llmdm::cascade::{CascadeRouter, DecisionModel, HotpotConfig, HotpotWorkload};
+use llmdm::model::prelude::*;
 use llmdm::nlq::{ExamplePool, PromptBuilder, Workload, WorkloadConfig};
 use llmdm::obs::Report;
 use llmdm::rt::json::{Json, ToJson};
@@ -97,10 +98,15 @@ fn run_pipeline() -> llmdm::semcache::CacheStats {
     }
 
     // ---- Semantic cache in front of NL2SQL (vecdb underneath). ----
+    // The cache keys on the user question (not the full prompt), so it
+    // stays a `CachedLlm` — but the model behind it is composed with the
+    // ModelStack builder, the workspace-standard way to assemble
+    // decorator chains.
     let nlq_db = llmdm::nlq::concert_domain(SEED);
     let builder = PromptBuilder::new(ExamplePool::generate(SEED), nlq_db.schema_summary());
-    let mut cached = CachedLlm::new(
-        zoo.large(),
+    let stacked = ModelStack::tier(zoo, ModelTier::Large).with_default_retry().build_arc();
+    let mut cached = CachedLlm::new_dyn(
+        stacked,
         SemanticCache::new(CacheConfig { seed: SEED, ..Default::default() }),
         None,
     );

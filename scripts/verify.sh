@@ -29,4 +29,13 @@ BENCH_DIR="$(mktemp -d)"
 LLMDM_BENCH_FAST=1 LLMDM_BENCH_DIR="$BENCH_DIR" cargo bench --offline -p llmdm-bench --bench resil_overhead
 rm -rf "$BENCH_DIR"
 
+echo "== serving pipeline (self-validating: admission, class-pure batching, 1-worker byte-identity, sharded-cache + dollar reconciliation)"
+cargo run -q --release --offline -p llmdm --example serving_pipeline >/dev/null
+
+echo "== serve throughput bench (pins >=3x ops/sec at 8 workers vs 1 + concurrent dollar reconciliation)"
+BENCH_DIR="$(mktemp -d)"
+LLMDM_BENCH_FAST=1 LLMDM_BENCH_DIR="$BENCH_DIR" cargo bench --offline -p llmdm-bench --bench serve_throughput
+test -s "$BENCH_DIR/BENCH_serve.json" || { echo "serve_throughput emitted no BENCH_serve.json"; exit 1; }
+rm -rf "$BENCH_DIR"
+
 echo "verify: OK"

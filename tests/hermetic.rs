@@ -146,6 +146,33 @@ fn resil_crate_depends_only_on_rt_and_obs() {
 }
 
 #[test]
+fn serve_crate_depends_only_on_rt_obs_resil() {
+    // llmdm-serve is infrastructure, not domain logic: the scheduler is
+    // generic over payload/result types, so it must never grow a
+    // dependency on model, cascade, semcache, or core. Pinning it to
+    // llmdm-rt + llmdm-obs + llmdm-resil keeps every domain crate free
+    // to depend on serving without cycles.
+    let root = workspace_root();
+    let text = fs::read_to_string(root.join("crates/serve/Cargo.toml")).expect("serve manifest");
+    let mut in_deps = false;
+    for raw in text.lines() {
+        let line = raw.trim();
+        if line.starts_with('[') {
+            in_deps = line.trim_matches(['[', ']']).ends_with("dependencies");
+            continue;
+        }
+        if in_deps && !line.is_empty() && !line.starts_with('#') {
+            assert!(
+                line.starts_with("llmdm-rt")
+                    || line.starts_with("llmdm-obs")
+                    || line.starts_with("llmdm-resil"),
+                "llmdm-serve may only depend on llmdm-rt, llmdm-obs, llmdm-resil, found: {line}"
+            );
+        }
+    }
+}
+
+#[test]
 fn no_source_file_references_removed_crates() {
     // The replaced crates must not creep back in via `use` or `extern`.
     let root = workspace_root();

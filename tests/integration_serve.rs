@@ -1,0 +1,221 @@
+//! Integration tests for the serving determinism contract.
+//!
+//! `llmdm-serve`'s crate docs promise three things (see the crate-level
+//! "Determinism contract"): admission is a pure function of
+//! `(jobs, queue_capacity)`, a 1-worker run is byte-identical to a plain
+//! sequential loop, and an N-worker run produces the same per-job
+//! results. The property tests here drive those claims over *generated*
+//! workloads — arbitrary class alphabets, payloads, worker counts, and
+//! queue capacities — rather than the fixed workloads the examples use,
+//! and a model-backed test checks the contract holds through the real
+//! simulated-model call path including costs.
+
+use std::sync::Arc;
+
+use llmdm::cascade::{HotpotConfig, HotpotWorkload, QaSolver};
+use llmdm::model::prelude::*;
+use llmdm::serve::{serve, Disposition, ServeConfig, ServeError};
+use llmdm_rt::proptest;
+use llmdm_rt::proptest::prelude::*;
+use llmdm_serve::scheduler::stream_id;
+
+/// A generated job list: small class alphabet so coalescing happens.
+fn jobs_strategy() -> impl Strategy<Value = Vec<(String, u64)>> {
+    proptest::collection::vec(("[abc]", any::<u64>()), 0..48)
+}
+
+/// The pure handler every property test uses: result depends only on
+/// `(class, payload)`, as the N-worker contract requires.
+fn pure_handler(class: &str, batch: &[u64]) -> Vec<Result<String, ServeError>> {
+    batch.iter().map(|v| Ok(format!("{class}#{v:x}"))).collect()
+}
+
+proptest! {
+    /// 1-worker serving is byte-identical to a direct sequential loop,
+    /// for any job list and batch ceiling.
+    #[test]
+    fn single_worker_is_byte_identical_to_direct_loop(
+        jobs in jobs_strategy(),
+        max_batch in 1usize..10,
+        seed in any::<u64>(),
+    ) {
+        let direct: Vec<String> =
+            jobs.iter().map(|(c, v)| format!("{c}#{v:x}")).collect();
+        let cfg = ServeConfig { workers: 1, max_batch, seed, ..Default::default() };
+        let run = serve(&cfg, jobs.clone(), pure_handler);
+        prop_assert_eq!(run.stats.admitted as usize, jobs.len());
+        prop_assert_eq!(run.results.len(), jobs.len());
+        for (i, d) in run.results.iter().enumerate() {
+            let Disposition::Done(Ok(text)) = d else {
+                return Err(TestCaseError::Fail(format!("job {i} did not complete")));
+            };
+            prop_assert_eq!(text, &direct[i], "job {} diverged from the direct loop", i);
+        }
+    }
+
+    /// N workers produce the same per-job results as one worker, with
+    /// the load fully accounted for across the pool.
+    #[test]
+    fn n_workers_match_single_worker(
+        jobs in jobs_strategy(),
+        workers in 2usize..9,
+        max_batch in 1usize..10,
+    ) {
+        let base = serve(
+            &ServeConfig { workers: 1, max_batch, ..Default::default() },
+            jobs.clone(),
+            pure_handler,
+        );
+        let run = serve(
+            &ServeConfig { workers, max_batch, ..Default::default() },
+            jobs.clone(),
+            pure_handler,
+        );
+        prop_assert_eq!(&run.results, &base.results, "worker count changed the results");
+        prop_assert_eq!(run.stats.per_worker_jobs.len(), workers);
+        prop_assert_eq!(
+            run.stats.per_worker_jobs.iter().sum::<u64>(),
+            run.stats.admitted,
+            "per-worker job counts must sum to the admitted load"
+        );
+    }
+
+    /// Admission is a pure function of `(jobs, queue_capacity)`: exactly
+    /// the first `capacity` submissions are admitted, at any worker
+    /// count, and every rejection carries a retryable backpressure hint
+    /// that maps onto the model-layer transient error.
+    #[test]
+    fn admission_depends_only_on_capacity(
+        jobs in jobs_strategy(),
+        capacity in 1usize..64,
+        workers in 1usize..5,
+    ) {
+        let cfg = ServeConfig { workers, queue_capacity: capacity, ..Default::default() };
+        let run = serve(&cfg, jobs.clone(), pure_handler);
+        let admitted = jobs.len().min(capacity);
+        prop_assert_eq!(run.stats.admitted as usize, admitted);
+        prop_assert_eq!(run.stats.rejected as usize, jobs.len() - admitted);
+        for (i, d) in run.results.iter().enumerate() {
+            prop_assert_eq!(d.is_rejected(), i >= admitted, "job {}", i);
+            if let Disposition::Rejected(e) = d {
+                let ServeError::Rejected { depth, retry_after_ms } = e else {
+                    return Err(TestCaseError::Fail(format!("job {i}: unexpected {e:?}")));
+                };
+                prop_assert!(e.is_retryable());
+                prop_assert!(*depth >= capacity);
+                // The serving rejection maps cleanly onto the model
+                // layer's transient-error vocabulary.
+                let mapped = ModelError::transient(TransientKind::Unavailable, *retry_after_ms);
+                prop_assert!(mapped.is_retryable());
+                prop_assert_eq!(mapped.retry_after_ms(), Some(*retry_after_ms));
+            }
+        }
+    }
+
+    /// Stream ids depend only on `(seed, submission index)` — same seed
+    /// reproduces them, different seeds diverge somewhere.
+    #[test]
+    fn stream_ids_are_a_pure_function_of_seed_and_index(
+        seed in any::<u64>(),
+        id in 0u64..1_000_000,
+    ) {
+        prop_assert_eq!(stream_id(seed, id), stream_id(seed, id));
+        prop_assert_ne!(stream_id(seed, id), stream_id(seed.wrapping_add(1), id));
+        prop_assert_ne!(stream_id(seed, id), stream_id(seed, id.wrapping_add(1)));
+    }
+}
+
+/// The contract through the real simulated-model path: serving the zoo's
+/// large tier at 1 and 4 workers reproduces the direct loop byte for
+/// byte — text AND cost bits — and the meter bills each run identically.
+#[test]
+fn model_backed_serving_is_deterministic() {
+    const SEED: u64 = 7;
+    let zoo = ModelZoo::standard(SEED);
+    zoo.register_solver(Arc::new(QaSolver));
+    let model = ModelStack::new(&zoo).build_arc();
+    let workload =
+        HotpotWorkload::generate(HotpotConfig { n: 12, seed: SEED, ..Default::default() });
+    let jobs: Vec<(String, String)> = workload
+        .items
+        .iter()
+        .enumerate()
+        .map(|(i, item)| {
+            let class = if i % 2 == 0 { "qa-even" } else { "qa-odd" };
+            (class.to_string(), item.prompt())
+        })
+        .collect();
+
+    let direct: Vec<(String, u64)> = jobs
+        .iter()
+        .map(|(_, p)| {
+            let c = model.complete(&CompletionRequest::new(p.clone())).expect("completes");
+            (c.text, c.cost.to_bits())
+        })
+        .collect();
+    let billed_direct = zoo.meter().snapshot().total_dollars();
+    zoo.meter().reset();
+
+    for workers in [1usize, 4] {
+        let run = serve(
+            &ServeConfig { workers, max_batch: 4, seed: SEED, ..Default::default() },
+            jobs.clone(),
+            |_class: &str, batch: &[String]| {
+                batch.iter().map(|p| model.complete(&CompletionRequest::new(p.clone()))).collect()
+            },
+        );
+        for (i, d) in run.results.iter().enumerate() {
+            let Disposition::Done(Ok(c)) = d else { panic!("job {i} did not complete") };
+            assert_eq!(
+                (c.text.clone(), c.cost.to_bits()),
+                direct[i],
+                "workers={workers} job {i}: served result differs from the direct path"
+            );
+        }
+        let billed = zoo.meter().snapshot().total_dollars();
+        assert!(
+            (billed - billed_direct).abs() < 1e-12,
+            "workers={workers}: billed ${billed} != direct ${billed_direct}"
+        );
+        zoo.meter().reset();
+    }
+}
+
+/// Rejected work retried through the model layer's retry machinery:
+/// a rejection converts to `ModelError::transient`, which the stack's
+/// retry policy recognises as retryable — the intended recovery loop.
+#[test]
+fn rejection_feeds_the_retry_loop() {
+    const SEED: u64 = 7;
+    let zoo = ModelZoo::standard(SEED);
+    zoo.register_solver(Arc::new(QaSolver));
+    let model = ModelStack::new(&zoo).with_default_retry().build_arc();
+    let workload =
+        HotpotWorkload::generate(HotpotConfig { n: 8, seed: SEED, ..Default::default() });
+    let jobs: Vec<(String, String)> =
+        workload.items.iter().map(|item| ("qa".to_string(), item.prompt())).collect();
+    let run = serve(
+        &ServeConfig { workers: 2, queue_capacity: 4, seed: SEED, ..Default::default() },
+        jobs.clone(),
+        |_c: &str, batch: &[String]| {
+            batch.iter().map(|p| model.complete(&CompletionRequest::new(p.clone()))).collect()
+        },
+    );
+    // Re-submit exactly the rejected tail; it all completes now.
+    let retry_jobs: Vec<(String, String)> = run
+        .results
+        .iter()
+        .zip(&jobs)
+        .filter(|(d, _)| d.is_rejected())
+        .map(|(_, j)| j.clone())
+        .collect();
+    assert_eq!(retry_jobs.len(), 4);
+    let second = serve(
+        &ServeConfig { workers: 2, queue_capacity: 4, seed: SEED + 1, ..Default::default() },
+        retry_jobs,
+        |_c: &str, batch: &[String]| {
+            batch.iter().map(|p| model.complete(&CompletionRequest::new(p.clone()))).collect()
+        },
+    );
+    assert!(second.results.iter().all(|d| matches!(d, Disposition::Done(Ok(_)))));
+}
