@@ -48,6 +48,11 @@ fn report_from(meter_before: &UsageSnapshot, zoo: &ModelZoo, correct: usize, tot
 }
 
 /// Execute the gold SQL for each query once (the reference results).
+///
+/// Gold queries run on the *direct* (pre-planner) executor so execution
+/// accuracy is judged against an independent oracle: predicted SQL goes
+/// through the planner, gold SQL does not, and a planner bug cannot
+/// silently agree with itself on both sides of the comparison.
 fn gold_results(db: &Database, queries: &[NlQuery]) -> Vec<llmdm_sqlengine::ResultSet> {
     queries
         .iter()
@@ -55,7 +60,8 @@ fn gold_results(db: &Database, queries: &[NlQuery]) -> Vec<llmdm_sqlengine::Resu
             let stmt = llmdm_sqlengine::parse_statement(&q.gold_sql).expect("gold SQL parses");
             match stmt {
                 llmdm_sqlengine::Statement::Select(s) => {
-                    llmdm_sqlengine::exec::execute_select(db, &s).expect("gold SQL executes")
+                    llmdm_sqlengine::exec::execute_select_direct(db, &s)
+                        .expect("gold SQL executes")
                 }
                 _ => unreachable!("gold SQL is always SELECT"),
             }

@@ -1,0 +1,48 @@
+//! Cross-crate differential check: every gold SQL query the NL2SQL
+//! workload generator can emit must return bit-identical results on the
+//! sqlengine planner and on the direct-executor oracle, across several
+//! generated domains and workload seeds.
+
+use llmdm_nlq::{concert_domain, fig7_queries, Workload, WorkloadConfig};
+use llmdm_sqlengine::exec::{execute_select, execute_select_direct};
+use llmdm_sqlengine::{parse_statement, Database, Statement};
+
+fn check(db: &Database, sql: &str) {
+    let stmt = parse_statement(sql).unwrap_or_else(|e| panic!("gold SQL parse failed: {sql}: {e}"));
+    let Statement::Select(s) = stmt else { panic!("gold SQL not a SELECT: {sql}") };
+    let planned = execute_select(db, &s)
+        .unwrap_or_else(|e| panic!("planner failed on gold SQL {sql}: {e}"));
+    let direct = execute_select_direct(db, &s)
+        .unwrap_or_else(|e| panic!("direct path failed on gold SQL {sql}: {e}"));
+    assert!(
+        planned.bit_eq(&direct),
+        "planner/direct divergence on gold SQL {sql}\n planner: {planned:?}\n direct:  {direct:?}"
+    );
+}
+
+#[test]
+fn fig7_gold_queries_agree_across_domains() {
+    for domain_seed in [1, 7, 42] {
+        let db = concert_domain(domain_seed);
+        for q in fig7_queries() {
+            check(&db, &q.gold_sql);
+        }
+    }
+}
+
+#[test]
+fn generated_workload_gold_queries_agree() {
+    for seed in 0..4u64 {
+        let db = concert_domain(seed + 100);
+        let workload = Workload::generate(WorkloadConfig {
+            n: 24,
+            atom_pool: 10,
+            single_fraction: 0.5,
+            superlative_fraction: 0.4,
+            seed,
+        });
+        for q in &workload.queries {
+            check(&db, &q.gold_sql);
+        }
+    }
+}

@@ -312,6 +312,9 @@ pub struct Assignment {
 pub enum Statement {
     /// SELECT query.
     Select(SelectStmt),
+    /// `EXPLAIN SELECT …` — renders the optimized logical plan and the
+    /// physical operator tree instead of executing the query.
+    Explain(SelectStmt),
     /// `INSERT INTO t [(cols)] VALUES (…), (…)`
     Insert {
         /// Target table.

@@ -114,7 +114,10 @@ pub fn eval(expr: &Expr, env: &Env<'_>) -> Result<Value, SqlError> {
             match op {
                 UnOp::Neg => match v {
                     Value::Null => Ok(Value::Null),
-                    Value::Int(i) => Ok(Value::Int(-i)),
+                    Value::Int(i) => i
+                        .checked_neg()
+                        .map(Value::Int)
+                        .ok_or_else(|| SqlError::Exec("integer overflow in negation".into())),
                     Value::Float(f) => Ok(Value::Float(-f)),
                     other => Err(SqlError::Type(format!("cannot negate {other}"))),
                 },
@@ -296,26 +299,46 @@ pub fn eval_binop(op: BinOp, l: &Value, r: &Value) -> Result<Value, SqlError> {
                 Ok(Value::Float(v))
             }
         },
-        BinOp::And | BinOp::Or => unreachable!("logical ops handled in eval"),
+        // Handled short-circuiting in `eval`/`eval_grouped`; a typed error
+        // here keeps stray calls from panicking.
+        BinOp::And | BinOp::Or => {
+            Err(SqlError::Exec("logical operator outside boolean context".into()))
+        }
     }
 }
 
 /// SQL LIKE with `%` (any run) and `_` (any char), case-sensitive.
+///
+/// Iterative two-pointer match with single-`%` backtracking: worst case
+/// O(len(s) · len(pattern)), unlike the naive recursive formulation whose
+/// backtracking is exponential on patterns like `%a%a%a%…` (a query-text
+/// denial-of-service vector).
 pub fn like_match(s: &str, pattern: &str) -> bool {
-    fn inner(s: &[char], p: &[char]) -> bool {
-        match p.first() {
-            None => s.is_empty(),
-            Some('%') => {
-                // Try matching zero or more chars.
-                (0..=s.len()).any(|i| inner(&s[i..], &p[1..]))
-            }
-            Some('_') => !s.is_empty() && inner(&s[1..], &p[1..]),
-            Some(&c) => s.first() == Some(&c) && inner(&s[1..], &p[1..]),
-        }
-    }
     let s: Vec<char> = s.chars().collect();
     let p: Vec<char> = pattern.chars().collect();
-    inner(&s, &p)
+    let (mut si, mut pi) = (0usize, 0usize);
+    // Position after the most recent `%` and the input position it was
+    // tried at; on mismatch, retry from there consuming one more char.
+    let mut star: Option<(usize, usize)> = None;
+    while si < s.len() {
+        if pi < p.len() && (p[pi] == '_' || p[pi] == s[si]) {
+            si += 1;
+            pi += 1;
+        } else if pi < p.len() && p[pi] == '%' {
+            star = Some((pi + 1, si));
+            pi += 1;
+        } else if let Some((star_pi, star_si)) = star {
+            pi = star_pi;
+            si = star_si + 1;
+            star = Some((star_pi, star_si + 1));
+        } else {
+            return false;
+        }
+    }
+    while pi < p.len() && p[pi] == '%' {
+        pi += 1;
+    }
+    pi == p.len()
 }
 
 #[cfg(test)]
@@ -403,6 +426,13 @@ mod tests {
         assert!(!like_match("hello", "h_y%"));
         assert!(like_match("", "%"));
         assert!(!like_match("", "_"));
+        assert!(like_match("abc", "%%%c"));
+        assert!(like_match("mississippi", "%iss%pi"));
+        // Pathological backtracking input: must terminate fast, not blow up
+        // exponentially like the old recursive matcher.
+        let s = "a".repeat(2000);
+        let p = "a%".repeat(60) + "b";
+        assert!(!like_match(&s, &p));
         assert_eq!(eval_with("name LIKE 'ali%'").unwrap(), Value::Bool(true));
     }
 
@@ -433,5 +463,20 @@ mod tests {
         assert!(matches!(eval(&e, &env), Err(SqlError::AmbiguousColumn(_))));
         let q = crate::parser::parse_expr("b.x").unwrap();
         assert_eq!(eval(&q, &env).unwrap(), Value::Int(1));
+    }
+
+    #[test]
+    fn negating_i64_min_is_an_error_not_a_panic() {
+        // -(-9223372036854775808) overflows i64; lexing produces the value
+        // via unary minus on i64::MIN's literal magnitude… which itself is
+        // out of range, so build the expression programmatically.
+        let db = Database::new();
+        let scopes: Vec<Scope<'_>> = Vec::new();
+        let env = Env { scopes: &scopes, db: &db };
+        let e = Expr::Unary {
+            op: crate::ast::UnOp::Neg,
+            expr: Box::new(Expr::Literal(Value::Int(i64::MIN))),
+        };
+        assert!(matches!(eval(&e, &env), Err(SqlError::Exec(_))));
     }
 }

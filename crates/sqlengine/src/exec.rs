@@ -29,6 +29,7 @@ pub fn execute(db: &mut Database, stmt: &Statement) -> Result<ResultSet, SqlErro
             "kind",
             match stmt {
                 Statement::Select(_) => "select",
+                Statement::Explain(_) => "explain",
                 Statement::Insert { .. } => "insert",
                 Statement::Update { .. } => "update",
                 Statement::Delete { .. } => "delete",
@@ -58,6 +59,7 @@ pub fn execute(db: &mut Database, stmt: &Statement) -> Result<ResultSet, SqlErro
 fn execute_inner(db: &mut Database, stmt: &Statement) -> Result<ResultSet, SqlError> {
     match stmt {
         Statement::Select(s) => execute_select(db, s),
+        Statement::Explain(s) => crate::plan::explain_select(db, s),
         Statement::Insert { table, columns, values } => insert(db, table, columns.as_deref(), values),
         Statement::Update { table, assignments, selection } => {
             update(db, table, assignments, selection.as_ref())
@@ -207,20 +209,36 @@ fn delete(
 
 // ---------------- SELECT ----------------
 
-/// A joined intermediate row: per-FROM-item value slices plus layout.
-pub(crate) struct Joined {
+/// Table bindings for a joined row layout: aliases, schemas, and segment
+/// offsets, FROM order. Shared between the direct executor and the
+/// planner's physical operators so expression scoping is identical on
+/// both paths.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Bindings {
     /// Aliases (lowercase), FROM order.
-    aliases: Vec<String>,
+    pub(crate) aliases: Vec<String>,
     /// Schemas, FROM order.
-    schemas: Vec<Schema>,
-    /// Rows: each is the concatenation of per-table segments.
-    rows: Vec<Vec<Value>>,
+    pub(crate) schemas: Vec<Schema>,
     /// Segment start offsets per table.
-    offsets: Vec<usize>,
+    pub(crate) offsets: Vec<usize>,
 }
 
-impl Joined {
-    fn scopes<'a>(&'a self, row: &'a [Value]) -> Vec<Scope<'a>> {
+impl Bindings {
+    /// Append a table binding at the end of the row layout.
+    pub(crate) fn push(&mut self, alias: String, schema: Schema) {
+        let offset = self.width();
+        self.offsets.push(offset);
+        self.aliases.push(alias);
+        self.schemas.push(schema);
+    }
+
+    /// Total row width across all bindings.
+    pub(crate) fn width(&self) -> usize {
+        self.schemas.iter().map(|s| s.len()).sum()
+    }
+
+    /// Evaluation scopes over one row laid out per this binding set.
+    pub(crate) fn scopes<'a>(&'a self, row: &'a [Value]) -> Vec<Scope<'a>> {
         self.aliases
             .iter()
             .enumerate()
@@ -231,10 +249,58 @@ impl Joined {
             })
             .collect()
     }
+
+    /// Concatenate two binding sets (right segments shifted after left).
+    pub(crate) fn concat(&self, right: &Bindings) -> Bindings {
+        let mut out = self.clone();
+        for (alias, schema) in right.aliases.iter().zip(&right.schemas) {
+            out.push(alias.clone(), schema.clone());
+        }
+        out
+    }
 }
 
-/// Execute a SELECT (read-only).
+/// A joined intermediate row set: layout plus materialized rows.
+pub(crate) struct Joined {
+    bindings: Bindings,
+    rows: Vec<Vec<Value>>,
+}
+
+thread_local! {
+    /// When set, `execute_select` takes the legacy direct path — including
+    /// for subqueries, which re-enter `execute_select`. Installed (RAII)
+    /// by [`execute_select_direct`] so the whole statement tree stays on
+    /// the oracle path.
+    static FORCE_DIRECT: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Execute a SELECT (read-only) through the query planner: AST → logical
+/// plan → rule-based rewrites → Volcano physical iterators (see
+/// [`crate::plan`]). The pre-planner direct executor is kept as the
+/// differential-testing oracle behind [`execute_select_direct`].
 pub fn execute_select(db: &Database, stmt: &SelectStmt) -> Result<ResultSet, SqlError> {
+    if FORCE_DIRECT.with(|f| f.get()) {
+        return execute_select_direct_inner(db, stmt);
+    }
+    crate::plan::execute_select_planned(db, stmt)
+}
+
+/// Execute a SELECT on the legacy direct-walk path. This is the
+/// differential-testing oracle: subqueries inside `stmt` also stay on the
+/// direct path (via a thread-local flag), so a whole statement tree can be
+/// compared against the planner byte for byte.
+pub fn execute_select_direct(db: &Database, stmt: &SelectStmt) -> Result<ResultSet, SqlError> {
+    struct Restore(bool);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            FORCE_DIRECT.with(|f| f.set(self.0));
+        }
+    }
+    let _restore = Restore(FORCE_DIRECT.with(|f| f.replace(true)));
+    execute_select_direct_inner(db, stmt)
+}
+
+fn execute_select_direct_inner(db: &Database, stmt: &SelectStmt) -> Result<ResultSet, SqlError> {
     let mut rs = execute_core(db, stmt)?;
     // Set operation chain.
     if let Some((op, all, rhs)) = &stmt.set_op {
@@ -253,28 +319,32 @@ pub fn execute_select(db: &Database, stmt: &SelectStmt) -> Result<ResultSet, Sql
     // count projected) are handled by re-running the core with the keys
     // appended as hidden projections, sorting, then stripping them.
     if !stmt.order_by.is_empty() {
-        if let Err(first_err) = sort_output(db, &mut rs, stmt) {
+        if let Err(first_err) = sort_output(&mut rs, stmt) {
             if stmt.set_op.is_none() && !stmt.distinct {
+                order_keys_executable(stmt)?;
                 let mut widened = stmt.clone();
                 let visible = rs.columns.len();
-                for (i, k) in stmt.order_by.iter().enumerate() {
+                for k in &stmt.order_by {
+                    // Hidden sort keys are positional — no alias, so they
+                    // can never collide with user columns named `__sortN`.
                     widened.projections.push(SelectItem::Expr {
                         expr: k.expr.clone(),
-                        alias: Some(format!("__sort{i}")),
+                        alias: None,
                     });
                 }
                 let mut wide = execute_core(db, &widened)?;
-                wide.rows.sort_by(|a, b| {
-                    for (i, k) in stmt.order_by.iter().enumerate() {
-                        let idx = visible + i;
-                        let o = a[idx].total_cmp(&b[idx]);
-                        let o = if k.desc { o.reverse() } else { o };
-                        if o != std::cmp::Ordering::Equal {
-                            return o;
-                        }
-                    }
-                    std::cmp::Ordering::Equal
-                });
+                if wide.columns.len() != visible + stmt.order_by.len() {
+                    return Err(SqlError::Exec(
+                        "hidden ORDER BY projection misaligned with output".into(),
+                    ));
+                }
+                let keys: Vec<(usize, bool)> = stmt
+                    .order_by
+                    .iter()
+                    .enumerate()
+                    .map(|(i, k)| (visible + i, k.desc))
+                    .collect();
+                sort_rows(&mut wide.rows, &keys);
                 for row in &mut wide.rows {
                     row.truncate(visible);
                 }
@@ -296,13 +366,41 @@ pub fn execute_select(db: &Database, stmt: &SelectStmt) -> Result<ResultSet, Sql
     Ok(rs)
 }
 
+/// Does the SELECT core aggregate (GROUP BY, an aggregate projection, or
+/// an aggregate HAVING)?
+pub(crate) fn has_aggregate_core(stmt: &SelectStmt) -> bool {
+    !stmt.group_by.is_empty()
+        || stmt.projections.iter().any(|p| match p {
+            SelectItem::Expr { expr, .. } => expr.contains_aggregate(),
+            _ => false,
+        })
+        || stmt.having.as_ref().is_some_and(|h| h.contains_aggregate())
+}
+
+/// The hidden-projection ORDER BY fallback is only sound when appending a
+/// key to the projection list cannot change the query's shape: an
+/// aggregate key over a non-aggregate core would silently collapse the
+/// whole SELECT into a one-row global aggregate, so it is rejected with a
+/// typed error instead.
+pub(crate) fn order_keys_executable(stmt: &SelectStmt) -> Result<(), SqlError> {
+    if !has_aggregate_core(stmt) {
+        if let Some(k) = stmt.order_by.iter().find(|k| k.expr.contains_aggregate()) {
+            return Err(SqlError::Exec(format!(
+                "ORDER BY {} requires GROUP BY or an aggregate projection",
+                crate::printer::print_expr(&k.expr)
+            )));
+        }
+    }
+    Ok(())
+}
+
 /// Execute ignoring ORDER BY/LIMIT of the *inner* statement (used for set
 /// operation right-hand sides whose ordering is irrelevant).
 fn execute_select_no_order(db: &Database, stmt: &SelectStmt) -> Result<ResultSet, SqlError> {
     execute_select(db, stmt)
 }
 
-fn apply_set_op(op: SetOp, all: bool, left: Vec<Row>, right: Vec<Row>) -> Vec<Row> {
+pub(crate) fn apply_set_op(op: SetOp, all: bool, left: Vec<Row>, right: Vec<Row>) -> Vec<Row> {
     match op {
         SetOp::Union => {
             let mut rows = left;
@@ -345,7 +443,7 @@ fn apply_set_op(op: SetOp, all: bool, left: Vec<Row>, right: Vec<Row>) -> Vec<Ro
     }
 }
 
-fn dedup_rows(rows: &mut Vec<Row>) {
+pub(crate) fn dedup_rows(rows: &mut Vec<Row>) {
     rows.sort_by(cmp_rows);
     rows.dedup_by(|a, b| cmp_rows(a, b) == std::cmp::Ordering::Equal);
 }
@@ -383,7 +481,7 @@ fn execute_core(db: &Database, stmt: &SelectStmt) -> Result<ResultSet, SqlError>
         let keep = match &stmt.selection {
             None => true,
             Some(pred) => {
-                let scopes = joined.scopes(row);
+                let scopes = joined.bindings.scopes(row);
                 eval(pred, &Env { scopes: &scopes, db })?.is_truthy()
             }
         };
@@ -392,12 +490,7 @@ fn execute_core(db: &Database, stmt: &SelectStmt) -> Result<ResultSet, SqlError>
         }
     }
 
-    let has_agg = !stmt.group_by.is_empty()
-        || stmt.projections.iter().any(|p| match p {
-            SelectItem::Expr { expr, .. } => expr.contains_aggregate(),
-            _ => false,
-        })
-        || stmt.having.as_ref().is_some_and(|h| h.contains_aggregate());
+    let has_agg = has_aggregate_core(stmt);
 
     if span.is_recording() {
         span.field("rows_joined", joined.rows.len());
@@ -424,22 +517,14 @@ fn execute_core(db: &Database, stmt: &SelectStmt) -> Result<ResultSet, SqlError>
 
 /// Build the joined row set for a FROM clause.
 fn build_from(db: &Database, from: &[FromItem]) -> Result<Joined, SqlError> {
-    let mut joined = Joined {
-        aliases: Vec::new(),
-        schemas: Vec::new(),
-        rows: vec![Vec::new()],
-        offsets: Vec::new(),
-    };
+    let mut joined = Joined { bindings: Bindings::default(), rows: vec![Vec::new()] };
     for item in from {
         let table = db.table(&item.table)?;
         let alias = item.alias.clone().unwrap_or_else(|| table.name.clone()).to_lowercase();
-        if joined.aliases.contains(&alias) {
+        if joined.bindings.aliases.contains(&alias) {
             return Err(SqlError::Exec(format!("duplicate table alias {alias}")));
         }
-        let offset = joined.schemas.iter().map(|s| s.len()).sum();
-        joined.offsets.push(offset);
-        joined.aliases.push(alias);
-        joined.schemas.push(table.schema.clone());
+        joined.bindings.push(alias, table.schema.clone());
 
         let mut next_rows = Vec::new();
         match &item.join {
@@ -452,7 +537,7 @@ fn build_from(db: &Database, from: &[FromItem]) -> Result<Joined, SqlError> {
                         let keep = match cond {
                             None => true,
                             Some(c) => {
-                                let scopes = joined.scopes(&combined);
+                                let scopes = joined.bindings.scopes(&combined);
                                 eval(c, &Env { scopes: &scopes, db })?.is_truthy()
                             }
                         };
@@ -468,7 +553,7 @@ fn build_from(db: &Database, from: &[FromItem]) -> Result<Joined, SqlError> {
                     for right in &table.rows {
                         let mut combined = left.clone();
                         combined.extend(right.iter().cloned());
-                        let scopes = joined.scopes(&combined);
+                        let scopes = joined.bindings.scopes(&combined);
                         if eval(cond, &Env { scopes: &scopes, db })?.is_truthy() {
                             matched = true;
                             next_rows.push(combined);
@@ -492,9 +577,11 @@ fn build_from(db: &Database, from: &[FromItem]) -> Result<Joined, SqlError> {
 }
 
 /// Output column name for a projected expression.
-fn output_name(item: &SelectItem, idx: usize) -> String {
+pub(crate) fn output_name(item: &SelectItem, idx: usize) -> String {
     match item {
-        SelectItem::Wildcard | SelectItem::QualifiedWildcard(_) => unreachable!("expanded earlier"),
+        // Wildcards are expanded before naming; a stray one gets a
+        // positional name rather than a panic.
+        SelectItem::Wildcard | SelectItem::QualifiedWildcard(_) => format!("col{idx}"),
         SelectItem::Expr { expr, alias } => {
             if let Some(a) = alias {
                 return a.to_lowercase();
@@ -519,15 +606,15 @@ fn output_name(item: &SelectItem, idx: usize) -> String {
 }
 
 /// Expand wildcards into explicit column expressions.
-fn expand_projections(
+pub(crate) fn expand_projections(
     stmt: &SelectStmt,
-    joined: &Joined,
+    bindings: &Bindings,
 ) -> Result<Vec<SelectItem>, SqlError> {
     let mut out = Vec::new();
     for item in &stmt.projections {
         match item {
             SelectItem::Wildcard => {
-                for (alias, schema) in joined.aliases.iter().zip(&joined.schemas) {
+                for (alias, schema) in bindings.aliases.iter().zip(&bindings.schemas) {
                     for c in schema.columns() {
                         out.push(SelectItem::Expr {
                             expr: Expr::qcol(alias, &c.name),
@@ -538,12 +625,12 @@ fn expand_projections(
             }
             SelectItem::QualifiedWildcard(q) => {
                 let q = q.to_lowercase();
-                let idx = joined
+                let idx = bindings
                     .aliases
                     .iter()
                     .position(|a| *a == q)
                     .ok_or_else(|| SqlError::UnknownTable(q.clone()))?;
-                for c in joined.schemas[idx].columns() {
+                for c in bindings.schemas[idx].columns() {
                     out.push(SelectItem::Expr {
                         expr: Expr::qcol(&q, &c.name),
                         alias: Some(c.name.clone()),
@@ -559,46 +646,60 @@ fn expand_projections(
     Ok(out)
 }
 
+/// Project one row through expanded (wildcard-free) select items.
+pub(crate) fn project_row(
+    db: &Database,
+    bindings: &Bindings,
+    items: &[SelectItem],
+    row: &[Value],
+) -> Result<Row, SqlError> {
+    let scopes = bindings.scopes(row);
+    let env = Env { scopes: &scopes, db };
+    let mut projected = Vec::with_capacity(items.len());
+    for item in items {
+        let SelectItem::Expr { expr, .. } = item else {
+            return Err(SqlError::Exec("unexpanded wildcard in projection".into()));
+        };
+        projected.push(eval(expr, &env)?);
+    }
+    Ok(projected)
+}
+
 fn plain_project(
     db: &Database,
     stmt: &SelectStmt,
     joined: &Joined,
     rows: &[Vec<Value>],
 ) -> Result<(Vec<String>, Vec<Row>), SqlError> {
-    let items = expand_projections(stmt, joined)?;
+    let items = expand_projections(stmt, &joined.bindings)?;
     let columns: Vec<String> =
         items.iter().enumerate().map(|(i, it)| output_name(it, i)).collect();
     let mut out = Vec::with_capacity(rows.len());
     for row in rows {
-        let scopes = joined.scopes(row);
-        let env = Env { scopes: &scopes, db };
-        let mut projected = Vec::with_capacity(items.len());
-        for item in &items {
-            let SelectItem::Expr { expr, .. } = item else { unreachable!() };
-            projected.push(eval(expr, &env)?);
-        }
-        out.push(projected);
+        out.push(project_row(db, &joined.bindings, &items, row)?);
     }
     Ok((columns, out))
 }
 
-fn aggregate_project(
+/// Group `rows` by `group_by` keys (first-seen order, [`Value::group_eq`]
+/// equality), apply HAVING, and project each surviving group through
+/// `items`. Shared by the direct executor's aggregate path and the
+/// planner's Aggregate operator.
+pub(crate) fn aggregate_rows(
     db: &Database,
-    stmt: &SelectStmt,
-    joined: &Joined,
+    bindings: &Bindings,
+    group_by: &[Expr],
+    having: Option<&Expr>,
+    items: &[SelectItem],
     rows: Vec<Vec<Value>>,
-) -> Result<(Vec<String>, Vec<Row>), SqlError> {
-    let items = expand_projections(stmt, joined)?;
-    let columns: Vec<String> =
-        items.iter().enumerate().map(|(i, it)| output_name(it, i)).collect();
-
+) -> Result<Vec<Row>, SqlError> {
     // Group rows by the GROUP BY key.
     let mut groups: Vec<(Vec<Value>, Vec<Vec<Value>>)> = Vec::new();
     for row in rows {
         let key: Vec<Value> = {
-            let scopes = joined.scopes(&row);
+            let scopes = bindings.scopes(&row);
             let env = Env { scopes: &scopes, db };
-            stmt.group_by.iter().map(|e| eval(e, &env)).collect::<Result<_, _>>()?
+            group_by.iter().map(|e| eval(e, &env)).collect::<Result<_, _>>()?
         };
         match groups
             .iter_mut()
@@ -609,26 +710,48 @@ fn aggregate_project(
         }
     }
     // Global aggregate over empty input still yields one group.
-    if groups.is_empty() && stmt.group_by.is_empty() {
+    if groups.is_empty() && group_by.is_empty() {
         groups.push((Vec::new(), Vec::new()));
     }
 
     let mut out = Vec::with_capacity(groups.len());
     for (_, group_rows) in &groups {
         // HAVING.
-        if let Some(h) = &stmt.having {
-            let v = eval_grouped(h, group_rows, joined, db)?;
+        if let Some(h) = having {
+            let v = eval_grouped(h, group_rows, bindings, db)?;
             if !v.is_truthy() {
                 continue;
             }
         }
         let mut projected = Vec::with_capacity(items.len());
-        for item in &items {
-            let SelectItem::Expr { expr, .. } = item else { unreachable!() };
-            projected.push(eval_grouped(expr, group_rows, joined, db)?);
+        for item in items {
+            let SelectItem::Expr { expr, .. } = item else {
+                return Err(SqlError::Exec("unexpanded wildcard in projection".into()));
+            };
+            projected.push(eval_grouped(expr, group_rows, bindings, db)?);
         }
         out.push(projected);
     }
+    Ok(out)
+}
+
+fn aggregate_project(
+    db: &Database,
+    stmt: &SelectStmt,
+    joined: &Joined,
+    rows: Vec<Vec<Value>>,
+) -> Result<(Vec<String>, Vec<Row>), SqlError> {
+    let items = expand_projections(stmt, &joined.bindings)?;
+    let columns: Vec<String> =
+        items.iter().enumerate().map(|(i, it)| output_name(it, i)).collect();
+    let out = aggregate_rows(
+        db,
+        &joined.bindings,
+        &stmt.group_by,
+        stmt.having.as_ref(),
+        &items,
+        rows,
+    )?;
     Ok((columns, out))
 }
 
@@ -637,7 +760,7 @@ fn aggregate_project(
 pub(crate) fn eval_grouped(
     expr: &Expr,
     group_rows: &[Vec<Value>],
-    joined: &Joined,
+    bindings: &Bindings,
     db: &Database,
 ) -> Result<Value, SqlError> {
     match expr {
@@ -647,7 +770,7 @@ pub(crate) fn eval_grouped(
                 match arg {
                     None => vals.push(Value::Int(1)), // COUNT(*)
                     Some(e) => {
-                        let scopes = joined.scopes(row);
+                        let scopes = bindings.scopes(row);
                         vals.push(eval(e, &Env { scopes: &scopes, db })?);
                     }
                 }
@@ -663,10 +786,10 @@ pub(crate) fn eval_grouped(
         }
         Expr::Binary { op, left, right } => {
             use crate::ast::BinOp;
-            let l = eval_grouped(left, group_rows, joined, db)?;
+            let l = eval_grouped(left, group_rows, bindings, db)?;
             match op {
                 BinOp::And | BinOp::Or => {
-                    let r = eval_grouped(right, group_rows, joined, db)?;
+                    let r = eval_grouped(right, group_rows, bindings, db)?;
                     // Reuse scalar logic by building literal expressions.
                     let e = Expr::Binary {
                         op: *op,
@@ -677,13 +800,13 @@ pub(crate) fn eval_grouped(
                     eval(&e, &Env { scopes: &scopes, db })
                 }
                 _ => {
-                    let r = eval_grouped(right, group_rows, joined, db)?;
+                    let r = eval_grouped(right, group_rows, bindings, db)?;
                     crate::eval::eval_binop(*op, &l, &r)
                 }
             }
         }
         Expr::Unary { op, expr } => {
-            let v = eval_grouped(expr, group_rows, joined, db)?;
+            let v = eval_grouped(expr, group_rows, bindings, db)?;
             let e = Expr::Unary { op: *op, expr: Box::new(Expr::Literal(v)) };
             let scopes: Vec<Scope<'_>> = Vec::new();
             eval(&e, &Env { scopes: &scopes, db })
@@ -693,7 +816,7 @@ pub(crate) fn eval_grouped(
             // GROUP BY keys; harmless for literals/subqueries).
             match group_rows.first() {
                 Some(row) => {
-                    let scopes = joined.scopes(row);
+                    let scopes = bindings.scopes(row);
                     eval(other, &Env { scopes: &scopes, db })
                 }
                 None => {
@@ -755,55 +878,68 @@ fn fold_aggregate(func: AggFunc, vals: &[Value]) -> Result<Value, SqlError> {
     }
 }
 
+/// Resolve one ORDER BY key against output column names: by (unqualified)
+/// name, by 1-based ordinal, or by an aggregate's generated output name.
+/// Shared by the direct executor and the planner's Sort lowering so both
+/// paths accept and reject exactly the same keys.
+pub(crate) fn resolve_order_key(
+    columns: &[String],
+    k: &crate::ast::OrderKey,
+) -> Result<usize, SqlError> {
+    match &k.expr {
+        Expr::Column { qualifier: _, name } => columns
+            .iter()
+            .position(|c| c.eq_ignore_ascii_case(name))
+            .ok_or_else(|| SqlError::UnknownColumn(format!("ORDER BY {name}"))),
+        Expr::Literal(Value::Int(i)) if *i >= 1 && (*i as usize) <= columns.len() => {
+            Ok((*i - 1) as usize)
+        }
+        Expr::Aggregate { .. } => {
+            // ORDER BY COUNT(*) etc: find a matching output column.
+            let name =
+                output_name(&SelectItem::Expr { expr: k.expr.clone(), alias: None }, 0);
+            columns
+                .iter()
+                .position(|c| c.eq_ignore_ascii_case(&name))
+                .ok_or_else(|| {
+                    SqlError::Exec(format!(
+                        "ORDER BY aggregate {name} must appear in the projection"
+                    ))
+                })
+        }
+        other => Err(SqlError::Exec(format!(
+            "unsupported ORDER BY expression {other:?}; project it first"
+        ))),
+    }
+}
+
+/// Compare two rows on `(column index, descending)` ORDER BY keys with
+/// [`Value::order_cmp`] (NULLS LAST ascending / NULLS FIRST descending).
+pub(crate) fn cmp_rows_on(a: &[Value], b: &[Value], keys: &[(usize, bool)]) -> std::cmp::Ordering {
+    for &(idx, desc) in keys {
+        let o = a[idx].order_cmp(&b[idx]);
+        let o = if desc { o.reverse() } else { o };
+        if o != std::cmp::Ordering::Equal {
+            return o;
+        }
+    }
+    std::cmp::Ordering::Equal
+}
+
+/// Stable-sort rows on `(column index, descending)` ORDER BY keys.
+pub(crate) fn sort_rows(rows: &mut [Row], keys: &[(usize, bool)]) {
+    rows.sort_by(|a, b| cmp_rows_on(a, b, keys));
+}
+
 /// Sort the final output by the statement's ORDER BY keys. Keys may
 /// reference output columns (by name or alias); other expressions are
 /// unsupported after projection and reported as errors.
-fn sort_output(db: &Database, rs: &mut ResultSet, stmt: &SelectStmt) -> Result<(), SqlError> {
-    let _ = db;
+fn sort_output(rs: &mut ResultSet, stmt: &SelectStmt) -> Result<(), SqlError> {
     let mut keys: Vec<(usize, bool)> = Vec::with_capacity(stmt.order_by.len());
     for k in &stmt.order_by {
-        let idx = match &k.expr {
-            Expr::Column { qualifier: _, name } => rs
-                .columns
-                .iter()
-                .position(|c| c.eq_ignore_ascii_case(name))
-                .ok_or_else(|| SqlError::UnknownColumn(format!("ORDER BY {name}")))?,
-            Expr::Literal(Value::Int(i)) if *i >= 1 && (*i as usize) <= rs.columns.len() => {
-                (*i - 1) as usize
-            }
-            Expr::Aggregate { .. } => {
-                // ORDER BY COUNT(*) etc: find a matching output column.
-                let name = output_name(
-                    &SelectItem::Expr { expr: k.expr.clone(), alias: None },
-                    0,
-                );
-                rs.columns
-                    .iter()
-                    .position(|c| c.eq_ignore_ascii_case(&name))
-                    .ok_or_else(|| {
-                        SqlError::Exec(format!(
-                            "ORDER BY aggregate {name} must appear in the projection"
-                        ))
-                    })?
-            }
-            other => {
-                return Err(SqlError::Exec(format!(
-                    "unsupported ORDER BY expression {other:?}; project it first"
-                )))
-            }
-        };
-        keys.push((idx, k.desc));
+        keys.push((resolve_order_key(&rs.columns, k)?, k.desc));
     }
-    rs.rows.sort_by(|a, b| {
-        for &(idx, desc) in &keys {
-            let o = a[idx].total_cmp(&b[idx]);
-            let o = if desc { o.reverse() } else { o };
-            if o != std::cmp::Ordering::Equal {
-                return o;
-            }
-        }
-        std::cmp::Ordering::Equal
-    });
+    sort_rows(&mut rs.rows, &keys);
     Ok(())
 }
 
@@ -1132,5 +1268,88 @@ mod tests {
             .unwrap();
         assert_eq!(rs.rows.len(), 2);
         assert_eq!(rs.rows[0], vec![Value::Int(2014), Value::Int(3)]);
+    }
+
+    /// A fixture with NULL sort keys and mixed Int/Float keys.
+    fn nullable_db() -> Database {
+        let mut db = Database::new();
+        db.execute("CREATE TABLE t (id INT, score FLOAT)").unwrap();
+        db.execute(
+            "INSERT INTO t VALUES (1, 2.5), (2, NULL), (3, 1.0), (4, NULL), (5, 3)",
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn order_by_nulls_last_ascending() {
+        let mut db = nullable_db();
+        let rs = db.query("SELECT id, score FROM t ORDER BY score").unwrap();
+        let ids: Vec<_> = rs.rows.iter().map(|r| r[0].clone()).collect();
+        // Non-NULL ascending (mixed Int/Float compare numerically), then
+        // NULLs last in input order (stable sort).
+        assert_eq!(
+            ids,
+            vec![Value::Int(3), Value::Int(1), Value::Int(5), Value::Int(2), Value::Int(4)]
+        );
+    }
+
+    #[test]
+    fn order_by_nulls_first_descending() {
+        let mut db = nullable_db();
+        let rs = db.query("SELECT id, score FROM t ORDER BY score DESC").unwrap();
+        let ids: Vec<_> = rs.rows.iter().map(|r| r[0].clone()).collect();
+        assert_eq!(
+            ids,
+            vec![Value::Int(2), Value::Int(4), Value::Int(5), Value::Int(1), Value::Int(3)]
+        );
+    }
+
+    #[test]
+    fn order_by_unprojected_column_with_user_sort0_alias() {
+        // A user column literally named `__sort0` must not collide with the
+        // hidden ORDER BY projection (which is positional, not named).
+        let mut db = concert_db();
+        let rs = db
+            .query("SELECT name AS __sort0 FROM stadium ORDER BY capacity DESC LIMIT 1")
+            .unwrap();
+        assert_eq!(rs.columns, vec!["__sort0"]);
+        assert_eq!(rs.rows.len(), 1);
+        assert_eq!(rs.rows[0][0], Value::Str("Eagle Arena".into()));
+    }
+
+    #[test]
+    fn order_by_unprojected_plain_column() {
+        let mut db = concert_db();
+        let rs = db.query("SELECT name FROM stadium ORDER BY capacity").unwrap();
+        assert_eq!(rs.columns, vec!["name"]);
+        assert_eq!(rs.rows[0][0], Value::Str("Metro Field".into()));
+        assert_eq!(rs.rows[3][0], Value::Str("Eagle Arena".into()));
+    }
+
+    #[test]
+    fn order_by_aggregate_on_non_aggregate_core_is_typed_error() {
+        // Legacy behavior silently collapsed the SELECT into a one-row
+        // global aggregate; now it is a typed error on both paths.
+        let mut db = concert_db();
+        let planned = db.query("SELECT name FROM stadium ORDER BY COUNT(*)");
+        assert!(matches!(planned, Err(SqlError::Exec(_))), "{planned:?}");
+        let stmt = crate::parser::parse_statement("SELECT name FROM stadium ORDER BY COUNT(*)")
+            .unwrap();
+        let Statement::Select(sel) = stmt else { panic!("not a select") };
+        let direct = execute_select_direct(&db, &sel);
+        assert!(matches!(direct, Err(SqlError::Exec(_))), "{direct:?}");
+    }
+
+    #[test]
+    fn direct_oracle_matches_planner_on_subqueries() {
+        let mut db = concert_db();
+        let sql = "SELECT name FROM stadium WHERE stadium_id IN \
+                   (SELECT stadium_id FROM concert WHERE year = 2015) ORDER BY name";
+        let planned = db.query(sql).unwrap();
+        let stmt = crate::parser::parse_statement(sql).unwrap();
+        let Statement::Select(sel) = stmt else { panic!("not a select") };
+        let direct = execute_select_direct(&db, &sel).unwrap();
+        assert!(planned.bit_eq(&direct));
     }
 }

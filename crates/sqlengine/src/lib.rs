@@ -40,6 +40,7 @@ pub mod eval;
 pub mod exec;
 pub mod lexer;
 pub mod parser;
+pub(crate) mod plan;
 pub mod printer;
 pub mod result;
 pub mod schema;

@@ -11,7 +11,7 @@ use crate::value::{DataType, Value};
 /// Parse a single SQL statement (trailing `;` allowed).
 pub fn parse_statement(sql: &str) -> Result<Statement, SqlError> {
     let toks = lex(sql)?;
-    let mut p = Parser { toks, pos: 0 };
+    let mut p = Parser { toks, pos: 0, depth: 0 };
     let stmt = p.statement()?;
     p.eat_symbol(Sym::Semicolon);
     if !p.at_end() {
@@ -23,7 +23,7 @@ pub fn parse_statement(sql: &str) -> Result<Statement, SqlError> {
 /// Parse a `;`-separated script into statements.
 pub fn parse_script(sql: &str) -> Result<Vec<Statement>, SqlError> {
     let toks = lex(sql)?;
-    let mut p = Parser { toks, pos: 0 };
+    let mut p = Parser { toks, pos: 0, depth: 0 };
     let mut out = Vec::new();
     while !p.at_end() {
         if p.eat_symbol(Sym::Semicolon) {
@@ -41,7 +41,7 @@ pub fn parse_script(sql: &str) -> Result<Vec<Statement>, SqlError> {
 /// crates to validate generated predicates).
 pub fn parse_expr(input: &str) -> Result<Expr, SqlError> {
     let toks = lex(input)?;
-    let mut p = Parser { toks, pos: 0 };
+    let mut p = Parser { toks, pos: 0, depth: 0 };
     let e = p.expr()?;
     if !p.at_end() {
         return Err(SqlError::Parse("trailing tokens after expression".into()));
@@ -57,10 +57,21 @@ const RESERVED: &[&str] = &[
     "EXISTS", "CROSS",
 ];
 
+/// Maximum nesting depth for expressions and set-operation chains. The
+/// parser is recursive-descent, so unbounded nesting in query text (e.g.
+/// thousands of `(`, `NOT`, or `-` in a row) would overflow the stack —
+/// which `catch_unwind` cannot catch. The guard turns that into a typed
+/// parse error instead. One parenthesized level costs the full
+/// precedence-chain of stack frames (~10), so the cap is sized to fit a
+/// debug-build test-thread stack (2 MiB) with plenty of headroom.
+const MAX_DEPTH: usize = 48;
+
 #[allow(clippy::wrong_self_convention)] // `from_clause` parses the SQL FROM clause
 struct Parser {
     toks: Vec<Token>,
     pos: usize,
+    /// Current recursion depth (see [`MAX_DEPTH`]).
+    depth: usize,
 }
 
 impl Parser {
@@ -130,6 +141,23 @@ impl Parser {
             if RESERVED.iter().any(|r| s.eq_ignore_ascii_case(r)))
     }
 
+    /// Run `f` one recursion level deeper, rejecting nesting past
+    /// [`MAX_DEPTH`] with a parse error before the stack can overflow.
+    fn with_depth<T>(
+        &mut self,
+        f: impl FnOnce(&mut Self) -> Result<T, SqlError>,
+    ) -> Result<T, SqlError> {
+        if self.depth >= MAX_DEPTH {
+            return Err(SqlError::Parse(format!(
+                "nesting deeper than {MAX_DEPTH} levels"
+            )));
+        }
+        self.depth += 1;
+        let result = f(self);
+        self.depth -= 1;
+        result
+    }
+
     // ---------------- statements ----------------
 
     fn statement(&mut self) -> Result<Statement, SqlError> {
@@ -138,6 +166,10 @@ impl Parser {
         };
         if tok.is_kw("SELECT") {
             return Ok(Statement::Select(self.select()?));
+        }
+        if tok.is_kw("EXPLAIN") {
+            self.next();
+            return Ok(Statement::Explain(self.select()?));
         }
         if tok.is_kw("INSERT") {
             return self.insert();
@@ -325,7 +357,7 @@ impl Parser {
         let mut stmt = self.select_core()?;
         if let Some(op) = self.set_op() {
             let all = self.eat_kw("ALL");
-            let rhs = self.select_body()?;
+            let rhs = self.with_depth(|p| p.select_body())?;
             stmt.set_op = Some((op, all, Box::new(rhs)));
         }
         Ok(stmt)
@@ -466,7 +498,7 @@ impl Parser {
     // ---------------- expressions ----------------
 
     fn expr(&mut self) -> Result<Expr, SqlError> {
-        self.or_expr()
+        self.with_depth(|p| p.or_expr())
     }
 
     fn or_expr(&mut self) -> Result<Expr, SqlError> {
@@ -489,7 +521,7 @@ impl Parser {
 
     fn not_expr(&mut self) -> Result<Expr, SqlError> {
         if self.eat_kw("NOT") {
-            let e = self.not_expr()?;
+            let e = self.with_depth(|p| p.not_expr())?;
             return Ok(Expr::Unary { op: UnOp::Not, expr: Box::new(e) });
         }
         self.comparison()
@@ -593,7 +625,7 @@ impl Parser {
 
     fn unary(&mut self) -> Result<Expr, SqlError> {
         if self.eat_symbol(Sym::Minus) {
-            let e = self.unary()?;
+            let e = self.with_depth(|p| p.unary())?;
             return Ok(Expr::Unary { op: UnOp::Neg, expr: Box::new(e) });
         }
         self.primary()
@@ -904,5 +936,35 @@ mod tests {
     fn empty_input_rejected() {
         assert!(parse_statement("").is_err());
         assert!(parse_statement("   ").is_err());
+    }
+
+    #[test]
+    fn explain_statement() {
+        let s = parse_statement("EXPLAIN SELECT a FROM t WHERE a > 1").unwrap();
+        assert!(matches!(s, Statement::Explain(_)));
+        // EXPLAIN requires a SELECT body.
+        assert!(parse_statement("EXPLAIN INSERT INTO t VALUES (1)").is_err());
+        // And still works as a plain identifier elsewhere.
+        let s = sel("SELECT explain FROM t");
+        assert_eq!(s.projections.len(), 1);
+    }
+
+    #[test]
+    fn deep_nesting_is_a_parse_error_not_a_crash() {
+        // Parenthesized expressions.
+        let deep = format!("SELECT {}1{}", "(".repeat(4000), ")".repeat(4000));
+        assert!(matches!(parse_statement(&deep), Err(SqlError::Parse(_))));
+        // NOT chains.
+        let nots = format!("SELECT {} TRUE", "NOT ".repeat(4000));
+        assert!(matches!(parse_statement(&nots), Err(SqlError::Parse(_))));
+        // Unary minus chains.
+        let negs = format!("SELECT {}1", "-".repeat(4000));
+        assert!(matches!(parse_statement(&negs), Err(SqlError::Parse(_))));
+        // Set-operation chains.
+        let unions = vec!["SELECT 1"; 4000].join(" UNION ");
+        assert!(matches!(parse_statement(&unions), Err(SqlError::Parse(_))));
+        // Reasonable nesting still parses.
+        let ok = format!("SELECT {}1{}", "(".repeat(20), ")".repeat(20));
+        assert!(parse_statement(&ok).is_ok());
     }
 }

@@ -1,0 +1,112 @@
+//! The Volcano query planner: AST → logical plan → rewrites → physical
+//! iterators.
+//!
+//! `SELECT` execution flows through three layers:
+//!
+//! 1. **Lowering** ([`logical::lower_select`]) turns a [`SelectStmt`] into
+//!    a [`logical::LogicalPlan`] tree (`Scan`/`Filter`/`Join`/`Project`/
+//!    `Aggregate`/`Distinct`/`SetOp`/`Sort`/`Strip`/`Limit`) that mirrors
+//!    the direct executor's semantics exactly, including the hidden-key
+//!    projection used for `ORDER BY` on unprojected expressions.
+//! 2. **Rewrites** ([`rewrite::optimize`]) apply rule-based
+//!    transformations: constant folding (via the shared [`crate::eval`]
+//!    evaluator), predicate pushdown below joins, scan column pruning, and
+//!    `LIMIT` pushdown into `Sort` (top-k).
+//! 3. **Physical execution** ([`physical::run`]) builds Volcano-style
+//!    pull iterators from the optimized plan and drains the root. Filter
+//!    chains over a base table fuse into the scan so non-matching rows
+//!    are never cloned.
+//!
+//! The pre-planner executor survives as
+//! [`crate::exec::execute_select_direct`], a differential-testing oracle:
+//! every planned result can be checked bit-for-bit against it.
+//!
+//! `EXPLAIN SELECT …` renders both the optimized logical plan and the
+//! physical operator tree without executing the query.
+
+pub(crate) mod logical;
+pub(crate) mod physical;
+pub(crate) mod rewrite;
+
+pub(crate) use logical::lower_select;
+pub(crate) use rewrite::optimize;
+
+use crate::ast::SelectStmt;
+use crate::catalog::Database;
+use crate::error::SqlError;
+use crate::result::ResultSet;
+use crate::value::Value;
+
+/// Execute a SELECT through the planner: lower, optimize, run.
+pub(crate) fn execute_select_planned(
+    db: &Database,
+    stmt: &SelectStmt,
+) -> Result<ResultSet, SqlError> {
+    let plan = lower_select(db, stmt)?;
+    let plan = optimize(db, plan);
+    physical::run(db, &plan)
+}
+
+/// Execute `EXPLAIN SELECT …`: return the optimized logical plan and the
+/// physical operator tree as a one-column result set, one line per row.
+pub(crate) fn explain_select(db: &Database, stmt: &SelectStmt) -> Result<ResultSet, SqlError> {
+    let plan = lower_select(db, stmt)?;
+    let plan = optimize(db, plan);
+    let mut rows: Vec<Vec<Value>> = Vec::new();
+    rows.push(vec![Value::Str("logical:".into())]);
+    for line in logical::render(&plan) {
+        rows.push(vec![Value::Str(format!("  {line}"))]);
+    }
+    rows.push(vec![Value::Str("physical:".into())]);
+    for line in physical::render(&plan) {
+        rows.push(vec![Value::Str(format!("  {line}"))]);
+    }
+    Ok(ResultSet { columns: vec!["plan".into()], rows, affected: 0 })
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::exec::concert_db;
+
+    fn explain(db: &mut crate::catalog::Database, sql: &str) -> String {
+        let rs = db.query(sql).unwrap();
+        assert_eq!(rs.columns, vec!["plan".to_string()]);
+        rs.rows
+            .iter()
+            .map(|r| match &r[0] {
+                crate::value::Value::Str(s) => s.clone(),
+                other => panic!("non-string EXPLAIN row: {other:?}"),
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+
+    #[test]
+    fn explain_shows_logical_and_physical() {
+        let mut db = concert_db();
+        let text = explain(&mut db, "EXPLAIN SELECT name FROM stadium WHERE capacity > 1000");
+        assert!(text.contains("logical:"), "{text}");
+        assert!(text.contains("physical:"), "{text}");
+        assert!(text.contains("Scan stadium"), "{text}");
+        assert!(text.contains("ScanExec"), "{text}");
+        // The filter fuses into the scan on the physical side.
+        assert!(text.contains("predicates=1"), "{text}");
+    }
+
+    #[test]
+    fn explain_shows_topk_for_limited_sort() {
+        let mut db = concert_db();
+        let text =
+            explain(&mut db, "EXPLAIN SELECT name FROM stadium ORDER BY capacity DESC LIMIT 2");
+        assert!(text.contains("TopKExec"), "{text}");
+        assert!(text.contains("fetch=2"), "{text}");
+    }
+
+    #[test]
+    fn explain_does_not_execute() {
+        let mut db = concert_db();
+        // A query that would error at runtime still EXPLAINs fine.
+        let rs = db.query("EXPLAIN SELECT name + 1 FROM stadium");
+        assert!(rs.is_ok(), "{rs:?}");
+    }
+}

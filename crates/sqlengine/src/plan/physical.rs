@@ -1,0 +1,802 @@
+//! Volcano-style physical operators.
+//!
+//! [`build`] turns an optimized [`LogicalPlan`] into a tree of pull
+//! iterators ([`PhysOp`]); [`run`] drains the root and wraps the rows in
+//! a [`ResultSet`]. The one non-obvious construction rule: a chain of
+//! `Filter` nodes that bottoms out at a `Scan` fuses into [`ScanExec`],
+//! which evaluates the predicates against the *borrowed* stored row and
+//! only clones rows that pass — the direct executor clones the whole
+//! table up front.
+//!
+//! Execution is wrapped in an `llmdm-obs` span (`sqlengine.plan.exec`);
+//! when a recorder is active, per-operator `rows_out` counts are attached
+//! as span fields and accumulated into `sqlengine.plan.rows.<op>`
+//! counters.
+
+use std::collections::VecDeque;
+
+use crate::ast::{Expr, JoinType, SelectItem, SetOp};
+use crate::catalog::Database;
+use crate::error::SqlError;
+use crate::eval::{eval, Env};
+use crate::exec::{self, Bindings};
+use crate::result::ResultSet;
+use crate::schema::Row;
+use crate::value::Value;
+
+use super::logical::LogicalPlan;
+
+/// A pull-based operator: `next()` yields one output row at a time.
+pub(crate) trait PhysOp<'a> {
+    /// Produce the next row, or `None` when exhausted.
+    fn next(&mut self) -> Result<Option<Row>, SqlError>;
+    /// Append `(label, rows_out)` stats for this operator, then children.
+    fn stats(&self, out: &mut Vec<(String, usize)>);
+}
+
+/// Build the operator tree for a plan.
+pub(crate) fn build<'a>(
+    db: &'a Database,
+    plan: &'a LogicalPlan,
+) -> Result<Box<dyn PhysOp<'a> + 'a>, SqlError> {
+    match plan {
+        LogicalPlan::OneRow => Ok(Box::new(OneRowExec { emitted: false })),
+        LogicalPlan::Scan { .. } => build_scan(db, plan, Vec::new()),
+        LogicalPlan::Filter { input, predicate } => {
+            // Fuse Filter chains over a base scan. Predicates collected
+            // outside-in are reversed so the innermost (leftmost WHERE
+            // conjunct) evaluates first, as on the direct path.
+            let mut preds: Vec<&'a Expr> = vec![predicate];
+            let mut base: &'a LogicalPlan = input;
+            while let LogicalPlan::Filter { input, predicate } = base {
+                preds.push(predicate);
+                base = input;
+            }
+            if matches!(base, LogicalPlan::Scan { .. }) {
+                preds.reverse();
+                build_scan(db, base, preds)
+            } else {
+                Ok(Box::new(FilterExec {
+                    db,
+                    bindings: input.bindings(),
+                    input: build(db, input)?,
+                    predicate,
+                    rows_out: 0,
+                }))
+            }
+        }
+        LogicalPlan::Join { left, right, join, on } => Ok(Box::new(NLJoinExec {
+            db,
+            left_bindings: left.bindings(),
+            right_bindings: right.bindings(),
+            left: build(db, left)?,
+            right_plan: right,
+            right_rows: Vec::new(),
+            right_ready: false,
+            right_stats: Vec::new(),
+            join: *join,
+            on: on.as_ref(),
+            cur: None,
+            right_idx: 0,
+            matched: false,
+            rows_out: 0,
+        })),
+        LogicalPlan::Project { input, items, .. } => Ok(Box::new(ProjectExec {
+            db,
+            bindings: input.bindings(),
+            input: build(db, input)?,
+            items,
+            rows_out: 0,
+        })),
+        LogicalPlan::Aggregate { input, group_by, having, items, .. } => {
+            Ok(Box::new(AggregateExec {
+                db,
+                bindings: input.bindings(),
+                input: build(db, input)?,
+                group_by,
+                having: having.as_ref(),
+                items,
+                buf: VecDeque::new(),
+                done: false,
+                rows_out: 0,
+            }))
+        }
+        LogicalPlan::Distinct { input } => Ok(Box::new(DistinctExec {
+            input: build(db, input)?,
+            buf: VecDeque::new(),
+            done: false,
+            rows_out: 0,
+        })),
+        LogicalPlan::SetOp { left, right, op, all } => Ok(Box::new(SetOpExec {
+            left_cols: left.output_columns().len(),
+            right_cols: right.output_columns().len(),
+            left: build(db, left)?,
+            right: build(db, right)?,
+            op: *op,
+            all: *all,
+            buf: VecDeque::new(),
+            done: false,
+            rows_out: 0,
+        })),
+        LogicalPlan::Sort { input, keys, fetch } => Ok(Box::new(SortExec {
+            input: build(db, input)?,
+            keys,
+            fetch: *fetch,
+            buf: VecDeque::new(),
+            done: false,
+            rows_out: 0,
+        })),
+        LogicalPlan::Strip { input, keep } => Ok(Box::new(StripExec {
+            input: build(db, input)?,
+            keep: *keep,
+            rows_out: 0,
+        })),
+        LogicalPlan::Limit { input, limit, offset } => Ok(Box::new(LimitExec {
+            input: build(db, input)?,
+            limit: *limit,
+            offset: *offset,
+            skipped: 0,
+            emitted: 0,
+        })),
+    }
+}
+
+fn build_scan<'a>(
+    db: &'a Database,
+    scan: &'a LogicalPlan,
+    predicates: Vec<&'a Expr>,
+) -> Result<Box<dyn PhysOp<'a> + 'a>, SqlError> {
+    let LogicalPlan::Scan { table, alias, projection, .. } = scan else {
+        return Err(SqlError::Exec("internal: build_scan on a non-scan node".into()));
+    };
+    let t = db.table(table)?;
+    // Predicates are evaluated against the *full* stored schema so pushed
+    // conjuncts may reference pruned-away columns.
+    let mut full = Bindings::default();
+    full.push(alias.clone(), t.schema.clone());
+    Ok(Box::new(ScanExec {
+        db,
+        table: table.as_str(),
+        rows: &t.rows,
+        idx: 0,
+        full,
+        predicates,
+        projection: projection.as_deref(),
+        rows_out: 0,
+    }))
+}
+
+/// Execute a plan and collect the result set.
+pub(crate) fn run(db: &Database, plan: &LogicalPlan) -> Result<ResultSet, SqlError> {
+    let mut span = llmdm_obs::span("sqlengine.plan.exec");
+    let mut root = build(db, plan)?;
+    let mut rows: Vec<Row> = Vec::new();
+    let mut failure: Option<SqlError> = None;
+    loop {
+        match root.next() {
+            Ok(Some(r)) => rows.push(r),
+            Ok(None) => break,
+            Err(e) => {
+                failure = Some(e);
+                break;
+            }
+        }
+    }
+    if span.is_recording() {
+        let mut stats: Vec<(String, usize)> = Vec::new();
+        root.stats(&mut stats);
+        for (i, (label, n)) in stats.iter().enumerate() {
+            span.field(&format!("rows_out.{i}.{label}"), *n);
+            llmdm_obs::counter_add(&format!("sqlengine.plan.rows.{label}"), *n as f64);
+        }
+        span.field("rows_out", rows.len());
+        if failure.is_some() {
+            span.field("error", true);
+        }
+    }
+    match failure {
+        Some(e) => Err(e),
+        None => Ok(ResultSet { columns: plan.output_columns(), rows, affected: 0 }),
+    }
+}
+
+// ---------------- operators ----------------
+
+struct OneRowExec {
+    emitted: bool,
+}
+
+impl<'a> PhysOp<'a> for OneRowExec {
+    fn next(&mut self) -> Result<Option<Row>, SqlError> {
+        if self.emitted {
+            Ok(None)
+        } else {
+            self.emitted = true;
+            Ok(Some(Vec::new()))
+        }
+    }
+
+    fn stats(&self, out: &mut Vec<(String, usize)>) {
+        out.push(("onerow".into(), usize::from(self.emitted)));
+    }
+}
+
+struct ScanExec<'a> {
+    db: &'a Database,
+    table: &'a str,
+    rows: &'a [Row],
+    idx: usize,
+    full: Bindings,
+    predicates: Vec<&'a Expr>,
+    projection: Option<&'a [usize]>,
+    rows_out: usize,
+}
+
+impl<'a> PhysOp<'a> for ScanExec<'a> {
+    fn next(&mut self) -> Result<Option<Row>, SqlError> {
+        'rows: while self.idx < self.rows.len() {
+            let row = &self.rows[self.idx];
+            self.idx += 1;
+            {
+                let scopes = self.full.scopes(row);
+                let env = Env { scopes: &scopes, db: self.db };
+                for p in &self.predicates {
+                    if !eval(p, &env)?.is_truthy() {
+                        continue 'rows;
+                    }
+                }
+            }
+            let out = match self.projection {
+                None => row.clone(),
+                Some(keep) => keep.iter().map(|&i| row[i].clone()).collect(),
+            };
+            self.rows_out += 1;
+            return Ok(Some(out));
+        }
+        Ok(None)
+    }
+
+    fn stats(&self, out: &mut Vec<(String, usize)>) {
+        out.push((format!("scan.{}", self.table), self.rows_out));
+    }
+}
+
+struct FilterExec<'a> {
+    db: &'a Database,
+    bindings: Bindings,
+    input: Box<dyn PhysOp<'a> + 'a>,
+    predicate: &'a Expr,
+    rows_out: usize,
+}
+
+impl<'a> PhysOp<'a> for FilterExec<'a> {
+    fn next(&mut self) -> Result<Option<Row>, SqlError> {
+        while let Some(row) = self.input.next()? {
+            let keep = {
+                let scopes = self.bindings.scopes(&row);
+                let env = Env { scopes: &scopes, db: self.db };
+                eval(self.predicate, &env)?.is_truthy()
+            };
+            if keep {
+                self.rows_out += 1;
+                return Ok(Some(row));
+            }
+        }
+        Ok(None)
+    }
+
+    fn stats(&self, out: &mut Vec<(String, usize)>) {
+        out.push(("filter".into(), self.rows_out));
+        self.input.stats(out);
+    }
+}
+
+struct NLJoinExec<'a> {
+    db: &'a Database,
+    left_bindings: Bindings,
+    right_bindings: Bindings,
+    left: Box<dyn PhysOp<'a> + 'a>,
+    right_plan: &'a LogicalPlan,
+    /// Right side, materialized on first pull.
+    right_rows: Vec<Row>,
+    right_ready: bool,
+    right_stats: Vec<(String, usize)>,
+    join: JoinType,
+    on: Option<&'a Expr>,
+    /// Current left row being matched.
+    cur: Option<Row>,
+    right_idx: usize,
+    matched: bool,
+    rows_out: usize,
+}
+
+impl<'a> NLJoinExec<'a> {
+    fn on_matches(&self, left_row: &[Value], right_row: &[Value]) -> Result<bool, SqlError> {
+        let Some(on) = self.on else { return Ok(true) };
+        // Evaluate against both segments without cloning the combined row.
+        let mut scopes = self.left_bindings.scopes(left_row);
+        scopes.extend(self.right_bindings.scopes(right_row));
+        let env = Env { scopes: &scopes, db: self.db };
+        Ok(eval(on, &env)?.is_truthy())
+    }
+}
+
+impl<'a> PhysOp<'a> for NLJoinExec<'a> {
+    fn next(&mut self) -> Result<Option<Row>, SqlError> {
+        loop {
+            if self.cur.is_none() {
+                match self.left.next()? {
+                    Some(row) => {
+                        self.cur = Some(row);
+                        self.right_idx = 0;
+                        self.matched = false;
+                        if !self.right_ready {
+                            let mut child = build(self.db, self.right_plan)?;
+                            let mut rows = Vec::new();
+                            while let Some(r) = child.next()? {
+                                rows.push(r);
+                            }
+                            child.stats(&mut self.right_stats);
+                            self.right_rows = rows;
+                            self.right_ready = true;
+                        }
+                    }
+                    None => return Ok(None),
+                }
+            }
+            let Some(left_row) = self.cur.take() else { unreachable!() };
+            while self.right_idx < self.right_rows.len() {
+                let i = self.right_idx;
+                self.right_idx += 1;
+                if self.on_matches(&left_row, &self.right_rows[i])? {
+                    self.matched = true;
+                    let mut combined = left_row.clone();
+                    combined.extend(self.right_rows[i].iter().cloned());
+                    self.cur = Some(left_row);
+                    self.rows_out += 1;
+                    return Ok(Some(combined));
+                }
+            }
+            // Right side exhausted for this left row.
+            if self.join == JoinType::Left && !self.matched {
+                let mut combined = left_row;
+                combined
+                    .extend(std::iter::repeat_n(Value::Null, self.right_bindings.width()));
+                self.rows_out += 1;
+                return Ok(Some(combined));
+            }
+            // Inner with no match: move on to the next left row.
+        }
+    }
+
+    fn stats(&self, out: &mut Vec<(String, usize)>) {
+        out.push(("join".into(), self.rows_out));
+        self.left.stats(out);
+        out.extend(self.right_stats.iter().cloned());
+    }
+}
+
+struct ProjectExec<'a> {
+    db: &'a Database,
+    bindings: Bindings,
+    input: Box<dyn PhysOp<'a> + 'a>,
+    items: &'a [SelectItem],
+    rows_out: usize,
+}
+
+impl<'a> PhysOp<'a> for ProjectExec<'a> {
+    fn next(&mut self) -> Result<Option<Row>, SqlError> {
+        match self.input.next()? {
+            Some(row) => {
+                let out = exec::project_row(self.db, &self.bindings, self.items, &row)?;
+                self.rows_out += 1;
+                Ok(Some(out))
+            }
+            None => Ok(None),
+        }
+    }
+
+    fn stats(&self, out: &mut Vec<(String, usize)>) {
+        out.push(("project".into(), self.rows_out));
+        self.input.stats(out);
+    }
+}
+
+struct AggregateExec<'a> {
+    db: &'a Database,
+    bindings: Bindings,
+    input: Box<dyn PhysOp<'a> + 'a>,
+    group_by: &'a [Expr],
+    having: Option<&'a Expr>,
+    items: &'a [SelectItem],
+    buf: VecDeque<Row>,
+    done: bool,
+    rows_out: usize,
+}
+
+impl<'a> PhysOp<'a> for AggregateExec<'a> {
+    fn next(&mut self) -> Result<Option<Row>, SqlError> {
+        if !self.done {
+            let mut rows = Vec::new();
+            while let Some(r) = self.input.next()? {
+                rows.push(r);
+            }
+            self.buf = exec::aggregate_rows(
+                self.db,
+                &self.bindings,
+                self.group_by,
+                self.having,
+                self.items,
+                rows,
+            )?
+            .into();
+            self.done = true;
+        }
+        let row = self.buf.pop_front();
+        self.rows_out += usize::from(row.is_some());
+        Ok(row)
+    }
+
+    fn stats(&self, out: &mut Vec<(String, usize)>) {
+        out.push(("aggregate".into(), self.rows_out));
+        self.input.stats(out);
+    }
+}
+
+struct DistinctExec<'a> {
+    input: Box<dyn PhysOp<'a> + 'a>,
+    buf: VecDeque<Row>,
+    done: bool,
+    rows_out: usize,
+}
+
+impl<'a> PhysOp<'a> for DistinctExec<'a> {
+    fn next(&mut self) -> Result<Option<Row>, SqlError> {
+        if !self.done {
+            let mut rows = Vec::new();
+            while let Some(r) = self.input.next()? {
+                rows.push(r);
+            }
+            exec::dedup_rows(&mut rows);
+            self.buf = rows.into();
+            self.done = true;
+        }
+        let row = self.buf.pop_front();
+        self.rows_out += usize::from(row.is_some());
+        Ok(row)
+    }
+
+    fn stats(&self, out: &mut Vec<(String, usize)>) {
+        out.push(("distinct".into(), self.rows_out));
+        self.input.stats(out);
+    }
+}
+
+struct SetOpExec<'a> {
+    left_cols: usize,
+    right_cols: usize,
+    left: Box<dyn PhysOp<'a> + 'a>,
+    right: Box<dyn PhysOp<'a> + 'a>,
+    op: SetOp,
+    all: bool,
+    buf: VecDeque<Row>,
+    done: bool,
+    rows_out: usize,
+}
+
+impl<'a> PhysOp<'a> for SetOpExec<'a> {
+    fn next(&mut self) -> Result<Option<Row>, SqlError> {
+        if !self.done {
+            // Drain both sides *before* the arity check so error ordering
+            // matches the direct executor (which runs each side fully).
+            let mut lrows = Vec::new();
+            while let Some(r) = self.left.next()? {
+                lrows.push(r);
+            }
+            let mut rrows = Vec::new();
+            while let Some(r) = self.right.next()? {
+                rrows.push(r);
+            }
+            if self.left_cols != self.right_cols {
+                return Err(SqlError::Exec(format!(
+                    "set operation arity mismatch: {} vs {}",
+                    self.left_cols, self.right_cols
+                )));
+            }
+            self.buf = exec::apply_set_op(self.op, self.all, lrows, rrows).into();
+            self.done = true;
+        }
+        let row = self.buf.pop_front();
+        self.rows_out += usize::from(row.is_some());
+        Ok(row)
+    }
+
+    fn stats(&self, out: &mut Vec<(String, usize)>) {
+        out.push(("setop".into(), self.rows_out));
+        self.left.stats(out);
+        self.right.stats(out);
+    }
+}
+
+struct SortExec<'a> {
+    input: Box<dyn PhysOp<'a> + 'a>,
+    keys: &'a [(usize, bool)],
+    fetch: Option<usize>,
+    buf: VecDeque<Row>,
+    done: bool,
+    rows_out: usize,
+}
+
+impl<'a> PhysOp<'a> for SortExec<'a> {
+    fn next(&mut self) -> Result<Option<Row>, SqlError> {
+        if !self.done {
+            match self.fetch {
+                // Top-k: maintain a sorted prefix of at most k rows.
+                // Inserting at the *upper* bound of the equal range keeps
+                // the selection identical to a full stable sort + take(k).
+                Some(k) => {
+                    let mut top: Vec<Row> = Vec::new();
+                    while let Some(row) = self.input.next()? {
+                        // The input is still drained fully (even when
+                        // k = 0) so runtime errors below the sort surface
+                        // exactly as they do on the direct path.
+                        if k == 0 {
+                            continue;
+                        }
+                        if top.len() == k
+                            && exec::cmp_rows_on(&row, &top[k - 1], self.keys)
+                                != std::cmp::Ordering::Less
+                        {
+                            continue;
+                        }
+                        let pos = top.partition_point(|r| {
+                            exec::cmp_rows_on(r, &row, self.keys) != std::cmp::Ordering::Greater
+                        });
+                        top.insert(pos, row);
+                        top.truncate(k);
+                    }
+                    self.buf = top.into();
+                }
+                None => {
+                    let mut rows = Vec::new();
+                    while let Some(r) = self.input.next()? {
+                        rows.push(r);
+                    }
+                    exec::sort_rows(&mut rows, self.keys);
+                    self.buf = rows.into();
+                }
+            }
+            self.done = true;
+        }
+        let row = self.buf.pop_front();
+        self.rows_out += usize::from(row.is_some());
+        Ok(row)
+    }
+
+    fn stats(&self, out: &mut Vec<(String, usize)>) {
+        let label = if self.fetch.is_some() { "topk" } else { "sort" };
+        out.push((label.into(), self.rows_out));
+        self.input.stats(out);
+    }
+}
+
+struct StripExec<'a> {
+    input: Box<dyn PhysOp<'a> + 'a>,
+    keep: usize,
+    rows_out: usize,
+}
+
+impl<'a> PhysOp<'a> for StripExec<'a> {
+    fn next(&mut self) -> Result<Option<Row>, SqlError> {
+        match self.input.next()? {
+            Some(mut row) => {
+                row.truncate(self.keep);
+                self.rows_out += 1;
+                Ok(Some(row))
+            }
+            None => Ok(None),
+        }
+    }
+
+    fn stats(&self, out: &mut Vec<(String, usize)>) {
+        out.push(("strip".into(), self.rows_out));
+        self.input.stats(out);
+    }
+}
+
+struct LimitExec<'a> {
+    input: Box<dyn PhysOp<'a> + 'a>,
+    limit: Option<usize>,
+    offset: usize,
+    skipped: usize,
+    emitted: usize,
+}
+
+impl<'a> PhysOp<'a> for LimitExec<'a> {
+    fn next(&mut self) -> Result<Option<Row>, SqlError> {
+        if let Some(l) = self.limit {
+            if self.emitted >= l {
+                return Ok(None);
+            }
+        }
+        while self.skipped < self.offset {
+            match self.input.next()? {
+                Some(_) => self.skipped += 1,
+                None => return Ok(None),
+            }
+        }
+        match self.input.next()? {
+            Some(row) => {
+                self.emitted += 1;
+                Ok(Some(row))
+            }
+            None => Ok(None),
+        }
+    }
+
+    fn stats(&self, out: &mut Vec<(String, usize)>) {
+        out.push(("limit".into(), self.emitted));
+        self.input.stats(out);
+    }
+}
+
+/// Render the physical operator tree for `EXPLAIN` (a pure function of
+/// the optimized logical plan, mirroring the fusion rules in [`build`]).
+pub(crate) fn render(plan: &LogicalPlan) -> Vec<String> {
+    let mut out = Vec::new();
+    render_into(plan, 0, &mut out);
+    out
+}
+
+fn render_into(plan: &LogicalPlan, depth: usize, out: &mut Vec<String>) {
+    let pad = "  ".repeat(depth);
+    match plan {
+        LogicalPlan::OneRow => out.push(format!("{pad}OneRowExec")),
+        LogicalPlan::Scan { .. } => out.push(format!("{pad}{}", scan_line(plan, 0))),
+        LogicalPlan::Filter { input, .. } => {
+            let mut n = 1usize;
+            let mut base: &LogicalPlan = input;
+            while let LogicalPlan::Filter { input, .. } = base {
+                n += 1;
+                base = input;
+            }
+            if matches!(base, LogicalPlan::Scan { .. }) {
+                out.push(format!("{pad}{}", scan_line(base, n)));
+            } else {
+                out.push(format!("{pad}FilterExec"));
+                render_into(input, depth + 1, out);
+            }
+        }
+        LogicalPlan::Join { left, right, join, .. } => {
+            let jt = match join {
+                JoinType::Inner => "inner",
+                JoinType::Left => "left",
+            };
+            out.push(format!("{pad}NLJoinExec {jt} (right side materialized)"));
+            render_into(left, depth + 1, out);
+            render_into(right, depth + 1, out);
+        }
+        LogicalPlan::Project { input, columns, .. } => {
+            out.push(format!("{pad}ProjectExec [{}]", columns.join(", ")));
+            render_into(input, depth + 1, out);
+        }
+        LogicalPlan::Aggregate { input, columns, .. } => {
+            out.push(format!("{pad}AggregateExec -> [{}]", columns.join(", ")));
+            render_into(input, depth + 1, out);
+        }
+        LogicalPlan::Distinct { input } => {
+            out.push(format!("{pad}DistinctExec"));
+            render_into(input, depth + 1, out);
+        }
+        LogicalPlan::SetOp { left, right, op, all } => {
+            let name = match op {
+                SetOp::Union => "union",
+                SetOp::Intersect => "intersect",
+                SetOp::Except => "except",
+            };
+            let all_s = if *all { " all" } else { "" };
+            out.push(format!("{pad}SetOpExec {name}{all_s}"));
+            render_into(left, depth + 1, out);
+            render_into(right, depth + 1, out);
+        }
+        LogicalPlan::Sort { input, keys, fetch } => {
+            let keys_s: Vec<String> = keys
+                .iter()
+                .map(|(i, desc)| format!("#{i}{}", if *desc { " DESC" } else { "" }))
+                .collect();
+            match fetch {
+                Some(k) => out.push(format!(
+                    "{pad}TopKExec keys=[{}] fetch={k}",
+                    keys_s.join(", ")
+                )),
+                None => out.push(format!("{pad}SortExec keys=[{}]", keys_s.join(", "))),
+            }
+            render_into(input, depth + 1, out);
+        }
+        LogicalPlan::Strip { input, keep } => {
+            out.push(format!("{pad}StripExec keep={keep}"));
+            render_into(input, depth + 1, out);
+        }
+        LogicalPlan::Limit { input, limit, offset } => {
+            let limit_s = match limit {
+                Some(l) => format!("{l}"),
+                None => "ALL".to_string(),
+            };
+            out.push(format!("{pad}LimitExec limit={limit_s} offset={offset}"));
+            render_into(input, depth + 1, out);
+        }
+    }
+}
+
+fn scan_line(scan: &LogicalPlan, fused_predicates: usize) -> String {
+    let LogicalPlan::Scan { table, alias, schema, projection } = scan else {
+        return "ScanExec ?".to_string();
+    };
+    let alias_s = if alias == table { String::new() } else { format!(" AS {alias}") };
+    let pruned = match projection {
+        Some(_) => format!(" cols={} (pruned)", schema.len()),
+        None => String::new(),
+    };
+    format!("ScanExec {table}{alias_s} predicates={fused_predicates}{pruned}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::concert_db;
+    use crate::parser::parse_statement;
+
+    fn planned(db: &Database, sql: &str) -> ResultSet {
+        let crate::ast::Statement::Select(stmt) = parse_statement(sql).unwrap() else {
+            panic!("not a select: {sql}");
+        };
+        super::super::execute_select_planned(db, &stmt).unwrap()
+    }
+
+    #[test]
+    fn fused_scan_matches_where_semantics() {
+        let db = concert_db();
+        let rs = planned(&db, "SELECT name FROM stadium WHERE capacity > 40000");
+        assert_eq!(rs.rows.len(), 2);
+    }
+
+    #[test]
+    fn topk_matches_full_sort_prefix_with_ties() {
+        let mut db = concert_db();
+        db.execute("CREATE TABLE t (x INT, y INT)").unwrap();
+        db.execute(
+            "INSERT INTO t VALUES (1, 10), (2, 20), (1, 30), (2, 40), (1, 50), (3, 60)",
+        )
+        .unwrap();
+        let with_limit = planned(&db, "SELECT x, y FROM t ORDER BY x LIMIT 3");
+        let full = planned(&db, "SELECT x, y FROM t ORDER BY x");
+        assert_eq!(with_limit.rows, full.rows[..3].to_vec());
+    }
+
+    #[test]
+    fn left_join_pads_nulls() {
+        let db = concert_db();
+        let rs = planned(
+            &db,
+            "SELECT s.name, c.concert_id FROM stadium s \
+             LEFT JOIN concert c ON s.stadium_id = c.stadium_id \
+             WHERE c.concert_id IS NULL",
+        );
+        // Metro Field (id 4) hosts no concerts.
+        assert_eq!(rs.rows.len(), 1);
+        assert_eq!(rs.rows[0][0], Value::Str("Metro Field".into()));
+        assert_eq!(rs.rows[0][1], Value::Null);
+    }
+
+    #[test]
+    fn set_op_arity_mismatch_is_checked_after_both_sides_run() {
+        let mut db = concert_db();
+        let err = db
+            .query("SELECT name, capacity FROM stadium UNION SELECT name FROM stadium")
+            .unwrap_err();
+        assert!(
+            err.to_string().contains("set operation arity mismatch: 2 vs 1"),
+            "{err}"
+        );
+    }
+}

@@ -9,6 +9,7 @@ use crate::ast::{
 pub fn print_statement(stmt: &Statement) -> String {
     match stmt {
         Statement::Select(s) => print_select(s),
+        Statement::Explain(s) => format!("EXPLAIN {}", print_select(s)),
         Statement::Insert { table, columns, values } => {
             let cols = match columns {
                 Some(cs) => format!(" ({})", cs.join(", ")),
@@ -250,6 +251,7 @@ mod tests {
             "SELECT (SELECT MAX(x) FROM t) AS mx FROM u",
             "SELECT COUNT(DISTINCT x) FROM t",
             "SELECT * FROM a, b WHERE a.x = b.y",
+            "EXPLAIN SELECT name FROM stadium WHERE capacity > 1000 ORDER BY name LIMIT 3",
         ] {
             roundtrip_stmt(sql);
         }

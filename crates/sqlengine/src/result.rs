@@ -72,6 +72,19 @@ impl ResultSet {
                 .all(|(x, y)| cmp_rows(x, y) == std::cmp::Ordering::Equal)
     }
 
+    /// Byte-identical equality: same column names, same row order, and
+    /// every value [`Value::bit_eq`] to its counterpart. The criterion the
+    /// planner-vs-direct differential harness uses — stricter than both
+    /// [`ResultSet::bag_eq`] and [`ResultSet::ordered_eq`].
+    pub fn bit_eq(&self, other: &ResultSet) -> bool {
+        self.columns == other.columns
+            && self.affected == other.affected
+            && self.rows.len() == other.rows.len()
+            && self.rows.iter().zip(&other.rows).all(|(a, b)| {
+                a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.bit_eq(y))
+            })
+    }
+
     /// The single value of a 1×1 result, if that is the shape.
     pub fn scalar(&self) -> Option<&Value> {
         if self.rows.len() == 1 && self.rows[0].len() == 1 {

@@ -118,6 +118,38 @@ impl Value {
     pub fn group_eq(&self, other: &Value) -> bool {
         self.total_cmp(other) == Ordering::Equal
     }
+
+    /// ORDER BY comparison: NULLS LAST when ascending (so a descending
+    /// sort puts them first), non-NULL values by [`Value::total_cmp`].
+    ///
+    /// This is the one ordering both the direct executor's `sort_output`
+    /// and the planner's Sort operator use, keeping ORDER BY consistent
+    /// with itself while WHERE keeps [`Value::sql_cmp`]'s NULL
+    /// propagation.
+    pub fn order_cmp(&self, other: &Value) -> Ordering {
+        match (self.is_null(), other.is_null()) {
+            (true, true) => Ordering::Equal,
+            (true, false) => Ordering::Greater,
+            (false, true) => Ordering::Less,
+            (false, false) => self.total_cmp(other),
+        }
+    }
+
+    /// Exact representational equality: same variant, same bits (floats
+    /// compared via `to_bits`, so `1 == 1.0` is *false* here). Used by
+    /// differential tests that require byte-identical results, where the
+    /// intentionally-loose `PartialEq` (grouping semantics) would hide
+    /// Int/Float drift.
+    pub fn bit_eq(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::Null, Value::Null) => true,
+            (Value::Int(a), Value::Int(b)) => a == b,
+            (Value::Float(a), Value::Float(b)) => a.to_bits() == b.to_bits(),
+            (Value::Str(a), Value::Str(b)) => a == b,
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            _ => false,
+        }
+    }
 }
 
 /// Display renders SQL literal syntax (strings quoted).
@@ -207,6 +239,35 @@ mod tests {
         assert!(Value::Null.group_eq(&Value::Null));
         assert!(Value::Int(3).group_eq(&Value::Float(3.0)));
         assert!(!Value::Int(3).group_eq(&Value::Str("3".into())));
+    }
+
+    #[test]
+    fn order_cmp_nulls_last_ascending() {
+        let mut vals = [Value::Null, Value::Int(2), Value::Null, Value::Int(1)];
+        vals.sort_by(|a, b| a.order_cmp(b));
+        assert_eq!(vals[0], Value::Int(1));
+        assert_eq!(vals[1], Value::Int(2));
+        assert!(vals[2].is_null() && vals[3].is_null());
+        // Reversed (DESC) puts NULLs first.
+        vals.sort_by(|a, b| a.order_cmp(b).reverse());
+        assert!(vals[0].is_null() && vals[1].is_null());
+        assert_eq!(vals[2], Value::Int(2));
+    }
+
+    #[test]
+    fn order_cmp_mixed_numeric() {
+        assert_eq!(Value::Int(1).order_cmp(&Value::Float(1.5)), Ordering::Less);
+        assert_eq!(Value::Float(2.0).order_cmp(&Value::Int(2)), Ordering::Equal);
+        assert_eq!(Value::Int(3).order_cmp(&Value::Float(2.5)), Ordering::Greater);
+    }
+
+    #[test]
+    fn bit_eq_is_strict() {
+        assert!(Value::Int(1).bit_eq(&Value::Int(1)));
+        assert!(!Value::Int(1).bit_eq(&Value::Float(1.0)), "group_eq would say true");
+        assert!(Value::Null.bit_eq(&Value::Null));
+        assert!(!Value::Null.bit_eq(&Value::Int(0)));
+        assert!(Value::Float(f64::NAN).bit_eq(&Value::Float(f64::NAN)));
     }
 
     #[test]

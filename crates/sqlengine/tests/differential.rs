@@ -1,0 +1,251 @@
+//! Differential harness: every SELECT in the corpus runs on both the
+//! Volcano planner (the production path) and the pre-planner direct
+//! executor (the oracle), and the results must be **bit-identical** —
+//! same columns, same row order, same values compared with
+//! [`llmdm_sqlengine::ResultSet::bit_eq`] (floats by bit pattern).
+//!
+//! If both paths error the case passes (error *messages* may differ when
+//! a rewrite changes evaluation order); one-sided errors fail.
+
+use llmdm_sqlengine::exec::{execute_select, execute_select_direct};
+use llmdm_sqlengine::{parse_statement, Database, Statement};
+
+/// Concert/stadium fixture (the workspace-wide Spider-style schema) plus
+/// a NULL-heavy scores table and an empty table.
+fn fixture() -> Database {
+    let mut db = Database::new();
+    db.execute_script(
+        "CREATE TABLE stadium (stadium_id INT, name TEXT, capacity INT, city TEXT); \
+         CREATE TABLE concert (concert_id INT, stadium_id INT, year INT, attendance INT); \
+         CREATE TABLE sports_meeting (meeting_id INT, stadium_id INT, year INT); \
+         CREATE TABLE scores (id INT, points FLOAT, tag TEXT); \
+         CREATE TABLE vacant (id INT, x TEXT); \
+         INSERT INTO stadium VALUES \
+           (1, 'Eagle Arena', 50000, 'Springfield'), \
+           (2, 'River Dome', 30000, 'Shelbyville'), \
+           (3, 'Sun Bowl', 45000, 'Ogdenville'), \
+           (4, 'Metro Field', 20000, 'North Haverbrook'); \
+         INSERT INTO concert VALUES \
+           (10, 1, 2014, 40000), (11, 1, 2014, 42000), (12, 2, 2014, 25000), \
+           (13, 3, 2015, 30000), (14, 1, 2015, 41000); \
+         INSERT INTO sports_meeting VALUES (20, 2, 2015), (21, 3, 2015), (22, 1, 2016); \
+         INSERT INTO scores VALUES \
+           (1, 2.5, 'a'), (2, NULL, 'b'), (3, 1.0, NULL), (4, NULL, 'a'), \
+           (5, 3.0, 'c'), (6, 0.0, NULL), (7, -1.5, 'b')",
+    )
+    .unwrap();
+    db
+}
+
+fn check(db: &Database, sql: &str) {
+    let stmt = parse_statement(sql).unwrap_or_else(|e| panic!("parse failed for {sql}: {e}"));
+    let Statement::Select(s) = stmt else { panic!("not a SELECT: {sql}") };
+    let planned = execute_select(db, &s);
+    let direct = execute_select_direct(db, &s);
+    match (planned, direct) {
+        (Ok(p), Ok(d)) => assert!(
+            p.bit_eq(&d),
+            "planner/direct divergence on {sql}\n planner: {p:?}\n direct:  {d:?}"
+        ),
+        (Err(_), Err(_)) => {}
+        (p, d) => panic!("one path errored on {sql}\n planner: {p:?}\n direct:  {d:?}"),
+    }
+}
+
+fn check_all(queries: &[&str]) {
+    let db = fixture();
+    for sql in queries {
+        check(&db, sql);
+    }
+}
+
+#[test]
+fn scans_filters_and_projections() {
+    check_all(&[
+        "SELECT * FROM stadium",
+        "SELECT name FROM stadium",
+        "SELECT name, capacity FROM stadium WHERE capacity > 25000",
+        "SELECT name FROM stadium WHERE capacity > 20000 AND city != 'Springfield'",
+        "SELECT name FROM stadium WHERE capacity > 60000",
+        "SELECT capacity * 2, name FROM stadium WHERE capacity >= 30000",
+        "SELECT stadium.name FROM stadium WHERE stadium.capacity < 40000",
+        "SELECT s.* FROM stadium s WHERE s.city LIKE '%ville'",
+        "SELECT name FROM stadium WHERE capacity BETWEEN 25000 AND 46000",
+        "SELECT name FROM stadium WHERE city NOT LIKE 'S%'",
+        "SELECT name FROM stadium WHERE NOT capacity > 30000",
+        "SELECT name, capacity + 1000 AS padded FROM stadium WHERE capacity % 2 = 0",
+        "SELECT 1 + 1",
+        "SELECT 'x', 2.5, TRUE, NULL",
+        "SELECT * FROM vacant",
+        "SELECT id FROM vacant WHERE x = 'nope'",
+    ]);
+}
+
+#[test]
+fn constant_folding_cases() {
+    check_all(&[
+        "SELECT name FROM stadium WHERE 1 = 1",
+        "SELECT name FROM stadium WHERE 1 = 2",
+        "SELECT name FROM stadium WHERE FALSE AND capacity > 0",
+        "SELECT name FROM stadium WHERE TRUE OR capacity > 0",
+        "SELECT name FROM stadium WHERE capacity > 10000 + 20000",
+        "SELECT name FROM stadium WHERE capacity > 100000 / 2 - 20000",
+        "SELECT name FROM stadium WHERE 2 BETWEEN 1 AND 3 AND capacity > 25000",
+        "SELECT name FROM stadium WHERE 'abc' LIKE 'a%' AND capacity < 50000",
+        "SELECT name FROM stadium WHERE NULL IS NULL AND capacity > 0",
+    ]);
+}
+
+#[test]
+fn joins() {
+    check_all(&[
+        "SELECT s.name, c.year FROM stadium s JOIN concert c ON s.stadium_id = c.stadium_id",
+        "SELECT s.name, c.year FROM stadium s JOIN concert c ON s.stadium_id = c.stadium_id \
+         WHERE c.year = 2014",
+        "SELECT s.name FROM stadium s JOIN concert c ON s.stadium_id = c.stadium_id \
+         WHERE s.capacity > 40000 AND c.attendance > 40000",
+        "SELECT s.name, c.concert_id FROM stadium s \
+         LEFT JOIN concert c ON s.stadium_id = c.stadium_id",
+        "SELECT s.name FROM stadium s LEFT JOIN concert c ON s.stadium_id = c.stadium_id \
+         WHERE c.concert_id IS NULL",
+        "SELECT s.name FROM stadium s LEFT JOIN concert c ON s.stadium_id = c.stadium_id \
+         WHERE s.capacity < 60000",
+        "SELECT * FROM stadium, sports_meeting",
+        "SELECT s.name, m.year FROM stadium s, sports_meeting m \
+         WHERE s.stadium_id = m.stadium_id",
+        "SELECT s.name, c.year, m.year FROM stadium s \
+         JOIN concert c ON s.stadium_id = c.stadium_id \
+         JOIN sports_meeting m ON s.stadium_id = m.stadium_id",
+        "SELECT a.name, b.name FROM stadium a JOIN stadium b ON a.capacity < b.capacity",
+        "SELECT s.name FROM stadium s JOIN concert c ON TRUE WHERE c.year = 2015",
+    ]);
+}
+
+#[test]
+fn aggregates_and_grouping() {
+    check_all(&[
+        "SELECT COUNT(*) FROM concert",
+        "SELECT COUNT(*), SUM(attendance), AVG(attendance), MIN(year), MAX(year) FROM concert",
+        "SELECT COUNT(*) FROM vacant",
+        "SELECT SUM(points), AVG(points), COUNT(points), COUNT(*) FROM scores",
+        "SELECT COUNT(DISTINCT year) FROM concert",
+        "SELECT year, COUNT(*) FROM concert GROUP BY year",
+        "SELECT year, COUNT(*) FROM concert GROUP BY year HAVING COUNT(*) > 1",
+        "SELECT stadium_id, SUM(attendance) FROM concert GROUP BY stadium_id \
+         HAVING SUM(attendance) > 50000",
+        "SELECT s.name, COUNT(*) FROM stadium s JOIN concert c \
+         ON s.stadium_id = c.stadium_id GROUP BY s.name",
+        "SELECT tag, COUNT(*), SUM(points) FROM scores GROUP BY tag",
+        "SELECT year, stadium_id, COUNT(*) FROM concert GROUP BY year, stadium_id",
+        "SELECT MAX(capacity) - MIN(capacity) FROM stadium",
+    ]);
+}
+
+#[test]
+fn ordering_and_limits() {
+    check_all(&[
+        "SELECT name, capacity FROM stadium ORDER BY capacity",
+        "SELECT name, capacity FROM stadium ORDER BY capacity DESC",
+        "SELECT name FROM stadium ORDER BY capacity DESC",
+        "SELECT name FROM stadium ORDER BY capacity DESC LIMIT 2",
+        "SELECT name FROM stadium ORDER BY capacity LIMIT 2 OFFSET 1",
+        "SELECT name FROM stadium ORDER BY 1",
+        "SELECT name, capacity FROM stadium ORDER BY 2 DESC, 1",
+        "SELECT id, points FROM scores ORDER BY points",
+        "SELECT id, points FROM scores ORDER BY points DESC",
+        "SELECT id FROM scores ORDER BY points, id",
+        "SELECT id FROM scores ORDER BY tag DESC, points",
+        "SELECT name FROM stadium LIMIT 2",
+        "SELECT name FROM stadium LIMIT 0",
+        "SELECT name FROM stadium OFFSET 2",
+        "SELECT name FROM stadium ORDER BY capacity LIMIT 100",
+        "SELECT year, COUNT(*) FROM concert GROUP BY year ORDER BY COUNT(*) DESC",
+        "SELECT year FROM concert GROUP BY year ORDER BY COUNT(*) DESC, year",
+        "SELECT name AS n FROM stadium ORDER BY n",
+        "SELECT s.name FROM stadium s JOIN concert c ON s.stadium_id = c.stadium_id \
+         ORDER BY c.attendance DESC LIMIT 3",
+    ]);
+}
+
+#[test]
+fn distinct_and_set_ops() {
+    check_all(&[
+        "SELECT DISTINCT year FROM concert",
+        "SELECT DISTINCT stadium_id, year FROM concert",
+        "SELECT DISTINCT tag FROM scores",
+        "SELECT DISTINCT year FROM concert ORDER BY year DESC",
+        "SELECT year FROM concert UNION SELECT year FROM sports_meeting",
+        "SELECT year FROM concert UNION ALL SELECT year FROM sports_meeting",
+        "SELECT year FROM concert INTERSECT SELECT year FROM sports_meeting",
+        "SELECT year FROM concert EXCEPT SELECT year FROM sports_meeting",
+        "SELECT stadium_id FROM concert UNION SELECT stadium_id FROM sports_meeting \
+         ORDER BY stadium_id DESC",
+        "SELECT name FROM stadium WHERE capacity > 40000 \
+         UNION SELECT name FROM stadium WHERE capacity < 25000",
+        "SELECT year FROM concert UNION SELECT id FROM vacant",
+        "SELECT tag FROM scores UNION SELECT city FROM stadium",
+    ]);
+}
+
+#[test]
+fn subqueries() {
+    check_all(&[
+        "SELECT name FROM stadium WHERE stadium_id IN \
+         (SELECT stadium_id FROM concert WHERE year = 2014)",
+        "SELECT name FROM stadium WHERE stadium_id NOT IN \
+         (SELECT stadium_id FROM concert)",
+        "SELECT name FROM stadium WHERE EXISTS (SELECT 1 FROM concert WHERE year = 2099)",
+        "SELECT name FROM stadium WHERE NOT EXISTS (SELECT 1 FROM vacant)",
+        "SELECT name FROM stadium WHERE capacity = (SELECT MAX(capacity) FROM stadium)",
+        "SELECT name, (SELECT COUNT(*) FROM concert) AS total FROM stadium",
+        "SELECT name FROM stadium WHERE capacity > (SELECT AVG(capacity) FROM stadium)",
+        "SELECT s.name FROM stadium s JOIN concert c ON s.stadium_id = c.stadium_id \
+         WHERE c.attendance > (SELECT AVG(attendance) FROM concert)",
+        "SELECT name FROM stadium WHERE stadium_id IN \
+         (SELECT stadium_id FROM concert) AND capacity > 30000",
+        "SELECT name FROM stadium WHERE stadium_id IN (SELECT id FROM vacant)",
+    ]);
+}
+
+#[test]
+fn null_semantics() {
+    check_all(&[
+        "SELECT id FROM scores WHERE points IS NULL",
+        "SELECT id FROM scores WHERE points IS NOT NULL",
+        "SELECT id FROM scores WHERE points > 1.0",
+        "SELECT id FROM scores WHERE points > 1.0 OR points IS NULL",
+        "SELECT id, points FROM scores WHERE tag IS NULL ORDER BY id",
+        "SELECT id FROM scores WHERE points IN (1.0, 3.0)",
+        "SELECT id FROM scores WHERE points NOT IN (1.0, 3.0)",
+        "SELECT id FROM scores WHERE points BETWEEN 0.0 AND 2.5",
+        "SELECT tag, COUNT(*) FROM scores GROUP BY tag ORDER BY COUNT(*) DESC, tag",
+        "SELECT DISTINCT points FROM scores",
+        "SELECT id FROM scores ORDER BY points DESC, tag, id LIMIT 4",
+    ]);
+}
+
+#[test]
+fn error_cases_error_on_both_paths() {
+    let db = fixture();
+    for sql in [
+        // Unknown table / column.
+        "SELECT * FROM nope",
+        "SELECT missing FROM stadium",
+        "SELECT q.name FROM stadium",
+        // Ambiguous unqualified column across two tables.
+        "SELECT stadium_id FROM stadium, concert",
+        // Duplicate alias.
+        "SELECT * FROM stadium s, concert s",
+        // Set-op arity mismatch.
+        "SELECT name, capacity FROM stadium UNION SELECT name FROM stadium",
+        // ORDER BY aggregate without an aggregate core.
+        "SELECT name FROM stadium ORDER BY COUNT(*)",
+        // ORDER BY on a column DISTINCT does not project.
+        "SELECT DISTINCT name FROM stadium ORDER BY capacity",
+        // Type errors.
+        "SELECT name + 1 FROM stadium",
+        "SELECT name FROM stadium WHERE capacity + city > 0",
+    ] {
+        check(&db, sql);
+    }
+}

@@ -1,0 +1,112 @@
+//! Panic-safety fuzzing: arbitrary query text may be rejected with a
+//! typed [`llmdm_sqlengine::SqlError`], but must never panic — the
+//! engine sits behind `llmdm-serve` worker threads where a panic poisons
+//! the worker. Two generators drive `Database::execute_script` (and the
+//! direct-executor oracle) under `catch_unwind`:
+//!
+//! * **token soup** — random sequences of SQL-ish fragments, heavy on
+//!   the constructs with tricky code paths (nesting, LIKE patterns,
+//!   ordinals, aggregates, set ops);
+//! * **mutated seeds** — well-formed queries with a random splice of
+//!   random bytes, which keeps most of the structure intact so execution
+//!   (not just parsing) gets exercised.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use llmdm_rt::proptest;
+use llmdm_rt::proptest::prelude::*;
+use llmdm_sqlengine::exec::execute_select_direct;
+use llmdm_sqlengine::{parse_statement, Database, Statement};
+
+fn tiny_db() -> Database {
+    let mut db = Database::new();
+    db.execute_script(
+        "CREATE TABLE t (a INT, b TEXT); \
+         CREATE TABLE u (a INT, c FLOAT); \
+         INSERT INTO t VALUES (1, 'x'), (2, NULL), (3, 'y%z'); \
+         INSERT INTO u VALUES (1, 0.5), (2, NULL), (4, -2.25)",
+    )
+    .unwrap();
+    db
+}
+
+/// Neither the planner path nor the direct oracle may panic on `sql`.
+fn assert_no_panic(sql: &str) -> Result<(), TestCaseError> {
+    let planned = catch_unwind(AssertUnwindSafe(|| {
+        let mut db = tiny_db();
+        let _ = db.execute_script(sql);
+    }));
+    prop_assert!(planned.is_ok(), "planner path panicked on: {sql}");
+    if let Ok(Statement::Select(stmt)) = parse_statement(sql) {
+        let direct = catch_unwind(AssertUnwindSafe(|| {
+            let db = tiny_db();
+            let _ = execute_select_direct(&db, &stmt);
+        }));
+        prop_assert!(direct.is_ok(), "direct path panicked on: {sql}");
+    }
+    Ok(())
+}
+
+const FRAGMENTS: &[&str] = &[
+    "SELECT", "FROM", "WHERE", "GROUP", "ORDER", "BY", "HAVING", "LIMIT", "OFFSET", "DISTINCT",
+    "UNION", "ALL", "INTERSECT", "EXCEPT", "JOIN", "LEFT", "ON", "AND", "OR", "NOT", "IN",
+    "EXISTS", "LIKE", "BETWEEN", "IS", "NULL", "AS", "COUNT", "SUM", "AVG", "MIN", "MAX",
+    "INSERT", "INTO", "VALUES", "UPDATE", "SET", "DELETE", "CREATE", "TABLE", "DROP", "BEGIN",
+    "COMMIT", "ROLLBACK", "EXPLAIN", "t", "u", "a", "b", "c", "*", "t.*", "t.a", "u.c", "(",
+    ")", ",", ".", ";", "=", "!=", "<", ">=", "+", "-", "/", "%", "0", "1", "2", "9999999999",
+    "9223372036854775807", "1.5", "'x'", "'%'", "'%_%'", "''", "'o''brien'", "TRUE", "FALSE",
+    "__sort0",
+];
+
+const SEEDS: &[&str] = &[
+    "SELECT a, b FROM t WHERE a > 1 ORDER BY b DESC LIMIT 2",
+    "SELECT t.a, u.c FROM t JOIN u ON t.a = u.a WHERE u.c IS NOT NULL",
+    "SELECT t.b FROM t LEFT JOIN u ON t.a = u.a WHERE u.a IS NULL",
+    "SELECT a, COUNT(*) FROM t GROUP BY a HAVING COUNT(*) > 0 ORDER BY COUNT(*) DESC",
+    "SELECT DISTINCT b FROM t UNION SELECT b FROM t ORDER BY b",
+    "SELECT a FROM t WHERE a IN (SELECT a FROM u WHERE c > 0.0)",
+    "SELECT b FROM t WHERE b LIKE '%y%' AND a BETWEEN 1 AND 3",
+    "SELECT a FROM t WHERE EXISTS (SELECT 1 FROM u) ORDER BY 1",
+    "SELECT (SELECT MAX(c) FROM u) AS mx, a FROM t ORDER BY a",
+    "INSERT INTO t VALUES (4, 'w')",
+    "UPDATE t SET b = 'q' WHERE a = 1",
+    "DELETE FROM t WHERE a > 2",
+    "EXPLAIN SELECT a FROM t WHERE a > 1 ORDER BY b LIMIT 1",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn token_soup_never_panics(
+        picks in proptest::collection::vec(0usize..FRAGMENTS.len(), 0..28),
+    ) {
+        let sql: Vec<&str> = picks.iter().map(|&i| FRAGMENTS[i]).collect();
+        assert_no_panic(&sql.join(" "))?;
+    }
+
+    #[test]
+    fn mutated_seed_queries_never_panic(
+        seed in 0usize..SEEDS.len(),
+        at in 0usize..80,
+        remove in 0usize..8,
+        splice in "[ -~]{0,12}",
+    ) {
+        let base = SEEDS[seed];
+        let at = at.min(base.len());
+        let end = (at + remove).min(base.len());
+        // Splice on char boundaries (seeds are ASCII, so any index works).
+        let sql = format!("{}{}{}", &base[..at], splice, &base[end..]);
+        assert_no_panic(&sql)?;
+    }
+
+    #[test]
+    fn deep_nesting_never_crashes(depth in 1usize..300, which in 0usize..3) {
+        let sql = match which {
+            0 => format!("SELECT {}1{}", "(".repeat(depth), ")".repeat(depth)),
+            1 => format!("SELECT {}TRUE", "NOT ".repeat(depth)),
+            _ => format!("SELECT {}1", "-".repeat(depth)),
+        };
+        assert_no_panic(&sql)?;
+    }
+}

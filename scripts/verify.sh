@@ -38,4 +38,13 @@ LLMDM_BENCH_FAST=1 LLMDM_BENCH_DIR="$BENCH_DIR" cargo bench --offline -p llmdm-b
 test -s "$BENCH_DIR/BENCH_serve.json" || { echo "serve_throughput emitted no BENCH_serve.json"; exit 1; }
 rm -rf "$BENCH_DIR"
 
+echo "== query planner example (self-validating: EXPLAIN renders, planner == direct oracle bit-for-bit)"
+cargo run -q --release --offline -p llmdm --example query_planner >/dev/null
+
+echo "== sqlplan bench (pins planner >=1.2x over direct exec on filtered-scan and top-k; bit-equality gate)"
+BENCH_DIR="$(mktemp -d)"
+LLMDM_BENCH_FAST=1 LLMDM_BENCH_DIR="$BENCH_DIR" cargo bench --offline -p llmdm-bench --bench sqlplan
+test -s "$BENCH_DIR/BENCH_sqlplan.json" || { echo "sqlplan emitted no BENCH_sqlplan.json"; exit 1; }
+rm -rf "$BENCH_DIR"
+
 echo "verify: OK"
