@@ -1,0 +1,136 @@
+//! The cost of *windowed* telemetry, pinned against plain recording.
+//!
+//! DESIGN.md §12 claims the windowed per-class metrics add effectively
+//! nothing over the flat recorder paths, because a [`WindowHandle`]
+//! resolves its `(metric, class)` registry slot once and every
+//! subsequent call is a mutex on one ring plus an amortized clock
+//! sample. This bench enforces that claim:
+//!
+//! 1. Enabled: `WindowHandle::observe` through a cached handle stays
+//!    within `LLMDM_OBS_WINDOW_SLACK` percent (default 5) of plain
+//!    `llmdm_obs::observe` on the same batch size — the windowed path
+//!    may not cost materially more than the histogram it wraps.
+//! 2. Disabled: `WindowHandle::observe` and the `window_observe`
+//!    one-shot stay under the same per-call nanosecond budget as every
+//!    other disabled entry point (`LLMDM_OBS_DISABLED_NS_MAX`, default
+//!    50 ns) — turning telemetry off turns the window plane off too.
+//!
+//! The uncached `window_observe` one-shot (per-call registry lookup) is
+//! measured for the report but deliberately not gated: it exists for
+//! cold paths, and hot paths are expected to hold a handle.
+//!
+//! `scripts/verify.sh` runs this with `LLMDM_BENCH_FAST=1`; the stamped
+//! report lands in `BENCH_obswindow.json`.
+
+use llmdm_rt::bench::{black_box, Criterion};
+
+const BATCH: usize = 100;
+
+fn bench_enabled(c: &mut Criterion) {
+    llmdm_obs::enable();
+    llmdm_obs::reset();
+    let mut group = c.benchmark_group("obs_window_enabled");
+    group.bench_function("plain_observe_x100", |b| {
+        b.iter(|| {
+            for _ in 0..BATCH {
+                llmdm_obs::observe(black_box("bench.plain_hist"), 1.5);
+            }
+        })
+    });
+    let handle = llmdm_obs::window("bench.windowed_hist", "hot");
+    group.bench_function("window_handle_observe_x100", |b| {
+        b.iter(|| {
+            for _ in 0..BATCH {
+                handle.observe(black_box(1.5));
+            }
+        })
+    });
+    group.bench_function("window_oneshot_observe_x100", |b| {
+        b.iter(|| {
+            for _ in 0..BATCH {
+                llmdm_obs::window_observe(black_box("bench.windowed_hist"), "cold", 1.5);
+            }
+        })
+    });
+    group.finish();
+    llmdm_obs::disable();
+    llmdm_obs::reset();
+}
+
+fn bench_disabled(c: &mut Criterion) {
+    llmdm_obs::disable();
+    let handle = llmdm_obs::window("bench.disabled_hist", "hot");
+    let mut group = c.benchmark_group("obs_window_disabled");
+    group.bench_function("window_handle_observe_x100", |b| {
+        b.iter(|| {
+            for _ in 0..BATCH {
+                handle.observe(black_box(1.5));
+            }
+        })
+    });
+    group.bench_function("window_oneshot_observe_x100", |b| {
+        b.iter(|| {
+            for _ in 0..BATCH {
+                llmdm_obs::window_observe(black_box("bench.disabled_hist"), "hot", 1.5);
+            }
+        })
+    });
+    group.finish();
+}
+
+fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn stat<'a>(c: &'a Criterion, id: &str) -> &'a llmdm_rt::bench::BenchStats {
+    c.results()
+        .iter()
+        .find(|s| s.id == id)
+        .unwrap_or_else(|| panic!("no stats for `{id}`"))
+}
+
+fn main() {
+    let mut c = Criterion::default();
+    bench_enabled(&mut c);
+    bench_disabled(&mut c);
+
+    // Gate 1: cached-handle windowed recording tracks plain observe.
+    let slack = 1.0 + env_f64("LLMDM_OBS_WINDOW_SLACK", 5.0) / 100.0;
+    let plain = stat(&c, "obs_window_enabled/plain_observe_x100").min_ns as f64;
+    let windowed = stat(&c, "obs_window_enabled/window_handle_observe_x100").min_ns as f64;
+    assert!(
+        windowed <= plain * slack,
+        "windowed observe adds {:.1}% over plain observe (plain {plain} ns, windowed \
+         {windowed} ns per {BATCH}-call batch, budget {:.0}%)",
+        (windowed / plain - 1.0) * 100.0,
+        (slack - 1.0) * 100.0
+    );
+    println!(
+        "windowed vs plain observe: {:+.2}% (plain {plain} ns, windowed {windowed} ns)",
+        (windowed / plain - 1.0) * 100.0
+    );
+
+    // Gate 2: the disabled window plane costs what every other disabled
+    // entry point costs.
+    let max_per_call_ns = env_f64("LLMDM_OBS_DISABLED_NS_MAX", 50.0);
+    for id in [
+        "obs_window_disabled/window_handle_observe_x100",
+        "obs_window_disabled/window_oneshot_observe_x100",
+    ] {
+        let s = stat(&c, id);
+        let per_call = s.median_ns as f64 / BATCH as f64;
+        assert!(
+            per_call <= max_per_call_ns,
+            "{id}: {per_call:.1} ns/call exceeds the disabled-path budget of {max_per_call_ns} ns"
+        );
+        println!("{id}: {per_call:.2} ns/call (budget {max_per_call_ns})");
+    }
+
+    let seed = std::env::var("LLMDM_BENCH_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(42);
+    let meta = llmdm_obs::run_meta(Some(seed));
+    let path = llmdm_rt::bench::report_dir().join("BENCH_obswindow.json");
+    match c.write_json_with_meta(&path, "obs_window", &meta) {
+        Ok(_) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+}

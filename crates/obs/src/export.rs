@@ -1,5 +1,6 @@
-//! Exporters: machine-readable JSON (`TRACE_*.json`) and a
-//! human-readable flame-style text tree.
+//! Exporters: machine-readable JSON (`TRACE_*.json`, `WINDOW_*.json`),
+//! a human-readable flame-style text tree, and the trace reassembler
+//! that stitches per-thread span logs into one flame tree per request.
 
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -7,6 +8,7 @@ use llmdm_rt::json::Json;
 
 use crate::hist::HistogramSummary;
 use crate::recorder::{FieldValue, SpanRecord};
+use crate::window::WindowSummary;
 
 /// A point-in-time copy of everything a recorder collected.
 #[derive(Debug, Clone)]
@@ -19,6 +21,9 @@ pub struct Report {
     pub gauges: BTreeMap<String, f64>,
     /// Histogram summaries (count/mean/p50/p95/p99/min/max).
     pub histograms: BTreeMap<String, HistogramSummary>,
+    /// Windowed metric summaries: metric name → class label → rolling
+    /// figures as of the snapshot.
+    pub windows: BTreeMap<String, BTreeMap<String, WindowSummary>>,
 }
 
 /// Alias for the metric part of a [`Report`] (everything but spans).
@@ -44,6 +49,12 @@ fn span_json(s: &SpanRecord) -> Json {
                 None => Json::Null,
             },
         ),
+        // Trace ids are full-width u64s (SplitMix64 output); JSON numbers
+        // are f64 and lose bits above 2^53, so serialize as a hex string.
+        (
+            "trace",
+            if s.trace == 0 { Json::Null } else { Json::Str(format!("{:#018x}", s.trace)) },
+        ),
         ("thread", Json::Num(s.thread as f64)),
         ("name", Json::Str(s.name.clone())),
         ("start_ns", Json::Num(s.start_ns as f64)),
@@ -65,6 +76,45 @@ fn hist_json(h: &HistogramSummary) -> Json {
         ("min", Json::Num(h.min)),
         ("max", Json::Num(h.max)),
     ])
+}
+
+fn window_json(w: &WindowSummary) -> Json {
+    Json::obj([
+        ("rolling", hist_json(&w.hist)),
+        ("counter", Json::Num(w.counter)),
+        (
+            "series",
+            Json::Arr(
+                w.series
+                    .iter()
+                    .map(|b| {
+                        Json::obj([
+                            ("bucket", Json::Num(b.bucket as f64)),
+                            ("start_ms", Json::Num(b.start_ms as f64)),
+                            ("count", Json::Num(b.count as f64)),
+                            ("sum", Json::Num(b.sum)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn windows_json(windows: &BTreeMap<String, BTreeMap<String, WindowSummary>>) -> Json {
+    Json::Obj(
+        windows
+            .iter()
+            .map(|(name, classes)| {
+                (
+                    name.clone(),
+                    Json::Obj(
+                        classes.iter().map(|(c, w)| (c.clone(), window_json(w))).collect(),
+                    ),
+                )
+            })
+            .collect(),
+    )
 }
 
 impl Report {
@@ -97,6 +147,7 @@ impl Report {
                 "histograms".into(),
                 Json::Obj(self.histograms.iter().map(|(k, h)| (k.clone(), hist_json(h))).collect()),
             ),
+            ("windows".into(), windows_json(&self.windows)),
         ];
         fields.extend(extra.iter().cloned());
         Json::Obj(fields)
@@ -120,34 +171,85 @@ impl Report {
         Ok(path)
     }
 
+    /// Write `WINDOW_<label>.json` into `dir` — just the windowed-metric
+    /// section plus run metadata, the SLO document a QoS controller would
+    /// poll. Returns the path.
+    pub fn write_window(
+        &self,
+        dir: &std::path::Path,
+        label: &str,
+        seed: Option<u64>,
+    ) -> std::io::Result<std::path::PathBuf> {
+        let doc = Json::obj([
+            ("kind", Json::Str("llmdm-window".into())),
+            ("meta", Json::Obj(crate::run_meta(seed))),
+            ("windows", windows_json(&self.windows)),
+        ]);
+        let path = dir.join(format!("WINDOW_{label}.json"));
+        std::fs::write(&path, doc.render())?;
+        Ok(path)
+    }
+
     /// Build the span forest (roots = spans with no recorded parent),
     /// children sorted by start time.
     pub fn span_tree(&self) -> Vec<SpanNode<'_>> {
-        let ids: BTreeSet<u64> = self.spans.iter().map(|s| s.id).collect();
-        let mut children: BTreeMap<u64, Vec<&SpanRecord>> = BTreeMap::new();
-        let mut roots: Vec<&SpanRecord> = Vec::new();
-        for s in &self.spans {
-            match s.parent {
-                // A parent id we never saw finish (e.g. recorder reset
-                // mid-span) degrades to a root rather than vanishing.
-                Some(p) if ids.contains(&p) => children.entry(p).or_default().push(s),
-                _ => roots.push(s),
+        forest(self.spans.iter().collect())
+    }
+
+    /// Distinct trace ids seen across recorded spans (untraced spans'
+    /// `0` is excluded), sorted.
+    pub fn trace_ids(&self) -> Vec<u64> {
+        let ids: BTreeSet<u64> =
+            self.spans.iter().map(|s| s.trace).filter(|&t| t != 0).collect();
+        ids.into_iter().collect()
+    }
+
+    /// Reassemble one request's flame tree: the forest of spans stamped
+    /// with `trace_id`, stitched across threads (a span whose parent
+    /// lives on another thread still nests beneath it). For a request
+    /// admitted under a single root span this is a single tree.
+    pub fn trace_tree(&self, trace_id: u64) -> Vec<SpanNode<'_>> {
+        forest(self.spans.iter().filter(|s| s.trace == trace_id).collect())
+    }
+
+    /// Render one reassembled trace as a flame-style text tree.
+    pub fn render_trace(&self, trace_id: u64) -> String {
+        let tree = self.trace_tree(trace_id);
+        let spans: usize = tree.iter().map(count_nodes).sum();
+        let mut threads: BTreeSet<u64> = BTreeSet::new();
+        for s in self.spans.iter().filter(|s| s.trace == trace_id) {
+            threads.insert(s.thread);
+        }
+        let mut out = format!(
+            "TRACE {:#018x} — {spans} span(s) across {} thread(s)\n",
+            trace_id,
+            threads.len().max(1)
+        );
+        for (i, node) in tree.iter().enumerate() {
+            render_node(node, "", i + 1 == tree.len(), &mut out);
+        }
+        out
+    }
+
+    /// Canonical structural form of one trace: every subtree rendered as
+    /// `name(child,child,…)` with children sorted lexicographically, root
+    /// subtrees joined by `;`. Start times, durations, ids and fields are
+    /// all excluded, so two runs of the same workload produce the same
+    /// canonical form regardless of thread interleaving or worker count —
+    /// the equality the trace-propagation integration test asserts.
+    pub fn trace_canonical(&self, trace_id: u64) -> String {
+        fn canon(node: &SpanNode<'_>) -> String {
+            let mut kids: Vec<String> = node.children.iter().map(canon).collect();
+            kids.sort();
+            if kids.is_empty() {
+                node.span.name.clone()
+            } else {
+                format!("{}({})", node.span.name, kids.join(","))
             }
         }
-        fn build<'a>(
-            s: &'a SpanRecord,
-            children: &BTreeMap<u64, Vec<&'a SpanRecord>>,
-        ) -> SpanNode<'a> {
-            let mut kids: Vec<SpanNode<'a>> = children
-                .get(&s.id)
-                .map(|v| v.iter().map(|c| build(c, children)).collect())
-                .unwrap_or_default();
-            kids.sort_by_key(|n| n.span.start_ns);
-            SpanNode { span: s, children: kids }
-        }
-        let mut out: Vec<SpanNode<'_>> = roots.iter().map(|r| build(r, &children)).collect();
-        out.sort_by_key(|n| n.span.start_ns);
-        out
+        let mut roots: Vec<String> = self.trace_tree(trace_id).iter().map(canon).collect();
+        roots.sort();
+        roots.join(";")
     }
 
     /// Render the human-readable flame-style tree plus metric tables.
@@ -195,6 +297,39 @@ pub struct SpanNode<'a> {
     pub span: &'a SpanRecord,
     /// Child spans, sorted by start time.
     pub children: Vec<SpanNode<'a>>,
+}
+
+/// Build a forest from an arbitrary span subset: roots are spans whose
+/// parent is absent *from the subset* (so filtering by trace id keeps
+/// trees rooted at the request's own root), children sorted by start
+/// time. A parent id never seen (recorder reset mid-span, cross-trace
+/// parent) degrades the child to a root rather than dropping it.
+fn forest(spans: Vec<&SpanRecord>) -> Vec<SpanNode<'_>> {
+    let ids: BTreeSet<u64> = spans.iter().map(|s| s.id).collect();
+    let mut children: BTreeMap<u64, Vec<&SpanRecord>> = BTreeMap::new();
+    let mut roots: Vec<&SpanRecord> = Vec::new();
+    for s in spans {
+        match s.parent {
+            Some(p) if ids.contains(&p) => children.entry(p).or_default().push(s),
+            _ => roots.push(s),
+        }
+    }
+    fn build<'a>(s: &'a SpanRecord, children: &BTreeMap<u64, Vec<&'a SpanRecord>>) -> SpanNode<'a> {
+        let mut kids: Vec<SpanNode<'a>> = children
+            .get(&s.id)
+            .map(|v| v.iter().map(|c| build(c, children)).collect())
+            .unwrap_or_default();
+        kids.sort_by_key(|n| n.span.start_ns);
+        SpanNode { span: s, children: kids }
+    }
+    let mut out: Vec<SpanNode<'_>> = roots.iter().map(|r| build(r, &children)).collect();
+    out.sort_by_key(|n| n.span.start_ns);
+    out
+}
+
+/// Total node count of a subtree.
+fn count_nodes(node: &SpanNode<'_>) -> usize {
+    1 + node.children.iter().map(count_nodes).sum::<usize>()
 }
 
 fn fmt_dur(ns: u64) -> String {
@@ -317,22 +452,112 @@ mod tests {
         assert!(crates.contains("semcache"));
     }
 
-    #[test]
-    fn orphan_parent_degrades_to_root() {
-        let rep = Report {
-            spans: vec![SpanRecord {
-                id: 5,
-                parent: Some(99),
-                thread: 0,
-                name: "x.y".into(),
-                start_ns: 0,
-                dur_ns: 1,
-                fields: vec![],
-            }],
+    fn record(id: u64, parent: Option<u64>, trace: u64, name: &str, start_ns: u64) -> SpanRecord {
+        SpanRecord {
+            id,
+            parent,
+            trace,
+            thread: 0,
+            name: name.into(),
+            start_ns,
+            dur_ns: 1,
+            fields: vec![],
+        }
+    }
+
+    fn report_of(spans: Vec<SpanRecord>) -> Report {
+        Report {
+            spans,
             counters: BTreeMap::new(),
             gauges: BTreeMap::new(),
             histograms: BTreeMap::new(),
-        };
+            windows: BTreeMap::new(),
+        }
+    }
+
+    #[test]
+    fn orphan_parent_degrades_to_root() {
+        let rep = report_of(vec![record(5, Some(99), 0, "x.y", 0)]);
         assert_eq!(rep.span_tree().len(), 1);
+    }
+
+    #[test]
+    fn trace_tree_filters_and_stitches() {
+        // Two interleaved traces plus one untraced span; trace 7's child
+        // parents to its root even though another trace's span sits
+        // between them in completion order.
+        let rep = report_of(vec![
+            record(1, None, 7, "req.root", 0),
+            record(2, None, 8, "other.root", 5),
+            record(3, Some(1), 7, "req.work", 10),
+            record(4, Some(3), 7, "req.model", 12),
+            record(5, None, 0, "untraced", 20),
+        ]);
+        assert_eq!(rep.trace_ids(), vec![7, 8]);
+        let t7 = rep.trace_tree(7);
+        assert_eq!(t7.len(), 1, "one flame tree per request");
+        assert_eq!(t7[0].span.name, "req.root");
+        assert_eq!(t7[0].children.len(), 1);
+        assert_eq!(t7[0].children[0].children[0].span.name, "req.model");
+        assert_eq!(rep.trace_canonical(7), "req.root(req.work(req.model))");
+        assert_eq!(rep.trace_canonical(8), "other.root");
+        let text = rep.render_trace(7);
+        assert!(text.contains("req.model"), "{text}");
+        assert!(!text.contains("other.root"), "{text}");
+        assert!(!text.contains("untraced"), "{text}");
+    }
+
+    #[test]
+    fn trace_canonical_is_order_independent() {
+        let a = report_of(vec![
+            record(1, None, 9, "root", 0),
+            record(2, Some(1), 9, "b", 1),
+            record(3, Some(1), 9, "a", 2),
+        ]);
+        let b = report_of(vec![
+            record(10, None, 9, "root", 0),
+            record(12, Some(10), 9, "a", 1),
+            record(11, Some(10), 9, "b", 2),
+        ]);
+        assert_eq!(a.trace_canonical(9), b.trace_canonical(9));
+        assert_eq!(a.trace_canonical(9), "root(a,b)");
+    }
+
+    #[test]
+    fn trace_id_serializes_as_hex_string() {
+        // A trace id above 2^53 must survive the JSON round-trip exactly
+        // (f64 numbers cannot carry it).
+        let big = (1u64 << 60) | 0x1234_5678_9abc_def1;
+        let rep = report_of(vec![record(1, None, big, "x", 0), record(2, None, 0, "y", 1)]);
+        let doc = rep.to_json().render();
+        let parsed = Json::parse(&doc).unwrap();
+        let spans = parsed.get("spans").unwrap().as_arr().unwrap();
+        let tr = spans[0].get("trace").unwrap().as_str().unwrap();
+        assert_eq!(u64::from_str_radix(tr.trim_start_matches("0x"), 16).unwrap(), big);
+        assert_eq!(spans[1].get("trace").unwrap(), &Json::Null);
+    }
+
+    #[test]
+    fn window_export_round_trips() {
+        let r = Recorder::new();
+        r.enable();
+        let h = r.window("serve.latency_ms", "interactive");
+        for i in 0..10 {
+            h.observe(50.0 + i as f64);
+        }
+        h.add(0.25);
+        let rep = r.snapshot();
+        let dir = std::env::temp_dir().join(format!("llmdm_obs_window_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = rep.write_window(&dir, "test", Some(1)).unwrap();
+        assert!(path.file_name().unwrap().to_str().unwrap().starts_with("WINDOW_"));
+        let parsed = Json::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(parsed.get("kind").unwrap().as_str().unwrap(), "llmdm-window");
+        let w = parsed.get("windows").unwrap().get("serve.latency_ms").unwrap();
+        let class = w.get("interactive").unwrap();
+        assert_eq!(class.get("rolling").unwrap().get("count").unwrap().as_u64().unwrap(), 10);
+        assert_eq!(class.get("counter").unwrap().as_f64().unwrap(), 0.25);
+        assert!(!class.get("series").unwrap().as_arr().unwrap().is_empty());
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -39,7 +39,19 @@ fn bucket_of(value: f64) -> usize {
         // NaN, negatives and sub-1 values all land in bucket 0.
         return 0;
     }
-    ((value.log2() * SUB) as usize).min(NBUCKETS - 1)
+    let mut b = ((value.log2() * SUB) as usize).min(NBUCKETS - 1);
+    // Float `log2` can land a hair on the wrong side of a bucket
+    // boundary (a libm returning `log2(2^k) = k − ε` would misplace
+    // `2^k` one bucket down, truncating 4k − tiny to 4k − 1). Nudge so
+    // the bucket invariant `2^(b/4) <= value < 2^((b+1)/4)` holds as
+    // computed by `powf`; in practice this loops at most once.
+    while b + 1 < NBUCKETS && 2f64.powf((b as f64 + 1.0) / SUB) <= value {
+        b += 1;
+    }
+    while b > 0 && 2f64.powf(b as f64 / SUB) > value {
+        b -= 1;
+    }
+    b
 }
 
 /// Geometric representative of bucket `i` (its midpoint in log space).
@@ -72,6 +84,16 @@ impl Histogram {
     /// Number of recorded observations.
     pub fn count(&self) -> u64 {
         self.count
+    }
+
+    /// Clear all recorded observations in place (no reallocation) — the
+    /// rotation primitive for fixed-memory windowed rings.
+    pub fn reset(&mut self) {
+        self.buckets.iter_mut().for_each(|b| *b = 0);
+        self.count = 0;
+        self.sum = 0.0;
+        self.min = f64::INFINITY;
+        self.max = f64::NEG_INFINITY;
     }
 
     /// Approximate `q`-quantile (`q` in `[0, 1]`), clamped to the exact
@@ -201,6 +223,70 @@ mod tests {
         h.record(1e300);
         assert_eq!(h.count(), 1);
         assert_eq!(h.summary().max, 1e300);
+    }
+
+    #[test]
+    fn powers_of_two_land_in_their_own_bucket() {
+        // Bucket i covers [2^(i/4), 2^((i+1)/4)), so 2^k must land in
+        // bucket 4k exactly — a log2 off by one ulp would shift it.
+        for k in 0..64u32 {
+            let v = 2f64.powi(k as i32);
+            assert_eq!(bucket_of(v), (4 * k as usize).min(NBUCKETS - 1), "2^{k}");
+        }
+        // A hair below 2^k belongs one bucket down; a hair above stays.
+        for k in 1..53u32 {
+            let v = 2f64.powi(k as i32);
+            let below = v - v * f64::EPSILON;
+            assert!(below < v);
+            assert_eq!(bucket_of(below), 4 * k as usize - 1, "just below 2^{k}");
+            let above = v + v * f64::EPSILON;
+            assert_eq!(bucket_of(above), 4 * k as usize, "just above 2^{k}");
+        }
+    }
+
+    #[test]
+    fn bucket_invariant_holds_on_powf_boundaries() {
+        // The post-fix invariant: value sits inside its bucket's
+        // [2^(b/4), 2^((b+1)/4)) range as computed by powf (the last
+        // bucket is a catch-all for everything ≥ 2^(255/4)).
+        let mut v = 1.0f64;
+        while v < 1e19 {
+            let b = bucket_of(v);
+            assert!(2f64.powf(b as f64 / SUB) <= v, "v={v} below bucket {b}");
+            if b + 1 < NBUCKETS {
+                assert!(v < 2f64.powf((b as f64 + 1.0) / SUB), "v={v} above bucket {b}");
+            }
+            v *= 1.137;
+        }
+    }
+
+    #[test]
+    fn single_observation_quantiles_are_exact() {
+        // Clamping to the observed [min, max] must make every quantile
+        // of a single-observation histogram exact — including values
+        // sitting exactly on bucket boundaries.
+        for v in [1.0, 2.0, 1000.0, 1024.0, 2f64.powi(20), 2f64.powi(52), 0.3, 7.25] {
+            let mut h = Histogram::new();
+            h.record(v);
+            for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+                assert_eq!(h.quantile(q), v, "q={q} v={v}");
+            }
+        }
+    }
+
+    #[test]
+    fn reset_clears_in_place() {
+        let mut h = Histogram::new();
+        for i in 0..100 {
+            h.record(i as f64);
+        }
+        h.reset();
+        assert_eq!(h.count(), 0);
+        let s = h.summary();
+        assert_eq!((s.count, s.p50, s.max, s.mean), (0, 0.0, 0.0, 0.0));
+        h.record(5.0);
+        assert_eq!(h.summary().max, 5.0);
+        assert_eq!(h.summary().p50, 5.0);
     }
 
     #[test]

@@ -10,17 +10,31 @@
 //!
 //! Three pieces:
 //!
+//! Five pieces:
+//!
 //! 1. **Spans** ([`span`], [`Span`]): hierarchical RAII timing regions
 //!    with key/value fields (`model`, `tokens_in`, `cost_usd`,
 //!    `cache=hit|miss`, …). Parentage is tracked per thread — a span
-//!    opened on thread T is a child of the innermost span open *on T*,
-//!    never of a span on another thread.
-//! 2. **Metrics** ([`counter_add`], [`gauge_set`], [`observe`]):
+//!    opened on thread T is a child of the innermost span open *on T* —
+//!    unless a trace context overrides it (next item).
+//! 2. **Trace contexts** ([`TraceContext`]): request-scoped `(trace id,
+//!    parent span)` pairs that ride through queues as plain data and are
+//!    adopted on worker threads via an RAII [`TraceContext::attach`]
+//!    guard, so one request's spans stitch into a single flame tree even
+//!    when the request crosses the serving layer's thread pool.
+//!    Reassembly: [`Report::trace_tree`] / [`Report::render_trace`].
+//! 3. **Metrics** ([`counter_add`], [`gauge_set`], [`observe`]):
 //!    monotonic counters, gauges, and fixed-bucket log-scale histograms
 //!    reporting count/mean/p50/p95/p99/max.
-//! 3. **Exporters** ([`Report::to_json`], [`Report::render_text`]):
-//!    machine-readable JSON (via `llmdm_rt::json`, in the spirit of
-//!    `BENCH_*.json`) and a human-readable flame-style text tree.
+//! 4. **Windowed metrics** ([`window`], [`Window`]): fixed-memory rings
+//!    of time-bucketed histograms/counters keyed by `(metric, class)` —
+//!    rolling p50/p95/p99 over the last few seconds, the SLO substrate
+//!    for per-class QoS decisions.
+//! 5. **Exporters** ([`Report::to_json`], [`Report::render_text`],
+//!    [`Report::write_window`]): machine-readable JSON (via
+//!    `llmdm_rt::json`, in the spirit of `BENCH_*.json`), a
+//!    human-readable flame-style text tree, and the `WINDOW_*.json`
+//!    SLO document.
 //!
 //! ## Cost model
 //!
@@ -48,6 +62,8 @@ mod export;
 mod hist;
 mod meta;
 mod recorder;
+mod trace;
+mod window;
 
 pub use export::{MetricsSummary, Report, SpanNode};
 
@@ -57,7 +73,9 @@ pub use export::{MetricsSummary, Report, SpanNode};
 pub use llmdm_rt as __rt;
 pub use hist::{Histogram, HistogramSummary};
 pub use meta::{git_rev, run_meta, timestamp_unix};
-pub use recorder::{FieldValue, Recorder, Span, SpanRecord};
+pub use recorder::{FieldValue, Recorder, Span, SpanRecord, WindowHandle};
+pub use trace::{current_trace_id, TraceContext, TraceGuard};
+pub use window::{Window, WindowBucket, WindowConfig, WindowSummary};
 
 use std::sync::OnceLock;
 
@@ -118,6 +136,30 @@ pub fn gauge_set(name: &str, value: f64) {
 /// recorder.
 pub fn observe(name: &str, value: f64) {
     global().observe(name, value);
+}
+
+/// Set the ring geometry for windows created after this call on the
+/// global recorder.
+pub fn set_window_config(config: WindowConfig) {
+    global().set_window_config(config);
+}
+
+/// Get (or create) the `(name, class)` window on the global recorder and
+/// return a registry-free recording handle — fetch once per worker/hot
+/// loop, then record through the handle.
+pub fn window(name: &str, class: &str) -> WindowHandle<'static> {
+    global().window(name, class)
+}
+
+/// One-shot windowed observation on the global recorder (cold-path
+/// convenience; hot paths should cache a [`WindowHandle`]).
+pub fn window_observe(name: &str, class: &str, value: f64) {
+    global().window_observe(name, class, value);
+}
+
+/// One-shot windowed counter bump on the global recorder.
+pub fn window_counter_add(name: &str, class: &str, delta: f64) {
+    global().window_counter_add(name, class, delta);
 }
 
 /// Snapshot everything recorded so far on the global recorder.

@@ -2,11 +2,12 @@
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Mutex, MutexGuard};
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Instant;
 
 use crate::export::Report;
 use crate::hist::Histogram;
+use crate::window::{Window, WindowConfig, WindowSummary};
 
 /// A typed span field value.
 #[derive(Debug, Clone, PartialEq)]
@@ -93,8 +94,12 @@ pub struct SpanRecord {
     /// Unique id (monotone per recorder, starts at 1).
     pub id: u64,
     /// Parent span id, if this span was opened while another span was
-    /// open *on the same thread*.
+    /// open on the same thread — or while a [`crate::TraceContext`] with
+    /// a parent span was attached (cross-thread parentage).
     pub parent: Option<u64>,
+    /// Trace id stamped from the attached [`crate::TraceContext`]
+    /// (0 = the span belongs to no request-scoped trace).
+    pub trace: u64,
     /// Ordinal of the opening thread (stable within a process).
     pub thread: u64,
     /// Span name (`crate.subsystem.op`).
@@ -111,6 +116,11 @@ struct State {
     spans: Vec<SpanRecord>,
     gauges: BTreeMap<String, f64>,
     hists: BTreeMap<String, Histogram>,
+    /// Windowed metrics: metric name → class label → window. Behind
+    /// `Arc<Mutex<_>>` so a [`WindowHandle`] can record without touching
+    /// this registry (one map lookup at handle creation, never per call).
+    windows: BTreeMap<String, BTreeMap<String, Arc<Mutex<Window>>>>,
+    window_config: WindowConfig,
 }
 
 /// Number of independent counter locks. Counters are the hottest metric
@@ -143,7 +153,18 @@ pub struct Recorder {
     epoch: Instant,
     state: Mutex<State>,
     counters: [Mutex<BTreeMap<String, f64>>; COUNTER_STRIPES],
+    /// Amortized millisecond clock for windowed metrics: `Instant::now`
+    /// is re-sampled only every [`CLOCK_SAMPLE_INTERVAL`] per-thread
+    /// ticks (see [`CLOCK_TICKS`]); in between, window records reuse the
+    /// cached value. Bucket widths are hundreds of milliseconds, so the
+    /// staleness is invisible — and the hot path pays a `Cell` bump and
+    /// one relaxed load instead of a syscall-backed clock read.
+    clock_ms: AtomicU64,
 }
+
+/// How many `now_ms` ticks reuse the cached clock before re-sampling
+/// `Instant::now`.
+const CLOCK_SAMPLE_INTERVAL: u64 = 32;
 
 impl std::fmt::Debug for Recorder {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -162,6 +183,12 @@ thread_local! {
     /// recorder instances: interleaving spans of *different* recorders on
     /// one thread is unsupported (parentage would cross recorders).
     static CURRENT_SPAN: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+    /// Per-thread tick counter for the amortized window clock: a plain
+    /// `Cell` bump instead of a shared atomic RMW, so windowed recording
+    /// on N threads never bounces a cache line just to count calls.
+    /// Shared across recorder instances (it only paces *when* each
+    /// recorder re-samples `Instant::now`, never what it reads).
+    static CLOCK_TICKS: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
     static THREAD_ORD: u64 = {
         static NEXT_THREAD: AtomicU64 = AtomicU64::new(0);
         NEXT_THREAD.fetch_add(1, Ordering::Relaxed)
@@ -170,6 +197,21 @@ thread_local! {
 
 fn thread_ord() -> u64 {
     THREAD_ORD.with(|t| *t)
+}
+
+/// This thread's innermost open span id (0 = none). Used by
+/// [`crate::TraceContext::capture`] to snapshot a parent for helper
+/// threads.
+pub(crate) fn current_span_id() -> u64 {
+    CURRENT_SPAN.with(|c| c.get())
+}
+
+/// Overwrite this thread's parent-span pointer, returning the previous
+/// value. The cross-thread half of [`crate::TraceContext::attach`]: spans
+/// opened afterwards parent to `id` even though it was opened on another
+/// thread. Callers must restore the returned value (the trace guard does).
+pub(crate) fn set_current_span(id: u64) -> u64 {
+    CURRENT_SPAN.with(|c| c.replace(id))
 }
 
 impl Recorder {
@@ -183,8 +225,11 @@ impl Recorder {
                 spans: Vec::new(),
                 gauges: BTreeMap::new(),
                 hists: BTreeMap::new(),
+                windows: BTreeMap::new(),
+                window_config: WindowConfig::default(),
             }),
             counters: std::array::from_fn(|_| Mutex::new(BTreeMap::new())),
+            clock_ms: AtomicU64::new(0),
         }
     }
 
@@ -212,11 +257,15 @@ impl Recorder {
     }
 
     /// Clear all recorded data; keeps the enabled/disabled state.
+    /// [`WindowHandle`]s created before the reset keep recording into
+    /// their detached windows, which no longer appear in snapshots —
+    /// re-create handles after a reset.
     pub fn reset(&self) {
         let mut s = self.lock();
         s.spans.clear();
         s.gauges.clear();
         s.hists.clear();
+        s.windows.clear();
         drop(s);
         for stripe in &self.counters {
             stripe.lock().unwrap_or_else(|e| e.into_inner()).clear();
@@ -240,6 +289,7 @@ impl Recorder {
             inner: Some(OpenSpan {
                 id,
                 parent: if parent == 0 { None } else { Some(parent) },
+                trace: crate::trace::current_trace_id(),
                 name: name.to_string(),
                 start: Instant::now(),
                 fields: Vec::new(),
@@ -313,6 +363,69 @@ impl Recorder {
         }
     }
 
+    /// Milliseconds since the recorder's epoch, on the amortized clock
+    /// (exact every [`CLOCK_SAMPLE_INTERVAL`] calls, cached in between).
+    pub fn now_ms(&self) -> u64 {
+        let t = CLOCK_TICKS.with(|c| {
+            let t = c.get();
+            c.set(t.wrapping_add(1));
+            t
+        });
+        if t % CLOCK_SAMPLE_INTERVAL == 0 {
+            let ms = self.epoch.elapsed().as_millis() as u64;
+            self.clock_ms.store(ms, Ordering::Relaxed);
+            ms
+        } else {
+            self.clock_ms.load(Ordering::Relaxed)
+        }
+    }
+
+    /// Set the ring geometry used for windows created *after* this call
+    /// (existing windows keep their geometry).
+    pub fn set_window_config(&self, config: WindowConfig) {
+        self.lock().window_config = config;
+    }
+
+    /// Get (or create) the window for `(name, class)` and return a
+    /// registry-free recording handle. Call once per hot loop / worker,
+    /// not per observation: the handle records with one mutex lock and no
+    /// map lookup, which is what keeps windowed recording within a few
+    /// percent of plain [`Recorder::observe`] (pinned by the `obs_window`
+    /// bench).
+    pub fn window(&self, name: &str, class: &str) -> WindowHandle<'_> {
+        let mut s = self.lock();
+        let config = s.window_config;
+        let win = s
+            .windows
+            .entry(name.to_string())
+            .or_default()
+            .entry(class.to_string())
+            .or_insert_with(|| Arc::new(Mutex::new(Window::new(config))))
+            .clone();
+        drop(s);
+        WindowHandle { recorder: self, win }
+    }
+
+    /// One-shot windowed observation (registry lookup per call — fine for
+    /// cold paths; hot paths should hold a [`WindowHandle`]).
+    #[inline]
+    pub fn window_observe(&self, name: &str, class: &str, value: f64) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.window(name, class).observe(value);
+    }
+
+    /// One-shot windowed counter bump (cold-path convenience, like
+    /// [`Recorder::window_observe`]).
+    #[inline]
+    pub fn window_counter_add(&self, name: &str, class: &str, delta: f64) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.window(name, class).add(delta);
+    }
+
     /// Number of finished spans recorded so far.
     pub fn span_count(&self) -> usize {
         self.lock().spans.len()
@@ -320,12 +433,29 @@ impl Recorder {
 
     /// Snapshot everything recorded so far into a [`Report`].
     pub fn snapshot(&self) -> Report {
+        let now = self.now_ms();
         let s = self.lock();
         Report {
             spans: s.spans.clone(),
             counters: self.merged_counters(),
             gauges: s.gauges.clone(),
             histograms: s.hists.iter().map(|(k, h)| (k.clone(), h.summary())).collect(),
+            windows: s
+                .windows
+                .iter()
+                .map(|(name, classes)| {
+                    (
+                        name.clone(),
+                        classes
+                            .iter()
+                            .map(|(class, w)| {
+                                let w = w.lock().unwrap_or_else(|e| e.into_inner());
+                                (class.clone(), w.summary(now))
+                            })
+                            .collect::<BTreeMap<String, WindowSummary>>(),
+                    )
+                })
+                .collect(),
         }
     }
 
@@ -337,6 +467,7 @@ impl Recorder {
         let record = SpanRecord {
             id: open.id,
             parent: open.parent,
+            trace: open.trace,
             thread: thread_ord(),
             name: open.name,
             start_ns: open.start.duration_since(self.epoch).as_nanos() as u64,
@@ -347,9 +478,56 @@ impl Recorder {
     }
 }
 
+/// A registry-free recording handle for one `(metric, class)` window.
+/// Obtained from [`Recorder::window`]; cache it outside hot loops.
+/// Survives a [`Recorder::reset`] but records into a detached window
+/// afterwards (invisible to snapshots) — re-create handles after resets.
+#[derive(Clone)]
+pub struct WindowHandle<'r> {
+    recorder: &'r Recorder,
+    win: Arc<Mutex<Window>>,
+}
+
+impl WindowHandle<'_> {
+    /// Record one histogram observation at the current (amortized) time.
+    /// No-op when the recorder is disabled.
+    #[inline]
+    pub fn observe(&self, value: f64) {
+        if !self.recorder.is_enabled() {
+            return;
+        }
+        let now = self.recorder.now_ms();
+        self.win.lock().unwrap_or_else(|e| e.into_inner()).record_at(now, value);
+    }
+
+    /// Add `delta` to the window's counter at the current (amortized)
+    /// time. No-op when the recorder is disabled.
+    #[inline]
+    pub fn add(&self, delta: f64) {
+        if !self.recorder.is_enabled() {
+            return;
+        }
+        let now = self.recorder.now_ms();
+        self.win.lock().unwrap_or_else(|e| e.into_inner()).add_at(now, delta);
+    }
+
+    /// Rolling summary over the window's live horizon, as of now.
+    pub fn summary(&self) -> WindowSummary {
+        let now = self.recorder.now_ms();
+        self.win.lock().unwrap_or_else(|e| e.into_inner()).summary(now)
+    }
+}
+
+impl std::fmt::Debug for WindowHandle<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WindowHandle").finish_non_exhaustive()
+    }
+}
+
 struct OpenSpan {
     id: u64,
     parent: Option<u64>,
+    trace: u64,
     name: String,
     start: Instant,
     fields: Vec<(String, FieldValue)>,
@@ -523,6 +701,53 @@ mod tests {
             .sum();
         assert_eq!(total, 8_000.0);
         assert_eq!(r.counter_value("serve.a"), report.counters["serve.a"]);
+    }
+
+    #[test]
+    fn windows_register_record_and_snapshot() {
+        let r = Recorder::new();
+        r.enable();
+        let h = r.window("serve.latency_ms", "interactive");
+        for i in 0..20 {
+            h.observe(10.0 + i as f64);
+        }
+        h.add(5.0);
+        r.window_observe("serve.latency_ms", "batch", 400.0);
+        let rep = r.snapshot();
+        let classes = &rep.windows["serve.latency_ms"];
+        assert_eq!(classes.len(), 2);
+        assert_eq!(classes["interactive"].hist.count, 20);
+        assert_eq!(classes["interactive"].counter, 5.0);
+        assert_eq!(classes["batch"].hist.count, 1);
+        assert_eq!(classes["batch"].hist.max, 400.0);
+    }
+
+    #[test]
+    fn disabled_windows_record_nothing_and_reset_clears() {
+        let r = Recorder::new();
+        let h = r.window("w", "c");
+        h.observe(1.0);
+        h.add(1.0);
+        r.window_observe("w2", "c", 1.0);
+        assert!(h.summary().is_empty());
+        // window() registered "w" explicitly; the one-shot path must not
+        // have registered "w2" while disabled.
+        assert!(!r.snapshot().windows.contains_key("w2"));
+        r.enable();
+        r.window("w", "c").observe(2.0);
+        r.reset();
+        assert!(r.snapshot().windows.is_empty());
+    }
+
+    #[test]
+    fn amortized_clock_is_monotone_enough() {
+        let r = Recorder::new();
+        let mut last = 0;
+        for _ in 0..200 {
+            let now = r.now_ms();
+            assert!(now >= last || now + 1 >= last, "clock went backwards: {now} < {last}");
+            last = last.max(now);
+        }
     }
 
     #[test]

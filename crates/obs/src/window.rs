@@ -1,0 +1,270 @@
+//! Windowed telemetry: fixed-memory rings of time-bucketed histograms
+//! and counters.
+//!
+//! Plain [`crate::Histogram`]s accumulate forever — perfect for a bench
+//! report, useless for an SLO ("p99 over the last 4 seconds, per tenant
+//! class"). A [`Window`] is the rolling complement: a ring of `nbuckets`
+//! slots, each covering `bucket_ms` of time and holding one log-scale
+//! histogram plus one counter sum. Recording hits exactly one slot;
+//! when the ring wraps, the slot whose time bucket expired is reset in
+//! place, so memory is fixed no matter how long the process runs.
+//!
+//! [`Window::summary`] merges the live slots (those still inside the
+//! `nbuckets × bucket_ms` horizon) into rolling count/p50/p95/p99/max
+//! figures plus the per-bucket series — the substrate a QoS layer reads
+//! to make shed/route decisions and what the `WINDOW_*.json` exporter
+//! ([`crate::Report::write_window`]) serializes.
+//!
+//! Windows are registered per `(metric name, class label)` on a
+//! [`crate::Recorder`] (see [`crate::window`]); the *class* dimension is
+//! how per-tenant / per-model-tier aggregation stays one map lookup away
+//! from the flat metric namespace. The handle returned by
+//! [`crate::Recorder::window`] records without touching the registry, so
+//! hot paths pay roughly what a plain [`crate::observe`] pays — pinned by
+//! the `obs_window` bench.
+//!
+//! Time is the recorder's monotonic epoch clock, sampled on an amortized
+//! schedule ([`crate::Recorder`] re-reads `Instant::now` every few dozen
+//! records); tests drive the pure `*_at` methods with explicit
+//! timestamps instead.
+
+use crate::hist::{Histogram, HistogramSummary};
+
+/// Ring geometry for windowed metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowConfig {
+    /// Width of one time bucket in milliseconds (clamped to ≥ 1).
+    pub bucket_ms: u64,
+    /// Number of ring slots == how many buckets the rolling horizon
+    /// spans (clamped to ≥ 1).
+    pub nbuckets: usize,
+}
+
+impl Default for WindowConfig {
+    fn default() -> Self {
+        // 8 × 500 ms = a 4-second rolling horizon: long enough to smooth
+        // a micro-batch burst, short enough that shed decisions react.
+        WindowConfig { bucket_ms: 500, nbuckets: 8 }
+    }
+}
+
+/// One ring slot: the absolute time bucket it currently holds, plus that
+/// bucket's histogram and counter sum.
+#[derive(Debug, Clone)]
+struct Slot {
+    /// Absolute bucket index (`now_ms / bucket_ms`); `u64::MAX` = never
+    /// written.
+    bucket: u64,
+    hist: Histogram,
+    sum: f64,
+}
+
+impl Slot {
+    fn new() -> Slot {
+        Slot { bucket: u64::MAX, hist: Histogram::new(), sum: 0.0 }
+    }
+
+    /// Re-point this slot at absolute bucket `b`, clearing its contents
+    /// in place (no reallocation — the fixed-memory contract).
+    fn rotate_to(&mut self, b: u64) {
+        self.bucket = b;
+        self.hist.reset();
+        self.sum = 0.0;
+    }
+}
+
+/// A fixed-memory rolling window of time-bucketed observations.
+#[derive(Debug, Clone)]
+pub struct Window {
+    bucket_ms: u64,
+    slots: Vec<Slot>,
+}
+
+impl Window {
+    /// An empty window with the given ring geometry.
+    pub fn new(config: WindowConfig) -> Window {
+        Window {
+            bucket_ms: config.bucket_ms.max(1),
+            slots: vec![Slot::new(); config.nbuckets.max(1)],
+        }
+    }
+
+    /// Width of one bucket in milliseconds.
+    pub fn bucket_ms(&self) -> u64 {
+        self.bucket_ms
+    }
+
+    /// Number of ring slots.
+    pub fn nbuckets(&self) -> usize {
+        self.slots.len()
+    }
+
+    fn slot_for(&mut self, now_ms: u64) -> &mut Slot {
+        let b = now_ms / self.bucket_ms;
+        let n = self.slots.len() as u64;
+        let slot = &mut self.slots[(b % n) as usize];
+        if slot.bucket != b {
+            slot.rotate_to(b);
+        }
+        slot
+    }
+
+    /// Record one histogram observation at time `now_ms`.
+    pub fn record_at(&mut self, now_ms: u64, value: f64) {
+        self.slot_for(now_ms).hist.record(value);
+    }
+
+    /// Add `delta` to the window's counter at time `now_ms`.
+    pub fn add_at(&mut self, now_ms: u64, delta: f64) {
+        self.slot_for(now_ms).sum += delta;
+    }
+
+    /// Merge the live buckets (those within the rolling horizon ending at
+    /// `now_ms`) into one summary. Slots older than the horizon are
+    /// ignored even if they have not been overwritten yet.
+    pub fn summary(&self, now_ms: u64) -> WindowSummary {
+        let b = now_ms / self.bucket_ms;
+        let oldest = b.saturating_sub(self.slots.len() as u64 - 1);
+        let mut merged = Histogram::new();
+        let mut counter = 0.0;
+        let mut series: Vec<WindowBucket> = Vec::new();
+        for slot in &self.slots {
+            if slot.bucket == u64::MAX || slot.bucket < oldest || slot.bucket > b {
+                continue;
+            }
+            merged.merge(&slot.hist);
+            counter += slot.sum;
+            series.push(WindowBucket {
+                bucket: slot.bucket,
+                start_ms: slot.bucket * self.bucket_ms,
+                count: slot.hist.count(),
+                sum: slot.sum,
+            });
+        }
+        series.sort_by_key(|s| s.bucket);
+        WindowSummary { hist: merged.summary(), counter, series }
+    }
+}
+
+/// One live bucket of a [`WindowSummary`]'s series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindowBucket {
+    /// Absolute bucket index (`start_ms / bucket_ms`).
+    pub bucket: u64,
+    /// Bucket start offset from the recorder epoch, in milliseconds.
+    pub start_ms: u64,
+    /// Histogram observations recorded in this bucket.
+    pub count: u64,
+    /// Counter sum accumulated in this bucket.
+    pub sum: f64,
+}
+
+/// Rolling figures for one window at one point in time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowSummary {
+    /// Merged histogram statistics over the live buckets.
+    pub hist: HistogramSummary,
+    /// Counter sum over the live buckets.
+    pub counter: f64,
+    /// The live buckets, oldest first.
+    pub series: Vec<WindowBucket>,
+}
+
+impl WindowSummary {
+    /// Whether anything landed in the window's live horizon.
+    pub fn is_empty(&self) -> bool {
+        self.hist.count == 0 && self.counter == 0.0 && self.series.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(bucket_ms: u64, nbuckets: usize) -> WindowConfig {
+        WindowConfig { bucket_ms, nbuckets }
+    }
+
+    #[test]
+    fn records_land_in_time_buckets() {
+        let mut w = Window::new(cfg(100, 4));
+        w.record_at(10, 5.0);
+        w.record_at(110, 7.0);
+        w.record_at(120, 9.0);
+        let s = w.summary(150);
+        assert_eq!(s.hist.count, 3);
+        assert_eq!(s.series.len(), 2);
+        assert_eq!(s.series[0].count, 1);
+        assert_eq!(s.series[1].count, 2);
+        assert_eq!(s.hist.max, 9.0);
+    }
+
+    #[test]
+    fn old_buckets_age_out_of_the_summary() {
+        let mut w = Window::new(cfg(100, 4));
+        w.record_at(0, 1000.0);
+        // Horizon at t=450 is buckets 1..=4; bucket 0 is stale even
+        // though its slot has not been overwritten.
+        let s = w.summary(450);
+        assert_eq!(s.hist.count, 0);
+        assert!(s.is_empty());
+        // At t=350 bucket 0 is the oldest live bucket.
+        let s = w.summary(350);
+        assert_eq!(s.hist.count, 1);
+    }
+
+    #[test]
+    fn ring_reuses_slots_in_place() {
+        let mut w = Window::new(cfg(100, 2));
+        w.record_at(0, 1.0); // bucket 0 → slot 0
+        w.record_at(100, 2.0); // bucket 1 → slot 1
+        w.record_at(200, 4.0); // bucket 2 → slot 0 again (bucket 0 evicted)
+        assert_eq!(w.nbuckets(), 2);
+        let s = w.summary(250);
+        assert_eq!(s.hist.count, 2);
+        assert_eq!(s.hist.max, 4.0);
+        assert_eq!(s.series.iter().map(|b| b.bucket).collect::<Vec<_>>(), vec![1, 2]);
+    }
+
+    #[test]
+    fn counters_accumulate_per_bucket() {
+        let mut w = Window::new(cfg(50, 4));
+        w.add_at(0, 0.25);
+        w.add_at(10, 0.25);
+        w.add_at(60, 1.0);
+        let s = w.summary(99);
+        assert_eq!(s.counter, 1.5);
+        assert_eq!(s.series.len(), 2);
+        assert_eq!(s.series[0].sum, 0.5);
+        assert_eq!(s.series[1].sum, 1.0);
+        // After the first bucket ages out only the second remains.
+        let s = w.summary(220);
+        assert_eq!(s.counter, 1.0);
+    }
+
+    #[test]
+    fn rolling_quantiles_track_recent_load() {
+        let mut w = Window::new(cfg(100, 4));
+        for i in 0..50 {
+            w.record_at(i, 10.0);
+        }
+        for i in 0..50 {
+            w.record_at(200 + i, 1000.0);
+        }
+        // With both buckets live, p99 sees the slow tail.
+        let s = w.summary(250);
+        assert!(s.hist.p99 > 500.0, "p99={}", s.hist.p99);
+        // Once the fast bucket ages out (horizon at t=550 is buckets
+        // 2..=5), p50 jumps to the slow regime.
+        let s = w.summary(550);
+        assert_eq!(s.hist.count, 50);
+        assert!(s.hist.p50 > 500.0, "p50={}", s.hist.p50);
+    }
+
+    #[test]
+    fn empty_window_is_empty() {
+        let w = Window::new(WindowConfig::default());
+        assert!(w.summary(0).is_empty());
+        assert!(w.summary(u64::MAX / 2).is_empty());
+    }
+}

@@ -45,4 +45,6 @@ pub mod queue;
 pub mod scheduler;
 
 pub use queue::{BoundedQueue, ServeError};
-pub use scheduler::{serve, Disposition, Job, ServeConfig, ServeRun, ServeStats};
+pub use scheduler::{
+    record_job_cost, serve, serve_jobs, Disposition, Job, ServeConfig, ServeRun, ServeStats,
+};

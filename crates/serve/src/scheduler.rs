@@ -9,8 +9,12 @@
 //! consumers running concurrently against the same [`BoundedQueue`]; the
 //! phased form is what the reproducible experiments and benches need.
 
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
+
+use llmdm_obs::{TraceContext, WindowHandle};
 
 use crate::queue::{BoundedQueue, ServeError};
 
@@ -47,6 +51,11 @@ pub struct Job<P> {
     /// Batching class: only jobs of equal class coalesce into one
     /// dispatch (e.g. one model tier, one task family).
     pub class: String,
+    /// Request-scoped trace context, captured at admission: trace id is
+    /// `stream_id` (clamped off 0), parent span is the job's
+    /// `serve.admit` span. A [`serve_jobs`] handler attaches it so
+    /// worker-side spans stitch into the request's flame tree.
+    pub trace: TraceContext,
     /// The request payload handed to the handler.
     pub payload: P,
 }
@@ -124,6 +133,15 @@ pub fn stream_id(seed: u64, id: u64) -> u64 {
     mix64(seed ^ mix64(id))
 }
 
+/// Record `usd` of spend for one job of `class` into the windowed
+/// per-class dollar meter (`serve.dollars_usd`) and the run-total
+/// counter. Call from handlers that know their per-call cost (e.g. a
+/// metered model client) so the SLO window sees rolling spend per class.
+pub fn record_job_cost(class: &str, usd: f64) {
+    llmdm_obs::window_counter_add("serve.dollars_usd", class, usd);
+    llmdm_obs::counter_add("serve.dollars_usd", usd);
+}
+
 /// Run `jobs` (as `(class, payload)` pairs, in submission order) through
 /// a pool of `config.workers` threads, micro-batching same-class jobs up
 /// to `config.max_batch` per handler dispatch.
@@ -136,12 +154,67 @@ pub fn stream_id(seed: u64, id: u64) -> u64 {
 ///
 /// Admission happens up front in submission order: once the queue hits
 /// `queue_capacity`, the remaining jobs are `Rejected` deterministically.
+///
+/// Handlers that need per-request identity (stream ids, trace contexts)
+/// should use [`serve_jobs`], which hands over the whole [`Job`].
 pub fn serve<P, T, E, F>(config: &ServeConfig, jobs: Vec<(String, P)>, handler: F) -> ServeRun<T, E>
 where
     P: Send,
     T: Send,
     E: Send,
     F: Fn(&str, &[P]) -> Vec<Result<T, E>> + Sync,
+{
+    serve_core(config, jobs, |class, batch: Vec<Job<P>>| {
+        let ids: Vec<u64> = batch.iter().map(|j| j.id).collect();
+        let payloads: Vec<P> = batch.into_iter().map(|j| j.payload).collect();
+        let outs = handler(class, &payloads);
+        assert_eq!(outs.len(), payloads.len(), "handler must return one result per payload");
+        ids.into_iter().zip(outs).collect()
+    })
+}
+
+/// [`serve`], but the handler receives the full [`Job`]s of one coalesced
+/// batch (ids, stream ids, trace contexts) instead of bare payloads.
+///
+/// This is the trace-aware entry point: a handler that wraps each job's
+/// work in `let _g = job.trace.attach();` gets its spans stitched into
+/// that request's flame tree (rooted at the job's `serve.admit` span),
+/// regardless of which worker thread ran it or how the batch was
+/// composed. Same determinism contract and admission semantics as
+/// [`serve`].
+pub fn serve_jobs<P, T, E, F>(
+    config: &ServeConfig,
+    jobs: Vec<(String, P)>,
+    handler: F,
+) -> ServeRun<T, E>
+where
+    P: Send,
+    T: Send,
+    E: Send,
+    F: Fn(&str, &[Job<P>]) -> Vec<Result<T, E>> + Sync,
+{
+    serve_core(config, jobs, |class, batch: Vec<Job<P>>| {
+        let outs = handler(class, &batch);
+        assert_eq!(outs.len(), batch.len(), "handler must return one result per job");
+        batch.iter().map(|j| j.id).zip(outs).collect()
+    })
+}
+
+/// The shared machinery behind [`serve`] and [`serve_jobs`]: admission
+/// (which mints each job's [`TraceContext`] under its `serve.admit`
+/// span), the worker pool, micro-batch spans, windowed per-class
+/// telemetry, and result slotting. `dispatch` consumes one coalesced
+/// batch and returns `(job id, result)` pairs.
+fn serve_core<P, T, E, D>(
+    config: &ServeConfig,
+    jobs: Vec<(String, P)>,
+    dispatch: D,
+) -> ServeRun<T, E>
+where
+    P: Send,
+    T: Send,
+    E: Send,
+    D: Fn(&str, Vec<Job<P>>) -> Vec<(u64, Result<T, E>)> + Sync,
 {
     let mut span = llmdm_obs::span("serve.run");
     let workers = config.workers.max(1);
@@ -153,19 +226,45 @@ where
     let mut rejected = 0u64;
 
     // ---- Phase 1: admission, in submission order. --------------------
+    // Each submission gets a trace context derived from (seed, id) —
+    // byte-stable across worker counts — and an `serve.admit` span opened
+    // under it, which becomes the root of the request's flame tree. The
+    // queued job carries the context re-rooted at that span.
+    let telemetry = llmdm_obs::is_enabled();
+    let mut depth_wins: BTreeMap<String, WindowHandle<'static>> = BTreeMap::new();
     for (i, (class, payload)) in jobs.into_iter().enumerate() {
-        let job =
-            Job { id: i as u64, stream_id: stream_id(config.seed, i as u64), class, payload };
-        match queue.try_push(job) {
+        let id = i as u64;
+        let sid = stream_id(config.seed, id);
+        let ctx = TraceContext::root(sid.max(1));
+        let guard = ctx.attach();
+        let mut aspan = llmdm_obs::span("serve.admit");
+        if aspan.is_recording() {
+            aspan.field("id", id);
+            aspan.field("class", class.as_str());
+        }
+        let job = Job { id, stream_id: sid, class, trace: ctx.at(&aspan), payload };
+        let class_key = job.class.clone();
+        let outcome = queue.try_push(job);
+        if telemetry {
+            depth_wins
+                .entry(class_key.clone())
+                .or_insert_with(|| llmdm_obs::window("serve.queue_depth", &class_key))
+                .observe(queue.len() as f64);
+        }
+        match outcome {
             Ok(()) => {
                 admitted += 1;
+                aspan.field("admitted", true);
                 results.push(None);
             }
             Err(e) => {
                 rejected += 1;
+                aspan.field("admitted", false);
                 results.push(Some(Disposition::Rejected(e)));
             }
         }
+        drop(aspan);
+        drop(guard);
     }
     queue.close();
     llmdm_obs::counter_add("serve.jobs.admitted", admitted as f64);
@@ -179,35 +278,51 @@ where
         let handles: Vec<_> = (0..workers)
             .map(|w| {
                 let queue = &queue;
-                let handler = &handler;
+                let dispatch = &dispatch;
                 let slots = &slots;
                 let batches = &batches;
                 let largest = &largest;
                 s.spawn(move || {
                     let mut processed = 0u64;
+                    // Per-class latency windows, cached per worker so the
+                    // hot loop never takes the registry lock.
+                    let mut lat_wins: BTreeMap<String, WindowHandle<'static>> = BTreeMap::new();
                     while let Some(batch) =
                         queue.pop_batch(config.max_batch, |a, b| a.class == b.class)
                     {
                         let mut bspan = llmdm_obs::span("serve.batch");
                         let class = batch[0].class.clone();
-                        let ids: Vec<u64> = batch.iter().map(|j| j.id).collect();
-                        let payloads: Vec<P> = batch.into_iter().map(|j| j.payload).collect();
+                        let size = batch.len();
                         if bspan.is_recording() {
                             bspan.field("class", class.as_str());
-                            bspan.field("size", payloads.len());
+                            bspan.field("size", size);
                             bspan.field("worker", w);
+                            // Joinable against per-request traces: which
+                            // submissions this dispatch covered.
+                            let ids: Vec<String> =
+                                batch.iter().map(|j| j.id.to_string()).collect();
+                            bspan.field("ids", ids.join(","));
                         }
-                        let outs = handler(&class, &payloads);
-                        assert_eq!(
-                            outs.len(),
-                            payloads.len(),
-                            "handler must return one result per payload"
-                        );
+                        let telemetry = llmdm_obs::is_enabled();
+                        let t0 = telemetry.then(Instant::now);
+                        let outs = dispatch(&class, batch);
+                        assert_eq!(outs.len(), size, "dispatch must return one result per job");
+                        if let Some(t0) = t0 {
+                            let ms = t0.elapsed().as_secs_f64() * 1e3;
+                            let win = lat_wins.entry(class.clone()).or_insert_with(|| {
+                                llmdm_obs::window("serve.batch_latency_ms", &class)
+                            });
+                            // One observation per job, so per-class rates
+                            // compare across batch sizes.
+                            for _ in 0..size {
+                                win.observe(ms / size as f64);
+                            }
+                        }
                         batches.fetch_add(1, Ordering::Relaxed);
-                        largest.fetch_max(payloads.len(), Ordering::Relaxed);
-                        processed += ids.len() as u64;
+                        largest.fetch_max(size, Ordering::Relaxed);
+                        processed += size as u64;
                         let mut guard = slots.lock().unwrap_or_else(|e| e.into_inner());
-                        for (id, out) in ids.into_iter().zip(outs) {
+                        for (id, out) in outs {
                             guard[id as usize] = Some(Disposition::Done(out));
                         }
                     }
@@ -323,6 +438,65 @@ mod tests {
         assert_eq!(stream_id(42, 0), stream_id(42, 0));
         assert_ne!(stream_id(42, 0), stream_id(42, 1));
         assert_ne!(stream_id(42, 0), stream_id(43, 0));
+    }
+
+    #[test]
+    fn serve_jobs_hands_over_identity() {
+        let cfg = ServeConfig { workers: 2, seed: 42, ..Default::default() };
+        let run: ServeRun<(u64, u64), ServeError> =
+            serve_jobs(&cfg, echo_jobs(16), |_class, batch: &[Job<u64>]| {
+                batch
+                    .iter()
+                    .map(|j| {
+                        // Every queued job carries an active trace context
+                        // whose id matches its stream id (mod the 0 clamp).
+                        assert!(j.trace.is_active());
+                        assert_eq!(j.trace.trace_id, j.stream_id.max(1));
+                        assert_eq!(j.payload, j.id);
+                        Ok((j.id, j.stream_id))
+                    })
+                    .collect()
+            });
+        for (i, d) in run.results.iter().enumerate() {
+            let (id, sid) = d.ok().unwrap();
+            assert_eq!(*id, i as u64);
+            assert_eq!(*sid, stream_id(42, i as u64));
+        }
+    }
+
+    #[test]
+    fn batch_spans_carry_job_ids() {
+        // Isolated recorder? Spans go to the global recorder, so filter
+        // by a class name unique to this test instead.
+        llmdm_obs::enable();
+        let cfg = ServeConfig { workers: 1, max_batch: 4, ..Default::default() };
+        let jobs: Vec<(String, u64)> =
+            (0..6).map(|i| ("batch_ids_test".to_string(), i)).collect();
+        let _run: ServeRun<u64, ServeError> =
+            serve(&cfg, jobs, |_c, b: &[u64]| b.iter().map(|v| Ok(*v)).collect());
+        let rep = llmdm_obs::snapshot();
+        let mut covered: Vec<u64> = Vec::new();
+        for s in rep.spans.iter().filter(|s| s.name == "serve.batch") {
+            let is_ours = s.fields.iter().any(|(k, v)| {
+                k == "class" && matches!(v, llmdm_obs::FieldValue::Str(c) if c == "batch_ids_test")
+            });
+            if !is_ours {
+                continue;
+            }
+            let ids = s
+                .fields
+                .iter()
+                .find_map(|(k, v)| {
+                    (k == "ids").then(|| match v {
+                        llmdm_obs::FieldValue::Str(s) => s.clone(),
+                        other => other.to_string(),
+                    })
+                })
+                .expect("batch span has ids field");
+            covered.extend(ids.split(',').map(|t| t.parse::<u64>().unwrap()));
+        }
+        covered.sort_unstable();
+        assert_eq!(covered, vec![0, 1, 2, 3, 4, 5], "batch ids cover every admitted job");
     }
 
     #[test]

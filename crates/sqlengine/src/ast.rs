@@ -312,9 +312,17 @@ pub struct Assignment {
 pub enum Statement {
     /// SELECT query.
     Select(SelectStmt),
-    /// `EXPLAIN SELECT …` — renders the optimized logical plan and the
-    /// physical operator tree instead of executing the query.
-    Explain(SelectStmt),
+    /// `EXPLAIN [ANALYZE] SELECT …` — renders the optimized logical plan
+    /// and the physical operator tree. Plain `EXPLAIN` does not execute;
+    /// `EXPLAIN ANALYZE` executes the plan with per-operator
+    /// instrumentation and annotates each operator with actual rows,
+    /// loops and wall time.
+    Explain {
+        /// Whether to execute and annotate with actual row counts/timing.
+        analyze: bool,
+        /// The query being explained.
+        select: SelectStmt,
+    },
     /// `INSERT INTO t [(cols)] VALUES (…), (…)`
     Insert {
         /// Target table.

@@ -29,7 +29,8 @@ pub fn execute(db: &mut Database, stmt: &Statement) -> Result<ResultSet, SqlErro
             "kind",
             match stmt {
                 Statement::Select(_) => "select",
-                Statement::Explain(_) => "explain",
+                Statement::Explain { analyze: false, .. } => "explain",
+                Statement::Explain { analyze: true, .. } => "explain_analyze",
                 Statement::Insert { .. } => "insert",
                 Statement::Update { .. } => "update",
                 Statement::Delete { .. } => "delete",
@@ -59,7 +60,10 @@ pub fn execute(db: &mut Database, stmt: &Statement) -> Result<ResultSet, SqlErro
 fn execute_inner(db: &mut Database, stmt: &Statement) -> Result<ResultSet, SqlError> {
     match stmt {
         Statement::Select(s) => execute_select(db, s),
-        Statement::Explain(s) => crate::plan::explain_select(db, s),
+        Statement::Explain { analyze: false, select } => crate::plan::explain_select(db, select),
+        Statement::Explain { analyze: true, select } => {
+            crate::plan::explain_analyze_select(db, select)
+        }
         Statement::Insert { table, columns, values } => insert(db, table, columns.as_deref(), values),
         Statement::Update { table, assignments, selection } => {
             update(db, table, assignments, selection.as_ref())

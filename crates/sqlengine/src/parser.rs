@@ -169,7 +169,8 @@ impl Parser {
         }
         if tok.is_kw("EXPLAIN") {
             self.next();
-            return Ok(Statement::Explain(self.select()?));
+            let analyze = self.eat_kw("ANALYZE");
+            return Ok(Statement::Explain { analyze, select: self.select()? });
         }
         if tok.is_kw("INSERT") {
             return self.insert();
@@ -941,9 +942,12 @@ mod tests {
     #[test]
     fn explain_statement() {
         let s = parse_statement("EXPLAIN SELECT a FROM t WHERE a > 1").unwrap();
-        assert!(matches!(s, Statement::Explain(_)));
+        assert!(matches!(s, Statement::Explain { analyze: false, .. }));
+        let s = parse_statement("EXPLAIN ANALYZE SELECT a FROM t WHERE a > 1").unwrap();
+        assert!(matches!(s, Statement::Explain { analyze: true, .. }));
         // EXPLAIN requires a SELECT body.
         assert!(parse_statement("EXPLAIN INSERT INTO t VALUES (1)").is_err());
+        assert!(parse_statement("EXPLAIN ANALYZE INSERT INTO t VALUES (1)").is_err());
         // And still works as a plain identifier elsewhere.
         let s = sel("SELECT explain FROM t");
         assert_eq!(s.projections.len(), 1);

@@ -64,6 +64,28 @@ pub(crate) fn explain_select(db: &Database, stmt: &SelectStmt) -> Result<ResultS
     Ok(ResultSet { columns: vec!["plan".into()], rows, affected: 0 })
 }
 
+/// Execute `EXPLAIN ANALYZE SELECT …`: run the physical plan with
+/// per-operator instrumentation and return the operator tree annotated
+/// with actual rows in/out, `next()` loops, and inclusive wall time —
+/// plus a trailing `result: N row(s)` line that reconciles the root
+/// operator's row count with the executed result. Runtime errors
+/// propagate exactly as they would from the plain query.
+pub(crate) fn explain_analyze_select(
+    db: &Database,
+    stmt: &SelectStmt,
+) -> Result<ResultSet, SqlError> {
+    let plan = lower_select(db, stmt)?;
+    let plan = optimize(db, plan);
+    let (result, stats) = physical::run_analyzed(db, &plan)?;
+    let mut rows: Vec<Vec<Value>> = Vec::new();
+    rows.push(vec![Value::Str("physical (analyzed):".into())]);
+    for line in physical::render_analyzed(&plan, &stats) {
+        rows.push(vec![Value::Str(format!("  {line}"))]);
+    }
+    rows.push(vec![Value::Str(format!("result: {} row(s)", result.rows.len()))]);
+    Ok(ResultSet { columns: vec!["plan".into()], rows, affected: 0 })
+}
+
 #[cfg(test)]
 mod tests {
     use crate::exec::concert_db;
@@ -108,5 +130,49 @@ mod tests {
         // A query that would error at runtime still EXPLAINs fine.
         let rs = db.query("EXPLAIN SELECT name + 1 FROM stadium");
         assert!(rs.is_ok(), "{rs:?}");
+    }
+
+    /// Pull `rows_out=N` off the first (root) annotated operator line.
+    fn root_rows_out(text: &str) -> usize {
+        let line = text.lines().nth(1).expect("root operator line");
+        let tail = line.split("rows_out=").nth(1).unwrap_or_else(|| panic!("no rows_out: {line}"));
+        tail.split(|c: char| !c.is_ascii_digit()).next().unwrap().parse().unwrap()
+    }
+
+    #[test]
+    fn explain_analyze_reconciles_with_executed_result() {
+        let mut db = concert_db();
+        for sql in [
+            "SELECT name FROM stadium WHERE capacity > 40000",
+            "SELECT s.name, c.concert_id FROM stadium s JOIN concert c ON s.stadium_id = c.stadium_id",
+            "SELECT stadium_id, COUNT(*) FROM concert GROUP BY stadium_id ORDER BY stadium_id LIMIT 2",
+        ] {
+            let direct = db.query(sql).unwrap().rows.len();
+            let text = explain(&mut db, &format!("EXPLAIN ANALYZE {sql}"));
+            assert!(text.starts_with("physical (analyzed):"), "{text}");
+            assert_eq!(root_rows_out(&text), direct, "{sql}\n{text}");
+            assert!(text.contains(&format!("result: {direct} row(s)")), "{text}");
+            assert!(text.contains("loops="), "{text}");
+            assert!(text.contains("time="), "{text}");
+        }
+    }
+
+    #[test]
+    fn explain_analyze_marks_unexecuted_join_side() {
+        let mut db = concert_db();
+        db.execute("CREATE TABLE empty_t (x INT)").unwrap();
+        // Left side empty → lazily materialized right side never builds.
+        let text = explain(
+            &mut db,
+            "EXPLAIN ANALYZE SELECT * FROM empty_t JOIN stadium ON empty_t.x = stadium.stadium_id",
+        );
+        assert!(text.contains("(never executed)"), "{text}");
+        assert!(text.contains("result: 0 row(s)"), "{text}");
+    }
+
+    #[test]
+    fn explain_analyze_propagates_runtime_errors() {
+        let mut db = concert_db();
+        assert!(db.query("EXPLAIN ANALYZE SELECT name + 1 FROM stadium").is_err());
     }
 }

@@ -26,22 +26,59 @@ use crate::value::Value;
 
 use super::logical::LogicalPlan;
 
+/// Execution statistics for one physical operator, in the same pre-order
+/// as [`render`]'s lines (which is what lets [`render_analyzed`] zip the
+/// two together).
+#[derive(Debug, Clone)]
+pub(crate) struct OpStat {
+    /// Operator label (`scan.<table>`, `filter`, `join`, …) — also the
+    /// suffix of the `sqlengine.plan.rows.<label>` counters.
+    pub label: String,
+    /// Rows this operator produced.
+    pub rows_out: usize,
+    /// `next()` calls observed (only meaningful when `timed`).
+    pub loops: u64,
+    /// Inclusive wall time across all `next()` calls, in nanoseconds
+    /// (only meaningful when `timed`).
+    pub elapsed_ns: u64,
+    /// Whether this node was wrapped in timing instrumentation
+    /// (`EXPLAIN ANALYZE` builds; plain runs skip the timer entirely).
+    pub timed: bool,
+    /// `false` for operators that never ran — e.g. the lazily
+    /// materialized right side of a join whose left side was empty.
+    pub executed: bool,
+}
+
+impl OpStat {
+    fn basic(label: impl Into<String>, rows_out: usize) -> OpStat {
+        OpStat { label: label.into(), rows_out, loops: 0, elapsed_ns: 0, timed: false, executed: true }
+    }
+
+    fn never(label: impl Into<String>) -> OpStat {
+        OpStat { label: label.into(), rows_out: 0, loops: 0, elapsed_ns: 0, timed: false, executed: false }
+    }
+}
+
 /// A pull-based operator: `next()` yields one output row at a time.
 pub(crate) trait PhysOp<'a> {
     /// Produce the next row, or `None` when exhausted.
     fn next(&mut self) -> Result<Option<Row>, SqlError>;
-    /// Append `(label, rows_out)` stats for this operator, then children.
-    fn stats(&self, out: &mut Vec<(String, usize)>);
+    /// Append this operator's [`OpStat`], then its children's (pre-order).
+    fn stats(&self, out: &mut Vec<OpStat>);
 }
 
-/// Build the operator tree for a plan.
+/// Build the operator tree for a plan. With `instrument`, every operator
+/// is wrapped in a [`TimedExec`] that counts `next()` calls and
+/// accumulates inclusive wall time — the `EXPLAIN ANALYZE` path; plain
+/// execution passes `false` and pays nothing.
 pub(crate) fn build<'a>(
     db: &'a Database,
     plan: &'a LogicalPlan,
+    instrument: bool,
 ) -> Result<Box<dyn PhysOp<'a> + 'a>, SqlError> {
-    match plan {
-        LogicalPlan::OneRow => Ok(Box::new(OneRowExec { emitted: false })),
-        LogicalPlan::Scan { .. } => build_scan(db, plan, Vec::new()),
+    let op: Box<dyn PhysOp<'a> + 'a> = match plan {
+        LogicalPlan::OneRow => Box::new(OneRowExec { emitted: false }),
+        LogicalPlan::Scan { .. } => build_scan(db, plan, Vec::new())?,
         LogicalPlan::Filter { input, predicate } => {
             // Fuse Filter chains over a base scan. Predicates collected
             // outside-in are reversed so the innermost (leftmost WHERE
@@ -54,91 +91,93 @@ pub(crate) fn build<'a>(
             }
             if matches!(base, LogicalPlan::Scan { .. }) {
                 preds.reverse();
-                build_scan(db, base, preds)
+                build_scan(db, base, preds)?
             } else {
-                Ok(Box::new(FilterExec {
+                Box::new(FilterExec {
                     db,
                     bindings: input.bindings(),
-                    input: build(db, input)?,
+                    input: build(db, input, instrument)?,
                     predicate,
                     rows_out: 0,
-                }))
+                })
             }
         }
-        LogicalPlan::Join { left, right, join, on } => Ok(Box::new(NLJoinExec {
+        LogicalPlan::Join { left, right, join, on } => Box::new(NLJoinExec {
             db,
             left_bindings: left.bindings(),
             right_bindings: right.bindings(),
-            left: build(db, left)?,
+            left: build(db, left, instrument)?,
             right_plan: right,
             right_rows: Vec::new(),
             right_ready: false,
             right_stats: Vec::new(),
+            instrument,
             join: *join,
             on: on.as_ref(),
             cur: None,
             right_idx: 0,
             matched: false,
             rows_out: 0,
-        })),
-        LogicalPlan::Project { input, items, .. } => Ok(Box::new(ProjectExec {
+        }),
+        LogicalPlan::Project { input, items, .. } => Box::new(ProjectExec {
             db,
             bindings: input.bindings(),
-            input: build(db, input)?,
+            input: build(db, input, instrument)?,
             items,
             rows_out: 0,
-        })),
+        }),
         LogicalPlan::Aggregate { input, group_by, having, items, .. } => {
-            Ok(Box::new(AggregateExec {
+            Box::new(AggregateExec {
                 db,
                 bindings: input.bindings(),
-                input: build(db, input)?,
+                input: build(db, input, instrument)?,
                 group_by,
                 having: having.as_ref(),
                 items,
                 buf: VecDeque::new(),
                 done: false,
                 rows_out: 0,
-            }))
+            })
         }
-        LogicalPlan::Distinct { input } => Ok(Box::new(DistinctExec {
-            input: build(db, input)?,
+        LogicalPlan::Distinct { input } => Box::new(DistinctExec {
+            input: build(db, input, instrument)?,
             buf: VecDeque::new(),
             done: false,
             rows_out: 0,
-        })),
-        LogicalPlan::SetOp { left, right, op, all } => Ok(Box::new(SetOpExec {
+        }),
+        LogicalPlan::SetOp { left, right, op, all } => Box::new(SetOpExec {
             left_cols: left.output_columns().len(),
             right_cols: right.output_columns().len(),
-            left: build(db, left)?,
-            right: build(db, right)?,
+            left: build(db, left, instrument)?,
+            right: build(db, right, instrument)?,
             op: *op,
             all: *all,
             buf: VecDeque::new(),
             done: false,
             rows_out: 0,
-        })),
-        LogicalPlan::Sort { input, keys, fetch } => Ok(Box::new(SortExec {
-            input: build(db, input)?,
+        }),
+        LogicalPlan::Sort { input, keys, fetch } => Box::new(SortExec {
+            input: build(db, input, instrument)?,
             keys,
             fetch: *fetch,
             buf: VecDeque::new(),
             done: false,
             rows_out: 0,
-        })),
-        LogicalPlan::Strip { input, keep } => Ok(Box::new(StripExec {
-            input: build(db, input)?,
+        }),
+        LogicalPlan::Strip { input, keep } => Box::new(StripExec {
+            input: build(db, input, instrument)?,
             keep: *keep,
             rows_out: 0,
-        })),
-        LogicalPlan::Limit { input, limit, offset } => Ok(Box::new(LimitExec {
-            input: build(db, input)?,
+        }),
+        LogicalPlan::Limit { input, limit, offset } => Box::new(LimitExec {
+            input: build(db, input, instrument)?,
             limit: *limit,
             offset: *offset,
             skipped: 0,
             emitted: 0,
-        })),
-    }
+        }),
+    };
+    Ok(if instrument { Box::new(TimedExec { inner: op, loops: 0, elapsed_ns: 0 }) } else { op })
 }
 
 fn build_scan<'a>(
@@ -168,8 +207,26 @@ fn build_scan<'a>(
 
 /// Execute a plan and collect the result set.
 pub(crate) fn run(db: &Database, plan: &LogicalPlan) -> Result<ResultSet, SqlError> {
+    run_with(db, plan, false).map(|(rs, _)| rs)
+}
+
+/// Execute a plan with per-operator instrumentation ([`TimedExec`]
+/// wrappers) and return both the result set and the pre-order
+/// [`OpStat`]s — the `EXPLAIN ANALYZE` entry point.
+pub(crate) fn run_analyzed(
+    db: &Database,
+    plan: &LogicalPlan,
+) -> Result<(ResultSet, Vec<OpStat>), SqlError> {
+    run_with(db, plan, true)
+}
+
+fn run_with(
+    db: &Database,
+    plan: &LogicalPlan,
+    instrument: bool,
+) -> Result<(ResultSet, Vec<OpStat>), SqlError> {
     let mut span = llmdm_obs::span("sqlengine.plan.exec");
-    let mut root = build(db, plan)?;
+    let mut root = build(db, plan, instrument)?;
     let mut rows: Vec<Row> = Vec::new();
     let mut failure: Option<SqlError> = None;
     loop {
@@ -182,12 +239,14 @@ pub(crate) fn run(db: &Database, plan: &LogicalPlan) -> Result<ResultSet, SqlErr
             }
         }
     }
-    if span.is_recording() {
-        let mut stats: Vec<(String, usize)> = Vec::new();
+    let mut stats: Vec<OpStat> = Vec::new();
+    if instrument || span.is_recording() {
         root.stats(&mut stats);
-        for (i, (label, n)) in stats.iter().enumerate() {
-            span.field(&format!("rows_out.{i}.{label}"), *n);
-            llmdm_obs::counter_add(&format!("sqlengine.plan.rows.{label}"), *n as f64);
+    }
+    if span.is_recording() {
+        for (i, st) in stats.iter().enumerate() {
+            span.field(&format!("rows_out.{i}.{}", st.label), st.rows_out);
+            llmdm_obs::counter_add(&format!("sqlengine.plan.rows.{}", st.label), st.rows_out as f64);
         }
         span.field("rows_out", rows.len());
         if failure.is_some() {
@@ -196,7 +255,36 @@ pub(crate) fn run(db: &Database, plan: &LogicalPlan) -> Result<ResultSet, SqlErr
     }
     match failure {
         Some(e) => Err(e),
-        None => Ok(ResultSet { columns: plan.output_columns(), rows, affected: 0 }),
+        None => Ok((ResultSet { columns: plan.output_columns(), rows, affected: 0 }, stats)),
+    }
+}
+
+/// The `EXPLAIN ANALYZE` decorator: forwards `next()` while counting
+/// calls and accumulating inclusive wall time, and annotates its inner
+/// operator's own [`OpStat`] (the first one its subtree pushes).
+struct TimedExec<'a> {
+    inner: Box<dyn PhysOp<'a> + 'a>,
+    loops: u64,
+    elapsed_ns: u64,
+}
+
+impl<'a> PhysOp<'a> for TimedExec<'a> {
+    fn next(&mut self) -> Result<Option<Row>, SqlError> {
+        let t0 = std::time::Instant::now();
+        let out = self.inner.next();
+        self.elapsed_ns += t0.elapsed().as_nanos() as u64;
+        self.loops += 1;
+        out
+    }
+
+    fn stats(&self, out: &mut Vec<OpStat>) {
+        let start = out.len();
+        self.inner.stats(out);
+        if let Some(st) = out.get_mut(start) {
+            st.loops = self.loops;
+            st.elapsed_ns = self.elapsed_ns;
+            st.timed = true;
+        }
     }
 }
 
@@ -216,8 +304,8 @@ impl<'a> PhysOp<'a> for OneRowExec {
         }
     }
 
-    fn stats(&self, out: &mut Vec<(String, usize)>) {
-        out.push(("onerow".into(), usize::from(self.emitted)));
+    fn stats(&self, out: &mut Vec<OpStat>) {
+        out.push(OpStat::basic("onerow", usize::from(self.emitted)));
     }
 }
 
@@ -256,8 +344,8 @@ impl<'a> PhysOp<'a> for ScanExec<'a> {
         Ok(None)
     }
 
-    fn stats(&self, out: &mut Vec<(String, usize)>) {
-        out.push((format!("scan.{}", self.table), self.rows_out));
+    fn stats(&self, out: &mut Vec<OpStat>) {
+        out.push(OpStat::basic(format!("scan.{}", self.table), self.rows_out));
     }
 }
 
@@ -285,8 +373,8 @@ impl<'a> PhysOp<'a> for FilterExec<'a> {
         Ok(None)
     }
 
-    fn stats(&self, out: &mut Vec<(String, usize)>) {
-        out.push(("filter".into(), self.rows_out));
+    fn stats(&self, out: &mut Vec<OpStat>) {
+        out.push(OpStat::basic("filter", self.rows_out));
         self.input.stats(out);
     }
 }
@@ -300,7 +388,9 @@ struct NLJoinExec<'a> {
     /// Right side, materialized on first pull.
     right_rows: Vec<Row>,
     right_ready: bool,
-    right_stats: Vec<(String, usize)>,
+    right_stats: Vec<OpStat>,
+    /// Whether lazily built right-side operators get [`TimedExec`] wrappers.
+    instrument: bool,
     join: JoinType,
     on: Option<&'a Expr>,
     /// Current left row being matched.
@@ -331,7 +421,7 @@ impl<'a> PhysOp<'a> for NLJoinExec<'a> {
                         self.right_idx = 0;
                         self.matched = false;
                         if !self.right_ready {
-                            let mut child = build(self.db, self.right_plan)?;
+                            let mut child = build(self.db, self.right_plan, self.instrument)?;
                             let mut rows = Vec::new();
                             while let Some(r) = child.next()? {
                                 rows.push(r);
@@ -369,10 +459,16 @@ impl<'a> PhysOp<'a> for NLJoinExec<'a> {
         }
     }
 
-    fn stats(&self, out: &mut Vec<(String, usize)>) {
-        out.push(("join".into(), self.rows_out));
+    fn stats(&self, out: &mut Vec<OpStat>) {
+        out.push(OpStat::basic("join", self.rows_out));
         self.left.stats(out);
-        out.extend(self.right_stats.iter().cloned());
+        if self.right_ready {
+            out.extend(self.right_stats.iter().cloned());
+        } else {
+            // Left side was empty: the right subtree was never built.
+            // Emit placeholders so pre-order stays aligned with render().
+            placeholder_stats(self.right_plan, out);
+        }
     }
 }
 
@@ -396,8 +492,8 @@ impl<'a> PhysOp<'a> for ProjectExec<'a> {
         }
     }
 
-    fn stats(&self, out: &mut Vec<(String, usize)>) {
-        out.push(("project".into(), self.rows_out));
+    fn stats(&self, out: &mut Vec<OpStat>) {
+        out.push(OpStat::basic("project", self.rows_out));
         self.input.stats(out);
     }
 }
@@ -437,8 +533,8 @@ impl<'a> PhysOp<'a> for AggregateExec<'a> {
         Ok(row)
     }
 
-    fn stats(&self, out: &mut Vec<(String, usize)>) {
-        out.push(("aggregate".into(), self.rows_out));
+    fn stats(&self, out: &mut Vec<OpStat>) {
+        out.push(OpStat::basic("aggregate", self.rows_out));
         self.input.stats(out);
     }
 }
@@ -466,8 +562,8 @@ impl<'a> PhysOp<'a> for DistinctExec<'a> {
         Ok(row)
     }
 
-    fn stats(&self, out: &mut Vec<(String, usize)>) {
-        out.push(("distinct".into(), self.rows_out));
+    fn stats(&self, out: &mut Vec<OpStat>) {
+        out.push(OpStat::basic("distinct", self.rows_out));
         self.input.stats(out);
     }
 }
@@ -511,8 +607,8 @@ impl<'a> PhysOp<'a> for SetOpExec<'a> {
         Ok(row)
     }
 
-    fn stats(&self, out: &mut Vec<(String, usize)>) {
-        out.push(("setop".into(), self.rows_out));
+    fn stats(&self, out: &mut Vec<OpStat>) {
+        out.push(OpStat::basic("setop", self.rows_out));
         self.left.stats(out);
         self.right.stats(out);
     }
@@ -573,9 +669,9 @@ impl<'a> PhysOp<'a> for SortExec<'a> {
         Ok(row)
     }
 
-    fn stats(&self, out: &mut Vec<(String, usize)>) {
+    fn stats(&self, out: &mut Vec<OpStat>) {
         let label = if self.fetch.is_some() { "topk" } else { "sort" };
-        out.push((label.into(), self.rows_out));
+        out.push(OpStat::basic(label, self.rows_out));
         self.input.stats(out);
     }
 }
@@ -598,8 +694,8 @@ impl<'a> PhysOp<'a> for StripExec<'a> {
         }
     }
 
-    fn stats(&self, out: &mut Vec<(String, usize)>) {
-        out.push(("strip".into(), self.rows_out));
+    fn stats(&self, out: &mut Vec<OpStat>) {
+        out.push(OpStat::basic("strip", self.rows_out));
         self.input.stats(out);
     }
 }
@@ -634,9 +730,66 @@ impl<'a> PhysOp<'a> for LimitExec<'a> {
         }
     }
 
-    fn stats(&self, out: &mut Vec<(String, usize)>) {
-        out.push(("limit".into(), self.emitted));
+    fn stats(&self, out: &mut Vec<OpStat>) {
+        out.push(OpStat::basic("limit", self.emitted));
         self.input.stats(out);
+    }
+}
+
+/// Pre-order placeholder stats for a subtree that was never built (the
+/// lazily materialized right side of a join whose left side was empty).
+/// Mirrors [`render_into`]'s traversal — including filter-over-scan
+/// fusion — so stats stay zip-aligned with [`render`]'s lines.
+fn placeholder_stats(plan: &LogicalPlan, out: &mut Vec<OpStat>) {
+    match plan {
+        LogicalPlan::OneRow => out.push(OpStat::never("onerow")),
+        LogicalPlan::Scan { table, .. } => out.push(OpStat::never(format!("scan.{table}"))),
+        LogicalPlan::Filter { input, .. } => {
+            let mut base: &LogicalPlan = input;
+            while let LogicalPlan::Filter { input, .. } = base {
+                base = input;
+            }
+            if let LogicalPlan::Scan { table, .. } = base {
+                out.push(OpStat::never(format!("scan.{table}")));
+            } else {
+                out.push(OpStat::never("filter"));
+                placeholder_stats(input, out);
+            }
+        }
+        LogicalPlan::Join { left, right, .. } => {
+            out.push(OpStat::never("join"));
+            placeholder_stats(left, out);
+            placeholder_stats(right, out);
+        }
+        LogicalPlan::Project { input, .. } => {
+            out.push(OpStat::never("project"));
+            placeholder_stats(input, out);
+        }
+        LogicalPlan::Aggregate { input, .. } => {
+            out.push(OpStat::never("aggregate"));
+            placeholder_stats(input, out);
+        }
+        LogicalPlan::Distinct { input } => {
+            out.push(OpStat::never("distinct"));
+            placeholder_stats(input, out);
+        }
+        LogicalPlan::SetOp { left, right, .. } => {
+            out.push(OpStat::never("setop"));
+            placeholder_stats(left, out);
+            placeholder_stats(right, out);
+        }
+        LogicalPlan::Sort { input, fetch, .. } => {
+            out.push(OpStat::never(if fetch.is_some() { "topk" } else { "sort" }));
+            placeholder_stats(input, out);
+        }
+        LogicalPlan::Strip { input, .. } => {
+            out.push(OpStat::never("strip"));
+            placeholder_stats(input, out);
+        }
+        LogicalPlan::Limit { input, .. } => {
+            out.push(OpStat::never("limit"));
+            placeholder_stats(input, out);
+        }
     }
 }
 
@@ -646,6 +799,106 @@ pub(crate) fn render(plan: &LogicalPlan) -> Vec<String> {
     let mut out = Vec::new();
     render_into(plan, 0, &mut out);
     out
+}
+
+/// Per-node child counts in the same pre-order as [`render`] — the shape
+/// information [`render_analyzed`] uses to compute each operator's
+/// `rows_in` (sum of its direct children's `rows_out`).
+fn arities_into(plan: &LogicalPlan, out: &mut Vec<usize>) {
+    match plan {
+        LogicalPlan::OneRow | LogicalPlan::Scan { .. } => out.push(0),
+        LogicalPlan::Filter { input, .. } => {
+            let mut base: &LogicalPlan = input;
+            while let LogicalPlan::Filter { input, .. } = base {
+                base = input;
+            }
+            if matches!(base, LogicalPlan::Scan { .. }) {
+                out.push(0);
+            } else {
+                out.push(1);
+                arities_into(input, out);
+            }
+        }
+        LogicalPlan::Join { left, right, .. } | LogicalPlan::SetOp { left, right, .. } => {
+            out.push(2);
+            arities_into(left, out);
+            arities_into(right, out);
+        }
+        LogicalPlan::Project { input, .. }
+        | LogicalPlan::Aggregate { input, .. }
+        | LogicalPlan::Distinct { input }
+        | LogicalPlan::Sort { input, .. }
+        | LogicalPlan::Strip { input, .. }
+        | LogicalPlan::Limit { input, .. } => {
+            out.push(1);
+            arities_into(input, out);
+        }
+    }
+}
+
+fn fmt_op_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+/// Render the `EXPLAIN ANALYZE` operator tree: [`render`]'s lines, each
+/// annotated with the matching [`OpStat`] — actual rows in/out, `next()`
+/// loops and inclusive wall time, or `(never executed)` for subtrees the
+/// run never built. `stats` must come from [`run_analyzed`] on the same
+/// optimized plan.
+pub(crate) fn render_analyzed(plan: &LogicalPlan, stats: &[OpStat]) -> Vec<String> {
+    let lines = render(plan);
+    let mut arities: Vec<usize> = Vec::new();
+    arities_into(plan, &mut arities);
+    debug_assert_eq!(lines.len(), stats.len(), "render/stats pre-order mismatch");
+    debug_assert_eq!(lines.len(), arities.len());
+
+    // rows_in per node = sum of direct children's rows_out, recovered
+    // from the pre-order + arity encoding of the tree.
+    fn walk(i: usize, ar: &[usize], stats: &[OpStat], rows_in: &mut [usize]) -> (usize, usize) {
+        let mut next = i + 1;
+        let mut sum = 0usize;
+        for _ in 0..ar[i] {
+            let (after, child_rows) = walk(next, ar, stats, rows_in);
+            sum += child_rows;
+            next = after;
+        }
+        rows_in[i] = sum;
+        (next, stats.get(i).map_or(0, |s| s.rows_out))
+    }
+    let mut rows_in = vec![0usize; lines.len()];
+    if !lines.is_empty() && stats.len() == lines.len() {
+        walk(0, &arities, stats, &mut rows_in);
+    }
+
+    lines
+        .iter()
+        .zip(stats)
+        .enumerate()
+        .map(|(i, (line, st))| {
+            if !st.executed {
+                return format!("{line}  (never executed)");
+            }
+            let input = if arities[i] == 0 {
+                String::new()
+            } else {
+                format!("rows_in={} ", rows_in[i])
+            };
+            let timing = if st.timed {
+                format!(" loops={} time={}", st.loops, fmt_op_ns(st.elapsed_ns))
+            } else {
+                String::new()
+            };
+            format!("{line}  ({input}rows_out={}{timing})", st.rows_out)
+        })
+        .collect()
 }
 
 fn render_into(plan: &LogicalPlan, depth: usize, out: &mut Vec<String>) {

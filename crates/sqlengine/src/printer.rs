@@ -9,7 +9,9 @@ use crate::ast::{
 pub fn print_statement(stmt: &Statement) -> String {
     match stmt {
         Statement::Select(s) => print_select(s),
-        Statement::Explain(s) => format!("EXPLAIN {}", print_select(s)),
+        Statement::Explain { analyze, select } => {
+            format!("EXPLAIN {}{}", if *analyze { "ANALYZE " } else { "" }, print_select(select))
+        }
         Statement::Insert { table, columns, values } => {
             let cols = match columns {
                 Some(cs) => format!(" ({})", cs.join(", ")),
@@ -252,6 +254,7 @@ mod tests {
             "SELECT COUNT(DISTINCT x) FROM t",
             "SELECT * FROM a, b WHERE a.x = b.y",
             "EXPLAIN SELECT name FROM stadium WHERE capacity > 1000 ORDER BY name LIMIT 3",
+            "EXPLAIN ANALYZE SELECT name FROM stadium WHERE capacity > 1000",
         ] {
             roundtrip_stmt(sql);
         }

@@ -38,6 +38,19 @@ LLMDM_BENCH_FAST=1 LLMDM_BENCH_DIR="$BENCH_DIR" cargo bench --offline -p llmdm-b
 test -s "$BENCH_DIR/BENCH_serve.json" || { echo "serve_throughput emitted no BENCH_serve.json"; exit 1; }
 rm -rf "$BENCH_DIR"
 
+echo "== request tracing example (self-validating: cross-thread flame trees stable at 1/2/8 workers, EXPLAIN ANALYZE rows reconcile)"
+TRACE_DIR="$(mktemp -d)"
+LLMDM_BENCH_DIR="$TRACE_DIR" cargo run -q --release --offline -p llmdm --example request_tracing >/dev/null
+test -s "$TRACE_DIR/TRACE_request.json" || { echo "request_tracing emitted no TRACE_request.json"; exit 1; }
+test -s "$TRACE_DIR/WINDOW_serve.json" || { echo "request_tracing emitted no WINDOW_serve.json"; exit 1; }
+rm -rf "$TRACE_DIR"
+
+echo "== obs window bench (pins windowed recording <5% over plain observe + disabled-path budget)"
+BENCH_DIR="$(mktemp -d)"
+LLMDM_BENCH_FAST=1 LLMDM_BENCH_DIR="$BENCH_DIR" cargo bench --offline -p llmdm-bench --bench obs_window
+test -s "$BENCH_DIR/BENCH_obswindow.json" || { echo "obs_window emitted no BENCH_obswindow.json"; exit 1; }
+rm -rf "$BENCH_DIR"
+
 echo "== query planner example (self-validating: EXPLAIN renders, planner == direct oracle bit-for-bit)"
 cargo run -q --release --offline -p llmdm --example query_planner >/dev/null
 
