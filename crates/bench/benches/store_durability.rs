@@ -1,0 +1,174 @@
+//! Durable-storage costs, pinned (DESIGN.md §13).
+//!
+//! Two claims worth numbers:
+//!
+//! * **the buffer pool earns its keep** — a scan whose pages are
+//!   resident (warm) must beat a scan that faults every page in from
+//!   the VFS and re-verifies its checksum (cold) by at least
+//!   `LLMDM_STORE_MIN_SPEEDUP` (default 2×). Cold scans run against
+//!   real files (`DirVfs` in a temp dir) so the fault-in path includes
+//!   genuine `read`s, not just map lookups;
+//! * **recovery cost scales with WAL length** — with checkpointing
+//!   disabled, re-opening a store replays every committed frame; the
+//!   bench times recovery against a short and a long WAL so regressions
+//!   in the replay loop are visible. Reported, not pinned: absolute
+//!   recovery time is machine-dependent, but both images are
+//!   correctness-gated before timing.
+//!
+//! `scripts/verify.sh` runs this with `LLMDM_BENCH_FAST=1`; results
+//! land in `BENCH_store.json`.
+
+use llmdm_rt::bench::Criterion;
+use llmdm_store::{DirVfs, MemVfs, SharedVfs, Store, StoreConfig};
+
+const SPACE: &str = "bench";
+// Page-sized records, one per page: the scan's per-record copy cost is
+// then proportional to the page count, and the cold/warm delta isolates
+// the fault-in path (file open + read + checksum verify) we're pinning.
+const RECORDS: usize = 150;
+const RECORD_LEN: usize = 3800;
+
+/// Pool large enough to hold the whole fixture, so the warm scan never
+/// evicts.
+fn scan_config() -> StoreConfig {
+    StoreConfig { pool_pages: 256, ..StoreConfig::default() }
+}
+
+fn record(i: usize) -> Vec<u8> {
+    let mut r = vec![0u8; RECORD_LEN];
+    r[..8].copy_from_slice(&(i as u64).to_le_bytes());
+    for (j, b) in r.iter_mut().enumerate().skip(8) {
+        *b = ((i * 31 + j * 7) % 251) as u8;
+    }
+    r
+}
+
+/// Populate a store on `vfs` with the scan fixture and close it.
+fn populate(vfs: SharedVfs) {
+    let mut store = Store::open(vfs, scan_config()).expect("open for populate");
+    store
+        .with_txn(|s| {
+            s.create_space(SPACE)?;
+            for i in 0..RECORDS {
+                s.append(SPACE, &record(i))?;
+            }
+            Ok(())
+        })
+        .expect("populate commits");
+}
+
+/// A crashed image whose WAL holds `commits` committed transactions
+/// (checkpointing disabled, so every re-open replays all of them).
+fn wal_image(commits: usize) -> SharedVfs {
+    let vfs = MemVfs::shared();
+    let cfg = StoreConfig { checkpoint_bytes: None, ..StoreConfig::default() };
+    let mut store = Store::open(vfs.clone(), cfg).expect("open for wal image");
+    store
+        .with_txn(|s| s.create_space(SPACE))
+        .expect("create space");
+    for c in 0..commits {
+        store
+            .with_txn(|s| {
+                for i in 0..8 {
+                    s.append(SPACE, &record(c * 8 + i))?;
+                }
+                Ok(())
+            })
+            .expect("commit");
+    }
+    drop(store);
+    vfs
+}
+
+fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn stat<'a>(c: &'a Criterion, id: &str) -> &'a llmdm_rt::bench::BenchStats {
+    c.results().iter().find(|s| s.id == id).unwrap_or_else(|| panic!("no stats for `{id}`"))
+}
+
+fn main() {
+    llmdm_obs::disable();
+
+    // ---- Scan fixture on real files. --------------------------------
+    let dir = std::env::temp_dir().join(format!("llmdm_store_bench_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("bench temp dir");
+    let vfs = DirVfs::shared(&dir).expect("dir vfs");
+    populate(vfs.clone());
+    let mut store = Store::open(vfs, scan_config()).expect("re-open");
+
+    // Correctness gate: the fixture reads back exactly, cold and warm.
+    store.clear_pool().expect("clear pool");
+    let misses_before = store.pool_stats().misses;
+    let cold = store.scan(SPACE).expect("cold scan");
+    let faulted = store.pool_stats().misses - misses_before;
+    let warm = store.scan(SPACE).expect("warm scan");
+    assert_eq!(cold.len(), RECORDS);
+    assert_eq!(cold, warm, "cold and warm scans must agree");
+    for (i, r) in cold.iter().enumerate() {
+        assert_eq!(*r, record(i), "record {i} corrupted");
+    }
+    assert!(faulted > 10, "fixture too small to exercise the pool ({faulted} pages)");
+
+    // ---- Recovery fixtures, gated. ----------------------------------
+    let short_wal = wal_image(8);
+    let long_wal = wal_image(64);
+    for (vfs, commits) in [(&short_wal, 8), (&long_wal, 64)] {
+        let mut s = Store::open(vfs.clone(), StoreConfig { checkpoint_bytes: None, ..StoreConfig::default() })
+            .expect("recovery open");
+        assert_eq!(s.recovery().committed_txns, commits + 1, "wal image lost commits");
+        assert_eq!(s.scan(SPACE).expect("post-recovery scan").len(), commits * 8);
+    }
+
+    // ---- Timing. ----------------------------------------------------
+    let mut c = Criterion::default();
+    {
+        let mut group = c.benchmark_group("store");
+        group.bench_function("scan/cold", |b| {
+            b.iter(|| {
+                store.clear_pool().expect("clear pool");
+                store.scan(SPACE).expect("scan")
+            })
+        });
+        group.bench_function("scan/warm", |b| {
+            b.iter(|| store.scan(SPACE).expect("scan"))
+        });
+        let recovery_cfg =
+            || StoreConfig { checkpoint_bytes: None, ..StoreConfig::default() };
+        group.bench_function("recovery/wal_8_commits", |b| {
+            b.iter(|| Store::open(short_wal.clone(), recovery_cfg()).expect("recover"))
+        });
+        group.bench_function("recovery/wal_64_commits", |b| {
+            b.iter(|| Store::open(long_wal.clone(), recovery_cfg()).expect("recover"))
+        });
+        group.finish();
+    }
+
+    // ---- The pin: a warm pool beats re-faulting every page. ---------
+    let cold_ns = stat(&c, "store/scan/cold").median_ns as f64;
+    let warm_ns = stat(&c, "store/scan/warm").median_ns as f64;
+    let min_speedup = env_f64("LLMDM_STORE_MIN_SPEEDUP", 2.0);
+    println!(
+        "scan: warm speedup {:.2}x over cold (cold {cold_ns} ns, warm {warm_ns} ns, {faulted} pages)",
+        cold_ns / warm_ns
+    );
+    assert!(
+        cold_ns / warm_ns >= min_speedup,
+        "warm scan speedup {:.2}x below the {min_speedup:.1}x floor \
+         (cold median {cold_ns} ns, warm median {warm_ns} ns)",
+        cold_ns / warm_ns
+    );
+    let rec8 = stat(&c, "store/recovery/wal_8_commits").median_ns;
+    let rec64 = stat(&c, "store/recovery/wal_64_commits").median_ns;
+    println!("recovery: 8-commit WAL {rec8} ns, 64-commit WAL {rec64} ns");
+
+    let seed = std::env::var("LLMDM_BENCH_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(0);
+    let meta = llmdm_obs::run_meta(Some(seed));
+    let path = llmdm_rt::bench::report_dir().join("BENCH_store.json");
+    match c.write_json_with_meta(&path, "store", &meta) {
+        Ok(_) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

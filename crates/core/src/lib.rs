@@ -51,6 +51,7 @@ pub use llmdm_resil as resil;
 pub use llmdm_semcache as semcache;
 pub use llmdm_serve as serve;
 pub use llmdm_sqlengine as sql;
+pub use llmdm_store as store;
 pub use llmdm_transform as transform;
 pub use llmdm_validate as validate;
 pub use llmdm_vecdb as vecdb;

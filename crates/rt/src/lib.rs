@@ -28,6 +28,8 @@ pub mod bench;
 pub mod json;
 pub mod proptest;
 pub mod rand;
+pub mod sync;
 
 pub use json::{FromJson, Json, JsonError, ToJson};
 pub use crate::rand::{Rng, SeedableRng, SmallRng};
+pub use sync::{lock_recover, read_recover, write_recover};

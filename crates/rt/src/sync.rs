@@ -1,0 +1,63 @@
+//! Poison-recovering lock helpers — the `parking_lot` replacement
+//! policy from the hermetic-build PR, as functions instead of a crate.
+//!
+//! `std::sync::Mutex` poisons when a holder panics; `parking_lot` (which
+//! the workspace removed) never did. Every shared substrate here — obs
+//! counters, caches, serve result slots — protects plain data whose
+//! invariants are re-established per operation, so the right recovery is
+//! always the same: take the guard anyway. These helpers centralize that
+//! `unwrap_or_else(|e| e.into_inner())` idiom so a panicking worker can
+//! never wedge a queue or cache for every other tenant, and so the
+//! policy is greppable instead of copy-pasted.
+
+use std::sync::{Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// Lock a mutex, recovering from poison (a panicking previous holder).
+pub fn lock_recover<T: ?Sized>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Read-lock an `RwLock`, recovering from poison.
+pub fn read_recover<T: ?Sized>(l: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    l.read().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Write-lock an `RwLock`, recovering from poison.
+pub fn write_recover<T: ?Sized>(l: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    l.write().unwrap_or_else(|e| e.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Mutex, RwLock};
+
+    #[test]
+    fn lock_recover_survives_a_panicked_holder() {
+        let m = Arc::new(Mutex::new(7u32));
+        let m2 = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock().unwrap();
+            panic!("poison it");
+        })
+        .join();
+        assert!(m.lock().is_err(), "mutex should be poisoned");
+        let mut g = lock_recover(&m);
+        *g += 1;
+        assert_eq!(*g, 8);
+    }
+
+    #[test]
+    fn rwlock_recover_survives_a_panicked_writer() {
+        let l = Arc::new(RwLock::new(vec![1, 2, 3]));
+        let l2 = Arc::clone(&l);
+        let _ = std::thread::spawn(move || {
+            let _g = l2.write().unwrap();
+            panic!("poison it");
+        })
+        .join();
+        assert_eq!(read_recover(&l).len(), 3);
+        write_recover(&l).push(4);
+        assert_eq!(read_recover(&l).len(), 4);
+    }
+}

@@ -31,11 +31,13 @@
 
 pub mod cache;
 pub mod client;
+pub mod persist;
 pub mod predictor;
 pub mod sharded;
 pub mod stack;
 
 pub use cache::{CacheConfig, CacheStats, EvictionPolicy, EntryKind, HitKind, Lookup, SemanticCache};
+pub use persist::PersistentCache;
 pub use client::CachedLlm;
 pub use predictor::AccessPredictor;
 pub use sharded::{ConcurrentCachedLlm, ShardedCache};

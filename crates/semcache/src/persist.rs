@@ -1,0 +1,271 @@
+//! Durable cache snapshots: [`PersistentCache`] saves a
+//! [`SemanticCache`]'s entries and lifetime counters into an
+//! `llmdm-store` [`Store`], so a restarted process re-opens with a warm
+//! cache — first lookup after restart is a hit, not a cold miss — and
+//! with cumulative [`CacheStats`] whose reconciliation invariant
+//! (`reuse + augment + stale + misses == lookups`) still holds.
+//!
+//! Entries are serialized sorted by query text so the saved bytes are a
+//! deterministic function of cache content (embeddings are re-derived
+//! on load — the embedder is seeded, so re-embedding reproduces the
+//! same vectors). The save itself is one store transaction: a crash
+//! mid-save recovers to the previous complete snapshot, never a torn
+//! one.
+
+use llmdm_store::{SharedVfs, Store, StoreConfig, StoreError};
+
+use crate::cache::{CacheConfig, CacheStats, EntryKind, SemanticCache};
+
+const ENTRIES_SPACE: &str = "semcache:entries";
+const STATS_SPACE: &str = "semcache:stats";
+
+fn encode_entry(query: &str, response: &str, kind: EntryKind) -> Vec<u8> {
+    let mut out = Vec::with_capacity(9 + query.len() + response.len());
+    out.push(match kind {
+        EntryKind::Original => 0,
+        EntryKind::SubQuery => 1,
+    });
+    out.extend_from_slice(&(query.len() as u32).to_le_bytes());
+    out.extend_from_slice(query.as_bytes());
+    out.extend_from_slice(&(response.len() as u32).to_le_bytes());
+    out.extend_from_slice(response.as_bytes());
+    out
+}
+
+fn decode_entry(bytes: &[u8]) -> Result<(String, String, EntryKind), StoreError> {
+    let corrupt = |m: &str| StoreError::Corrupt(format!("cache entry record: {m}"));
+    let kind = match bytes.first() {
+        Some(0) => EntryKind::Original,
+        Some(1) => EntryKind::SubQuery,
+        _ => return Err(corrupt("bad kind tag")),
+    };
+    let mut off = 1usize;
+    let take_str = |off: &mut usize| -> Result<String, StoreError> {
+        let len_bytes =
+            bytes.get(*off..*off + 4).ok_or_else(|| corrupt("short length"))?;
+        let len = u32::from_le_bytes(len_bytes.try_into().expect("4 bytes")) as usize;
+        *off += 4;
+        let s = bytes.get(*off..*off + len).ok_or_else(|| corrupt("short payload"))?;
+        *off += len;
+        String::from_utf8(s.to_vec()).map_err(|_| corrupt("not utf-8"))
+    };
+    let query = take_str(&mut off)?;
+    let response = take_str(&mut off)?;
+    if off != bytes.len() {
+        return Err(corrupt("trailing bytes"));
+    }
+    Ok((query, response, kind))
+}
+
+fn encode_stats(s: &CacheStats) -> Vec<u8> {
+    let mut out = Vec::with_capacity(56);
+    for v in [
+        s.lookups,
+        s.reuse_hits,
+        s.augment_hits,
+        s.stale_serves,
+        s.misses,
+        s.evictions,
+        s.rejected,
+    ] {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+fn decode_stats(bytes: &[u8]) -> Result<CacheStats, StoreError> {
+    if bytes.len() != 56 {
+        return Err(StoreError::Corrupt(format!(
+            "cache stats record: expected 56 bytes, got {}",
+            bytes.len()
+        )));
+    }
+    let word = |i: usize| {
+        u64::from_le_bytes(bytes[i * 8..(i + 1) * 8].try_into().expect("8 bytes"))
+    };
+    Ok(CacheStats {
+        lookups: word(0),
+        reuse_hits: word(1),
+        augment_hits: word(2),
+        stale_serves: word(3),
+        misses: word(4),
+        evictions: word(5),
+        rejected: word(6),
+    })
+}
+
+/// Durable backing for a [`SemanticCache`] (see module docs).
+#[derive(Debug)]
+pub struct PersistentCache {
+    store: Store,
+}
+
+impl PersistentCache {
+    /// Open the snapshot store on `vfs` (runs crash recovery).
+    pub fn open(vfs: SharedVfs, cfg: StoreConfig) -> Result<Self, StoreError> {
+        Ok(PersistentCache { store: Store::open(vfs, cfg)? })
+    }
+
+    /// Open on real files under `dir` with default store settings.
+    pub fn open_dir(dir: impl Into<std::path::PathBuf>) -> Result<Self, StoreError> {
+        PersistentCache::open(llmdm_store::DirVfs::shared(dir)?, StoreConfig::default())
+    }
+
+    /// The underlying store (recovery report, pool stats).
+    pub fn store(&self) -> &Store {
+        &self.store
+    }
+
+    /// Snapshot `cache` (entries + stats) in one atomic store
+    /// transaction, replacing any previous snapshot.
+    pub fn save(&mut self, cache: &SemanticCache) -> Result<(), StoreError> {
+        let mut entries: Vec<(&str, &str, EntryKind)> = cache.iter().collect();
+        entries.sort_by(|a, b| a.0.cmp(b.0));
+        let records: Vec<Vec<u8>> =
+            entries.iter().map(|(q, r, k)| encode_entry(q, r, *k)).collect();
+        let stats = encode_stats(&cache.stats());
+        self.store.with_txn(|s| {
+            for space in [ENTRIES_SPACE, STATS_SPACE] {
+                if s.has_space(space) {
+                    s.truncate_space(space)?;
+                } else {
+                    s.create_space(space)?;
+                }
+            }
+            for r in &records {
+                s.append(ENTRIES_SPACE, r)?;
+            }
+            s.append(STATS_SPACE, &stats)
+        })?;
+        llmdm_obs::counter_add("semcache.persist.saves", 1.0);
+        Ok(())
+    }
+
+    /// Whether a snapshot exists to load.
+    pub fn has_snapshot(&self) -> bool {
+        self.store.has_space(ENTRIES_SPACE)
+    }
+
+    /// Rebuild a cache from the last snapshot: re-insert every entry
+    /// (the seeded embedder reproduces the same vectors) and restore
+    /// the lifetime counters. Returns an empty cache if nothing was
+    /// ever saved.
+    pub fn load(&mut self, config: CacheConfig) -> Result<SemanticCache, StoreError> {
+        let mut cache = SemanticCache::new(config);
+        if !self.has_snapshot() {
+            return Ok(cache);
+        }
+        for rec in self.store.scan(ENTRIES_SPACE)? {
+            let (query, response, kind) = decode_entry(&rec)?;
+            cache.insert(&query, &response, kind);
+        }
+        let stats_recs = self.store.scan(STATS_SPACE)?;
+        if let Some(rec) = stats_recs.last() {
+            let stats = decode_stats(rec)?;
+            cache.restore_stats(stats).map_err(StoreError::Corrupt)?;
+        }
+        llmdm_obs::counter_add("semcache.persist.loads", 1.0);
+        Ok(cache)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::Lookup;
+    use llmdm_store::MemVfs;
+
+    fn cfg() -> CacheConfig {
+        CacheConfig::default()
+    }
+
+    #[test]
+    fn entry_and_stats_records_round_trip() {
+        let rec = encode_entry("what is a WAL?", "a write-ahead log", EntryKind::Original);
+        let (q, r, k) = decode_entry(&rec).unwrap();
+        assert_eq!((q.as_str(), r.as_str(), k), ("what is a WAL?", "a write-ahead log", EntryKind::Original));
+
+        let stats = CacheStats {
+            lookups: 10,
+            reuse_hits: 4,
+            augment_hits: 2,
+            stale_serves: 1,
+            misses: 3,
+            evictions: 7,
+            rejected: 2,
+        };
+        assert_eq!(decode_stats(&encode_stats(&stats)).unwrap(), stats);
+        assert!(decode_stats(&[0u8; 3]).is_err());
+    }
+
+    #[test]
+    fn restarted_process_serves_a_warm_hit_with_stats_intact() {
+        let vfs = MemVfs::shared();
+        let saved_stats;
+        {
+            let mut cache = SemanticCache::new(cfg());
+            cache.insert("capital of france", "Paris", EntryKind::Original);
+            cache.insert("largest ocean", "the Pacific", EntryKind::Original);
+            // Generate some history so the restored stats are non-trivial.
+            assert!(matches!(cache.lookup("capital of france"), Lookup::Hit { .. }));
+            assert!(matches!(cache.lookup("airspeed of a swallow"), Lookup::Miss));
+            saved_stats = cache.stats();
+            assert!(saved_stats.reconciles());
+            let mut pc = PersistentCache::open(vfs.clone(), StoreConfig::default()).unwrap();
+            pc.save(&cache).unwrap();
+        }
+        // "Restart": a fresh PersistentCache over the same disk.
+        let mut pc = PersistentCache::open(vfs, StoreConfig::default()).unwrap();
+        assert!(pc.has_snapshot());
+        let mut warm = pc.load(cfg()).unwrap();
+        assert_eq!(warm.len(), 2);
+        assert_eq!(warm.stats(), saved_stats, "counters survive the restart");
+        // The very first lookup after restart is a warm hit.
+        match warm.lookup("capital of france") {
+            Lookup::Hit { response, .. } => assert_eq!(response, "Paris"),
+            other => panic!("expected a warm hit, got {other:?}"),
+        }
+        assert!(warm.stats().reconciles(), "invariant holds across restart + new lookups");
+        assert_eq!(warm.stats().lookups, saved_stats.lookups + 1);
+    }
+
+    #[test]
+    fn save_is_atomic_under_a_mid_commit_kill() {
+        use llmdm_store::{KillPoint, StorageFaults};
+        let vfs = MemVfs::shared();
+        // First snapshot succeeds.
+        {
+            let mut cache = SemanticCache::new(cfg());
+            cache.insert("q1", "r1", EntryKind::Original);
+            let mut pc = PersistentCache::open(vfs.clone(), StoreConfig::default()).unwrap();
+            pc.save(&cache).unwrap();
+        }
+        // Second snapshot dies before its WAL sync.
+        {
+            let mut cache = SemanticCache::new(cfg());
+            cache.insert("q2", "r2", EntryKind::Original);
+            let mut pc = PersistentCache::open(
+                vfs.clone(),
+                StoreConfig::with_faults(StorageFaults::kill_at(KillPoint::PostWalAppend, 1)),
+            )
+            .unwrap();
+            assert!(matches!(pc.save(&cache), Err(StoreError::Killed(_))));
+        }
+        llmdm_rt::lock_recover(&vfs).crash();
+        // Recovery serves the previous complete snapshot.
+        let mut pc = PersistentCache::open(vfs, StoreConfig::default()).unwrap();
+        let mut cache = pc.load(cfg()).unwrap();
+        assert_eq!(cache.len(), 1);
+        assert!(matches!(cache.lookup("q1"), Lookup::Hit { .. }));
+    }
+
+    #[test]
+    fn empty_store_loads_an_empty_cache() {
+        let vfs = MemVfs::shared();
+        let mut pc = PersistentCache::open(vfs, StoreConfig::default()).unwrap();
+        assert!(!pc.has_snapshot());
+        let cache = pc.load(cfg()).unwrap();
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats(), CacheStats::default());
+    }
+}

@@ -97,11 +97,11 @@ impl ShardedCache {
     }
 
     fn write(&self, shard: usize) -> RwLockWriteGuard<'_, SemanticCache> {
-        self.shards[shard].write().unwrap_or_else(|e| e.into_inner())
+        llmdm_rt::write_recover(&self.shards[shard])
     }
 
     fn read(&self, shard: usize) -> RwLockReadGuard<'_, SemanticCache> {
-        self.shards[shard].read().unwrap_or_else(|e| e.into_inner())
+        llmdm_rt::read_recover(&self.shards[shard])
     }
 
     /// Look up a query on its home shard. Exactly one shard is locked.
@@ -207,7 +207,7 @@ impl ConcurrentCachedLlm {
         kind: EntryKind,
     ) -> Result<CachedAnswer, ModelError> {
         if let Some(p) = &self.predictor {
-            p.lock().unwrap_or_else(|e| e.into_inner()).observe(key);
+            llmdm_rt::lock_recover(p).observe(key);
         }
         match self.cache.lookup(key) {
             Lookup::Hit { response, kind: HitKind::Reuse, .. } => {
@@ -263,7 +263,7 @@ impl ConcurrentCachedLlm {
         let admit = self
             .predictor
             .as_ref()
-            .map(|p| p.lock().unwrap_or_else(|e| e.into_inner()).should_admit(key))
+            .map(|p| llmdm_rt::lock_recover(p).should_admit(key))
             .unwrap_or(true);
         if admit {
             self.cache.insert(key, &completion.text, kind);

@@ -22,7 +22,7 @@
 //! let b = model.complete(&req).unwrap(); // reuse hit, free
 //! assert_eq!(a.text, b.text);
 //! assert_eq!(b.cost, 0.0);
-//! assert_eq!(cache.lock().unwrap().stats().reuse_hits, 1);
+//! assert_eq!(llmdm_rt::lock_recover(&cache).stats().reuse_hits, 1);
 //! ```
 //!
 //! Unlike [`crate::CachedLlm`] (whose cache *key* can differ from the
@@ -65,7 +65,7 @@ impl CachedModel {
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, SemanticCache> {
-        self.cache.lock().unwrap_or_else(|e| e.into_inner())
+        llmdm_rt::lock_recover(&self.cache)
     }
 }
 
@@ -150,7 +150,7 @@ mod tests {
         assert_eq!(a.text, b.text);
         assert_eq!(b.cost, 0.0);
         assert_eq!(zoo.meter().snapshot().total_calls(), calls, "reuse must not call the model");
-        assert!(cache.lock().unwrap().stats().reconciles());
+        assert!(llmdm_rt::lock_recover(&cache).stats().reconciles());
     }
 
     #[test]
@@ -170,7 +170,7 @@ mod tests {
             .unwrap();
         assert!(b.cost > 0.0);
         assert_eq!(zoo.meter().snapshot().total_calls(), calls + 1);
-        assert_eq!(cache.lock().unwrap().stats().augment_hits, 1);
+        assert_eq!(llmdm_rt::lock_recover(&cache).stats().augment_hits, 1);
     }
 
     #[test]

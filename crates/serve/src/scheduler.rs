@@ -321,7 +321,7 @@ where
                         batches.fetch_add(1, Ordering::Relaxed);
                         largest.fetch_max(size, Ordering::Relaxed);
                         processed += size as u64;
-                        let mut guard = slots.lock().unwrap_or_else(|e| e.into_inner());
+                        let mut guard = llmdm_rt::lock_recover(&slots);
                         for (id, out) in outs {
                             guard[id as usize] = Some(Disposition::Done(out));
                         }
@@ -419,7 +419,7 @@ mod tests {
         let seen = Mutex::new(Vec::new());
         let cfg = ServeConfig { workers: 1, max_batch: 8, ..Default::default() };
         let run = serve(&cfg, echo_jobs(16), |class: &str, batch: &[u64]| {
-            seen.lock().unwrap().push((class.to_string(), batch.to_vec()));
+            llmdm_rt::lock_recover(&seen).push((class.to_string(), batch.to_vec()));
             batch.iter().map(|v| Ok::<u64, ServeError>(*v)).collect()
         });
         assert_eq!(run.stats.admitted, 16);

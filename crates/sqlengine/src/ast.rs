@@ -348,7 +348,7 @@ pub enum Statement {
         /// Optional predicate.
         selection: Option<Expr>,
     },
-    /// `CREATE TABLE t (col TYPE, …)`
+    /// `CREATE TABLE t (col TYPE, …) [PERSIST]`
     CreateTable {
         /// New table name.
         table: String,
@@ -356,6 +356,9 @@ pub enum Statement {
         columns: Vec<(String, DataType)>,
         /// IF NOT EXISTS flag.
         if_not_exists: bool,
+        /// PERSIST flag: back the table with the durable store (only
+        /// honored when executing through a `PersistentDb`).
+        persist: bool,
     },
     /// `DROP TABLE [IF EXISTS] t`
     DropTable {

@@ -28,6 +28,8 @@ pub enum SqlError {
     Exec(String),
     /// Transaction state error.
     Txn(String),
+    /// The durable storage tier failed (wraps a `llmdm_store` error).
+    Storage(String),
 }
 
 impl fmt::Display for SqlError {
@@ -42,6 +44,7 @@ impl fmt::Display for SqlError {
             SqlError::Type(m) => write!(f, "type error: {m}"),
             SqlError::Exec(m) => write!(f, "execution error: {m}"),
             SqlError::Txn(m) => write!(f, "transaction error: {m}"),
+            SqlError::Storage(m) => write!(f, "storage error: {m}"),
         }
     }
 }

@@ -69,14 +69,16 @@ fn execute_inner(db: &mut Database, stmt: &Statement) -> Result<ResultSet, SqlEr
             update(db, table, assignments, selection.as_ref())
         }
         Statement::Delete { table, selection } => delete(db, table, selection.as_ref()),
-        Statement::CreateTable { table, columns, if_not_exists } => {
+        Statement::CreateTable { table, columns, if_not_exists, persist } => {
             if *if_not_exists && db.has_table(table) {
                 return Ok(ResultSet::empty());
             }
             let schema = Schema::new(
                 columns.iter().map(|(n, t)| Column::new(n, *t)).collect(),
             );
-            db.create_table(Table::new(table, schema))?;
+            let mut t = Table::new(table, schema);
+            t.persist = *persist;
+            db.create_table(t)?;
             Ok(ResultSet::empty())
         }
         Statement::DropTable { table, if_exists } => {

@@ -44,6 +44,7 @@ pub(crate) mod plan;
 pub mod printer;
 pub mod result;
 pub mod schema;
+pub mod storage;
 pub mod value;
 
 pub use ast::{Expr, SelectStmt, Statement};
@@ -53,4 +54,5 @@ pub use parser::parse_statement;
 pub use printer::print_statement;
 pub use result::ResultSet;
 pub use schema::{Column, Row, Schema, Table};
+pub use storage::PersistentDb;
 pub use value::{DataType, Value};

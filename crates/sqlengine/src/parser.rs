@@ -286,7 +286,8 @@ impl Parser {
             }
         }
         self.expect_symbol(Sym::RParen)?;
-        Ok(Statement::CreateTable { table, columns, if_not_exists })
+        let persist = self.eat_kw("PERSIST");
+        Ok(Statement::CreateTable { table, columns, if_not_exists, persist })
     }
 
     fn drop_table(&mut self) -> Result<Statement, SqlError> {

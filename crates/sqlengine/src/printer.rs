@@ -44,11 +44,12 @@ pub fn print_statement(stmt: &Statement) -> String {
             }
             s
         }
-        Statement::CreateTable { table, columns, if_not_exists } => {
+        Statement::CreateTable { table, columns, if_not_exists, persist } => {
             let ine = if *if_not_exists { "IF NOT EXISTS " } else { "" };
             let cols: Vec<String> =
                 columns.iter().map(|(n, t)| format!("{n} {t}")).collect();
-            format!("CREATE TABLE {ine}{table} ({})", cols.join(", "))
+            let p = if *persist { " PERSIST" } else { "" };
+            format!("CREATE TABLE {ine}{table} ({}){p}", cols.join(", "))
         }
         Statement::DropTable { table, if_exists } => {
             let ie = if *if_exists { "IF EXISTS " } else { "" };

@@ -71,12 +71,16 @@ pub struct Table {
     pub schema: Schema,
     /// Stored rows.
     pub rows: Vec<Row>,
+    /// Whether the table is backed by the durable store (`CREATE TABLE
+    /// … PERSIST`). Plain `Database` ignores this; a
+    /// `storage::PersistentDb` writes such tables through its store.
+    pub persist: bool,
 }
 
 impl Table {
-    /// Create an empty table.
+    /// Create an empty (non-persistent) table.
     pub fn new(name: &str, schema: Schema) -> Self {
-        Table { name: name.to_lowercase(), schema, rows: Vec::new() }
+        Table { name: name.to_lowercase(), schema, rows: Vec::new(), persist: false }
     }
 
     /// Append a row after checking arity and (loose) types. Ints coerce to

@@ -1,0 +1,439 @@
+//! Durable tables: a [`PersistentDb`] wraps the in-memory [`Database`]
+//! with an `llmdm-store` [`Store`] so tables created with
+//! `CREATE TABLE … PERSIST` survive process restarts.
+//!
+//! Design:
+//!
+//! * Each persistent table lives in one store space `tbl:<name>`:
+//!   record 0 is the schema, every later record is one row in a tagged
+//!   binary encoding that round-trips values **bit-exactly** (floats
+//!   travel as `f64::to_bits`), so a reloaded table is
+//!   indistinguishable from the in-memory one — the differential
+//!   oracle (`execute_select_direct` + `ResultSet::bit_eq`) gates
+//!   this in `tests/persistence.rs`.
+//! * Query execution is untouched: the planner's Scan nodes still read
+//!   `Table.rows`. What changes is *where those rows come from* — on
+//!   every auto-commit `SELECT`, persistent tables are refreshed from
+//!   the store, pulling their pages through the buffer pool (cold
+//!   scans fault pages in, warm scans hit the pool; the
+//!   `store_durability` bench pins the gap).
+//! * Writes go through on commit boundaries: in auto-commit mode every
+//!   mutating statement is followed by a store transaction that
+//!   rewrites the changed state; inside `BEGIN … COMMIT` nothing
+//!   touches the store until `COMMIT`, and `ROLLBACK` leaves the store
+//!   untouched — the store's WAL then makes that boundary crash-atomic
+//!   in turn.
+
+use std::sync::Arc;
+
+use llmdm_store::{SharedVfs, Store, StoreConfig, StoreError};
+
+use crate::ast::Statement;
+use crate::catalog::Database;
+use crate::error::SqlError;
+use crate::result::ResultSet;
+use crate::schema::{Column, Row, Schema, Table};
+use crate::value::{DataType, Value};
+
+const SPACE_PREFIX: &str = "tbl:";
+
+fn storage_err(e: StoreError) -> SqlError {
+    SqlError::Storage(e.to_string())
+}
+
+// ----------------------------------------------------------- encoding
+
+fn encode_schema(schema: &Schema) -> Vec<u8> {
+    let cols = schema.columns();
+    let mut out = Vec::new();
+    out.extend_from_slice(&(cols.len() as u16).to_le_bytes());
+    for c in cols {
+        out.extend_from_slice(&(c.name.len() as u16).to_le_bytes());
+        out.extend_from_slice(c.name.as_bytes());
+        out.push(match c.dtype {
+            DataType::Int => 1,
+            DataType::Float => 2,
+            DataType::Text => 3,
+            DataType::Bool => 4,
+        });
+    }
+    out
+}
+
+fn decode_schema(bytes: &[u8]) -> Result<Schema, SqlError> {
+    let corrupt = |m: &str| SqlError::Storage(format!("corrupt schema record: {m}"));
+    let mut off = 0usize;
+    let take = |off: &mut usize, n: usize| -> Result<&[u8], SqlError> {
+        let s = bytes.get(*off..*off + n).ok_or_else(|| corrupt("short"))?;
+        *off += n;
+        Ok(s)
+    };
+    let ncols = u16::from_le_bytes(take(&mut off, 2)?.try_into().expect("2 bytes")) as usize;
+    let mut cols = Vec::with_capacity(ncols);
+    for _ in 0..ncols {
+        let nlen = u16::from_le_bytes(take(&mut off, 2)?.try_into().expect("2 bytes")) as usize;
+        let name = String::from_utf8(take(&mut off, nlen)?.to_vec())
+            .map_err(|_| corrupt("name not utf-8"))?;
+        let dtype = match take(&mut off, 1)?[0] {
+            1 => DataType::Int,
+            2 => DataType::Float,
+            3 => DataType::Text,
+            4 => DataType::Bool,
+            t => return Err(corrupt(&format!("unknown dtype tag {t}"))),
+        };
+        cols.push(Column::new(&name, dtype));
+    }
+    Ok(Schema::new(cols))
+}
+
+fn encode_row(row: &Row) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&(row.len() as u16).to_le_bytes());
+    for v in row {
+        match v {
+            Value::Null => out.push(0),
+            Value::Int(i) => {
+                out.push(1);
+                out.extend_from_slice(&i.to_le_bytes());
+            }
+            Value::Float(f) => {
+                out.push(2);
+                out.extend_from_slice(&f.to_bits().to_le_bytes());
+            }
+            Value::Str(s) => {
+                out.push(3);
+                out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+                out.extend_from_slice(s.as_bytes());
+            }
+            Value::Bool(b) => {
+                out.push(4);
+                out.push(*b as u8);
+            }
+        }
+    }
+    out
+}
+
+fn decode_row(bytes: &[u8]) -> Result<Row, SqlError> {
+    let corrupt = |m: &str| SqlError::Storage(format!("corrupt row record: {m}"));
+    let mut off = 0usize;
+    let take = |off: &mut usize, n: usize| -> Result<&[u8], SqlError> {
+        let s = bytes.get(*off..*off + n).ok_or_else(|| corrupt("short"))?;
+        *off += n;
+        Ok(s)
+    };
+    let n = u16::from_le_bytes(take(&mut off, 2)?.try_into().expect("2 bytes")) as usize;
+    let mut row = Vec::with_capacity(n);
+    for _ in 0..n {
+        let tag = take(&mut off, 1)?[0];
+        row.push(match tag {
+            0 => Value::Null,
+            1 => Value::Int(i64::from_le_bytes(take(&mut off, 8)?.try_into().expect("8 bytes"))),
+            2 => Value::Float(f64::from_bits(u64::from_le_bytes(
+                take(&mut off, 8)?.try_into().expect("8 bytes"),
+            ))),
+            3 => {
+                let len =
+                    u32::from_le_bytes(take(&mut off, 4)?.try_into().expect("4 bytes")) as usize;
+                Value::Str(
+                    String::from_utf8(take(&mut off, len)?.to_vec())
+                        .map_err(|_| corrupt("string not utf-8"))?,
+                )
+            }
+            4 => Value::Bool(take(&mut off, 1)?[0] != 0),
+            t => return Err(corrupt(&format!("unknown value tag {t}"))),
+        });
+    }
+    if off != bytes.len() {
+        return Err(corrupt("trailing bytes"));
+    }
+    Ok(row)
+}
+
+// -------------------------------------------------------- persistence
+
+/// A [`Database`] whose `PERSIST` tables are durably backed by an
+/// `llmdm-store` [`Store`] (see module docs).
+#[derive(Debug)]
+pub struct PersistentDb {
+    db: Database,
+    store: Store,
+}
+
+impl PersistentDb {
+    /// Open a persistent database on `vfs`, running store crash
+    /// recovery and loading every persisted table into the catalog.
+    pub fn open(vfs: SharedVfs, cfg: StoreConfig) -> Result<Self, SqlError> {
+        let store = Store::open(vfs, cfg).map_err(storage_err)?;
+        let mut this = PersistentDb { db: Database::new(), store };
+        for space in this.store.spaces() {
+            if let Some(name) = space.strip_prefix(SPACE_PREFIX) {
+                let name = name.to_string();
+                let table = this.load_table(&name)?;
+                this.db.create_table(table)?;
+            }
+        }
+        Ok(this)
+    }
+
+    /// Open on real files under `dir` with default store settings.
+    pub fn open_dir(dir: impl Into<std::path::PathBuf>) -> Result<Self, SqlError> {
+        let vfs: SharedVfs = Arc::new(std::sync::Mutex::new(
+            llmdm_store::DirVfs::new(dir).map_err(storage_err)?,
+        ));
+        PersistentDb::open(vfs, StoreConfig::default())
+    }
+
+    /// The wrapped in-memory database (read access — e.g. for the
+    /// differential oracle or schema summaries).
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// Mutable access to the wrapped database. Changes made here bypass
+    /// persistence until the next mutating statement commits.
+    pub fn database_mut(&mut self) -> &mut Database {
+        &mut self.db
+    }
+
+    /// The underlying store (pool stats, recovery report, WAL length).
+    pub fn store(&self) -> &Store {
+        &self.store
+    }
+
+    /// Parse and execute one statement (see module docs for when the
+    /// store is read and written).
+    pub fn execute(&mut self, sql: &str) -> Result<ResultSet, SqlError> {
+        let stmt = crate::parser::parse_statement(sql)?;
+        self.execute_stmt(&stmt)
+    }
+
+    /// Parse and execute a `;`-separated script; returns the last
+    /// result. On error an open transaction is rolled back (in memory;
+    /// the store was never touched mid-transaction).
+    pub fn execute_script(&mut self, sql: &str) -> Result<ResultSet, SqlError> {
+        let stmts = crate::parser::parse_script(sql)?;
+        let mut last = ResultSet::empty();
+        for stmt in &stmts {
+            match self.execute_stmt(stmt) {
+                Ok(rs) => last = rs,
+                Err(e) => {
+                    if self.db.in_transaction() {
+                        let _ = self.db.rollback();
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        Ok(last)
+    }
+
+    /// Alias of [`PersistentDb::execute`] for read statements.
+    pub fn query(&mut self, sql: &str) -> Result<ResultSet, SqlError> {
+        self.execute(sql)
+    }
+
+    fn execute_stmt(&mut self, stmt: &Statement) -> Result<ResultSet, SqlError> {
+        // Reads outside a transaction refresh persistent tables from
+        // the store first: the scan pulls pages through the buffer
+        // pool. Inside a transaction the in-memory rows are
+        // authoritative (read-your-writes).
+        if matches!(stmt, Statement::Select(_) | Statement::Explain { .. })
+            && !self.db.in_transaction()
+        {
+            self.refresh_persistent_tables()?;
+        }
+        let rs = crate::exec::execute(&mut self.db, stmt)?;
+        let mutating = matches!(
+            stmt,
+            Statement::Insert { .. }
+                | Statement::Update { .. }
+                | Statement::Delete { .. }
+                | Statement::CreateTable { .. }
+                | Statement::DropTable { .. }
+                | Statement::Commit
+        );
+        if mutating && !self.db.in_transaction() && self.persistence_in_play() {
+            self.sync_all()?;
+        }
+        Ok(rs)
+    }
+
+    fn persistence_in_play(&self) -> bool {
+        self.db.table_names().iter().any(|n| self.db.table(n).map_or(false, |t| t.persist))
+            || !self.store.spaces().is_empty()
+    }
+
+    /// Rewrite durable state to match the catalog, atomically in one
+    /// store transaction: drop spaces for vanished tables, (re)create
+    /// and refill one space per persistent table.
+    fn sync_all(&mut self) -> Result<(), SqlError> {
+        let mut tables: Vec<(String, Vec<u8>, Vec<Vec<u8>>)> = Vec::new();
+        for name in self.db.table_names() {
+            let t = self.db.table(name)?;
+            if t.persist {
+                tables.push((
+                    format!("{SPACE_PREFIX}{}", t.name),
+                    encode_schema(&t.schema),
+                    t.rows.iter().map(encode_row).collect(),
+                ));
+            }
+        }
+        let store = &mut self.store;
+        store
+            .with_txn(|s| {
+                for space in s.spaces() {
+                    if space.starts_with(SPACE_PREFIX)
+                        && !tables.iter().any(|(sp, _, _)| *sp == space)
+                    {
+                        s.drop_space(&space)?;
+                    }
+                }
+                for (space, schema, rows) in &tables {
+                    if s.has_space(space) {
+                        s.truncate_space(space)?;
+                    } else {
+                        s.create_space(space)?;
+                    }
+                    s.append(space, schema)?;
+                    for r in rows {
+                        s.append(space, r)?;
+                    }
+                }
+                Ok(())
+            })
+            .map_err(storage_err)
+    }
+
+    /// Reload every persistent table's rows from the store (through
+    /// the buffer pool).
+    fn refresh_persistent_tables(&mut self) -> Result<(), SqlError> {
+        let names: Vec<String> = self
+            .db
+            .table_names()
+            .iter()
+            .filter(|n| self.db.table(n).map_or(false, |t| t.persist))
+            .map(|n| n.to_string())
+            .collect();
+        for name in names {
+            let table = self.load_table(&name)?;
+            *self.db.table_mut(&name)? = table;
+        }
+        Ok(())
+    }
+
+    fn load_table(&mut self, name: &str) -> Result<Table, SqlError> {
+        let space = format!("{SPACE_PREFIX}{name}");
+        let records = self.store.scan(&space).map_err(storage_err)?;
+        let Some((schema_rec, row_recs)) = records.split_first() else {
+            return Err(SqlError::Storage(format!("space {space} has no schema record")));
+        };
+        let schema = decode_schema(schema_rec)?;
+        let mut table = Table::new(name, schema);
+        table.persist = true;
+        for r in row_recs {
+            table.rows.push(decode_row(r)?);
+        }
+        Ok(table)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llmdm_store::MemVfs;
+
+    fn mem_db(vfs: &std::sync::Arc<std::sync::Mutex<MemVfs>>) -> PersistentDb {
+        PersistentDb::open(vfs.clone(), StoreConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn schema_and_row_encoding_round_trip() {
+        let schema = Schema::new(vec![
+            Column::new("id", DataType::Int),
+            Column::new("score", DataType::Float),
+            Column::new("name", DataType::Text),
+            Column::new("ok", DataType::Bool),
+        ]);
+        assert_eq!(decode_schema(&encode_schema(&schema)).unwrap(), schema);
+        let row: Row = vec![
+            Value::Int(-42),
+            Value::Float(-0.0),
+            Value::Str("héllo".into()),
+            Value::Bool(true),
+        ];
+        let back = decode_row(&encode_row(&row)).unwrap();
+        assert_eq!(back.len(), row.len());
+        for (a, b) in back.iter().zip(&row) {
+            assert!(a.bit_eq(b), "{a:?} != {b:?}");
+        }
+        let null_row: Row = vec![Value::Null, Value::Float(f64::NAN), Value::Str(String::new()), Value::Bool(false)];
+        let back = decode_row(&encode_row(&null_row)).unwrap();
+        for (a, b) in back.iter().zip(&null_row) {
+            assert!(a.bit_eq(b), "{a:?} != {b:?}");
+        }
+    }
+
+    #[test]
+    fn persist_tables_survive_reopen_and_plain_tables_do_not() {
+        let vfs = MemVfs::shared();
+        {
+            let mut db = mem_db(&vfs);
+            db.execute("CREATE TABLE kept (id INT, name TEXT) PERSIST").unwrap();
+            db.execute("CREATE TABLE scratch (id INT)").unwrap();
+            db.execute("INSERT INTO kept VALUES (1, 'a'), (2, 'b')").unwrap();
+            db.execute("INSERT INTO scratch VALUES (9)").unwrap();
+        }
+        let mut db = mem_db(&vfs);
+        assert!(db.database().has_table("kept"));
+        assert!(!db.database().has_table("scratch"), "non-PERSIST tables are ephemeral");
+        let rs = db.query("SELECT name FROM kept ORDER BY id").unwrap();
+        assert_eq!(rs.rows.len(), 2);
+        assert_eq!(rs.rows[0][0], Value::Str("a".into()));
+    }
+
+    #[test]
+    fn explicit_txn_writes_only_at_commit_and_rollback_leaves_store_alone() {
+        let vfs = MemVfs::shared();
+        let mut db = mem_db(&vfs);
+        db.execute("CREATE TABLE t (id INT) PERSIST").unwrap();
+        db.execute_script("BEGIN; INSERT INTO t VALUES (1); ROLLBACK;").unwrap();
+        drop(db);
+        let mut db = mem_db(&vfs);
+        assert_eq!(db.query("SELECT * FROM t").unwrap().rows.len(), 0, "rollback persisted nothing");
+        db.execute_script("BEGIN; INSERT INTO t VALUES (1), (2); COMMIT;").unwrap();
+        drop(db);
+        let mut db = mem_db(&vfs);
+        assert_eq!(db.query("SELECT * FROM t").unwrap().rows.len(), 2);
+    }
+
+    #[test]
+    fn drop_table_drops_the_space() {
+        let vfs = MemVfs::shared();
+        let mut db = mem_db(&vfs);
+        db.execute("CREATE TABLE t (id INT) PERSIST").unwrap();
+        db.execute("INSERT INTO t VALUES (1)").unwrap();
+        db.execute("DROP TABLE t").unwrap();
+        drop(db);
+        let db = mem_db(&vfs);
+        assert!(!db.database().has_table("t"));
+        assert!(db.store().spaces().is_empty());
+    }
+
+    #[test]
+    fn selects_pull_pages_through_the_buffer_pool() {
+        let vfs = MemVfs::shared();
+        let mut db = mem_db(&vfs);
+        db.execute("CREATE TABLE t (id INT, body TEXT) PERSIST").unwrap();
+        for i in 0..50 {
+            db.execute(&format!("INSERT INTO t VALUES ({i}, 'xxxxxxxxxxxxxxxxxxxx')")).unwrap();
+        }
+        let before = db.store().pool_stats();
+        db.query("SELECT COUNT(*) FROM t").unwrap();
+        let after = db.store().pool_stats();
+        assert!(
+            after.hits + after.misses > before.hits + before.misses,
+            "a SELECT must touch the buffer pool"
+        );
+    }
+}

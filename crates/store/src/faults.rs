@@ -1,0 +1,246 @@
+//! [`StorageFaults`] — the adapter that turns `llmdm-resil`'s seeded
+//! fault machinery into mid-commit kills.
+//!
+//! The commit protocol has three barriers, each a [`KillPoint`]:
+//!
+//! ```text
+//! WAL append ──A──► WAL fsync ──B──► page flush (per page) ──C──► db fsync
+//! ```
+//!
+//! Every barrier calls [`StorageFaults::check`], which advances a shared
+//! [`SimClock`] by one tick and asks the [`FaultPlan`] for a decision at
+//! `(kill-point label, per-point call index, now)`. Any fault decision
+//! means *the process died right here*: the store returns
+//! [`StoreError::Killed`] and wedges, and the harness crashes the vfs
+//! and re-opens. Because the clock ticks once per barrier, "kill at the
+//! N-th storage barrier" is simply an outage [`Window`] `[N, N+1)` on
+//! the point's tier — fully deterministic, byte-reproducible, and
+//! driven by exactly the same plan/decide machinery as the chaos
+//! pipeline's model faults.
+//!
+//! Two usage modes:
+//! * **Targeted** ([`StorageFaults::kill_at`]): kill at one specific
+//!   barrier occurrence, located beforehand with a recording pass
+//!   ([`StorageFaults::recording`] + [`StorageFaults::ops`]).
+//! * **Stochastic** ([`StorageFaults::new`] with per-tier rates): each
+//!   barrier independently dies with seeded probability — the chaos
+//!   sweep in the crash matrix.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+use llmdm_resil::{FaultPlan, SimClock, TierPlan, Window};
+use llmdm_rt::lock_recover;
+
+use crate::StoreError;
+
+/// The commit-protocol barriers a kill can land on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum KillPoint {
+    /// After the transaction's frames (including `Commit`) were appended
+    /// to the WAL, before the WAL fsync. A crash here loses the
+    /// transaction: its frames were volatile.
+    PostWalAppend,
+    /// After the WAL fsync. The transaction is durably committed; a
+    /// crash here forces recovery to redo its page images.
+    PostWalSync,
+    /// Between individual page writes of the post-commit flush (also
+    /// hit once before the first page). The database file may be left
+    /// torn; recovery redoes from the WAL.
+    MidPageFlush,
+}
+
+impl KillPoint {
+    /// Stable tier label used in [`FaultPlan`]s and metrics
+    /// (`store.kills.<label>`).
+    pub fn label(self) -> &'static str {
+        match self {
+            KillPoint::PostWalAppend => "store.wal_append",
+            KillPoint::PostWalSync => "store.wal_sync",
+            KillPoint::MidPageFlush => "store.page_flush",
+        }
+    }
+
+    /// All kill points, in commit-protocol order.
+    pub fn all() -> [KillPoint; 3] {
+        [KillPoint::PostWalAppend, KillPoint::PostWalSync, KillPoint::MidPageFlush]
+    }
+}
+
+/// One recorded barrier crossing (recording mode): which point, at what
+/// simulated time, and its per-point call index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BarrierOp {
+    /// The barrier that was crossed.
+    pub point: KillPoint,
+    /// Simulated time (ticks since the clock started) *at* the check.
+    pub at_ms: u64,
+    /// How many prior checks this point had seen.
+    pub call_index: u64,
+}
+
+/// The kill-point driver (see module docs).
+#[derive(Debug)]
+pub struct StorageFaults {
+    plan: FaultPlan,
+    clock: SimClock,
+    indexes: Mutex<BTreeMap<&'static str, u64>>,
+    log: Option<Mutex<Vec<BarrierOp>>>,
+}
+
+impl StorageFaults {
+    /// Never kills (the production configuration).
+    pub fn none() -> Self {
+        StorageFaults::new(FaultPlan::none(), SimClock::new())
+    }
+
+    /// Drive kill decisions from `plan` on `clock`. Clones of `clock`
+    /// share the timeline, so storage barriers and any co-simulated
+    /// model faults advance one clock together.
+    pub fn new(plan: FaultPlan, clock: SimClock) -> Self {
+        StorageFaults { plan, clock, indexes: Mutex::new(BTreeMap::new()), log: None }
+    }
+
+    /// Never kills, but records every barrier crossing — the dry-run
+    /// pass a harness uses to locate the exact tick for a targeted
+    /// [`StorageFaults::kill_at`].
+    pub fn recording() -> Self {
+        let mut f = StorageFaults::none();
+        f.log = Some(Mutex::new(Vec::new()));
+        f
+    }
+
+    /// Kill the barrier crossing of `point` that happens at simulated
+    /// tick `at_ms` (an outage window `[at_ms, at_ms + 1)` on the
+    /// point's tier). Ticks count *all* barrier crossings in order, so
+    /// take `at_ms` from a recording pass's [`BarrierOp::at_ms`].
+    pub fn kill_at(point: KillPoint, at_ms: u64) -> Self {
+        let plan = FaultPlan::new(
+            "storage-kill",
+            0,
+            vec![TierPlan::quiet(point.label()).outage(Window::new(at_ms, at_ms + 1))],
+        );
+        StorageFaults::new(plan, SimClock::new())
+    }
+
+    /// The shared simulated clock.
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    /// Recorded barrier crossings (empty unless built with
+    /// [`StorageFaults::recording`]).
+    pub fn ops(&self) -> Vec<BarrierOp> {
+        self.log.as_ref().map(|l| lock_recover(l).clone()).unwrap_or_default()
+    }
+
+    /// Cross one barrier: advance the clock a tick and let the plan
+    /// decide whether the process dies here.
+    pub fn check(&self, point: KillPoint) -> Result<(), StoreError> {
+        let now = self.clock.advance(1);
+        let idx = {
+            let mut m = lock_recover(&self.indexes);
+            let e = m.entry(point.label()).or_insert(0);
+            let i = *e;
+            *e += 1;
+            i
+        };
+        if let Some(l) = &self.log {
+            lock_recover(l).push(BarrierOp { point, at_ms: now, call_index: idx });
+        }
+        if self.plan.decide(point.label(), idx, now).is_some() {
+            llmdm_obs::counter_add(&format!("store.kills.{}", point.label()), 1.0);
+            return Err(StoreError::Killed(point));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llmdm_resil::FaultRates;
+
+    #[test]
+    fn none_never_kills() {
+        let f = StorageFaults::none();
+        for _ in 0..100 {
+            for p in KillPoint::all() {
+                f.check(p).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn kill_at_fires_on_exactly_one_tick() {
+        // Dry run: record the barrier sequence of a fake protocol.
+        let rec = StorageFaults::recording();
+        for _ in 0..3 {
+            rec.check(KillPoint::PostWalAppend).unwrap();
+            rec.check(KillPoint::PostWalSync).unwrap();
+            rec.check(KillPoint::MidPageFlush).unwrap();
+            rec.check(KillPoint::MidPageFlush).unwrap();
+        }
+        let ops = rec.ops();
+        assert_eq!(ops.len(), 12);
+        // Target: the 2nd commit's post-WAL-sync barrier.
+        let target = ops
+            .iter()
+            .filter(|o| o.point == KillPoint::PostWalSync)
+            .nth(1)
+            .copied()
+            .expect("second wal-sync barrier");
+        assert_eq!(target.call_index, 1);
+
+        // Replay with the kill scheduled: same sequence dies exactly there.
+        let f = StorageFaults::kill_at(KillPoint::PostWalSync, target.at_ms);
+        let mut died_at = None;
+        'outer: for commit in 0..3 {
+            for (i, p) in [
+                KillPoint::PostWalAppend,
+                KillPoint::PostWalSync,
+                KillPoint::MidPageFlush,
+                KillPoint::MidPageFlush,
+            ]
+            .into_iter()
+            .enumerate()
+            {
+                if let Err(StoreError::Killed(kp)) = f.check(p) {
+                    died_at = Some((commit, i, kp));
+                    break 'outer;
+                }
+            }
+        }
+        assert_eq!(died_at, Some((1, 1, KillPoint::PostWalSync)));
+    }
+
+    #[test]
+    fn stochastic_kills_are_seed_reproducible() {
+        let run = |seed: u64| {
+            let plan = FaultPlan::new(
+                "chaos",
+                seed,
+                KillPoint::all()
+                    .into_iter()
+                    .map(|p| {
+                        TierPlan::with_rates(
+                            p.label(),
+                            FaultRates { rate_limited: 0.15, ..FaultRates::default() },
+                        )
+                    })
+                    .collect(),
+            );
+            let f = StorageFaults::new(plan, SimClock::new());
+            let mut outcomes = Vec::new();
+            for _ in 0..200 {
+                for p in KillPoint::all() {
+                    outcomes.push(f.check(p).is_err());
+                }
+            }
+            outcomes
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8), "different seeds should kill differently");
+        assert!(run(7).iter().any(|&k| k), "some barrier should die at 15%");
+    }
+}

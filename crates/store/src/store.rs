@@ -1,0 +1,901 @@
+//! The [`Store`]: named record heaps ("spaces") on a paged file, with a
+//! WAL-backed transactional API and crash recovery on open.
+//!
+//! ## File layout
+//!
+//! Page 0 is the header:
+//!
+//! ```text
+//! [magic "LLMDMST1"][version u32][page_size u32]
+//! [page_count u32][freelist_head u32][catalog_head u32]
+//! ```
+//!
+//! Every other page is either on the freelist (its first 4 bytes link
+//! to the next free page) or a **record page**:
+//!
+//! ```text
+//! [next u32][nrec u16][used u16]  then nrec × [len u16][bytes]
+//! ```
+//!
+//! A *space* is a chain of record pages; the catalog is itself such a
+//! chain whose records are `[name_len u16][name][head u32]` entries,
+//! rewritten wholesale on create/drop (space heads are allocated at
+//! create time, so appends never touch the catalog).
+//!
+//! ## Commit protocol
+//!
+//! ```text
+//! wal.append(images + Commit)
+//!       │ ◄── KillPoint::PostWalAppend
+//! wal.sync()                      ← durability point
+//!       │ ◄── KillPoint::PostWalSync
+//! for page in dirty (ascending):
+//!       │ ◄── KillPoint::MidPageFlush (before each page)
+//!   pager.flush_page(page)
+//! db.sync()
+//! maybe checkpoint (truncate WAL)
+//! ```
+//!
+//! A fired kill point wedges the store ([`StoreError::Wedged`] on every
+//! later call): a dead process does not execute code. The owner drops
+//! the store, crashes the vfs, and re-opens — [`Store::open`] scans the
+//! WAL, truncates any torn tail, and redoes the page images of every
+//! committed transaction straight into the database file before the
+//! pager comes up. Recovery never writes uncommitted data and is
+//! idempotent (the WAL is only truncated at its torn point, so opening
+//! twice redoes twice onto identical bytes).
+
+use std::collections::{BTreeMap, HashMap};
+
+use crate::faults::{KillPoint, StorageFaults};
+use crate::pager::{Pager, PoolStats, PAGE_DATA, PAGE_SIZE};
+use crate::vfs::{vfs_lock, SharedVfs};
+use crate::wal::{Wal, WalRecord};
+use crate::{fnv1a, StoreError};
+
+const MAGIC: &[u8; 8] = b"LLMDMST1";
+const VERSION: u32 = 1;
+/// Record-page header bytes ([next u32][nrec u16][used u16]).
+const PAGE_HDR: usize = 8;
+/// Largest single record a space can hold (records never span pages).
+pub const MAX_RECORD: usize = PAGE_DATA - PAGE_HDR - 2;
+
+// ------------------------------------------------ record-page helpers
+
+fn rp_init(buf: &mut [u8]) {
+    buf[..PAGE_HDR].fill(0);
+    buf[6..8].copy_from_slice(&(PAGE_HDR as u16).to_le_bytes());
+}
+
+fn rp_next(buf: &[u8]) -> u32 {
+    u32::from_le_bytes(buf[..4].try_into().expect("4 bytes"))
+}
+
+fn rp_set_next(buf: &mut [u8], next: u32) {
+    buf[..4].copy_from_slice(&next.to_le_bytes());
+}
+
+fn rp_used(buf: &[u8]) -> usize {
+    u16::from_le_bytes(buf[6..8].try_into().expect("2 bytes")) as usize
+}
+
+fn rp_free(buf: &[u8]) -> usize {
+    PAGE_DATA.saturating_sub(rp_used(buf).max(PAGE_HDR))
+}
+
+fn rp_push(buf: &mut [u8], rec: &[u8]) {
+    let nrec = u16::from_le_bytes(buf[4..6].try_into().expect("2 bytes"));
+    let used = rp_used(buf).max(PAGE_HDR);
+    buf[used..used + 2].copy_from_slice(&(rec.len() as u16).to_le_bytes());
+    buf[used + 2..used + 2 + rec.len()].copy_from_slice(rec);
+    buf[4..6].copy_from_slice(&(nrec + 1).to_le_bytes());
+    buf[6..8].copy_from_slice(&((used + 2 + rec.len()) as u16).to_le_bytes());
+}
+
+fn rp_records(buf: &[u8]) -> Result<Vec<Vec<u8>>, StoreError> {
+    let nrec = u16::from_le_bytes(buf[4..6].try_into().expect("2 bytes")) as usize;
+    let mut out = Vec::with_capacity(nrec);
+    let mut off = PAGE_HDR;
+    for _ in 0..nrec {
+        if off + 2 > PAGE_DATA {
+            return Err(StoreError::Corrupt("record offset past page end".into()));
+        }
+        let len = u16::from_le_bytes(buf[off..off + 2].try_into().expect("2 bytes")) as usize;
+        if off + 2 + len > PAGE_DATA {
+            return Err(StoreError::Corrupt("record length past page end".into()));
+        }
+        out.push(buf[off + 2..off + 2 + len].to_vec());
+        off += 2 + len;
+    }
+    Ok(out)
+}
+
+// ----------------------------------------------------------- metadata
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Header {
+    page_count: u32,
+    freelist_head: u32,
+    catalog_head: u32,
+}
+
+impl Header {
+    fn fresh() -> Self {
+        // Page 0 is the header itself.
+        Header { page_count: 1, freelist_head: 0, catalog_head: 0 }
+    }
+
+    fn encode_into(self, buf: &mut [u8]) {
+        buf[..8].copy_from_slice(MAGIC);
+        buf[8..12].copy_from_slice(&VERSION.to_le_bytes());
+        buf[12..16].copy_from_slice(&(PAGE_SIZE as u32).to_le_bytes());
+        buf[16..20].copy_from_slice(&self.page_count.to_le_bytes());
+        buf[20..24].copy_from_slice(&self.freelist_head.to_le_bytes());
+        buf[24..28].copy_from_slice(&self.catalog_head.to_le_bytes());
+    }
+
+    fn decode(buf: &[u8]) -> Result<Self, StoreError> {
+        if &buf[..8] != MAGIC {
+            return Err(StoreError::Corrupt("bad magic in header page".into()));
+        }
+        let version = u32::from_le_bytes(buf[8..12].try_into().expect("4 bytes"));
+        let page_size = u32::from_le_bytes(buf[12..16].try_into().expect("4 bytes"));
+        if version != VERSION || page_size != PAGE_SIZE as u32 {
+            return Err(StoreError::Corrupt(format!(
+                "unsupported version {version} / page size {page_size}"
+            )));
+        }
+        Ok(Header {
+            page_count: u32::from_le_bytes(buf[16..20].try_into().expect("4 bytes")),
+            freelist_head: u32::from_le_bytes(buf[20..24].try_into().expect("4 bytes")),
+            catalog_head: u32::from_le_bytes(buf[24..28].try_into().expect("4 bytes")),
+        })
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct SpaceInfo {
+    head: u32,
+    /// Last page of the chain (in-memory only; re-derived at open by
+    /// walking the chain).
+    tail: u32,
+}
+
+#[derive(Debug)]
+struct TxnState {
+    id: u64,
+    /// Page payloads as they were before this transaction first touched
+    /// them — restored on rollback.
+    before: HashMap<u32, Vec<u8>>,
+    header: Header,
+    catalog: BTreeMap<String, SpaceInfo>,
+}
+
+/// What [`Store::open`] found and did while recovering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RecoveryReport {
+    /// Valid WAL frames scanned.
+    pub frames: usize,
+    /// Distinct committed transactions in the WAL.
+    pub committed_txns: usize,
+    /// Page images redone into the database file.
+    pub pages_redone: usize,
+    /// Whether a torn/corrupt WAL tail was truncated.
+    pub torn_tail_truncated: bool,
+    /// Trusted WAL length in bytes after recovery.
+    pub wal_bytes: u64,
+}
+
+/// Knobs for [`Store::open`].
+#[derive(Debug)]
+pub struct StoreConfig {
+    /// Database file name inside the vfs.
+    pub db_file: String,
+    /// WAL file name inside the vfs.
+    pub wal_file: String,
+    /// Buffer-pool capacity in frames.
+    pub pool_pages: usize,
+    /// Checkpoint (truncate the WAL) after a commit leaves it at least
+    /// this long. `None` disables checkpointing — recovery benches use
+    /// that to grow arbitrarily long WALs.
+    pub checkpoint_bytes: Option<u64>,
+    /// Kill-point driver ([`StorageFaults::none`] in production).
+    pub faults: StorageFaults,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig {
+            db_file: "data.db".into(),
+            wal_file: "data.wal".into(),
+            pool_pages: 64,
+            checkpoint_bytes: Some(1 << 20),
+            faults: StorageFaults::none(),
+        }
+    }
+}
+
+impl StoreConfig {
+    /// Default config with the given kill-point driver.
+    pub fn with_faults(faults: StorageFaults) -> Self {
+        StoreConfig { faults, ..StoreConfig::default() }
+    }
+}
+
+/// The storage engine (see module docs).
+#[derive(Debug)]
+pub struct Store {
+    vfs: SharedVfs,
+    db_file: String,
+    pager: Pager,
+    wal: Wal,
+    faults: StorageFaults,
+    checkpoint_bytes: Option<u64>,
+    header: Header,
+    header_dirty: bool,
+    catalog: BTreeMap<String, SpaceInfo>,
+    txn: Option<TxnState>,
+    next_txn: u64,
+    wedged: bool,
+    recovery: RecoveryReport,
+}
+
+impl Store {
+    /// Open (or create) a store on `vfs`, running crash recovery first:
+    /// scan the WAL, truncate any torn tail, redo committed page images
+    /// into the database file.
+    pub fn open(vfs: SharedVfs, cfg: StoreConfig) -> Result<Store, StoreError> {
+        let StoreConfig { db_file, wal_file, pool_pages, checkpoint_bytes, faults } = cfg;
+
+        let wal_bytes = {
+            let v = vfs_lock(&vfs);
+            let n = v.len(&wal_file) as usize;
+            v.read_at(&wal_file, 0, n)
+        };
+        let scan = Wal::scan(&wal_bytes);
+        let mut recovery = RecoveryReport {
+            frames: scan.records.len(),
+            committed_txns: scan.committed.len(),
+            pages_redone: 0,
+            torn_tail_truncated: scan.torn,
+            wal_bytes: scan.valid_len,
+        };
+
+        {
+            let mut v = vfs_lock(&vfs);
+            for rec in &scan.records {
+                if let WalRecord::PageImage { txn, page, data } = rec {
+                    if scan.committed.contains(txn) {
+                        let mut buf = data.clone();
+                        buf.resize(PAGE_DATA, 0);
+                        let sum = fnv1a(&buf);
+                        buf.extend_from_slice(&sum.to_le_bytes());
+                        v.write_at(&db_file, *page as u64 * PAGE_SIZE as u64, &buf)?;
+                        recovery.pages_redone += 1;
+                    }
+                }
+            }
+            if recovery.pages_redone > 0 {
+                v.sync(&db_file)?;
+                llmdm_obs::counter_add("store.recovery.pages_redone", recovery.pages_redone as f64);
+            }
+            if scan.torn {
+                v.truncate(&wal_file, scan.valid_len)?;
+                v.sync(&wal_file)?;
+                llmdm_obs::counter_add("store.recovery.torn_tails", 1.0);
+            }
+        }
+
+        let wal = Wal::open(vfs.clone(), &wal_file, scan.valid_len);
+        let next_txn = scan.records.iter().map(WalRecord::txn).max().unwrap_or(0) + 1;
+        let mut pager = Pager::new(vfs.clone(), &db_file, pool_pages);
+        let db_len = vfs_lock(&vfs).len(&db_file);
+        let header =
+            if db_len == 0 { Header::fresh() } else { Header::decode(pager.page(0)?)? };
+
+        let mut store = Store {
+            vfs,
+            db_file,
+            pager,
+            wal,
+            faults,
+            checkpoint_bytes,
+            header,
+            header_dirty: false,
+            catalog: BTreeMap::new(),
+            txn: None,
+            next_txn,
+            wedged: false,
+            recovery,
+        };
+        store.load_catalog()?;
+        Ok(store)
+    }
+
+    /// What recovery found and did during [`Store::open`].
+    pub fn recovery(&self) -> RecoveryReport {
+        self.recovery
+    }
+
+    /// The kill-point driver this store runs under (a recording
+    /// driver's barrier log is read through here).
+    pub fn faults(&self) -> &StorageFaults {
+        &self.faults
+    }
+
+    /// Buffer-pool counters.
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pager.stats()
+    }
+
+    /// Drop every cached page (legal only outside a transaction) — lets
+    /// benches measure a cold scan against the same open store.
+    pub fn clear_pool(&mut self) -> Result<(), StoreError> {
+        if self.txn.is_some() {
+            return Err(StoreError::TxnOpen);
+        }
+        self.pager.clear_pool();
+        Ok(())
+    }
+
+    /// Current trusted WAL length in bytes.
+    pub fn wal_len(&self) -> u64 {
+        self.wal.len()
+    }
+
+    /// Whether a transaction is open.
+    pub fn in_txn(&self) -> bool {
+        self.txn.is_some()
+    }
+
+    /// Space names, sorted.
+    pub fn spaces(&self) -> Vec<String> {
+        self.catalog.keys().cloned().collect()
+    }
+
+    /// Whether `name` exists.
+    pub fn has_space(&self, name: &str) -> bool {
+        self.catalog.contains_key(name)
+    }
+
+    // ------------------------------------------------------ txn api
+
+    /// Start a transaction (writes the `Begin` WAL frame eagerly).
+    pub fn begin(&mut self) -> Result<(), StoreError> {
+        self.ensure_live()?;
+        if self.txn.is_some() {
+            return Err(StoreError::TxnOpen);
+        }
+        let id = self.next_txn;
+        self.next_txn += 1;
+        self.wal.append(&WalRecord::Begin { txn: id })?;
+        self.txn = Some(TxnState {
+            id,
+            before: HashMap::new(),
+            header: self.header,
+            catalog: self.catalog.clone(),
+        });
+        Ok(())
+    }
+
+    /// Atomically commit the open transaction via the kill-checked
+    /// protocol in the module docs. On [`StoreError::Killed`] the store
+    /// wedges; the owner must crash the vfs and re-open.
+    pub fn commit(&mut self) -> Result<(), StoreError> {
+        self.ensure_live()?;
+        let txn = self.txn.as_ref().ok_or(StoreError::NoTxn)?.id;
+        if self.header_dirty {
+            let header = self.header;
+            header.encode_into(self.write_page(0)?);
+        }
+        let dirty = self.pager.dirty_pages();
+        for &p in &dirty {
+            let data = self.pager.page(p)?.to_vec();
+            self.wal.append(&WalRecord::PageImage { txn, page: p, data })?;
+        }
+        self.wal.append(&WalRecord::Commit { txn })?;
+        self.kill_check(KillPoint::PostWalAppend)?;
+        self.wal.sync()?;
+        self.kill_check(KillPoint::PostWalSync)?;
+        for &p in &dirty {
+            self.kill_check(KillPoint::MidPageFlush)?;
+            self.pager.flush_page(p)?;
+        }
+        vfs_lock(&self.vfs).sync(&self.db_file)?;
+        self.txn = None;
+        self.header_dirty = false;
+        llmdm_obs::counter_add("store.commits", 1.0);
+        if let Some(limit) = self.checkpoint_bytes {
+            if self.wal.len() >= limit {
+                self.wal.reset()?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Abort the open transaction: every touched page reverts to its
+    /// before-image, metadata reverts to its begin-time snapshot, and
+    /// the database file is untouched (it only ever changes at commit).
+    pub fn rollback(&mut self) -> Result<(), StoreError> {
+        self.ensure_live()?;
+        let t = self.txn.take().ok_or(StoreError::NoTxn)?;
+        for (&id, img) in &t.before {
+            self.pager.restore_page(id, img);
+        }
+        self.header = t.header;
+        self.catalog = t.catalog;
+        self.header_dirty = false;
+        self.wal.append(&WalRecord::Rollback { txn: t.id })?;
+        llmdm_obs::counter_add("store.rollbacks", 1.0);
+        Ok(())
+    }
+
+    /// Run `f` inside a transaction: commit on `Ok`, roll back on
+    /// `Err` (unless the store was killed/wedged, where there is no
+    /// process left to roll anything back).
+    pub fn with_txn<T>(
+        &mut self,
+        f: impl FnOnce(&mut Store) -> Result<T, StoreError>,
+    ) -> Result<T, StoreError> {
+        self.begin()?;
+        match f(self) {
+            Ok(v) => {
+                self.commit()?;
+                Ok(v)
+            }
+            Err(e) => {
+                if !self.wedged {
+                    let _ = self.rollback();
+                }
+                Err(e)
+            }
+        }
+    }
+
+    // ---------------------------------------------------- space api
+
+    /// Create an empty space (requires an open transaction).
+    pub fn create_space(&mut self, name: &str) -> Result<(), StoreError> {
+        self.ensure_txn()?;
+        if self.catalog.contains_key(name) {
+            return Err(StoreError::SpaceExists(name.to_string()));
+        }
+        let head = self.alloc_page()?;
+        rp_init(self.write_page(head)?);
+        self.catalog.insert(name.to_string(), SpaceInfo { head, tail: head });
+        self.rewrite_catalog()
+    }
+
+    /// Drop a space, returning its pages to the freelist.
+    pub fn drop_space(&mut self, name: &str) -> Result<(), StoreError> {
+        self.ensure_txn()?;
+        let info = *self
+            .catalog
+            .get(name)
+            .ok_or_else(|| StoreError::UnknownSpace(name.to_string()))?;
+        self.free_chain(info.head)?;
+        self.catalog.remove(name);
+        self.rewrite_catalog()
+    }
+
+    /// Delete every record in a space, keeping the space itself.
+    pub fn truncate_space(&mut self, name: &str) -> Result<(), StoreError> {
+        self.ensure_txn()?;
+        let info = *self
+            .catalog
+            .get(name)
+            .ok_or_else(|| StoreError::UnknownSpace(name.to_string()))?;
+        let rest = rp_next(self.pager.page(info.head)?);
+        if rest != 0 {
+            self.free_chain(rest)?;
+        }
+        rp_init(self.write_page(info.head)?);
+        self.catalog.get_mut(name).expect("just looked up").tail = info.head;
+        Ok(())
+    }
+
+    /// Append one record to a space (requires an open transaction).
+    pub fn append(&mut self, space: &str, rec: &[u8]) -> Result<(), StoreError> {
+        self.ensure_txn()?;
+        if rec.len() > MAX_RECORD {
+            return Err(StoreError::RecordTooLarge(rec.len()));
+        }
+        let info = *self
+            .catalog
+            .get(space)
+            .ok_or_else(|| StoreError::UnknownSpace(space.to_string()))?;
+        let mut tail = info.tail;
+        let free = rp_free(self.pager.page(tail)?);
+        if free < 2 + rec.len() {
+            let np = self.alloc_page()?;
+            rp_init(self.write_page(np)?);
+            rp_set_next(self.write_page(tail)?, np);
+            self.catalog.get_mut(space).expect("just looked up").tail = np;
+            tail = np;
+        }
+        rp_push(self.write_page(tail)?, rec);
+        Ok(())
+    }
+
+    /// All records in a space, in append order. Works outside a
+    /// transaction (and inside one, it reads your own writes).
+    pub fn scan(&mut self, space: &str) -> Result<Vec<Vec<u8>>, StoreError> {
+        self.ensure_live()?;
+        let info = *self
+            .catalog
+            .get(space)
+            .ok_or_else(|| StoreError::UnknownSpace(space.to_string()))?;
+        self.read_chain(info.head)
+    }
+
+    // ----------------------------------------------------- internals
+
+    fn ensure_live(&self) -> Result<(), StoreError> {
+        if self.wedged {
+            return Err(StoreError::Wedged);
+        }
+        Ok(())
+    }
+
+    fn ensure_txn(&self) -> Result<(), StoreError> {
+        self.ensure_live()?;
+        if self.txn.is_none() {
+            return Err(StoreError::NoTxn);
+        }
+        Ok(())
+    }
+
+    fn kill_check(&mut self, point: KillPoint) -> Result<(), StoreError> {
+        if let Err(e) = self.faults.check(point) {
+            self.wedged = true;
+            return Err(e);
+        }
+        Ok(())
+    }
+
+    /// Mutable page access that snapshots the before-image into the
+    /// open transaction on first touch.
+    fn write_page(&mut self, id: u32) -> Result<&mut [u8], StoreError> {
+        if self.txn.is_none() {
+            return Err(StoreError::NoTxn);
+        }
+        let need = !self.txn.as_ref().expect("checked").before.contains_key(&id);
+        if need {
+            let img = self.pager.page(id)?.to_vec();
+            self.txn.as_mut().expect("checked").before.insert(id, img);
+        }
+        self.pager.page_mut(id)
+    }
+
+    fn alloc_page(&mut self) -> Result<u32, StoreError> {
+        let id = if self.header.freelist_head != 0 {
+            let id = self.header.freelist_head;
+            let next = rp_next(self.pager.page(id)?);
+            self.header.freelist_head = next;
+            id
+        } else {
+            let id = self.header.page_count;
+            self.header.page_count += 1;
+            id
+        };
+        self.header_dirty = true;
+        self.write_page(id)?.fill(0);
+        Ok(id)
+    }
+
+    fn free_page(&mut self, id: u32) -> Result<(), StoreError> {
+        let head = self.header.freelist_head;
+        let buf = self.write_page(id)?;
+        buf.fill(0);
+        buf[..4].copy_from_slice(&head.to_le_bytes());
+        self.header.freelist_head = id;
+        self.header_dirty = true;
+        Ok(())
+    }
+
+    fn free_chain(&mut self, head: u32) -> Result<(), StoreError> {
+        let mut ids = Vec::new();
+        let mut p = head;
+        while p != 0 {
+            ids.push(p);
+            p = rp_next(self.pager.page(p)?);
+        }
+        for id in ids {
+            self.free_page(id)?;
+        }
+        Ok(())
+    }
+
+    /// Rebuild the catalog chain from the in-memory map (sorted by
+    /// name, so catalog bytes are deterministic).
+    fn rewrite_catalog(&mut self) -> Result<(), StoreError> {
+        let old = self.header.catalog_head;
+        if old != 0 {
+            self.free_chain(old)?;
+        }
+        let entries: Vec<Vec<u8>> = self
+            .catalog
+            .iter()
+            .map(|(name, info)| {
+                let mut e = Vec::with_capacity(2 + name.len() + 4);
+                e.extend_from_slice(&(name.len() as u16).to_le_bytes());
+                e.extend_from_slice(name.as_bytes());
+                e.extend_from_slice(&info.head.to_le_bytes());
+                e
+            })
+            .collect();
+        self.header.catalog_head = self.write_records_chain(&entries)?;
+        self.header_dirty = true;
+        Ok(())
+    }
+
+    fn write_records_chain(&mut self, recs: &[Vec<u8>]) -> Result<u32, StoreError> {
+        if recs.is_empty() {
+            return Ok(0);
+        }
+        let head = self.alloc_page()?;
+        rp_init(self.write_page(head)?);
+        let mut tail = head;
+        for r in recs {
+            if r.len() > MAX_RECORD {
+                return Err(StoreError::RecordTooLarge(r.len()));
+            }
+            let free = rp_free(self.pager.page(tail)?);
+            if free < 2 + r.len() {
+                let np = self.alloc_page()?;
+                rp_init(self.write_page(np)?);
+                rp_set_next(self.write_page(tail)?, np);
+                tail = np;
+            }
+            rp_push(self.write_page(tail)?, r);
+        }
+        Ok(head)
+    }
+
+    fn read_chain(&mut self, head: u32) -> Result<Vec<Vec<u8>>, StoreError> {
+        let mut out = Vec::new();
+        let mut p = head;
+        while p != 0 {
+            self.pager.pin(p)?;
+            let parsed = {
+                let buf = self.pager.page(p)?;
+                rp_records(buf).map(|recs| (rp_next(buf), recs))
+            };
+            self.pager.unpin(p);
+            let (next, mut recs) = parsed?;
+            out.append(&mut recs);
+            p = next;
+        }
+        Ok(out)
+    }
+
+    fn load_catalog(&mut self) -> Result<(), StoreError> {
+        if self.header.catalog_head == 0 {
+            return Ok(());
+        }
+        let entries = self.read_chain(self.header.catalog_head)?;
+        for e in entries {
+            if e.len() < 6 {
+                return Err(StoreError::Corrupt("short catalog entry".into()));
+            }
+            let name_len = u16::from_le_bytes(e[..2].try_into().expect("2 bytes")) as usize;
+            if e.len() != 2 + name_len + 4 {
+                return Err(StoreError::Corrupt("catalog entry length mismatch".into()));
+            }
+            let name = String::from_utf8(e[2..2 + name_len].to_vec())
+                .map_err(|_| StoreError::Corrupt("catalog name not utf-8".into()))?;
+            let head = u32::from_le_bytes(e[2 + name_len..].try_into().expect("4 bytes"));
+            let tail = self.chain_tail(head)?;
+            self.catalog.insert(name, SpaceInfo { head, tail });
+        }
+        Ok(())
+    }
+
+    fn chain_tail(&mut self, head: u32) -> Result<u32, StoreError> {
+        let mut p = head;
+        loop {
+            let next = rp_next(self.pager.page(p)?);
+            if next == 0 {
+                return Ok(p);
+            }
+            p = next;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vfs::MemVfs;
+    use std::sync::{Arc, Mutex};
+
+    fn shared(vfs: &Arc<Mutex<MemVfs>>) -> SharedVfs {
+        vfs.clone()
+    }
+
+    fn open(vfs: &Arc<Mutex<MemVfs>>) -> Store {
+        Store::open(shared(vfs), StoreConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn create_append_scan_round_trips_across_reopen() {
+        let vfs = MemVfs::shared();
+        {
+            let mut s = open(&vfs);
+            s.with_txn(|s| {
+                s.create_space("notes")?;
+                s.append("notes", b"alpha")?;
+                s.append("notes", b"beta")
+            })
+            .unwrap();
+            assert_eq!(s.scan("notes").unwrap(), vec![b"alpha".to_vec(), b"beta".to_vec()]);
+        }
+        let mut s2 = open(&vfs);
+        assert_eq!(s2.spaces(), vec!["notes".to_string()]);
+        assert_eq!(s2.scan("notes").unwrap(), vec![b"alpha".to_vec(), b"beta".to_vec()]);
+        assert_eq!(s2.recovery().committed_txns, 1);
+    }
+
+    #[test]
+    fn records_spill_across_pages() {
+        let vfs = MemVfs::shared();
+        let mut s = open(&vfs);
+        let recs: Vec<Vec<u8>> = (0..300u32).map(|i| vec![i as u8; 100]).collect();
+        s.with_txn(|s| {
+            s.create_space("big")?;
+            for r in &recs {
+                s.append("big", r)?;
+            }
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(s.scan("big").unwrap(), recs);
+        // ~300 × 102 bytes ≈ 8 pages.
+        drop(s);
+        let mut s2 = open(&vfs);
+        assert_eq!(s2.scan("big").unwrap(), recs);
+    }
+
+    #[test]
+    fn rollback_restores_pages_and_metadata() {
+        let vfs = MemVfs::shared();
+        let mut s = open(&vfs);
+        s.with_txn(|s| {
+            s.create_space("a")?;
+            s.append("a", b"keep")
+        })
+        .unwrap();
+        let before = llmdm_rt::lock_recover(&vfs).bytes("data.db");
+
+        s.begin().unwrap();
+        s.append("a", b"discard").unwrap();
+        s.create_space("b").unwrap();
+        s.rollback().unwrap();
+
+        assert_eq!(s.scan("a").unwrap(), vec![b"keep".to_vec()]);
+        assert!(!s.has_space("b"));
+        assert_eq!(
+            llmdm_rt::lock_recover(&vfs).bytes("data.db"),
+            before,
+            "rollback never touches the database file"
+        );
+        // The store still works after a rollback.
+        s.with_txn(|s| s.append("a", b"more")).unwrap();
+        assert_eq!(s.scan("a").unwrap(), vec![b"keep".to_vec(), b"more".to_vec()]);
+    }
+
+    #[test]
+    fn mutations_require_a_transaction() {
+        let vfs = MemVfs::shared();
+        let mut s = open(&vfs);
+        assert_eq!(s.create_space("x"), Err(StoreError::NoTxn));
+        s.begin().unwrap();
+        s.create_space("x").unwrap();
+        assert_eq!(s.begin(), Err(StoreError::TxnOpen));
+        s.commit().unwrap();
+        assert_eq!(s.append("x", b"r"), Err(StoreError::NoTxn));
+    }
+
+    #[test]
+    fn drop_space_recycles_pages_through_the_freelist() {
+        let vfs = MemVfs::shared();
+        let mut s = open(&vfs);
+        s.with_txn(|s| {
+            s.create_space("tmp")?;
+            for i in 0..200u32 {
+                s.append("tmp", &i.to_le_bytes())?;
+            }
+            Ok(())
+        })
+        .unwrap();
+        let grown = s.header.page_count;
+        s.with_txn(|s| s.drop_space("tmp")).unwrap();
+        s.with_txn(|s| {
+            s.create_space("reuse")?;
+            for i in 0..200u32 {
+                s.append("reuse", &i.to_le_bytes())?;
+            }
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(s.header.page_count, grown, "dropped pages were reused, file did not grow");
+        assert_eq!(s.scan("reuse").unwrap().len(), 200);
+    }
+
+    #[test]
+    fn truncate_space_keeps_the_space_but_empties_it() {
+        let vfs = MemVfs::shared();
+        let mut s = open(&vfs);
+        s.with_txn(|s| {
+            s.create_space("q")?;
+            for i in 0..500u32 {
+                s.append("q", &[i as u8; 50])?;
+            }
+            Ok(())
+        })
+        .unwrap();
+        s.with_txn(|s| s.truncate_space("q")).unwrap();
+        assert_eq!(s.scan("q").unwrap(), Vec::<Vec<u8>>::new());
+        s.with_txn(|s| s.append("q", b"fresh")).unwrap();
+        drop(s);
+        let mut s2 = open(&vfs);
+        assert_eq!(s2.scan("q").unwrap(), vec![b"fresh".to_vec()]);
+    }
+
+    #[test]
+    fn kill_post_wal_append_loses_the_txn() {
+        let vfs = MemVfs::shared();
+        let mut s = Store::open(
+            shared(&vfs),
+            StoreConfig::with_faults(StorageFaults::kill_at(KillPoint::PostWalAppend, 1)),
+        )
+        .unwrap();
+        let err = s.with_txn(|s| {
+            s.create_space("gone")?;
+            s.append("gone", b"r")
+        });
+        assert_eq!(err, Err(StoreError::Killed(KillPoint::PostWalAppend)));
+        assert_eq!(s.scan("gone"), Err(StoreError::Wedged), "store is wedged after a kill");
+        drop(s);
+        llmdm_rt::lock_recover(&vfs).crash();
+        let s2 = open(&vfs);
+        assert!(!s2.has_space("gone"), "unsynced txn must not survive");
+        assert_eq!(s2.recovery().committed_txns, 0);
+    }
+
+    #[test]
+    fn kill_post_wal_sync_preserves_the_txn_via_redo() {
+        let vfs = MemVfs::shared();
+        let mut s = Store::open(
+            shared(&vfs),
+            StoreConfig::with_faults(StorageFaults::kill_at(KillPoint::PostWalSync, 2)),
+        )
+        .unwrap();
+        let err = s.with_txn(|s| {
+            s.create_space("kept")?;
+            s.append("kept", b"r")
+        });
+        assert_eq!(err, Err(StoreError::Killed(KillPoint::PostWalSync)));
+        drop(s);
+        llmdm_rt::lock_recover(&vfs).crash();
+        let mut s2 = open(&vfs);
+        assert!(s2.recovery().pages_redone > 0, "recovery must redo the committed images");
+        assert_eq!(s2.scan("kept").unwrap(), vec![b"r".to_vec()]);
+    }
+
+    #[test]
+    fn checkpoint_truncates_the_wal_once_over_threshold() {
+        let vfs = MemVfs::shared();
+        let mut s = Store::open(
+            shared(&vfs),
+            StoreConfig { checkpoint_bytes: Some(1), ..StoreConfig::default() },
+        )
+        .unwrap();
+        s.with_txn(|s| s.create_space("c")).unwrap();
+        assert_eq!(s.wal_len(), 0, "threshold 1 byte checkpoints after every commit");
+        drop(s);
+        let mut s2 = open(&vfs);
+        assert_eq!(s2.recovery().frames, 0);
+        assert!(s2.scan("c").unwrap().is_empty());
+    }
+}

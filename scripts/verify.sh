@@ -60,4 +60,13 @@ LLMDM_BENCH_FAST=1 LLMDM_BENCH_DIR="$BENCH_DIR" cargo bench --offline -p llmdm-b
 test -s "$BENCH_DIR/BENCH_sqlplan.json" || { echo "sqlplan emitted no BENCH_sqlplan.json"; exit 1; }
 rm -rf "$BENCH_DIR"
 
+echo "== crash recovery example (self-validating: kill matrix at all 3 commit barriers, warm-cache restart)"
+cargo run -q --release --offline -p llmdm --example crash_recovery >/dev/null
+
+echo "== store durability bench (pins warm scan >=2x cold through the buffer pool; recovery vs WAL length reported)"
+BENCH_DIR="$(mktemp -d)"
+LLMDM_BENCH_FAST=1 LLMDM_BENCH_DIR="$BENCH_DIR" cargo bench --offline -p llmdm-bench --bench store_durability
+test -s "$BENCH_DIR/BENCH_store.json" || { echo "store_durability emitted no BENCH_store.json"; exit 1; }
+rm -rf "$BENCH_DIR"
+
 echo "verify: OK"

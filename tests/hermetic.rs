@@ -173,6 +173,33 @@ fn serve_crate_depends_only_on_rt_obs_resil() {
 }
 
 #[test]
+fn store_crate_depends_only_on_rt_obs_resil() {
+    // llmdm-store is the durable storage tier (pager, WAL, recovery).
+    // Like serve, it is infrastructure: both sqlengine and semcache sit
+    // on top of it, so it must never depend on a domain crate — only
+    // llmdm-rt (runtime), llmdm-obs (counters/spans), and llmdm-resil
+    // (fault plans driving the crash-injection kill points).
+    let root = workspace_root();
+    let text = fs::read_to_string(root.join("crates/store/Cargo.toml")).expect("store manifest");
+    let mut in_deps = false;
+    for raw in text.lines() {
+        let line = raw.trim();
+        if line.starts_with('[') {
+            in_deps = line.trim_matches(['[', ']']).ends_with("dependencies");
+            continue;
+        }
+        if in_deps && !line.is_empty() && !line.starts_with('#') {
+            assert!(
+                line.starts_with("llmdm-rt")
+                    || line.starts_with("llmdm-obs")
+                    || line.starts_with("llmdm-resil"),
+                "llmdm-store may only depend on llmdm-rt, llmdm-obs, llmdm-resil, found: {line}"
+            );
+        }
+    }
+}
+
+#[test]
 fn no_source_file_references_removed_crates() {
     // The replaced crates must not creep back in via `use` or `extern`.
     let root = workspace_root();
