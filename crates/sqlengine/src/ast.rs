@@ -157,6 +157,36 @@ pub enum Expr {
         /// IS NOT NULL.
         negated: bool,
     },
+    /// `LLM_MAP(expr, 'prompt template')` — semantic projection: the
+    /// argument value is rendered into a prompt built from the template
+    /// and the session model's completion becomes the result (TEXT).
+    /// `NULL` propagates without a model call.
+    LlmMap {
+        /// The mapped expression.
+        arg: Box<Expr>,
+        /// The prompt template (string literal in the grammar).
+        template: String,
+    },
+    /// `LLM_FILTER(expr, 'predicate prompt')` — semantic predicate: the
+    /// model's completion is parsed as a boolean. `NULL` input yields
+    /// `NULL` without a model call.
+    LlmFilter {
+        /// The tested expression.
+        arg: Box<Expr>,
+        /// The predicate prompt template.
+        template: String,
+    },
+    /// `LLM_MATCH(a, b, 'prompt')` — semantic equality between two
+    /// values, used as the `ON` condition of `LLM_JOIN`. A `NULL` on
+    /// either side yields `NULL` without a model call.
+    LlmMatch {
+        /// Left value.
+        left: Box<Expr>,
+        /// Right value.
+        right: Box<Expr>,
+        /// The matching prompt template.
+        template: String,
+    },
 }
 
 impl Expr {
@@ -196,7 +226,58 @@ impl Expr {
             }
             Expr::IsNull { expr, .. } | Expr::Like { expr, .. } => expr.contains_aggregate(),
             Expr::InSubquery { expr, .. } => expr.contains_aggregate(),
+            Expr::LlmMap { arg, .. } | Expr::LlmFilter { arg, .. } => arg.contains_aggregate(),
+            Expr::LlmMatch { left, right, .. } => {
+                left.contains_aggregate() || right.contains_aggregate()
+            }
             _ => false,
+        }
+    }
+
+    /// Does this expression (recursively) contain a semantic operator
+    /// (`LLM_MAP` / `LLM_FILTER` / `LLM_MATCH`)? Subquery bodies are not
+    /// descended into — they plan and account for themselves.
+    pub fn contains_llm(&self) -> bool {
+        match self {
+            Expr::LlmMap { .. } | Expr::LlmFilter { .. } | Expr::LlmMatch { .. } => true,
+            Expr::Literal(_) | Expr::Column { .. } => false,
+            Expr::Binary { left, right, .. } => left.contains_llm() || right.contains_llm(),
+            Expr::Unary { expr, .. } | Expr::IsNull { expr, .. } | Expr::Like { expr, .. } => {
+                expr.contains_llm()
+            }
+            Expr::Aggregate { arg, .. } => arg.as_ref().is_some_and(|a| a.contains_llm()),
+            Expr::InList { expr, list, .. } => {
+                expr.contains_llm() || list.iter().any(|e| e.contains_llm())
+            }
+            Expr::Between { expr, low, high, .. } => {
+                expr.contains_llm() || low.contains_llm() || high.contains_llm()
+            }
+            Expr::InSubquery { expr, .. } => expr.contains_llm(),
+            Expr::Exists { .. } | Expr::ScalarSubquery(_) => false,
+        }
+    }
+
+    /// Number of semantic-operator invocations in this expression — the
+    /// prompts evaluating it once costs (before dedup/caching). Subquery
+    /// bodies are excluded, like [`Expr::contains_llm`].
+    pub fn count_llm(&self) -> usize {
+        match self {
+            Expr::LlmMap { arg, .. } | Expr::LlmFilter { arg, .. } => 1 + arg.count_llm(),
+            Expr::LlmMatch { left, right, .. } => 1 + left.count_llm() + right.count_llm(),
+            Expr::Literal(_) | Expr::Column { .. } => 0,
+            Expr::Binary { left, right, .. } => left.count_llm() + right.count_llm(),
+            Expr::Unary { expr, .. } | Expr::IsNull { expr, .. } | Expr::Like { expr, .. } => {
+                expr.count_llm()
+            }
+            Expr::Aggregate { arg, .. } => arg.as_ref().map_or(0, |a| a.count_llm()),
+            Expr::InList { expr, list, .. } => {
+                expr.count_llm() + list.iter().map(Expr::count_llm).sum::<usize>()
+            }
+            Expr::Between { expr, low, high, .. } => {
+                expr.count_llm() + low.count_llm() + high.count_llm()
+            }
+            Expr::InSubquery { expr, .. } => expr.count_llm(),
+            Expr::Exists { .. } | Expr::ScalarSubquery(_) => 0,
         }
     }
 }
@@ -385,6 +466,19 @@ mod tests {
         let e = Expr::bin(BinOp::Gt, agg, Expr::lit(3i64));
         assert!(e.contains_aggregate());
         assert!(!Expr::col("x").contains_aggregate());
+    }
+
+    #[test]
+    fn contains_llm_walks_tree_but_not_subqueries() {
+        let m = Expr::LlmMap { arg: Box::new(Expr::col("x")), template: "t".into() };
+        assert!(m.contains_llm());
+        assert!(Expr::bin(BinOp::Eq, m.clone(), Expr::lit(1i64)).contains_llm());
+        assert!(!Expr::col("x").contains_llm());
+        // A subquery body with an LLM op does not make the outer
+        // expression semantic: the subquery plans itself.
+        let mut sub = SelectStmt::empty();
+        sub.projections.push(SelectItem::Expr { expr: m, alias: None });
+        assert!(!Expr::Exists { subquery: Box::new(sub), negated: false }.contains_llm());
     }
 
     #[test]

@@ -7,6 +7,7 @@ use std::collections::BTreeMap;
 use crate::error::SqlError;
 use crate::result::ResultSet;
 use crate::schema::{Schema, Table};
+use crate::semantic::ModelHandle;
 
 /// An in-memory database: a catalog of tables plus transaction state.
 #[derive(Debug, Clone, Default)]
@@ -14,12 +15,33 @@ pub struct Database {
     tables: BTreeMap<String, Table>,
     /// Snapshot taken at BEGIN; restored on ROLLBACK.
     snapshot: Option<BTreeMap<String, Table>>,
+    /// The session LLM handle semantic operators route through; `None`
+    /// (the default) makes `LLM_MAP`/`LLM_FILTER`/`LLM_MATCH` fail with
+    /// [`SqlError::Model`]. Transactions never roll this back — the
+    /// model is session state, not data.
+    model: Option<ModelHandle>,
 }
 
 impl Database {
     /// An empty database.
     pub fn new() -> Self {
         Database::default()
+    }
+
+    /// Attach a session model (builder form).
+    pub fn with_model(mut self, model: ModelHandle) -> Self {
+        self.model = Some(model);
+        self
+    }
+
+    /// Attach or replace the session model.
+    pub fn set_model(&mut self, model: ModelHandle) {
+        self.model = Some(model);
+    }
+
+    /// The attached session model, if any.
+    pub fn model(&self) -> Option<&ModelHandle> {
+        self.model.as_ref()
     }
 
     /// Create a table. Errors if the name exists.

@@ -30,6 +30,10 @@ pub enum SqlError {
     Txn(String),
     /// The durable storage tier failed (wraps a `llmdm_store` error).
     Storage(String),
+    /// A semantic operator failed: no session model attached, the model
+    /// call errored, or the completion could not be parsed into the
+    /// operator's result type.
+    Model(String),
 }
 
 impl fmt::Display for SqlError {
@@ -45,6 +49,7 @@ impl fmt::Display for SqlError {
             SqlError::Exec(m) => write!(f, "execution error: {m}"),
             SqlError::Txn(m) => write!(f, "transaction error: {m}"),
             SqlError::Storage(m) => write!(f, "storage error: {m}"),
+            SqlError::Model(m) => write!(f, "model error: {m}"),
         }
     }
 }

@@ -212,6 +212,33 @@ pub fn eval(expr: &Expr, env: &Env<'_>) -> Result<Value, SqlError> {
             let v = eval(expr, env)?;
             Ok(Value::Bool(v.is_null() != *negated))
         }
+        Expr::LlmMap { arg, template } => {
+            let v = eval(arg, env)?;
+            if v.is_null() {
+                return Ok(Value::Null);
+            }
+            let prompt = crate::semantic::unary_prompt("map", template, &v);
+            Ok(Value::Str(crate::semantic::complete(env.db.model(), &prompt)?))
+        }
+        Expr::LlmFilter { arg, template } => {
+            let v = eval(arg, env)?;
+            if v.is_null() {
+                return Ok(Value::Null);
+            }
+            let prompt = crate::semantic::unary_prompt("filter", template, &v);
+            let text = crate::semantic::complete(env.db.model(), &prompt)?;
+            Ok(Value::Bool(crate::semantic::parse_bool(&text)?))
+        }
+        Expr::LlmMatch { left, right, template } => {
+            let l = eval(left, env)?;
+            let r = eval(right, env)?;
+            if l.is_null() || r.is_null() {
+                return Ok(Value::Null);
+            }
+            let prompt = crate::semantic::match_prompt(template, &l, &r);
+            let text = crate::semantic::complete(env.db.model(), &prompt)?;
+            Ok(Value::Bool(crate::semantic::parse_bool(&text)?))
+        }
     }
 }
 

@@ -44,6 +44,7 @@ pub(crate) mod plan;
 pub mod printer;
 pub mod result;
 pub mod schema;
+pub mod semantic;
 pub mod storage;
 pub mod value;
 
@@ -54,5 +55,6 @@ pub use parser::parse_statement;
 pub use printer::print_statement;
 pub use result::ResultSet;
 pub use schema::{Column, Row, Schema, Table};
+pub use semantic::ModelHandle;
 pub use storage::PersistentDb;
 pub use value::{DataType, Value};

@@ -54,7 +54,7 @@ const RESERVED: &[&str] = &[
     "FROM", "WHERE", "GROUP", "HAVING", "ORDER", "LIMIT", "OFFSET", "UNION", "INTERSECT",
     "EXCEPT", "ON", "JOIN", "INNER", "LEFT", "RIGHT", "OUTER", "AND", "OR", "NOT", "AS", "BY",
     "SET", "VALUES", "ASC", "DESC", "ALL", "DISTINCT", "SELECT", "IN", "LIKE", "BETWEEN", "IS",
-    "EXISTS", "CROSS",
+    "EXISTS", "CROSS", "LLM_JOIN",
 ];
 
 /// Maximum nesting depth for expressions and set-operation chains. The
@@ -451,6 +451,22 @@ impl Parser {
             if self.eat_symbol(Sym::Comma) {
                 // Comma join = inner join with TRUE condition.
                 items.push(self.from_item(Some((JoinType::Inner, Expr::lit(true))))?);
+            } else if self.eat_kw("LLM_JOIN") {
+                // `LLM_JOIN t [alias] ON <pred>` — a semantic inner join;
+                // the ON predicate must invoke a semantic operator
+                // (canonically `LLM_MATCH(a.x, b.y, 'prompt')`).
+                let table = self.ident()?;
+                let alias = self.optional_alias()?;
+                self.expect_kw("ON")?;
+                let on = self.expr()?;
+                if !on.contains_llm() {
+                    return Err(SqlError::Parse(
+                        "LLM_JOIN requires a semantic predicate in ON \
+                         (e.g. LLM_MATCH(a.x, b.y, 'prompt'))"
+                            .into(),
+                    ));
+                }
+                items.push(FromItem { table, alias, join: Some((JoinType::Inner, on)) });
             } else if self.peek().is_some_and(|t| {
                 t.is_kw("JOIN") || t.is_kw("INNER") || t.is_kw("LEFT") || t.is_kw("CROSS")
             }) {
@@ -708,6 +724,41 @@ impl Parser {
                         return Ok(Expr::Aggregate { func, arg, distinct });
                     }
                 }
+                // Semantic operator call? Like aggregates, the names are
+                // only special when followed by `(` so they remain usable
+                // as plain column names.
+                if self.peek2() == Some(&Token::Symbol(Sym::LParen)) {
+                    if id.eq_ignore_ascii_case("LLM_MAP") || id.eq_ignore_ascii_case("LLM_FILTER")
+                    {
+                        let is_map = id.eq_ignore_ascii_case("LLM_MAP");
+                        self.next();
+                        self.next();
+                        let arg = self.with_depth(|p| p.expr())?;
+                        self.expect_symbol(Sym::Comma)?;
+                        let template = self.template_literal(&id)?;
+                        self.expect_symbol(Sym::RParen)?;
+                        return Ok(if is_map {
+                            Expr::LlmMap { arg: Box::new(arg), template }
+                        } else {
+                            Expr::LlmFilter { arg: Box::new(arg), template }
+                        });
+                    }
+                    if id.eq_ignore_ascii_case("LLM_MATCH") {
+                        self.next();
+                        self.next();
+                        let left = self.with_depth(|p| p.expr())?;
+                        self.expect_symbol(Sym::Comma)?;
+                        let right = self.with_depth(|p| p.expr())?;
+                        self.expect_symbol(Sym::Comma)?;
+                        let template = self.template_literal(&id)?;
+                        self.expect_symbol(Sym::RParen)?;
+                        return Ok(Expr::LlmMatch {
+                            left: Box::new(left),
+                            right: Box::new(right),
+                            template,
+                        });
+                    }
+                }
                 // Column reference (possibly qualified). Reserved words
                 // cannot be bare column names.
                 if RESERVED.iter().any(|r| id.eq_ignore_ascii_case(r)) {
@@ -724,6 +775,21 @@ impl Parser {
                 }
             }
             other => Err(SqlError::Parse(format!("unexpected token in expression: {other:?}"))),
+        }
+    }
+
+    /// The prompt-template argument of a semantic operator must be a
+    /// string literal: templates are part of the query text, not data.
+    fn template_literal(&mut self, func: &str) -> Result<String, SqlError> {
+        match self.peek().cloned() {
+            Some(Token::Str(s)) => {
+                self.next();
+                Ok(s)
+            }
+            other => Err(SqlError::Parse(format!(
+                "{} requires a string-literal prompt template, got {other:?}",
+                func.to_ascii_uppercase()
+            ))),
         }
     }
 }
@@ -971,5 +1037,64 @@ mod tests {
         // Reasonable nesting still parses.
         let ok = format!("SELECT {}1{}", "(".repeat(20), ")".repeat(20));
         assert!(parse_statement(&ok).is_ok());
+    }
+
+    #[test]
+    fn llm_map_and_filter_parse() {
+        let s = sel("SELECT LLM_MAP(name, 'uppercase') FROM t WHERE LLM_FILTER(bio, 'positive?')");
+        match &s.projections[0] {
+            SelectItem::Expr { expr: Expr::LlmMap { arg, template }, alias: None } => {
+                assert!(matches!(**arg, Expr::Column { .. }));
+                assert_eq!(template, "uppercase");
+            }
+            other => panic!("expected LLM_MAP projection, got {other:?}"),
+        }
+        assert!(matches!(s.selection, Some(Expr::LlmFilter { .. })));
+    }
+
+    #[test]
+    fn llm_match_parses_with_two_args() {
+        let e = parse_expr("LLM_MATCH(a.x, b.y, 'same thing?')").unwrap();
+        match e {
+            Expr::LlmMatch { left, right, template } => {
+                assert!(matches!(*left, Expr::Column { qualifier: Some(_), .. }));
+                assert!(matches!(*right, Expr::Column { qualifier: Some(_), .. }));
+                assert_eq!(template, "same thing?");
+            }
+            other => panic!("expected LLM_MATCH, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn llm_join_parses_as_inner_join_with_semantic_on() {
+        let s = sel("SELECT * FROM a LLM_JOIN b ON LLM_MATCH(a.x, b.y, 'same?')");
+        assert_eq!(s.from.len(), 2);
+        let (jt, on) = s.from[1].join.as_ref().expect("join clause");
+        assert_eq!(*jt, JoinType::Inner);
+        assert!(on.contains_llm());
+        // Aliases work too.
+        let s = sel("SELECT * FROM a x LLM_JOIN b y ON LLM_MATCH(x.c, y.d, 'p')");
+        assert_eq!(s.from[1].alias.as_deref(), Some("y"));
+    }
+
+    #[test]
+    fn llm_join_without_semantic_predicate_rejected() {
+        assert!(parse_statement("SELECT * FROM a LLM_JOIN b ON a.x = b.y").is_err());
+        assert!(parse_statement("SELECT * FROM a LLM_JOIN b").is_err());
+    }
+
+    #[test]
+    fn llm_templates_must_be_string_literals() {
+        assert!(parse_statement("SELECT LLM_MAP(name, 42) FROM t").is_err());
+        assert!(parse_statement("SELECT LLM_MAP(name, other_col) FROM t").is_err());
+        assert!(parse_statement("SELECT LLM_MATCH(a, b, c) FROM t").is_err());
+    }
+
+    #[test]
+    fn llm_names_stay_valid_as_plain_columns() {
+        // Without a following `(` the names are ordinary identifiers.
+        let s = sel("SELECT llm_map, llm_filter FROM t WHERE llm_match > 1");
+        assert_eq!(s.projections.len(), 2);
+        assert!(s.selection.is_some());
     }
 }

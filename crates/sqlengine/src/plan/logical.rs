@@ -13,6 +13,26 @@ use crate::exec::{self, Bindings};
 use crate::printer;
 use crate::schema::Schema;
 
+/// Planner-estimated cost of one semantic operator, shown by `EXPLAIN`.
+/// Calls are discounted by the session cache's *live* hit ratio
+/// ([`crate::semantic::ModelHandle::cache_hit_ratio`]), so the same plan
+/// gets cheaper as the cache warms. Per-operator prompt dedup is not
+/// modeled (distinct-value counts are unknown at plan time), so these are
+/// upper bounds.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub(crate) struct LlmEstimate {
+    /// Estimated input rows.
+    pub rows: usize,
+    /// Prompts issued per input row (semantic invocations in the exprs).
+    pub prompts_per_row: usize,
+    /// Estimated model calls after the cache discount.
+    pub calls: f64,
+    /// Estimated dollars: calls × observed (or nominal) per-call price.
+    pub dollars: f64,
+    /// The cache hit ratio the discount used.
+    pub hit_ratio: f64,
+}
+
 /// A relational operator tree. Children are boxed; `Scan` is the leaf.
 #[derive(Debug, Clone)]
 pub(crate) enum LogicalPlan {
@@ -51,6 +71,17 @@ pub(crate) enum LogicalPlan {
         /// Rows are kept when this evaluates truthy.
         predicate: Expr,
     },
+    /// Semantic predicate — `WHERE`/ON conjuncts invoking LLM operators,
+    /// split out of [`LogicalPlan::Filter`] by the pushdown pass so cheap
+    /// relational predicates always run first (the paper's reorder rule).
+    LlmFilter {
+        /// Input.
+        input: Box<LogicalPlan>,
+        /// Rows are kept when this evaluates truthy.
+        predicate: Expr,
+        /// Planner cost estimate (filled by the estimate pass).
+        est: Option<LlmEstimate>,
+    },
     /// Non-aggregate projection.
     Project {
         /// Input.
@@ -59,6 +90,18 @@ pub(crate) enum LogicalPlan {
         items: Vec<SelectItem>,
         /// Output column names, one per item.
         columns: Vec<String>,
+    },
+    /// Projection whose items invoke semantic operators (`LLM_MAP` in the
+    /// select list) — a [`LogicalPlan::Project`] that calls the model.
+    LlmMap {
+        /// Input.
+        input: Box<LogicalPlan>,
+        /// Expanded projection items (no wildcards).
+        items: Vec<SelectItem>,
+        /// Output column names, one per item.
+        columns: Vec<String>,
+        /// Planner cost estimate (filled by the estimate pass).
+        est: Option<LlmEstimate>,
     },
     /// Grouped aggregation (also bare aggregates with no GROUP BY).
     Aggregate {
@@ -131,7 +174,9 @@ impl LogicalPlan {
                 b
             }
             LogicalPlan::Join { left, right, .. } => left.bindings().concat(&right.bindings()),
-            LogicalPlan::Filter { input, .. } => input.bindings(),
+            LogicalPlan::Filter { input, .. } | LogicalPlan::LlmFilter { input, .. } => {
+                input.bindings()
+            }
             _ => Bindings::default(),
         }
     }
@@ -149,12 +194,13 @@ impl LogicalPlan {
                 cols
             }
             LogicalPlan::Filter { input, .. }
+            | LogicalPlan::LlmFilter { input, .. }
             | LogicalPlan::Distinct { input }
             | LogicalPlan::Sort { input, .. }
             | LogicalPlan::Limit { input, .. } => input.output_columns(),
-            LogicalPlan::Project { columns, .. } | LogicalPlan::Aggregate { columns, .. } => {
-                columns.clone()
-            }
+            LogicalPlan::Project { columns, .. }
+            | LogicalPlan::LlmMap { columns, .. }
+            | LogicalPlan::Aggregate { columns, .. } => columns.clone(),
             LogicalPlan::SetOp { left, .. } => left.output_columns(),
             LogicalPlan::Strip { input, keep } => {
                 let mut cols = input.output_columns();
@@ -266,6 +312,20 @@ fn lower_core(db: &Database, stmt: &SelectStmt, hidden: &[Expr]) -> Result<Logic
                 join: JoinType::Left,
                 on: Some(on.clone()),
             },
+            // An INNER ON invoking semantic operators (LLM_JOIN) lowers as
+            // cross join + filter — same pairs in the same order, but the
+            // predicate now lives in a Filter node the pushdown pass can
+            // partition into relational-first / LLM-last (and the semantic
+            // part gets its own costed LlmFilter operator).
+            (Some((JoinType::Inner, on)), _) if on.contains_llm() => LogicalPlan::Filter {
+                input: Box::new(LogicalPlan::Join {
+                    left: Box::new(plan),
+                    right: Box::new(scan),
+                    join: JoinType::Inner,
+                    on: None,
+                }),
+                predicate: on.clone(),
+            },
             (Some((jt, on)), _) => LogicalPlan::Join {
                 left: Box::new(plan),
                 right: Box::new(scan),
@@ -289,6 +349,10 @@ fn lower_core(db: &Database, stmt: &SelectStmt, hidden: &[Expr]) -> Result<Logic
     }
     let has_agg =
         exec::has_aggregate_core(stmt) || hidden.iter().any(|e| e.contains_aggregate());
+    let has_llm_items = items.iter().any(|it| match it {
+        SelectItem::Expr { expr, .. } => expr.contains_llm(),
+        _ => false,
+    });
     plan = if has_agg {
         LogicalPlan::Aggregate {
             input: Box::new(plan),
@@ -297,6 +361,8 @@ fn lower_core(db: &Database, stmt: &SelectStmt, hidden: &[Expr]) -> Result<Logic
             items,
             columns,
         }
+    } else if has_llm_items {
+        LogicalPlan::LlmMap { input: Box::new(plan), items, columns, est: None }
     } else {
         LogicalPlan::Project { input: Box::new(plan), items, columns }
     };
@@ -304,6 +370,21 @@ fn lower_core(db: &Database, stmt: &SelectStmt, hidden: &[Expr]) -> Result<Logic
         plan = LogicalPlan::Distinct { input: Box::new(plan) };
     }
     Ok(plan)
+}
+
+/// Render a semantic operator's cost estimate (empty before the estimate
+/// pass runs, e.g. in unit tests over unoptimized plans).
+fn render_estimate(est: &Option<LlmEstimate>) -> String {
+    match est {
+        Some(e) => format!(
+            " est_rows={} est_calls={:.1} est_dollars=${:.6} cache_hit={:.0}%",
+            e.rows,
+            e.calls,
+            e.dollars,
+            e.hit_ratio * 100.0
+        ),
+        None => String::new(),
+    }
 }
 
 /// Render a plan as indented lines for `EXPLAIN`.
@@ -341,8 +422,20 @@ fn render_into(plan: &LogicalPlan, depth: usize, out: &mut Vec<String>) {
             out.push(format!("{pad}Filter {}", printer::print_expr(predicate)));
             render_into(input, depth + 1, out);
         }
+        LogicalPlan::LlmFilter { input, predicate, est } => {
+            out.push(format!(
+                "{pad}LlmFilter {}{}",
+                printer::print_expr(predicate),
+                render_estimate(est)
+            ));
+            render_into(input, depth + 1, out);
+        }
         LogicalPlan::Project { input, columns, .. } => {
             out.push(format!("{pad}Project [{}]", columns.join(", ")));
+            render_into(input, depth + 1, out);
+        }
+        LogicalPlan::LlmMap { input, columns, est, .. } => {
+            out.push(format!("{pad}LlmMap [{}]{}", columns.join(", "), render_estimate(est)));
             render_into(input, depth + 1, out);
         }
         LogicalPlan::Aggregate { input, group_by, having, columns, .. } => {

@@ -83,6 +83,26 @@ pub(crate) fn explain_analyze_select(
         rows.push(vec![Value::Str(format!("  {line}"))]);
     }
     rows.push(vec![Value::Str(format!("result: {} row(s)", result.rows.len()))]);
+    // Query-level semantic totals: the sum of the per-operator counters,
+    // which reconciles exactly with the session `UsageMeter` delta as
+    // long as every LLM evaluation runs inside a scoped operator.
+    let mut total = crate::semantic::SemCounters::default();
+    let mut any_llm = false;
+    for st in &stats {
+        if let Some(c) = &st.llm {
+            any_llm = true;
+            total.calls += c.calls;
+            total.dedup_hits += c.dedup_hits;
+            total.cache_hits += c.cache_hits;
+            total.dollars += c.dollars;
+        }
+    }
+    if any_llm {
+        rows.push(vec![Value::Str(format!(
+            "llm: calls={} dedup_hits={} cache_hits={} dollars=${:.9}",
+            total.calls, total.dedup_hits, total.cache_hits, total.dollars
+        ))]);
+    }
     Ok(ResultSet { columns: vec!["plan".into()], rows, affected: 0 })
 }
 

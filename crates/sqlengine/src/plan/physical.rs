@@ -14,6 +14,7 @@
 //! counters.
 
 use std::collections::VecDeque;
+use std::rc::Rc;
 
 use crate::ast::{Expr, JoinType, SelectItem, SetOp};
 use crate::catalog::Database;
@@ -22,6 +23,7 @@ use crate::eval::{eval, Env};
 use crate::exec::{self, Bindings};
 use crate::result::ResultSet;
 use crate::schema::Row;
+use crate::semantic::{ScopeGuard, SemCounters, SemScope};
 use crate::value::Value;
 
 use super::logical::LogicalPlan;
@@ -47,15 +49,39 @@ pub(crate) struct OpStat {
     /// `false` for operators that never ran — e.g. the lazily
     /// materialized right side of a join whose left side was empty.
     pub executed: bool,
+    /// Semantic-operator counters (model calls, dedup/cache hits,
+    /// dollars), present only for operators that invoke the LLM.
+    pub llm: Option<SemCounters>,
 }
 
 impl OpStat {
     fn basic(label: impl Into<String>, rows_out: usize) -> OpStat {
-        OpStat { label: label.into(), rows_out, loops: 0, elapsed_ns: 0, timed: false, executed: true }
+        OpStat {
+            label: label.into(),
+            rows_out,
+            loops: 0,
+            elapsed_ns: 0,
+            timed: false,
+            executed: true,
+            llm: None,
+        }
     }
 
     fn never(label: impl Into<String>) -> OpStat {
-        OpStat { label: label.into(), rows_out: 0, loops: 0, elapsed_ns: 0, timed: false, executed: false }
+        OpStat {
+            label: label.into(),
+            rows_out: 0,
+            loops: 0,
+            elapsed_ns: 0,
+            timed: false,
+            executed: false,
+            llm: None,
+        }
+    }
+
+    fn with_llm(mut self, counters: SemCounters) -> OpStat {
+        self.llm = Some(counters);
+        self
     }
 }
 
@@ -102,6 +128,22 @@ pub(crate) fn build<'a>(
                 })
             }
         }
+        LogicalPlan::LlmFilter { input, predicate, .. } => Box::new(LlmFilterExec {
+            db,
+            bindings: input.bindings(),
+            input: build(db, input, instrument)?,
+            predicate,
+            scope: SemScope::new(),
+            rows_out: 0,
+        }),
+        LogicalPlan::LlmMap { input, items, .. } => Box::new(LlmMapExec {
+            db,
+            bindings: input.bindings(),
+            input: build(db, input, instrument)?,
+            items,
+            scope: SemScope::new(),
+            rows_out: 0,
+        }),
         LogicalPlan::Join { left, right, join, on } => Box::new(NLJoinExec {
             db,
             left_bindings: left.bindings(),
@@ -114,6 +156,10 @@ pub(crate) fn build<'a>(
             instrument,
             join: *join,
             on: on.as_ref(),
+            // A semantic ON that survives lowering (LEFT JOIN can't be
+            // rewritten to cross-join + filter) still dedups prompts and
+            // attributes calls to this operator.
+            scope: on.as_ref().is_some_and(|e| e.contains_llm()).then(SemScope::new),
             cur: None,
             right_idx: 0,
             matched: false,
@@ -127,6 +173,12 @@ pub(crate) fn build<'a>(
             rows_out: 0,
         }),
         LogicalPlan::Aggregate { input, group_by, having, items, .. } => {
+            let has_llm = group_by.iter().any(Expr::contains_llm)
+                || having.as_ref().is_some_and(|h| h.contains_llm())
+                || items.iter().any(|it| match it {
+                    SelectItem::Expr { expr, .. } => expr.contains_llm(),
+                    _ => false,
+                });
             Box::new(AggregateExec {
                 db,
                 bindings: input.bindings(),
@@ -134,6 +186,7 @@ pub(crate) fn build<'a>(
                 group_by,
                 having: having.as_ref(),
                 items,
+                scope: has_llm.then(SemScope::new),
                 buf: VecDeque::new(),
                 done: false,
                 rows_out: 0,
@@ -379,6 +432,42 @@ impl<'a> PhysOp<'a> for FilterExec<'a> {
     }
 }
 
+/// Evaluates a semantic predicate (`LLM_FILTER` / `LLM_MATCH`) per input
+/// row. Owns a [`SemScope`] so identical prompts within this operator's
+/// input dedup to one model call, and model usage (calls, cache hits,
+/// dollars) is attributed to this operator in `EXPLAIN ANALYZE`.
+struct LlmFilterExec<'a> {
+    db: &'a Database,
+    bindings: Bindings,
+    input: Box<dyn PhysOp<'a> + 'a>,
+    predicate: &'a Expr,
+    scope: Rc<SemScope>,
+    rows_out: usize,
+}
+
+impl<'a> PhysOp<'a> for LlmFilterExec<'a> {
+    fn next(&mut self) -> Result<Option<Row>, SqlError> {
+        while let Some(row) = self.input.next()? {
+            let keep = {
+                let _guard = ScopeGuard::enter(Rc::clone(&self.scope));
+                let scopes = self.bindings.scopes(&row);
+                let env = Env { scopes: &scopes, db: self.db };
+                eval(self.predicate, &env)?.is_truthy()
+            };
+            if keep {
+                self.rows_out += 1;
+                return Ok(Some(row));
+            }
+        }
+        Ok(None)
+    }
+
+    fn stats(&self, out: &mut Vec<OpStat>) {
+        out.push(OpStat::basic("llm_filter", self.rows_out).with_llm(self.scope.counters()));
+        self.input.stats(out);
+    }
+}
+
 struct NLJoinExec<'a> {
     db: &'a Database,
     left_bindings: Bindings,
@@ -393,6 +482,9 @@ struct NLJoinExec<'a> {
     instrument: bool,
     join: JoinType,
     on: Option<&'a Expr>,
+    /// Present when `on` contains a semantic predicate: dedups prompts
+    /// across the whole pairwise comparison and attributes model usage.
+    scope: Option<Rc<SemScope>>,
     /// Current left row being matched.
     cur: Option<Row>,
     right_idx: usize,
@@ -403,6 +495,7 @@ struct NLJoinExec<'a> {
 impl<'a> NLJoinExec<'a> {
     fn on_matches(&self, left_row: &[Value], right_row: &[Value]) -> Result<bool, SqlError> {
         let Some(on) = self.on else { return Ok(true) };
+        let _guard = self.scope.as_ref().map(|s| ScopeGuard::enter(Rc::clone(s)));
         // Evaluate against both segments without cloning the combined row.
         let mut scopes = self.left_bindings.scopes(left_row);
         scopes.extend(self.right_bindings.scopes(right_row));
@@ -460,7 +553,11 @@ impl<'a> PhysOp<'a> for NLJoinExec<'a> {
     }
 
     fn stats(&self, out: &mut Vec<OpStat>) {
-        out.push(OpStat::basic("join", self.rows_out));
+        let mut st = OpStat::basic("join", self.rows_out);
+        if let Some(scope) = &self.scope {
+            st = st.with_llm(scope.counters());
+        }
+        out.push(st);
         self.left.stats(out);
         if self.right_ready {
             out.extend(self.right_stats.iter().cloned());
@@ -498,6 +595,37 @@ impl<'a> PhysOp<'a> for ProjectExec<'a> {
     }
 }
 
+/// Projection whose items contain semantic operators (`LLM_MAP` and
+/// friends). Identical to [`ProjectExec`] plus a per-operator
+/// [`SemScope`] for prompt dedup and usage attribution.
+struct LlmMapExec<'a> {
+    db: &'a Database,
+    bindings: Bindings,
+    input: Box<dyn PhysOp<'a> + 'a>,
+    items: &'a [SelectItem],
+    scope: Rc<SemScope>,
+    rows_out: usize,
+}
+
+impl<'a> PhysOp<'a> for LlmMapExec<'a> {
+    fn next(&mut self) -> Result<Option<Row>, SqlError> {
+        match self.input.next()? {
+            Some(row) => {
+                let _guard = ScopeGuard::enter(Rc::clone(&self.scope));
+                let out = exec::project_row(self.db, &self.bindings, self.items, &row)?;
+                self.rows_out += 1;
+                Ok(Some(out))
+            }
+            None => Ok(None),
+        }
+    }
+
+    fn stats(&self, out: &mut Vec<OpStat>) {
+        out.push(OpStat::basic("llm_map", self.rows_out).with_llm(self.scope.counters()));
+        self.input.stats(out);
+    }
+}
+
 struct AggregateExec<'a> {
     db: &'a Database,
     bindings: Bindings,
@@ -505,6 +633,9 @@ struct AggregateExec<'a> {
     group_by: &'a [Expr],
     having: Option<&'a Expr>,
     items: &'a [SelectItem],
+    /// Present when any aggregate expression contains a semantic
+    /// operator.
+    scope: Option<Rc<SemScope>>,
     buf: VecDeque<Row>,
     done: bool,
     rows_out: usize,
@@ -517,6 +648,7 @@ impl<'a> PhysOp<'a> for AggregateExec<'a> {
             while let Some(r) = self.input.next()? {
                 rows.push(r);
             }
+            let _guard = self.scope.as_ref().map(|s| ScopeGuard::enter(Rc::clone(s)));
             self.buf = exec::aggregate_rows(
                 self.db,
                 &self.bindings,
@@ -534,7 +666,11 @@ impl<'a> PhysOp<'a> for AggregateExec<'a> {
     }
 
     fn stats(&self, out: &mut Vec<OpStat>) {
-        out.push(OpStat::basic("aggregate", self.rows_out));
+        let mut st = OpStat::basic("aggregate", self.rows_out);
+        if let Some(scope) = &self.scope {
+            st = st.with_llm(scope.counters());
+        }
+        out.push(st);
         self.input.stats(out);
     }
 }
@@ -756,6 +892,14 @@ fn placeholder_stats(plan: &LogicalPlan, out: &mut Vec<OpStat>) {
                 placeholder_stats(input, out);
             }
         }
+        LogicalPlan::LlmFilter { input, .. } => {
+            out.push(OpStat::never("llm_filter"));
+            placeholder_stats(input, out);
+        }
+        LogicalPlan::LlmMap { input, .. } => {
+            out.push(OpStat::never("llm_map"));
+            placeholder_stats(input, out);
+        }
         LogicalPlan::Join { left, right, .. } => {
             out.push(OpStat::never("join"));
             placeholder_stats(left, out);
@@ -824,7 +968,9 @@ fn arities_into(plan: &LogicalPlan, out: &mut Vec<usize>) {
             arities_into(left, out);
             arities_into(right, out);
         }
-        LogicalPlan::Project { input, .. }
+        LogicalPlan::LlmFilter { input, .. }
+        | LogicalPlan::LlmMap { input, .. }
+        | LogicalPlan::Project { input, .. }
         | LogicalPlan::Aggregate { input, .. }
         | LogicalPlan::Distinct { input }
         | LogicalPlan::Sort { input, .. }
@@ -896,7 +1042,14 @@ pub(crate) fn render_analyzed(plan: &LogicalPlan, stats: &[OpStat]) -> Vec<Strin
             } else {
                 String::new()
             };
-            format!("{line}  ({input}rows_out={}{timing})", st.rows_out)
+            let llm = match &st.llm {
+                Some(c) => format!(
+                    " llm_calls={} dedup_hits={} cache_hits={} dollars=${:.9}",
+                    c.calls, c.dedup_hits, c.cache_hits, c.dollars
+                ),
+                None => String::new(),
+            };
+            format!("{line}  ({input}rows_out={}{timing}{llm})", st.rows_out)
         })
         .collect()
 }
@@ -928,6 +1081,14 @@ fn render_into(plan: &LogicalPlan, depth: usize, out: &mut Vec<String>) {
             out.push(format!("{pad}NLJoinExec {jt} (right side materialized)"));
             render_into(left, depth + 1, out);
             render_into(right, depth + 1, out);
+        }
+        LogicalPlan::LlmFilter { input, predicate, .. } => {
+            out.push(format!("{pad}LlmFilterExec {}", crate::printer::print_expr(predicate)));
+            render_into(input, depth + 1, out);
+        }
+        LogicalPlan::LlmMap { input, columns, .. } => {
+            out.push(format!("{pad}LlmMapExec [{}]", columns.join(", ")));
+            render_into(input, depth + 1, out);
         }
         LogicalPlan::Project { input, columns, .. } => {
             out.push(format!("{pad}ProjectExec [{}]", columns.join(", ")));

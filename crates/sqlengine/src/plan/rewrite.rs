@@ -27,14 +27,15 @@ use crate::exec::Bindings;
 use crate::schema::Schema;
 use crate::value::Value;
 
-use super::logical::LogicalPlan;
+use super::logical::{LlmEstimate, LogicalPlan};
 
 /// Apply all rewrite passes.
 pub(crate) fn optimize(db: &Database, plan: LogicalPlan) -> LogicalPlan {
     let plan = fold_constants(db, plan);
     let plan = push_down_filters(plan);
     let plan = prune_scan_columns(plan);
-    push_limit_into_sort(plan)
+    let plan = push_limit_into_sort(plan);
+    estimate_semantic(db, plan)
 }
 
 // ---------------- constant folding ----------------
@@ -67,10 +68,23 @@ fn fold_constants(db: &Database, plan: LogicalPlan) -> LogicalPlan {
                 on,
             }
         }
+        LogicalPlan::LlmFilter { input, predicate, est } => LogicalPlan::LlmFilter {
+            input: Box::new(fold_constants(db, *input)),
+            // Fold inside the predicate's relational subexpressions; the
+            // LLM call itself never folds (`is_const` is false for it).
+            predicate: fold_expr(db, predicate),
+            est,
+        },
         LogicalPlan::Project { input, items, columns } => LogicalPlan::Project {
             input: Box::new(fold_constants(db, *input)),
             items: items.into_iter().map(|it| fold_item(db, it)).collect(),
             columns,
+        },
+        LogicalPlan::LlmMap { input, items, columns, est } => LogicalPlan::LlmMap {
+            input: Box::new(fold_constants(db, *input)),
+            items: items.into_iter().map(|it| fold_item(db, it)).collect(),
+            columns,
+            est,
         },
         LogicalPlan::Aggregate { input, group_by, having, items, columns } => {
             LogicalPlan::Aggregate {
@@ -129,6 +143,17 @@ fn fold_expr(db: &Database, e: Expr) -> Expr {
         Expr::InSubquery { expr, subquery, negated } => {
             Expr::InSubquery { expr: Box::new(fold_expr(db, *expr)), subquery, negated }
         }
+        Expr::LlmMap { arg, template } => {
+            Expr::LlmMap { arg: Box::new(fold_expr(db, *arg)), template }
+        }
+        Expr::LlmFilter { arg, template } => {
+            Expr::LlmFilter { arg: Box::new(fold_expr(db, *arg)), template }
+        }
+        Expr::LlmMatch { left, right, template } => Expr::LlmMatch {
+            left: Box::new(fold_expr(db, *left)),
+            right: Box::new(fold_expr(db, *right)),
+            template,
+        },
         other => other,
     };
     // Left-driven short-circuits only: `eval` never evaluates the right
@@ -179,7 +204,17 @@ fn push_down_filters(plan: LogicalPlan) -> LogicalPlan {
         LogicalPlan::Filter { input, predicate } => {
             let mut plan = push_down_filters(*input);
             let mut remaining: Vec<Expr> = Vec::new();
+            let mut semantic: Vec<Expr> = Vec::new();
             for conj in split_conjuncts(predicate) {
+                // The reorder rule: conjuncts invoking LLM operators are
+                // peeled off and applied *after* every relational
+                // predicate — model calls only see rows that survived the
+                // cheap filters. (SQL leaves AND evaluation order
+                // unspecified, so this is semantics-preserving.)
+                if conj.contains_llm() {
+                    semantic.push(conj);
+                    continue;
+                }
                 match try_sink(plan, conj) {
                     Ok(p) => plan = p,
                     Err((p, c)) => {
@@ -192,6 +227,9 @@ fn push_down_filters(plan: LogicalPlan) -> LogicalPlan {
             // first, so they evaluate in the same order as the AND chain.
             for c in remaining {
                 plan = LogicalPlan::Filter { input: Box::new(plan), predicate: c };
+            }
+            for c in semantic {
+                plan = LogicalPlan::LlmFilter { input: Box::new(plan), predicate: c, est: None };
             }
             plan
         }
@@ -319,6 +357,10 @@ fn collect_aliases(e: &Expr, b: &Bindings, out: &mut BTreeSet<String>) -> bool {
         Expr::InSubquery { expr, .. } => collect_aliases(expr, b, out),
         Expr::Exists { .. } | Expr::ScalarSubquery(_) => true,
         Expr::Aggregate { .. } => false,
+        Expr::LlmMap { arg, .. } | Expr::LlmFilter { arg, .. } => collect_aliases(arg, b, out),
+        Expr::LlmMatch { left, right, .. } => {
+            collect_aliases(left, b, out) && collect_aliases(right, b, out)
+        }
     }
 }
 
@@ -344,11 +386,13 @@ fn collect_plan_refs(plan: &LogicalPlan, out: &mut Vec<(Option<String>, String)>
             }
             collect_plan_refs(left, out) && collect_plan_refs(right, out)
         }
-        LogicalPlan::Filter { input, predicate } => {
+        LogicalPlan::Filter { input, predicate }
+        | LogicalPlan::LlmFilter { input, predicate, .. } => {
             expr_refs(predicate, out);
             collect_plan_refs(input, out)
         }
-        LogicalPlan::Project { input, items, .. } => {
+        LogicalPlan::Project { input, items, .. }
+        | LogicalPlan::LlmMap { input, items, .. } => {
             items.iter().all(|it| item_refs(it, out)) && collect_plan_refs(input, out)
         }
         LogicalPlan::Aggregate { input, group_by, having, items, .. } => {
@@ -414,6 +458,11 @@ fn expr_refs(e: &Expr, out: &mut Vec<(Option<String>, String)>) {
         // Subquery bodies are uncorrelated: they never read outer scans.
         Expr::InSubquery { expr, .. } => expr_refs(expr, out),
         Expr::Exists { .. } | Expr::ScalarSubquery(_) => {}
+        Expr::LlmMap { arg, .. } | Expr::LlmFilter { arg, .. } => expr_refs(arg, out),
+        Expr::LlmMatch { left, right, .. } => {
+            expr_refs(left, out);
+            expr_refs(right, out);
+        }
     }
 }
 
@@ -472,6 +521,123 @@ fn push_limit_into_sort(plan: LogicalPlan) -> LogicalPlan {
     }
 }
 
+// ---------------- semantic cost estimates ----------------
+
+/// Annotate each semantic operator with estimated rows, model calls, and
+/// dollars. Row counts are upper bounds from base-table cardinalities
+/// (relational selectivity is not modeled); calls are discounted by the
+/// session cache's *live* hit ratio; dollars use the meter's observed
+/// per-call average (nominal list price before any history). Without a
+/// session model the estimates fill in with zero discount and $0.
+fn estimate_semantic(db: &Database, plan: LogicalPlan) -> LogicalPlan {
+    estimate_rec(db, plan).0
+}
+
+/// Returns the annotated plan and its estimated output row count.
+fn estimate_rec(db: &Database, plan: LogicalPlan) -> (LogicalPlan, usize) {
+    match plan {
+        LogicalPlan::OneRow => (LogicalPlan::OneRow, 1),
+        LogicalPlan::Scan { table, alias, schema, projection } => {
+            let rows = db.table(&table).map(|t| t.len()).unwrap_or(0);
+            (LogicalPlan::Scan { table, alias, schema, projection }, rows)
+        }
+        LogicalPlan::Join { left, right, join, on } => {
+            let (left, l) = estimate_rec(db, *left);
+            let (right, r) = estimate_rec(db, *right);
+            let rows = match &on {
+                // Equi-ish join: assume the smaller side's cardinality.
+                Some(_) => l.max(r),
+                None => l.saturating_mul(r),
+            };
+            (
+                LogicalPlan::Join { left: Box::new(left), right: Box::new(right), join, on },
+                rows,
+            )
+        }
+        LogicalPlan::Filter { input, predicate } => {
+            let (input, rows) = estimate_rec(db, *input);
+            (LogicalPlan::Filter { input: Box::new(input), predicate }, rows)
+        }
+        LogicalPlan::LlmFilter { input, predicate, .. } => {
+            let (input, rows) = estimate_rec(db, *input);
+            let est = make_estimate(db, rows, predicate.count_llm());
+            (
+                LogicalPlan::LlmFilter { input: Box::new(input), predicate, est: Some(est) },
+                rows,
+            )
+        }
+        LogicalPlan::Project { input, items, columns } => {
+            let (input, rows) = estimate_rec(db, *input);
+            (LogicalPlan::Project { input: Box::new(input), items, columns }, rows)
+        }
+        LogicalPlan::LlmMap { input, items, columns, .. } => {
+            let (input, rows) = estimate_rec(db, *input);
+            let prompts: usize = items
+                .iter()
+                .map(|it| match it {
+                    SelectItem::Expr { expr, .. } => expr.count_llm(),
+                    _ => 0,
+                })
+                .sum();
+            let est = make_estimate(db, rows, prompts);
+            (
+                LogicalPlan::LlmMap { input: Box::new(input), items, columns, est: Some(est) },
+                rows,
+            )
+        }
+        LogicalPlan::Aggregate { input, group_by, having, items, columns } => {
+            let (input, rows) = estimate_rec(db, *input);
+            let out = if group_by.is_empty() { 1 } else { rows };
+            (
+                LogicalPlan::Aggregate {
+                    input: Box::new(input),
+                    group_by,
+                    having,
+                    items,
+                    columns,
+                },
+                out,
+            )
+        }
+        LogicalPlan::Distinct { input } => {
+            let (input, rows) = estimate_rec(db, *input);
+            (LogicalPlan::Distinct { input: Box::new(input) }, rows)
+        }
+        LogicalPlan::SetOp { left, right, op, all } => {
+            let (left, l) = estimate_rec(db, *left);
+            let (right, r) = estimate_rec(db, *right);
+            (
+                LogicalPlan::SetOp { left: Box::new(left), right: Box::new(right), op, all },
+                l.saturating_add(r),
+            )
+        }
+        LogicalPlan::Sort { input, keys, fetch } => {
+            let (input, rows) = estimate_rec(db, *input);
+            let out = fetch.map_or(rows, |k| rows.min(k));
+            (LogicalPlan::Sort { input: Box::new(input), keys, fetch }, out)
+        }
+        LogicalPlan::Strip { input, keep } => {
+            let (input, rows) = estimate_rec(db, *input);
+            (LogicalPlan::Strip { input: Box::new(input), keep }, rows)
+        }
+        LogicalPlan::Limit { input, limit, offset } => {
+            let (input, rows) = estimate_rec(db, *input);
+            let out = limit.map_or(rows, |l| rows.min(l.saturating_add(offset)));
+            (LogicalPlan::Limit { input: Box::new(input), limit, offset }, out)
+        }
+    }
+}
+
+fn make_estimate(db: &Database, rows: usize, prompts_per_row: usize) -> LlmEstimate {
+    let (hit_ratio, per_call) = match db.model() {
+        Some(h) => (h.cache_hit_ratio(), h.estimated_call_dollars()),
+        None => (0.0, 0.0),
+    };
+    let prompts = (rows * prompts_per_row) as f64;
+    let calls = prompts * (1.0 - hit_ratio);
+    LlmEstimate { rows, prompts_per_row, calls, dollars: calls * per_call, hit_ratio }
+}
+
 // ---------------- shared traversal ----------------
 
 /// Rebuild a node with `f` applied to each direct child.
@@ -491,8 +657,14 @@ fn map_children(
         LogicalPlan::Filter { input, predicate } => {
             LogicalPlan::Filter { input: Box::new(f(*input)), predicate }
         }
+        LogicalPlan::LlmFilter { input, predicate, est } => {
+            LogicalPlan::LlmFilter { input: Box::new(f(*input)), predicate, est }
+        }
         LogicalPlan::Project { input, items, columns } => {
             LogicalPlan::Project { input: Box::new(f(*input)), items, columns }
+        }
+        LogicalPlan::LlmMap { input, items, columns, est } => {
+            LogicalPlan::LlmMap { input: Box::new(f(*input)), items, columns, est }
         }
         LogicalPlan::Aggregate { input, group_by, having, items, columns } => {
             LogicalPlan::Aggregate {

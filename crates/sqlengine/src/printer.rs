@@ -223,6 +223,20 @@ pub fn print_expr(e: &Expr) -> String {
             let not = if *negated { "NOT " } else { "" };
             format!("({} IS {not}NULL)", print_expr(expr))
         }
+        Expr::LlmMap { arg, template } => {
+            format!("LLM_MAP({}, '{}')", print_expr(arg), template.replace('\'', "''"))
+        }
+        Expr::LlmFilter { arg, template } => {
+            format!("LLM_FILTER({}, '{}')", print_expr(arg), template.replace('\'', "''"))
+        }
+        Expr::LlmMatch { left, right, template } => {
+            format!(
+                "LLM_MATCH({}, {}, '{}')",
+                print_expr(left),
+                print_expr(right),
+                template.replace('\'', "''")
+            )
+        }
     }
 }
 
@@ -256,6 +270,21 @@ mod tests {
             "SELECT * FROM a, b WHERE a.x = b.y",
             "EXPLAIN SELECT name FROM stadium WHERE capacity > 1000 ORDER BY name LIMIT 3",
             "EXPLAIN ANALYZE SELECT name FROM stadium WHERE capacity > 1000",
+        ] {
+            roundtrip_stmt(sql);
+        }
+    }
+
+    #[test]
+    fn roundtrip_semantic_operators() {
+        for sql in [
+            "SELECT LLM_MAP(name, 'uppercase') FROM t",
+            "SELECT name FROM t WHERE LLM_FILTER(bio, 'is it positive?')",
+            "SELECT * FROM a JOIN b ON LLM_MATCH(a.x, b.y, 'same entity?')",
+            // LLM_JOIN prints as plain JOIN (same AST), which reparses stably.
+            "SELECT * FROM a LLM_JOIN b ON LLM_MATCH(a.x, b.y, 'same?')",
+            "SELECT LLM_MAP(name, 'it''s quoted') AS m FROM t",
+            "EXPLAIN SELECT LLM_MAP(name, 'x') FROM t WHERE LLM_FILTER(name, 'y')",
         ] {
             roundtrip_stmt(sql);
         }

@@ -233,6 +233,13 @@ impl PersistentDb {
         self.execute(sql)
     }
 
+    /// Attach a model handle for semantic operators (`LLM_MAP` etc.).
+    /// The handle lives in the in-memory catalog, not the store: reopen
+    /// a persistent database and the model must be attached again.
+    pub fn set_model(&mut self, model: crate::semantic::ModelHandle) {
+        self.db.set_model(model);
+    }
+
     fn execute_stmt(&mut self, stmt: &Statement) -> Result<ResultSet, SqlError> {
         // Reads outside a transaction refresh persistent tables from
         // the store first: the scan pulls pages through the buffer

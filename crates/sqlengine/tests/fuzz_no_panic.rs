@@ -16,7 +16,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use llmdm_rt::proptest;
 use llmdm_rt::proptest::prelude::*;
 use llmdm_sqlengine::exec::execute_select_direct;
-use llmdm_sqlengine::{parse_statement, Database, Statement};
+use llmdm_sqlengine::{parse_statement, Database, ModelHandle, Statement};
 
 fn tiny_db() -> Database {
     let mut db = Database::new();
@@ -27,6 +27,11 @@ fn tiny_db() -> Database {
          INSERT INTO u VALUES (1, 0.5), (2, NULL), (4, -2.25)",
     )
     .unwrap();
+    // Semantic operators route through the deterministic sim model, so
+    // fuzzed LLM_MAP/LLM_FILTER/LLM_JOIN fragments exercise the full
+    // model path (including model-side errors), not just the
+    // "no model attached" rejection.
+    db.set_model(ModelHandle::sim(1));
     db
 }
 
@@ -55,7 +60,8 @@ const FRAGMENTS: &[&str] = &[
     "COMMIT", "ROLLBACK", "EXPLAIN", "t", "u", "a", "b", "c", "*", "t.*", "t.a", "u.c", "(",
     ")", ",", ".", ";", "=", "!=", "<", ">=", "+", "-", "/", "%", "0", "1", "2", "9999999999",
     "9223372036854775807", "1.5", "'x'", "'%'", "'%_%'", "''", "'o''brien'", "TRUE", "FALSE",
-    "__sort0",
+    "__sort0", "LLM_MAP", "LLM_FILTER", "LLM_MATCH", "LLM_JOIN", "'upper'", "'hard garbled'",
+    "ANALYZE",
 ];
 
 const SEEDS: &[&str] = &[
@@ -72,6 +78,9 @@ const SEEDS: &[&str] = &[
     "UPDATE t SET b = 'q' WHERE a = 1",
     "DELETE FROM t WHERE a > 2",
     "EXPLAIN SELECT a FROM t WHERE a > 1 ORDER BY b LIMIT 1",
+    "SELECT LLM_MAP(b, 'upper') FROM t WHERE LLM_FILTER(b, 'non-empty') AND a > 0",
+    "SELECT t.b FROM t LLM_JOIN u ON LLM_MATCH(t.a, u.c, 'same?') ORDER BY 1",
+    "EXPLAIN ANALYZE SELECT LLM_MAP(b, 'hard') FROM t",
 ];
 
 proptest! {

@@ -267,7 +267,7 @@ mod tests {
         assert_eq!(&cold.page(1).unwrap()[..4], b"abcd");
         // Corrupt one byte on disk: the cold read must fail validation.
         {
-            let mut v = vfs.lock().unwrap();
+            let mut v = llmdm_rt::lock_recover(&vfs);
             let off = PAGE_SIZE as u64 + 2;
             let orig = v.read_at("p.db", off, 1);
             v.write_at("p.db", off, &[orig[0] ^ 0xFF]).unwrap();

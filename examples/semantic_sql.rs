@@ -1,0 +1,225 @@
+//! Semantic SQL walkthrough (DESIGN.md §14): `LLM_MAP`, `LLM_FILTER`,
+//! and `LLM_JOIN … ON LLM_MATCH` as first-class plan operators. Queries
+//! route model calls through the session [`ModelHandle`] — a full stack
+//! (sim tier, retry, semantic cache) billed on a [`UsageMeter`] — and the
+//! planner treats them like any other operator: it reorders cheap
+//! relational predicates ahead of them, dedups identical prompts inside
+//! each operator, estimates calls/dollars in `EXPLAIN`, and reconciles
+//! actual calls/cache-hits/dollars per operator in `EXPLAIN ANALYZE`.
+//!
+//! Self-validations (the binary exits nonzero if any fails):
+//! 1. end-to-end semantic queries return the expected rows;
+//! 2. `EXPLAIN` shows cache-aware `est_calls`/`est_dollars` on semantic
+//!    operators;
+//! 3. `EXPLAIN ANALYZE` per-operator LLM counters sum to the query
+//!    totals, and the dollars reconcile with the `UsageMeter` to 1e-9;
+//! 4. prompt dedup bills one call per *distinct* input, and a warm-cache
+//!    re-run bills zero calls and zero dollars;
+//! 5. the planner path is bit-identical to the direct-execution oracle
+//!    under the same seeded model.
+//!
+//! Run with `cargo run -p llmdm --example semantic_sql`.
+
+use llmdm::sql::exec::{execute_select, execute_select_direct};
+use llmdm::sql::{parse_statement, Database, ModelHandle, Statement, Value};
+
+const SEED: u64 = 42;
+
+fn demo_db(model: ModelHandle) -> Database {
+    let mut db = Database::new();
+    db.execute_script(
+        "CREATE TABLE feedback (id INT, author TEXT, body TEXT, topic TEXT, stars INT); \
+         CREATE TABLE features (fid INT, fname TEXT); \
+         INSERT INTO feedback VALUES \
+           (1, 'ana',  'great search, love it', 'search', 5), \
+           (2, 'ben',  'terrible export, ugly', 'EXPORT', 1), \
+           (3, 'cruz', 'great search, love it', 'search', 5), \
+           (4, 'dee',  'fine i guess', 'search', 3), \
+           (5, 'eli',  'great search, love it', 'search', 4), \
+           (6, 'fay',  'the import wizard is awful', 'import  wizard', 2); \
+         INSERT INTO features VALUES \
+           (10, 'Search'), (11, 'Export'), (12, 'Import Wizard')",
+    )
+    .expect("fixture loads");
+    db.set_model(model);
+    db
+}
+
+fn query_text(db: &mut Database, sql: &str) -> Vec<String> {
+    db.execute(sql)
+        .expect("query runs")
+        .rows
+        .iter()
+        .map(|r| match &r[0] {
+            Value::Str(s) => s.clone(),
+            other => other.to_string(),
+        })
+        .collect()
+}
+
+/// Pull `key=<number>` (optionally `$`-prefixed) off an output line.
+fn field_f64(line: &str, key: &str) -> f64 {
+    let tail = line
+        .split(&format!("{key}="))
+        .nth(1)
+        .unwrap_or_else(|| panic!("no {key} in: {line}"));
+    let tail = tail.strip_prefix('$').unwrap_or(tail);
+    let end = tail
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+        .unwrap_or(tail.len());
+    tail[..end].parse().unwrap_or_else(|e| panic!("bad {key} in: {line} ({e})"))
+}
+
+fn main() {
+    // ---- 1. End-to-end semantic queries. -----------------------------
+    let handle = ModelHandle::sim(SEED);
+    let mut db = demo_db(handle.clone());
+
+    let rs = db
+        .execute(
+            "SELECT author FROM feedback \
+             WHERE stars >= 2 AND LLM_FILTER(body, 'positive sentiment?') ORDER BY id",
+        )
+        .expect("semantic filter runs");
+    let authors: Vec<&Value> = rs.rows.iter().map(|r| &r[0]).collect();
+    assert_eq!(
+        authors,
+        [&Value::Str("ana".into()), &Value::Str("cruz".into()), &Value::Str("eli".into())],
+        "sentiment filter picked the wrong rows"
+    );
+    println!("LLM_FILTER kept {} of 6 reviews", rs.rows.len());
+
+    // Entity resolution: 'EXPORT' / 'import  wizard' / 'search' all
+    // match their canonical feature names despite case and spacing.
+    let rs = db
+        .execute(
+            "SELECT f.fname, COUNT(*) FROM features f LLM_JOIN feedback b \
+             ON LLM_MATCH(f.fname, b.topic, 'same feature?') \
+             GROUP BY f.fname ORDER BY f.fname",
+        )
+        .expect("semantic join runs");
+    assert_eq!(rs.rows.len(), 3, "every feature should resolve at least one review");
+    assert_eq!(
+        rs.rows[2],
+        vec![Value::Str("Search".into()), Value::Int(4)],
+        "fuzzy topic variants should all land on Search"
+    );
+    println!("LLM_JOIN grouped {} feature(s)", rs.rows.len());
+
+    // ---- 2. EXPLAIN: cache-aware cost estimates. ---------------------
+    let plan = query_text(
+        &mut db,
+        "EXPLAIN SELECT LLM_MAP(body, 'sentiment') FROM feedback \
+         WHERE stars > 1 AND LLM_FILTER(body, 'positive sentiment?')",
+    );
+    let est_lines: Vec<&String> = plan.iter().filter(|l| l.contains("est_calls=")).collect();
+    assert!(
+        est_lines.len() >= 2,
+        "expected estimates on LlmMap and LlmFilter, got:\n{}",
+        plan.join("\n")
+    );
+    for line in &est_lines {
+        assert!(line.contains("est_dollars=$"), "estimate line lacks dollars: {line}");
+        assert!(line.contains("cache_hit="), "estimate line lacks cache ratio: {line}");
+    }
+    // The reorder rule: the cheap `stars > 1` conjunct must sit *below*
+    // the semantic filter in the optimized logical plan.
+    let filter_pos = plan.iter().position(|l| l.trim_start().starts_with("LlmFilter"));
+    let scan_pos = plan.iter().position(|l| l.contains("Filter stars >"));
+    match (filter_pos, scan_pos) {
+        (Some(f), Some(s)) => assert!(f < s, "cheap predicate not pushed below the LLM filter"),
+        _ => {
+            // The cheap conjunct may already be fused into the scan —
+            // then only the LlmFilter node remains, which is the point.
+            assert!(filter_pos.is_some(), "no LlmFilter node in:\n{}", plan.join("\n"));
+        }
+    }
+    println!("EXPLAIN estimates:");
+    for l in &est_lines {
+        println!("  {}", l.trim_start());
+    }
+
+    // ---- 3. EXPLAIN ANALYZE reconciles with the meter. ---------------
+    // Fresh handle: no warm cache, so the analyzed run bills real calls.
+    let handle = ModelHandle::sim(SEED);
+    let mut db = demo_db(handle.clone());
+    let before = handle.meter().snapshot();
+    let analyzed = query_text(
+        &mut db,
+        "EXPLAIN ANALYZE SELECT LLM_MAP(body, 'sentiment') FROM feedback \
+         WHERE LLM_FILTER(body, 'positive sentiment?')",
+    );
+    let after = handle.meter().snapshot();
+    let total_line = analyzed
+        .iter()
+        .find(|l| l.trim_start().starts_with("llm: "))
+        .unwrap_or_else(|| panic!("no llm totals line in:\n{}", analyzed.join("\n")));
+    let op_lines: Vec<&String> = analyzed.iter().filter(|l| l.contains("llm_calls=")).collect();
+    assert!(op_lines.len() >= 2, "expected >=2 semantic operators:\n{}", analyzed.join("\n"));
+    let op_calls: f64 = op_lines.iter().map(|l| field_f64(l, "llm_calls")).sum();
+    let op_dollars: f64 = op_lines.iter().map(|l| field_f64(l, "dollars")).sum();
+    let total_calls = field_f64(total_line, "calls");
+    let total_dollars = field_f64(total_line, "dollars");
+    assert_eq!(op_calls, total_calls, "per-operator calls don't sum to the total");
+    assert!(
+        (op_dollars - total_dollars).abs() < 1e-9,
+        "per-operator dollars {op_dollars} don't sum to total {total_dollars}"
+    );
+    let meter_calls = (after.total_calls() - before.total_calls()) as f64;
+    let meter_dollars = after.dollars_since(&before);
+    assert_eq!(total_calls, meter_calls, "EXPLAIN ANALYZE calls disagree with the UsageMeter");
+    assert!(
+        (total_dollars - meter_dollars).abs() < 1e-9,
+        "EXPLAIN ANALYZE dollars {total_dollars} disagree with the meter {meter_dollars}"
+    );
+    println!("EXPLAIN ANALYZE reconciled: {total_line}");
+    println!("  meter: {meter_calls} calls, ${meter_dollars:.9}");
+
+    // ---- 4. Dedup + cache savings. -----------------------------------
+    // 6 rows but only 4 distinct bodies: the map operator must bill 4.
+    let handle = ModelHandle::sim(SEED);
+    let db = demo_db(handle.clone());
+    let stmt = match parse_statement("SELECT LLM_MAP(body, 'sentiment') FROM feedback") {
+        Ok(Statement::Select(s)) => s,
+        other => panic!("parse: {other:?}"),
+    };
+    let before = handle.meter().snapshot();
+    execute_select(&db, &stmt).expect("cold run");
+    let after = handle.meter().snapshot();
+    let cold_calls = after.total_calls() - before.total_calls();
+    assert_eq!(cold_calls, 4, "dedup should bill one call per distinct body");
+    let warm_before = handle.meter().snapshot();
+    execute_select(&db, &stmt).expect("warm run");
+    let warm_after = handle.meter().snapshot();
+    assert_eq!(
+        warm_after.total_calls(),
+        warm_before.total_calls(),
+        "warm-cache re-run billed model calls"
+    );
+    assert_eq!(warm_after.dollars_since(&warm_before), 0.0, "warm re-run billed dollars");
+    println!("dedup: 6 rows -> {cold_calls} billed calls; warm re-run billed 0");
+
+    // ---- 5. Planner ≡ direct oracle, bit for bit. --------------------
+    let handle = ModelHandle::sim(SEED);
+    let db = demo_db(handle);
+    let workload = [
+        "SELECT LLM_MAP(body, 'sentiment') FROM feedback",
+        "SELECT author FROM feedback WHERE stars >= 2 AND LLM_FILTER(body, 'positive sentiment?')",
+        "SELECT f.fname, b.author FROM features f LLM_JOIN feedback b \
+         ON LLM_MATCH(f.fname, b.topic, 'same feature?') ORDER BY f.fid, b.id",
+        "SELECT LLM_MAP(author, 'upper') FROM feedback ORDER BY LLM_MAP(author, 'lower') LIMIT 3",
+    ];
+    for sql in workload {
+        let Statement::Select(stmt) = parse_statement(sql).expect("parses") else {
+            unreachable!("workload is SELECT-only")
+        };
+        let planned = execute_select(&db, &stmt).expect("planner path executes");
+        let direct = execute_select_direct(&db, &stmt).expect("direct oracle executes");
+        assert!(
+            planned.bit_eq(&direct),
+            "planner/direct divergence on: {sql}\n planner: {planned:?}\n direct:  {direct:?}"
+        );
+        println!("agree ({} rows): {sql}", planned.rows.len());
+    }
+    println!("\nsemantic SQL: all 5 validations passed");
+}

@@ -60,6 +60,15 @@ LLMDM_BENCH_FAST=1 LLMDM_BENCH_DIR="$BENCH_DIR" cargo bench --offline -p llmdm-b
 test -s "$BENCH_DIR/BENCH_sqlplan.json" || { echo "sqlplan emitted no BENCH_sqlplan.json"; exit 1; }
 rm -rf "$BENCH_DIR"
 
+echo "== semantic sql example (self-validating: LLM operators end-to-end, EXPLAIN estimates, ANALYZE/meter reconciliation, dedup+cache savings, planner == direct)"
+cargo run -q --release --offline -p llmdm --example semantic_sql >/dev/null
+
+echo "== semsql bench (pins >=2x fewer model calls + dollars on duplicate-heavy LLM_MAP via dedup; zero-bill warm cache)"
+BENCH_DIR="$(mktemp -d)"
+LLMDM_BENCH_FAST=1 LLMDM_BENCH_DIR="$BENCH_DIR" cargo bench --offline -p llmdm-bench --bench semsql
+test -s "$BENCH_DIR/BENCH_semsql.json" || { echo "semsql emitted no BENCH_semsql.json"; exit 1; }
+rm -rf "$BENCH_DIR"
+
 echo "== crash recovery example (self-validating: kill matrix at all 3 commit barriers, warm-cache restart)"
 cargo run -q --release --offline -p llmdm --example crash_recovery >/dev/null
 

@@ -200,6 +200,36 @@ fn store_crate_depends_only_on_rt_obs_resil() {
 }
 
 #[test]
+fn sqlengine_crate_cone_is_pinned() {
+    // llmdm-sqlengine grew a model seam for semantic operators
+    // (LLM_MAP / LLM_FILTER / LLM_JOIN): llmdm-model supplies the
+    // LanguageModel stack + UsageMeter, llmdm-semcache the semantic
+    // cache whose live stats feed cache-aware cost estimates. Beyond
+    // those and its storage/infra cone (rt, obs, store) it must not
+    // grow dependencies — in particular not on serve, cascade, or core,
+    // which all sit *above* the engine.
+    let root = workspace_root();
+    let text =
+        fs::read_to_string(root.join("crates/sqlengine/Cargo.toml")).expect("sqlengine manifest");
+    let allowed =
+        ["llmdm-rt", "llmdm-obs", "llmdm-store", "llmdm-model", "llmdm-semcache"];
+    let mut in_deps = false;
+    for raw in text.lines() {
+        let line = raw.trim();
+        if line.starts_with('[') {
+            in_deps = line.trim_matches(['[', ']']).ends_with("dependencies");
+            continue;
+        }
+        if in_deps && !line.is_empty() && !line.starts_with('#') {
+            assert!(
+                allowed.iter().any(|a| line.starts_with(a)),
+                "llmdm-sqlengine may only depend on {allowed:?}, found: {line}"
+            );
+        }
+    }
+}
+
+#[test]
 fn no_source_file_references_removed_crates() {
     // The replaced crates must not creep back in via `use` or `extern`.
     let root = workspace_root();
