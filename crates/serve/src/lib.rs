@@ -1,38 +1,55 @@
-//! # llmdm-serve — the concurrent serving layer (§III "heavy traffic")
+//! # llmdm-serve — the traffic-shaped serving layer (§III "heavy traffic")
 //!
 //! The paper's systems gap between LLM demos and DB-grade serving is
 //! request scheduling: real deployments face "heavy traffic from millions
 //! of users", yet every naive call path is one synchronous call per
 //! query. This crate supplies the serving substrate the rest of the
-//! workspace plugs into:
+//! workspace plugs into — a worker pool grown into a multi-tenant,
+//! QoS-aware frontend:
 //!
-//! * a bounded MPMC [`queue::BoundedQueue`] with **admission control**:
-//!   past the high-water mark new work is *rejected with backpressure*
-//!   (a typed [`ServeError::Rejected`] carrying a retry hint) rather than
-//!   queued unboundedly — the DB-style answer to overload;
-//! * a fixed worker pool ([`scheduler::serve`]) over
-//!   [`std::thread::scope`] — no detached threads, no lifetime escape;
-//! * **micro-batching**: workers coalesce up to `max_batch` queued
-//!   requests of the same *class* (e.g. one model tier / one task family)
-//!   into a single handler dispatch, amortizing per-call overhead exactly
-//!   like continuous batching in a real inference server.
+//! * **typed submissions**: a validated
+//!   [`ServeRequest`]` { tenant, class, batch_key, payload }` built via
+//!   [`ServeRequest::builder`], replacing the old stringly
+//!   `(class, payload)` tuples (still available through the deprecated
+//!   [`serve`] adapter);
+//! * **per-tenant token-bucket quotas** ([`tenant::TokenBucket`], exact
+//!   integer millitoken arithmetic on the simulated clock): over-quota
+//!   submissions fail with [`ServeError::Throttled`] carrying the exact
+//!   refill wait;
+//! * **weighted-fair dequeue**: the bounded [`qos::QosQueue`] serves
+//!   backlogged [`Priority`] classes 4:2:1 by credit-based weighted
+//!   round-robin — starvation-free, micro-batching same-`batch_key`
+//!   jobs up to `max_batch` per dispatch like continuous batching in a
+//!   real inference server;
+//! * **graceful load-shedding** wired to `llmdm-resil` outage windows
+//!   ([`tenant::ShedPolicy`]): during an outage the effective capacity
+//!   degrades and overflow is shed lowest class first with a typed
+//!   [`ServeError::Shed`]` { retry_after_ms }` pointing past the window;
+//! * **deterministic token streaming**: [`stream::StreamHandle`] yields
+//!   seeded prefixes of the final completion — identical prefix
+//!   sequences at any worker count ([`serve_requests_streaming`]);
+//! * a **simulated N-node cluster** ([`cluster::Cluster`]) sharding
+//!   caller-owned node state (cache stripes, vecdb partitions) under a
+//!   seeded rendezvous router, stitching results back to global
+//!   submission order.
 //!
 //! ## Determinism contract
 //!
 //! Scheduling is the one place concurrency could leak into results, so
-//! the contract is explicit (asserted by `examples/serving_pipeline.rs`
-//! and `tests/integration_serve.rs`):
+//! the contract is explicit (asserted by `examples/serving_pipeline.rs`,
+//! `examples/multi_tenant_cluster.rs`, and `tests/integration_serve.rs`):
 //!
 //! 1. every job gets a **seeded stream id** derived from
 //!    `(config.seed, submission index)` — never from wall-clock or thread
 //!    identity;
-//! 2. jobs are admitted in submission order before workers start
-//!    draining, so the *set* of admitted vs rejected jobs is a pure
-//!    function of `(jobs, queue_capacity)`;
+//! 2. admission — including every quota, backpressure, and shed decision
+//!    on the simulated arrival timeline — happens in submission order
+//!    before workers start draining, so the *disposition* of every job is
+//!    a pure function of `(requests, config)`;
 //! 3. results are reported **indexed by submission order**, so a
-//!    single-worker run is byte-identical to a plain sequential loop,
-//!    and an N-worker run produces the same set of results (handlers are
-//!    pure per payload) with only batch composition varying.
+//!    single-worker run is byte-identical to a plain sequential loop, an
+//!    N-worker run produces the same results, and per-tenant accounting
+//!    reconciles exactly: `admitted + rejected + shed == submitted`.
 //!
 //! The crate is deliberately generic (payload in, result out) and depends
 //! only on `llmdm-rt`, `llmdm-obs`, and `llmdm-resil` — enforced by
@@ -41,10 +58,43 @@
 
 #![warn(missing_docs)]
 
+pub mod cluster;
+pub mod qos;
 pub mod queue;
+pub mod request;
 pub mod scheduler;
+pub mod stream;
+pub mod tenant;
 
+pub use cluster::{Cluster, ClusterNode, ClusterRun};
 pub use queue::{BoundedQueue, ServeError};
+pub use request::{ServeRequest, ServeRequestBuilder};
 pub use scheduler::{
-    record_job_cost, serve, serve_jobs, Disposition, Job, ServeConfig, ServeRun, ServeStats,
+    record_job_cost, serve_jobs, serve_requests, serve_requests_streaming, Disposition, Job,
+    ServeConfig, ServeConfigBuilder, ServeRun, ServeStats,
 };
+#[allow(deprecated)]
+pub use scheduler::serve;
+pub use stream::StreamHandle;
+pub use tenant::{
+    Priority, ShedPolicy, TenantId, TenantPolicies, TenantPolicy, TenantStats, TokenBucket,
+};
+
+/// One-stop imports for the typed serving API.
+///
+/// ```
+/// use llmdm_serve::prelude::*;
+/// ```
+pub mod prelude {
+    pub use crate::cluster::{Cluster, ClusterNode, ClusterRun};
+    pub use crate::queue::ServeError;
+    pub use crate::request::ServeRequest;
+    pub use crate::scheduler::{
+        serve_jobs, serve_requests, serve_requests_streaming, Disposition, Job, ServeConfig,
+        ServeRun, ServeStats,
+    };
+    pub use crate::stream::StreamHandle;
+    pub use crate::tenant::{
+        Priority, ShedPolicy, TenantId, TenantPolicies, TenantPolicy, TenantStats,
+    };
+}

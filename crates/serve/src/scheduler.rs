@@ -1,12 +1,39 @@
-//! The request scheduler: admission → bounded queue → worker pool →
-//! micro-batched dispatch.
+//! The request scheduler: quota admission → weighted-fair queue →
+//! worker pool → micro-batched dispatch.
 //!
-//! [`serve`] is deliberately *phase-structured* (admit everything, then
-//! drain with a fixed pool over [`std::thread::scope`]) so that the
-//! admission outcome is a pure function of `(jobs, queue_capacity)` and
-//! never of worker timing — the determinism contract in the crate docs.
-//! Continuous-admission serving is the same machinery with producers and
-//! consumers running concurrently against the same [`BoundedQueue`]; the
+//! [`serve_requests`] is deliberately *phase-structured* (admit
+//! everything, then drain with a fixed pool over
+//! [`std::thread::scope`]) so that the admission outcome — including
+//! every quota, backpressure, and load-shedding decision — is a pure
+//! function of `(requests, config)` and never of worker timing: the
+//! determinism contract in the crate docs. Submissions advance a
+//! simulated clock by [`ServeConfig::arrival_interval_ms`] per request,
+//! which is the timeline token buckets refill on and outage windows are
+//! evaluated against.
+//!
+//! Admission, in order, per request:
+//!
+//! 1. **Quota.** If a [`TenantPolicy`] applies, the tenant's token
+//!    bucket must cover one job; otherwise the request is
+//!    [`ServeError::Throttled`] with the exact refill wait.
+//! 2. **Load shedding.** Inside a [`ShedPolicy`] outage window the
+//!    effective queue capacity drops to `degraded_capacity`. An
+//!    over-capacity arrival is shed ([`ServeError::Shed`], retry hint =
+//!    window end) — unless it outranks the lowest backlogged class, in
+//!    which case the *youngest lowest-class* queued job is displaced
+//!    (one for one) and shed in its place.
+//! 3. **Backpressure.** Outside outages a full queue rejects with the
+//!    classic depth-scaled [`ServeError::Rejected`] hint.
+//!
+//! Draining replaces the old FIFO `pop_batch` with the
+//! [`QosQueue`]'s credit-based weighted-fair dequeue (4:2:1 across
+//! [`Priority`] classes, starvation-free), coalescing same-`batch_key`
+//! jobs up to `max_batch` per dispatch. The *sequence* of batches is
+//! deterministic; which worker runs each batch is not, and result
+//! slotting makes that invisible.
+//!
+//! Continuous-admission serving is the same machinery with producers
+//! and consumers running concurrently against the same queue; the
 //! phased form is what the reproducible experiments and benches need.
 
 use std::collections::BTreeMap;
@@ -15,10 +42,24 @@ use std::sync::Mutex;
 use std::time::Instant;
 
 use llmdm_obs::{TraceContext, WindowHandle};
+use llmdm_resil::SimClock;
 
-use crate::queue::{BoundedQueue, ServeError};
+use crate::qos::{QosItem, QosQueue};
+use crate::queue::ServeError;
+use crate::request::ServeRequest;
+use crate::stream::StreamHandle;
+use crate::tenant::{
+    Priority, ShedPolicy, TenantId, TenantPolicies, TenantPolicy, TenantStats, TokenBucket,
+    MILLI_PER_JOB,
+};
 
 /// Scheduler configuration.
+///
+/// Construct via [`ServeConfig::builder`] for build-time validation
+/// (zero workers / capacity / batch are typed
+/// [`ServeError::InvalidConfig`] errors instead of scheduler panics);
+/// the plain struct literal with `..Default::default()` remains
+/// available for tests and call sites that want the old ergonomics.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ServeConfig {
     /// Fixed worker-pool size (clamped to ≥ 1).
@@ -27,15 +68,130 @@ pub struct ServeConfig {
     /// this depth are rejected with backpressure.
     pub queue_capacity: usize,
     /// Micro-batch ceiling: a worker coalesces up to this many
-    /// same-class jobs per dispatch.
+    /// same-key jobs per dispatch.
     pub max_batch: usize,
     /// Base seed for per-request stream ids.
     pub seed: u64,
+    /// Simulated milliseconds between consecutive submissions — the
+    /// timeline token buckets refill on and outage windows are checked
+    /// against. 0 (the default) submits the whole load at t=0: quotas
+    /// then admit exactly each tenant's burst.
+    pub arrival_interval_ms: u64,
+    /// Per-tenant rate quotas. Empty (the default) disables quota
+    /// admission entirely.
+    pub policies: TenantPolicies,
+    /// Outage-driven load-shedding policy. No windows (the default)
+    /// disables shedding.
+    pub shed: ShedPolicy,
 }
 
 impl Default for ServeConfig {
     fn default() -> Self {
-        ServeConfig { workers: 1, queue_capacity: 1024, max_batch: 8, seed: 0 }
+        ServeConfig {
+            workers: 1,
+            queue_capacity: 1024,
+            max_batch: 8,
+            seed: 0,
+            arrival_interval_ms: 0,
+            policies: TenantPolicies::default(),
+            shed: ShedPolicy::default(),
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Start a fluent validated builder (defaults match
+    /// [`ServeConfig::default`]).
+    pub fn builder() -> ServeConfigBuilder {
+        ServeConfigBuilder { config: ServeConfig::default() }
+    }
+}
+
+/// Fluent validating builder for [`ServeConfig`]; see
+/// [`ServeConfig::builder`].
+#[derive(Debug, Clone)]
+pub struct ServeConfigBuilder {
+    config: ServeConfig,
+}
+
+impl ServeConfigBuilder {
+    /// Worker-pool size (must be ≥ 1 at build time).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.config.workers = workers;
+        self
+    }
+
+    /// Queue capacity / admission high-water mark (must be ≥ 1).
+    pub fn queue_capacity(mut self, capacity: usize) -> Self {
+        self.config.queue_capacity = capacity;
+        self
+    }
+
+    /// Micro-batch ceiling (must be ≥ 1).
+    pub fn max_batch(mut self, max_batch: usize) -> Self {
+        self.config.max_batch = max_batch;
+        self
+    }
+
+    /// Base seed for stream ids.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Simulated ms between consecutive submissions.
+    pub fn arrival_interval_ms(mut self, ms: u64) -> Self {
+        self.config.arrival_interval_ms = ms;
+        self
+    }
+
+    /// Quota policy applied to tenants without an explicit entry.
+    pub fn default_policy(mut self, policy: TenantPolicy) -> Self {
+        self.config.policies.default_policy = Some(policy);
+        self
+    }
+
+    /// Quota policy override for one tenant.
+    pub fn tenant_policy(mut self, tenant: impl Into<String>, policy: TenantPolicy) -> Self {
+        self.config.policies.per_tenant.insert(tenant.into(), policy);
+        self
+    }
+
+    /// Outage-driven load-shedding policy.
+    pub fn shed(mut self, shed: ShedPolicy) -> Self {
+        self.config.shed = shed;
+        self
+    }
+
+    /// Validate and build. Zero workers / capacity / batch and
+    /// zero-burst quota policies are typed
+    /// [`ServeError::InvalidConfig`] errors.
+    pub fn build(self) -> Result<ServeConfig, ServeError> {
+        let c = &self.config;
+        if c.workers == 0 {
+            return Err(ServeError::InvalidConfig { reason: "workers must be >= 1".to_string() });
+        }
+        if c.queue_capacity == 0 {
+            return Err(ServeError::InvalidConfig {
+                reason: "queue_capacity must be >= 1".to_string(),
+            });
+        }
+        if c.max_batch == 0 {
+            return Err(ServeError::InvalidConfig { reason: "max_batch must be >= 1".to_string() });
+        }
+        let zero_burst = c
+            .policies
+            .default_policy
+            .iter()
+            .map(|p| ("<default>", p))
+            .chain(c.policies.per_tenant.iter().map(|(t, p)| (t.as_str(), p)))
+            .find(|(_, p)| p.burst == 0);
+        if let Some((tenant, _)) = zero_burst {
+            return Err(ServeError::InvalidConfig {
+                reason: format!("tenant policy `{tenant}` has zero burst (admits nothing)"),
+            });
+        }
+        Ok(self.config)
     }
 }
 
@@ -45,9 +201,13 @@ pub struct Job<P> {
     /// Submission index (0-based): results are reported under this id.
     pub id: u64,
     /// Seeded per-request stream id — the deterministic substitute for
-    /// "whatever randomness the serving layer needs" (tie-breaking,
-    /// sampling, downstream nonces). Depends only on `(seed, id)`.
+    /// "whatever randomness the serving layer needs" (chunk boundaries,
+    /// tie-breaking, downstream nonces). Depends only on `(seed, id)`.
     pub stream_id: u64,
+    /// The tenant this job bills against.
+    pub tenant: TenantId,
+    /// QoS priority class (weighted-fair dequeue, shed order).
+    pub priority: Priority,
     /// Batching class: only jobs of equal class coalesce into one
     /// dispatch (e.g. one model tier, one task family).
     pub class: String,
@@ -60,12 +220,22 @@ pub struct Job<P> {
     pub payload: P,
 }
 
+impl<P> QosItem for Job<P> {
+    fn priority(&self) -> Priority {
+        self.priority
+    }
+    fn batch_key(&self) -> &str {
+        &self.class
+    }
+}
+
 /// What happened to one submitted job.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Disposition<T, E> {
     /// Dispatched to a worker; carries the handler's result.
     Done(Result<T, E>),
-    /// Refused at admission (queue past its high-water mark).
+    /// Refused by admission control (backpressure, quota) or dropped by
+    /// load-shedding before reaching a worker.
     Rejected(ServeError),
 }
 
@@ -78,21 +248,25 @@ impl<T, E> Disposition<T, E> {
         }
     }
 
-    /// Whether admission refused this job.
+    /// Whether this job never reached a worker (rejected, throttled, or
+    /// shed).
     pub fn is_rejected(&self) -> bool {
         matches!(self, Disposition::Rejected(_))
     }
 }
 
-/// Aggregate accounting for one [`serve`] run.
+/// Aggregate accounting for one serve run.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ServeStats {
     /// Jobs submitted.
     pub submitted: u64,
-    /// Jobs admitted to the queue.
+    /// Jobs dispatched to a worker.
     pub admitted: u64,
-    /// Jobs rejected by admission control.
+    /// Jobs refused up front (queue backpressure or quota).
     pub rejected: u64,
+    /// Jobs dropped by load-shedding (degraded-capacity overflow or
+    /// displacement).
+    pub shed: u64,
     /// Handler dispatches (each covers ≥ 1 job).
     pub batches: u64,
     /// Largest coalesced batch observed.
@@ -101,9 +275,22 @@ pub struct ServeStats {
     /// worker this is the whole admitted load; under N workers the split
     /// is timing-dependent but always sums to `admitted`.
     pub per_worker_jobs: Vec<u64>,
+    /// Per-tenant outcome accounting; every row satisfies
+    /// `admitted + rejected + shed == submitted`.
+    pub per_tenant: BTreeMap<String, TenantStats>,
 }
 
-/// Everything one [`serve`] run produced.
+impl ServeStats {
+    /// Whether every per-tenant row and the global tallies reconcile
+    /// exactly (`admitted + rejected + shed == submitted`).
+    pub fn reconciles(&self) -> bool {
+        self.admitted + self.rejected + self.shed == self.submitted
+            && self.per_tenant.values().all(TenantStats::reconciles)
+            && self.per_tenant.values().map(|t| t.submitted).sum::<u64>() == self.submitted
+    }
+}
+
+/// Everything one serve run produced.
 #[derive(Debug)]
 pub struct ServeRun<T, E> {
     /// Per-job outcome, indexed by submission order.
@@ -119,8 +306,8 @@ impl<T, E> ServeRun<T, E> {
     }
 }
 
-/// SplitMix64: the seeded stream-id generator (no process entropy).
-fn mix64(mut z: u64) -> u64 {
+/// SplitMix64: the seeded id/route mixer (no process entropy).
+pub fn mix64(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -142,21 +329,88 @@ pub fn record_job_cost(class: &str, usd: f64) {
     llmdm_obs::counter_add("serve.dollars_usd", usd);
 }
 
+/// Run typed [`ServeRequest`]s through a pool of `config.workers`
+/// threads with quota admission, weighted-fair dequeue, and outage
+/// load-shedding — the primary entry point of the redesigned API.
+///
+/// The handler receives `(batch_key, jobs)` for one coalesced batch and
+/// must return exactly one result per job, in order. It must be a pure
+/// function of each job for the N-worker determinism contract to hold
+/// (shared substrates — caches, meters — may be bumped; they reconcile
+/// by construction).
+pub fn serve_requests<P, T, E, F>(
+    config: &ServeConfig,
+    requests: Vec<ServeRequest<P>>,
+    handler: F,
+) -> ServeRun<T, E>
+where
+    P: Send,
+    T: Send,
+    E: Send,
+    F: Fn(&str, &[Job<P>]) -> Vec<Result<T, E>> + Sync,
+{
+    serve_requests_core(config, requests, |class, batch: Vec<Job<P>>| {
+        let outs = handler(class, &batch);
+        assert_eq!(outs.len(), batch.len(), "handler must return one result per job");
+        batch.iter().map(|j| j.id).zip(outs).collect()
+    })
+}
+
+/// [`serve_requests`] for text completions, wrapping every successful
+/// result in a deterministic [`StreamHandle`]: chunk boundaries depend
+/// only on `(final text, stream id)`, so consumers observe the
+/// identical prefix sequence at any worker count.
+pub fn serve_requests_streaming<P, E, F>(
+    config: &ServeConfig,
+    requests: Vec<ServeRequest<P>>,
+    handler: F,
+) -> ServeRun<StreamHandle, E>
+where
+    P: Send,
+    E: Send,
+    F: Fn(&str, &[Job<P>]) -> Vec<Result<String, E>> + Sync,
+{
+    serve_requests(config, requests, |class, batch: &[Job<P>]| {
+        handler(class, batch)
+            .into_iter()
+            .zip(batch)
+            .map(|(out, job)| out.map(|text| StreamHandle::new(text, job.stream_id)))
+            .collect()
+    })
+}
+
+/// The tenant every tuple-era submission bills against.
+fn legacy_tenant() -> TenantId {
+    TenantId::new("default").expect("literal is non-empty")
+}
+
+/// Convert old-style `(class, payload)` tuples into [`ServeRequest`]s:
+/// tenant `default`, [`Priority::Standard`], batch key = the class
+/// string (unvalidated, preserving historical behavior exactly).
+fn legacy_requests<P>(jobs: Vec<(String, P)>) -> Vec<ServeRequest<P>> {
+    let tenant = legacy_tenant();
+    jobs.into_iter()
+        .map(|(class, payload)| ServeRequest {
+            tenant: tenant.clone(),
+            class: Priority::Standard,
+            batch_key: class,
+            payload,
+        })
+        .collect()
+}
+
 /// Run `jobs` (as `(class, payload)` pairs, in submission order) through
-/// a pool of `config.workers` threads, micro-batching same-class jobs up
-/// to `config.max_batch` per handler dispatch.
+/// the scheduler — the pre-QoS tuple API, kept as a thin adapter.
 ///
-/// The handler receives `(class, payloads)` for one coalesced batch and
-/// must return exactly one result per payload, in order. It must be a
-/// pure function of each payload for the N-worker determinism contract
-/// to hold (shared substrates — caches, meters — may be bumped; they
-/// reconcile by construction).
-///
-/// Admission happens up front in submission order: once the queue hits
-/// `queue_capacity`, the remaining jobs are `Rejected` deterministically.
-///
-/// Handlers that need per-request identity (stream ids, trace contexts)
-/// should use [`serve_jobs`], which hands over the whole [`Job`].
+/// Every job bills against tenant `default` at [`Priority::Standard`],
+/// which makes the QoS queue degenerate to exactly the old FIFO +
+/// coalescing behavior (same admission outcomes, same retry hints, same
+/// batches). New code should build typed requests and call
+/// [`serve_requests`].
+#[deprecated(
+    since = "0.1.0",
+    note = "use `serve_requests` with typed `ServeRequest`s built via `ServeRequest::builder`"
+)]
 pub fn serve<P, T, E, F>(config: &ServeConfig, jobs: Vec<(String, P)>, handler: F) -> ServeRun<T, E>
 where
     P: Send,
@@ -164,7 +418,7 @@ where
     E: Send,
     F: Fn(&str, &[P]) -> Vec<Result<T, E>> + Sync,
 {
-    serve_core(config, jobs, |class, batch: Vec<Job<P>>| {
+    serve_requests_core(config, legacy_requests(jobs), |class, batch: Vec<Job<P>>| {
         let ids: Vec<u64> = batch.iter().map(|j| j.id).collect();
         let payloads: Vec<P> = batch.into_iter().map(|j| j.payload).collect();
         let outs = handler(class, &payloads);
@@ -173,15 +427,15 @@ where
     })
 }
 
-/// [`serve`], but the handler receives the full [`Job`]s of one coalesced
-/// batch (ids, stream ids, trace contexts) instead of bare payloads.
+/// The tuple-input variant of [`serve_requests`]: the handler receives
+/// the full [`Job`]s of one coalesced batch (ids, stream ids, trace
+/// contexts) instead of bare payloads.
 ///
-/// This is the trace-aware entry point: a handler that wraps each job's
-/// work in `let _g = job.trace.attach();` gets its spans stitched into
-/// that request's flame tree (rooted at the job's `serve.admit` span),
-/// regardless of which worker thread ran it or how the batch was
-/// composed. Same determinism contract and admission semantics as
-/// [`serve`].
+/// This is the trace-aware entry point for callers still on the tuple
+/// surface: a handler that wraps each job's work in
+/// `let _g = job.trace.attach();` gets its spans stitched into that
+/// request's flame tree regardless of which worker ran it. Same
+/// adapter semantics as [`serve`] (tenant `default`, standard class).
 pub fn serve_jobs<P, T, E, F>(
     config: &ServeConfig,
     jobs: Vec<(String, P)>,
@@ -193,21 +447,18 @@ where
     E: Send,
     F: Fn(&str, &[Job<P>]) -> Vec<Result<T, E>> + Sync,
 {
-    serve_core(config, jobs, |class, batch: Vec<Job<P>>| {
-        let outs = handler(class, &batch);
-        assert_eq!(outs.len(), batch.len(), "handler must return one result per job");
-        batch.iter().map(|j| j.id).zip(outs).collect()
-    })
+    serve_requests(config, legacy_requests(jobs), handler)
 }
 
-/// The shared machinery behind [`serve`] and [`serve_jobs`]: admission
-/// (which mints each job's [`TraceContext`] under its `serve.admit`
-/// span), the worker pool, micro-batch spans, windowed per-class
-/// telemetry, and result slotting. `dispatch` consumes one coalesced
-/// batch and returns `(job id, result)` pairs.
-fn serve_core<P, T, E, D>(
+/// The shared machinery behind every entry point: quota + shedding
+/// admission (which mints each job's [`TraceContext`] under its
+/// `serve.admit` span), the weighted-fair queue, the worker pool,
+/// micro-batch spans, windowed per-class and per-tenant telemetry, and
+/// result slotting. `dispatch` consumes one coalesced batch and returns
+/// `(job id, result)` pairs.
+fn serve_requests_core<P, T, E, D>(
     config: &ServeConfig,
-    jobs: Vec<(String, P)>,
+    requests: Vec<ServeRequest<P>>,
     dispatch: D,
 ) -> ServeRun<T, E>
 where
@@ -218,21 +469,28 @@ where
 {
     let mut span = llmdm_obs::span("serve.run");
     let workers = config.workers.max(1);
-    let queue: BoundedQueue<Job<P>> = BoundedQueue::new(config.queue_capacity);
+    let queue: QosQueue<Job<P>> = QosQueue::new(config.queue_capacity);
+    let clock = SimClock::new();
 
-    let submitted = jobs.len() as u64;
-    let mut results: Vec<Option<Disposition<T, E>>> = Vec::with_capacity(jobs.len());
+    let submitted = requests.len() as u64;
+    let mut results: Vec<Option<Disposition<T, E>>> = Vec::with_capacity(requests.len());
     let mut admitted = 0u64;
     let mut rejected = 0u64;
+    let mut shed = 0u64;
+    let mut tenants: BTreeMap<String, TenantStats> = BTreeMap::new();
+    let mut buckets: BTreeMap<String, TokenBucket> = BTreeMap::new();
 
     // ---- Phase 1: admission, in submission order. --------------------
-    // Each submission gets a trace context derived from (seed, id) —
-    // byte-stable across worker counts — and an `serve.admit` span opened
-    // under it, which becomes the root of the request's flame tree. The
-    // queued job carries the context re-rooted at that span.
+    // Single-threaded, so every quota/shed/backpressure decision — and
+    // the simulated clock they run on — is a pure function of the
+    // submission sequence, independent of worker count.
     let telemetry = llmdm_obs::is_enabled();
     let mut depth_wins: BTreeMap<String, WindowHandle<'static>> = BTreeMap::new();
-    for (i, (class, payload)) in jobs.into_iter().enumerate() {
+    for (i, req) in requests.into_iter().enumerate() {
+        if i > 0 {
+            clock.advance(config.arrival_interval_ms);
+        }
+        let now = clock.now_ms();
         let id = i as u64;
         let sid = stream_id(config.seed, id);
         let ctx = TraceContext::root(sid.max(1));
@@ -240,11 +498,94 @@ where
         let mut aspan = llmdm_obs::span("serve.admit");
         if aspan.is_recording() {
             aspan.field("id", id);
-            aspan.field("class", class.as_str());
+            aspan.field("class", req.batch_key.as_str());
+            aspan.field("tenant", req.tenant.as_str());
+            aspan.field("priority", req.class.label());
         }
-        let job = Job { id, stream_id: sid, class, trace: ctx.at(&aspan), payload };
+        let tenant_key = req.tenant.as_str().to_string();
+        tenants.entry(tenant_key.clone()).or_default().submitted += 1;
+
+        // 1. Quota: the tenant's bucket must cover one job.
+        let throttled = match config.policies.policy_for(&tenant_key) {
+            Some(policy) => {
+                let bucket = buckets
+                    .entry(tenant_key.clone())
+                    .or_insert_with(|| TokenBucket::new(policy, now));
+                bucket.try_take(MILLI_PER_JOB, now).err()
+            }
+            None => None,
+        };
+        if let Some(retry_after_ms) = throttled {
+            rejected += 1;
+            tenants.get_mut(&tenant_key).expect("entry created above").rejected += 1;
+            aspan.field("admitted", false);
+            if telemetry {
+                llmdm_obs::window_counter_add("serve.tenant.rejected", &tenant_key, 1.0);
+            }
+            results.push(Some(Disposition::Rejected(ServeError::Throttled {
+                tenant: tenant_key,
+                retry_after_ms,
+            })));
+            drop(aspan);
+            drop(guard);
+            continue;
+        }
+
+        let job = Job {
+            id,
+            stream_id: sid,
+            tenant: req.tenant,
+            priority: req.class,
+            class: req.batch_key,
+            trace: ctx.at(&aspan),
+            payload: req.payload,
+        };
         let class_key = job.class.clone();
-        let outcome = queue.try_push(job);
+
+        // 2. Load shedding: inside an outage window the effective
+        // capacity shrinks; overflow is shed lowest class first.
+        let outage_end = config.shed.outage_end(now);
+        let effective_capacity = match outage_end {
+            Some(_) => config.shed.degraded_capacity.min(config.queue_capacity),
+            None => config.queue_capacity,
+        };
+        let outcome = if outage_end.is_some() && queue.len() >= effective_capacity {
+            let retry_after_ms = outage_end.expect("checked above").saturating_sub(now).max(1);
+            let displaceable = queue
+                .lowest_backlogged()
+                .is_some_and(|lowest| job.priority.rank() < lowest.rank());
+            if displaceable {
+                // Displace the youngest job of the lowest backlogged
+                // class: its admission is retroactively converted to a
+                // shed, and the higher-priority arrival takes its seat.
+                let victim = queue.evict_lowest().expect("lowest_backlogged was Some");
+                admitted -= 1;
+                shed += 1;
+                let vt = tenants
+                    .get_mut(victim.tenant.as_str())
+                    .expect("victim was accounted at its own admission");
+                vt.admitted -= 1;
+                vt.shed += 1;
+                if telemetry {
+                    llmdm_obs::window_counter_add(
+                        "serve.tenant.shed",
+                        victim.tenant.as_str(),
+                        1.0,
+                    );
+                }
+                results[victim.id as usize] = Some(Disposition::Rejected(ServeError::Shed {
+                    class: victim.priority,
+                    retry_after_ms,
+                }));
+                queue.try_push(job)
+            } else {
+                Err(ServeError::Shed { class: job.priority, retry_after_ms })
+            }
+        } else {
+            // 3. Plain backpressure (the pre-QoS admission path).
+            queue.try_push(job)
+        };
+
         if telemetry {
             depth_wins
                 .entry(class_key.clone())
@@ -254,11 +595,28 @@ where
         match outcome {
             Ok(()) => {
                 admitted += 1;
+                tenants.get_mut(&tenant_key).expect("entry created above").admitted += 1;
                 aspan.field("admitted", true);
+                if telemetry {
+                    llmdm_obs::window_counter_add("serve.tenant.admitted", &tenant_key, 1.0);
+                }
                 results.push(None);
             }
             Err(e) => {
-                rejected += 1;
+                let t = tenants.get_mut(&tenant_key).expect("entry created above");
+                if matches!(e, ServeError::Shed { .. }) {
+                    shed += 1;
+                    t.shed += 1;
+                    if telemetry {
+                        llmdm_obs::window_counter_add("serve.tenant.shed", &tenant_key, 1.0);
+                    }
+                } else {
+                    rejected += 1;
+                    t.rejected += 1;
+                    if telemetry {
+                        llmdm_obs::window_counter_add("serve.tenant.rejected", &tenant_key, 1.0);
+                    }
+                }
                 aspan.field("admitted", false);
                 results.push(Some(Disposition::Rejected(e)));
             }
@@ -269,6 +627,7 @@ where
     queue.close();
     llmdm_obs::counter_add("serve.jobs.admitted", admitted as f64);
     llmdm_obs::counter_add("serve.jobs.rejected", rejected as f64);
+    llmdm_obs::counter_add("serve.jobs.shed", shed as f64);
 
     // ---- Phase 2: drain with the fixed pool. -------------------------
     let slots = Mutex::new(&mut results);
@@ -287,14 +646,13 @@ where
                     // Per-class latency windows, cached per worker so the
                     // hot loop never takes the registry lock.
                     let mut lat_wins: BTreeMap<String, WindowHandle<'static>> = BTreeMap::new();
-                    while let Some(batch) =
-                        queue.pop_batch(config.max_batch, |a, b| a.class == b.class)
-                    {
+                    while let Some(batch) = queue.pop_batch(config.max_batch) {
                         let mut bspan = llmdm_obs::span("serve.batch");
                         let class = batch[0].class.clone();
                         let size = batch.len();
                         if bspan.is_recording() {
                             bspan.field("class", class.as_str());
+                            bspan.field("priority", batch[0].priority.label());
                             bspan.field("size", size);
                             bspan.field("worker", w);
                             // Joinable against per-request traces: which
@@ -337,16 +695,20 @@ where
         submitted,
         admitted,
         rejected,
+        shed,
         batches: batches.into_inner(),
         largest_batch: largest.into_inner(),
         per_worker_jobs: per_worker,
+        per_tenant: tenants,
     };
+    debug_assert!(stats.reconciles(), "admission accounting must reconcile: {stats:?}");
     llmdm_obs::counter_add("serve.batches", stats.batches as f64);
     if span.is_recording() {
         span.field("workers", workers);
         span.field("submitted", stats.submitted);
         span.field("admitted", stats.admitted);
         span.field("rejected", stats.rejected);
+        span.field("shed", stats.shed);
         span.field("batches", stats.batches);
     }
 
@@ -360,16 +722,38 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use llmdm_resil::Window;
 
     fn echo_jobs(n: usize) -> Vec<(String, u64)> {
         (0..n as u64).map(|i| (if i % 2 == 0 { "even" } else { "odd" }.to_string(), i)).collect()
+    }
+
+    fn echo_requests(n: usize) -> Vec<ServeRequest<u64>> {
+        (0..n as u64)
+            .map(|i| {
+                ServeRequest::builder(format!("tenant-{}", i % 3), i)
+                    .class(match i % 3 {
+                        0 => Priority::Interactive,
+                        1 => Priority::Standard,
+                        _ => Priority::Batch,
+                    })
+                    .batch_key(if i % 2 == 0 { "even" } else { "odd" })
+                    .build()
+                    .unwrap()
+            })
+            .collect()
     }
 
     fn echo_handler(class: &str, batch: &[u64]) -> Vec<Result<String, ServeError>> {
         batch.iter().map(|v| Ok(format!("{class}:{v}"))).collect()
     }
 
+    fn echo_jobs_handler(class: &str, batch: &[Job<u64>]) -> Vec<Result<String, ServeError>> {
+        batch.iter().map(|j| Ok(format!("{class}:{}", j.payload))).collect()
+    }
+
     #[test]
+    #[allow(deprecated)]
     fn single_worker_matches_direct_loop() {
         let cfg = ServeConfig { workers: 1, ..Default::default() };
         let run = serve(&cfg, echo_jobs(20), echo_handler);
@@ -380,21 +764,26 @@ mod tests {
             assert_eq!(d.ok().unwrap(), &format!("{class}:{i}"));
         }
         assert_eq!(run.stats.per_worker_jobs, vec![20]);
+        // The tuple adapter bills everything to the `default` tenant.
+        assert_eq!(run.stats.per_tenant["default"].submitted, 20);
+        assert!(run.stats.reconciles());
     }
 
     #[test]
     fn n_workers_same_result_set() {
-        let base = serve(&ServeConfig::default(), echo_jobs(64), echo_handler);
+        let base = serve_requests(&ServeConfig::default(), echo_requests(64), echo_jobs_handler);
         for workers in [2, 4, 8] {
             let cfg = ServeConfig { workers, ..Default::default() };
-            let run = serve(&cfg, echo_jobs(64), echo_handler);
+            let run = serve_requests(&cfg, echo_requests(64), echo_jobs_handler);
             assert_eq!(run.results, base.results, "workers={workers}");
+            assert_eq!(run.stats.per_tenant, base.stats.per_tenant, "workers={workers}");
             assert_eq!(run.stats.per_worker_jobs.len(), workers);
             assert_eq!(run.stats.per_worker_jobs.iter().sum::<u64>(), 64);
         }
     }
 
     #[test]
+    #[allow(deprecated)]
     fn admission_rejects_deterministically() {
         let cfg = ServeConfig { workers: 2, queue_capacity: 10, ..Default::default() };
         let run = serve(&cfg, echo_jobs(25), echo_handler);
@@ -409,12 +798,14 @@ mod tests {
             Disposition::Rejected(e @ ServeError::Rejected { retry_after_ms, .. }) => {
                 assert!(e.is_retryable());
                 assert!(*retry_after_ms > 0);
+                assert_eq!(e.retry_after_ms(), Some(*retry_after_ms));
             }
             other => panic!("expected rejection, got {other:?}"),
         }
     }
 
     #[test]
+    #[allow(deprecated)]
     fn batches_coalesce_only_same_class() {
         let seen = Mutex::new(Vec::new());
         let cfg = ServeConfig { workers: 1, max_batch: 8, ..Default::default() };
@@ -453,6 +844,8 @@ mod tests {
                         assert!(j.trace.is_active());
                         assert_eq!(j.trace.trace_id, j.stream_id.max(1));
                         assert_eq!(j.payload, j.id);
+                        assert_eq!(j.tenant.as_str(), "default");
+                        assert_eq!(j.priority, Priority::Standard);
                         Ok((j.id, j.stream_id))
                     })
                     .collect()
@@ -465,6 +858,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn batch_spans_carry_job_ids() {
         // Isolated recorder? Spans go to the global recorder, so filter
         // by a class name unique to this test instead.
@@ -500,6 +894,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn handler_errors_surface_per_job() {
         let cfg = ServeConfig { workers: 2, ..Default::default() };
         let run: ServeRun<u64, String> =
@@ -517,6 +912,197 @@ mod tests {
                     assert_eq!(e, "boom");
                 }
                 Disposition::Rejected(_) => panic!("nothing should be rejected"),
+            }
+        }
+    }
+
+    #[test]
+    fn config_builder_validates() {
+        assert!(ServeConfig::builder().workers(4).queue_capacity(64).build().is_ok());
+        for bad in [
+            ServeConfig::builder().workers(0).build(),
+            ServeConfig::builder().queue_capacity(0).build(),
+            ServeConfig::builder().max_batch(0).build(),
+            ServeConfig::builder()
+                .tenant_policy("acme", TenantPolicy::per_sec(0, 10))
+                .build(),
+            ServeConfig::builder().default_policy(TenantPolicy::per_sec(0, 1)).build(),
+        ] {
+            match bad {
+                Err(ServeError::InvalidConfig { reason }) => assert!(!reason.is_empty()),
+                other => panic!("expected InvalidConfig, got {other:?}"),
+            }
+        }
+        let cfg = ServeConfig::builder()
+            .workers(2)
+            .seed(7)
+            .arrival_interval_ms(5)
+            .tenant_policy("acme", TenantPolicy::per_sec(3, 100))
+            .build()
+            .unwrap();
+        assert_eq!(cfg.workers, 2);
+        assert_eq!(cfg.policies.policy_for("acme").unwrap().burst, 3);
+        assert_eq!(cfg.policies.policy_for("other"), None);
+    }
+
+    #[test]
+    fn quota_throttles_past_burst_and_refills_on_the_sim_clock() {
+        // Burst 2, 100 tokens/sec, arrivals every 5 ms: tokens refill at
+        // 0.1/ms so a new token appears every 10 ms (every 2 arrivals).
+        let cfg = ServeConfig::builder()
+            .arrival_interval_ms(5)
+            .tenant_policy("metered", TenantPolicy::per_sec(2, 100))
+            .build()
+            .unwrap();
+        let requests: Vec<ServeRequest<u64>> = (0..10u64)
+            .map(|i| ServeRequest::builder("metered", i).build().unwrap())
+            .collect();
+        let run = serve_requests(&cfg, requests, echo_jobs_handler);
+        let t = &run.stats.per_tenant["metered"];
+        assert!(t.reconciles());
+        assert!(t.rejected > 0, "a 2-burst quota must throttle 10 rapid arrivals: {t:?}");
+        assert!(t.admitted >= 2, "the burst itself must be admitted: {t:?}");
+        // Throttle errors carry the exact refill wait.
+        let hints: Vec<u64> = run
+            .results
+            .iter()
+            .filter_map(|d| match d {
+                Disposition::Rejected(ServeError::Throttled { retry_after_ms, .. }) => {
+                    Some(*retry_after_ms)
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(hints.len() as u64, t.rejected);
+        assert!(hints.iter().all(|h| *h > 0 && *h < u64::MAX), "{hints:?}");
+        // Unmetered tenants are untouched.
+        let free: Vec<ServeRequest<u64>> =
+            (0..10u64).map(|i| ServeRequest::builder("free", i).build().unwrap()).collect();
+        let free_run = serve_requests(&cfg, free, echo_jobs_handler);
+        assert_eq!(free_run.stats.per_tenant["free"].admitted, 10);
+    }
+
+    #[test]
+    fn quota_outcome_is_identical_across_worker_counts() {
+        let mk = |workers: usize| {
+            let cfg = ServeConfig::builder()
+                .workers(workers)
+                .arrival_interval_ms(3)
+                .default_policy(TenantPolicy::per_sec(4, 200))
+                .build()
+                .unwrap();
+            let requests: Vec<ServeRequest<u64>> = (0..40u64)
+                .map(|i| ServeRequest::builder(format!("t{}", i % 4), i).build().unwrap())
+                .collect();
+            serve_requests(&cfg, requests, echo_jobs_handler)
+        };
+        let base = mk(1);
+        for workers in [2, 8] {
+            let run = mk(workers);
+            assert_eq!(run.results, base.results, "workers={workers}");
+            assert_eq!(run.stats.per_tenant, base.stats.per_tenant);
+        }
+    }
+
+    #[test]
+    fn outage_sheds_inwindow_arrivals_with_window_hint() {
+        // Arrivals every 10 ms; outage [100, 200); degraded capacity 0
+        // sheds everything that arrives inside the window. Single class,
+        // so no displacement can reshuffle the victims.
+        let cfg = ServeConfig::builder()
+            .arrival_interval_ms(10)
+            .shed(ShedPolicy::new(vec![Window::new(100, 200)], 0))
+            .build()
+            .unwrap();
+        let requests: Vec<ServeRequest<u64>> = (0..30u64)
+            .map(|i| {
+                ServeRequest::builder("acme", i)
+                    .class(Priority::Standard)
+                    .batch_key("k")
+                    .build()
+                    .unwrap()
+            })
+            .collect();
+        let run = serve_requests(&cfg, requests, echo_jobs_handler);
+        assert!(run.stats.reconciles());
+        // Arrivals 10..=19 land at t in [100, 190] — all inside.
+        assert_eq!(run.stats.shed, 10, "{:?}", run.stats);
+        for (i, d) in run.results.iter().enumerate() {
+            let t = i as u64 * 10;
+            let inside = (100..200).contains(&t);
+            match d {
+                Disposition::Rejected(ServeError::Shed { retry_after_ms, class }) => {
+                    assert!(inside, "job {i} at t={t} shed outside the window");
+                    assert_eq!(*class, Priority::Standard);
+                    assert_eq!(*retry_after_ms, 200 - t, "hint points past the window end");
+                }
+                _ => assert!(!inside, "job {i} at t={t} should have been shed"),
+            }
+        }
+    }
+
+    #[test]
+    fn displacement_evicts_lower_class_for_higher_arrivals() {
+        // Degraded capacity 2 during a window covering the whole run:
+        // batch work queued first gets displaced by interactive arrivals.
+        let cfg = ServeConfig::builder()
+            .workers(1)
+            .max_batch(1)
+            .shed(ShedPolicy::new(vec![Window::new(0, 1_000)], 2))
+            .build()
+            .unwrap();
+        let mut requests = Vec::new();
+        for i in 0..2u64 {
+            requests
+                .push(ServeRequest::builder("bg", i).class(Priority::Batch).build().unwrap());
+        }
+        for i in 2..4u64 {
+            requests.push(
+                ServeRequest::builder("fg", i).class(Priority::Interactive).build().unwrap(),
+            );
+        }
+        let run = serve_requests(&cfg, requests, echo_jobs_handler);
+        assert!(run.stats.reconciles());
+        // Both interactive arrivals displace a batch job each: the
+        // youngest batch job (id 1) goes first, then id 0.
+        assert_eq!(run.stats.shed, 2, "{:?}", run.stats);
+        assert_eq!(run.stats.per_tenant["bg"].shed, 2);
+        assert_eq!(run.stats.per_tenant["fg"].admitted, 2);
+        for id in [0usize, 1] {
+            match &run.results[id] {
+                Disposition::Rejected(ServeError::Shed { class, retry_after_ms }) => {
+                    assert_eq!(*class, Priority::Batch);
+                    assert!(*retry_after_ms > 0);
+                }
+                other => panic!("batch job {id} should be displaced, got {other:?}"),
+            }
+        }
+        assert!(run.results[2].ok().is_some());
+        assert!(run.results[3].ok().is_some());
+    }
+
+    #[test]
+    fn streaming_prefixes_identical_across_worker_counts() {
+        let text_for = |j: &Job<u64>| format!("answer {} with several words to chunk", j.payload);
+        let mk = |workers: usize| {
+            let cfg = ServeConfig { workers, seed: 99, ..Default::default() };
+            serve_requests_streaming(&cfg, echo_requests(24), |_c, batch: &[Job<u64>]| {
+                batch.iter().map(|j| Ok::<String, ServeError>(text_for(j))).collect()
+            })
+        };
+        let base = mk(1);
+        for workers in [2, 8] {
+            let run = mk(workers);
+            for (i, (a, b)) in base.results.iter().zip(&run.results).enumerate() {
+                let (sa, sb) = (a.ok().unwrap(), b.ok().unwrap());
+                assert_eq!(sa.prefixes(), sb.prefixes(), "job {i} at workers={workers}");
+                assert_eq!(sa.final_text(), sb.final_text());
+            }
+        }
+        // Prefixes really are prefixes of the final completion.
+        for (_, h) in base.successes() {
+            for p in h.prefixes() {
+                assert!(h.final_text().starts_with(p));
             }
         }
     }

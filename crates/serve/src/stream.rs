@@ -1,0 +1,213 @@
+//! Incremental token streaming: [`StreamHandle`], the deterministic
+//! prefix view of a completed response.
+//!
+//! Real serving returns tokens incrementally; this workspace's
+//! determinism contract forbids anything timing-dependent. The
+//! resolution: a stream is a **pure function of the final text and the
+//! request's seeded stream id**. Chunk boundaries are drawn from a
+//! `SmallRng` seeded with the stream id (1–3 whitespace-delimited
+//! tokens per chunk), so every consumer — on any worker, at any worker
+//! count, on any run — observes the *identical sequence of prefixes*
+//! of the identical final text. That is the streaming determinism
+//! contract `examples/multi_tenant_cluster.rs` gates on: prefix
+//! sequences at 1, 2, and 8 workers are equal element-wise.
+//!
+//! The handle is a cursor ([`StreamHandle::next_prefix`] /
+//! `Iterator<Item = String>` yielding growing prefixes) plus random
+//! access ([`StreamHandle::prefix_at`], [`StreamHandle::final_text`]),
+//! so both incremental consumers and whole-response consumers share one
+//! type.
+
+use llmdm_rt::rand::{Rng, SeedableRng, SmallRng};
+
+/// Largest number of text tokens coalesced into one stream chunk.
+const MAX_TOKENS_PER_CHUNK: u64 = 3;
+
+/// A deterministic, replayable token stream over one completed
+/// response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamHandle {
+    text: String,
+    /// Chunk end offsets (byte positions into `text`), strictly
+    /// increasing; the last bound equals `text.len()`. Empty for empty
+    /// text.
+    bounds: Vec<usize>,
+    /// Next chunk index the cursor will yield.
+    cursor: usize,
+}
+
+impl StreamHandle {
+    /// Chunk `text` deterministically under `stream_id`. The boundary
+    /// sequence depends only on `(text, stream_id)`.
+    pub fn new(text: impl Into<String>, stream_id: u64) -> Self {
+        let text = text.into();
+        let mut rng = SmallRng::seed_from_u64(stream_id);
+        // Token ends: each whitespace-delimited word plus its trailing
+        // whitespace run ends one token (always on a char boundary).
+        let mut token_ends = Vec::new();
+        let mut in_ws = false;
+        for (i, c) in text.char_indices() {
+            let ws = c.is_whitespace();
+            if in_ws && !ws {
+                token_ends.push(i);
+            }
+            in_ws = ws;
+        }
+        if !text.is_empty() {
+            token_ends.push(text.len());
+        }
+        // Group 1..=MAX_TOKENS_PER_CHUNK tokens per chunk, seeded.
+        let mut bounds = Vec::new();
+        let mut i = 0;
+        while i < token_ends.len() {
+            let take = rng.gen_range(1..=MAX_TOKENS_PER_CHUNK) as usize;
+            i = (i + take).min(token_ends.len());
+            bounds.push(token_ends[i - 1]);
+        }
+        StreamHandle { text, bounds, cursor: 0 }
+    }
+
+    /// The complete response text.
+    pub fn final_text(&self) -> &str {
+        &self.text
+    }
+
+    /// Number of chunks the stream yields (0 for empty text).
+    pub fn chunk_count(&self) -> usize {
+        self.bounds.len()
+    }
+
+    /// Whether the cursor has yielded every chunk.
+    pub fn is_finished(&self) -> bool {
+        self.cursor >= self.bounds.len()
+    }
+
+    /// The prefix visible after `chunks` chunks have arrived (clamped
+    /// to the full text).
+    pub fn prefix_at(&self, chunks: usize) -> &str {
+        if chunks == 0 || self.bounds.is_empty() {
+            return "";
+        }
+        let idx = chunks.min(self.bounds.len()) - 1;
+        &self.text[..self.bounds[idx]]
+    }
+
+    /// Advance the cursor one chunk and return the new visible prefix;
+    /// `None` once the stream is exhausted.
+    pub fn next_prefix(&mut self) -> Option<&str> {
+        if self.cursor >= self.bounds.len() {
+            return None;
+        }
+        self.cursor += 1;
+        Some(&self.text[..self.bounds[self.cursor - 1]])
+    }
+
+    /// Reset the cursor so the stream can be replayed from the start.
+    pub fn rewind(&mut self) {
+        self.cursor = 0;
+    }
+
+    /// Every prefix in arrival order, without moving the cursor.
+    pub fn prefixes(&self) -> Vec<&str> {
+        (1..=self.bounds.len()).map(|n| self.prefix_at(n)).collect()
+    }
+}
+
+impl Iterator for StreamHandle {
+    type Item = String;
+
+    /// Yields the growing prefixes in order (owned, so the iterator can
+    /// be consumed without borrowing the handle).
+    fn next(&mut self) -> Option<String> {
+        self.next_prefix().map(str::to_string)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TEXT: &str = "the quick brown fox jumps over the lazy dog";
+
+    #[test]
+    fn prefixes_grow_to_the_final_text() {
+        let h = StreamHandle::new(TEXT, 7);
+        let ps = h.prefixes();
+        assert!(!ps.is_empty());
+        for w in ps.windows(2) {
+            assert!(w[1].len() > w[0].len(), "prefixes must strictly grow");
+            assert!(w[1].starts_with(w[0]), "each prefix extends the last");
+        }
+        assert_eq!(*ps.last().unwrap(), TEXT, "the last prefix is the full text");
+        assert!(TEXT.starts_with(ps[0]));
+    }
+
+    #[test]
+    fn chunking_is_a_pure_function_of_text_and_stream_id() {
+        let a = StreamHandle::new(TEXT, 42);
+        let b = StreamHandle::new(TEXT, 42);
+        assert_eq!(a, b);
+        let c = StreamHandle::new(TEXT, 43);
+        assert_eq!(c.final_text(), TEXT);
+        // Different stream ids chunk differently for long-enough text
+        // (9 tokens leave plenty of boundary freedom).
+        assert_ne!(a.prefixes(), c.prefixes(), "distinct seeds should chunk differently");
+    }
+
+    #[test]
+    fn cursor_yields_each_prefix_once_then_none() {
+        let mut h = StreamHandle::new("alpha beta gamma delta", 3);
+        let total = h.chunk_count();
+        let mut seen = 0;
+        while let Some(p) = h.next_prefix() {
+            assert!(!p.is_empty());
+            seen += 1;
+        }
+        assert_eq!(seen, total);
+        assert!(h.is_finished());
+        assert!(h.next_prefix().is_none());
+        h.rewind();
+        assert!(!h.is_finished() || total == 0);
+        assert_eq!(h.next_prefix().is_some(), total > 0);
+    }
+
+    #[test]
+    fn iterator_matches_prefixes() {
+        let h = StreamHandle::new(TEXT, 11);
+        let via_vec: Vec<String> = h.prefixes().into_iter().map(str::to_string).collect();
+        let via_iter: Vec<String> = h.collect();
+        assert_eq!(via_vec, via_iter);
+    }
+
+    #[test]
+    fn empty_and_single_token_texts() {
+        let mut empty = StreamHandle::new("", 5);
+        assert_eq!(empty.chunk_count(), 0);
+        assert!(empty.next_prefix().is_none());
+        assert_eq!(empty.prefix_at(3), "");
+
+        let one = StreamHandle::new("word", 5);
+        assert_eq!(one.chunk_count(), 1);
+        assert_eq!(one.prefixes(), vec!["word"]);
+    }
+
+    #[test]
+    fn multibyte_text_chunks_on_char_boundaries() {
+        let text = "héllo wörld ünïcode tëxt δοκιμή ünd mehr wörter hier";
+        for sid in 0..32u64 {
+            let h = StreamHandle::new(text, sid);
+            for p in h.prefixes() {
+                assert!(text.starts_with(p));
+            }
+            assert_eq!(*h.prefixes().last().unwrap(), text);
+        }
+    }
+
+    #[test]
+    fn chunks_respect_token_ceiling() {
+        let h = StreamHandle::new(TEXT, 9);
+        // 9 tokens, ≥ ceil(9/3) = 3 chunks.
+        assert!(h.chunk_count() >= 3, "got {} chunks", h.chunk_count());
+        assert!(h.chunk_count() <= 9);
+    }
+}

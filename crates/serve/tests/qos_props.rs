@@ -1,0 +1,197 @@
+//! Property tests for the QoS layer's two headline guarantees:
+//!
+//! * **Starvation freedom** — under any backlog mix, every nonempty
+//!   priority class is served within a bounded number of weighted-fair
+//!   pops (the bound is `sum(weights)` consecutive pops while the class
+//!   stays backlogged).
+//! * **Exact quota reconciliation** — for any tenant mix, quota table,
+//!   arrival cadence, seed, and worker count,
+//!   `admitted + rejected + shed == submitted` holds per tenant and
+//!   globally, and the whole disposition vector is independent of the
+//!   worker count.
+
+use llmdm_rt::proptest;
+use llmdm_rt::proptest::prelude::*;
+use llmdm_serve::qos::{QosItem, QosQueue};
+use llmdm_serve::prelude::*;
+use llmdm_serve::tenant::TokenBucket;
+use llmdm_serve::tenant::MILLI_PER_JOB;
+
+#[derive(Debug, Clone)]
+struct Item {
+    p: Priority,
+    key: String,
+}
+
+impl QosItem for Item {
+    fn priority(&self) -> Priority {
+        self.p
+    }
+    fn batch_key(&self) -> &str {
+        &self.key
+    }
+}
+
+fn priority_of(raw: u8) -> Priority {
+    match raw % 3 {
+        0 => Priority::Interactive,
+        1 => Priority::Standard,
+        _ => Priority::Batch,
+    }
+}
+
+proptest! {
+    /// Weighted-fair dequeue is starvation-free: drain any generated
+    /// backlog one item at a time and track, pop by pop, how long each
+    /// backlogged class has waited since it was last served. No class
+    /// may wait more than `sum(weights)` pops while it has queued work.
+    #[test]
+    fn weighted_fair_dequeue_is_starvation_free(
+        raw in proptest::collection::vec((0u8..3, "[ab]"), 1..120),
+    ) {
+        let bound: usize = Priority::all().iter().map(|p| p.weight() as usize).sum();
+        let q = QosQueue::new(1024);
+        let mut remaining = [0usize; 3];
+        for (p, key) in &raw {
+            let p = priority_of(*p);
+            remaining[p.rank()] += 1;
+            q.try_push(Item { p, key: key.clone() }).expect("capacity is ample");
+        }
+        q.close();
+        let mut waited = [0usize; 3];
+        let mut drained = 0usize;
+        while let Some(batch) = q.pop_batch(1) {
+            prop_assert_eq!(batch.len(), 1);
+            let served = batch[0].p.rank();
+            remaining[served] -= 1;
+            drained += 1;
+            waited[served] = 0;
+            for c in 0..3 {
+                if c != served && remaining[c] > 0 {
+                    waited[c] += 1;
+                    prop_assert!(
+                        waited[c] < bound,
+                        "class rank {} starved for {} pops (bound {})",
+                        c, waited[c], bound
+                    );
+                }
+            }
+        }
+        prop_assert_eq!(drained, raw.len(), "every queued item must drain");
+    }
+
+    /// The drain order is a deterministic function of the backlog: two
+    /// identical queues hand out identical batch sequences.
+    #[test]
+    fn weighted_fair_drain_order_is_deterministic(
+        raw in proptest::collection::vec((0u8..3, "[abc]"), 0..80),
+        max_batch in 1usize..6,
+    ) {
+        let drain = |raw: &[(u8, String)]| {
+            let q = QosQueue::new(1024);
+            for (p, key) in raw {
+                q.try_push(Item { p: priority_of(*p), key: key.clone() }).unwrap();
+            }
+            q.close();
+            let mut order = Vec::new();
+            while let Some(batch) = q.pop_batch(max_batch) {
+                order.push(
+                    batch.iter().map(|i| (i.p.rank(), i.key.clone())).collect::<Vec<_>>(),
+                );
+            }
+            order
+        };
+        prop_assert_eq!(drain(&raw), drain(&raw));
+    }
+
+    /// Quota accounting reconciles exactly — per tenant and globally —
+    /// across tenant mixes, quota tables, arrival cadences, seeds, and
+    /// worker counts, and the full disposition vector is identical at
+    /// every worker count.
+    #[test]
+    fn quota_accounting_reconciles_across_seeds_and_workers(
+        raw in proptest::collection::vec(("[abcd]", 0u8..3), 1..64),
+        burst in 1u64..6,
+        refill_per_sec in 0u64..400,
+        arrival_interval_ms in 0u64..25,
+        seed in any::<u64>(),
+    ) {
+        let build = |workers: usize| {
+            ServeConfig::builder()
+                .workers(workers)
+                .seed(seed)
+                .arrival_interval_ms(arrival_interval_ms)
+                .default_policy(TenantPolicy::per_sec(burst, refill_per_sec))
+                .build()
+                .expect("valid config")
+        };
+        let requests = || -> Vec<ServeRequest<u64>> {
+            raw.iter()
+                .enumerate()
+                .map(|(i, (tenant, class))| {
+                    ServeRequest::builder(tenant.clone(), i as u64)
+                        .class(priority_of(*class))
+                        .build()
+                        .expect("valid request")
+                })
+                .collect()
+        };
+        let handler = |class: &str, batch: &[Job<u64>]| -> Vec<Result<String, ServeError>> {
+            batch.iter().map(|j| Ok(format!("{class}:{}", j.payload))).collect()
+        };
+        let base = serve_requests(&build(1), requests(), handler);
+        prop_assert!(base.stats.reconciles(), "stats must reconcile: {:?}", base.stats);
+        // Per-tenant rows cover the whole load, and every tenant row
+        // reconciles on its own.
+        let mut by_tenant = std::collections::BTreeMap::new();
+        for r in requests() {
+            *by_tenant.entry(r.tenant.as_str().to_string()).or_insert(0u64) += 1;
+        }
+        for (tenant, want) in &by_tenant {
+            let t = &base.stats.per_tenant[tenant];
+            prop_assert!(t.reconciles(), "tenant {}: {:?}", tenant, t);
+            prop_assert_eq!(t.submitted, *want, "tenant {}", tenant);
+            prop_assert!(t.admitted >= 1.min(*want), "burst >= 1 admits something");
+        }
+        // Throttle outcomes line up with the results vector.
+        let throttled = base
+            .results
+            .iter()
+            .filter(|d| {
+                matches!(d, Disposition::Rejected(ServeError::Throttled { .. }))
+            })
+            .count() as u64;
+        prop_assert_eq!(throttled, base.stats.rejected);
+        for workers in [2usize, 8] {
+            let run = serve_requests(&build(workers), requests(), handler);
+            prop_assert_eq!(&run.results, &base.results, "workers={}", workers);
+            prop_assert_eq!(&run.stats.per_tenant, &base.stats.per_tenant);
+        }
+    }
+
+    /// The token bucket alone: any take sequence reconciles — each take
+    /// either succeeds or reports a wait after which it succeeds (when
+    /// refill is nonzero).
+    #[test]
+    fn token_bucket_retry_hints_are_exact(
+        burst in 1u64..8,
+        refill_per_sec in 1u64..500,
+        gaps in proptest::collection::vec(0u64..40, 1..40),
+    ) {
+        let policy = TenantPolicy::per_sec(burst, refill_per_sec);
+        let mut bucket = TokenBucket::new(&policy, 0);
+        let mut now = 0u64;
+        for gap in gaps {
+            now += gap;
+            if let Err(wait) = bucket.try_take(MILLI_PER_JOB, now) {
+                prop_assert!(wait > 0 && wait < u64::MAX);
+                // One millisecond before the hint the take still fails;
+                // exactly at the hint it succeeds.
+                let mut probe = bucket.clone();
+                prop_assert!(probe.try_take(MILLI_PER_JOB, now + wait - 1).is_err());
+                let mut probe = bucket.clone();
+                prop_assert!(probe.try_take(MILLI_PER_JOB, now + wait).is_ok());
+            }
+        }
+    }
+}

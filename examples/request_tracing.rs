@@ -105,7 +105,7 @@ fn run_workload(workers: usize) -> Report {
     obs::reset();
     obs::set_window_config(WindowConfig { bucket_ms: 500, nbuckets: 8 });
 
-    let config = ServeConfig { workers, queue_capacity: 64, max_batch: 4, seed: SEED };
+    let config = ServeConfig { workers, queue_capacity: 64, max_batch: 4, seed: SEED, ..Default::default() };
     let jobs: Vec<(String, String)> = (0..JOBS)
         .map(|i| {
             let class = if i % 2 == 0 { "sql" } else { "summarize" };

@@ -3,9 +3,10 @@
 //! Run with `cargo run -p llmdm --example serving_pipeline`.
 //!
 //! Drives a mixed HotpotQA + NL2SQL workload through `llmdm-serve`'s
-//! scheduler (admission control → bounded queue → worker pool →
-//! micro-batching) over the simulated model zoo, then asserts the
-//! serving determinism contract end to end:
+//! scheduler — now via the typed [`ServeRequest`] surface (tenant +
+//! priority class + batch key, built with `ServeRequest::builder`) —
+//! over the simulated model zoo, then asserts the serving determinism
+//! contract end to end:
 //!
 //! 1. **Admission is deterministic**: with `queue_capacity = C`, exactly
 //!    the first `C` submissions are admitted and the rest rejected with a
@@ -15,7 +16,8 @@
 //! 3. **One worker ≡ direct loop**: single-worker serving is
 //!    byte-identical (text, cost) to calling the model in a plain loop.
 //! 4. **N workers, same answers**: 4-worker serving produces identical
-//!    per-job results (the handler is pure per payload).
+//!    per-job results (the handler is pure per payload), and per-tenant
+//!    accounting reconciles (`admitted + rejected + shed == submitted`).
 //! 5. **Concurrent cache + exact dollars**: a 4-worker run through
 //!    [`ConcurrentCachedLlm`] over a lock-striped [`ShardedCache`] keeps
 //!    the per-shard AND global `reuse+augment+stale+misses == lookups`
@@ -31,21 +33,23 @@ use llmdm::model::prelude::*;
 use llmdm::nlq::{concert_domain, ExamplePool, Nl2SqlSolver, PromptBuilder, Workload, WorkloadConfig};
 use llmdm::resil::FaultPlan;
 use llmdm::semcache::{CacheConfig, ConcurrentCachedLlm, EntryKind, ShardedCache};
-use llmdm::serve::{serve, Disposition, ServeConfig, ServeError};
+use llmdm::serve::prelude::*;
 
 const SEED: u64 = 42;
 
-/// One serving request: a batching class plus the cache key and full
-/// model prompt.
+/// One serving payload: the cache key and full model prompt (the
+/// batching class now rides on the typed request).
 #[derive(Clone)]
 struct Req {
-    class: &'static str,
     key: String,
     prompt: String,
 }
 
-/// Interleaved HotpotQA ("hotpot") and NL2SQL ("nl2sql") requests.
-fn mixed_workload(zoo: &ModelZoo) -> Vec<(String, Req)> {
+/// Interleaved HotpotQA and NL2SQL requests as typed submissions:
+/// HotpotQA bills tenant `research` at interactive priority, NL2SQL
+/// bills tenant `analytics` at batch priority; the batch key keeps the
+/// two task families from ever coalescing together.
+fn mixed_workload(zoo: &ModelZoo) -> Vec<ServeRequest<Req>> {
     zoo.register_solver(Arc::new(QaSolver));
     zoo.register_solver(Arc::new(Nl2SqlSolver));
     let hotpot = HotpotWorkload::generate(HotpotConfig { n: 24, seed: SEED, ..Default::default() });
@@ -53,24 +57,36 @@ fn mixed_workload(zoo: &ModelZoo) -> Vec<(String, Req)> {
     let builder = PromptBuilder::new(ExamplePool::generate(SEED), nlq_db.schema_summary());
     let nlq = Workload::generate(WorkloadConfig { n: 16, seed: SEED, ..Default::default() });
 
-    let mut jobs: Vec<(String, Req)> = Vec::new();
+    let mut jobs: Vec<ServeRequest<Req>> = Vec::new();
     let mut h = hotpot.items.iter();
     let mut n = nlq.queries.iter();
     // 3:2 interleave so classes alternate and coalescing has work to do.
     loop {
         let mut pushed = false;
         for item in h.by_ref().take(3) {
-            jobs.push((
-                "hotpot".to_string(),
-                Req { class: "hotpot", key: item.question.clone(), prompt: item.prompt() },
-            ));
+            jobs.push(
+                ServeRequest::builder(
+                    "research",
+                    Req { key: item.question.clone(), prompt: item.prompt() },
+                )
+                .class(Priority::Interactive)
+                .batch_key("hotpot")
+                .build()
+                .expect("valid request"),
+            );
             pushed = true;
         }
         for q in n.by_ref().take(2) {
-            jobs.push((
-                "nl2sql".to_string(),
-                Req { class: "nl2sql", key: q.text.clone(), prompt: builder.single(&q.text) },
-            ));
+            jobs.push(
+                ServeRequest::builder(
+                    "analytics",
+                    Req { key: q.text.clone(), prompt: builder.single(&q.text) },
+                )
+                .class(Priority::Batch)
+                .batch_key("nl2sql")
+                .build()
+                .expect("valid request"),
+            );
             pushed = true;
         }
         if !pushed {
@@ -97,14 +113,23 @@ fn main() {
     let jobs = mixed_workload(&zoo);
     let total = jobs.len();
     let model = ModelStack::new(&zoo).build_arc();
-    let handler = |_class: &str, batch: &[Req]| -> Vec<Result<Completion, ModelError>> {
-        batch.iter().map(|r| model.complete(&CompletionRequest::new(r.prompt.clone()))).collect()
+    let handler = |_class: &str, batch: &[Job<Req>]| -> Vec<Result<Completion, ModelError>> {
+        batch
+            .iter()
+            .map(|j| model.complete(&CompletionRequest::new(j.payload.prompt.clone())))
+            .collect()
     };
 
     // ---- 3. One worker ≡ direct loop. ------------------------------
-    let direct: Vec<Result<Completion, ModelError>> =
-        jobs.iter().map(|(_, r)| model.complete(&CompletionRequest::new(r.prompt.clone()))).collect();
-    let one = serve(&ServeConfig { workers: 1, seed: SEED, ..Default::default() }, jobs.clone(), handler);
+    let direct: Vec<Result<Completion, ModelError>> = jobs
+        .iter()
+        .map(|r| model.complete(&CompletionRequest::new(r.payload.prompt.clone())))
+        .collect();
+    let one = serve_requests(
+        &ServeConfig { workers: 1, seed: SEED, ..Default::default() },
+        jobs.clone(),
+        handler,
+    );
     assert_eq!(one.stats.admitted as usize, total);
     for (i, d) in one.results.iter().enumerate() {
         let Disposition::Done(served) = d else { panic!("job {i} rejected") };
@@ -116,8 +141,12 @@ fn main() {
     }
     println!("[3] 1-worker serve byte-identical to the direct loop over {total} jobs");
 
-    // ---- 4. N workers: identical per-job results. ------------------
-    let four = serve(&ServeConfig { workers: 4, seed: SEED, ..Default::default() }, jobs.clone(), handler);
+    // ---- 4. N workers: identical per-job results, reconciled tenants.
+    let four = serve_requests(
+        &ServeConfig { workers: 4, seed: SEED, ..Default::default() },
+        jobs.clone(),
+        handler,
+    );
     assert_eq!(four.stats.per_worker_jobs.len(), 4);
     assert_eq!(four.stats.per_worker_jobs.iter().sum::<u64>() as usize, total);
     for (i, (a, b)) in one.results.iter().zip(&four.results).enumerate() {
@@ -126,20 +155,26 @@ fn main() {
         };
         assert_eq!(text_and_cost(x), text_and_cost(y), "job {i}: 4-worker result differs");
     }
+    assert!(four.stats.reconciles(), "per-tenant accounting must reconcile: {:?}", four.stats);
+    assert_eq!(four.stats.per_tenant["research"].submitted, 24);
+    assert_eq!(four.stats.per_tenant["analytics"].submitted, 16);
     println!("[4] 4-worker serve: same completions (split {:?})", four.stats.per_worker_jobs);
 
     // ---- 2. Batches are class-pure and bounded. --------------------
     let seen = std::sync::Mutex::new(Vec::<(String, usize)>::new());
-    let batched = serve(
+    let batched = serve_requests(
         &ServeConfig { workers: 2, max_batch: 8, seed: SEED, ..Default::default() },
         jobs.clone(),
-        |class: &str, batch: &[Req]| {
+        |class: &str, batch: &[Job<Req>]| {
             assert!(
-                batch.iter().all(|r| r.class == class),
+                batch.iter().all(|j| j.class == class),
                 "mixed-class batch under class `{class}`"
             );
             seen.lock().unwrap().push((class.to_string(), batch.len()));
-            batch.iter().map(|r| model.complete(&CompletionRequest::new(r.prompt.clone()))).collect()
+            batch
+                .iter()
+                .map(|j| model.complete(&CompletionRequest::new(j.payload.prompt.clone())))
+                .collect()
         },
     );
     let seen = seen.into_inner().unwrap();
@@ -158,22 +193,24 @@ fn main() {
     // ---- 1. Deterministic admission under backpressure. ------------
     let cap = total / 2;
     for workers in [1usize, 4] {
-        let run = serve(
+        let run = serve_requests(
             &ServeConfig { workers, queue_capacity: cap, seed: SEED, ..Default::default() },
             jobs.clone(),
             handler,
         );
         assert_eq!(run.stats.admitted as usize, cap, "workers={workers}");
         assert_eq!(run.stats.rejected as usize, total - cap, "workers={workers}");
+        assert!(run.stats.reconciles(), "workers={workers}: {:?}", run.stats);
         for (i, d) in run.results.iter().enumerate() {
             assert_eq!(d.is_rejected(), i >= cap, "workers={workers} job {i}");
         }
-        // A rejection maps cleanly onto the model-layer transient error.
+        // A rejection maps cleanly onto the model-layer transient error,
+        // sharing the retry-hint vocabulary (`retry_after_ms`).
         let Disposition::Rejected(e) = &run.results[cap] else { unreachable!() };
-        let ServeError::Rejected { retry_after_ms, .. } = e else { unreachable!() };
-        let mapped = ModelError::transient(TransientKind::Unavailable, *retry_after_ms);
+        let hint = e.retry_after_ms().expect("backpressure carries a retry hint");
+        let mapped = ModelError::transient(TransientKind::Unavailable, hint);
         assert!(mapped.is_retryable() && e.is_retryable());
-        assert_eq!(mapped.retry_after_ms(), Some(*retry_after_ms));
+        assert_eq!(mapped.retry_after_ms(), Some(hint));
     }
     println!("[1] admission: first {cap} admitted, {} rejected, at 1 and 4 workers", total - cap);
 
@@ -192,11 +229,14 @@ fn main() {
         ShardedCache::new(CacheConfig { capacity: 512, seed: SEED, ..Default::default() }, 4),
         None,
     );
-    let run = serve(
+    let run = serve_requests(
         &ServeConfig { workers: 4, max_batch: 4, seed: SEED, ..Default::default() },
         cached_jobs,
-        |_class: &str, batch: &[Req]| {
-            batch.iter().map(|r| llm.ask(&r.key, &r.prompt, EntryKind::Original)).collect()
+        |_class: &str, batch: &[Job<Req>]| {
+            batch
+                .iter()
+                .map(|j| llm.ask(&j.payload.key, &j.payload.prompt, EntryKind::Original))
+                .collect()
         },
     );
     assert_eq!(run.stats.admitted as usize, 2 * total);

@@ -32,7 +32,10 @@ rm -rf "$BENCH_DIR"
 echo "== serving pipeline (self-validating: admission, class-pure batching, 1-worker byte-identity, sharded-cache + dollar reconciliation)"
 cargo run -q --release --offline -p llmdm --example serving_pipeline >/dev/null
 
-echo "== serve throughput bench (pins >=3x ops/sec at 8 workers vs 1 + concurrent dollar reconciliation)"
+echo "== multi-tenant cluster example (self-validating: rendezvous routing, cluster-wide quota reconciliation, cross-node cache invariant, streaming identical at 1/2/8 workers, outage shedding)"
+cargo run -q --release --offline -p llmdm --example multi_tenant_cluster >/dev/null
+
+echo "== serve throughput bench (pins >=3x ops/sec at 8 workers vs 1 + concurrent dollar reconciliation; saturation sweep vs offered load and tenant mix)"
 BENCH_DIR="$(mktemp -d)"
 LLMDM_BENCH_FAST=1 LLMDM_BENCH_DIR="$BENCH_DIR" cargo bench --offline -p llmdm-bench --bench serve_throughput
 test -s "$BENCH_DIR/BENCH_serve.json" || { echo "serve_throughput emitted no BENCH_serve.json"; exit 1; }

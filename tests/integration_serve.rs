@@ -1,50 +1,68 @@
 //! Integration tests for the serving determinism contract.
 //!
 //! `llmdm-serve`'s crate docs promise three things (see the crate-level
-//! "Determinism contract"): admission is a pure function of
-//! `(jobs, queue_capacity)`, a 1-worker run is byte-identical to a plain
-//! sequential loop, and an N-worker run produces the same per-job
-//! results. The property tests here drive those claims over *generated*
-//! workloads — arbitrary class alphabets, payloads, worker counts, and
-//! queue capacities — rather than the fixed workloads the examples use,
-//! and a model-backed test checks the contract holds through the real
-//! simulated-model call path including costs.
+//! "Determinism contract"): admission — including quota and shed
+//! decisions — is a pure function of `(requests, config)`, a 1-worker
+//! run is byte-identical to a plain sequential loop, and an N-worker
+//! run produces the same per-job results. The property tests here drive
+//! those claims over *generated* workloads — arbitrary tenant/class
+//! mixes, payloads, worker counts, and queue capacities — through the
+//! typed [`ServeRequest`] surface, and a model-backed test checks the
+//! contract holds through the real simulated-model call path including
+//! costs.
 
 use std::sync::Arc;
 
 use llmdm::cascade::{HotpotConfig, HotpotWorkload, QaSolver};
 use llmdm::model::prelude::*;
-use llmdm::serve::{serve, Disposition, ServeConfig, ServeError};
+use llmdm::serve::prelude::*;
 use llmdm_rt::proptest;
 use llmdm_rt::proptest::prelude::*;
 use llmdm_serve::scheduler::stream_id;
 
-/// A generated job list: small class alphabet so coalescing happens.
-fn jobs_strategy() -> impl Strategy<Value = Vec<(String, u64)>> {
-    proptest::collection::vec(("[abc]", any::<u64>()), 0..48)
+/// A generated request list: small tenant/key alphabets so coalescing
+/// and per-tenant accounting both have work to do.
+fn requests_strategy() -> impl Strategy<Value = Vec<ServeRequest<u64>>> {
+    proptest::collection::vec(("[abc]", "[xy]", 0u8..3, any::<u64>()), 0..48).prop_map(|raw| {
+        raw.into_iter()
+            .map(|(tenant, key, class, payload)| {
+                let class = match class {
+                    0 => Priority::Interactive,
+                    1 => Priority::Standard,
+                    _ => Priority::Batch,
+                };
+                ServeRequest::builder(tenant, payload)
+                    .class(class)
+                    .batch_key(key)
+                    .build()
+                    .expect("generated requests are valid")
+            })
+            .collect()
+    })
 }
 
 /// The pure handler every property test uses: result depends only on
-/// `(class, payload)`, as the N-worker contract requires.
-fn pure_handler(class: &str, batch: &[u64]) -> Vec<Result<String, ServeError>> {
-    batch.iter().map(|v| Ok(format!("{class}#{v:x}"))).collect()
+/// `(batch key, payload)`, as the N-worker contract requires.
+fn pure_handler(class: &str, batch: &[Job<u64>]) -> Vec<Result<String, ServeError>> {
+    batch.iter().map(|j| Ok(format!("{class}#{:x}", j.payload))).collect()
 }
 
 proptest! {
     /// 1-worker serving is byte-identical to a direct sequential loop,
-    /// for any job list and batch ceiling.
+    /// for any request list and batch ceiling.
     #[test]
     fn single_worker_is_byte_identical_to_direct_loop(
-        jobs in jobs_strategy(),
+        requests in requests_strategy(),
         max_batch in 1usize..10,
         seed in any::<u64>(),
     ) {
         let direct: Vec<String> =
-            jobs.iter().map(|(c, v)| format!("{c}#{v:x}")).collect();
+            requests.iter().map(|r| format!("{}#{:x}", r.batch_key, r.payload)).collect();
         let cfg = ServeConfig { workers: 1, max_batch, seed, ..Default::default() };
-        let run = serve(&cfg, jobs.clone(), pure_handler);
-        prop_assert_eq!(run.stats.admitted as usize, jobs.len());
-        prop_assert_eq!(run.results.len(), jobs.len());
+        let run = serve_requests(&cfg, requests.clone(), pure_handler);
+        prop_assert_eq!(run.stats.admitted as usize, requests.len());
+        prop_assert_eq!(run.results.len(), requests.len());
+        prop_assert!(run.stats.reconciles());
         for (i, d) in run.results.iter().enumerate() {
             let Disposition::Done(Ok(text)) = d else {
                 return Err(TestCaseError::Fail(format!("job {i} did not complete")));
@@ -54,24 +72,26 @@ proptest! {
     }
 
     /// N workers produce the same per-job results as one worker, with
-    /// the load fully accounted for across the pool.
+    /// the load fully accounted for across the pool and identical
+    /// per-tenant accounting.
     #[test]
     fn n_workers_match_single_worker(
-        jobs in jobs_strategy(),
+        requests in requests_strategy(),
         workers in 2usize..9,
         max_batch in 1usize..10,
     ) {
-        let base = serve(
+        let base = serve_requests(
             &ServeConfig { workers: 1, max_batch, ..Default::default() },
-            jobs.clone(),
+            requests.clone(),
             pure_handler,
         );
-        let run = serve(
+        let run = serve_requests(
             &ServeConfig { workers, max_batch, ..Default::default() },
-            jobs.clone(),
+            requests.clone(),
             pure_handler,
         );
         prop_assert_eq!(&run.results, &base.results, "worker count changed the results");
+        prop_assert_eq!(&run.stats.per_tenant, &base.stats.per_tenant);
         prop_assert_eq!(run.stats.per_worker_jobs.len(), workers);
         prop_assert_eq!(
             run.stats.per_worker_jobs.iter().sum::<u64>(),
@@ -80,21 +100,23 @@ proptest! {
         );
     }
 
-    /// Admission is a pure function of `(jobs, queue_capacity)`: exactly
-    /// the first `capacity` submissions are admitted, at any worker
-    /// count, and every rejection carries a retryable backpressure hint
-    /// that maps onto the model-layer transient error.
+    /// Admission is a pure function of `(requests, queue_capacity)`:
+    /// exactly the first `capacity` submissions are admitted, at any
+    /// worker count, and every rejection carries a retryable
+    /// backpressure hint that maps onto the model-layer transient error.
     #[test]
     fn admission_depends_only_on_capacity(
-        jobs in jobs_strategy(),
+        requests in requests_strategy(),
         capacity in 1usize..64,
         workers in 1usize..5,
     ) {
         let cfg = ServeConfig { workers, queue_capacity: capacity, ..Default::default() };
-        let run = serve(&cfg, jobs.clone(), pure_handler);
-        let admitted = jobs.len().min(capacity);
+        let total = requests.len();
+        let run = serve_requests(&cfg, requests, pure_handler);
+        let admitted = total.min(capacity);
         prop_assert_eq!(run.stats.admitted as usize, admitted);
-        prop_assert_eq!(run.stats.rejected as usize, jobs.len() - admitted);
+        prop_assert_eq!(run.stats.rejected as usize, total - admitted);
+        prop_assert!(run.stats.reconciles());
         for (i, d) in run.results.iter().enumerate() {
             prop_assert_eq!(d.is_rejected(), i >= admitted, "job {}", i);
             if let Disposition::Rejected(e) = d {
@@ -102,6 +124,7 @@ proptest! {
                     return Err(TestCaseError::Fail(format!("job {i}: unexpected {e:?}")));
                 };
                 prop_assert!(e.is_retryable());
+                prop_assert_eq!(e.retry_after_ms(), Some(*retry_after_ms));
                 prop_assert!(*depth >= capacity);
                 // The serving rejection maps cleanly onto the model
                 // layer's transient-error vocabulary.
@@ -125,6 +148,23 @@ proptest! {
     }
 }
 
+/// Build the typed QA requests the model-backed tests serve.
+fn qa_requests(workload: &HotpotWorkload) -> Vec<ServeRequest<String>> {
+    workload
+        .items
+        .iter()
+        .enumerate()
+        .map(|(i, item)| {
+            let key = if i % 2 == 0 { "qa-even" } else { "qa-odd" };
+            ServeRequest::builder(format!("team-{}", i % 2), item.prompt())
+                .class(if i % 2 == 0 { Priority::Interactive } else { Priority::Batch })
+                .batch_key(key)
+                .build()
+                .expect("valid request")
+        })
+        .collect()
+}
+
 /// The contract through the real simulated-model path: serving the zoo's
 /// large tier at 1 and 4 workers reproduces the direct loop byte for
 /// byte — text AND cost bits — and the meter bills each run identically.
@@ -136,20 +176,12 @@ fn model_backed_serving_is_deterministic() {
     let model = ModelStack::new(&zoo).build_arc();
     let workload =
         HotpotWorkload::generate(HotpotConfig { n: 12, seed: SEED, ..Default::default() });
-    let jobs: Vec<(String, String)> = workload
-        .items
-        .iter()
-        .enumerate()
-        .map(|(i, item)| {
-            let class = if i % 2 == 0 { "qa-even" } else { "qa-odd" };
-            (class.to_string(), item.prompt())
-        })
-        .collect();
+    let requests = qa_requests(&workload);
 
-    let direct: Vec<(String, u64)> = jobs
+    let direct: Vec<(String, u64)> = requests
         .iter()
-        .map(|(_, p)| {
-            let c = model.complete(&CompletionRequest::new(p.clone())).expect("completes");
+        .map(|r| {
+            let c = model.complete(&CompletionRequest::new(r.payload.clone())).expect("completes");
             (c.text, c.cost.to_bits())
         })
         .collect();
@@ -157,11 +189,14 @@ fn model_backed_serving_is_deterministic() {
     zoo.meter().reset();
 
     for workers in [1usize, 4] {
-        let run = serve(
+        let run = serve_requests(
             &ServeConfig { workers, max_batch: 4, seed: SEED, ..Default::default() },
-            jobs.clone(),
-            |_class: &str, batch: &[String]| {
-                batch.iter().map(|p| model.complete(&CompletionRequest::new(p.clone()))).collect()
+            requests.clone(),
+            |_class: &str, batch: &[Job<String>]| {
+                batch
+                    .iter()
+                    .map(|j| model.complete(&CompletionRequest::new(j.payload.clone())))
+                    .collect()
             },
         );
         for (i, d) in run.results.iter().enumerate() {
@@ -172,6 +207,7 @@ fn model_backed_serving_is_deterministic() {
                 "workers={workers} job {i}: served result differs from the direct path"
             );
         }
+        assert!(run.stats.reconciles());
         let billed = zoo.meter().snapshot().total_dollars();
         assert!(
             (billed - billed_direct).abs() < 1e-12,
@@ -192,30 +228,32 @@ fn rejection_feeds_the_retry_loop() {
     let model = ModelStack::new(&zoo).with_default_retry().build_arc();
     let workload =
         HotpotWorkload::generate(HotpotConfig { n: 8, seed: SEED, ..Default::default() });
-    let jobs: Vec<(String, String)> =
-        workload.items.iter().map(|item| ("qa".to_string(), item.prompt())).collect();
-    let run = serve(
+    let requests: Vec<ServeRequest<String>> = workload
+        .items
+        .iter()
+        .map(|item| ServeRequest::builder("qa", item.prompt()).build().expect("valid"))
+        .collect();
+    let handler = |_c: &str, batch: &[Job<String>]| {
+        batch.iter().map(|j| model.complete(&CompletionRequest::new(j.payload.clone()))).collect()
+    };
+    let run = serve_requests(
         &ServeConfig { workers: 2, queue_capacity: 4, seed: SEED, ..Default::default() },
-        jobs.clone(),
-        |_c: &str, batch: &[String]| {
-            batch.iter().map(|p| model.complete(&CompletionRequest::new(p.clone()))).collect()
-        },
+        requests.clone(),
+        handler,
     );
     // Re-submit exactly the rejected tail; it all completes now.
-    let retry_jobs: Vec<(String, String)> = run
+    let retry_requests: Vec<ServeRequest<String>> = run
         .results
         .iter()
-        .zip(&jobs)
+        .zip(&requests)
         .filter(|(d, _)| d.is_rejected())
-        .map(|(_, j)| j.clone())
+        .map(|(_, r)| r.clone())
         .collect();
-    assert_eq!(retry_jobs.len(), 4);
-    let second = serve(
+    assert_eq!(retry_requests.len(), 4);
+    let second = serve_requests(
         &ServeConfig { workers: 2, queue_capacity: 4, seed: SEED + 1, ..Default::default() },
-        retry_jobs,
-        |_c: &str, batch: &[String]| {
-            batch.iter().map(|p| model.complete(&CompletionRequest::new(p.clone()))).collect()
-        },
+        retry_requests,
+        handler,
     );
     assert!(second.results.iter().all(|d| matches!(d, Disposition::Done(Ok(_)))));
 }

@@ -27,7 +27,7 @@ fn run_workload(workers: usize) -> Report {
     obs::reset();
     obs::set_window_config(WindowConfig::default());
 
-    let config = ServeConfig { workers, queue_capacity: 64, max_batch: 4, seed: SEED };
+    let config = ServeConfig { workers, queue_capacity: 64, max_batch: 4, seed: SEED, ..Default::default() };
     let jobs: Vec<(String, u64)> = (0..JOBS as u64)
         .map(|i| (if i % 2 == 0 { "alpha" } else { "beta" }.to_string(), i))
         .collect();
